@@ -1,0 +1,327 @@
+//! Global-variable region grouping and merging — the source of ACES's
+//! partition-time over-privilege (OPEC paper, Section 3.1 / Figure 3).
+//!
+//! ACES rearranges global variables so that each *access signature*
+//! (the set of compartments needing a variable) forms one contiguous
+//! region. A compartment then needs one MPU region per signature group
+//! it participates in. With only [`DATA_REGIONS`] MPU regions available
+//! for data, compartments that participate in too many groups force
+//! ACES to **merge** groups — the union of the signatures — granting
+//! some compartments variables they never asked for. The per-
+//! compartment set of *granted-but-unneeded* bytes is exactly the PT
+//! metric of the paper's Equation 1.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use opec_armv7m::mem::MemRegion;
+use opec_armv7m::mpu::{align_up, region_size_for};
+use opec_ir::{GlobalId, Module};
+use opec_vm::OpId;
+
+use crate::strategy::Compartments;
+
+/// MPU regions ACES can spend on data. ACES's layout dedicates regions
+/// to the default flash/RAM maps, the stack, the compartment's code,
+/// and its peripheral window, leaving **two** regions for data — the
+/// scarcity that forces the region merging of the paper's Figure 3.
+pub const DATA_REGIONS: usize = 2;
+
+/// Upper bound on the total number of data-region groups ACES lays
+/// out. Every group costs a power-of-two-aligned placement, so ACES's
+/// lowering merges groups system-wide until the count fits — a second
+/// source of signature widening beyond the per-compartment budget.
+pub const MAX_TOTAL_GROUPS: usize = 8;
+
+/// One contiguous group of globals with a common access signature
+/// (possibly widened by merging).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionGroup {
+    /// Compartments granted access to the whole group.
+    pub signature: BTreeSet<OpId>,
+    /// Variables placed in the group.
+    pub globals: Vec<GlobalId>,
+    /// Total used bytes.
+    pub bytes: u32,
+}
+
+/// The final data-region assignment.
+#[derive(Debug, Clone)]
+pub struct DataRegions {
+    /// Groups after merging.
+    pub groups: Vec<RegionGroup>,
+    /// Group memberships per compartment (indices into `groups`).
+    pub granted: BTreeMap<OpId, Vec<usize>>,
+    /// Concrete placement: global → address (filled by `place`).
+    pub addrs: BTreeMap<GlobalId, u32>,
+    /// Concrete placement: group → MPU-legal region.
+    pub group_regions: Vec<MemRegion>,
+    /// SRAM consumed including alignment fragments.
+    pub sram_used: u32,
+    /// Number of merges performed (diagnostics).
+    pub merges: usize,
+}
+
+impl DataRegions {
+    /// Groups the globals of `module` by compartment-access signature
+    /// and merges until every compartment fits in [`DATA_REGIONS`]
+    /// regions.
+    pub fn build(module: &Module, comps: &Compartments) -> DataRegions {
+        // Access signatures. Constants stay in flash; unused globals get
+        // an empty signature group of their own.
+        let mut by_sig: BTreeMap<BTreeSet<OpId>, Vec<GlobalId>> = BTreeMap::new();
+        for (i, g) in module.globals.iter().enumerate() {
+            if g.is_const {
+                continue;
+            }
+            let gid = GlobalId(i as u32);
+            let sig: BTreeSet<OpId> = comps
+                .comps
+                .iter()
+                .filter(|c| c.resources.globals().contains(&gid))
+                .map(|c| c.id)
+                .collect();
+            by_sig.entry(sig).or_default().push(gid);
+        }
+        let mut groups: Vec<RegionGroup> = by_sig
+            .into_iter()
+            .map(|(signature, globals)| {
+                let bytes = globals.iter().map(|g| module.global_size(*g).max(1)).sum();
+                RegionGroup { signature, globals, bytes }
+            })
+            .collect();
+        // Merge until every compartment needs at most DATA_REGIONS
+        // groups.
+        let mut merges = 0;
+        loop {
+            let mut need: BTreeMap<OpId, Vec<usize>> = BTreeMap::new();
+            for (gi, g) in groups.iter().enumerate() {
+                for c in &g.signature {
+                    need.entry(*c).or_default().push(gi);
+                }
+            }
+            let worst = need.iter().max_by_key(|(_, v)| v.len());
+            match worst {
+                Some((_, v)) if v.len() > DATA_REGIONS => {
+                    // Merge the two smallest groups this compartment
+                    // needs (by bytes) — ACES's region-count reduction,
+                    // which widens signatures and creates PT.
+                    let mut candidates = v.clone();
+                    candidates.sort_by_key(|&gi| groups[gi].bytes);
+                    let (a, b) = (candidates[0], candidates[1]);
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let merged_in = groups.remove(hi);
+                    let target = &mut groups[lo];
+                    target.signature.extend(merged_in.signature);
+                    target.globals.extend(merged_in.globals);
+                    target.bytes += merged_in.bytes;
+                    merges += 1;
+                }
+                _ => break,
+            }
+        }
+        // System-wide lowering: cap the total group count by fusing the
+        // smallest groups (cannot increase any compartment's group
+        // count, so the per-compartment budget stays satisfied).
+        while groups.len() > MAX_TOTAL_GROUPS {
+            let mut order: Vec<usize> = (0..groups.len()).collect();
+            order.sort_by_key(|&gi| groups[gi].bytes);
+            let (a, b) = (order[0], order[1]);
+            let (lo, hi) = (a.min(b), a.max(b));
+            let merged_in = groups.remove(hi);
+            let target = &mut groups[lo];
+            target.signature.extend(merged_in.signature);
+            target.globals.extend(merged_in.globals);
+            target.bytes += merged_in.bytes;
+            merges += 1;
+        }
+        let mut granted: BTreeMap<OpId, Vec<usize>> = BTreeMap::new();
+        for c in &comps.comps {
+            granted.insert(c.id, Vec::new());
+        }
+        for (gi, g) in groups.iter().enumerate() {
+            for c in &g.signature {
+                granted.entry(*c).or_default().push(gi);
+            }
+        }
+        DataRegions {
+            groups,
+            granted,
+            addrs: BTreeMap::new(),
+            group_regions: Vec::new(),
+            sram_used: 0,
+            merges,
+        }
+    }
+
+    /// Places the groups in SRAM starting at `base`: each group becomes
+    /// one MPU-legal (power-of-two, size-aligned) region. Returns the
+    /// first free address after placement.
+    pub fn place(&mut self, module: &Module, base: u32) -> u32 {
+        // Large groups first to limit fragmentation.
+        let mut order: Vec<usize> = (0..self.groups.len()).collect();
+        order.sort_by_key(|&gi| std::cmp::Reverse(region_size_for(self.groups[gi].bytes.max(1))));
+        self.group_regions = vec![MemRegion::new(0, 0); self.groups.len()];
+        let mut cursor = base;
+        for gi in order {
+            let size = region_size_for(self.groups[gi].bytes.max(1));
+            cursor = align_up(cursor, size);
+            self.group_regions[gi] = MemRegion::new(cursor, size);
+            let mut off = cursor;
+            for g in &self.groups[gi].globals {
+                let align = module.types.align_of(&module.global(*g).ty).max(4);
+                off = align_up(off, align);
+                self.addrs.insert(*g, off);
+                off += module.global_size(*g).max(1);
+            }
+            cursor += size;
+        }
+        self.sram_used = cursor - base;
+        cursor
+    }
+
+    /// Bytes of globals a compartment was *granted* (everything in its
+    /// groups).
+    pub fn granted_bytes(&self, module: &Module, comp: OpId) -> u32 {
+        self.granted
+            .get(&comp)
+            .map(|groups| {
+                groups
+                    .iter()
+                    .flat_map(|&gi| self.groups[gi].globals.iter())
+                    .map(|g| module.global_size(*g).max(1))
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// The globals a compartment was granted.
+    pub fn granted_globals(&self, comp: OpId) -> BTreeSet<GlobalId> {
+        self.granted
+            .get(&comp)
+            .map(|groups| {
+                groups.iter().flat_map(|&gi| self.groups[gi].globals.iter().copied()).collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{AcesStrategy, Compartments};
+    use opec_analysis::{CallGraph, PointsTo, ResourceAnalysis};
+    use opec_ir::{ModuleBuilder, Operand, Ty};
+
+    /// Builds a module where compartment "hub.c" touches many distinct
+    /// signature groups, forcing merges.
+    fn hub_module(num_sats: usize) -> Module {
+        let mut mb = ModuleBuilder::new("hub");
+        let mut sats = Vec::new();
+        for i in 0..num_sats {
+            let g = mb.global(format!("pair_{i}"), Ty::I32, "hub.c");
+            let own = mb.global(format!("own_{i}"), Ty::Array(Box::new(Ty::I32), 2), "hub.c");
+            let sat = mb.func(format!("sat_{i}"), vec![], None, &format!("sat_{i}.c"), move |fb| {
+                fb.store_global(g, 0, Operand::Imm(i as u32), 4);
+                fb.store_global(own, 0, Operand::Imm(1), 4);
+                fb.ret_void();
+            });
+            sats.push((sat, g));
+        }
+        let hub_g: Vec<_> = sats.iter().map(|(_, g)| *g).collect();
+        let sat_fns: Vec<_> = sats.iter().map(|(f, _)| *f).collect();
+        mb.func("hub", vec![], None, "hub.c", move |fb| {
+            for g in &hub_g {
+                let _ = fb.load_global(*g, 0, 4);
+            }
+            fb.ret_void();
+        });
+        mb.func("main", vec![], None, "main.c", move |fb| {
+            for f in &sat_fns {
+                fb.call_void(*f, vec![]);
+            }
+            fb.halt();
+            fb.ret_void();
+        });
+        mb.finish()
+    }
+
+    fn comps(m: &Module) -> Compartments {
+        let pt = PointsTo::analyze(m);
+        let cg = CallGraph::build(m, &pt);
+        let ra = ResourceAnalysis::analyze(m, &pt);
+        Compartments::build(m, &cg, &ra, AcesStrategy::FilenameNoOpt)
+    }
+
+    #[test]
+    fn no_merging_when_everything_fits() {
+        let m = hub_module(2);
+        let c = comps(&m);
+        let dr = DataRegions::build(&m, &c);
+        assert_eq!(dr.merges, 0);
+        // Each compartment granted exactly its needed globals → no PT.
+        for comp in &c.comps {
+            let granted = dr.granted_globals(comp.id);
+            assert_eq!(granted, comp.resources.globals());
+        }
+    }
+
+    #[test]
+    fn merging_kicks_in_and_creates_over_privilege() {
+        // Six satellite files sharing one variable each with hub.c:
+        // hub.c participates in six signature groups (> 4 regions).
+        let m = hub_module(6);
+        let c = comps(&m);
+        let dr = DataRegions::build(&m, &c);
+        assert!(dr.merges >= 2, "merges: {}", dr.merges);
+        // Every compartment now fits within the region budget.
+        for groups in dr.granted.values() {
+            assert!(groups.len() <= DATA_REGIONS);
+        }
+        // At least one satellite compartment was granted a global it
+        // never needed (partition-time over-privilege).
+        let over = c.comps.iter().any(|comp| {
+            let granted = dr.granted_globals(comp.id);
+            !granted.is_subset(&comp.resources.globals())
+                || granted.len() > comp.resources.globals().len()
+        });
+        assert!(over, "expected over-privilege after merging");
+    }
+
+    #[test]
+    fn placement_is_mpu_legal_and_disjoint() {
+        let m = hub_module(6);
+        let c = comps(&m);
+        let mut dr = DataRegions::build(&m, &c);
+        let end = dr.place(&m, 0x2000_0000);
+        assert!(end > 0x2000_0000);
+        for r in &dr.group_regions {
+            assert!(r.size.is_power_of_two() && r.size >= 32);
+            assert_eq!(r.base % r.size, 0);
+        }
+        for (i, a) in dr.group_regions.iter().enumerate() {
+            for b in &dr.group_regions[i + 1..] {
+                assert!(!a.overlaps(b));
+            }
+        }
+        // Every global placed inside its group's region.
+        for (gi, g) in dr.groups.iter().enumerate() {
+            for gid in &g.globals {
+                let addr = dr.addrs[gid];
+                assert!(dr.group_regions[gi].contains(addr));
+            }
+        }
+        assert!(dr.sram_used >= dr.groups.iter().map(|g| g.bytes).sum::<u32>());
+    }
+
+    #[test]
+    fn granted_bytes_accounts_merged_groups() {
+        let m = hub_module(6);
+        let c = comps(&m);
+        let dr = DataRegions::build(&m, &c);
+        for comp in &c.comps {
+            let needed: u32 =
+                comp.resources.globals().iter().map(|g| m.global_size(*g).max(1)).sum();
+            assert!(dr.granted_bytes(&m, comp.id) >= needed);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! The ACES compartment-switching runtime.
+//!
+//! Implements [`Supervisor`]: on a cross-compartment call it reloads
+//! the MPU with the callee compartment's data-region grants and merged
+//! peripheral window; same-compartment calls are declined via
+//! `wants_switch` and stay ordinary calls. Compartments whose resource
+//! needs include core (PPB) peripherals run **privileged** — the
+//! privilege lifting the OPEC paper criticises (Table 2's PAC column).
+//!
+//! Differences from OPEC that the evaluation measures:
+//! * no global-variable shadowing → no sync cost, but merged regions
+//!   over-grant (partition-time over-privilege);
+//! * the whole stack stays accessible to every compartment (ACES's
+//!   micro-emulator makes stack faults recoverable, so its effective
+//!   permission is oversized — modelled here as a fully open stack);
+//! * no MPU virtualization: each compartment's peripherals are fused
+//!   into a single covering region, over-granting when they are spread
+//!   out;
+//! * no core-peripheral emulation: privilege lifting instead.
+
+use opec_armv7m::mem::MemRegion;
+use opec_armv7m::mpu::{region_size_for, MpuRegion, RegionAttr};
+use opec_armv7m::{Board, FaultInfo, Machine, Mode};
+use opec_ir::Module;
+use opec_vm::{CpuContext, FaultFixup, OpId, Supervisor, SwitchRequest};
+
+use crate::regions::DataRegions;
+use crate::strategy::Compartments;
+
+/// Runtime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AcesStats {
+    /// Cross-compartment switches performed.
+    pub switches: u64,
+    /// Calls that stayed within a compartment (no switch).
+    pub same_comp_calls: u64,
+}
+
+/// The ACES runtime.
+pub struct AcesRuntime {
+    comps: Compartments,
+    regions: DataRegions,
+    periph_region: Vec<Option<MpuRegion>>,
+    privileged: Vec<bool>,
+    board: Board,
+    stack: MemRegion,
+    main_comp: OpId,
+    current: Vec<OpId>,
+    /// Counters for the evaluation.
+    pub stats: AcesStats,
+}
+
+impl AcesRuntime {
+    /// Creates the runtime from a compile output.
+    pub fn new(
+        module: &Module,
+        comps: Compartments,
+        regions: DataRegions,
+        board: Board,
+        stack: MemRegion,
+        main_comp: OpId,
+    ) -> AcesRuntime {
+        // One covering peripheral region per compartment: the smallest
+        // aligned power-of-two window spanning *all* its peripherals.
+        let mut periph_region = Vec::with_capacity(comps.comps.len());
+        let mut privileged = Vec::with_capacity(comps.comps.len());
+        for c in &comps.comps {
+            let windows: Vec<MemRegion> = c
+                .resources
+                .peripherals
+                .iter()
+                .map(|&pi| MemRegion::new(module.peripherals[pi].base, module.peripherals[pi].size))
+                .collect();
+            periph_region.push(covering_all(&windows));
+            privileged.push(c.privileged);
+        }
+        AcesRuntime {
+            comps,
+            regions,
+            periph_region,
+            privileged,
+            board,
+            stack,
+            main_comp,
+            current: Vec::new(),
+            stats: AcesStats::default(),
+        }
+    }
+
+    /// The currently executing compartment.
+    pub fn current_comp(&self) -> OpId {
+        self.current.last().copied().unwrap_or(self.main_comp)
+    }
+
+    /// Read access to the compartmentalisation.
+    pub fn comps(&self) -> &Compartments {
+        &self.comps
+    }
+
+    /// Read access to the data-region assignment.
+    pub fn regions(&self) -> &DataRegions {
+        &self.regions
+    }
+
+    fn load_mpu_for(&self, machine: &mut Machine, comp: OpId) -> Result<(), String> {
+        let mut regions: Vec<(usize, MpuRegion)> = vec![
+            // Region 0: code + SRAM read-only background.
+            (0, MpuRegion::new(0, 0x4000_0000, RegionAttr::priv_rw_unpriv_ro(true))),
+            // Region 1: flash executable.
+            (
+                1,
+                MpuRegion::new(
+                    self.board.flash.base,
+                    region_size_for(self.board.flash.size),
+                    RegionAttr::read_only(false),
+                ),
+            ),
+            // Region 2: the whole stack, read-write (oversized).
+            (2, MpuRegion::new(self.stack.base, self.stack.size, RegionAttr::read_write_xn())),
+        ];
+        // Regions 3–6: granted data groups.
+        let granted = self.regions.granted.get(&comp).cloned().unwrap_or_default();
+        for (i, gi) in granted.iter().take(crate::regions::DATA_REGIONS).enumerate() {
+            let r = self.regions.group_regions[*gi];
+            regions.push((3 + i, MpuRegion::new(r.base, r.size, RegionAttr::read_write_xn())));
+        }
+        // Region 7: the merged peripheral window.
+        if let Some(p) = self.periph_region[usize::from(comp)] {
+            regions.push((7, p));
+        }
+        machine
+            .clock
+            .tick(opec_armv7m::clock::costs::MPU_REGION_WRITE * regions.len() as u64);
+        machine.mpu.load_regions(&regions).map_err(|e| format!("ACES MPU programming: {e}"))
+    }
+
+    fn mode_for(&self, comp: OpId) -> Mode {
+        if self.privileged[usize::from(comp)] {
+            Mode::Privileged
+        } else {
+            Mode::Unprivileged
+        }
+    }
+}
+
+/// The smallest MPU-legal region covering all windows (none → `None`).
+fn covering_all(windows: &[MemRegion]) -> Option<MpuRegion> {
+    let first = windows.first()?;
+    let lo = windows.iter().map(|w| w.base).min().unwrap_or(first.base);
+    let hi = windows.iter().map(|w| w.end()).max().unwrap_or(first.end());
+    let mut size = region_size_for(hi - lo);
+    loop {
+        let base = lo & !(size - 1);
+        if hi <= base.saturating_add(size) {
+            return Some(MpuRegion::new(base, size, RegionAttr::read_write_xn()));
+        }
+        size = size.checked_mul(2)?;
+    }
+}
+
+impl Supervisor for AcesRuntime {
+    fn wants_switch(&mut self, op: u8) -> bool {
+        if op == self.current_comp() {
+            self.stats.same_comp_calls += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    fn on_reset(&mut self, machine: &mut Machine) -> Result<(), String> {
+        self.current = vec![self.main_comp];
+        self.load_mpu_for(machine, self.main_comp)?;
+        machine.mpu.enabled = true;
+        machine.mpu.priv_default_enabled = true;
+        machine.mode = self.mode_for(self.main_comp);
+        Ok(())
+    }
+
+    fn on_operation_enter(
+        &mut self,
+        machine: &mut Machine,
+        req: &mut SwitchRequest<'_>,
+    ) -> Result<(), String> {
+        machine.clock.tick(opec_armv7m::clock::costs::SWITCH_FIXED + crate::ACES_SWITCH_CYCLES);
+        self.stats.switches += 1;
+        self.load_mpu_for(machine, req.op)?;
+        *req.app_mode = self.mode_for(req.op);
+        self.current.push(req.op);
+        Ok(())
+    }
+
+    fn on_operation_exit(
+        &mut self,
+        machine: &mut Machine,
+        req: &mut SwitchRequest<'_>,
+    ) -> Result<(), String> {
+        machine.clock.tick(opec_armv7m::clock::costs::SWITCH_FIXED + crate::ACES_SWITCH_CYCLES);
+        let top = self.current.pop().ok_or("ACES exit without enter")?;
+        if top != req.op {
+            return Err(format!("ACES context mismatch: exiting {} on top of {top}", req.op));
+        }
+        let back = self.current_comp();
+        self.load_mpu_for(machine, back)?;
+        *req.app_mode = self.mode_for(back);
+        Ok(())
+    }
+
+    fn on_mem_fault(
+        &mut self,
+        _machine: &mut Machine,
+        fault: FaultInfo,
+        _cpu: &mut CpuContext,
+    ) -> FaultFixup {
+        FaultFixup::Abort(format!(
+            "ACES: compartment {} denied access to {:#010x}",
+            self.comps.comps[usize::from(self.current_comp())].name,
+            fault.address
+        ))
+    }
+
+    fn on_bus_fault(
+        &mut self,
+        _machine: &mut Machine,
+        fault: FaultInfo,
+        _cpu: &mut CpuContext,
+    ) -> FaultFixup {
+        // ACES has no core-peripheral emulation: an unprivileged PPB
+        // access in a non-lifted compartment is fatal.
+        FaultFixup::Abort(format!("ACES: bus fault at {:#010x}", fault.address))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::build_aces_image;
+    use crate::strategy::AcesStrategy;
+    use opec_ir::{ModuleBuilder, Operand, Ty};
+    use opec_vm::{RunOutcome, Vm, VmError};
+
+    const FUEL: u64 = 10_000_000;
+
+    fn boot(module: Module, strategy: AcesStrategy) -> Vm<AcesRuntime> {
+        let board = Board::stm32f4_discovery();
+        let out = build_aces_image(module, board, strategy).unwrap();
+        let main = out.image.entry;
+        let main_comp = out.comps.of(main);
+        let rt = AcesRuntime::new(
+            &out.image.module,
+            out.comps,
+            out.regions,
+            board,
+            out.stack,
+            main_comp,
+        );
+        Vm::new(Machine::new(board), out.image, rt).unwrap()
+    }
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let shared = mb.global("shared", Ty::I32, "main.c");
+        let helper = mb.func("helper", vec![], Some(Ty::I32), "x.c", |fb| {
+            let v = fb.load_global(shared, 0, 4);
+            let v2 = fb.bin(opec_ir::BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+            fb.store_global(shared, 0, Operand::Reg(v2), 4);
+            fb.ret(Operand::Reg(v2));
+        });
+        let local = mb.func("local_fn", vec![], None, "main.c", |fb| {
+            fb.store_global(shared, 0, Operand::Imm(41), 4);
+            fb.ret_void();
+        });
+        mb.func("main", vec![], Some(Ty::I32), "main.c", |fb| {
+            fb.call_void(local, vec![]);
+            let r = fb.call(helper, vec![]);
+            fb.ret(Operand::Reg(r));
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn cross_compartment_calls_switch_same_compartment_calls_do_not() {
+        let mut vm = boot(sample(), AcesStrategy::FilenameNoOpt);
+        match vm.run(FUEL).unwrap() {
+            RunOutcome::Returned { value, .. } => assert_eq!(value, Some(42)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // helper (x.c) is cross-compartment, local_fn (main.c) is not.
+        assert_eq!(vm.supervisor.stats.switches, 1);
+        assert_eq!(vm.supervisor.stats.same_comp_calls, 1);
+    }
+
+    #[test]
+    fn granted_region_is_accessible_unneeded_memory_is_not() {
+        let mut mb = ModuleBuilder::new("t");
+        let own = mb.global("own", Ty::I32, "a.c");
+        let attack = mb.func("attack", vec![], None, "a.c", |fb| {
+            let p = fb.addr_of_global(own, 0);
+            fb.store(Operand::Reg(p), Operand::Imm(1), 4); // fine
+            let evil = fb.bin(opec_ir::BinOp::Add, Operand::Reg(p), Operand::Imm(0x8000));
+            fb.store(Operand::Reg(evil), Operand::Imm(2), 4); // outside any grant
+            fb.ret_void();
+        });
+        mb.func("main", vec![], None, "main.c", |fb| {
+            fb.call_void(attack, vec![]);
+            fb.halt();
+            fb.ret_void();
+        });
+        let mut vm = boot(mb.finish(), AcesStrategy::FilenameNoOpt);
+        match vm.run(FUEL).unwrap_err() {
+            VmError::Aborted { reason, .. } => assert!(reason.contains("denied"), "{reason}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lifted_compartment_runs_privileged_and_reaches_ppb() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.peripheral("SysTick", 0xE000_E010, 0x10, true);
+        let cfg = mb.func("tick_cfg", vec![], Some(Ty::I32), "sys.c", |fb| {
+            fb.mmio_write(0xE000_E014, Operand::Imm(123), 4);
+            let v = fb.mmio_read(0xE000_E014, 4);
+            fb.ret(Operand::Reg(v));
+        });
+        mb.func("main", vec![], Some(Ty::I32), "main.c", |fb| {
+            let v = fb.call(cfg, vec![]);
+            fb.ret(Operand::Reg(v));
+        });
+        let mut vm = boot(mb.finish(), AcesStrategy::FilenameNoOpt);
+        match vm.run(FUEL).unwrap() {
+            RunOutcome::Returned { value, .. } => assert_eq!(value, Some(123)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // No emulation in ACES: the access succeeded because the
+        // compartment ran privileged, not through a fault.
+        assert_eq!(vm.stats.faults_emulated, 0);
+    }
+
+    #[test]
+    fn unprivileged_compartment_cannot_reach_ppb() {
+        let mut mb = ModuleBuilder::new("t");
+        // SysTick is NOT in the datasheet, so the analysis grants no
+        // core peripheral and the compartment is not lifted.
+        let zero_src = mb.global("zero_src", Ty::I32, "a.c");
+        let t = mb.func("sneaky", vec![], None, "a.c", |fb| {
+            let z = fb.load_global(zero_src, 0, 4);
+            let addr = fb.bin(opec_ir::BinOp::Add, Operand::Reg(z), Operand::Imm(0xE000_E014));
+            fb.store(Operand::Reg(addr), Operand::Imm(1), 4);
+            fb.ret_void();
+        });
+        mb.func("main", vec![], None, "main.c", |fb| {
+            fb.call_void(t, vec![]);
+            fb.halt();
+            fb.ret_void();
+        });
+        let mut vm = boot(mb.finish(), AcesStrategy::FilenameNoOpt);
+        match vm.run(FUEL).unwrap_err() {
+            VmError::Aborted { reason, .. } => assert!(reason.contains("bus fault"), "{reason}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn covering_all_spans_scattered_windows() {
+        let r = covering_all(&[
+            MemRegion::new(0x4000_0000, 0x400),
+            MemRegion::new(0x4002_0000, 0x400),
+        ])
+        .unwrap();
+        assert!(r.range().contains(0x4000_0000));
+        assert!(r.range().contains(0x4002_03FF));
+        assert_eq!(r.base % r.size, 0);
+        assert!(covering_all(&[]).is_none());
+    }
+}

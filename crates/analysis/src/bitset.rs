@@ -1,0 +1,114 @@
+//! A small dense bitset used by the points-to solver.
+
+/// A growable dense bitset over `usize` indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> BitSet {
+        BitSet::default()
+    }
+
+    /// Inserts `bit`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        let newly = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        newly
+    }
+
+    /// Returns `true` if `bit` is present.
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Unions `other` into `self`; returns `true` if anything changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (dst, src) in self.words.iter_mut().zip(other.words.iter()) {
+            let merged = *dst | *src;
+            if merged != *dst {
+                *dst = merged;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterates over set bit indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| if w & (1 << b) != 0 { Some(wi * 64 + b) } else { None })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> BitSet {
+        let mut s = BitSet::new();
+        for b in iter {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(1000));
+        assert!(s.contains(3));
+        assert!(s.contains(1000));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let a: BitSet = [1, 2, 3].into_iter().collect();
+        let mut b: BitSet = [2].into_iter().collect();
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: BitSet = [65, 2, 190].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 65, 190]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = BitSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Call-graph construction (paper Section 4.1).
+//!
+//! Direct edges come straight from the IR. Indirect calls are resolved
+//! in two steps, mirroring the paper: the Andersen points-to analysis
+//! provides targets where it can; sites it cannot resolve fall back to
+//! type-based matching ("we consider two function types identical if the
+//! number of arguments, the type of the structure argument, the type of
+//! the pointer argument, and the type of the return value are the
+//! same"). Per-site provenance is recorded so the Table 3 metrics
+//! (#Icall, #SVF, #Type, #Avg, #Max) fall out directly.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use opec_ir::{FuncId, Inst, Module};
+
+use crate::points_to::{PointsTo, SiteId};
+
+/// How an indirect call site's targets were determined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcallResolution {
+    /// Resolved by the points-to analysis (the paper's "#SVF").
+    PointsTo,
+    /// Resolved by the type-signature fallback (the paper's "#Type").
+    TypeBased,
+    /// No targets found by either method.
+    Unresolved,
+}
+
+/// One indirect call site and its resolution.
+#[derive(Debug, Clone)]
+pub struct IcallSite {
+    /// Site identity (function, block, instruction).
+    pub site: SiteId,
+    /// Resolved targets (empty when unresolved).
+    pub targets: BTreeSet<FuncId>,
+    /// Which method resolved it.
+    pub resolution: IcallResolution,
+}
+
+/// The program call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Deduplicated successor sets (direct and indirect edges combined).
+    succs: Vec<BTreeSet<FuncId>>,
+    /// Every indirect call site with provenance.
+    pub icall_sites: Vec<IcallSite>,
+}
+
+impl CallGraph {
+    /// Builds the call graph for `module` using `pt` for icall targets.
+    pub fn build(module: &Module, pt: &PointsTo) -> CallGraph {
+        let mut succs: Vec<BTreeSet<FuncId>> = vec![BTreeSet::new(); module.funcs.len()];
+        let mut icall_sites = Vec::new();
+        // Type-based candidate index: signature key -> functions.
+        let mut by_sig: BTreeMap<u32, BTreeSet<FuncId>> = BTreeMap::new();
+        for (fi, f) in module.funcs.iter().enumerate() {
+            let key = f.sig_key(&module.types);
+            if let Some(sid) = module.sigs.iter().position(|s| *s == key) {
+                by_sig.entry(sid as u32).or_default().insert(FuncId(fi as u32));
+            }
+        }
+        for (fi, f) in module.funcs.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            for (bi, block) in f.blocks.iter().enumerate() {
+                for (ii, inst) in block.insts.iter().enumerate() {
+                    match inst {
+                        Inst::Call { callee, .. } => {
+                            succs[fi].insert(*callee);
+                        }
+                        Inst::CallIndirect { sig, .. } => {
+                            let site =
+                                SiteId { func: fid, block: bi as u32, inst: ii as u32 };
+                            let pt_targets =
+                                pt.icall_targets.get(&site).cloned().unwrap_or_default();
+                            let (targets, resolution) = if !pt_targets.is_empty() {
+                                (pt_targets, IcallResolution::PointsTo)
+                            } else {
+                                let type_targets =
+                                    by_sig.get(&sig.0).cloned().unwrap_or_default();
+                                if type_targets.is_empty() {
+                                    (BTreeSet::new(), IcallResolution::Unresolved)
+                                } else {
+                                    (type_targets, IcallResolution::TypeBased)
+                                }
+                            };
+                            for t in &targets {
+                                succs[fi].insert(*t);
+                            }
+                            icall_sites.push(IcallSite { site, targets, resolution });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        CallGraph { succs, icall_sites }
+    }
+
+    /// Direct + resolved-indirect callees of `f`.
+    pub fn callees(&self, f: FuncId) -> &BTreeSet<FuncId> {
+        &self.succs[f.0 as usize]
+    }
+
+    /// All functions reachable from `entry` by DFS, *backtracking* when
+    /// another operation entry is reached — the paper's partitioning
+    /// traversal (Section 4.3). `entry` itself is always included; other
+    /// members of `stops` are never entered.
+    pub fn reachable_with_stops(&self, entry: FuncId, stops: &BTreeSet<FuncId>) -> BTreeSet<FuncId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![entry];
+        while let Some(f) = stack.pop() {
+            if !seen.insert(f) {
+                continue;
+            }
+            for &c in self.callees(f) {
+                if c != entry && stops.contains(&c) {
+                    continue;
+                }
+                if !seen.contains(&c) {
+                    stack.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// All functions reachable from `entry` (no stops).
+    pub fn reachable(&self, entry: FuncId) -> BTreeSet<FuncId> {
+        self.reachable_with_stops(entry, &BTreeSet::new())
+    }
+
+    /// Summary statistics over the icall sites (Table 3 columns).
+    pub fn icall_stats(&self) -> IcallStats {
+        let total = self.icall_sites.len();
+        let by_pt = self
+            .icall_sites
+            .iter()
+            .filter(|s| s.resolution == IcallResolution::PointsTo)
+            .count();
+        let by_type = self
+            .icall_sites
+            .iter()
+            .filter(|s| s.resolution == IcallResolution::TypeBased)
+            .count();
+        let resolved: Vec<usize> = self
+            .icall_sites
+            .iter()
+            .filter(|s| !s.targets.is_empty())
+            .map(|s| s.targets.len())
+            .collect();
+        let avg_targets = if resolved.is_empty() {
+            0.0
+        } else {
+            resolved.iter().sum::<usize>() as f64 / resolved.len() as f64
+        };
+        let max_targets = resolved.iter().copied().max().unwrap_or(0);
+        IcallStats { total, by_points_to: by_pt, by_type, avg_targets, max_targets }
+    }
+}
+
+/// Aggregate icall-resolution statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IcallStats {
+    /// Total indirect call sites.
+    pub total: usize,
+    /// Sites resolved by points-to.
+    pub by_points_to: usize,
+    /// Sites resolved by the type fallback.
+    pub by_type: usize,
+    /// Average number of targets over resolved sites.
+    pub avg_targets: f64,
+    /// Maximum number of targets at any resolved site.
+    pub max_targets: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opec_ir::{ModuleBuilder, Operand, Ty};
+
+    #[test]
+    fn direct_edges_and_reachability() {
+        let mut mb = ModuleBuilder::new("t");
+        let c = mb.declare("c", vec![], None, "a.c");
+        let b = mb.func("b", vec![], None, "a.c", |fb| {
+            fb.call_void(c, vec![]);
+            fb.ret_void();
+        });
+        let a = mb.func("a", vec![], None, "a.c", |fb| {
+            fb.call_void(b, vec![]);
+            fb.ret_void();
+        });
+        mb.define(c, |fb| fb.ret_void());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let cg = CallGraph::build(&m, &pt);
+        assert_eq!(cg.reachable(a), [a, b, c].into_iter().collect());
+        assert_eq!(cg.reachable(b), [b, c].into_iter().collect());
+    }
+
+    #[test]
+    fn dfs_backtracks_at_other_entries() {
+        let mut mb = ModuleBuilder::new("t");
+        let shared = mb.declare("shared", vec![], None, "a.c");
+        let task2 = mb.func("task2", vec![], None, "a.c", |fb| {
+            fb.call_void(shared, vec![]);
+            fb.ret_void();
+        });
+        let task1 = mb.func("task1", vec![], None, "a.c", |fb| {
+            fb.call_void(task2, vec![]);
+            fb.call_void(shared, vec![]);
+            fb.ret_void();
+        });
+        mb.define(shared, |fb| fb.ret_void());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let cg = CallGraph::build(&m, &pt);
+        let stops: BTreeSet<FuncId> = [task1, task2].into_iter().collect();
+        // task1's operation excludes task2 (another entry) but keeps the
+        // shared helper; the paper allows operations to share functions.
+        assert_eq!(cg.reachable_with_stops(task1, &stops), [task1, shared].into_iter().collect());
+        assert_eq!(cg.reachable_with_stops(task2, &stops), [task2, shared].into_iter().collect());
+    }
+
+    #[test]
+    fn recursion_is_supported() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.declare("rec", vec![("n", Ty::I32)], None, "a.c");
+        mb.define(f, |fb| {
+            let done = fb.block();
+            let again = fb.block();
+            fb.cond_br(Operand::Reg(fb.param(0)), again, done);
+            fb.switch_to(again);
+            fb.call_void(f, vec![Operand::Imm(0)]);
+            fb.ret_void();
+            fb.switch_to(done);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let cg = CallGraph::build(&m, &pt);
+        assert!(cg.reachable(f).contains(&f));
+    }
+
+    #[test]
+    fn icall_resolved_by_points_to_wins() {
+        let mut mb = ModuleBuilder::new("t");
+        let h1 = mb.func("h1", vec![], None, "a.c", |fb| fb.ret_void());
+        let h2 = mb.func("h2", vec![], None, "a.c", |fb| fb.ret_void());
+        let sig = mb.sig_of(h1);
+        let disp = mb.func("disp", vec![], None, "a.c", |fb| {
+            let fp = fb.addr_of_func(h1);
+            fb.icall_void(Operand::Reg(fp), sig, vec![]);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let cg = CallGraph::build(&m, &pt);
+        // Points-to resolves precisely to h1, not the type-compatible h2.
+        assert!(cg.callees(disp).contains(&h1));
+        assert!(!cg.callees(disp).contains(&h2));
+        let stats = cg.icall_stats();
+        assert_eq!(stats.total, 1);
+        assert_eq!(stats.by_points_to, 1);
+        assert_eq!(stats.by_type, 0);
+        assert_eq!(stats.max_targets, 1);
+    }
+
+    #[test]
+    fn icall_falls_back_to_type_matching() {
+        let mut mb = ModuleBuilder::new("t");
+        let h1 = mb.func("h1", vec![("x", Ty::I32)], None, "a.c", |fb| fb.ret_void());
+        let h2 = mb.func("h2", vec![("x", Ty::I32)], None, "a.c", |fb| fb.ret_void());
+        // A function with a different signature must not be matched.
+        let other =
+            mb.func("other", vec![("p", Ty::Ptr(Box::new(Ty::I8)))], None, "a.c", |fb| {
+                fb.ret_void()
+            });
+        let sig = mb.sig_of(h1);
+        // The function pointer comes from an opaque source (a parameter),
+        // so points-to cannot resolve it.
+        let disp = mb.func(
+            "disp",
+            vec![("fp", Ty::FnPtr(opec_ir::types::SigKey {
+                params: vec![opec_ir::types::ParamKind::Int],
+                ret: None,
+            }))],
+            None,
+            "a.c",
+            |fb| {
+                let fp = fb.param(0);
+                fb.icall_void(Operand::Reg(fp), sig, vec![Operand::Imm(1)]);
+                fb.ret_void();
+            },
+        );
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let cg = CallGraph::build(&m, &pt);
+        assert!(cg.callees(disp).contains(&h1));
+        assert!(cg.callees(disp).contains(&h2));
+        assert!(!cg.callees(disp).contains(&other));
+        let stats = cg.icall_stats();
+        assert_eq!(stats.by_type, 1);
+        assert_eq!(stats.max_targets, 2);
+    }
+
+    #[test]
+    fn unresolved_icall_counted() {
+        let mut mb = ModuleBuilder::new("t");
+        let sig = mb.sig(opec_ir::types::SigKey {
+            params: vec![
+                opec_ir::types::ParamKind::Ptr,
+                opec_ir::types::ParamKind::Ptr,
+                opec_ir::types::ParamKind::Int,
+            ],
+            ret: Some(opec_ir::types::ParamKind::Int),
+        });
+        mb.func("disp", vec![("fp", Ty::I32)], None, "a.c", |fb| {
+            let fp = fb.param(0);
+            fb.icall_void(
+                Operand::Reg(fp),
+                sig,
+                vec![Operand::Imm(0), Operand::Imm(0), Operand::Imm(0)],
+            );
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let cg = CallGraph::build(&m, &pt);
+        let stats = cg.icall_stats();
+        assert_eq!(stats.total, 1);
+        assert_eq!(stats.by_points_to + stats.by_type, 0);
+        assert_eq!(cg.icall_sites[0].resolution, IcallResolution::Unresolved);
+    }
+}

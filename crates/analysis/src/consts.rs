@@ -1,0 +1,504 @@
+//! Inter-procedural constant-address analysis.
+//!
+//! The paper's compiler "uses the backward slicing at IR level to examine
+//! whether the operand of a load/store instruction contains a constant
+//! memory address" (Section 4.2). In the real firmware those constants
+//! often arrive *through arguments* (`HAL_GPIO_Init(GPIOA, ...)`), so the
+//! slicing must cross calls. We implement the equivalent as a forward
+//! constant propagation over a **k-limited constant-set lattice**
+//! (`⊥ → {c₁…c₈} → ⊤`), with parameter states accumulated from every
+//! call site until fixpoint. An access whose address operand evaluates
+//! to a set of constants is reported with the whole set — conservative
+//! in the same direction as the paper's analysis (all possibly-touched
+//! peripherals become dependencies).
+
+use std::collections::{BTreeSet, HashMap};
+
+use opec_ir::module::{BinOp, UnOp};
+use opec_ir::{FuncId, Inst, Module, Operand, Terminator};
+
+/// Maximum constants tracked per value before widening to ⊤.
+const K: usize = 8;
+
+/// Dataflow lattice over one register: unreached, a small set of
+/// possible constants, or unknown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Lattice {
+    Bottom,
+    Consts(BTreeSet<u32>),
+    Top,
+}
+
+impl Lattice {
+    fn single(v: u32) -> Lattice {
+        Lattice::Consts([v].into_iter().collect())
+    }
+
+    fn join(&self, other: &Lattice) -> Lattice {
+        match (self, other) {
+            (Lattice::Bottom, x) | (x, Lattice::Bottom) => x.clone(),
+            (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
+            (Lattice::Consts(a), Lattice::Consts(b)) => {
+                let u: BTreeSet<u32> = a.union(b).copied().collect();
+                if u.len() > K {
+                    Lattice::Top
+                } else {
+                    Lattice::Consts(u)
+                }
+            }
+        }
+    }
+}
+
+/// A memory access whose address operand evaluates to constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstAccess {
+    /// Block index.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub inst: u32,
+    /// The possible constant effective addresses.
+    pub addresses: BTreeSet<u32>,
+    /// `true` for a store.
+    pub is_store: bool,
+    /// Access size in bytes.
+    pub size: u8,
+}
+
+/// Whole-module constant analysis: per-function parameter states.
+pub struct ConstAnalysis {
+    param_states: Vec<Vec<Lattice>>,
+}
+
+impl ConstAnalysis {
+    /// Runs the inter-procedural fixpoint over `module`.
+    pub fn analyze(module: &Module) -> ConstAnalysis {
+        let mut param_states: Vec<Vec<Lattice>> = module
+            .funcs
+            .iter()
+            .map(|f| vec![Lattice::Bottom; f.params.len()])
+            .collect();
+        // `main` is reached from reset with no arguments.
+        // Address-taken functions may be invoked through icalls with
+        // arbitrary arguments: widen their parameters.
+        let mut address_taken: BTreeSet<FuncId> = BTreeSet::new();
+        let mut has_icalls = false;
+        for f in &module.funcs {
+            for b in &f.blocks {
+                for i in &b.insts {
+                    match i {
+                        Inst::AddrOfFunc { func, .. } => {
+                            address_taken.insert(*func);
+                        }
+                        Inst::CallIndirect { .. } => has_icalls = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if has_icalls {
+            for f in &address_taken {
+                for p in param_states[f.0 as usize].iter_mut() {
+                    *p = Lattice::Top;
+                }
+            }
+        }
+        // Fixpoint: run each function and fold call-site argument values
+        // into callee parameter states.
+        loop {
+            let mut changed = false;
+            for (fi, func) in module.funcs.iter().enumerate() {
+                let entry = param_states[fi].clone();
+                let in_states = intra_dataflow(module, FuncId(fi as u32), &entry);
+                // Walk again to collect call-site arguments.
+                for (bi, block) in func.blocks.iter().enumerate() {
+                    let Some(state) = in_states[bi].clone() else { continue };
+                    let mut s = state;
+                    for inst in &block.insts {
+                        if let Inst::Call { callee, args, .. } = inst {
+                            for (i, arg) in args.iter().enumerate() {
+                                let v = eval(arg, &s);
+                                let slot = &mut param_states[callee.0 as usize];
+                                if i < slot.len() {
+                                    let j = slot[i].join(&v);
+                                    if j != slot[i] {
+                                        slot[i] = j;
+                                        changed = true;
+                                    }
+                                }
+                            }
+                        }
+                        transfer(inst, &mut s);
+                    }
+                }
+            }
+            if !changed {
+                return ConstAnalysis { param_states };
+            }
+        }
+    }
+
+    /// The constant-address accesses of `func`.
+    pub fn accesses(&self, module: &Module, func: FuncId) -> Vec<ConstAccess> {
+        let f = &module.funcs[func.0 as usize];
+        if f.blocks.is_empty() {
+            return Vec::new();
+        }
+        let entry = self.param_states[func.0 as usize].clone();
+        let in_states = intra_dataflow(module, func, &entry);
+        let mut out = Vec::new();
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let Some(state) = in_states[bi].clone() else { continue };
+            let mut s = state;
+            for (ii, inst) in block.insts.iter().enumerate() {
+                match inst {
+                    Inst::Load { addr, size, .. } => {
+                        if let Lattice::Consts(set) = eval(addr, &s) {
+                            out.push(ConstAccess {
+                                block: bi as u32,
+                                inst: ii as u32,
+                                addresses: set,
+                                is_store: false,
+                                size: *size,
+                            });
+                        }
+                    }
+                    Inst::Store { addr, size, .. } => {
+                        if let Lattice::Consts(set) = eval(addr, &s) {
+                            out.push(ConstAccess {
+                                block: bi as u32,
+                                inst: ii as u32,
+                                addresses: set,
+                                is_store: true,
+                                size: *size,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+                transfer(inst, &mut s);
+            }
+        }
+        out
+    }
+}
+
+/// Intra-procedural dataflow with the given entry parameter states.
+/// Returns the stable in-state of each block (`None` = unreachable).
+fn intra_dataflow(
+    module: &Module,
+    func: FuncId,
+    params: &[Lattice],
+) -> Vec<Option<Vec<Lattice>>> {
+    let f = &module.funcs[func.0 as usize];
+    let nregs = f.num_regs as usize;
+    let mut in_states: Vec<Option<Vec<Lattice>>> = vec![None; f.blocks.len()];
+    let mut entry = vec![Lattice::Bottom; nregs];
+    for (i, p) in params.iter().enumerate().take(nregs) {
+        entry[i] = p.clone();
+    }
+    in_states[0] = Some(entry);
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        let Some(state) = in_states[b].clone() else { continue };
+        let mut s = state;
+        for inst in &f.blocks[b].insts {
+            transfer(inst, &mut s);
+        }
+        let succs: Vec<usize> = match &f.blocks[b].term {
+            Terminator::Br(t) => vec![t.0 as usize],
+            Terminator::CondBr { then_to, else_to, .. } => {
+                vec![then_to.0 as usize, else_to.0 as usize]
+            }
+            Terminator::Ret(_) | Terminator::Unreachable => vec![],
+        };
+        for succ in succs {
+            let merged = match &in_states[succ] {
+                None => s.clone(),
+                Some(old) => old.iter().zip(s.iter()).map(|(a, b)| a.join(b)).collect(),
+            };
+            if in_states[succ].as_ref() != Some(&merged) {
+                in_states[succ] = Some(merged);
+                work.push(succ);
+            }
+        }
+    }
+    in_states
+}
+
+fn eval(op: &Operand, s: &[Lattice]) -> Lattice {
+    match op {
+        Operand::Imm(v) => Lattice::single(*v),
+        Operand::Reg(r) => s.get(r.0 as usize).cloned().unwrap_or(Lattice::Top),
+    }
+}
+
+fn transfer(inst: &Inst, s: &mut [Lattice]) {
+    let set = |s: &mut [Lattice], r: opec_ir::RegId, v: Lattice| {
+        if let Some(slot) = s.get_mut(r.0 as usize) {
+            *slot = v;
+        }
+    };
+    match inst {
+        Inst::Mov { dst, src } => {
+            let v = eval(src, s);
+            set(s, *dst, v);
+        }
+        Inst::Un { dst, op, src } => {
+            let v = match eval(src, s) {
+                Lattice::Consts(xs) => {
+                    let mapped: BTreeSet<u32> = xs
+                        .iter()
+                        .map(|&x| match op {
+                            UnOp::Neg => x.wrapping_neg(),
+                            UnOp::Not => !x,
+                        })
+                        .collect();
+                    Lattice::Consts(mapped)
+                }
+                other => other_widen(other),
+            };
+            set(s, *dst, v);
+        }
+        Inst::Bin { dst, op, lhs, rhs } => {
+            let v = match (eval(lhs, s), eval(rhs, s)) {
+                (Lattice::Consts(a), Lattice::Consts(b)) => {
+                    let mut out = BTreeSet::new();
+                    'outer: for &x in &a {
+                        for &y in &b {
+                            out.insert(eval_bin(*op, x, y));
+                            if out.len() > K {
+                                break 'outer;
+                            }
+                        }
+                    }
+                    if out.len() > K {
+                        Lattice::Top
+                    } else {
+                        Lattice::Consts(out)
+                    }
+                }
+                (Lattice::Bottom, _) | (_, Lattice::Bottom) => Lattice::Bottom,
+                _ => Lattice::Top,
+            };
+            set(s, *dst, v);
+        }
+        Inst::AddrOfGlobal { dst, .. }
+        | Inst::AddrOfLocal { dst, .. }
+        | Inst::AddrOfFunc { dst, .. }
+        | Inst::LoadGlobal { dst, .. }
+        | Inst::Load { dst, .. } => set(s, *dst, Lattice::Top),
+        Inst::Call { dst, .. } | Inst::CallIndirect { dst, .. } => {
+            if let Some(d) = dst {
+                set(s, *d, Lattice::Top);
+            }
+        }
+        Inst::StoreGlobal { .. }
+        | Inst::Store { .. }
+        | Inst::Memcpy { .. }
+        | Inst::Memset { .. }
+        | Inst::Svc { .. }
+        | Inst::Halt
+        | Inst::Nop => {}
+    }
+}
+
+fn other_widen(l: Lattice) -> Lattice {
+    match l {
+        Lattice::Bottom => Lattice::Bottom,
+        _ => Lattice::Top,
+    }
+}
+
+fn eval_bin(op: BinOp, a: u32, b: u32) -> u32 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        // DIV by zero yields 0 (a Cortex-M with DIV_0_TRP clear).
+        BinOp::UDiv => a.checked_div(b).unwrap_or(0),
+        BinOp::URem => a.checked_rem(b).unwrap_or(0),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b),
+        BinOp::Shr => a.wrapping_shr(b),
+        BinOp::CmpEq => u32::from(a == b),
+        BinOp::CmpNe => u32::from(a != b),
+        BinOp::CmpLtU => u32::from(a < b),
+        BinOp::CmpLtS => u32::from((a as i32) < (b as i32)),
+    }
+}
+
+/// Convenience: full analysis, then one function's accesses.
+pub fn constant_accesses(module: &Module, func: FuncId) -> Vec<ConstAccess> {
+    ConstAnalysis::analyze(module).accesses(module, func)
+}
+
+/// Convenience: full analysis, accesses for every function.
+pub fn all_constant_accesses(module: &Module) -> HashMap<FuncId, Vec<ConstAccess>> {
+    let ca = ConstAnalysis::analyze(module);
+    (0..module.funcs.len())
+        .map(|i| {
+            let f = FuncId(i as u32);
+            (f, ca.accesses(module, f))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opec_ir::{ModuleBuilder, Ty};
+
+    #[test]
+    fn mmio_helper_address_is_constant() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.func("drv", vec![], None, "drv.c", |fb| {
+            let v = fb.mmio_read(0x4000_4400, 4);
+            fb.mmio_write(0x4000_4404, opec_ir::Operand::Reg(v), 4);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let accs = constant_accesses(&m, f);
+        assert_eq!(accs.len(), 2);
+        assert_eq!(accs[0].addresses, [0x4000_4400].into_iter().collect());
+        assert!(!accs[0].is_store);
+        assert_eq!(accs[1].addresses, [0x4000_4404].into_iter().collect());
+        assert!(accs[1].is_store);
+    }
+
+    #[test]
+    fn offset_arithmetic_is_folded() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.func("drv", vec![], None, "drv.c", |fb| {
+            let base = fb.imm(0x4001_1000);
+            let addr = fb.bin(
+                BinOp::Add,
+                opec_ir::Operand::Reg(base),
+                opec_ir::Operand::Imm(0x24),
+            );
+            fb.store(opec_ir::Operand::Reg(addr), opec_ir::Operand::Imm(1), 4);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let accs = constant_accesses(&m, f);
+        assert_eq!(accs.len(), 1);
+        assert_eq!(accs[0].addresses, [0x4001_1024].into_iter().collect());
+    }
+
+    #[test]
+    fn constants_flow_through_call_arguments() {
+        // The HAL_GPIO_Init pattern: the base address is computed from
+        // a parameter, and the callers pass constants.
+        let mut mb = ModuleBuilder::new("t");
+        let init = mb.func("gpio_init", vec![("port", Ty::I32)], None, "hal.c", |fb| {
+            let stride =
+                fb.bin(BinOp::Mul, opec_ir::Operand::Reg(fb.param(0)), opec_ir::Operand::Imm(0x400));
+            let addr = fb.bin(
+                BinOp::Add,
+                opec_ir::Operand::Imm(0x4002_0000),
+                opec_ir::Operand::Reg(stride),
+            );
+            fb.store(opec_ir::Operand::Reg(addr), opec_ir::Operand::Imm(0x5555), 4);
+            fb.ret_void();
+        });
+        mb.func("main", vec![], None, "main.c", |fb| {
+            fb.call_void(init, vec![opec_ir::Operand::Imm(0)]);
+            fb.call_void(init, vec![opec_ir::Operand::Imm(3)]);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let accs = constant_accesses(&m, init);
+        assert_eq!(accs.len(), 1);
+        // Both possible ports are reported.
+        assert_eq!(
+            accs[0].addresses,
+            [0x4002_0000, 0x4002_0C00].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn divergent_runtime_values_are_not_constant() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("opaque", Ty::I32, "a.c");
+        let f = mb.func("drv", vec![], None, "drv.c", |fb| {
+            let addr = fb.load_global(g, 0, 4);
+            let _ = fb.load(opec_ir::Operand::Reg(addr), 4);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        assert!(constant_accesses(&m, f).is_empty());
+    }
+
+    #[test]
+    fn widening_beyond_k_constants() {
+        let mut mb = ModuleBuilder::new("t");
+        let sink = mb.declare("sink", vec![("a", Ty::I32)], None, "a.c");
+        mb.define(sink, |fb| {
+            let _ = fb.load(opec_ir::Operand::Reg(fb.param(0)), 4);
+            fb.ret_void();
+        });
+        mb.func("main", vec![], None, "a.c", |fb| {
+            for i in 0..12u32 {
+                fb.call_void(sink, vec![opec_ir::Operand::Imm(0x4000_0000 + i * 0x400)]);
+            }
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        // More than K call-site constants widen to ⊤: no reported
+        // access (the conservative fallback the paper's slicing also
+        // has when the address set explodes).
+        assert!(constant_accesses(&m, sink).is_empty());
+    }
+
+    #[test]
+    fn icall_targets_get_widened_params() {
+        let mut mb = ModuleBuilder::new("t");
+        let h = mb.func("handler", vec![("x", Ty::I32)], None, "a.c", |fb| {
+            let _ = fb.load(opec_ir::Operand::Reg(fb.param(0)), 4);
+            fb.ret_void();
+        });
+        let sig = mb.sig_of(h);
+        mb.func("main", vec![], None, "a.c", |fb| {
+            let fp = fb.addr_of_func(h);
+            fb.icall_void(opec_ir::Operand::Reg(fp), sig, vec![opec_ir::Operand::Imm(0x4000_0000)]);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        // The icall widens handler's parameter, so no constant access is
+        // claimed (sound, conservative).
+        assert!(constant_accesses(&m, h).is_empty());
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.func("f", vec![("n", Ty::I32)], None, "a.c", |fb| {
+            let i = fb.reg();
+            fb.mov(i, opec_ir::Operand::Imm(0));
+            let head = fb.block();
+            let body = fb.block();
+            let exit = fb.block();
+            fb.br(head);
+            fb.switch_to(head);
+            let c = fb.bin(
+                BinOp::CmpLtU,
+                opec_ir::Operand::Reg(i),
+                opec_ir::Operand::Reg(fb.param(0)),
+            );
+            fb.cond_br(opec_ir::Operand::Reg(c), body, exit);
+            fb.switch_to(body);
+            let _ = fb.mmio_read(0x4002_0014, 4);
+            let i2 = fb.bin(BinOp::Add, opec_ir::Operand::Reg(i), opec_ir::Operand::Imm(1));
+            fb.mov(i, opec_ir::Operand::Reg(i2));
+            fb.br(head);
+            fb.switch_to(exit);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let accs = constant_accesses(&m, f);
+        assert_eq!(accs.len(), 1);
+        assert_eq!(accs[0].addresses, [0x4002_0014].into_iter().collect());
+    }
+}

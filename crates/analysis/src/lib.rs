@@ -1,0 +1,29 @@
+//! Static analyses used by OPEC-Compiler (paper Sections 4.1–4.2).
+//!
+//! * [`points_to`] — an inclusion-based (Andersen) points-to analysis
+//!   with on-the-fly indirect-call resolution; the stand-in for SVF.
+//!   Like SVF it is conservative: sound but over-approximate, which is
+//!   what makes the paper's false-positive effects reproducible.
+//! * [`callgraph`] — call-graph construction. Indirect calls are
+//!   resolved by points-to first and by type-signature matching as a
+//!   fallback; per-site provenance is recorded so Table 3 can be
+//!   regenerated.
+//! * [`consts`] — intra-procedural constant propagation, the backward
+//!   slicing stand-in that recovers constant peripheral addresses from
+//!   load/store operands.
+//! * [`resources`] — per-function resource dependency: directly accessed
+//!   globals (def-use), indirectly accessed globals (points-to on
+//!   load/store pointer operands), and peripherals discovered by
+//!   constant-address slicing matched against the datasheet list.
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod callgraph;
+pub mod consts;
+pub mod points_to;
+pub mod resources;
+
+pub use callgraph::{CallGraph, IcallResolution, IcallSite};
+pub use points_to::{AbsObj, PointsTo, PointsToStats};
+pub use resources::{FuncResources, ResourceAnalysis};

@@ -1,0 +1,572 @@
+//! Inclusion-based (Andersen) points-to analysis with on-the-fly
+//! indirect-call resolution — the stand-in for SVF (paper Section 4.1).
+//!
+//! The analysis is flow- and field-insensitive and conservative, like the
+//! paper's: "the results of the point-to analysis are conservative and
+//! over-approximated, which contains false positives. Otherwise, an
+//! unsound call graph will bring dependency miss to operations."
+//!
+//! Abstract objects are globals, stack locals, and functions; pointer
+//! variables are virtual registers, object contents ("cells"), and
+//! function return values. The usual four constraint forms are derived
+//! from the IR (address-of, copy, load, store) plus inter-procedural
+//! copies for calls. Indirect calls are resolved while solving: whenever
+//! a function object reaches an icall's pointer, argument/return copies
+//! for that target are added and solving continues to fixpoint.
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+use opec_ir::{FuncId, GlobalId, Inst, LocalId, Module, Operand, RegId, Terminator};
+
+use crate::bitset::BitSet;
+
+/// An abstract memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbsObj {
+    /// A global variable.
+    Global(GlobalId),
+    /// A stack local of a function.
+    Local(FuncId, LocalId),
+    /// A function (the target of function pointers).
+    Func(FuncId),
+}
+
+/// Identifies an indirect call site: function, block index, instruction
+/// index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId {
+    /// Enclosing function.
+    pub func: FuncId,
+    /// Block index within the function.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub inst: u32,
+}
+
+/// Solver statistics (Table 3 reports analysis time).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PointsToStats {
+    /// Number of pointer nodes.
+    pub nodes: usize,
+    /// Number of abstract objects.
+    pub objects: usize,
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Wall-clock solving time.
+    pub duration: Duration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum NodeKey {
+    Reg(FuncId, RegId),
+    Cell(u32),
+    Ret(FuncId),
+    Temp(u32),
+}
+
+struct Solver<'m> {
+    module: &'m Module,
+    node_ids: HashMap<NodeKey, usize>,
+    nodes: Vec<NodeKey>,
+    objs: Vec<AbsObj>,
+    obj_ids: HashMap<AbsObj, usize>,
+    pts: Vec<BitSet>,
+    succ: Vec<BTreeSet<usize>>,
+    loads: Vec<(usize, usize)>,
+    stores: Vec<(usize, usize)>,
+    icalls: Vec<IcallConstraint>,
+    temp_count: u32,
+}
+
+struct IcallConstraint {
+    site: SiteId,
+    fptr: usize,
+    args: Vec<Option<usize>>,
+    dst: Option<usize>,
+    wired: BTreeSet<FuncId>,
+}
+
+/// The analysis result.
+pub struct PointsTo {
+    reg_pts: HashMap<(FuncId, RegId), BTreeSet<AbsObj>>,
+    cell_pts: HashMap<AbsObj, BTreeSet<AbsObj>>,
+    /// Targets resolved per indirect call site by the points-to analysis.
+    pub icall_targets: HashMap<SiteId, BTreeSet<FuncId>>,
+    /// Solver statistics.
+    pub stats: PointsToStats,
+}
+
+impl PointsTo {
+    /// Runs the analysis over `module`.
+    pub fn analyze(module: &Module) -> PointsTo {
+        let start = Instant::now();
+        let mut s = Solver {
+            module,
+            node_ids: HashMap::new(),
+            nodes: Vec::new(),
+            objs: Vec::new(),
+            obj_ids: HashMap::new(),
+            pts: Vec::new(),
+            succ: Vec::new(),
+            loads: Vec::new(),
+            stores: Vec::new(),
+            icalls: Vec::new(),
+            temp_count: 0,
+        };
+        s.generate();
+        let rounds = s.solve();
+        let mut reg_pts = HashMap::new();
+        let mut cell_pts = HashMap::new();
+        for (i, key) in s.nodes.iter().enumerate() {
+            let set: BTreeSet<AbsObj> = s.pts[i].iter().map(|o| s.objs[o]).collect();
+            match *key {
+                NodeKey::Reg(f, r)
+                    if !set.is_empty() => {
+                        reg_pts.insert((f, r), set);
+                    }
+                NodeKey::Cell(o)
+                    if !set.is_empty() => {
+                        cell_pts.insert(s.objs[o as usize], set);
+                    }
+                _ => {}
+            }
+        }
+        let icall_targets =
+            s.icalls.iter().map(|c| (c.site, c.wired.clone())).collect::<HashMap<_, _>>();
+        PointsTo {
+            reg_pts,
+            cell_pts,
+            icall_targets,
+            stats: PointsToStats {
+                nodes: s.nodes.len(),
+                objects: s.objs.len(),
+                rounds,
+                duration: start.elapsed(),
+            },
+        }
+    }
+
+    /// The points-to set of register `r` in function `f` (empty set if
+    /// the register holds no pointers).
+    pub fn reg(&self, f: FuncId, r: RegId) -> BTreeSet<AbsObj> {
+        self.reg_pts.get(&(f, r)).cloned().unwrap_or_default()
+    }
+
+    /// The points-to set of the *contents* of an abstract object.
+    pub fn cell(&self, obj: AbsObj) -> BTreeSet<AbsObj> {
+        self.cell_pts.get(&obj).cloned().unwrap_or_default()
+    }
+
+    /// Globals that `f`'s register `r` may point to.
+    pub fn reg_globals(&self, f: FuncId, r: RegId) -> BTreeSet<GlobalId> {
+        self.reg(f, r)
+            .into_iter()
+            .filter_map(|o| match o {
+                AbsObj::Global(g) => Some(g),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl<'m> Solver<'m> {
+    fn node(&mut self, key: NodeKey) -> usize {
+        if let Some(&i) = self.node_ids.get(&key) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(key);
+        self.node_ids.insert(key, i);
+        self.pts.push(BitSet::new());
+        self.succ.push(BTreeSet::new());
+        i
+    }
+
+    fn obj(&mut self, obj: AbsObj) -> usize {
+        if let Some(&i) = self.obj_ids.get(&obj) {
+            return i;
+        }
+        let i = self.objs.len();
+        self.objs.push(obj);
+        self.obj_ids.insert(obj, i);
+        i
+    }
+
+    fn temp(&mut self) -> usize {
+        let t = self.temp_count;
+        self.temp_count += 1;
+        self.node(NodeKey::Temp(t))
+    }
+
+    fn copy(&mut self, from: usize, to: usize) -> bool {
+        if from == to {
+            return false;
+        }
+        self.succ[from].insert(to)
+    }
+
+    fn base(&mut self, node: usize, obj: AbsObj) {
+        let o = self.obj(obj);
+        self.pts[node].insert(o);
+    }
+
+    fn op_node(&mut self, f: FuncId, op: &Operand) -> Option<usize> {
+        match op {
+            Operand::Reg(r) => Some(self.node(NodeKey::Reg(f, *r))),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    fn generate(&mut self) {
+        for (fi, func) in self.module.funcs.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            for (bi, block) in func.blocks.iter().enumerate() {
+                for (ii, inst) in block.insts.iter().enumerate() {
+                    self.gen_inst(fid, bi as u32, ii as u32, inst);
+                }
+                if let Terminator::Ret(Some(Operand::Reg(r))) = block.term {
+                    let from = self.node(NodeKey::Reg(fid, r));
+                    let to = self.node(NodeKey::Ret(fid));
+                    self.copy(from, to);
+                }
+            }
+        }
+    }
+
+    fn gen_inst(&mut self, f: FuncId, block: u32, inst_idx: u32, inst: &Inst) {
+        match inst {
+            Inst::Mov { dst, src } | Inst::Un { dst, src, .. } => {
+                let d = self.node(NodeKey::Reg(f, *dst));
+                if let Some(s) = self.op_node(f, src) {
+                    self.copy(s, d);
+                }
+            }
+            Inst::Bin { dst, lhs, rhs, .. } => {
+                // Pointer arithmetic: either operand may carry the
+                // pointer (field-insensitive, so offsets are dropped).
+                let d = self.node(NodeKey::Reg(f, *dst));
+                for op in [lhs, rhs] {
+                    if let Some(s) = self.op_node(f, op) {
+                        self.copy(s, d);
+                    }
+                }
+            }
+            Inst::AddrOfGlobal { dst, global, .. } => {
+                let d = self.node(NodeKey::Reg(f, *dst));
+                self.base(d, AbsObj::Global(*global));
+            }
+            Inst::AddrOfLocal { dst, local, .. } => {
+                let d = self.node(NodeKey::Reg(f, *dst));
+                self.base(d, AbsObj::Local(f, *local));
+            }
+            Inst::AddrOfFunc { dst, func } => {
+                let d = self.node(NodeKey::Reg(f, *dst));
+                self.base(d, AbsObj::Func(*func));
+            }
+            Inst::LoadGlobal { dst, global, .. } => {
+                let o = self.obj(AbsObj::Global(*global));
+                let cell = self.node(NodeKey::Cell(o as u32));
+                let d = self.node(NodeKey::Reg(f, *dst));
+                self.copy(cell, d);
+            }
+            Inst::StoreGlobal { global, value, .. } => {
+                if let Some(v) = self.op_node(f, value) {
+                    let o = self.obj(AbsObj::Global(*global));
+                    let cell = self.node(NodeKey::Cell(o as u32));
+                    self.copy(v, cell);
+                }
+            }
+            Inst::Load { dst, addr, .. } => {
+                if let Some(a) = self.op_node(f, addr) {
+                    let d = self.node(NodeKey::Reg(f, *dst));
+                    self.loads.push((a, d));
+                }
+            }
+            Inst::Store { addr, value, .. } => {
+                if let (Some(a), Some(v)) =
+                    (self.op_node(f, addr), self.op_node(f, value))
+                {
+                    self.stores.push((a, v));
+                }
+            }
+            Inst::Call { dst, callee, args } => {
+                self.wire_call(f, *callee, args, *dst);
+            }
+            Inst::CallIndirect { dst, fptr, args, .. } => {
+                if let Some(a) = self.op_node(f, fptr) {
+                    let arg_nodes = args.iter().map(|op| self.op_node(f, op)).collect();
+                    let dst_node = dst.map(|d| self.node(NodeKey::Reg(f, d)));
+                    self.icalls.push(IcallConstraint {
+                        site: SiteId { func: f, block, inst: inst_idx },
+                        fptr: a,
+                        args: arg_nodes,
+                        dst: dst_node,
+                        wired: BTreeSet::new(),
+                    });
+                }
+            }
+            Inst::Memcpy { dst, src, .. } => {
+                // *dst ⊇ *src via a temporary: t ⊇ *src; *dst ⊇ t.
+                if let (Some(d), Some(s)) = (self.op_node(f, dst), self.op_node(f, src)) {
+                    let t = self.temp();
+                    self.loads.push((s, t));
+                    self.stores.push((d, t));
+                }
+            }
+            Inst::Memset { .. }
+            | Inst::Svc { .. }
+            | Inst::Halt
+            | Inst::Nop => {}
+        }
+    }
+
+    fn wire_call(&mut self, caller: FuncId, callee: FuncId, args: &[Operand], dst: Option<RegId>) {
+        let param_count = self.module.funcs[callee.0 as usize].params.len();
+        for (i, arg) in args.iter().enumerate().take(param_count) {
+            if let Some(a) = self.op_node(caller, arg) {
+                let p = self.node(NodeKey::Reg(callee, RegId(i as u32)));
+                self.copy(a, p);
+            }
+        }
+        if let Some(d) = dst {
+            let r = self.node(NodeKey::Ret(callee));
+            let dn = self.node(NodeKey::Reg(caller, d));
+            self.copy(r, dn);
+        }
+    }
+
+    fn cell_of(&mut self, obj_idx: usize) -> Option<usize> {
+        match self.objs[obj_idx] {
+            AbsObj::Func(_) => None,
+            _ => Some(self.node(NodeKey::Cell(obj_idx as u32))),
+        }
+    }
+
+    fn solve(&mut self) -> usize {
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            // 1. Propagate along copy edges to a local fixpoint.
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for from in 0..self.nodes.len() {
+                    if self.pts[from].is_empty() {
+                        continue;
+                    }
+                    let src = self.pts[from].clone();
+                    let succs: Vec<usize> = self.succ[from].iter().copied().collect();
+                    for to in succs {
+                        if self.pts[to].union_with(&src) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            // 2. Expand complex constraints; repeat if new edges appear.
+            let mut new_edges = false;
+            for li in 0..self.loads.len() {
+                let (addr, dst) = self.loads[li];
+                let objs: Vec<usize> = self.pts[addr].iter().collect();
+                for o in objs {
+                    if let Some(cell) = self.cell_of(o) {
+                        if self.copy(cell, dst) {
+                            new_edges = true;
+                        }
+                    }
+                }
+            }
+            for si in 0..self.stores.len() {
+                let (addr, value) = self.stores[si];
+                let objs: Vec<usize> = self.pts[addr].iter().collect();
+                for o in objs {
+                    if let Some(cell) = self.cell_of(o) {
+                        if self.copy(value, cell) {
+                            new_edges = true;
+                        }
+                    }
+                }
+            }
+            for ci in 0..self.icalls.len() {
+                let fptr = self.icalls[ci].fptr;
+                let targets: Vec<FuncId> = self.pts[fptr]
+                    .iter()
+                    .filter_map(|o| match self.objs[o] {
+                        AbsObj::Func(f) => Some(f),
+                        _ => None,
+                    })
+                    .collect();
+                for t in targets {
+                    if self.icalls[ci].wired.contains(&t) {
+                        continue;
+                    }
+                    self.icalls[ci].wired.insert(t);
+                    new_edges = true;
+                    let args = self.icalls[ci].args.clone();
+                    let dst = self.icalls[ci].dst;
+                    let param_count = self.module.funcs[t.0 as usize].params.len();
+                    for (i, arg) in args.iter().enumerate().take(param_count) {
+                        if let Some(a) = *arg {
+                            let p = self.node(NodeKey::Reg(t, RegId(i as u32)));
+                            self.copy(a, p);
+                        }
+                    }
+                    if let Some(d) = dst {
+                        let r = self.node(NodeKey::Ret(t));
+                        self.copy(r, d);
+                    }
+                }
+            }
+            if !new_edges {
+                return rounds;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opec_ir::{ModuleBuilder, Ty};
+    use opec_ir::module::BinOp;
+
+    #[test]
+    fn addr_of_global_flows_through_mov_and_call() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("buf", Ty::Array(Box::new(Ty::I8), 16), "a.c");
+        let callee = mb.declare("use_ptr", vec![("p", Ty::Ptr(Box::new(Ty::I8)))], None, "a.c");
+        let caller = mb.func("caller", vec![], None, "a.c", |fb| {
+            let p = fb.addr_of_global(g, 0);
+            fb.call_void(callee, vec![opec_ir::Operand::Reg(p)]);
+            fb.ret_void();
+        });
+        mb.define(callee, |fb| {
+            let p = fb.param(0);
+            fb.store(opec_ir::Operand::Reg(p), opec_ir::Operand::Imm(0), 1);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let _ = caller;
+        // Parameter register 0 of callee points to the global.
+        assert_eq!(
+            pt.reg_globals(callee, RegId(0)).into_iter().collect::<Vec<_>>(),
+            vec![g]
+        );
+    }
+
+    #[test]
+    fn pointer_stored_in_global_and_reloaded() {
+        let mut mb = ModuleBuilder::new("t");
+        let target = mb.global("target", Ty::I32, "a.c");
+        let holder = mb.global("holder", Ty::Ptr(Box::new(Ty::I32)), "a.c");
+        let writer = mb.func("writer", vec![], None, "a.c", |fb| {
+            let p = fb.addr_of_global(target, 0);
+            fb.store_global(holder, 0, opec_ir::Operand::Reg(p), 4);
+            fb.ret_void();
+        });
+        let reader = mb.func("reader", vec![], None, "a.c", |fb| {
+            let p = fb.load_global(holder, 0, 4);
+            let _v = fb.load(opec_ir::Operand::Reg(p), 4);
+            fb.ret_void();
+        });
+        let _ = writer;
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        // The reloaded pointer points to `target`.
+        let set = pt.reg_globals(reader, RegId(0));
+        assert!(set.contains(&target));
+    }
+
+    #[test]
+    fn icall_resolved_on_the_fly() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("hit", Ty::I32, "a.c");
+        let handler = mb.func("handler", vec![], None, "a.c", |fb| {
+            fb.store_global(g, 0, opec_ir::Operand::Imm(1), 4);
+            fb.ret_void();
+        });
+        let sig = mb.sig_of(handler);
+        let disp = mb.func("dispatch", vec![], None, "a.c", |fb| {
+            let fp = fb.addr_of_func(handler);
+            fb.icall_void(opec_ir::Operand::Reg(fp), sig, vec![]);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let site = SiteId { func: disp, block: 0, inst: 1 };
+        assert_eq!(
+            pt.icall_targets.get(&site).cloned().unwrap_or_default(),
+            [handler].into_iter().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn pointer_arith_keeps_target() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("arr", Ty::Array(Box::new(Ty::I32), 8), "a.c");
+        let f = mb.func("f", vec![], None, "a.c", |fb| {
+            let p = fb.addr_of_global(g, 0);
+            let q = fb.bin(BinOp::Add, opec_ir::Operand::Reg(p), opec_ir::Operand::Imm(4));
+            let _v = fb.load(opec_ir::Operand::Reg(q), 4);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        assert!(pt.reg_globals(f, RegId(1)).contains(&g));
+    }
+
+    #[test]
+    fn memcpy_propagates_cell_contents() {
+        let mut mb = ModuleBuilder::new("t");
+        let target = mb.global("the_target", Ty::I32, "a.c");
+        let src = mb.global("src_slot", Ty::Ptr(Box::new(Ty::I32)), "a.c");
+        let dst = mb.global("dst_slot", Ty::Ptr(Box::new(Ty::I32)), "a.c");
+        mb.func("seed", vec![], None, "a.c", |fb| {
+            let p = fb.addr_of_global(target, 0);
+            fb.store_global(src, 0, opec_ir::Operand::Reg(p), 4);
+            fb.ret_void();
+        });
+        mb.func("copyit", vec![], None, "a.c", |fb| {
+            let d = fb.addr_of_global(dst, 0);
+            let s = fb.addr_of_global(src, 0);
+            fb.memcpy(
+                opec_ir::Operand::Reg(d),
+                opec_ir::Operand::Reg(s),
+                opec_ir::Operand::Imm(4),
+            );
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        assert!(pt.cell(AbsObj::Global(dst)).contains(&AbsObj::Global(target)));
+    }
+
+    #[test]
+    fn return_value_flows_to_caller() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("singleton", Ty::I32, "a.c");
+        let getter =
+            mb.func("get", vec![], Some(Ty::Ptr(Box::new(Ty::I32))), "a.c", |fb| {
+                let p = fb.addr_of_global(g, 0);
+                fb.ret(opec_ir::Operand::Reg(p));
+            });
+        let user = mb.func("user", vec![], None, "a.c", |fb| {
+            let p = fb.call(getter, vec![]);
+            let _ = fb.load(opec_ir::Operand::Reg(p), 4);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        assert!(pt.reg_globals(user, RegId(0)).contains(&g));
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("empty", vec![], None, "a.c", |fb| fb.ret_void());
+        let pt = PointsTo::analyze(&mb.finish());
+        assert!(pt.stats.rounds >= 1);
+    }
+}

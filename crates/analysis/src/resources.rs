@@ -1,0 +1,241 @@
+//! Per-function resource dependency analysis (paper Section 4.2).
+//!
+//! For every function this computes:
+//!
+//! * the global variables it accesses **directly** (def-use on
+//!   `LoadGlobal`/`StoreGlobal`);
+//! * the globals it accesses **indirectly** (points-to sets of the
+//!   pointer operands of `Load`/`Store`/`Memcpy`/`Memset`);
+//! * the peripherals it touches, discovered by constant-address analysis
+//!   and matched against the datasheet list, split into general
+//!   peripherals and core peripherals (PPB) exactly as the compiler
+//!   needs for privilege decisions.
+
+use std::collections::BTreeSet;
+
+use opec_ir::{FuncId, GlobalId, Inst, Module, Operand, RegId};
+
+use crate::consts::ConstAnalysis;
+use crate::points_to::PointsTo;
+
+/// Index into `Module::peripherals`.
+pub type PeripheralIdx = usize;
+
+/// Resources needed by one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncResources {
+    /// Globals read (directly or through pointers).
+    pub globals_read: BTreeSet<GlobalId>,
+    /// Globals written (directly or through pointers).
+    pub globals_written: BTreeSet<GlobalId>,
+    /// General peripherals accessed (indices into the datasheet list).
+    pub peripherals: BTreeSet<PeripheralIdx>,
+    /// Core (PPB) peripherals accessed; these force either privileged
+    /// execution (ACES) or instruction emulation (OPEC).
+    pub core_peripherals: BTreeSet<PeripheralIdx>,
+}
+
+impl FuncResources {
+    /// All globals the function depends on (read or written).
+    pub fn globals(&self) -> BTreeSet<GlobalId> {
+        self.globals_read.union(&self.globals_written).copied().collect()
+    }
+
+    /// Merges `other` into `self` (used when merging functions into an
+    /// operation or compartment).
+    pub fn merge(&mut self, other: &FuncResources) {
+        self.globals_read.extend(&other.globals_read);
+        self.globals_written.extend(&other.globals_written);
+        self.peripherals.extend(&other.peripherals);
+        self.core_peripherals.extend(&other.core_peripherals);
+    }
+}
+
+/// Resource analysis over a whole module.
+#[derive(Debug, Clone)]
+pub struct ResourceAnalysis {
+    per_func: Vec<FuncResources>,
+}
+
+impl ResourceAnalysis {
+    /// Runs the analysis using a previously computed points-to result.
+    pub fn analyze(module: &Module, pt: &PointsTo) -> ResourceAnalysis {
+        let consts = ConstAnalysis::analyze(module);
+        let per_func = (0..module.funcs.len())
+            .map(|i| analyze_func(module, pt, &consts, FuncId(i as u32)))
+            .collect();
+        ResourceAnalysis { per_func }
+    }
+
+    /// Resources of function `f`.
+    pub fn of(&self, f: FuncId) -> &FuncResources {
+        &self.per_func[f.0 as usize]
+    }
+
+    /// Merged resources of a set of functions.
+    pub fn merged(&self, funcs: impl IntoIterator<Item = FuncId>) -> FuncResources {
+        let mut out = FuncResources::default();
+        for f in funcs {
+            out.merge(self.of(f));
+        }
+        out
+    }
+}
+
+fn analyze_func(
+    module: &Module,
+    pt: &PointsTo,
+    consts: &ConstAnalysis,
+    fid: FuncId,
+) -> FuncResources {
+    let f = &module.funcs[fid.0 as usize];
+    let mut res = FuncResources::default();
+    // Constant-address peripheral accesses (all possible constants of
+    // each access are attributed — conservative like the paper's
+    // slicing).
+    for acc in consts.accesses(module, fid) {
+        for addr in &acc.addresses {
+            if let Some(pi) = module.peripherals.iter().position(|p| p.contains(*addr)) {
+                if module.peripherals[pi].is_core {
+                    res.core_peripherals.insert(pi);
+                } else {
+                    res.peripherals.insert(pi);
+                }
+            }
+        }
+    }
+    let globals_of = |op: &Operand| -> BTreeSet<GlobalId> {
+        match op {
+            Operand::Reg(r) => pt.reg_globals(fid, *r),
+            Operand::Imm(_) => BTreeSet::new(),
+        }
+    };
+    for block in &f.blocks {
+        for inst in &block.insts {
+            match inst {
+                Inst::LoadGlobal { global, .. } => {
+                    res.globals_read.insert(*global);
+                }
+                Inst::StoreGlobal { global, .. } => {
+                    res.globals_written.insert(*global);
+                }
+                Inst::Load { addr, .. } => {
+                    res.globals_read.extend(globals_of(addr));
+                }
+                Inst::Store { addr, .. } => {
+                    res.globals_written.extend(globals_of(addr));
+                }
+                Inst::Memcpy { dst, src, .. } => {
+                    res.globals_written.extend(globals_of(dst));
+                    res.globals_read.extend(globals_of(src));
+                }
+                Inst::Memset { dst, .. } => {
+                    res.globals_written.extend(globals_of(dst));
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = RegId(0);
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opec_ir::{ModuleBuilder, Operand, Ty};
+
+    #[test]
+    fn direct_global_accesses_split_read_write() {
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.global("a", Ty::I32, "x.c");
+        let b = mb.global("b", Ty::I32, "x.c");
+        let f = mb.func("f", vec![], None, "x.c", |fb| {
+            let v = fb.load_global(a, 0, 4);
+            fb.store_global(b, 0, Operand::Reg(v), 4);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let ra = ResourceAnalysis::analyze(&m, &pt);
+        let res = ra.of(f);
+        assert!(res.globals_read.contains(&a));
+        assert!(res.globals_written.contains(&b));
+        assert!(!res.globals_written.contains(&a));
+    }
+
+    #[test]
+    fn indirect_access_via_pointer_found_by_points_to() {
+        let mut mb = ModuleBuilder::new("t");
+        let buf = mb.global("buf", Ty::Array(Box::new(Ty::I8), 32), "x.c");
+        let sink = mb.declare("sink", vec![("p", Ty::Ptr(Box::new(Ty::I8)))], None, "y.c");
+        mb.func("driver", vec![], None, "x.c", |fb| {
+            let p = fb.addr_of_global(buf, 0);
+            fb.call_void(sink, vec![Operand::Reg(p)]);
+            fb.ret_void();
+        });
+        mb.define(sink, |fb| {
+            let p = fb.param(0);
+            fb.store(Operand::Reg(p), Operand::Imm(0x41), 1);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let ra = ResourceAnalysis::analyze(&m, &pt);
+        // `sink` writes to `buf` through the pointer parameter.
+        assert!(ra.of(sink).globals_written.contains(&buf));
+    }
+
+    #[test]
+    fn peripherals_classified_core_vs_general() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.peripheral("USART2", 0x4000_4400, 0x400, false);
+        mb.peripheral("SysTick", 0xE000_E010, 0x10, true);
+        let f = mb.func("init", vec![], None, "drv.c", |fb| {
+            fb.mmio_write(0x4000_4408, Operand::Imm(0x55), 4);
+            fb.mmio_write(0xE000_E014, Operand::Imm(1000), 4);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let ra = ResourceAnalysis::analyze(&m, &pt);
+        let res = ra.of(f);
+        assert_eq!(res.peripherals.iter().copied().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(res.core_peripherals.iter().copied().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn merged_resources_union() {
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.global("a", Ty::I32, "x.c");
+        let b = mb.global("b", Ty::I32, "x.c");
+        let f1 = mb.func("f1", vec![], None, "x.c", |fb| {
+            let _ = fb.load_global(a, 0, 4);
+            fb.ret_void();
+        });
+        let f2 = mb.func("f2", vec![], None, "x.c", |fb| {
+            fb.store_global(b, 0, Operand::Imm(1), 4);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let ra = ResourceAnalysis::analyze(&m, &pt);
+        let merged = ra.merged([f1, f2]);
+        assert_eq!(merged.globals(), [a, b].into_iter().collect());
+    }
+
+    #[test]
+    fn memset_counts_as_write() {
+        let mut mb = ModuleBuilder::new("t");
+        let buf = mb.global("zbuf", Ty::Array(Box::new(Ty::I8), 64), "x.c");
+        let f = mb.func("clear", vec![], None, "x.c", |fb| {
+            let p = fb.addr_of_global(buf, 0);
+            fb.memset(Operand::Reg(p), Operand::Imm(0), Operand::Imm(64));
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let ra = ResourceAnalysis::analyze(&m, &pt);
+        assert!(ra.of(f).globals_written.contains(&buf));
+    }
+}

@@ -1,0 +1,283 @@
+//! A naming context over [`ModuleBuilder`] plus shared IR emitters.
+//!
+//! The workloads comprise hundreds of functions spread over many driver
+//! files; [`Ctx`] lets each file register functions and globals by name
+//! and look them up from other files, and provides the handful of
+//! code-shape emitters (bounded flag polls, register-init sequences,
+//! word-copy loops) the HAL uses everywhere.
+
+use std::collections::BTreeMap;
+
+use opec_ir::module::BinOp;
+use opec_ir::{
+    FuncId, FunctionBuilder, GlobalId, Module, ModuleBuilder, Operand, RegId, Ty,
+};
+
+/// Name-indexed wrapper around [`ModuleBuilder`].
+pub struct Ctx {
+    /// The underlying builder (exposed for struct/sig registration).
+    pub mb: ModuleBuilder,
+    fns: BTreeMap<String, FuncId>,
+    globals: BTreeMap<String, GlobalId>,
+}
+
+impl Ctx {
+    /// Creates a context and registers the full device datasheet.
+    pub fn new(name: &str) -> Ctx {
+        let mut mb = ModuleBuilder::new(name);
+        for p in opec_devices::datasheet() {
+            mb.peripheral(p.name, p.base, p.size, p.is_core);
+        }
+        Ctx { mb, fns: BTreeMap::new(), globals: BTreeMap::new() }
+    }
+
+    /// Declares a function for later definition.
+    pub fn decl(
+        &mut self,
+        name: &str,
+        params: Vec<(&str, Ty)>,
+        ret: Option<Ty>,
+        file: &str,
+    ) -> FuncId {
+        let id = self.mb.declare(name, params, ret, file);
+        self.fns.insert(name.to_string(), id);
+        id
+    }
+
+    /// Defines a previously declared function.
+    pub fn define(&mut self, name: &str, body: impl FnOnce(&mut FunctionBuilder<'_>)) {
+        let id = self.f(name);
+        self.mb.define(id, body);
+    }
+
+    /// Declares and defines a function.
+    pub fn def(
+        &mut self,
+        name: &str,
+        params: Vec<(&str, Ty)>,
+        ret: Option<Ty>,
+        file: &str,
+        body: impl FnOnce(&mut FunctionBuilder<'_>),
+    ) -> FuncId {
+        let id = self.decl(name, params, ret, file);
+        self.mb.define(id, body);
+        id
+    }
+
+    /// Marks a declared function as an interrupt handler (cannot be an
+    /// operation entry; runs privileged on hardware).
+    pub fn mark_irq(&mut self, name: &str) {
+        let id = self.f(name);
+        self.mb.mark_irq_handler(id);
+    }
+
+    /// Looks a function up by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the function was never declared — a programming
+    /// error in the workload definition.
+    pub fn f(&self, name: &str) -> FuncId {
+        *self
+            .fns
+            .get(name)
+            .unwrap_or_else(|| panic!("function {name} not declared"))
+    }
+
+    /// Registers a zero-initialised global.
+    pub fn global(&mut self, name: &str, ty: Ty, file: &str) -> GlobalId {
+        let id = self.mb.global(name, ty, file);
+        self.globals.insert(name.to_string(), id);
+        id
+    }
+
+    /// Registers a global with initial bytes.
+    pub fn global_init(&mut self, name: &str, ty: Ty, init: Vec<u8>, file: &str) -> GlobalId {
+        let id = self.mb.global_init(name, ty, init, file);
+        self.globals.insert(name.to_string(), id);
+        id
+    }
+
+    /// Registers a constant (Flash) global.
+    pub fn const_global(&mut self, name: &str, ty: Ty, init: Vec<u8>, file: &str) -> GlobalId {
+        let id = self.mb.const_global(name, ty, init, file);
+        self.globals.insert(name.to_string(), id);
+        id
+    }
+
+    /// Registers a global with a sanitization range.
+    pub fn sanitized_global(
+        &mut self,
+        name: &str,
+        ty: Ty,
+        file: &str,
+        range: (u32, u32),
+    ) -> GlobalId {
+        let id = self.mb.sanitized_global(name, ty, file, range);
+        self.globals.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks a global up by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the global was never registered.
+    pub fn g(&self, name: &str) -> GlobalId {
+        *self
+            .globals
+            .get(name)
+            .unwrap_or_else(|| panic!("global {name} not registered"))
+    }
+
+    /// Finishes the module.
+    pub fn finish(self) -> Module {
+        self.mb.finish()
+    }
+}
+
+/// Emits a bounded poll loop: read the 32-bit register at `addr` until
+/// `(value & mask) == want` or `bound` iterations pass. Returns a
+/// register holding 1 on success, 0 on timeout. The timeout branch is
+/// real error-handling code that a healthy run never takes — exactly
+/// the "untaken branch" category of execution-time over-privilege the
+/// paper discusses.
+pub fn poll_flag(
+    fb: &mut FunctionBuilder<'_>,
+    addr: u32,
+    mask: u32,
+    want: u32,
+    bound: u32,
+) -> RegId {
+    let ok = fb.reg();
+    let i = fb.reg();
+    fb.mov(ok, Operand::Imm(0));
+    fb.mov(i, Operand::Imm(0));
+    let head = fb.block();
+    let body = fb.block();
+    let hit = fb.block();
+    let done = fb.block();
+    fb.br(head);
+    fb.switch_to(head);
+    let c = fb.bin(BinOp::CmpLtU, Operand::Reg(i), Operand::Imm(bound));
+    fb.cond_br(Operand::Reg(c), body, done);
+    fb.switch_to(body);
+    let v = fb.mmio_read(addr, 4);
+    let masked = fb.bin(BinOp::And, Operand::Reg(v), Operand::Imm(mask));
+    let eq = fb.bin(BinOp::CmpEq, Operand::Reg(masked), Operand::Imm(want));
+    let i2 = fb.bin(BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+    fb.mov(i, Operand::Reg(i2));
+    fb.cond_br(Operand::Reg(eq), hit, head);
+    fb.switch_to(hit);
+    fb.mov(ok, Operand::Imm(1));
+    fb.br(done);
+    fb.switch_to(done);
+    ok
+}
+
+/// Emits a straight-line register-initialisation sequence (the shape of
+/// every `HAL_..._Init` body).
+pub fn write_regs(fb: &mut FunctionBuilder<'_>, writes: &[(u32, u32)]) {
+    for &(addr, val) in writes {
+        fb.mmio_write(addr, Operand::Imm(val), 4);
+    }
+}
+
+/// Emits a counted loop; `body` receives the loop counter register.
+pub fn counted_loop(
+    fb: &mut FunctionBuilder<'_>,
+    count: Operand,
+    body: impl FnOnce(&mut FunctionBuilder<'_>, RegId),
+) {
+    let i = fb.reg();
+    fb.mov(i, Operand::Imm(0));
+    let head = fb.block();
+    let b = fb.block();
+    let done = fb.block();
+    fb.br(head);
+    fb.switch_to(head);
+    let c = fb.bin(BinOp::CmpLtU, Operand::Reg(i), count);
+    fb.cond_br(Operand::Reg(c), b, done);
+    fb.switch_to(b);
+    body(fb, i);
+    let i2 = fb.bin(BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+    fb.mov(i, Operand::Reg(i2));
+    fb.br(head);
+    fb.switch_to(done);
+}
+
+/// Emits an early-return error check: if `cond_reg` is zero, call the
+/// error handler (if given) and return `err_val`.
+pub fn bail_if_zero(
+    fb: &mut FunctionBuilder<'_>,
+    cond: RegId,
+    error_handler: Option<FuncId>,
+    err_val: Option<u32>,
+) {
+    let fail = fb.block();
+    let cont = fb.block();
+    fb.cond_br(Operand::Reg(cond), cont, fail);
+    fb.switch_to(fail);
+    if let Some(h) = error_handler {
+        fb.call_void(h, vec![]);
+    }
+    match err_val {
+        Some(v) => fb.ret(Operand::Imm(v)),
+        None => fb.ret_void(),
+    }
+    fb.switch_to(cont);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opec_ir::validate;
+
+    #[test]
+    fn ctx_registers_and_resolves_names() {
+        let mut cx = Ctx::new("t");
+        cx.global("state", Ty::I32, "a.c");
+        cx.def("touch", vec![], None, "a.c", |fb| fb.ret_void());
+        assert_eq!(cx.f("touch"), opec_ir::FuncId(0));
+        assert_eq!(cx.g("state"), opec_ir::GlobalId(0));
+        cx.def("main", vec![], None, "a.c", |fb| fb.ret_void());
+        let m = cx.finish();
+        validate(&m).unwrap();
+        assert!(!m.peripherals.is_empty(), "datasheet registered");
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn unknown_function_panics() {
+        let cx = Ctx::new("t");
+        cx.f("ghost");
+    }
+
+    #[test]
+    fn poll_flag_emits_bounded_loop() {
+        let mut cx = Ctx::new("t");
+        cx.def("poll", vec![], Some(Ty::I32), "a.c", |fb| {
+            let ok = poll_flag(fb, 0x4000_4400, 0x2, 0x2, 16);
+            fb.ret(Operand::Reg(ok));
+        });
+        cx.def("main", vec![], None, "a.c", |fb| fb.ret_void());
+        validate(&cx.finish()).unwrap();
+    }
+
+    #[test]
+    fn counted_loop_and_bail_emit_valid_ir() {
+        let mut cx = Ctx::new("t");
+        let g = cx.global("acc", Ty::I32, "a.c");
+        let err = cx.def("on_err", vec![], None, "a.c", |fb| fb.ret_void());
+        cx.def("work", vec![], Some(Ty::I32), "a.c", move |fb| {
+            counted_loop(fb, Operand::Imm(4), |fb, i| {
+                fb.store_global(g, 0, Operand::Reg(i), 4);
+            });
+            let v = fb.load_global(g, 0, 4);
+            bail_if_zero(fb, v, Some(err), Some(0));
+            fb.ret(Operand::Imm(1));
+        });
+        cx.def("main", vec![], None, "a.c", |fb| fb.ret_void());
+        validate(&cx.finish()).unwrap();
+    }
+}

@@ -1,0 +1,218 @@
+//! DCMI camera driver family (`hal_dcmi.c` / `bsp_camera.c`).
+//!
+//! Capture path: start a capture, poll the frame-ready flag, drain the
+//! data FIFO into a frame buffer. The frame-processing stage dispatches
+//! per-effect filters through a callback table (icall material with
+//! several targets — the Camera row of Table 3 has the highest icall
+//! counts).
+
+use opec_devices::map::bases;
+use opec_ir::module::BinOp;
+use opec_ir::types::{ParamKind, SigKey};
+use opec_ir::{Operand, Ty};
+
+use crate::builder::{bail_if_zero, poll_flag, Ctx};
+
+const CTRL: u32 = bases::DCMI;
+const STATUS: u32 = bases::DCMI + 0x04;
+const DATA: u32 = bases::DCMI + 0x08;
+
+/// Registers the camera driver family.
+pub fn build(cx: &mut Ctx) {
+    let dma_sig = cx.mb.sig(crate::hal::dma::cb_sig());
+    cx.global("camera_frame", Ty::Array(Box::new(Ty::I8), 1024), "bsp_camera.c");
+    cx.global("camera_state", Ty::I32, "hal_dcmi.c");
+    // Per-effect frame filters registered at init.
+    let filter_sig = SigKey {
+        params: vec![ParamKind::Ptr, ParamKind::Int],
+        ret: Some(ParamKind::Int),
+    };
+    cx.global(
+        "camera_filters",
+        Ty::Array(Box::new(Ty::FnPtr(filter_sig.clone())), 4),
+        "bsp_camera.c",
+    );
+    cx.global("dcmi_error_count", Ty::I32, "hal_dcmi.c");
+    cx.global("dcmi_frame_events", Ty::I32, "hal_dcmi.c");
+    let evt_sig = SigKey { params: vec![ParamKind::Int], ret: None };
+    cx.global("dcmi_frame_cb", Ty::FnPtr(evt_sig.clone()), "hal_dcmi.c");
+    let evt_sig_id = cx.mb.sig(evt_sig);
+
+    cx.def("HAL_DCMI_FrameEventCallback", vec![("size", Ty::I32)], None, "hal_dcmi.c", {
+        let g = cx.g("dcmi_frame_events");
+        move |fb| {
+            let v = fb.load_global(g, 0, 4);
+            let v2 = fb.bin(BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+            fb.store_global(g, 0, Operand::Reg(v2), 4);
+            fb.ret_void();
+        }
+    });
+
+    let err = cx.def("DCMI_ErrorCallback", vec![], None, "hal_dcmi.c", {
+        let g = cx.g("dcmi_error_count");
+        move |fb| {
+            let v = fb.load_global(g, 0, 4);
+            let v2 = fb.bin(BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+            fb.store_global(g, 0, Operand::Reg(v2), 4);
+            fb.ret_void();
+        }
+    });
+
+    // Four filters with the same signature.
+    for (i, name) in
+        ["Filter_None", "Filter_Grayscale", "Filter_Invert", "Filter_Contrast"].iter().enumerate()
+    {
+        cx.def(
+            name,
+            vec![("frame", Ty::Ptr(Box::new(Ty::I8))), ("len", Ty::I32)],
+            Some(Ty::I32),
+            "camera_filters.c",
+            move |fb| {
+                let frame = fb.param(0);
+                let len = fb.param(1);
+                let words = fb.bin(BinOp::UDiv, Operand::Reg(len), Operand::Imm(4));
+                let key = (i as u32).wrapping_mul(0x0101_0101);
+                crate::builder::counted_loop(fb, Operand::Reg(words), move |fb, j| {
+                    let off = fb.bin(BinOp::Mul, Operand::Reg(j), Operand::Imm(4));
+                    let p = fb.bin(BinOp::Add, Operand::Reg(frame), Operand::Reg(off));
+                    let v = fb.load(Operand::Reg(p), 4);
+                    let v2 = fb.bin(BinOp::Xor, Operand::Reg(v), Operand::Imm(key));
+                    fb.store(Operand::Reg(p), Operand::Reg(v2), 4);
+                });
+                fb.ret(Operand::Imm(0));
+            },
+        );
+    }
+
+    cx.def("HAL_DCMI_Init", vec![], Some(Ty::I32), "hal_dcmi.c", {
+        let state = cx.g("camera_state");
+        let gpio = cx.f("HAL_GPIO_Init");
+        move |fb| {
+            fb.call_void(gpio, vec![Operand::Imm(1), Operand::Imm(6), Operand::Imm(0xCC)]);
+            fb.store_global(state, 0, Operand::Imm(1), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    cx.def("BSP_CAMERA_Init", vec![], Some(Ty::I32), "bsp_camera.c", {
+        let hal = cx.f("HAL_DCMI_Init");
+        let table = cx.g("camera_filters");
+        let f0 = cx.f("Filter_None");
+        let f1 = cx.f("Filter_Grayscale");
+        let f2 = cx.f("Filter_Invert");
+        let f3 = cx.f("Filter_Contrast");
+        let fcb = cx.f("HAL_DCMI_FrameEventCallback");
+        let fcb_slot = cx.g("dcmi_frame_cb");
+        let clk = cx.f("LL_RCC_DCMI_CLK_ENABLE");
+        let dma_init = cx.f("HAL_DMA_Init");
+        let frame_cb = cx.f("DMA_Stream_RxCplt");
+        move |fb| {
+            fb.call_void(clk, vec![]);
+            fb.call_void(dma_init, vec![Operand::Imm(1)]);
+            let pf = fb.addr_of_func(frame_cb);
+            fb.mmio_write(
+                opec_devices::map::bases::DMA2 + crate::hal::dma::slots::DCMI,
+                Operand::Reg(pf),
+                4,
+            );
+            let r = fb.call(hal, vec![]);
+            let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+            bail_if_zero(fb, ok, Some(err), Some(1));
+            for (slot, f) in [(0u32, f0), (4, f1), (8, f2), (12, f3)] {
+                let p = fb.addr_of_func(f);
+                fb.store_global(table, slot, Operand::Reg(p), 4);
+            }
+            let pf = fb.addr_of_func(fcb);
+            fb.store_global(fcb_slot, 0, Operand::Reg(pf), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    cx.def("HAL_DCMI_Start", vec![], Some(Ty::I32), "hal_dcmi.c", move |fb| {
+        fb.mmio_write(CTRL, Operand::Imm(1), 4);
+        let ok = poll_flag(fb, STATUS, 1, 1, 65536);
+        bail_if_zero(fb, ok, Some(err), Some(1));
+        fb.ret(Operand::Imm(0));
+    });
+
+    // Drains the frame FIFO into the frame buffer; returns byte count.
+    cx.def("BSP_CAMERA_ReadFrame", vec![], Some(Ty::I32), "bsp_camera.c", {
+        let frame = cx.g("camera_frame");
+        let fcb_slot = cx.g("dcmi_frame_cb");
+        move |fb| {
+            let size = fb.mmio_read(bases::DCMI + 0x0C, 4);
+            let words = fb.bin(BinOp::UDiv, Operand::Reg(size), Operand::Imm(4));
+            let base = fb.addr_of_global(frame, 0);
+            crate::builder::counted_loop(fb, Operand::Reg(words), |fb, i| {
+                let w = fb.mmio_read(DATA, 4);
+                let off = fb.bin(BinOp::Mul, Operand::Reg(i), Operand::Imm(4));
+                let p = fb.bin(BinOp::Add, Operand::Reg(base), Operand::Reg(off));
+                fb.store(Operand::Reg(p), Operand::Reg(w), 4);
+            });
+            // Frame-event callback through the registered pointer.
+            let cb = fb.load_global(fcb_slot, 0, 4);
+            let fire = fb.block();
+            let done = fb.block();
+            fb.cond_br(Operand::Reg(cb), fire, done);
+            fb.switch_to(fire);
+            fb.icall_void(Operand::Reg(cb), evt_sig_id, vec![Operand::Reg(size)]);
+            fb.br(done);
+            fb.switch_to(done);
+            crate::hal::dma::emit_fire_callback(
+                fb,
+                dma_sig,
+                crate::hal::dma::slots::DCMI,
+                1,
+                Operand::Reg(size),
+            );
+            fb.ret(Operand::Reg(size));
+        }
+    });
+
+    // Applies filter `idx` to the frame via the callback table.
+    let apply_sig = cx.mb.sig(SigKey {
+        params: vec![ParamKind::Ptr, ParamKind::Int],
+        ret: Some(ParamKind::Int),
+    });
+    cx.def(
+        "BSP_CAMERA_ApplyFilter",
+        vec![("idx", Ty::I32), ("len", Ty::I32)],
+        Some(Ty::I32),
+        "bsp_camera.c",
+        {
+            let table = cx.g("camera_filters");
+            let frame = cx.g("camera_frame");
+            let sig = apply_sig;
+            move |fb| {
+                let idx = fb.param(0);
+                let off = fb.bin(BinOp::Mul, Operand::Reg(idx), Operand::Imm(4));
+                let tbl = fb.addr_of_global(table, 0);
+                let slot = fb.bin(BinOp::Add, Operand::Reg(tbl), Operand::Reg(off));
+                let f = fb.load(Operand::Reg(slot), 4);
+                let buf = fb.addr_of_global(frame, 0);
+                let r = fb.icall(
+                    Operand::Reg(f),
+                    sig,
+                    vec![Operand::Reg(buf), Operand::Reg(fb.param(1))],
+                );
+                fb.ret(Operand::Reg(r));
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcmi_family_builds_valid_ir() {
+        let mut cx = Ctx::new("t");
+        crate::hal::sysclk::build(&mut cx);
+        crate::hal::gpio::build(&mut cx);
+        crate::hal::dma::build(&mut cx);
+        build(&mut cx);
+        cx.def("main", vec![], None, "main.c", |fb| fb.ret_void());
+        opec_ir::validate(&cx.finish()).unwrap();
+    }
+}

@@ -1,0 +1,177 @@
+//! Ethernet MAC driver family (`hal_eth.c` / `ethernetif.c`).
+//!
+//! The low-level interface the lwIP-like stack sits on: init, link
+//! check, frame receive into a pbuf-style buffer, and frame transmit.
+
+use opec_devices::map::bases;
+use opec_ir::module::BinOp;
+use opec_ir::{Operand, Ty};
+
+use crate::builder::{write_regs, Ctx};
+
+const RX_STATUS: u32 = bases::ETH;
+const RX_DATA: u32 = bases::ETH + 0x04;
+const TX_DATA: u32 = bases::ETH + 0x08;
+const TX_CTRL: u32 = bases::ETH + 0x0C;
+
+/// Registers the Ethernet driver family.
+pub fn build(cx: &mut Ctx) {
+    let dma_sig = cx.mb.sig(crate::hal::dma::cb_sig());
+    cx.global("eth_link_up", Ty::I32, "hal_eth.c");
+    cx.global("eth_rx_frames", Ty::I32, "ethernetif.c");
+    cx.global("eth_tx_frames", Ty::I32, "ethernetif.c");
+
+    cx.def("HAL_ETH_SetMACAddr", vec![("hi", Ty::I32), ("lo", Ty::I32)], None, "hal_eth.c", |fb| {
+        fb.mmio_write(bases::ETH + 0x18, Operand::Reg(fb.param(0)), 4);
+        fb.mmio_write(bases::ETH + 0x1C, Operand::Reg(fb.param(1)), 4);
+        fb.ret_void();
+    });
+
+    cx.def("HAL_ETH_ConfigMAC", vec![], None, "hal_eth.c", |fb| {
+        write_regs(fb, &[(bases::ETH + 0x20, 0x0000_C800), (bases::ETH + 0x24, 0x1)]);
+        fb.ret_void();
+    });
+
+    cx.def("HAL_ETH_Start", vec![], Some(Ty::I32), "hal_eth.c", |fb| {
+        let cur = fb.mmio_read(bases::ETH + 0x10, 4);
+        let set = fb.bin(BinOp::Or, Operand::Reg(cur), Operand::Imm(0b1100));
+        fb.mmio_write(bases::ETH + 0x10, Operand::Reg(set), 4);
+        fb.ret(Operand::Imm(0));
+    });
+
+    cx.def("HAL_ETH_Init", vec![], Some(Ty::I32), "hal_eth.c", {
+        let link = cx.g("eth_link_up");
+        let gpio = cx.f("HAL_GPIO_Init");
+        let clk = cx.f("LL_RCC_ETH_CLK_ENABLE");
+        let mac = cx.f("HAL_ETH_SetMACAddr");
+        let cfg = cx.f("HAL_ETH_ConfigMAC");
+        let start = cx.f("HAL_ETH_Start");
+        let dma_init = cx.f("HAL_DMA_Init");
+        let rx_cb = cx.f("DMA_Stream_RxCplt");
+        let tx_cb = cx.f("DMA_Stream_TxCplt");
+        move |fb| {
+            fb.call_void(clk, vec![]);
+            // Configure the MAC's DMA streams and park the completion
+            // callbacks in the descriptors.
+            fb.call_void(dma_init, vec![Operand::Imm(5)]);
+            let pr = fb.addr_of_func(rx_cb);
+            fb.mmio_write(
+                opec_devices::map::bases::DMA2 + crate::hal::dma::slots::ETH_RX,
+                Operand::Reg(pr),
+                4,
+            );
+            let pt = fb.addr_of_func(tx_cb);
+            fb.mmio_write(
+                opec_devices::map::bases::DMA2 + crate::hal::dma::slots::ETH_TX,
+                Operand::Reg(pt),
+                4,
+            );
+            fb.call_void(gpio, vec![Operand::Imm(0), Operand::Imm(1), Operand::Imm(0xBB)]);
+            write_regs(fb, &[(bases::ETH + 0x10, 0x1), (bases::ETH + 0x14, 0x40)]);
+            fb.call_void(mac, vec![Operand::Imm(0x0080), Operand::Imm(0xE101_0101)]);
+            fb.call_void(cfg, vec![]);
+            let _ = fb.call(start, vec![]);
+            fb.store_global(link, 0, Operand::Imm(1), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    cx.def("HAL_ETH_GetLinkState", vec![], Some(Ty::I32), "hal_eth.c", {
+        let link = cx.g("eth_link_up");
+        move |fb| {
+            let v = fb.load_global(link, 0, 4);
+            fb.ret(Operand::Reg(v));
+        }
+    });
+
+    // Returns the pending frame length (0 when idle).
+    cx.def("HAL_ETH_RxFrameLength", vec![], Some(Ty::I32), "hal_eth.c", |fb| {
+        let v = fb.mmio_read(RX_STATUS, 4);
+        fb.ret(Operand::Reg(v));
+    });
+
+    // Copies `len` bytes of the pending frame into `dst` (word FIFO).
+    cx.def(
+        "HAL_ETH_ReadFrame",
+        vec![("dst", Ty::Ptr(Box::new(Ty::I8))), ("len", Ty::I32)],
+        Some(Ty::I32),
+        "hal_eth.c",
+        {
+            let count = cx.g("eth_rx_frames");
+            move |fb| {
+                let dst = fb.param(0);
+                let len = fb.param(1);
+                let words = fb.bin(BinOp::UDiv, Operand::Reg(len), Operand::Imm(4));
+                let words = fb.bin(BinOp::Add, Operand::Reg(words), Operand::Imm(1));
+                crate::builder::counted_loop(fb, Operand::Reg(words), |fb, i| {
+                    let w = fb.mmio_read(RX_DATA, 4);
+                    let off = fb.bin(BinOp::Mul, Operand::Reg(i), Operand::Imm(4));
+                    let p = fb.bin(BinOp::Add, Operand::Reg(dst), Operand::Reg(off));
+                    fb.store(Operand::Reg(p), Operand::Reg(w), 4);
+                });
+                let c = fb.load_global(count, 0, 4);
+                let c2 = fb.bin(BinOp::Add, Operand::Reg(c), Operand::Imm(1));
+                fb.store_global(count, 0, Operand::Reg(c2), 4);
+                crate::hal::dma::emit_fire_callback(
+                    fb,
+                    dma_sig,
+                    crate::hal::dma::slots::ETH_RX,
+                    5,
+                    Operand::Reg(len),
+                );
+                fb.ret(Operand::Reg(len))
+            }
+        },
+    );
+
+    // Transmits `len` bytes from `src`.
+    cx.def(
+        "HAL_ETH_WriteFrame",
+        vec![("src", Ty::Ptr(Box::new(Ty::I8))), ("len", Ty::I32)],
+        Some(Ty::I32),
+        "hal_eth.c",
+        {
+            let count = cx.g("eth_tx_frames");
+            move |fb| {
+                let src = fb.param(0);
+                let len = fb.param(1);
+                let words = fb.bin(BinOp::UDiv, Operand::Reg(len), Operand::Imm(4));
+                let words = fb.bin(BinOp::Add, Operand::Reg(words), Operand::Imm(1));
+                crate::builder::counted_loop(fb, Operand::Reg(words), |fb, i| {
+                    let off = fb.bin(BinOp::Mul, Operand::Reg(i), Operand::Imm(4));
+                    let p = fb.bin(BinOp::Add, Operand::Reg(src), Operand::Reg(off));
+                    let w = fb.load(Operand::Reg(p), 4);
+                    fb.mmio_write(TX_DATA, Operand::Reg(w), 4);
+                });
+                fb.mmio_write(TX_CTRL, Operand::Reg(len), 4);
+                let c = fb.load_global(count, 0, 4);
+                let c2 = fb.bin(BinOp::Add, Operand::Reg(c), Operand::Imm(1));
+                fb.store_global(count, 0, Operand::Reg(c2), 4);
+                crate::hal::dma::emit_fire_callback(
+                    fb,
+                    dma_sig,
+                    crate::hal::dma::slots::ETH_TX,
+                    6,
+                    Operand::Reg(len),
+                );
+                fb.ret(Operand::Imm(0))
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eth_family_builds_valid_ir() {
+        let mut cx = Ctx::new("t");
+        crate::hal::sysclk::build(&mut cx);
+        crate::hal::gpio::build(&mut cx);
+        crate::hal::dma::build(&mut cx);
+        build(&mut cx);
+        cx.def("main", vec![], None, "main.c", |fb| fb.ret_void());
+        opec_ir::validate(&cx.finish()).unwrap();
+    }
+}

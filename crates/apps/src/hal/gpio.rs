@@ -1,0 +1,123 @@
+//! GPIO and button driver family (`hal_gpio.c` / `bsp_button.c`).
+
+use opec_devices::map::bases;
+use opec_ir::{Operand, Ty};
+
+use crate::builder::{write_regs, Ctx};
+
+/// Registers the GPIO driver family.
+pub fn build(cx: &mut Ctx) {
+    cx.global("led_state", Ty::I32, "bsp_led.c");
+
+    cx.def(
+        "HAL_GPIO_Init",
+        vec![("port", Ty::I32), ("pin", Ty::I32), ("mode", Ty::I32)],
+        None,
+        "hal_gpio.c",
+        |fb| {
+            // port selects the GPIO bank (0..4); compute MODER address.
+            let port = fb.param(0);
+            let stride = fb.bin(opec_ir::BinOp::Mul, Operand::Reg(port), Operand::Imm(0x400));
+            let addr =
+                fb.bin(opec_ir::BinOp::Add, Operand::Imm(bases::GPIOA), Operand::Reg(stride));
+            let mode = fb.param(2);
+            fb.store(Operand::Reg(addr), Operand::Reg(mode), 4);
+            fb.ret_void();
+        },
+    );
+
+    cx.def("HAL_GPIO_WritePin", vec![("pin", Ty::I32), ("state", Ty::I32)], None, "hal_gpio.c", |fb| {
+        let pin = fb.param(0);
+        let state = fb.param(1);
+        let bit = fb.bin(opec_ir::BinOp::Shl, Operand::Reg(state), Operand::Reg(pin));
+        fb.mmio_write(bases::GPIOD + 0x14, Operand::Reg(bit), 4); // ODR
+        fb.ret_void();
+    });
+
+    cx.def("HAL_GPIO_ReadPin", vec![("pin", Ty::I32)], Some(Ty::I32), "hal_gpio.c", |fb| {
+        let v = fb.mmio_read(bases::GPIOA + 0x10, 4); // IDR
+        let pin = fb.param(0);
+        let shifted = fb.bin(opec_ir::BinOp::Shr, Operand::Reg(v), Operand::Reg(pin));
+        let bit = fb.bin(opec_ir::BinOp::And, Operand::Reg(shifted), Operand::Imm(1));
+        fb.ret(Operand::Reg(bit));
+    });
+
+    cx.def("BSP_LED_Init", vec![], None, "bsp_led.c", {
+        let init = cx.f("HAL_GPIO_Init");
+        move |fb| {
+            fb.call_void(init, vec![Operand::Imm(3), Operand::Imm(12), Operand::Imm(0x5555)]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("BSP_LED_On", vec![("led", Ty::I32)], None, "bsp_led.c", {
+        let write = cx.f("HAL_GPIO_WritePin");
+        let state = cx.g("led_state");
+        move |fb| {
+            fb.call_void(write, vec![Operand::Reg(fb.param(0)), Operand::Imm(1)]);
+            fb.store_global(state, 0, Operand::Imm(1), 4);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("BSP_LED_Off", vec![("led", Ty::I32)], None, "bsp_led.c", {
+        let write = cx.f("HAL_GPIO_WritePin");
+        let state = cx.g("led_state");
+        move |fb| {
+            fb.call_void(write, vec![Operand::Reg(fb.param(0)), Operand::Imm(0)]);
+            fb.store_global(state, 0, Operand::Imm(0), 4);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("HAL_GPIO_TogglePin", vec![("pin", Ty::I32)], None, "hal_gpio.c", |fb| {
+        let cur = fb.mmio_read(bases::GPIOD + 0x14, 4);
+        let pin = fb.param(0);
+        let bit = fb.bin(opec_ir::BinOp::Shl, Operand::Imm(1), Operand::Reg(pin));
+        let flipped = fb.bin(opec_ir::BinOp::Xor, Operand::Reg(cur), Operand::Reg(bit));
+        fb.mmio_write(bases::GPIOD + 0x14, Operand::Reg(flipped), 4);
+        fb.ret_void();
+    });
+
+    cx.def("BSP_LED_Toggle", vec![("led", Ty::I32)], None, "bsp_led.c", {
+        let toggle = cx.f("HAL_GPIO_TogglePin");
+        move |fb| {
+            fb.call_void(toggle, vec![Operand::Reg(fb.param(0))]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("BSP_PB_Init", vec![], None, "bsp_button.c", |fb| {
+        write_regs(fb, &[(bases::EXTI + 0x04, 0)]); // pin select latch
+        fb.ret_void();
+    });
+
+    // Returns 1 once the user button has been pressed (and clears the
+    // latch, write-one-to-clear).
+    cx.def("BSP_PB_GetState", vec![], Some(Ty::I32), "bsp_button.c", |fb| {
+        let v = fb.mmio_read(bases::EXTI, 4);
+        let pressed = fb.block();
+        let out = fb.block();
+        fb.cond_br(Operand::Reg(v), pressed, out);
+        fb.switch_to(pressed);
+        fb.mmio_write(bases::EXTI, Operand::Imm(1), 4);
+        fb.ret(Operand::Imm(1));
+        fb.switch_to(out);
+        fb.ret(Operand::Imm(0));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpio_family_builds_valid_ir() {
+        let mut cx = Ctx::new("t");
+        build(&mut cx);
+        cx.def("main", vec![], None, "main.c", |fb| fb.ret_void());
+        let m = cx.finish();
+        opec_ir::validate(&m).unwrap();
+        assert!(m.func_by_name("BSP_PB_GetState").is_some());
+    }
+}

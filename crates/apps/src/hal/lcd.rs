@@ -1,0 +1,278 @@
+//! LCD / BSP display driver family (`bsp_lcd.c` / `hal_ltdc.c`).
+//!
+//! Provides the init path, pixel/fill/line primitives, and the
+//! brightness ramp used by Animation's fade-in/fade-out effects. The
+//! draw-picture path registers a per-format pixel writer through a
+//! function pointer table — realistic icall material.
+
+use opec_devices::map::bases;
+use opec_ir::module::BinOp;
+use opec_ir::types::{ParamKind, SigKey};
+use opec_ir::{Operand, Ty};
+
+use crate::builder::{write_regs, Ctx};
+
+const CTRL: u32 = bases::LCD;
+const XREG: u32 = bases::LCD + 0x04;
+const YREG: u32 = bases::LCD + 0x08;
+const PIXEL: u32 = bases::LCD + 0x0C;
+const BRIGHT: u32 = bases::LCD + 0x14;
+
+/// Registers the LCD driver family.
+pub fn build(cx: &mut Ctx) {
+    let dma_sig = cx.mb.sig(crate::hal::dma::cb_sig());
+    cx.global("lcd_initialized", Ty::I32, "bsp_lcd.c");
+    // Function-pointer table: pixel writers per format (RGB565/ARGB888).
+    cx.global(
+        "lcd_pixel_writers",
+        Ty::Array(
+            Box::new(Ty::FnPtr(SigKey {
+                params: vec![ParamKind::Int, ParamKind::Int, ParamKind::Int],
+                ret: None,
+            })),
+            2,
+        ),
+        "bsp_lcd.c",
+    );
+
+    cx.def("LTDC_Init", vec![], None, "hal_ltdc.c", |fb| {
+        write_regs(fb, &[(CTRL, 1)]);
+        fb.ret_void();
+    });
+
+    cx.def("LTDC_LayerConfig", vec![("layer", Ty::I32)], None, "hal_ltdc.c", |fb| {
+        fb.mmio_write(XREG, Operand::Imm(0), 4);
+        fb.mmio_write(YREG, Operand::Imm(0), 4);
+        fb.ret_void();
+    });
+
+    // Two pixel writers with identical signatures (type-based icall
+    // fallback finds both when points-to fails).
+    for (name, xor) in [("LCD_WritePixel_RGB565", 0u32), ("LCD_WritePixel_ARGB888", 0xFF00_0000)] {
+        cx.def(
+            name,
+            vec![("x", Ty::I32), ("y", Ty::I32), ("color", Ty::I32)],
+            None,
+            "bsp_lcd.c",
+            move |fb| {
+                fb.mmio_write(XREG, Operand::Reg(fb.param(0)), 4);
+                fb.mmio_write(YREG, Operand::Reg(fb.param(1)), 4);
+                let c = fb.bin(BinOp::Xor, Operand::Reg(fb.param(2)), Operand::Imm(xor));
+                fb.mmio_write(PIXEL, Operand::Reg(c), 4);
+                fb.ret_void();
+            },
+        );
+    }
+
+    cx.def("BSP_LCD_Init", vec![], Some(Ty::I32), "bsp_lcd.c", {
+        let ltdc = cx.f("LTDC_Init");
+        let layer = cx.f("LTDC_LayerConfig");
+        let gpio = cx.f("HAL_GPIO_Init");
+        let w565 = cx.f("LCD_WritePixel_RGB565");
+        let w888 = cx.f("LCD_WritePixel_ARGB888");
+        let table = cx.g("lcd_pixel_writers");
+        let initialized = cx.g("lcd_initialized");
+        let clk = cx.f("LL_RCC_LTDC_CLK_ENABLE");
+        let dma_init = cx.f("HAL_DMA_Init");
+        let blit_cb = cx.f("DMA_Stream_TxCplt");
+        move |fb| {
+            fb.call_void(clk, vec![]);
+            fb.call_void(gpio, vec![Operand::Imm(1), Operand::Imm(4), Operand::Imm(0xAA)]);
+            fb.call_void(dma_init, vec![Operand::Imm(7)]);
+            let pb = fb.addr_of_func(blit_cb);
+            fb.mmio_write(
+                opec_devices::map::bases::DMA2 + crate::hal::dma::slots::LCD,
+                Operand::Reg(pb),
+                4,
+            );
+            fb.call_void(ltdc, vec![]);
+            fb.call_void(layer, vec![Operand::Imm(0)]);
+            let p565 = fb.addr_of_func(w565);
+            fb.store_global(table, 0, Operand::Reg(p565), 4);
+            let p888 = fb.addr_of_func(w888);
+            fb.store_global(table, 4, Operand::Reg(p888), 4);
+            fb.store_global(initialized, 0, Operand::Imm(1), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    // Dispatches through the writer table — a points-to-resolvable
+    // icall with two targets.
+    let draw_sig = cx.mb.sig(SigKey {
+        params: vec![ParamKind::Int, ParamKind::Int, ParamKind::Int],
+        ret: None,
+    });
+    cx.def(
+        "BSP_LCD_DrawPixel",
+        vec![("fmt", Ty::I32), ("x", Ty::I32), ("y", Ty::I32), ("color", Ty::I32)],
+        None,
+        "bsp_lcd.c",
+        {
+            let table = cx.g("lcd_pixel_writers");
+            let sig = draw_sig;
+            move |fb| {
+                let fmt = fb.param(0);
+                let off = fb.bin(BinOp::Mul, Operand::Reg(fmt), Operand::Imm(4));
+                let slot = fb.addr_of_global(table, 0);
+                let entry = fb.bin(BinOp::Add, Operand::Reg(slot), Operand::Reg(off));
+                let writer = fb.load(Operand::Reg(entry), 4);
+                fb.icall_void(
+                    Operand::Reg(writer),
+                    sig,
+                    vec![
+                        Operand::Reg(fb.param(1)),
+                        Operand::Reg(fb.param(2)),
+                        Operand::Reg(fb.param(3)),
+                    ],
+                );
+                fb.ret_void();
+            }
+        },
+    );
+
+    cx.def(
+        "BSP_LCD_FillRect",
+        vec![("w", Ty::I32), ("h", Ty::I32), ("color", Ty::I32)],
+        None,
+        "bsp_lcd.c",
+        {
+            let draw = cx.f("BSP_LCD_DrawPixel");
+            move |fb| {
+                let w = fb.param(0);
+                let color = fb.param(2);
+                crate::builder::counted_loop(fb, Operand::Reg(fb.param(1)), move |fb, y| {
+                    crate::builder::counted_loop(fb, Operand::Reg(w), move |fb, x| {
+                        fb.call_void(
+                            draw,
+                            vec![
+                                Operand::Imm(0),
+                                Operand::Reg(x),
+                                Operand::Reg(y),
+                                Operand::Reg(color),
+                            ],
+                        );
+                    });
+                });
+                // Blit stream completion (descriptor callback).
+                crate::hal::dma::emit_fire_callback(
+                    fb,
+                    dma_sig,
+                    crate::hal::dma::slots::LCD,
+                    7,
+                    Operand::Reg(w),
+                );
+                fb.ret_void();
+            }
+        },
+    );
+
+    cx.def("BSP_LCD_SetBrightness", vec![("level", Ty::I32)], None, "bsp_lcd.c", |fb| {
+        fb.mmio_write(BRIGHT, Operand::Reg(fb.param(0)), 4);
+        fb.ret_void();
+    });
+
+    cx.def(
+        "BSP_LCD_DrawHLine",
+        vec![("x", Ty::I32), ("y", Ty::I32), ("len", Ty::I32), ("color", Ty::I32)],
+        None,
+        "bsp_lcd.c",
+        {
+            let draw = cx.f("BSP_LCD_DrawPixel");
+            move |fb| {
+                let x = fb.param(0);
+                let y = fb.param(1);
+                let color = fb.param(3);
+                crate::builder::counted_loop(fb, Operand::Reg(fb.param(2)), move |fb, i| {
+                    let xi = fb.bin(BinOp::Add, Operand::Reg(x), Operand::Reg(i));
+                    fb.call_void(
+                        draw,
+                        vec![Operand::Imm(0), Operand::Reg(xi), Operand::Reg(y), Operand::Reg(color)],
+                    );
+                });
+                fb.ret_void();
+            }
+        },
+    );
+
+    cx.def(
+        "BSP_LCD_DrawVLine",
+        vec![("x", Ty::I32), ("y", Ty::I32), ("len", Ty::I32), ("color", Ty::I32)],
+        None,
+        "bsp_lcd.c",
+        {
+            let draw = cx.f("BSP_LCD_DrawPixel");
+            move |fb| {
+                let x = fb.param(0);
+                let y = fb.param(1);
+                let color = fb.param(3);
+                crate::builder::counted_loop(fb, Operand::Reg(fb.param(2)), move |fb, i| {
+                    let yi = fb.bin(BinOp::Add, Operand::Reg(y), Operand::Reg(i));
+                    fb.call_void(
+                        draw,
+                        vec![Operand::Imm(0), Operand::Reg(x), Operand::Reg(yi), Operand::Reg(color)],
+                    );
+                });
+                fb.ret_void();
+            }
+        },
+    );
+
+    cx.def(
+        "BSP_LCD_DrawRect",
+        vec![("w", Ty::I32), ("h", Ty::I32), ("color", Ty::I32)],
+        None,
+        "bsp_lcd.c",
+        {
+            let h = cx.f("BSP_LCD_DrawHLine");
+            let v = cx.f("BSP_LCD_DrawVLine");
+            move |fb| {
+                let w = fb.param(0);
+                let hh = fb.param(1);
+                let c = fb.param(2);
+                fb.call_void(h, vec![Operand::Imm(0), Operand::Imm(0), Operand::Reg(w), Operand::Reg(c)]);
+                let bottom = fb.bin(BinOp::Sub, Operand::Reg(hh), Operand::Imm(1));
+                fb.call_void(h, vec![Operand::Imm(0), Operand::Reg(bottom), Operand::Reg(w), Operand::Reg(c)]);
+                fb.call_void(v, vec![Operand::Imm(0), Operand::Imm(0), Operand::Reg(hh), Operand::Reg(c)]);
+                let right = fb.bin(BinOp::Sub, Operand::Reg(w), Operand::Imm(1));
+                fb.call_void(v, vec![Operand::Reg(right), Operand::Imm(0), Operand::Reg(hh), Operand::Reg(c)]);
+                fb.ret_void();
+            }
+        },
+    );
+
+    cx.def("BSP_LCD_DisplayOn", vec![], None, "bsp_lcd.c", |fb| {
+        fb.mmio_write(CTRL, Operand::Imm(1), 4);
+        fb.ret_void();
+    });
+
+    cx.def("BSP_LCD_DisplayOff", vec![], None, "bsp_lcd.c", |fb| {
+        fb.mmio_write(CTRL, Operand::Imm(0), 4);
+        fb.ret_void();
+    });
+
+    cx.def("BSP_LCD_Clear", vec![("color", Ty::I32)], None, "bsp_lcd.c", {
+        let fill = cx.f("BSP_LCD_FillRect");
+        move |fb| {
+            fb.call_void(fill, vec![Operand::Imm(8), Operand::Imm(8), Operand::Reg(fb.param(0))]);
+            fb.ret_void();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcd_family_builds_valid_ir() {
+        let mut cx = Ctx::new("t");
+        crate::hal::sysclk::build(&mut cx);
+        crate::hal::gpio::build(&mut cx);
+        crate::hal::dma::build(&mut cx);
+        build(&mut cx);
+        cx.def("main", vec![], None, "main.c", |fb| fb.ret_void());
+        let m = cx.finish();
+        opec_ir::validate(&m).unwrap();
+        assert!(m.func_by_name("BSP_LCD_DrawPixel").is_some());
+    }
+}

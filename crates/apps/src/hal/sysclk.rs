@@ -1,0 +1,214 @@
+//! System, clock, and core-peripheral configuration
+//! (`system_stm32.c` / `hal_rcc.c` in the synthetic source tree).
+//!
+//! `System_Init` is the first operation of every application: it
+//! configures the PLL through the RCC, enables bus clocks, sets up
+//! SysTick and the DWT cycle counter (both **core** peripherals on the
+//! PPB — under OPEC these accesses are emulated; under ACES they lift
+//! the compartment to the privileged level), and programs interrupt
+//! priorities in the NVIC.
+
+use opec_devices::map::bases;
+use opec_ir::{Operand, Ty};
+
+use crate::builder::{bail_if_zero, poll_flag, write_regs, Ctx};
+
+/// Registers the system/clock driver family.
+pub fn build(cx: &mut Ctx) {
+    cx.global("SystemCoreClock", Ty::I32, "system_stm32.c");
+    cx.global("uwTick", Ty::I32, "hal.c");
+    cx.global("rcc_error_count", Ty::I32, "hal_rcc.c");
+
+    // The LL clock-enable layer: one inline-able wrapper per bus
+    // peripheral, exactly like the STM32 `__HAL_RCC_*_CLK_ENABLE`
+    // macros expand to.
+    for (name, reg, bit) in [
+        ("LL_RCC_GPIOA_CLK_ENABLE", 0x30u32, 0u32),
+        ("LL_RCC_GPIOB_CLK_ENABLE", 0x30, 1),
+        ("LL_RCC_GPIOC_CLK_ENABLE", 0x30, 2),
+        ("LL_RCC_GPIOD_CLK_ENABLE", 0x30, 3),
+        ("LL_RCC_DMA1_CLK_ENABLE", 0x30, 21),
+        ("LL_RCC_DMA2_CLK_ENABLE", 0x30, 22),
+        ("LL_RCC_ETH_CLK_ENABLE", 0x30, 25),
+        ("LL_RCC_USB_CLK_ENABLE", 0x30, 29),
+        ("LL_RCC_TIM2_CLK_ENABLE", 0x40, 0),
+        ("LL_RCC_TIM3_CLK_ENABLE", 0x40, 1),
+        ("LL_RCC_USART2_CLK_ENABLE", 0x40, 17),
+        ("LL_RCC_PWR_CLK_ENABLE", 0x40, 28),
+        ("LL_RCC_USART1_CLK_ENABLE", 0x44, 4),
+        ("LL_RCC_SDIO_CLK_ENABLE", 0x44, 11),
+        ("LL_RCC_LTDC_CLK_ENABLE", 0x44, 26),
+        ("LL_RCC_DCMI_CLK_ENABLE", 0x44, 27),
+    ] {
+        cx.def(name, vec![], None, "hal_rcc_ll.c", move |fb| {
+            let cur = fb.mmio_read(bases::RCC + reg, 4);
+            let set = fb.bin(opec_ir::BinOp::Or, Operand::Reg(cur), Operand::Imm(1 << bit));
+            fb.mmio_write(bases::RCC + reg, Operand::Reg(set), 4);
+            fb.ret_void();
+        });
+    }
+
+    let err = cx.def("RCC_ErrorCallback", vec![], None, "hal_rcc.c", {
+        let g = cx.g("rcc_error_count");
+        move |fb| {
+            let v = fb.load_global(g, 0, 4);
+            let v2 = fb.bin(opec_ir::BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+            fb.store_global(g, 0, Operand::Reg(v2), 4);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("HAL_RCC_OscConfig", vec![], Some(Ty::I32), "hal_rcc.c", move |fb| {
+        // Turn the PLL on and wait for PLLRDY (the model sets it as
+        // soon as PLLON is written).
+        fb.mmio_write(bases::RCC, Operand::Imm(1 << 24), 4);
+        let ok = poll_flag(fb, bases::RCC, 1 << 25, 1 << 25, 64);
+        bail_if_zero(fb, ok, Some(err), Some(1));
+        fb.ret(Operand::Imm(0));
+    });
+
+    cx.def("HAL_RCC_ClockConfig", vec![], Some(Ty::I32), "hal_rcc.c", {
+        let clk = cx.g("SystemCoreClock");
+        move |fb| {
+            write_regs(fb, &[(bases::RCC + 0x08, 0x0000_100A), (bases::RCC + 0x0C, 0x27)]);
+            fb.store_global(clk, 0, Operand::Imm(168_000_000), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    cx.def("HAL_RCC_EnableBusClocks", vec![], None, "hal_rcc.c", {
+        let lls: Vec<_> = [
+            "LL_RCC_GPIOA_CLK_ENABLE",
+            "LL_RCC_GPIOB_CLK_ENABLE",
+            "LL_RCC_GPIOC_CLK_ENABLE",
+            "LL_RCC_GPIOD_CLK_ENABLE",
+            "LL_RCC_DMA1_CLK_ENABLE",
+            "LL_RCC_DMA2_CLK_ENABLE",
+            "LL_RCC_PWR_CLK_ENABLE",
+        ]
+        .iter()
+        .map(|n| cx.f(n))
+        .collect();
+        move |fb| {
+            for ll in &lls {
+                fb.call_void(*ll, vec![]);
+            }
+            fb.ret_void();
+        }
+    });
+
+    // Flash wait-state and power-scale configuration (register-level
+    // settings the real SystemClock_Config performs).
+    cx.def("HAL_PWR_VoltageScaling", vec![], None, "hal_pwr.c", move |fb| {
+        write_regs(fb, &[(bases::PWR, 0x0000_4000)]);
+        fb.ret_void();
+    });
+
+    cx.def("FLASH_SetLatency", vec![("ws", Ty::I32)], None, "hal_flash.c", |fb| {
+        // The flash interface register rides in the RCC window slice of
+        // our reduced SoC model.
+        fb.mmio_write(bases::RCC + 0x60, Operand::Reg(fb.param(0)), 4);
+        fb.ret_void();
+    });
+
+    // Core peripherals (PPB) — the privileged-access path.
+    cx.def("HAL_SysTick_Config", vec![("ticks", Ty::I32)], Some(Ty::I32), "hal_cortex.c", |fb| {
+        let t = fb.param(0);
+        fb.mmio_write(0xE000_E014, Operand::Reg(t), 4); // SYST_RVR
+        fb.mmio_write(0xE000_E018, Operand::Imm(0), 4); // SYST_CVR
+        fb.mmio_write(0xE000_E010, Operand::Imm(0x7), 4); // SYST_CSR
+        fb.ret(Operand::Imm(0));
+    });
+
+    cx.def("HAL_NVIC_SetPriority", vec![("irq", Ty::I32), ("prio", Ty::I32)], None, "hal_cortex.c", |fb| {
+        let p = fb.param(1);
+        fb.mmio_write(0xE000_E100 + 0x100, Operand::Reg(p), 4); // IPR block
+        fb.ret_void();
+    });
+
+    cx.def("HAL_NVIC_EnableIRQ", vec![("irq", Ty::I32)], None, "hal_cortex.c", |fb| {
+        let irq = fb.param(0);
+        let bit = fb.bin(opec_ir::BinOp::Shl, Operand::Imm(1), Operand::Reg(irq));
+        fb.mmio_write(0xE000_E100, Operand::Reg(bit), 4); // ISER0
+        fb.ret_void();
+    });
+
+    cx.def("DWT_Init", vec![], None, "hal_cortex.c", |fb| {
+        fb.mmio_write(bases::DWT, Operand::Imm(1), 4); // DWT_CTRL.CYCCNTENA
+        fb.ret_void();
+    });
+
+    cx.def("HAL_GetTick", vec![], Some(Ty::I32), "hal.c", {
+        let tick = cx.g("uwTick");
+        move |fb| {
+            let v = fb.load_global(tick, 0, 4);
+            fb.ret(Operand::Reg(v));
+        }
+    });
+
+    cx.def("HAL_IncTick", vec![], None, "hal.c", {
+        let tick = cx.g("uwTick");
+        move |fb| {
+            let v = fb.load_global(tick, 0, 4);
+            let v2 = fb.bin(opec_ir::BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+            fb.store_global(tick, 0, Operand::Reg(v2), 4);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("HAL_Delay", vec![("ms", Ty::I32)], None, "hal.c", {
+        let inc = cx.f("HAL_IncTick");
+        move |fb| {
+            // The model advances the tick itself (no interrupt needed)
+            // and burns wall-clock-shaped cycles per millisecond.
+            crate::builder::counted_loop(fb, Operand::Reg(fb.param(0)), |fb, _| {
+                fb.call_void(inc, vec![]);
+                crate::builder::counted_loop(fb, Operand::Imm(150), |fb, _| {
+                    fb.nop();
+                });
+            });
+            fb.ret_void();
+        }
+    });
+
+    // The canonical first operation of every app.
+    cx.def("System_Init", vec![], None, "main.c", {
+        let osc = cx.f("HAL_RCC_OscConfig");
+        let clk = cx.f("HAL_RCC_ClockConfig");
+        let bus = cx.f("HAL_RCC_EnableBusClocks");
+        let pwr = cx.f("HAL_PWR_VoltageScaling");
+        let flash = cx.f("FLASH_SetLatency");
+        let tick = cx.f("HAL_SysTick_Config");
+        let dwt = cx.f("DWT_Init");
+        let prio = cx.f("HAL_NVIC_SetPriority");
+        move |fb| {
+            fb.call_void(pwr, vec![]);
+            let r = fb.call(osc, vec![]);
+            let ok = fb.bin(opec_ir::BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+            bail_if_zero(fb, ok, None, None);
+            fb.call_void(flash, vec![Operand::Imm(5)]);
+            let _ = fb.call(clk, vec![]);
+            fb.call_void(bus, vec![]);
+            let _ = fb.call(tick, vec![Operand::Imm(168_000)]);
+            fb.call_void(dwt, vec![]);
+            fb.call_void(prio, vec![Operand::Imm(15), Operand::Imm(0)]);
+            fb.ret_void();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sysclk_family_builds_valid_ir() {
+        let mut cx = Ctx::new("t");
+        build(&mut cx);
+        cx.def("main", vec![], None, "main.c", |fb| fb.ret_void());
+        let m = cx.finish();
+        opec_ir::validate(&m).unwrap();
+        assert!(m.func_by_name("System_Init").is_some());
+        assert!(m.func_by_name("HAL_SysTick_Config").is_some());
+    }
+}

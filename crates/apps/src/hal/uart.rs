@@ -1,0 +1,284 @@
+//! UART driver family (`hal_uart.c`).
+//!
+//! Mirrors the HAL's handle-based API: a `UART_HandleTypeDef`-like
+//! global struct with pointer fields (instance base, rx buffer pointer)
+//! that the monitor's pointer-field redirection must handle, plus the
+//! init/msp/transmit/receive surface. `HAL_UART_Receive_IT` is the
+//! function the paper's case study assumes vulnerable: it copies bytes
+//! from the data register into the buffer its handle points at.
+
+use opec_devices::map::bases;
+use opec_ir::module::BinOp;
+use opec_ir::types::{ParamKind, SigKey};
+use opec_ir::{Operand, Ty};
+
+use crate::builder::{poll_flag, Ctx};
+
+/// `SR` bit masks matching the device model.
+pub const SR_RXNE: u32 = 1 << 0;
+/// Transmit-empty flag.
+pub const SR_TXE: u32 = 1 << 1;
+
+/// Registers the UART driver family. The handle's rx pointer targets
+/// `rx_buffer_name` (registered by the caller beforehand).
+pub fn build(cx: &mut Ctx, rx_buffer_name: &str, rx_len: u32) {
+    build_with_vuln(cx, rx_buffer_name, rx_len, false);
+}
+
+/// Magic first byte that triggers the planted arbitrary-write backdoor
+/// in the vulnerable build (the case study's exploit primitive).
+pub const VULN_MAGIC: u8 = 0xEE;
+
+/// Like [`build`], but when `vulnerable` is set,
+/// `HAL_UART_Receive_IT` carries the paper's assumed vulnerability: an
+/// attacker-controlled input yields an arbitrary 4-byte write ("an
+/// attacker with the arbitrary memory write ability can exploit this
+/// vulnerability", §6.1). The trigger is a [`VULN_MAGIC`] first byte
+/// followed by a little-endian address and value.
+pub fn build_with_vuln(cx: &mut Ctx, rx_buffer_name: &str, rx_len: u32, vulnerable: bool) {
+    // struct UartHandle { u32 instance; u8* rx_buf; u32 rx_len;
+    //                     u32 state; fnptr rx_cplt_cb; fnptr error_cb; }
+    // — the callback registration pattern of the real HAL handles.
+    let cb_sig = SigKey { params: vec![ParamKind::Int], ret: None };
+    let handle_struct = cx.mb.add_struct(
+        "UART_HandleTypeDef",
+        vec![
+            Ty::I32,
+            Ty::Ptr(Box::new(Ty::I8)),
+            Ty::I32,
+            Ty::I32,
+            Ty::FnPtr(cb_sig.clone()),
+            Ty::FnPtr(cb_sig.clone()),
+        ],
+    );
+    cx.global("huart2", Ty::Struct(handle_struct), "hal_uart.c");
+    cx.global("uart_error_count", Ty::I32, "hal_uart.c");
+    cx.global("uart_rx_cplt_count", Ty::I32, "hal_uart.c");
+    let cb_sig_id = cx.mb.sig(cb_sig);
+
+    // The LL register layer.
+    cx.def("LL_USART_Enable", vec![], None, "hal_uart_ll.c", |fb| {
+        let cur = fb.mmio_read(bases::USART2 + 0x0C, 4);
+        let set = fb.bin(BinOp::Or, Operand::Reg(cur), Operand::Imm(1));
+        fb.mmio_write(bases::USART2 + 0x0C, Operand::Reg(set), 4);
+        fb.ret_void();
+    });
+    cx.def("LL_USART_SetBaudRate", vec![("brr", Ty::I32)], None, "hal_uart_ll.c", |fb| {
+        fb.mmio_write(bases::USART2 + 0x08, Operand::Reg(fb.param(0)), 4);
+        fb.ret_void();
+    });
+    cx.def("LL_USART_TransmitData", vec![("b", Ty::I32)], None, "hal_uart_ll.c", |fb| {
+        fb.mmio_write(bases::USART2 + 0x04, Operand::Reg(fb.param(0)), 4);
+        fb.ret_void();
+    });
+    cx.def("LL_USART_ReceiveData", vec![], Some(Ty::I32), "hal_uart_ll.c", |fb| {
+        let v = fb.mmio_read(bases::USART2 + 0x04, 4);
+        fb.ret(Operand::Reg(v));
+    });
+    cx.def("LL_USART_IsActiveFlag_RXNE", vec![], Some(Ty::I32), "hal_uart_ll.c", |fb| {
+        let sr = fb.mmio_read(bases::USART2, 4);
+        let f = fb.bin(BinOp::And, Operand::Reg(sr), Operand::Imm(SR_RXNE));
+        fb.ret(Operand::Reg(f));
+    });
+
+    // The HAL's weak default callbacks.
+    cx.def("HAL_UART_RxCpltCallback", vec![("len", Ty::I32)], None, "hal_uart.c", {
+        let g = cx.g("uart_rx_cplt_count");
+        move |fb| {
+            let v = fb.load_global(g, 0, 4);
+            let v2 = fb.bin(BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+            fb.store_global(g, 0, Operand::Reg(v2), 4);
+            fb.ret_void();
+        }
+    });
+
+    let err = cx.def("HAL_UART_ErrorCallback", vec![("code", Ty::I32)], None, "hal_uart.c", {
+        let g = cx.g("uart_error_count");
+        move |fb| {
+            let v = fb.load_global(g, 0, 4);
+            let v2 = fb.bin(BinOp::Add, Operand::Reg(v), Operand::Reg(fb.param(0)));
+            fb.store_global(g, 0, Operand::Reg(v2), 4);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("HAL_UART_MspInit", vec![], None, "hal_uart_msp.c", {
+        let gpio = cx.f("HAL_GPIO_Init");
+        let clk = cx.f("LL_RCC_USART2_CLK_ENABLE");
+        let gclk = cx.f("LL_RCC_GPIOA_CLK_ENABLE");
+        move |fb| {
+            fb.call_void(clk, vec![]);
+            fb.call_void(gclk, vec![]);
+            // UART pins to alternate function.
+            fb.call_void(gpio, vec![Operand::Imm(0), Operand::Imm(2), Operand::Imm(0xA0)]);
+            fb.call_void(gpio, vec![Operand::Imm(0), Operand::Imm(3), Operand::Imm(0xA0)]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("UART_SetConfig", vec![], None, "hal_uart.c", {
+        let baud = cx.f("LL_USART_SetBaudRate");
+        let enable = cx.f("LL_USART_Enable");
+        move |fb| {
+            fb.call_void(baud, vec![Operand::Imm(0x683)]); // 115200
+            fb.mmio_write(bases::USART2 + 0x0C, Operand::Imm(0x200C), 4); // CR1
+            fb.call_void(enable, vec![]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("HAL_UART_Init", vec![], Some(Ty::I32), "hal_uart.c", {
+        let msp = cx.f("HAL_UART_MspInit");
+        let cfg = cx.f("UART_SetConfig");
+        let handle = cx.g("huart2");
+        let rx_buf = cx.g(rx_buffer_name);
+        let rx_cplt = cx.f("HAL_UART_RxCpltCallback");
+        let err_cb_fn = cx.f("HAL_UART_ErrorCallback");
+        move |fb| {
+            fb.call_void(msp, vec![]);
+            fb.call_void(cfg, vec![]);
+            // Fill the handle: instance base, rx pointer, length, READY,
+            // and the registered callbacks.
+            fb.store_global(handle, 0, Operand::Imm(bases::USART2), 4);
+            let p = fb.addr_of_global(rx_buf, 0);
+            fb.store_global(handle, 4, Operand::Reg(p), 4);
+            fb.store_global(handle, 8, Operand::Imm(rx_len), 4);
+            fb.store_global(handle, 12, Operand::Imm(0x20), 4);
+            let pc = fb.addr_of_func(rx_cplt);
+            fb.store_global(handle, 16, Operand::Reg(pc), 4);
+            let pe = fb.addr_of_func(err_cb_fn);
+            fb.store_global(handle, 20, Operand::Reg(pe), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    // Blocking byte read through the handle's buffer pointer.
+    cx.def("HAL_UART_Receive_IT", vec![("count", Ty::I32)], Some(Ty::I32), "hal_uart.c", {
+        let handle = cx.g("huart2");
+        move |fb| {
+            let count = fb.param(0);
+            let buf = fb.load_global(handle, 4, 4); // rx pointer (indirect!)
+            crate::builder::counted_loop(fb, Operand::Reg(count), |fb, i| {
+                let ok = poll_flag(fb, bases::USART2, SR_RXNE, SR_RXNE, 4096);
+                let cont = fb.block();
+                let giveup = fb.block();
+                fb.cond_br(Operand::Reg(ok), cont, giveup);
+                fb.switch_to(giveup);
+                // Timeout: invoke the registered error callback (icall)
+                // if one is set — never taken in the healthy workloads.
+                let ecb = fb.load_global(handle, 20, 4);
+                let fire = fb.block();
+                let fail_ret = fb.block();
+                fb.cond_br(Operand::Reg(ecb), fire, fail_ret);
+                fb.switch_to(fire);
+                fb.icall_void(Operand::Reg(ecb), cb_sig_id, vec![Operand::Imm(1)]);
+                fb.br(fail_ret);
+                fb.switch_to(fail_ret);
+                fb.ret(Operand::Imm(1));
+                fb.switch_to(cont);
+                let byte = fb.mmio_read(bases::USART2 + 0x04, 4);
+                let dst = fb.bin(BinOp::Add, Operand::Reg(buf), Operand::Reg(i));
+                fb.store(Operand::Reg(dst), Operand::Reg(byte), 1);
+            });
+            // Completion: fire the registered rx-complete callback.
+            let ccb = fb.load_global(handle, 16, 4);
+            let fire = fb.block();
+            let done = fb.block();
+            fb.cond_br(Operand::Reg(ccb), fire, done);
+            fb.switch_to(fire);
+            fb.icall_void(Operand::Reg(ccb), cb_sig_id, vec![Operand::Reg(count)]);
+            fb.br(done);
+            fb.switch_to(done);
+            if vulnerable {
+                // The planted bug: a magic first byte turns the next
+                // eight input bytes into an arbitrary 4-byte write.
+                let first = fb.load(Operand::Reg(buf), 1);
+                let is_magic =
+                    fb.bin(BinOp::CmpEq, Operand::Reg(first), Operand::Imm(u32::from(VULN_MAGIC)));
+                let exploit = fb.block();
+                let clean = fb.block();
+                fb.cond_br(Operand::Reg(is_magic), exploit, clean);
+                fb.switch_to(exploit);
+                let addr = fb.reg();
+                let value = fb.reg();
+                fb.mov(addr, Operand::Imm(0));
+                fb.mov(value, Operand::Imm(0));
+                for reg in [addr, value] {
+                    for k in 0..4u32 {
+                        let _ = poll_flag(fb, bases::USART2, SR_RXNE, SR_RXNE, 4096);
+                        let b = fb.mmio_read(bases::USART2 + 0x04, 4);
+                        let sh = fb.bin(BinOp::Shl, Operand::Reg(b), Operand::Imm(8 * k));
+                        let acc = fb.bin(BinOp::Or, Operand::Reg(reg), Operand::Reg(sh));
+                        fb.mov(reg, Operand::Reg(acc));
+                    }
+                }
+                fb.store(Operand::Reg(addr), Operand::Reg(value), 4);
+                fb.ret(Operand::Imm(0));
+                fb.switch_to(clean);
+            }
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    let tx_ll = cx.f("LL_USART_TransmitData");
+    cx.def("HAL_UART_Transmit", vec![("byte", Ty::I32)], Some(Ty::I32), "hal_uart.c", move |fb| {
+        let ok = poll_flag(fb, bases::USART2, SR_TXE, SR_TXE, 64);
+        let fail = fb.block();
+        let cont = fb.block();
+        fb.cond_br(Operand::Reg(ok), cont, fail);
+        fb.switch_to(fail);
+        fb.call_void(err, vec![Operand::Imm(2)]);
+        fb.ret(Operand::Imm(1));
+        fb.switch_to(cont);
+        fb.call_void(tx_ll, vec![Operand::Reg(fb.param(0))]);
+        fb.ret(Operand::Imm(0));
+    });
+
+    cx.def(
+        "HAL_UART_Transmit_Str",
+        vec![("s", Ty::Ptr(Box::new(Ty::I8))), ("len", Ty::I32)],
+        None,
+        "hal_uart.c",
+        {
+            let tx = cx.f("HAL_UART_Transmit");
+            move |fb| {
+                let s = fb.param(0);
+                crate::builder::counted_loop(fb, Operand::Reg(fb.param(1)), |fb, i| {
+                    let p = fb.bin(BinOp::Add, Operand::Reg(s), Operand::Reg(i));
+                    let b = fb.load(Operand::Reg(p), 1);
+                    let _ = fb.call(tx, vec![Operand::Reg(b)]);
+                });
+                fb.ret_void();
+            }
+        },
+    );
+
+    cx.def("HAL_UART_GetState", vec![], Some(Ty::I32), "hal_uart.c", {
+        let handle = cx.g("huart2");
+        move |fb| {
+            let s = fb.load_global(handle, 12, 4);
+            fb.ret(Operand::Reg(s));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uart_family_builds_valid_ir() {
+        let mut cx = Ctx::new("t");
+        crate::hal::sysclk::build(&mut cx);
+        crate::hal::gpio::build(&mut cx);
+        cx.global("PinRxBuffer", Ty::Array(Box::new(Ty::I8), 8), "main.c");
+        build(&mut cx, "PinRxBuffer", 8);
+        cx.def("main", vec![], None, "main.c", |fb| fb.ret_void());
+        let m = cx.finish();
+        opec_ir::validate(&m).unwrap();
+        // The handle has pointer fields at the expected offset.
+        let h = m.global_by_name("huart2").unwrap();
+        let offs = m.types.pointer_field_offsets(&m.global(h).ty);
+        assert_eq!(offs, vec![4, 16, 20]);
+    }
+}

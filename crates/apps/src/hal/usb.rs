@@ -1,0 +1,208 @@
+//! USB host mass-storage driver family (`usbh_msc.c` / `usbh_core.c`).
+//!
+//! The Camera workload saves captured photos to a USB flash disk. The
+//! host stack shape is mirrored: core enumeration, MSC class hookup via
+//! a class-callback struct (function pointers → icalls), and block I/O.
+
+use opec_devices::map::bases;
+use opec_ir::module::BinOp;
+use opec_ir::types::{ParamKind, SigKey};
+use opec_ir::{Operand, Ty};
+
+use crate::builder::{bail_if_zero, poll_flag, Ctx};
+
+const CMD: u32 = bases::USB;
+const ARG: u32 = bases::USB + 0x04;
+const DATA: u32 = bases::USB + 0x08;
+const STATUS: u32 = bases::USB + 0x0C;
+
+/// Registers the USB host MSC family.
+pub fn build(cx: &mut Ctx) {
+    let dma_sig = cx.mb.sig(crate::hal::dma::cb_sig());
+    // struct USBH_Class { u32 id; fnptr init; fnptr process; }
+    let cb_sig = SigKey { params: vec![ParamKind::Int], ret: Some(ParamKind::Int) };
+    let class_struct = cx.mb.add_struct(
+        "USBH_ClassTypeDef",
+        vec![Ty::I32, Ty::FnPtr(cb_sig.clone()), Ty::FnPtr(cb_sig.clone())],
+    );
+    cx.global("usbh_msc_class", Ty::Struct(class_struct), "usbh_msc.c");
+    cx.global("usbh_state", Ty::I32, "usbh_core.c");
+    cx.global("usb_error_count", Ty::I32, "usbh_core.c");
+
+    let err = cx.def("USBH_ErrorCallback", vec![], None, "usbh_core.c", {
+        let g = cx.g("usb_error_count");
+        move |fb| {
+            let v = fb.load_global(g, 0, 4);
+            let v2 = fb.bin(BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+            fb.store_global(g, 0, Operand::Reg(v2), 4);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("USBH_MSC_ClassInit", vec![("unit", Ty::I32)], Some(Ty::I32), "usbh_msc.c", {
+        let state = cx.g("usbh_state");
+        move |fb| {
+            fb.store_global(state, 0, Operand::Imm(2), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    cx.def("USBH_MSC_Process", vec![("unit", Ty::I32)], Some(Ty::I32), "usbh_msc.c", {
+        let state = cx.g("usbh_state");
+        move |fb| {
+            let v = fb.load_global(state, 0, 4);
+            fb.ret(Operand::Reg(v));
+        }
+    });
+
+    // Control-transfer layer the enumeration sequence drives.
+    cx.def("USBH_CtlReq", vec![("req", Ty::I32)], Some(Ty::I32), "usbh_core.c", move |fb| {
+        fb.mmio_write(ARG, Operand::Reg(fb.param(0)), 4);
+        fb.mmio_write(CMD, Operand::Imm(0x10), 4);
+        let ok = poll_flag(fb, STATUS, 1, 1, 16384);
+        let bad = fb.block();
+        let good = fb.block();
+        fb.cond_br(Operand::Reg(ok), good, bad);
+        fb.switch_to(bad);
+        fb.ret(Operand::Imm(1));
+        fb.switch_to(good);
+        fb.ret(Operand::Imm(0));
+    });
+
+    cx.def("USBH_GetDescriptor", vec![("kind", Ty::I32)], Some(Ty::I32), "usbh_core.c", {
+        let ctl = cx.f("USBH_CtlReq");
+        move |fb| {
+            let r = fb.call(ctl, vec![Operand::Reg(fb.param(0))]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("USBH_MSC_GetLUNInfo", vec![], Some(Ty::I32), "usbh_msc.c", {
+        let ctl = cx.f("USBH_CtlReq");
+        move |fb| {
+            let r = fb.call(ctl, vec![Operand::Imm(0xFE)]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("USBH_Init", vec![], Some(Ty::I32), "usbh_core.c", {
+        let class = cx.g("usbh_msc_class");
+        let init = cx.f("USBH_MSC_ClassInit");
+        let process = cx.f("USBH_MSC_Process");
+        let gpio = cx.f("HAL_GPIO_Init");
+        let clk = cx.f("LL_RCC_USB_CLK_ENABLE");
+        let dma_init = cx.f("HAL_DMA_Init");
+        let bulk_cb = cx.f("DMA_Stream_TxCplt");
+        move |fb| {
+            fb.call_void(clk, vec![]);
+            fb.call_void(dma_init, vec![Operand::Imm(2)]);
+            let pb = fb.addr_of_func(bulk_cb);
+            fb.mmio_write(
+                opec_devices::map::bases::DMA2 + crate::hal::dma::slots::USB,
+                Operand::Reg(pb),
+                4,
+            );
+            fb.call_void(gpio, vec![Operand::Imm(0), Operand::Imm(9), Operand::Imm(0xDD)]);
+            fb.store_global(class, 0, Operand::Imm(0x08), 4); // MSC class id
+            let pi = fb.addr_of_func(init);
+            fb.store_global(class, 4, Operand::Reg(pi), 4);
+            let pp = fb.addr_of_func(process);
+            fb.store_global(class, 8, Operand::Reg(pp), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    // Enumerate: fetch descriptors, then call the registered class
+    // callbacks through pointers.
+    let enum_sig = cx.mb.sig(cb_sig.clone());
+    cx.def("USBH_Enumerate", vec![], Some(Ty::I32), "usbh_core.c", {
+        let class = cx.g("usbh_msc_class");
+        let sig = enum_sig;
+        let getd = cx.f("USBH_GetDescriptor");
+        let lun = cx.f("USBH_MSC_GetLUNInfo");
+        move |fb| {
+            let d1 = fb.call(getd, vec![Operand::Imm(1)]); // device desc
+            let ok = fb.bin(BinOp::CmpEq, Operand::Reg(d1), Operand::Imm(0));
+            bail_if_zero(fb, ok, Some(err), Some(1));
+            let _ = fb.call(getd, vec![Operand::Imm(2)]); // config desc
+            let _ = fb.call(lun, vec![]);
+            let fi = fb.load_global(class, 4, 4);
+            let r1 = fb.icall(Operand::Reg(fi), sig, vec![Operand::Imm(0)]);
+            let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r1), Operand::Imm(0));
+            bail_if_zero(fb, ok, Some(err), Some(1));
+            let fp = fb.load_global(class, 8, 4);
+            let _ = fb.icall(Operand::Reg(fp), sig, vec![Operand::Imm(0)]);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    // Writes one 512-byte block from `src` to disk block `block`.
+    cx.def(
+        "USBH_MSC_WriteBlock",
+        vec![("src", Ty::Ptr(Box::new(Ty::I8))), ("block", Ty::I32)],
+        Some(Ty::I32),
+        "usbh_msc.c",
+        move |fb| {
+            fb.mmio_write(ARG, Operand::Reg(fb.param(1)), 4);
+            let src = fb.param(0);
+            crate::builder::counted_loop(fb, Operand::Imm(128), |fb, i| {
+                let off = fb.bin(BinOp::Mul, Operand::Reg(i), Operand::Imm(4));
+                let p = fb.bin(BinOp::Add, Operand::Reg(src), Operand::Reg(off));
+                let w = fb.load(Operand::Reg(p), 4);
+                fb.mmio_write(DATA, Operand::Reg(w), 4);
+            });
+            fb.mmio_write(CMD, Operand::Imm(2), 4);
+            let ok = poll_flag(fb, STATUS, 0b11, 0b01, 16384);
+            bail_if_zero(fb, ok, Some(err), Some(1));
+            crate::hal::dma::emit_fire_callback(
+                fb,
+                dma_sig,
+                crate::hal::dma::slots::USB,
+                2,
+                Operand::Reg(fb.param(1)),
+            );
+            fb.ret(Operand::Imm(0));
+        },
+    );
+
+    cx.def(
+        "USBH_MSC_ReadBlock",
+        vec![("dst", Ty::Ptr(Box::new(Ty::I8))), ("block", Ty::I32)],
+        Some(Ty::I32),
+        "usbh_msc.c",
+        move |fb| {
+            fb.mmio_write(ARG, Operand::Reg(fb.param(1)), 4);
+            fb.mmio_write(CMD, Operand::Imm(1), 4);
+            let ok = poll_flag(fb, STATUS, 0b11, 0b01, 16384);
+            bail_if_zero(fb, ok, Some(err), Some(1));
+            let dst = fb.param(0);
+            crate::builder::counted_loop(fb, Operand::Imm(128), |fb, i| {
+                let w = fb.mmio_read(DATA, 4);
+                let off = fb.bin(BinOp::Mul, Operand::Reg(i), Operand::Imm(4));
+                let p = fb.bin(BinOp::Add, Operand::Reg(dst), Operand::Reg(off));
+                fb.store(Operand::Reg(p), Operand::Reg(w), 4);
+            });
+            fb.ret(Operand::Imm(0));
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usb_family_builds_valid_ir() {
+        let mut cx = Ctx::new("t");
+        crate::hal::sysclk::build(&mut cx);
+        crate::hal::gpio::build(&mut cx);
+        crate::hal::dma::build(&mut cx);
+        build(&mut cx);
+        cx.def("main", vec![], None, "main.c", |fb| fb.ret_void());
+        let m = cx.finish();
+        opec_ir::validate(&m).unwrap();
+        // The class struct exposes two pointer fields.
+        let c = m.global_by_name("usbh_msc_class").unwrap();
+        assert_eq!(m.types.pointer_field_offsets(&m.global(c).ty), vec![4, 8]);
+    }
+}

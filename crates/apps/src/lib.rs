@@ -1,0 +1,28 @@
+//! The evaluation workloads (paper Section 6).
+//!
+//! Seven firmware programs — PinLock, Animation, FatFs-uSD, LCD-uSD,
+//! TCP-Echo, Camera, and CoreMark — reconstructed as IR programs over a
+//! synthetic but structurally realistic firmware stack:
+//!
+//! * [`hal`] — an STM32Cube-flavoured hardware abstraction layer
+//!   (RCC/clock, GPIO, UART, SDIO/SD card, LCD, Ethernet MAC, DCMI
+//!   camera, USB mass storage, core-peripheral setup);
+//! * [`libs`] — middleware: a FAT-like filesystem over the SD driver,
+//!   an lwIP-like TCP/IP stack with callback-style indirect calls, a
+//!   small hash (for PinLock's pin), and graphics helpers;
+//! * [`programs`] — the applications themselves plus their operation
+//!   entry lists, device setup, scripted inputs, stop conditions, and
+//!   post-run checks.
+//!
+//! Every application provides an [`App`] record so the evaluation
+//! harness can build it for the baseline, OPEC, and ACES uniformly.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod hal;
+pub mod libs;
+pub mod programs;
+
+pub use builder::Ctx;
+pub use programs::{all_apps, App};

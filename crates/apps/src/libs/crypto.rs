@@ -1,0 +1,85 @@
+//! Digest routines (`crypto.c`).
+//!
+//! PinLock hashes the received pin before comparing against the stored
+//! `KEY` digest (paper Listing 1). The digest is an FNV-1a-style word
+//! hash — small enough to run in a few dozen cycles, strong enough that
+//! a wrong pin never collides in the test vectors.
+
+use opec_ir::module::BinOp;
+use opec_ir::{Operand, Ty};
+
+use crate::builder::Ctx;
+
+/// FNV-1a offset basis (32-bit).
+pub const FNV_OFFSET: u32 = 0x811C_9DC5;
+/// FNV-1a prime (32-bit).
+pub const FNV_PRIME: u32 = 0x0100_0193;
+
+/// Host-side reference implementation, used to precompute `KEY` values
+/// and by tests to verify what the firmware computed.
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Registers the digest family.
+pub fn build(cx: &mut Ctx) {
+    // hash(buf, len) -> u32.
+    cx.def(
+        "crypto_hash",
+        vec![("buf", Ty::Ptr(Box::new(Ty::I8))), ("len", Ty::I32)],
+        Some(Ty::I32),
+        "crypto.c",
+        |fb| {
+            let h = fb.reg();
+            fb.mov(h, Operand::Imm(FNV_OFFSET));
+            let buf = fb.param(0);
+            crate::builder::counted_loop(fb, Operand::Reg(fb.param(1)), move |fb, i| {
+                let p = fb.bin(BinOp::Add, Operand::Reg(buf), Operand::Reg(i));
+                let b = fb.load(Operand::Reg(p), 1);
+                let x = fb.bin(BinOp::Xor, Operand::Reg(h), Operand::Reg(b));
+                let m = fb.bin(BinOp::Mul, Operand::Reg(x), Operand::Imm(FNV_PRIME));
+                fb.mov(h, Operand::Reg(m));
+            });
+            fb.ret(Operand::Reg(h));
+        },
+    );
+
+    // Constant-time-style word comparison: returns 1 when equal.
+    cx.def(
+        "crypto_compare",
+        vec![("a", Ty::I32), ("b", Ty::I32)],
+        Some(Ty::I32),
+        "crypto.c",
+        |fb| {
+            let x = fb.bin(BinOp::Xor, Operand::Reg(fb.param(0)), Operand::Reg(fb.param(1)));
+            let eq = fb.bin(BinOp::CmpEq, Operand::Reg(x), Operand::Imm(0));
+            fb.ret(Operand::Reg(eq));
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_reference_hash_is_stable() {
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+        assert_ne!(fnv1a(b"1234"), fnv1a(b"1235"));
+        // Known FNV-1a vector.
+        assert_eq!(fnv1a(b"a"), 0xE40C_292C);
+    }
+
+    #[test]
+    fn family_builds_valid_ir() {
+        let mut cx = Ctx::new("t");
+        build(&mut cx);
+        cx.def("main", vec![], None, "main.c", |fb| fb.ret_void());
+        opec_ir::validate(&cx.finish()).unwrap();
+    }
+}

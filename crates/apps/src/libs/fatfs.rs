@@ -1,0 +1,619 @@
+//! A FAT-like filesystem over the SD driver (`ff.c` / `diskio.c`).
+//!
+//! Functional layering follows FatFs: a disk-I/O shim, a sector window
+//! cache, volume mount/check, root-directory operations, a cluster
+//! allocation table, and the `f_*` API. The on-card format is reduced
+//! (single-block files, 16 root entries, one FAT block) but everything
+//! round-trips for real: what `f_write` stores, `f_read` recovers after
+//! a remount.
+//!
+//! The two big shared structures the paper calls out for FatFs-uSD —
+//! the file object `MyFile` and the filesystem object `SDFatFs` — are
+//! globals with pointer fields (window/buffer pointers), shared across
+//! several operations.
+
+use opec_ir::module::BinOp;
+use opec_ir::{Operand, Ty};
+
+use crate::builder::{bail_if_zero, Ctx};
+
+/// Boot-sector magic ("FATS").
+pub const BOOT_MAGIC: u32 = 0x4641_5453;
+/// Boot signature word.
+pub const BOOT_SIG: u32 = 0xAA55;
+/// FAT end-of-chain marker.
+pub const EOC: u32 = 0xFFFF_FFFF;
+/// Sector of the boot block.
+pub const BOOT_SECT: u32 = 0;
+/// Sector of the FAT.
+pub const FAT_SECT: u32 = 1;
+/// Sector of the root directory.
+pub const DIR_SECT: u32 = 2;
+/// First data sector; cluster `c` lives at `DATA_SECT + c`.
+pub const DATA_SECT: u32 = 8;
+/// Root directory entries.
+pub const DIR_ENTRIES: u32 = 16;
+
+/// Builds the on-card image a freshly formatted volume would have
+/// (host-side; preloaded into the SD card model by the workloads).
+pub fn format_volume() -> Vec<(u32, [u8; 512])> {
+    let mut boot = [0u8; 512];
+    boot[0..4].copy_from_slice(&BOOT_MAGIC.to_le_bytes());
+    boot[4..8].copy_from_slice(&BOOT_SIG.to_le_bytes());
+    let fat = [0u8; 512];
+    let dir = [0u8; 512];
+    vec![(BOOT_SECT, boot), (FAT_SECT, fat), (DIR_SECT, dir)]
+}
+
+/// Registers the filesystem family. Requires the SD family
+/// (`crate::hal::sd`) to be registered first.
+pub fn build(cx: &mut Ctx) {
+    // struct FATFS { fs_type; winsect; database; u8* win; }
+    let fs_struct = cx.mb.add_struct(
+        "FATFS",
+        vec![Ty::I32, Ty::I32, Ty::I32, Ty::Ptr(Box::new(Ty::I8))],
+    );
+    // struct FIL { flag; sclust; fptr; fsize; u8* buf; }
+    let fil_struct = cx.mb.add_struct(
+        "FIL",
+        vec![Ty::I32, Ty::I32, Ty::I32, Ty::I32, Ty::Ptr(Box::new(Ty::I8))],
+    );
+    cx.global("SDFatFs", Ty::Struct(fs_struct), "ff.c");
+    cx.global("MyFile", Ty::Struct(fil_struct), "ff.c");
+    cx.global("fs_win", Ty::Array(Box::new(Ty::I8), 512), "ff.c");
+    cx.global("file_buf", Ty::Array(Box::new(Ty::I8), 512), "ff.c");
+    cx.global("ff_error_count", Ty::I32, "ff.c");
+
+    let err = cx.def("FF_ErrorHook", vec![], None, "ff.c", {
+        let g = cx.g("ff_error_count");
+        move |fb| {
+            let v = fb.load_global(g, 0, 4);
+            let v2 = fb.bin(BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+            fb.store_global(g, 0, Operand::Reg(v2), 4);
+            fb.ret_void();
+        }
+    });
+
+    // Byte-wise copy used throughout (FatFs's mem_cpy).
+    cx.def(
+        "ff_mem_cpy",
+        vec![
+            ("dst", Ty::Ptr(Box::new(Ty::I8))),
+            ("src", Ty::Ptr(Box::new(Ty::I8))),
+            ("n", Ty::I32),
+        ],
+        None,
+        "ff.c",
+        |fb| {
+            fb.memcpy(
+                Operand::Reg(fb.param(0)),
+                Operand::Reg(fb.param(1)),
+                Operand::Reg(fb.param(2)),
+            );
+            fb.ret_void();
+        },
+    );
+
+    cx.def(
+        "disk_read",
+        vec![("dst", Ty::Ptr(Box::new(Ty::I8))), ("sect", Ty::I32)],
+        Some(Ty::I32),
+        "diskio.c",
+        {
+            let rd = cx.f("BSP_SD_ReadBlocks");
+            move |fb| {
+                let r = fb.call(rd, vec![Operand::Reg(fb.param(0)), Operand::Reg(fb.param(1))]);
+                fb.ret(Operand::Reg(r));
+            }
+        },
+    );
+
+    cx.def(
+        "disk_write",
+        vec![("src", Ty::Ptr(Box::new(Ty::I8))), ("sect", Ty::I32)],
+        Some(Ty::I32),
+        "diskio.c",
+        {
+            let wr = cx.f("BSP_SD_WriteBlocks");
+            move |fb| {
+                let r = fb.call(wr, vec![Operand::Reg(fb.param(0)), Operand::Reg(fb.param(1))]);
+                fb.ret(Operand::Reg(r));
+            }
+        },
+    );
+
+    // Loads `sect` into the window cache if not already there.
+    cx.def("move_window", vec![("sect", Ty::I32)], Some(Ty::I32), "ff.c", {
+        let fs = cx.g("SDFatFs");
+        let rd = cx.f("disk_read");
+        move |fb| {
+            let sect = fb.param(0);
+            let cur = fb.load_global(fs, 4, 4); // winsect
+            let same = fb.bin(BinOp::CmpEq, Operand::Reg(cur), Operand::Reg(sect));
+            let hit = fb.block();
+            let miss = fb.block();
+            fb.cond_br(Operand::Reg(same), hit, miss);
+            fb.switch_to(miss);
+            let win = fb.load_global(fs, 12, 4); // win pointer
+            let r = fb.call(rd, vec![Operand::Reg(win), Operand::Reg(sect)]);
+            fb.store_global(fs, 4, Operand::Reg(sect), 4);
+            fb.ret(Operand::Reg(r));
+            fb.switch_to(hit);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    // Writes the window back to its sector.
+    cx.def("sync_window", vec![], Some(Ty::I32), "ff.c", {
+        let fs = cx.g("SDFatFs");
+        let wr = cx.f("disk_write");
+        move |fb| {
+            let win = fb.load_global(fs, 12, 4);
+            let sect = fb.load_global(fs, 4, 4);
+            let r = fb.call(wr, vec![Operand::Reg(win), Operand::Reg(sect)]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    // Verifies the boot sector.
+    cx.def("check_fs", vec![], Some(Ty::I32), "ff.c", {
+        let fs = cx.g("SDFatFs");
+        let mv = cx.f("move_window");
+        move |fb| {
+            let r = fb.call(mv, vec![Operand::Imm(BOOT_SECT)]);
+            let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+            bail_if_zero(fb, ok, Some(err), Some(1));
+            let win = fb.load_global(fs, 12, 4);
+            let magic = fb.load(Operand::Reg(win), 4);
+            let good = fb.bin(BinOp::CmpEq, Operand::Reg(magic), Operand::Imm(BOOT_MAGIC));
+            bail_if_zero(fb, good, Some(err), Some(2));
+            let p4 = fb.bin(BinOp::Add, Operand::Reg(win), Operand::Imm(4));
+            let sig = fb.load(Operand::Reg(p4), 4);
+            let good2 = fb.bin(BinOp::CmpEq, Operand::Reg(sig), Operand::Imm(BOOT_SIG));
+            bail_if_zero(fb, good2, Some(err), Some(2));
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    cx.def("find_volume", vec![], Some(Ty::I32), "ff.c", {
+        let fs = cx.g("SDFatFs");
+        let chk = cx.f("check_fs");
+        move |fb| {
+            let r = fb.call(chk, vec![]);
+            let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+            bail_if_zero(fb, ok, Some(err), Some(1));
+            fb.store_global(fs, 0, Operand::Imm(3), 4); // fs_type = FAT
+            fb.store_global(fs, 8, Operand::Imm(DATA_SECT), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    cx.def("f_mount", vec![], Some(Ty::I32), "ff.c", {
+        let fs = cx.g("SDFatFs");
+        let win = cx.g("fs_win");
+        let fv = cx.f("find_volume");
+        move |fb| {
+            let p = fb.addr_of_global(win, 0);
+            fb.store_global(fs, 12, Operand::Reg(p), 4);
+            fb.store_global(fs, 4, Operand::Imm(EOC), 4); // no window yet
+            let r = fb.call(fv, vec![]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    // FAT access: entry value for cluster `c`.
+    cx.def("get_fat", vec![("clust", Ty::I32)], Some(Ty::I32), "ff.c", {
+        let fs = cx.g("SDFatFs");
+        let mv = cx.f("move_window");
+        move |fb| {
+            let _ = fb.call(mv, vec![Operand::Imm(FAT_SECT)]);
+            let win = fb.load_global(fs, 12, 4);
+            let off = fb.bin(BinOp::Mul, Operand::Reg(fb.param(0)), Operand::Imm(4));
+            let p = fb.bin(BinOp::Add, Operand::Reg(win), Operand::Reg(off));
+            let v = fb.load(Operand::Reg(p), 4);
+            fb.ret(Operand::Reg(v));
+        }
+    });
+
+    cx.def("put_fat", vec![("clust", Ty::I32), ("val", Ty::I32)], Some(Ty::I32), "ff.c", {
+        let fs = cx.g("SDFatFs");
+        let mv = cx.f("move_window");
+        let sync = cx.f("sync_window");
+        move |fb| {
+            let _ = fb.call(mv, vec![Operand::Imm(FAT_SECT)]);
+            let win = fb.load_global(fs, 12, 4);
+            let off = fb.bin(BinOp::Mul, Operand::Reg(fb.param(0)), Operand::Imm(4));
+            let p = fb.bin(BinOp::Add, Operand::Reg(win), Operand::Reg(off));
+            fb.store(Operand::Reg(p), Operand::Reg(fb.param(1)), 4);
+            let r = fb.call(sync, vec![]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    // Allocates a free cluster and marks it end-of-chain.
+    cx.def("create_chain", vec![], Some(Ty::I32), "ff.c", {
+        let get = cx.f("get_fat");
+        let put = cx.f("put_fat");
+        move |fb| {
+            let found = fb.reg();
+            fb.mov(found, Operand::Imm(EOC));
+            let check = fb.block();
+            let out = fb.block();
+            // Scan clusters 1..32 for a free entry.
+            let i = fb.reg();
+            fb.mov(i, Operand::Imm(1));
+            let head = fb.block();
+            fb.br(head);
+            fb.switch_to(head);
+            let c = fb.bin(BinOp::CmpLtU, Operand::Reg(i), Operand::Imm(32));
+            fb.cond_br(Operand::Reg(c), check, out);
+            fb.switch_to(check);
+            let v = fb.call(get, vec![Operand::Reg(i)]);
+            let free = fb.bin(BinOp::CmpEq, Operand::Reg(v), Operand::Imm(0));
+            let take = fb.block();
+            let next = fb.block();
+            fb.cond_br(Operand::Reg(free), take, next);
+            fb.switch_to(take);
+            let _ = fb.call(put, vec![Operand::Reg(i), Operand::Imm(EOC)]);
+            fb.mov(found, Operand::Reg(i));
+            fb.br(out);
+            fb.switch_to(next);
+            let i2 = fb.bin(BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+            fb.mov(i, Operand::Reg(i2));
+            fb.br(head);
+            fb.switch_to(out);
+            fb.ret(Operand::Reg(found));
+        }
+    });
+
+    cx.def("clust2sect", vec![("clust", Ty::I32)], Some(Ty::I32), "ff.c", {
+        let fs = cx.g("SDFatFs");
+        move |fb| {
+            let base = fb.load_global(fs, 8, 4);
+            let s = fb.bin(BinOp::Add, Operand::Reg(base), Operand::Reg(fb.param(0)));
+            fb.ret(Operand::Reg(s));
+        }
+    });
+
+    // Finds the directory entry with `name_hash`; returns the byte
+    // offset of the entry in the window, or EOC.
+    cx.def("dir_find", vec![("name_hash", Ty::I32)], Some(Ty::I32), "ff.c", {
+        let fs = cx.g("SDFatFs");
+        let mv = cx.f("move_window");
+        move |fb| {
+            let _ = fb.call(mv, vec![Operand::Imm(DIR_SECT)]);
+            let win = fb.load_global(fs, 12, 4);
+            let found = fb.reg();
+            fb.mov(found, Operand::Imm(EOC));
+            let name = fb.param(0);
+            let out = fb.block();
+            let i = fb.reg();
+            fb.mov(i, Operand::Imm(0));
+            let head = fb.block();
+            let body = fb.block();
+            fb.br(head);
+            fb.switch_to(head);
+            let c = fb.bin(BinOp::CmpLtU, Operand::Reg(i), Operand::Imm(DIR_ENTRIES));
+            fb.cond_br(Operand::Reg(c), body, out);
+            fb.switch_to(body);
+            let off = fb.bin(BinOp::Mul, Operand::Reg(i), Operand::Imm(32));
+            let p = fb.bin(BinOp::Add, Operand::Reg(win), Operand::Reg(off));
+            let used_p = fb.bin(BinOp::Add, Operand::Reg(p), Operand::Imm(12));
+            let used = fb.load(Operand::Reg(used_p), 4);
+            let h = fb.load(Operand::Reg(p), 4);
+            let match_name = fb.bin(BinOp::CmpEq, Operand::Reg(h), Operand::Reg(name));
+            let both = fb.bin(BinOp::And, Operand::Reg(used), Operand::Reg(match_name));
+            let hit = fb.block();
+            let next = fb.block();
+            fb.cond_br(Operand::Reg(both), hit, next);
+            fb.switch_to(hit);
+            fb.mov(found, Operand::Reg(off));
+            fb.br(out);
+            fb.switch_to(next);
+            let i2 = fb.bin(BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+            fb.mov(i, Operand::Reg(i2));
+            fb.br(head);
+            fb.switch_to(out);
+            fb.ret(Operand::Reg(found));
+        }
+    });
+
+    // Registers a new directory entry; returns its start cluster or EOC.
+    cx.def("dir_register", vec![("name_hash", Ty::I32)], Some(Ty::I32), "ff.c", {
+        let fs = cx.g("SDFatFs");
+        let mv = cx.f("move_window");
+        let sync = cx.f("sync_window");
+        let chain = cx.f("create_chain");
+        move |fb| {
+            let clust = fb.call(chain, vec![]);
+            let bad = fb.bin(BinOp::CmpEq, Operand::Reg(clust), Operand::Imm(EOC));
+            let fail = fb.block();
+            let cont = fb.block();
+            fb.cond_br(Operand::Reg(bad), fail, cont);
+            fb.switch_to(fail);
+            fb.ret(Operand::Imm(EOC));
+            fb.switch_to(cont);
+            let _ = fb.call(mv, vec![Operand::Imm(DIR_SECT)]);
+            let win = fb.load_global(fs, 12, 4);
+            let name = fb.param(0);
+            // Find a free slot.
+            let out = fb.block();
+            let i = fb.reg();
+            fb.mov(i, Operand::Imm(0));
+            let head = fb.block();
+            let body = fb.block();
+            fb.br(head);
+            fb.switch_to(head);
+            let c = fb.bin(BinOp::CmpLtU, Operand::Reg(i), Operand::Imm(DIR_ENTRIES));
+            fb.cond_br(Operand::Reg(c), body, out);
+            fb.switch_to(body);
+            let off = fb.bin(BinOp::Mul, Operand::Reg(i), Operand::Imm(32));
+            let p = fb.bin(BinOp::Add, Operand::Reg(win), Operand::Reg(off));
+            let used_p = fb.bin(BinOp::Add, Operand::Reg(p), Operand::Imm(12));
+            let used = fb.load(Operand::Reg(used_p), 4);
+            let free = fb.bin(BinOp::CmpEq, Operand::Reg(used), Operand::Imm(0));
+            let take = fb.block();
+            let next = fb.block();
+            fb.cond_br(Operand::Reg(free), take, next);
+            fb.switch_to(take);
+            fb.store(Operand::Reg(p), Operand::Reg(name), 4);
+            let cl_p = fb.bin(BinOp::Add, Operand::Reg(p), Operand::Imm(4));
+            fb.store(Operand::Reg(cl_p), Operand::Reg(clust), 4);
+            let sz_p = fb.bin(BinOp::Add, Operand::Reg(p), Operand::Imm(8));
+            fb.store(Operand::Reg(sz_p), Operand::Imm(0), 4);
+            fb.store(Operand::Reg(used_p), Operand::Imm(1), 4);
+            let _ = fb.call(sync, vec![]);
+            fb.ret(Operand::Reg(clust));
+            fb.switch_to(next);
+            let i2 = fb.bin(BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+            fb.mov(i, Operand::Reg(i2));
+            fb.br(head);
+            fb.switch_to(out);
+            fb.ret(Operand::Imm(EOC));
+        }
+    });
+
+    // Opens (flags bit0 = create-if-missing). Returns 0 on success.
+    cx.def("f_open", vec![("name_hash", Ty::I32), ("flags", Ty::I32)], Some(Ty::I32), "ff.c", {
+        let fil = cx.g("MyFile");
+        let fs = cx.g("SDFatFs");
+        let buf = cx.g("file_buf");
+        let find = cx.f("dir_find");
+        let register = cx.f("dir_register");
+        move |fb| {
+            let off = fb.call(find, vec![Operand::Reg(fb.param(0))]);
+            let missing = fb.bin(BinOp::CmpEq, Operand::Reg(off), Operand::Imm(EOC));
+            let create = fb.block();
+            let open_existing = fb.block();
+            let fill = fb.block();
+            fb.cond_br(Operand::Reg(missing), create, open_existing);
+            // Create path.
+            fb.switch_to(create);
+            let want_create =
+                fb.bin(BinOp::And, Operand::Reg(fb.param(1)), Operand::Imm(1));
+            let do_create = fb.block();
+            let fail = fb.block();
+            fb.cond_br(Operand::Reg(want_create), do_create, fail);
+            fb.switch_to(fail);
+            fb.ret(Operand::Imm(4)); // FR_NO_FILE
+            fb.switch_to(do_create);
+            let clust = fb.call(register, vec![Operand::Reg(fb.param(0))]);
+            fb.store_global(fil, 4, Operand::Reg(clust), 4);
+            fb.store_global(fil, 12, Operand::Imm(0), 4); // fsize 0
+            fb.br(fill);
+            // Open-existing path: read the entry out of the window.
+            fb.switch_to(open_existing);
+            let win = fb.load_global(fs, 12, 4);
+            let p = fb.bin(BinOp::Add, Operand::Reg(win), Operand::Reg(off));
+            let cl_p = fb.bin(BinOp::Add, Operand::Reg(p), Operand::Imm(4));
+            let clust2 = fb.load(Operand::Reg(cl_p), 4);
+            fb.store_global(fil, 4, Operand::Reg(clust2), 4);
+            let sz_p = fb.bin(BinOp::Add, Operand::Reg(p), Operand::Imm(8));
+            let size = fb.load(Operand::Reg(sz_p), 4);
+            fb.store_global(fil, 12, Operand::Reg(size), 4);
+            fb.br(fill);
+            fb.switch_to(fill);
+            fb.store_global(fil, 0, Operand::Imm(1), 4); // open flag
+            fb.store_global(fil, 8, Operand::Imm(0), 4); // fptr
+            let bp = fb.addr_of_global(buf, 0);
+            fb.store_global(fil, 16, Operand::Reg(bp), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    // Writes `len` (≤ 512) bytes from `src` at the file start.
+    cx.def(
+        "f_write",
+        vec![("src", Ty::Ptr(Box::new(Ty::I8))), ("len", Ty::I32)],
+        Some(Ty::I32),
+        "ff.c",
+        {
+            let fil = cx.g("MyFile");
+            let fs = cx.g("SDFatFs");
+            let cp = cx.f("ff_mem_cpy");
+            let c2s = cx.f("clust2sect");
+            let dw = cx.f("disk_write");
+            let mv = cx.f("move_window");
+            let sync = cx.f("sync_window");
+            let find_unused = cx.f("dir_find");
+            move |fb| {
+                let open = fb.load_global(fil, 0, 4);
+                bail_if_zero(fb, open, Some(err), Some(9));
+                let buf = fb.load_global(fil, 16, 4);
+                fb.call_void(
+                    cp,
+                    vec![Operand::Reg(buf), Operand::Reg(fb.param(0)), Operand::Reg(fb.param(1))],
+                );
+                let clust = fb.load_global(fil, 4, 4);
+                let sect = fb.call(c2s, vec![Operand::Reg(clust)]);
+                let r = fb.call(dw, vec![Operand::Reg(buf), Operand::Reg(sect)]);
+                let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+                bail_if_zero(fb, ok, Some(err), Some(1));
+                fb.store_global(fil, 12, Operand::Reg(fb.param(1)), 4); // fsize
+                // Update the directory entry's size field.
+                let _ = fb.call(mv, vec![Operand::Imm(DIR_SECT)]);
+                let win = fb.load_global(fs, 12, 4);
+                // Entry 0 is ours in the single-file workloads; find by
+                // scanning for the matching cluster.
+                let i = fb.reg();
+                fb.mov(i, Operand::Imm(0));
+                let head = fb.block();
+                let body = fb.block();
+                let done = fb.block();
+                fb.br(head);
+                fb.switch_to(head);
+                let c = fb.bin(BinOp::CmpLtU, Operand::Reg(i), Operand::Imm(DIR_ENTRIES));
+                fb.cond_br(Operand::Reg(c), body, done);
+                fb.switch_to(body);
+                let off = fb.bin(BinOp::Mul, Operand::Reg(i), Operand::Imm(32));
+                let p = fb.bin(BinOp::Add, Operand::Reg(win), Operand::Reg(off));
+                let cl_p = fb.bin(BinOp::Add, Operand::Reg(p), Operand::Imm(4));
+                let ecl = fb.load(Operand::Reg(cl_p), 4);
+                let hit = fb.bin(BinOp::CmpEq, Operand::Reg(ecl), Operand::Reg(clust));
+                let write_sz = fb.block();
+                let next = fb.block();
+                fb.cond_br(Operand::Reg(hit), write_sz, next);
+                fb.switch_to(write_sz);
+                let sz_p = fb.bin(BinOp::Add, Operand::Reg(p), Operand::Imm(8));
+                fb.store(Operand::Reg(sz_p), Operand::Reg(fb.param(1)), 4);
+                fb.br(done);
+                fb.switch_to(next);
+                let i2 = fb.bin(BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+                fb.mov(i, Operand::Reg(i2));
+                fb.br(head);
+                fb.switch_to(done);
+                let _ = fb.call(sync, vec![]);
+                let _ = find_unused; // (kept for symmetry with FatFs)
+                fb.ret(Operand::Imm(0));
+            }
+        },
+    );
+
+    // Reads `len` bytes from the file start into `dst`.
+    cx.def(
+        "f_read",
+        vec![("dst", Ty::Ptr(Box::new(Ty::I8))), ("len", Ty::I32)],
+        Some(Ty::I32),
+        "ff.c",
+        {
+            let fil = cx.g("MyFile");
+            let cp = cx.f("ff_mem_cpy");
+            let c2s = cx.f("clust2sect");
+            let dr = cx.f("disk_read");
+            move |fb| {
+                let open = fb.load_global(fil, 0, 4);
+                bail_if_zero(fb, open, Some(err), Some(9));
+                let buf = fb.load_global(fil, 16, 4);
+                let clust = fb.load_global(fil, 4, 4);
+                let sect = fb.call(c2s, vec![Operand::Reg(clust)]);
+                let r = fb.call(dr, vec![Operand::Reg(buf), Operand::Reg(sect)]);
+                let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+                bail_if_zero(fb, ok, Some(err), Some(1));
+                fb.call_void(
+                    cp,
+                    vec![Operand::Reg(fb.param(0)), Operand::Reg(buf), Operand::Reg(fb.param(1))],
+                );
+                fb.ret(Operand::Imm(0));
+            }
+        },
+    );
+
+    cx.def("f_lseek", vec![("pos", Ty::I32)], Some(Ty::I32), "ff.c", {
+        let fil = cx.g("MyFile");
+        move |fb| {
+            let open = fb.load_global(fil, 0, 4);
+            bail_if_zero(fb, open, None, Some(9));
+            let size = fb.load_global(fil, 12, 4);
+            let pos = fb.param(0);
+            let past = fb.bin(BinOp::CmpLtU, Operand::Reg(size), Operand::Reg(pos));
+            let clamp = fb.block();
+            let store = fb.block();
+            fb.cond_br(Operand::Reg(past), clamp, store);
+            fb.switch_to(clamp);
+            fb.store_global(fil, 8, Operand::Reg(size), 4);
+            fb.ret(Operand::Imm(0));
+            fb.switch_to(store);
+            fb.store_global(fil, 8, Operand::Reg(pos), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    // Directory stat: returns the stored size of the named file, or
+    // EOC when absent.
+    cx.def("f_stat", vec![("name_hash", Ty::I32)], Some(Ty::I32), "ff.c", {
+        let fs = cx.g("SDFatFs");
+        let find = cx.f("dir_find");
+        move |fb| {
+            let off = fb.call(find, vec![Operand::Reg(fb.param(0))]);
+            let missing = fb.bin(BinOp::CmpEq, Operand::Reg(off), Operand::Imm(EOC));
+            let absent = fb.block();
+            let present = fb.block();
+            fb.cond_br(Operand::Reg(missing), absent, present);
+            fb.switch_to(absent);
+            fb.ret(Operand::Imm(EOC));
+            fb.switch_to(present);
+            let win = fb.load_global(fs, 12, 4);
+            let p = fb.bin(BinOp::Add, Operand::Reg(win), Operand::Reg(off));
+            let sz_p = fb.bin(BinOp::Add, Operand::Reg(p), Operand::Imm(8));
+            let size = fb.load(Operand::Reg(sz_p), 4);
+            fb.ret(Operand::Reg(size));
+        }
+    });
+
+    // Flushes cached state to the medium.
+    cx.def("f_sync", vec![], Some(Ty::I32), "ff.c", {
+        let sync = cx.f("sync_window");
+        move |fb| {
+            let r = fb.call(sync, vec![]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("f_size", vec![], Some(Ty::I32), "ff.c", {
+        let fil = cx.g("MyFile");
+        move |fb| {
+            let s = fb.load_global(fil, 12, 4);
+            fb.ret(Operand::Reg(s));
+        }
+    });
+
+    cx.def("f_close", vec![], Some(Ty::I32), "ff.c", {
+        let fil = cx.g("MyFile");
+        move |fb| {
+            fb.store_global(fil, 0, Operand::Imm(0), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_builds_valid_ir() {
+        let mut cx = Ctx::new("t");
+        crate::hal::sysclk::build(&mut cx);
+        crate::hal::gpio::build(&mut cx);
+        crate::hal::dma::build(&mut cx);
+        crate::hal::sd::build(&mut cx);
+        build(&mut cx);
+        cx.def("main", vec![], None, "main.c", |fb| fb.ret_void());
+        let m = cx.finish();
+        opec_ir::validate(&m).unwrap();
+        // The file and fs objects carry pointer fields for redirection.
+        let fil = m.global_by_name("MyFile").unwrap();
+        assert_eq!(m.types.pointer_field_offsets(&m.global(fil).ty), vec![16]);
+        let fs = m.global_by_name("SDFatFs").unwrap();
+        assert_eq!(m.types.pointer_field_offsets(&m.global(fs).ty), vec![12]);
+    }
+
+    #[test]
+    fn format_volume_has_magic() {
+        let blocks = format_volume();
+        assert_eq!(blocks[0].0, BOOT_SECT);
+        let boot = &blocks[0].1;
+        assert_eq!(u32::from_le_bytes(boot[0..4].try_into().unwrap()), BOOT_MAGIC);
+        assert_eq!(u32::from_le_bytes(boot[4..8].try_into().unwrap()), BOOT_SIG);
+    }
+}

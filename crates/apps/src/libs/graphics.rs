@@ -1,0 +1,145 @@
+//! Bitmap and effect helpers for the display workloads
+//! (`picture.c` / `effects.c`).
+//!
+//! Pictures are stored on the SD card as one block per picture: a
+//! 16-byte header (magic, width, height, seed) followed by pixel words.
+//! The decode/draw path exercises the SD → memory → LCD flow, and the
+//! fade effects ramp the backlight — the visual behaviour the
+//! Animation and LCD-uSD applications are built around.
+
+use opec_ir::module::BinOp;
+use opec_ir::{Operand, Ty};
+
+use crate::builder::{bail_if_zero, Ctx};
+
+/// Picture magic number.
+pub const PIC_MAGIC: u32 = 0x5049_4354; // "PICT"
+/// Picture width/height used by the workloads (11×11 pixel words —
+/// the largest square that fits one 512-byte block with its header).
+pub const PIC_DIM: u32 = 11;
+
+/// Builds the on-card bytes of picture `n` (host side).
+pub fn picture_block(n: u32) -> [u8; 512] {
+    let mut b = [0u8; 512];
+    b[0..4].copy_from_slice(&PIC_MAGIC.to_le_bytes());
+    b[4..8].copy_from_slice(&PIC_DIM.to_le_bytes());
+    b[8..12].copy_from_slice(&PIC_DIM.to_le_bytes());
+    b[12..16].copy_from_slice(&n.to_le_bytes());
+    for i in 0..(PIC_DIM * PIC_DIM) {
+        let px = pixel_value(n, i);
+        let off = (16 + i * 4) as usize;
+        b[off..off + 4].copy_from_slice(&px.to_le_bytes());
+    }
+    b
+}
+
+/// The deterministic pixel value of picture `n` at index `i`.
+pub fn pixel_value(n: u32, i: u32) -> u32 {
+    n.wrapping_mul(0x01F1_E1D3) ^ i.wrapping_mul(0x0123_4567)
+}
+
+/// Registers the graphics family. Requires the SD and LCD families.
+pub fn build(cx: &mut Ctx) {
+    cx.global("pic_buf", Ty::Array(Box::new(Ty::I8), 512), "picture.c");
+    cx.global("pic_count_shown", Ty::I32, "picture.c");
+    cx.sanitized_global("backlight_level", Ty::I32, "effects.c", (0, 100));
+
+    // Loads picture block `n` from the SD card into `pic_buf`;
+    // returns 0 on success, nonzero on bad magic.
+    cx.def("picture_load", vec![("block", Ty::I32)], Some(Ty::I32), "picture.c", {
+        let buf = cx.g("pic_buf");
+        let rd = cx.f("BSP_SD_ReadBlocks");
+        move |fb| {
+            let p = fb.addr_of_global(buf, 0);
+            let r = fb.call(rd, vec![Operand::Reg(p), Operand::Reg(fb.param(0))]);
+            let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+            bail_if_zero(fb, ok, None, Some(1));
+            let magic = fb.load_global(buf, 0, 4);
+            let good = fb.bin(BinOp::CmpEq, Operand::Reg(magic), Operand::Imm(PIC_MAGIC));
+            bail_if_zero(fb, good, None, Some(2));
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    // Draws the decoded picture to the LCD pixel by pixel.
+    cx.def("picture_draw", vec![], Some(Ty::I32), "picture.c", {
+        let buf = cx.g("pic_buf");
+        let count = cx.g("pic_count_shown");
+        let draw = cx.f("BSP_LCD_DrawPixel");
+        move |fb| {
+            let w = fb.load_global(buf, 4, 4);
+            let h = fb.load_global(buf, 8, 4);
+            let base = fb.addr_of_global(buf, 16);
+            let w2 = w;
+            crate::builder::counted_loop(fb, Operand::Reg(h), move |fb, y| {
+                crate::builder::counted_loop(fb, Operand::Reg(w2), move |fb, x| {
+                    let row = fb.bin(BinOp::Mul, Operand::Reg(y), Operand::Reg(w2));
+                    let idx = fb.bin(BinOp::Add, Operand::Reg(row), Operand::Reg(x));
+                    let off = fb.bin(BinOp::Mul, Operand::Reg(idx), Operand::Imm(4));
+                    let p = fb.bin(BinOp::Add, Operand::Reg(base), Operand::Reg(off));
+                    let px = fb.load(Operand::Reg(p), 4);
+                    fb.call_void(
+                        draw,
+                        vec![Operand::Imm(0), Operand::Reg(x), Operand::Reg(y), Operand::Reg(px)],
+                    );
+                });
+            });
+            let c = fb.load_global(count, 0, 4);
+            let c2 = fb.bin(BinOp::Add, Operand::Reg(c), Operand::Imm(1));
+            fb.store_global(count, 0, Operand::Reg(c2), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    // Fade effects ramp the backlight through the sanitized level.
+    for (name, from, to, step) in
+        [("fade_in", 0u32, 100u32, 10u32), ("fade_out", 100, 0, 10)]
+    {
+        cx.def(name, vec![], None, "effects.c", {
+            let level = cx.g("backlight_level");
+            let set = cx.f("BSP_LCD_SetBrightness");
+            let delay = cx.f("HAL_Delay");
+            move |fb| {
+                crate::builder::counted_loop(fb, Operand::Imm(11), move |fb, i| {
+                    let delta = fb.bin(BinOp::Mul, Operand::Reg(i), Operand::Imm(step));
+                    let v = if from < to {
+                        fb.bin(BinOp::Add, Operand::Imm(from), Operand::Reg(delta))
+                    } else {
+                        fb.bin(BinOp::Sub, Operand::Imm(from), Operand::Reg(delta))
+                    };
+                    fb.store_global(level, 0, Operand::Reg(v), 4);
+                    fb.call_void(set, vec![Operand::Reg(v)]);
+                    fb.call_void(delay, vec![Operand::Imm(10)]);
+                });
+                fb.ret_void();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picture_blocks_are_deterministic() {
+        let a = picture_block(3);
+        let b = picture_block(3);
+        assert_eq!(a, b);
+        assert_ne!(picture_block(3)[16..20], picture_block(4)[16..20]);
+        assert_eq!(u32::from_le_bytes(a[0..4].try_into().unwrap()), PIC_MAGIC);
+    }
+
+    #[test]
+    fn family_builds_valid_ir() {
+        let mut cx = Ctx::new("t");
+        crate::hal::sysclk::build(&mut cx);
+        crate::hal::gpio::build(&mut cx);
+        crate::hal::dma::build(&mut cx);
+        crate::hal::sd::build(&mut cx);
+        crate::hal::lcd::build(&mut cx);
+        build(&mut cx);
+        cx.def("main", vec![], None, "main.c", |fb| fb.ret_void());
+        opec_ir::validate(&cx.finish()).unwrap();
+    }
+}

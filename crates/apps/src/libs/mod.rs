@@ -1,0 +1,17 @@
+//! Middleware libraries the workloads sit on.
+//!
+//! * [`crypto`] — the small digest PinLock hashes pin codes with;
+//! * [`fatfs`] — a FAT-like filesystem layered over the SD driver
+//!   (mount → volume check → directory ops → clustered file I/O);
+//! * [`lwip`] — a small TCP/IP stack in the lwIP style: ethernet/IP
+//!   demux, a TCP state machine with callback-registered receive
+//!   handlers (indirect calls), static pbuf/memp pools, and the
+//!   `udp_input` path whose callback is never registered (the paper's
+//!   one unresolved icall in TCP-Echo);
+//! * [`graphics`] — bitmap decode/draw helpers and the fade effects for
+//!   the display workloads.
+
+pub mod crypto;
+pub mod fatfs;
+pub mod graphics;
+pub mod lwip;

@@ -1,0 +1,215 @@
+//! Animation: reads pictures from the SD card and displays them on the
+//! LCD as a moving sequence with fade-in/fade-out effects (paper §6:
+//! the application demonstrates a moving butterfly; profiling stops
+//! after 11 pictures).
+
+use opec_armv7m::{Board, Machine};
+use opec_core::OperationSpec;
+use opec_devices::{DeviceConfig, Lcd, SdCard};
+use opec_ir::module::BinOp;
+use opec_ir::{Module, Operand, Ty};
+
+use crate::builder::{bail_if_zero, Ctx};
+use crate::libs::graphics;
+use crate::{hal, libs};
+
+/// Pictures shown per run (paper: 11).
+pub const PICTURES: u32 = 11;
+/// SD block of the first picture.
+pub const FIRST_PIC_BLOCK: u32 = 16;
+
+/// Builds the Animation module and its eight operation entries.
+pub fn build() -> (Module, Vec<OperationSpec>) {
+    let mut cx = Ctx::new("animation");
+    hal::sysclk::build(&mut cx);
+    hal::gpio::build(&mut cx);
+    hal::dma::build(&mut cx);
+    hal::sd::build(&mut cx);
+    hal::lcd::build(&mut cx);
+    libs::graphics::build(&mut cx);
+
+    cx.global("sd_ready", Ty::I32, "main.c");
+    cx.global("frames_shown", Ty::I32, "main.c");
+
+    cx.def("SDCard_Init", vec![], None, "main.c", {
+        let detect = cx.f("BSP_SD_IsDetected");
+        let init = cx.f("BSP_SD_Init");
+        let ready = cx.g("sd_ready");
+        move |fb| {
+            let d = fb.call(detect, vec![]);
+            bail_if_zero(fb, d, None, None);
+            let r = fb.call(init, vec![]);
+            let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+            bail_if_zero(fb, ok, None, None);
+            fb.store_global(ready, 0, Operand::Imm(1), 4);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("LCD_Init_Task", vec![], None, "main.c", {
+        let init = cx.f("BSP_LCD_Init");
+        let clear = cx.f("BSP_LCD_Clear");
+        let display_on = cx.f("BSP_LCD_DisplayOn");
+        let rect = cx.f("BSP_LCD_DrawRect");
+        move |fb| {
+            let _ = fb.call(init, vec![]);
+            fb.call_void(display_on, vec![]);
+            fb.call_void(clear, vec![Operand::Imm(0)]);
+            // Panel frame around the picture area.
+            fb.call_void(rect, vec![Operand::Imm(13), Operand::Imm(13), Operand::Imm(0xFFFF)]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Load_Picture", vec![("block", Ty::I32)], Some(Ty::I32), "main.c", {
+        let load = cx.f("picture_load");
+        move |fb| {
+            let r = fb.call(load, vec![Operand::Reg(fb.param(0))]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("Show_Picture", vec![], None, "main.c", {
+        let draw = cx.f("picture_draw");
+        let shown = cx.g("frames_shown");
+        move |fb| {
+            let _ = fb.call(draw, vec![]);
+            let c = fb.load_global(shown, 0, 4);
+            let c2 = fb.bin(BinOp::Add, Operand::Reg(c), Operand::Imm(1));
+            fb.store_global(shown, 0, Operand::Reg(c2), 4);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Fade_In_Task", vec![], None, "main.c", {
+        let f = cx.f("fade_in");
+        move |fb| {
+            fb.call_void(f, vec![]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Fade_Out_Task", vec![], None, "main.c", {
+        let f = cx.f("fade_out");
+        move |fb| {
+            fb.call_void(f, vec![]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Frame_Wait", vec![], None, "main.c", {
+        let delay = cx.f("HAL_Delay");
+        move |fb| {
+            fb.call_void(delay, vec![Operand::Imm(20)]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("main", vec![], None, "main.c", {
+        let sys = cx.f("System_Init");
+        let sd = cx.f("SDCard_Init");
+        let lcd = cx.f("LCD_Init_Task");
+        let load = cx.f("Load_Picture");
+        let show = cx.f("Show_Picture");
+        let fin = cx.f("Fade_In_Task");
+        let fout = cx.f("Fade_Out_Task");
+        let wait = cx.f("Frame_Wait");
+        move |fb| {
+            fb.call_void(sys, vec![]);
+            fb.call_void(sd, vec![]);
+            fb.call_void(lcd, vec![]);
+            crate::builder::counted_loop(fb, Operand::Imm(PICTURES), move |fb, i| {
+                let block = fb.bin(BinOp::Add, Operand::Imm(FIRST_PIC_BLOCK), Operand::Reg(i));
+                let r = fb.call(load, vec![Operand::Reg(block)]);
+                let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+                let good = fb.block();
+                let skip = fb.block();
+                fb.cond_br(Operand::Reg(ok), good, skip);
+                fb.switch_to(good);
+                fb.call_void(fin, vec![]);
+                fb.call_void(show, vec![]);
+                fb.call_void(fout, vec![]);
+                fb.call_void(wait, vec![]);
+                fb.br(skip);
+                fb.switch_to(skip);
+            });
+            fb.halt();
+            fb.ret_void();
+        }
+    });
+
+    let specs = vec![
+        OperationSpec::plain("System_Init"),
+        OperationSpec::plain("SDCard_Init"),
+        OperationSpec::plain("LCD_Init_Task"),
+        OperationSpec::with_args("Load_Picture", vec![None]),
+        OperationSpec::plain("Show_Picture"),
+        OperationSpec::plain("Fade_In_Task"),
+        OperationSpec::plain("Fade_Out_Task"),
+        OperationSpec::plain("Frame_Wait"),
+    ];
+    (cx.finish(), specs)
+}
+
+/// Installs devices and preloads the 11 pictures onto the SD card.
+pub fn setup(machine: &mut Machine) {
+    opec_devices::install_standard_devices(machine, DeviceConfig::default()).unwrap();
+    let sd: &mut SdCard = machine.device_as("SDIO").unwrap();
+    for n in 0..PICTURES {
+        sd.preload(FIRST_PIC_BLOCK + n, &graphics::picture_block(n));
+    }
+}
+
+/// Verifies 11 pictures were painted and the backlight faded to black.
+pub fn check(machine: &mut Machine) -> Result<(), String> {
+    let lcd: &mut Lcd = machine.device_as("LCD").ok_or("no LCD")?;
+    let expected = u64::from(PICTURES * graphics::PIC_DIM * graphics::PIC_DIM);
+    if lcd.pixels_written < expected {
+        return Err(format!("painted {} pixels, expected >= {expected}", lcd.pixels_written));
+    }
+    if lcd.brightness() != 0 {
+        return Err(format!("backlight ended at {}, expected 0 after fade-out", lcd.brightness()));
+    }
+    // Spot-check the last picture's first pixel survived the pipeline.
+    let want = graphics::pixel_value(PICTURES - 1, 0);
+    match lcd.pixel(0, 0) {
+        Some(px) if px == want => Ok(()),
+        Some(px) => Err(format!("pixel(0,0) = {px:#010x}, expected {want:#010x}")),
+        None => Err("panel too small".into()),
+    }
+}
+
+/// The Animation [`super::App`].
+pub fn app() -> super::App {
+    super::App {
+        name: "Animation",
+        board: Board::stm32479i_eval(),
+        build,
+        setup,
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::harness;
+
+    #[test]
+    fn module_is_valid_with_eight_operations() {
+        let (m, specs) = build();
+        opec_ir::validate(&m).unwrap();
+        assert_eq!(specs.len(), 8);
+    }
+
+    #[test]
+    fn baseline_shows_all_pictures() {
+        harness::run_baseline(&app());
+    }
+
+    #[test]
+    fn opec_run_shows_all_pictures() {
+        let (_, stats) = harness::run_opec(&app());
+        assert!(stats.switches > 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Camera: takes a photo after the user presses the button and saves
+//! the picture to a USB flash disk (paper §6; profiling stops once the
+//! captured picture has been written out).
+
+use opec_armv7m::{Board, Machine};
+use opec_core::OperationSpec;
+use opec_devices::{Button, Dcmi, DeviceConfig, UsbMsc};
+use opec_ir::module::BinOp;
+use opec_ir::{Module, Operand, Ty};
+
+use crate::builder::{bail_if_zero, Ctx};
+use crate::hal;
+
+/// Frame size in bytes (two 512-byte disk blocks).
+pub const FRAME_BYTES: u32 = 1024;
+/// Filter applied before saving (index into the filter table).
+pub const FILTER: u32 = 2; // Filter_Invert
+
+/// Host-side model of the filtered frame word at offset `off` of
+/// capture `n` (matches `Filter_Invert`'s XOR key).
+pub fn expected_saved_word(capture: u32, off: u32) -> u32 {
+    Dcmi::expected_word(capture, off) ^ FILTER.wrapping_mul(0x0101_0101)
+}
+
+/// Builds the Camera module and its nine operation entries.
+pub fn build() -> (Module, Vec<OperationSpec>) {
+    let mut cx = Ctx::new("camera");
+    hal::sysclk::build(&mut cx);
+    hal::gpio::build(&mut cx);
+    hal::dma::build(&mut cx);
+    hal::dcmi::build(&mut cx);
+    hal::usb::build(&mut cx);
+
+    cx.global("frame_len", Ty::I32, "main.c");
+    cx.global("photo_saved", Ty::I32, "main.c");
+
+    cx.def("Camera_Init_Task", vec![], Some(Ty::I32), "main.c", {
+        let init = cx.f("BSP_CAMERA_Init");
+        move |fb| {
+            let r = fb.call(init, vec![]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("Usb_Init_Task", vec![], Some(Ty::I32), "main.c", {
+        let init = cx.f("USBH_Init");
+        let enumerate = cx.f("USBH_Enumerate");
+        move |fb| {
+            let r = fb.call(init, vec![]);
+            let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+            bail_if_zero(fb, ok, None, Some(1));
+            let r2 = fb.call(enumerate, vec![]);
+            fb.ret(Operand::Reg(r2));
+        }
+    });
+
+    cx.def("Button_Wait_Task", vec![], None, "main.c", {
+        let init = cx.f("BSP_PB_Init");
+        let state = cx.f("BSP_PB_GetState");
+        move |fb| {
+            fb.call_void(init, vec![]);
+            // Poll until pressed (the workload presses it at setup).
+            let head = fb.block();
+            let done = fb.block();
+            fb.br(head);
+            fb.switch_to(head);
+            let s = fb.call(state, vec![]);
+            fb.cond_br(Operand::Reg(s), done, head);
+            fb.switch_to(done);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Capture_Task", vec![], Some(Ty::I32), "main.c", {
+        let start = cx.f("HAL_DCMI_Start");
+        let read = cx.f("BSP_CAMERA_ReadFrame");
+        let len = cx.g("frame_len");
+        move |fb| {
+            let r = fb.call(start, vec![]);
+            let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+            bail_if_zero(fb, ok, None, Some(1));
+            let n = fb.call(read, vec![]);
+            fb.store_global(len, 0, Operand::Reg(n), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    cx.def("Filter_Task", vec![], Some(Ty::I32), "main.c", {
+        let apply = cx.f("BSP_CAMERA_ApplyFilter");
+        let len = cx.g("frame_len");
+        move |fb| {
+            let n = fb.load_global(len, 0, 4);
+            let r = fb.call(apply, vec![Operand::Imm(FILTER), Operand::Reg(n)]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("Save_Task", vec![], Some(Ty::I32), "main.c", {
+        let write = cx.f("USBH_MSC_WriteBlock");
+        let frame = cx.g("camera_frame");
+        let saved = cx.g("photo_saved");
+        move |fb| {
+            // Two 512-byte blocks for the 1 KiB frame.
+            for blk in 0..2u32 {
+                let p = fb.addr_of_global(frame, blk * 512);
+                let r = fb.call(write, vec![Operand::Reg(p), Operand::Imm(blk)]);
+                let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+                bail_if_zero(fb, ok, None, Some(1));
+            }
+            fb.store_global(saved, 0, Operand::Imm(1), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    cx.def("Led_Task", vec![], None, "main.c", {
+        let init = cx.f("BSP_LED_Init");
+        let on = cx.f("BSP_LED_On");
+        move |fb| {
+            fb.call_void(init, vec![]);
+            fb.call_void(on, vec![Operand::Imm(12)]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Error_Task", vec![], None, "main.c", {
+        let init = cx.f("BSP_LED_Init");
+        let on = cx.f("BSP_LED_On");
+        move |fb| {
+            fb.call_void(init, vec![]);
+            fb.call_void(on, vec![Operand::Imm(14)]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("main", vec![], None, "main.c", {
+        let sys = cx.f("System_Init");
+        let cam = cx.f("Camera_Init_Task");
+        let usb = cx.f("Usb_Init_Task");
+        let btn = cx.f("Button_Wait_Task");
+        let cap = cx.f("Capture_Task");
+        let filt = cx.f("Filter_Task");
+        let save = cx.f("Save_Task");
+        let led = cx.f("Led_Task");
+        let error = cx.f("Error_Task");
+        move |fb| {
+            fb.call_void(sys, vec![]);
+            for task in [cam, usb] {
+                let r = fb.call(task, vec![]);
+                let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+                let cont = fb.block();
+                let fail = fb.block();
+                fb.cond_br(Operand::Reg(ok), cont, fail);
+                fb.switch_to(fail);
+                fb.call_void(error, vec![]);
+                fb.halt();
+                fb.ret_void();
+                fb.switch_to(cont);
+            }
+            fb.call_void(btn, vec![]);
+            for task in [cap, filt, save] {
+                let r = fb.call(task, vec![]);
+                let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+                let cont = fb.block();
+                let fail = fb.block();
+                fb.cond_br(Operand::Reg(ok), cont, fail);
+                fb.switch_to(fail);
+                fb.call_void(error, vec![]);
+                fb.halt();
+                fb.ret_void();
+                fb.switch_to(cont);
+            }
+            fb.call_void(led, vec![]);
+            fb.halt();
+            fb.ret_void();
+        }
+    });
+
+    let specs = vec![
+        OperationSpec::plain("System_Init"),
+        OperationSpec::plain("Camera_Init_Task"),
+        OperationSpec::plain("Usb_Init_Task"),
+        OperationSpec::plain("Button_Wait_Task"),
+        OperationSpec::plain("Capture_Task"),
+        OperationSpec::plain("Filter_Task"),
+        OperationSpec::plain("Save_Task"),
+        OperationSpec::plain("Led_Task"),
+        OperationSpec::plain("Error_Task"),
+    ];
+    (cx.finish(), specs)
+}
+
+/// Installs devices and presses the user button.
+pub fn setup(machine: &mut Machine) {
+    opec_devices::install_standard_devices(
+        machine,
+        DeviceConfig { camera_frame_bytes: FRAME_BYTES, ..DeviceConfig::default() },
+    )
+    .unwrap();
+    let button: &mut Button = machine.device_as("BUTTON").unwrap();
+    // The user takes a moment to press the button (machine cycles).
+    button.press_after(150_000);
+}
+
+/// Verifies the filtered photo landed on the USB disk, byte-exact.
+pub fn check(machine: &mut Machine) -> Result<(), String> {
+    let usb: &mut UsbMsc = machine.device_as("USB_MSC").ok_or("no USB")?;
+    if usb.written_blocks() != 2 {
+        return Err(format!("expected 2 blocks written, saw {}", usb.written_blocks()));
+    }
+    for blk in 0..2u32 {
+        let block = usb.block(blk).ok_or("missing block")?;
+        for w in 0..128u32 {
+            let off = blk * 512 + w * 4;
+            let have =
+                u32::from_le_bytes(block[(w * 4) as usize..(w * 4 + 4) as usize].try_into().unwrap());
+            let want = expected_saved_word(1, off);
+            if have != want {
+                return Err(format!(
+                    "saved photo corrupt at offset {off}: {have:#010x} != {want:#010x}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The Camera [`super::App`].
+pub fn app() -> super::App {
+    super::App {
+        name: "Camera",
+        board: Board::stm32479i_eval(),
+        build,
+        setup,
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::harness;
+
+    #[test]
+    fn module_is_valid_with_nine_operations() {
+        let (m, specs) = build();
+        opec_ir::validate(&m).unwrap();
+        assert_eq!(specs.len(), 9);
+    }
+
+    #[test]
+    fn baseline_saves_the_photo() {
+        harness::run_baseline(&app());
+    }
+
+    #[test]
+    fn opec_saves_the_photo() {
+        let (_, stats) = harness::run_opec(&app());
+        assert!(stats.switches >= 8);
+    }
+}

@@ -1,0 +1,271 @@
+//! FatFs-uSD: implements a FAT filesystem on an SD card, writes fixed
+//! content to a newly created file, reads it back, and checks the
+//! content (paper §6). Profiling stops once the previously written
+//! message has been read and verified.
+
+use opec_armv7m::{Board, Machine};
+use opec_core::OperationSpec;
+use opec_devices::{DeviceConfig, Gpio, SdCard};
+use opec_ir::module::BinOp;
+use opec_ir::{Module, Operand, Ty};
+
+use crate::builder::Ctx;
+use crate::libs::fatfs;
+use crate::{hal, libs};
+
+/// The message written to and read back from the file.
+pub const MESSAGE: &[u8; 32] = b"This is STM32 working with FatFs";
+/// Name hash the file is registered under.
+pub const FILE_NAME_HASH: u32 = 0x5354_4D31; // "STM1"
+
+/// Builds the FatFs-uSD module and its ten operation entries.
+pub fn build() -> (Module, Vec<OperationSpec>) {
+    let mut cx = Ctx::new("fatfs_usd");
+    hal::sysclk::build(&mut cx);
+    hal::gpio::build(&mut cx);
+    hal::dma::build(&mut cx);
+    hal::sd::build(&mut cx);
+    libs::fatfs::build(&mut cx);
+
+    cx.const_global(
+        "wtext",
+        Ty::Array(Box::new(Ty::I8), 32),
+        MESSAGE.to_vec(),
+        "main.c",
+    );
+    cx.global("rtext", Ty::Array(Box::new(Ty::I8), 32), "main.c");
+    cx.sanitized_global("verify_ok", Ty::I32, "main.c", (0, 1));
+
+    cx.def("SD_Detect_Task", vec![], Some(Ty::I32), "main.c", {
+        let detect = cx.f("BSP_SD_IsDetected");
+        move |fb| {
+            // Returns 0 on success, matching the task convention.
+            let d = fb.call(detect, vec![]);
+            let absent = fb.bin(BinOp::CmpEq, Operand::Reg(d), Operand::Imm(0));
+            fb.ret(Operand::Reg(absent));
+        }
+    });
+
+    cx.def("SD_Init_Task", vec![], Some(Ty::I32), "main.c", {
+        let init = cx.f("BSP_SD_Init");
+        move |fb| {
+            let r = fb.call(init, vec![]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("FS_Mount_Task", vec![], Some(Ty::I32), "main.c", {
+        let mount = cx.f("f_mount");
+        move |fb| {
+            let r = fb.call(mount, vec![]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("File_Create_Task", vec![], Some(Ty::I32), "main.c", {
+        let open = cx.f("f_open");
+        move |fb| {
+            let r = fb.call(open, vec![Operand::Imm(FILE_NAME_HASH), Operand::Imm(1)]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("File_Write_Task", vec![], Some(Ty::I32), "main.c", {
+        let write = cx.f("f_write");
+        let wtext = cx.g("wtext");
+        move |fb| {
+            let p = fb.addr_of_global(wtext, 0);
+            let r = fb.call(write, vec![Operand::Reg(p), Operand::Imm(32)]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("File_Reopen_Task", vec![], Some(Ty::I32), "main.c", {
+        let close = cx.f("f_close");
+        let open = cx.f("f_open");
+        move |fb| {
+            let _ = fb.call(close, vec![]);
+            // Reopen without the create flag: the entry must exist now.
+            let r = fb.call(open, vec![Operand::Imm(FILE_NAME_HASH), Operand::Imm(0)]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("File_Read_Task", vec![], Some(Ty::I32), "main.c", {
+        let read = cx.f("f_read");
+        let size = cx.f("f_size");
+        let rtext = cx.g("rtext");
+        move |fb| {
+            let n = fb.call(size, vec![]);
+            let p = fb.addr_of_global(rtext, 0);
+            let r = fb.call(read, vec![Operand::Reg(p), Operand::Reg(n)]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("File_Verify_Task", vec![], Some(Ty::I32), "main.c", {
+        let wtext = cx.g("wtext");
+        let rtext = cx.g("rtext");
+        let ok_flag = cx.g("verify_ok");
+        move |fb| {
+            let diff = fb.reg();
+            fb.mov(diff, Operand::Imm(0));
+            crate::builder::counted_loop(fb, Operand::Imm(32), move |fb, i| {
+                let _ = i;
+                // Compare byte i of both buffers.
+                let wb = fb.addr_of_global(wtext, 0);
+                let wp = fb.bin(BinOp::Add, Operand::Reg(wb), Operand::Reg(i));
+                let wv = fb.load(Operand::Reg(wp), 1);
+                let rb = fb.addr_of_global(rtext, 0);
+                let rp = fb.bin(BinOp::Add, Operand::Reg(rb), Operand::Reg(i));
+                let rv = fb.load(Operand::Reg(rp), 1);
+                let x = fb.bin(BinOp::Xor, Operand::Reg(wv), Operand::Reg(rv));
+                let d2 = fb.bin(BinOp::Or, Operand::Reg(diff), Operand::Reg(x));
+                fb.mov(diff, Operand::Reg(d2));
+            });
+            let equal = fb.bin(BinOp::CmpEq, Operand::Reg(diff), Operand::Imm(0));
+            fb.store_global(ok_flag, 0, Operand::Reg(equal), 4);
+            // Task convention: 0 = success.
+            let rc = fb.bin(BinOp::CmpEq, Operand::Reg(equal), Operand::Imm(0));
+            fb.ret(Operand::Reg(rc));
+        }
+    });
+
+    cx.def("File_Close_Task", vec![], Some(Ty::I32), "main.c", {
+        let close = cx.f("f_close");
+        move |fb| {
+            let r = fb.call(close, vec![]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("Led_Result_Task", vec![], None, "main.c", {
+        let ok_flag = cx.g("verify_ok");
+        let led_on = cx.f("BSP_LED_On");
+        let led_init = cx.f("BSP_LED_Init");
+        move |fb| {
+            fb.call_void(led_init, vec![]);
+            let ok = fb.load_global(ok_flag, 0, 4);
+            let good = fb.block();
+            let bad = fb.block();
+            fb.cond_br(Operand::Reg(ok), good, bad);
+            fb.switch_to(good);
+            fb.call_void(led_on, vec![Operand::Imm(12)]); // green LED
+            fb.ret_void();
+            fb.switch_to(bad);
+            fb.call_void(led_on, vec![Operand::Imm(14)]); // red LED
+            fb.ret_void();
+        }
+    });
+
+    cx.def("main", vec![], None, "main.c", {
+        let sys = cx.f("System_Init");
+        let names = [
+            "SD_Detect_Task",
+            "SD_Init_Task",
+            "FS_Mount_Task",
+            "File_Create_Task",
+            "File_Write_Task",
+            "File_Reopen_Task",
+            "File_Read_Task",
+            "File_Verify_Task",
+            "File_Close_Task",
+        ];
+        let tasks: Vec<_> = names.iter().map(|n| cx.f(n)).collect();
+        let led = cx.f("Led_Result_Task");
+        move |fb| {
+            fb.call_void(sys, vec![]);
+            for t in tasks {
+                let r = fb.call(t, vec![]);
+                // Any failing stage aborts the sequence: error path.
+                let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+                let cont = fb.block();
+                let fail = fb.block();
+                fb.cond_br(Operand::Reg(ok), cont, fail);
+                fb.switch_to(fail);
+                fb.halt();
+                fb.ret_void();
+                fb.switch_to(cont);
+            }
+            fb.call_void(led, vec![]);
+            fb.halt();
+            fb.ret_void();
+        }
+    });
+
+    let specs = vec![
+        OperationSpec::plain("System_Init"),
+        OperationSpec::plain("SD_Detect_Task"),
+        OperationSpec::plain("SD_Init_Task"),
+        OperationSpec::plain("FS_Mount_Task"),
+        OperationSpec::plain("File_Create_Task"),
+        OperationSpec::plain("File_Write_Task"),
+        OperationSpec::plain("File_Read_Task"),
+        OperationSpec::plain("File_Verify_Task"),
+        OperationSpec::plain("File_Close_Task"),
+        OperationSpec::plain("Led_Result_Task"),
+    ];
+    (cx.finish(), specs)
+}
+
+/// Installs devices and formats the SD card.
+pub fn setup(machine: &mut Machine) {
+    opec_devices::install_standard_devices(machine, DeviceConfig::default()).unwrap();
+    let sd: &mut SdCard = machine.device_as("SDIO").unwrap();
+    for (sect, block) in fatfs::format_volume() {
+        sd.preload(sect, &block);
+    }
+}
+
+/// Verifies the file round-trip: green LED lit and the message stored
+/// in the first data cluster on the card.
+pub fn check(machine: &mut Machine) -> Result<(), String> {
+    {
+        let gpio: &mut Gpio = machine.device_as("GPIOD").ok_or("no GPIOD")?;
+        if !gpio.output(12) {
+            return Err("green LED not lit: verification failed in firmware".into());
+        }
+    }
+    let sd: &mut SdCard = machine.device_as("SDIO").ok_or("no SDIO")?;
+    // First allocated cluster is 1 → sector DATA_SECT + 1.
+    let block = sd.block(fatfs::DATA_SECT + 1).ok_or("data block missing")?;
+    if &block[..32] != MESSAGE {
+        return Err("file content on card does not match the written message".into());
+    }
+    Ok(())
+}
+
+/// The FatFs-uSD [`super::App`].
+pub fn app() -> super::App {
+    super::App {
+        name: "FatFs-uSD",
+        board: Board::stm32f4_discovery(),
+        build,
+        setup,
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::harness;
+
+    #[test]
+    fn module_is_valid_with_ten_operations() {
+        let (m, specs) = build();
+        opec_ir::validate(&m).unwrap();
+        assert_eq!(specs.len(), 10);
+    }
+
+    #[test]
+    fn baseline_round_trips_the_file() {
+        harness::run_baseline(&app());
+    }
+
+    #[test]
+    fn opec_round_trips_the_file() {
+        let (_, stats) = harness::run_opec(&app());
+        assert!(stats.switches >= 10);
+    }
+}

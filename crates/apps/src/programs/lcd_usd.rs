@@ -1,0 +1,307 @@
+//! LCD-uSD: presents pictures pre-stored on an SD card with fade-in
+//! and fade-out visual effects (paper §6). The filesystem is mounted to
+//! locate the picture area, six pictures are shown, and the profiling
+//! stops after the last fade completes.
+//!
+//! This application also carries the paper's Table 3 oddity: an SDIO
+//! interrupt handler containing **eight unresolved icalls** — callback
+//! slots whose signature matches no function in the program and whose
+//! pointers are never registered. The handler runs at the privileged
+//! level on hardware and never executes in the profiled runs, which is
+//! why the paper notes these unresolved sites "do not interfere with
+//! the unprivileged operations".
+
+use opec_armv7m::{Board, Machine};
+use opec_core::OperationSpec;
+use opec_devices::{DeviceConfig, Button, Lcd, SdCard};
+use opec_ir::module::BinOp;
+use opec_ir::types::{ParamKind, SigKey};
+use opec_ir::{Module, Operand, Ty};
+
+use crate::builder::{bail_if_zero, Ctx};
+use crate::libs::{fatfs, graphics};
+use crate::{hal, libs};
+
+/// Pictures shown per run (paper: 6).
+pub const PICTURES: u32 = 6;
+/// SD block of the first picture.
+pub const FIRST_PIC_BLOCK: u32 = 16;
+
+/// Builds the LCD-uSD module and its eleven operation entries.
+pub fn build() -> (Module, Vec<OperationSpec>) {
+    let mut cx = Ctx::new("lcd_usd");
+    hal::sysclk::build(&mut cx);
+    hal::gpio::build(&mut cx);
+    hal::dma::build(&mut cx);
+    hal::sd::build(&mut cx);
+    hal::lcd::build(&mut cx);
+    libs::fatfs::build(&mut cx);
+    libs::graphics::build(&mut cx);
+
+    cx.global("current_picture", Ty::I32, "main.c");
+    cx.global("error_flag", Ty::I32, "main.c");
+    // Eight DMA-completion callback slots, never registered: the
+    // unresolved-icall material of Table 3.
+    let orphan = SigKey {
+        params: vec![ParamKind::Ptr, ParamKind::StructPtr("FATFS".into()), ParamKind::Int],
+        ret: None,
+    };
+    cx.global(
+        "sdio_irq_callbacks",
+        Ty::Array(Box::new(Ty::FnPtr(orphan.clone())), 8),
+        "hal_sd_irq.c",
+    );
+
+    // The privileged IRQ handler with eight unresolved icalls.
+    let orphan_sig = cx.mb.sig(orphan);
+    cx.def("SDIO_IRQHandler", vec![], None, "hal_sd_irq.c", {
+        let table = cx.g("sdio_irq_callbacks");
+        move |fb| {
+            for slot in 0..8u32 {
+                let cb = fb.load_global(table, slot * 4, 4);
+                let taken = fb.block();
+                let next = fb.block();
+                fb.cond_br(Operand::Reg(cb), taken, next);
+                fb.switch_to(taken);
+                fb.icall_void(
+                    Operand::Reg(cb),
+                    orphan_sig,
+                    vec![Operand::Reg(cb), Operand::Reg(cb), Operand::Imm(slot)],
+                );
+                fb.br(next);
+                fb.switch_to(next);
+            }
+            fb.ret_void();
+        }
+    });
+    cx.mark_irq("SDIO_IRQHandler");
+
+    cx.def("SD_Init_Task", vec![], Some(Ty::I32), "main.c", {
+        let detect = cx.f("BSP_SD_IsDetected");
+        let init = cx.f("BSP_SD_Init");
+        move |fb| {
+            let d = fb.call(detect, vec![]);
+            bail_if_zero(fb, d, None, Some(1));
+            let r = fb.call(init, vec![]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("LCD_Init_Task", vec![], Some(Ty::I32), "main.c", {
+        let init = cx.f("BSP_LCD_Init");
+        let clear = cx.f("BSP_LCD_Clear");
+        let display_on = cx.f("BSP_LCD_DisplayOn");
+        let rect = cx.f("BSP_LCD_DrawRect");
+        move |fb| {
+            let r = fb.call(init, vec![]);
+            fb.call_void(display_on, vec![]);
+            fb.call_void(clear, vec![Operand::Imm(0)]);
+            fb.call_void(rect, vec![Operand::Imm(13), Operand::Imm(13), Operand::Imm(0xFFFF)]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("FS_Mount_Task", vec![], Some(Ty::I32), "main.c", {
+        let mount = cx.f("f_mount");
+        move |fb| {
+            let r = fb.call(mount, vec![]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("Picture_Open_Task", vec![], Some(Ty::I32), "main.c", {
+        let cur = cx.g("current_picture");
+        move |fb| {
+            // Selects the next picture block (the directory of pictures
+            // is a contiguous range on this volume).
+            let c = fb.load_global(cur, 0, 4);
+            let block = fb.bin(BinOp::Add, Operand::Imm(FIRST_PIC_BLOCK), Operand::Reg(c));
+            fb.ret(Operand::Reg(block));
+        }
+    });
+
+    cx.def("Picture_Read_Task", vec![("block", Ty::I32)], Some(Ty::I32), "main.c", {
+        let load = cx.f("picture_load");
+        move |fb| {
+            let r = fb.call(load, vec![Operand::Reg(fb.param(0))]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("Picture_Show_Task", vec![], Some(Ty::I32), "main.c", {
+        let draw = cx.f("picture_draw");
+        let cur = cx.g("current_picture");
+        move |fb| {
+            let r = fb.call(draw, vec![]);
+            let c = fb.load_global(cur, 0, 4);
+            let c2 = fb.bin(BinOp::Add, Operand::Reg(c), Operand::Imm(1));
+            fb.store_global(cur, 0, Operand::Reg(c2), 4);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    cx.def("Fade_Task", vec![], None, "main.c", {
+        let fin = cx.f("fade_in");
+        let fout = cx.f("fade_out");
+        move |fb| {
+            fb.call_void(fin, vec![]);
+            fb.call_void(fout, vec![]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Clear_Task", vec![], None, "main.c", {
+        let clear = cx.f("BSP_LCD_Clear");
+        move |fb| {
+            fb.call_void(clear, vec![Operand::Imm(0)]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Button_Task", vec![], Some(Ty::I32), "main.c", {
+        let state = cx.f("BSP_PB_GetState");
+        move |fb| {
+            // A pressed button would pause the slideshow; the workload
+            // never presses it (untaken path).
+            let s = fb.call(state, vec![]);
+            fb.ret(Operand::Reg(s));
+        }
+    });
+
+    cx.def("Error_Task", vec![], None, "main.c", {
+        let flag = cx.g("error_flag");
+        let led_init = cx.f("BSP_LED_Init");
+        let led_on = cx.f("BSP_LED_On");
+        move |fb| {
+            fb.store_global(flag, 0, Operand::Imm(1), 4);
+            fb.call_void(led_init, vec![]);
+            fb.call_void(led_on, vec![Operand::Imm(14)]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("main", vec![], None, "main.c", {
+        let sys = cx.f("System_Init");
+        let sd = cx.f("SD_Init_Task");
+        let lcd = cx.f("LCD_Init_Task");
+        let mount = cx.f("FS_Mount_Task");
+        let open = cx.f("Picture_Open_Task");
+        let read = cx.f("Picture_Read_Task");
+        let show = cx.f("Picture_Show_Task");
+        let fade = cx.f("Fade_Task");
+        let clear = cx.f("Clear_Task");
+        let button = cx.f("Button_Task");
+        let error = cx.f("Error_Task");
+        move |fb| {
+            fb.call_void(sys, vec![]);
+            for task in [sd, lcd, mount] {
+                let r = fb.call(task, vec![]);
+                let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+                let cont = fb.block();
+                let fail = fb.block();
+                fb.cond_br(Operand::Reg(ok), cont, fail);
+                fb.switch_to(fail);
+                fb.call_void(error, vec![]);
+                fb.halt();
+                fb.ret_void();
+                fb.switch_to(cont);
+            }
+            crate::builder::counted_loop(fb, Operand::Imm(PICTURES), move |fb, _| {
+                let _ = fb.call(button, vec![]);
+                let block = fb.call(open, vec![]);
+                let r = fb.call(read, vec![Operand::Reg(block)]);
+                let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+                let cont = fb.block();
+                let skip = fb.block();
+                fb.cond_br(Operand::Reg(ok), cont, skip);
+                fb.switch_to(cont);
+                let _ = fb.call(show, vec![]);
+                fb.call_void(fade, vec![]);
+                fb.call_void(clear, vec![]);
+                fb.br(skip);
+                fb.switch_to(skip);
+            });
+            fb.halt();
+            fb.ret_void();
+        }
+    });
+
+    let specs = vec![
+        OperationSpec::plain("System_Init"),
+        OperationSpec::plain("SD_Init_Task"),
+        OperationSpec::plain("LCD_Init_Task"),
+        OperationSpec::plain("FS_Mount_Task"),
+        OperationSpec::plain("Picture_Open_Task"),
+        OperationSpec::with_args("Picture_Read_Task", vec![None]),
+        OperationSpec::plain("Picture_Show_Task"),
+        OperationSpec::plain("Fade_Task"),
+        OperationSpec::plain("Clear_Task"),
+        OperationSpec::plain("Button_Task"),
+        OperationSpec::plain("Error_Task"),
+    ];
+    (cx.finish(), specs)
+}
+
+/// Installs devices, formats the volume, and preloads the 6 pictures.
+pub fn setup(machine: &mut Machine) {
+    opec_devices::install_standard_devices(machine, DeviceConfig::default()).unwrap();
+    let sd: &mut SdCard = machine.device_as("SDIO").unwrap();
+    for (sect, block) in fatfs::format_volume() {
+        sd.preload(sect, &block);
+    }
+    for n in 0..PICTURES {
+        sd.preload(FIRST_PIC_BLOCK + n, &graphics::picture_block(100 + n));
+    }
+    // The button is never pressed during the slideshow.
+    let _: &mut Button = machine.device_as("BUTTON").unwrap();
+}
+
+/// Verifies the six pictures were shown with fades.
+pub fn check(machine: &mut Machine) -> Result<(), String> {
+    let lcd: &mut Lcd = machine.device_as("LCD").ok_or("no LCD")?;
+    let expected = u64::from(PICTURES * graphics::PIC_DIM * graphics::PIC_DIM);
+    if lcd.pixels_written < expected {
+        return Err(format!("painted {} pixels, expected >= {expected}", lcd.pixels_written));
+    }
+    if lcd.brightness() != 0 {
+        return Err("backlight should end dark after the last fade-out".into());
+    }
+    Ok(())
+}
+
+/// The LCD-uSD [`super::App`].
+pub fn app() -> super::App {
+    super::App {
+        name: "LCD-uSD",
+        board: Board::stm32479i_eval(),
+        build,
+        setup,
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::harness;
+
+    #[test]
+    fn module_is_valid_with_eleven_operations() {
+        let (m, specs) = build();
+        opec_ir::validate(&m).unwrap();
+        assert_eq!(specs.len(), 11);
+        let irq = m.func_by_name("SDIO_IRQHandler").unwrap();
+        assert!(m.func(irq).is_irq_handler);
+    }
+
+    #[test]
+    fn baseline_shows_six_pictures() {
+        harness::run_baseline(&app());
+    }
+
+    #[test]
+    fn opec_shows_six_pictures() {
+        let (_, stats) = harness::run_opec(&app());
+        assert!(stats.switches > 0);
+    }
+}

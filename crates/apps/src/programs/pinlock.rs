@@ -1,0 +1,267 @@
+//! PinLock: the smart-lock case-study application (paper Listing 1).
+//!
+//! A pin arrives over the UART; `Unlock_Task` hashes it and compares it
+//! against the stored `KEY` digest, unlocking on a match; `Lock_Task`
+//! locks when the first received byte is `'0'`. `PinRxBuffer` is shared
+//! by both tasks through the (assumed vulnerable)
+//! `HAL_UART_Receive_IT`, which is the whole point of the case study:
+//! under ACES's region grouping, `KEY` lands in the same merged region
+//! as `PinRxBuffer`; under OPEC, `Lock_Task`'s operation simply has no
+//! copy of `KEY`.
+//!
+//! Workload (paper §6.3): 100 successful unlocks and 100 locks, pins
+//! fed alternately from the host.
+
+use opec_armv7m::{Board, Machine};
+use opec_core::OperationSpec;
+use opec_devices::{DeviceConfig, Uart};
+use opec_ir::module::BinOp;
+use opec_ir::{Module, Operand, Ty};
+
+use crate::builder::Ctx;
+use crate::{hal, libs};
+
+/// The correct pin.
+pub const PIN: &[u8; 4] = b"1234";
+/// Lock command (first byte `'0'`).
+pub const LOCK_CMD: &[u8; 4] = b"0000";
+/// Unlock/lock rounds in the workload.
+pub const ROUNDS: u32 = 100;
+
+/// Builds the PinLock module and its six operation entries.
+pub fn build() -> (Module, Vec<OperationSpec>) {
+    build_inner(false)
+}
+
+/// Builds PinLock with the case study's planted vulnerability in
+/// `HAL_UART_Receive_IT` (paper §6.1): attacker input yields an
+/// arbitrary 4-byte write from within whatever task called the receive
+/// function.
+pub fn build_vulnerable() -> (Module, Vec<OperationSpec>) {
+    build_inner(true)
+}
+
+fn build_inner(vulnerable: bool) -> (Module, Vec<OperationSpec>) {
+    let mut cx = Ctx::new("pinlock");
+    hal::sysclk::build(&mut cx);
+    hal::gpio::build(&mut cx);
+    cx.global("PinRxBuffer", Ty::Array(Box::new(Ty::I8), 8), "main.c");
+    hal::uart::build_with_vuln(&mut cx, "PinRxBuffer", 8, vulnerable);
+    libs::crypto::build(&mut cx);
+
+    cx.global("KEY", Ty::I32, "main.c");
+    cx.sanitized_global("lock_state", Ty::I32, "lock.c", (0, 1));
+    cx.global("unlock_count", Ty::I32, "lock.c");
+    cx.global("lock_count", Ty::I32, "lock.c");
+    cx.const_global("default_pin", Ty::Array(Box::new(Ty::I8), 4), PIN.to_vec(), "main.c");
+
+    cx.def("Uart_Init", vec![], None, "main.c", {
+        let init = cx.f("HAL_UART_Init");
+        move |fb| {
+            let _ = fb.call(init, vec![]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Key_Init", vec![], None, "main.c", {
+        let hash = cx.f("crypto_hash");
+        let pin = cx.g("default_pin");
+        let key = cx.g("KEY");
+        move |fb| {
+            let p = fb.addr_of_global(pin, 0);
+            let h = fb.call(hash, vec![Operand::Reg(p), Operand::Imm(4)]);
+            fb.store_global(key, 0, Operand::Reg(h), 4);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("do_unlock", vec![], None, "lock.c", {
+        let led_on = cx.f("BSP_LED_On");
+        let tx = cx.f("HAL_UART_Transmit");
+        let state = cx.g("lock_state");
+        let count = cx.g("unlock_count");
+        move |fb| {
+            fb.store_global(state, 0, Operand::Imm(1), 4);
+            fb.call_void(led_on, vec![Operand::Imm(12)]);
+            let c = fb.load_global(count, 0, 4);
+            let c2 = fb.bin(BinOp::Add, Operand::Reg(c), Operand::Imm(1));
+            fb.store_global(count, 0, Operand::Reg(c2), 4);
+            let _ = fb.call(tx, vec![Operand::Imm(u32::from(b'U'))]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("do_lock", vec![], None, "lock.c", {
+        let led_off = cx.f("BSP_LED_Off");
+        let tx = cx.f("HAL_UART_Transmit");
+        let state = cx.g("lock_state");
+        let count = cx.g("lock_count");
+        move |fb| {
+            fb.store_global(state, 0, Operand::Imm(0), 4);
+            fb.call_void(led_off, vec![Operand::Imm(12)]);
+            let c = fb.load_global(count, 0, 4);
+            let c2 = fb.bin(BinOp::Add, Operand::Reg(c), Operand::Imm(1));
+            fb.store_global(count, 0, Operand::Reg(c2), 4);
+            let _ = fb.call(tx, vec![Operand::Imm(u32::from(b'L'))]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Init_Lock", vec![], None, "main.c", {
+        let led_init = cx.f("BSP_LED_Init");
+        let state = cx.g("lock_state");
+        move |fb| {
+            fb.call_void(led_init, vec![]);
+            fb.store_global(state, 0, Operand::Imm(0), 4);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Unlock_Task", vec![], None, "main.c", {
+        let recv = cx.f("HAL_UART_Receive_IT");
+        let hash = cx.f("crypto_hash");
+        let cmp = cx.f("crypto_compare");
+        let unlock = cx.f("do_unlock");
+        let tx = cx.f("HAL_UART_Transmit");
+        let rx = cx.g("PinRxBuffer");
+        let key = cx.g("KEY");
+        move |fb| {
+            let _ = fb.call(recv, vec![Operand::Imm(4)]);
+            let p = fb.addr_of_global(rx, 0);
+            let h = fb.call(hash, vec![Operand::Reg(p), Operand::Imm(4)]);
+            let k = fb.load_global(key, 0, 4);
+            let eq = fb.call(cmp, vec![Operand::Reg(h), Operand::Reg(k)]);
+            let hit = fb.block();
+            let miss = fb.block();
+            let out = fb.block();
+            fb.cond_br(Operand::Reg(eq), hit, miss);
+            fb.switch_to(hit);
+            fb.call_void(unlock, vec![]);
+            fb.br(out);
+            fb.switch_to(miss);
+            let _ = fb.call(tx, vec![Operand::Imm(u32::from(b'N'))]);
+            fb.br(out);
+            fb.switch_to(out);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Lock_Task", vec![], None, "main.c", {
+        let recv = cx.f("HAL_UART_Receive_IT");
+        let lock = cx.f("do_lock");
+        let rx = cx.g("PinRxBuffer");
+        move |fb| {
+            let _ = fb.call(recv, vec![Operand::Imm(4)]);
+            let b0 = fb.load_global(rx, 0, 1);
+            let z = fb.bin(BinOp::CmpEq, Operand::Reg(b0), Operand::Imm(u32::from(b'0')));
+            let hit = fb.block();
+            let out = fb.block();
+            fb.cond_br(Operand::Reg(z), hit, out);
+            fb.switch_to(hit);
+            fb.call_void(lock, vec![]);
+            fb.br(out);
+            fb.switch_to(out);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("main", vec![], None, "main.c", {
+        let sys = cx.f("System_Init");
+        let uart = cx.f("Uart_Init");
+        let key = cx.f("Key_Init");
+        let init_lock = cx.f("Init_Lock");
+        let unlock_t = cx.f("Unlock_Task");
+        let lock_t = cx.f("Lock_Task");
+        move |fb| {
+            fb.call_void(sys, vec![]);
+            fb.call_void(uart, vec![]);
+            fb.call_void(key, vec![]);
+            fb.call_void(init_lock, vec![]);
+            crate::builder::counted_loop(fb, Operand::Imm(ROUNDS), move |fb, _| {
+                fb.call_void(unlock_t, vec![]);
+                fb.call_void(lock_t, vec![]);
+            });
+            fb.halt();
+            fb.ret_void();
+        }
+    });
+
+    let specs = vec![
+        OperationSpec::plain("System_Init"),
+        OperationSpec::plain("Uart_Init"),
+        OperationSpec::plain("Key_Init"),
+        OperationSpec::plain("Init_Lock"),
+        OperationSpec::plain("Unlock_Task"),
+        OperationSpec::plain("Lock_Task"),
+    ];
+    (cx.finish(), specs)
+}
+
+/// Installs devices and feeds the 100-round pin script.
+pub fn setup(machine: &mut Machine) {
+    opec_devices::install_standard_devices(machine, DeviceConfig::default()).unwrap();
+    let uart: &mut Uart = machine.device_as("USART2").unwrap();
+    for _ in 0..ROUNDS {
+        uart.feed(PIN);
+        uart.feed(LOCK_CMD);
+    }
+}
+
+/// Verifies 100 unlocks + 100 locks were acknowledged over the UART.
+pub fn check(machine: &mut Machine) -> Result<(), String> {
+    let uart: &mut Uart = machine.device_as("USART2").ok_or("no USART2")?;
+    let tx = uart.take_tx();
+    let unlocks = tx.iter().filter(|b| **b == b'U').count();
+    let locks = tx.iter().filter(|b| **b == b'L').count();
+    let rejects = tx.iter().filter(|b| **b == b'N').count();
+    if unlocks != ROUNDS as usize || locks != ROUNDS as usize {
+        return Err(format!(
+            "expected {ROUNDS} unlocks and locks, saw {unlocks}/{locks} ({rejects} rejects)"
+        ));
+    }
+    Ok(())
+}
+
+/// The PinLock [`super::App`].
+pub fn app() -> super::App {
+    super::App {
+        name: "PinLock",
+        board: Board::stm32f4_discovery(),
+        build,
+        setup,
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libs::crypto;
+    use crate::programs::harness;
+
+    #[test]
+    fn pin_hash_matches_host_reference() {
+        assert_ne!(crypto::fnv1a(PIN), crypto::fnv1a(LOCK_CMD));
+    }
+
+    #[test]
+    fn module_is_valid_with_six_operations() {
+        let (m, specs) = build();
+        opec_ir::validate(&m).unwrap();
+        assert_eq!(specs.len(), 6);
+        assert!(m.func_by_name("Unlock_Task").is_some());
+    }
+
+    #[test]
+    fn baseline_run_unlocks_and_locks_100_times() {
+        harness::run_baseline(&app());
+    }
+
+    #[test]
+    fn opec_run_matches_baseline_behaviour() {
+        let (cycles, stats) = harness::run_opec(&app());
+        assert!(cycles > 0);
+        // Six entries, two in the hot loop: ≥ 200 switches.
+        assert!(stats.switches >= 2 * ROUNDS as u64);
+    }
+}

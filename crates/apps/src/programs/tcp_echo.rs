@@ -1,0 +1,289 @@
+//! TCP-Echo: a TCP echo server on the lwIP-like stack (paper §6). The
+//! host sends 5 valid TCP packets and 45 invalid packets; the server
+//! echoes the valid payloads and stops profiling after handling all 50
+//! (the paper's reduced workload due to the SRAM limit).
+
+use opec_armv7m::{Board, Machine};
+use opec_core::OperationSpec;
+use opec_devices::{DeviceConfig, EthMac};
+use opec_ir::module::BinOp;
+use opec_ir::{Module, Operand, Ty};
+
+use crate::builder::{bail_if_zero, Ctx};
+use crate::libs::lwip;
+use crate::{hal, libs};
+
+/// Valid echo requests in the workload.
+pub const VALID_FRAMES: u32 = 5;
+/// Invalid frames mixed in.
+pub const INVALID_FRAMES: u32 = 45;
+/// Echo payload prototype; frame `i` carries `PAYLOAD[i]`.
+pub const PAYLOADS: [&[u8]; 5] = [b"ping-0", b"ping-1", b"ping-2", b"ping-3", b"ping-4"];
+
+/// Builds the TCP-Echo module and its nine operation entries.
+pub fn build() -> (Module, Vec<OperationSpec>) {
+    let mut cx = Ctx::new("tcp_echo");
+    hal::sysclk::build(&mut cx);
+    hal::gpio::build(&mut cx);
+    hal::dma::build(&mut cx);
+    hal::eth::build(&mut cx);
+    libs::lwip::build(&mut cx);
+
+    cx.global("echo_buf", Ty::Array(Box::new(Ty::I8), 64), "echo.c");
+    cx.global("echo_count", Ty::I32, "echo.c");
+    cx.global("frames_handled", Ty::I32, "main.c");
+
+    // The echo application callbacks, registered on the TCP PCB.
+    cx.def(
+        "echo_recv",
+        vec![("payload", Ty::Ptr(Box::new(Ty::I8))), ("len", Ty::I32)],
+        Some(Ty::I32),
+        "echo.c",
+        {
+            let buf = cx.g("echo_buf");
+            let take = cx.f("pbuf_take");
+            let write = cx.f("tcp_write");
+            move |fb| {
+                let dst = fb.addr_of_global(buf, 0);
+                fb.call_void(
+                    take,
+                    vec![Operand::Reg(dst), Operand::Reg(fb.param(0)), Operand::Reg(fb.param(1))],
+                );
+                let dst2 = fb.addr_of_global(buf, 0);
+                let r = fb.call(write, vec![Operand::Reg(dst2), Operand::Reg(fb.param(1))]);
+                fb.ret(Operand::Reg(r));
+            }
+        },
+    );
+
+    cx.def("echo_sent", vec![("len", Ty::I32)], Some(Ty::I32), "echo.c", {
+        let count = cx.g("echo_count");
+        move |fb| {
+            let c = fb.load_global(count, 0, 4);
+            let c2 = fb.bin(BinOp::Add, Operand::Reg(c), Operand::Imm(1));
+            fb.store_global(count, 0, Operand::Reg(c2), 4);
+            fb.ret(Operand::Imm(0));
+        }
+    });
+
+    cx.def("Eth_Init_Task", vec![], Some(Ty::I32), "main.c", {
+        let init = cx.f("HAL_ETH_Init");
+        move |fb| {
+            let r = fb.call(init, vec![]);
+            fb.ret(Operand::Reg(r));
+        }
+    });
+
+    // The echo server's error hook (registered on the PCB, fired only
+    // on TCP resets — never in the scripted workload).
+    cx.def("echo_err", vec![("code", Ty::I32)], Some(Ty::I32), "echo.c", {
+        let count = cx.g("echo_count");
+        move |fb| {
+            let c = fb.load_global(count, 0, 4);
+            fb.ret(Operand::Reg(c));
+        }
+    });
+
+    cx.def("Tcp_Setup_Task", vec![], None, "main.c", {
+        let new = cx.f("tcp_new");
+        let bind = cx.f("tcp_bind");
+        let listen = cx.f("tcp_listen");
+        let rr = cx.f("tcp_recv_register");
+        let sr = cx.f("tcp_sent_register");
+        let er = cx.f("tcp_err_register");
+        let recv = cx.f("echo_recv");
+        let sent = cx.f("echo_sent");
+        let err = cx.f("echo_err");
+        move |fb| {
+            fb.call_void(new, vec![Operand::Imm(7)]);
+            let _ = fb.call(bind, vec![Operand::Imm(7)]);
+            fb.call_void(listen, vec![]);
+            let pr = fb.addr_of_func(recv);
+            fb.call_void(rr, vec![Operand::Reg(pr)]);
+            let ps = fb.addr_of_func(sent);
+            fb.call_void(sr, vec![Operand::Reg(ps)]);
+            let pe = fb.addr_of_func(err);
+            fb.call_void(er, vec![Operand::Reg(pe)]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Link_Check_Task", vec![], Some(Ty::I32), "main.c", {
+        let link = cx.f("HAL_ETH_GetLinkState");
+        move |fb| {
+            let v = fb.call(link, vec![]);
+            fb.ret(Operand::Reg(v));
+        }
+    });
+
+    cx.def("Net_Poll_Task", vec![], Some(Ty::I32), "main.c", {
+        let poll = cx.f("netif_poll");
+        let handled = cx.g("frames_handled");
+        move |fb| {
+            let n = fb.call(poll, vec![]);
+            bail_if_zero(fb, n, None, Some(0));
+            let c = fb.load_global(handled, 0, 4);
+            let c2 = fb.bin(BinOp::Add, Operand::Reg(c), Operand::Imm(1));
+            fb.store_global(handled, 0, Operand::Reg(c2), 4);
+            fb.ret(Operand::Imm(1));
+        }
+    });
+
+    cx.def("Stats_Task", vec![], Some(Ty::I32), "main.c", {
+        let rx = cx.g("lwip_stats_rx");
+        let tx = cx.g("lwip_stats_tx");
+        let drop = cx.g("lwip_stats_drop");
+        move |fb| {
+            let r = fb.load_global(rx, 0, 4);
+            let t = fb.load_global(tx, 0, 4);
+            let d = fb.load_global(drop, 0, 4);
+            let s = fb.bin(BinOp::Add, Operand::Reg(r), Operand::Reg(t));
+            let s2 = fb.bin(BinOp::Add, Operand::Reg(s), Operand::Reg(d));
+            fb.ret(Operand::Reg(s2));
+        }
+    });
+
+    cx.def("Timer_Task", vec![], None, "main.c", {
+        let delay = cx.f("HAL_Delay");
+        let tick = cx.f("HAL_GetTick");
+        move |fb| {
+            fb.call_void(delay, vec![Operand::Imm(1)]);
+            let _ = fb.call(tick, vec![]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("Led_Task", vec![], None, "main.c", {
+        let init = cx.f("BSP_LED_Init");
+        let on = cx.f("BSP_LED_On");
+        let toggle = cx.f("BSP_LED_Toggle");
+        move |fb| {
+            fb.call_void(init, vec![]);
+            fb.call_void(on, vec![Operand::Imm(12)]);
+            fb.call_void(toggle, vec![Operand::Imm(13)]);
+            fb.ret_void();
+        }
+    });
+
+    cx.def("main", vec![], None, "main.c", {
+        let sys = cx.f("System_Init");
+        let eth = cx.f("Eth_Init_Task");
+        let tcp = cx.f("Tcp_Setup_Task");
+        let link = cx.f("Link_Check_Task");
+        let poll = cx.f("Net_Poll_Task");
+        let stats = cx.f("Stats_Task");
+        let timer = cx.f("Timer_Task");
+        let led = cx.f("Led_Task");
+        move |fb| {
+            fb.call_void(sys, vec![]);
+            let r = fb.call(eth, vec![]);
+            let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
+            bail_if_zero(fb, ok, None, None);
+            fb.call_void(tcp, vec![]);
+            let l = fb.call(link, vec![]);
+            bail_if_zero(fb, l, None, None);
+            fb.call_void(led, vec![]);
+            let total = VALID_FRAMES + INVALID_FRAMES;
+            crate::builder::counted_loop(fb, Operand::Imm(total), move |fb, _| {
+                let _ = fb.call(poll, vec![]);
+                fb.call_void(timer, vec![]);
+            });
+            let _ = fb.call(stats, vec![]);
+            fb.halt();
+            fb.ret_void();
+        }
+    });
+
+    let specs = vec![
+        OperationSpec::plain("System_Init"),
+        OperationSpec::plain("Eth_Init_Task"),
+        OperationSpec::plain("Tcp_Setup_Task"),
+        OperationSpec::plain("Link_Check_Task"),
+        OperationSpec::plain("Net_Poll_Task"),
+        OperationSpec::with_args("echo_recv", vec![Some(64), None]),
+        OperationSpec::plain("Stats_Task"),
+        OperationSpec::plain("Timer_Task"),
+        OperationSpec::plain("Led_Task"),
+    ];
+    (cx.finish(), specs)
+}
+
+/// Installs devices and queues 5 valid + 45 invalid frames.
+pub fn setup(machine: &mut Machine) {
+    opec_devices::install_standard_devices(machine, DeviceConfig::default()).unwrap();
+    let mac: &mut EthMac = machine.device_as("ETH").unwrap();
+    // Interleave: one valid frame every ten.
+    let mut invalid = 0u8;
+    for i in 0..(VALID_FRAMES + INVALID_FRAMES) {
+        if i % 10 == 0 {
+            let idx = (i / 10) as usize;
+            mac.push_frame(&lwip::make_tcp_frame(0x1234, 7, PAYLOADS[idx]));
+        } else {
+            mac.push_frame(&lwip::make_invalid_frame(invalid));
+            invalid = invalid.wrapping_add(1);
+        }
+    }
+}
+
+/// Verifies 5 echo replies with the right payloads were transmitted.
+pub fn check(machine: &mut Machine) -> Result<(), String> {
+    let mac: &mut EthMac = machine.device_as("ETH").ok_or("no ETH")?;
+    let frames = mac.take_tx_frames();
+    if frames.len() != VALID_FRAMES as usize {
+        return Err(format!("expected {VALID_FRAMES} echo replies, saw {}", frames.len()));
+    }
+    for (i, f) in frames.iter().enumerate() {
+        if f.len() < 9 {
+            return Err(format!("reply {i} too short"));
+        }
+        let plen = f[8] as usize;
+        let payload = &f[9..9 + plen.min(f.len() - 9)];
+        if payload != PAYLOADS[i] {
+            return Err(format!(
+                "reply {i} payload {:?} != {:?}",
+                String::from_utf8_lossy(payload),
+                String::from_utf8_lossy(PAYLOADS[i])
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The TCP-Echo [`super::App`].
+pub fn app() -> super::App {
+    super::App {
+        name: "TCP-Echo",
+        board: Board::stm32479i_eval(),
+        build,
+        setup,
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::harness;
+
+    #[test]
+    fn module_is_valid_with_nine_operations() {
+        let (m, specs) = build();
+        opec_ir::validate(&m).unwrap();
+        assert_eq!(specs.len(), 9);
+        assert!(m.func_by_name("udp_input").is_some());
+    }
+
+    #[test]
+    fn baseline_echoes_five_payloads() {
+        harness::run_baseline(&app());
+    }
+
+    #[test]
+    fn opec_echoes_five_payloads() {
+        let (_, stats) = harness::run_opec(&app());
+        // The poll loop runs 50 switches plus inits and nested
+        // echo_recv entries.
+        assert!(stats.switches >= 55, "switches: {}", stats.switches);
+        assert!(stats.ptr_redirects > 0, "payload pointer must be redirected");
+    }
+}

@@ -1,0 +1,54 @@
+//! Board profiles for the two evaluation boards used in the paper.
+
+use crate::mem::{MemRegion, SRAM_BASE};
+
+/// Flash base address on STM32F4-family parts.
+pub const STM32_FLASH_BASE: u32 = 0x0800_0000;
+
+/// Static description of a development board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Board {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Flash range.
+    pub flash: MemRegion,
+    /// SRAM range.
+    pub sram: MemRegion,
+}
+
+impl Board {
+    /// STM32F4-Discovery: 1 MiB Flash, 192 KiB SRAM (paper, Section 6.3).
+    pub const fn stm32f4_discovery() -> Board {
+        Board {
+            name: "STM32F4-Discovery",
+            flash: MemRegion { base: STM32_FLASH_BASE, size: 1024 * 1024 },
+            sram: MemRegion { base: SRAM_BASE, size: 192 * 1024 },
+        }
+    }
+
+    /// STM32479I-EVAL: 2 MiB Flash, 288 KiB SRAM (paper, Section 6.3).
+    pub const fn stm32479i_eval() -> Board {
+        Board {
+            name: "STM32479I-EVAL",
+            flash: MemRegion { base: STM32_FLASH_BASE, size: 2 * 1024 * 1024 },
+            sram: MemRegion { base: SRAM_BASE, size: 288 * 1024 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_sizes_match_paper() {
+        let disco = Board::stm32f4_discovery();
+        assert_eq!(disco.flash.size, 1 << 20);
+        assert_eq!(disco.sram.size, 192 << 10);
+        let eval = Board::stm32479i_eval();
+        assert_eq!(eval.flash.size, 2 << 20);
+        assert_eq!(eval.sram.size, 288 << 10);
+        assert_eq!(disco.flash.base, 0x0800_0000);
+        assert_eq!(disco.sram.base, 0x2000_0000);
+    }
+}

@@ -1,0 +1,104 @@
+//! Exception model: the faults and supervisor calls OPEC-Monitor hooks.
+//!
+//! OPEC configures three handlers (Section 5.1 of the paper): the
+//! supervisor call (SVC) used for operation switches, the memory
+//! management fault used for MPU-region virtualization, and the bus fault
+//! used to emulate unprivileged accesses to core peripherals on the PPB.
+
+/// The kind of memory access that raised a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl AccessKind {
+    /// Returns `true` for a data write.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// Why an access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCause {
+    /// The MPU denied the access (MemManage: DACCVIOL / IACCVIOL).
+    MpuViolation,
+    /// Unprivileged access to the Private Peripheral Bus (BusFault).
+    PpbUnprivileged,
+    /// The address maps to no implemented memory or device (BusFault).
+    Unmapped,
+}
+
+/// Details of a faulting access, mirroring what a handler learns from the
+/// fault status and fault address registers plus the stacked frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInfo {
+    /// Faulting data address (MMFAR / BFAR).
+    pub address: u32,
+    /// Access size in bytes.
+    pub len: u32,
+    /// Read, write, or execute.
+    pub kind: AccessKind,
+    /// Cause classification.
+    pub cause: FaultCause,
+    /// Address of the faulting instruction (stacked PC). The monitor's
+    /// emulation path fetches and decodes the instruction at this
+    /// address.
+    pub pc: u32,
+    /// For a write, the value the instruction attempted to store.
+    pub write_value: Option<u32>,
+}
+
+/// An exception delivered to the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exception {
+    /// Supervisor call with its 8-bit immediate.
+    Svc(u8),
+    /// MPU violation.
+    MemManage(FaultInfo),
+    /// Bus error (PPB privilege violation or unmapped address).
+    BusFault(FaultInfo),
+    /// Undefined operation (e.g. indirect call to a non-function address).
+    UsageFault,
+    /// Escalated unrecoverable fault.
+    HardFault,
+}
+
+impl Exception {
+    /// Short mnemonic used in traces and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Exception::Svc(_) => "SVC",
+            Exception::MemManage(_) => "MemManage",
+            Exception::BusFault(_) => "BusFault",
+            Exception::UsageFault => "UsageFault",
+            Exception::HardFault => "HardFault",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Exception::Svc(1).name(), "SVC");
+        let fi = FaultInfo {
+            address: 0xE000_ED94,
+            len: 4,
+            kind: AccessKind::Write,
+            cause: FaultCause::PpbUnprivileged,
+            pc: 0x0800_0100,
+            write_value: Some(5),
+        };
+        assert_eq!(Exception::BusFault(fi).name(), "BusFault");
+        assert_eq!(Exception::MemManage(fi).name(), "MemManage");
+        assert!(fi.kind.is_write());
+    }
+}

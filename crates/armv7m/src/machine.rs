@@ -1,0 +1,482 @@
+//! The composed machine: Flash, SRAM, MPU, privilege, clock, devices.
+//!
+//! [`Machine`] is the single chokepoint for every memory access the
+//! simulated firmware makes. It applies, in order:
+//!
+//! 1. the PPB privilege rule — unprivileged access to
+//!    `0xE0000000..0xE0100000` raises a [`Exception::BusFault`];
+//! 2. the MPU permission check — a denial raises
+//!    [`Exception::MemManage`];
+//! 3. routing — Flash, SRAM, a registered [`MmioDevice`], the built-in
+//!    PPB register file, or a BusFault for unmapped addresses.
+//!
+//! The OPEC-Monitor performs its privileged work through the same API
+//! with [`Mode::Privileged`], exactly as the paper's monitor is ordinary
+//! privileged code.
+
+use std::collections::HashMap;
+
+use crate::board::Board;
+use crate::clock::Clock;
+use crate::exception::{AccessKind, Exception, FaultCause, FaultInfo};
+use crate::mem::{ppb, AddressClass, MemRegion};
+use crate::mpu::{Mpu, MpuDecision};
+use crate::Mode;
+
+/// A memory-mapped peripheral model.
+///
+/// Devices own a fixed address window; reads and writes arrive with the
+/// offset from the window base. Device register semantics (FIFO pops,
+/// status flags, side effects) live in the `opec-devices` crate.
+pub trait MmioDevice {
+    /// Stable device name (used for peripheral address maps and traces).
+    fn name(&self) -> &str;
+    /// The address window the device occupies.
+    fn region(&self) -> MemRegion;
+    /// Reads `len` (1, 2 or 4) bytes at `offset` from the window base.
+    fn read(&mut self, offset: u32, len: u32) -> u32;
+    /// Writes `len` bytes of `value` at `offset` from the window base.
+    fn write(&mut self, offset: u32, len: u32, value: u32);
+    /// Advances device-internal time (DMA progress, baud timing, ...).
+    fn tick(&mut self, _cycles: u64) {}
+    /// Returns `true` if the device is asserting its interrupt line.
+    fn irq_pending(&self) -> bool {
+        false
+    }
+    /// Downcasting hook so hosts (test harnesses, workload drivers) can
+    /// reach a device's typed interface, e.g. to feed a UART.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Counters the evaluation reads out of the machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Data loads performed.
+    pub loads: u64,
+    /// Data stores performed.
+    pub stores: u64,
+    /// Peripheral (device or PPB) accesses performed.
+    pub mmio_accesses: u64,
+    /// MemManage faults raised.
+    pub mem_faults: u64,
+    /// Bus faults raised.
+    pub bus_faults: u64,
+}
+
+/// The simulated microcontroller.
+pub struct Machine {
+    /// Board profile (flash/SRAM geometry).
+    pub board: Board,
+    flash: Vec<u8>,
+    sram: Vec<u8>,
+    /// The memory protection unit.
+    pub mpu: Mpu,
+    /// Current execution privilege.
+    pub mode: Mode,
+    /// Cycle clock.
+    pub clock: Clock,
+    /// PC of the instruction currently executing; recorded into fault
+    /// information so handlers can fetch and decode it.
+    pub current_pc: u32,
+    /// Access counters.
+    pub stats: MachineStats,
+    devices: Vec<Box<dyn MmioDevice>>,
+    /// Backing store for PPB registers without dedicated models.
+    ppb_regs: HashMap<u32, u32>,
+}
+
+impl Machine {
+    /// Creates a machine for `board` with zeroed Flash and SRAM, MPU
+    /// disabled, running privileged (the reset state).
+    pub fn new(board: Board) -> Machine {
+        Machine {
+            board,
+            flash: vec![0; board.flash.size as usize],
+            sram: vec![0; board.sram.size as usize],
+            mpu: Mpu::new(),
+            mode: Mode::Privileged,
+            clock: Clock::new(),
+            current_pc: board.flash.base,
+            stats: MachineStats::default(),
+            devices: Vec::new(),
+            ppb_regs: HashMap::new(),
+        }
+    }
+
+    /// Registers a memory-mapped device. Returns an error if its window
+    /// overlaps an already registered device.
+    pub fn add_device(&mut self, dev: Box<dyn MmioDevice>) -> Result<(), String> {
+        let region = dev.region();
+        for existing in &self.devices {
+            if existing.region().overlaps(&region) {
+                return Err(format!(
+                    "device {} overlaps {} at {:#010x}",
+                    dev.name(),
+                    existing.name(),
+                    region.base
+                ));
+            }
+        }
+        self.devices.push(dev);
+        Ok(())
+    }
+
+    /// Looks a registered device up by name.
+    pub fn device_mut(&mut self, name: &str) -> Option<&mut (dyn MmioDevice + '_)> {
+        self.devices.iter_mut().find(|d| d.name() == name).map(|d| d.as_mut() as _)
+    }
+
+    /// Looks a device up by name and downcasts it to its concrete type.
+    pub fn device_as<T: 'static>(&mut self, name: &str) -> Option<&mut T> {
+        self.devices
+            .iter_mut()
+            .find(|d| d.name() == name)
+            .and_then(|d| d.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Advances all devices by `cycles`.
+    pub fn tick_devices(&mut self, cycles: u64) {
+        for d in &mut self.devices {
+            d.tick(cycles);
+        }
+    }
+
+    /// Returns the names of devices currently asserting interrupts.
+    pub fn pending_irqs(&self) -> Vec<&str> {
+        self.devices.iter().filter(|d| d.irq_pending()).map(|d| d.name()).collect()
+    }
+
+    fn fault(&self, address: u32, len: u32, kind: AccessKind, cause: FaultCause, write_value: Option<u32>) -> FaultInfo {
+        FaultInfo { address, len, kind, cause, pc: self.current_pc, write_value }
+    }
+
+    /// Performs a data load of `len` bytes (1, 2 or 4) at `addr` in
+    /// `mode`, applying the privilege and MPU rules.
+    pub fn load(&mut self, addr: u32, len: u32, mode: Mode) -> Result<u32, Exception> {
+        debug_assert!(matches!(len, 1 | 2 | 4));
+        let class = AddressClass::of(addr);
+        if class == AddressClass::Ppb {
+            if !mode.is_privileged() {
+                self.stats.bus_faults += 1;
+                return Err(Exception::BusFault(self.fault(
+                    addr,
+                    len,
+                    AccessKind::Read,
+                    FaultCause::PpbUnprivileged,
+                    None,
+                )));
+            }
+            self.stats.loads += 1;
+            self.stats.mmio_accesses += 1;
+            return Ok(self.ppb_read(addr));
+        }
+        if self.mpu.check_data(addr, len, false, mode) == MpuDecision::Denied {
+            self.stats.mem_faults += 1;
+            return Err(Exception::MemManage(self.fault(
+                addr,
+                len,
+                AccessKind::Read,
+                FaultCause::MpuViolation,
+                None,
+            )));
+        }
+        self.stats.loads += 1;
+        self.route_load(addr, len).ok_or_else(|| {
+            self.stats.bus_faults += 1;
+            Exception::BusFault(self.fault(addr, len, AccessKind::Read, FaultCause::Unmapped, None))
+        })
+    }
+
+    /// Performs a data store of `len` bytes at `addr` in `mode`.
+    pub fn store(&mut self, addr: u32, len: u32, value: u32, mode: Mode) -> Result<(), Exception> {
+        debug_assert!(matches!(len, 1 | 2 | 4));
+        let class = AddressClass::of(addr);
+        if class == AddressClass::Ppb {
+            if !mode.is_privileged() {
+                self.stats.bus_faults += 1;
+                return Err(Exception::BusFault(self.fault(
+                    addr,
+                    len,
+                    AccessKind::Write,
+                    FaultCause::PpbUnprivileged,
+                    Some(value),
+                )));
+            }
+            self.stats.stores += 1;
+            self.stats.mmio_accesses += 1;
+            self.ppb_write(addr, value);
+            return Ok(());
+        }
+        if self.mpu.check_data(addr, len, true, mode) == MpuDecision::Denied {
+            self.stats.mem_faults += 1;
+            return Err(Exception::MemManage(self.fault(
+                addr,
+                len,
+                AccessKind::Write,
+                FaultCause::MpuViolation,
+                Some(value),
+            )));
+        }
+        self.stats.stores += 1;
+        if self.route_store(addr, len, value) {
+            Ok(())
+        } else {
+            self.stats.bus_faults += 1;
+            Err(Exception::BusFault(self.fault(
+                addr,
+                len,
+                AccessKind::Write,
+                FaultCause::Unmapped,
+                Some(value),
+            )))
+        }
+    }
+
+    fn route_load(&mut self, addr: u32, len: u32) -> Option<u32> {
+        if self.board.flash.contains_range(addr, len) {
+            let off = (addr - self.board.flash.base) as usize;
+            return Some(read_le(&self.flash, off, len));
+        }
+        if self.board.sram.contains_range(addr, len) {
+            let off = (addr - self.board.sram.base) as usize;
+            return Some(read_le(&self.sram, off, len));
+        }
+        for d in &mut self.devices {
+            let r = d.region();
+            if r.contains_range(addr, len) {
+                self.stats.mmio_accesses += 1;
+                return Some(d.read(addr - r.base, len));
+            }
+        }
+        None
+    }
+
+    fn route_store(&mut self, addr: u32, len: u32, value: u32) -> bool {
+        // Flash is not writable at runtime (programming it needs the
+        // flash controller, which the firmware never does mid-run).
+        if self.board.sram.contains_range(addr, len) {
+            let off = (addr - self.board.sram.base) as usize;
+            write_le(&mut self.sram, off, len, value);
+            return true;
+        }
+        for d in &mut self.devices {
+            let r = d.region();
+            if r.contains_range(addr, len) {
+                self.stats.mmio_accesses += 1;
+                d.write(addr - r.base, len, value);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ppb_read(&mut self, addr: u32) -> u32 {
+        match addr {
+            ppb::DWT_CYCCNT => self.clock.now() as u32,
+            _ => self.ppb_regs.get(&addr).copied().unwrap_or(0),
+        }
+    }
+
+    fn ppb_write(&mut self, addr: u32, value: u32) {
+        // DWT_CYCCNT writes reset the counter on real silicon; our clock
+        // is the ground truth for the whole run, so we record the offset.
+        self.ppb_regs.insert(addr, value);
+    }
+
+    /// Unchecked read used by loaders, the monitor's introspection, and
+    /// tests. Returns `None` for unmapped addresses.
+    pub fn peek(&self, addr: u32, len: u32) -> Option<u32> {
+        if self.board.flash.contains_range(addr, len) {
+            return Some(read_le(&self.flash, (addr - self.board.flash.base) as usize, len));
+        }
+        if self.board.sram.contains_range(addr, len) {
+            return Some(read_le(&self.sram, (addr - self.board.sram.base) as usize, len));
+        }
+        if AddressClass::of(addr) == AddressClass::Ppb {
+            return Some(self.ppb_regs.get(&addr).copied().unwrap_or(0));
+        }
+        None
+    }
+
+    /// Unchecked write used by loaders and tests.
+    pub fn poke(&mut self, addr: u32, len: u32, value: u32) -> bool {
+        if self.board.flash.contains_range(addr, len) {
+            write_le(&mut self.flash, (addr - self.board.flash.base) as usize, len, value);
+            return true;
+        }
+        if self.board.sram.contains_range(addr, len) {
+            write_le(&mut self.sram, (addr - self.board.sram.base) as usize, len, value);
+            return true;
+        }
+        false
+    }
+
+    /// Copies `bytes` into Flash at `addr` (image loading).
+    pub fn load_flash(&mut self, addr: u32, bytes: &[u8]) -> Result<(), String> {
+        let len = bytes.len() as u32;
+        if !self.board.flash.contains_range(addr, len.max(1)) {
+            return Err(format!("flash write out of range: {addr:#010x}+{len:#x}"));
+        }
+        let off = (addr - self.board.flash.base) as usize;
+        self.flash[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Copies `bytes` into SRAM at `addr` (section initialisation).
+    pub fn load_sram(&mut self, addr: u32, bytes: &[u8]) -> Result<(), String> {
+        let len = bytes.len() as u32;
+        if !self.board.sram.contains_range(addr, len.max(1)) {
+            return Err(format!("sram write out of range: {addr:#010x}+{len:#x}"));
+        }
+        let off = (addr - self.board.sram.base) as usize;
+        self.sram[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+fn read_le(buf: &[u8], off: usize, len: u32) -> u32 {
+    let mut v = 0u32;
+    for i in 0..len as usize {
+        v |= u32::from(buf[off + i]) << (8 * i);
+    }
+    v
+}
+
+fn write_le(buf: &mut [u8], off: usize, len: u32, value: u32) {
+    for i in 0..len as usize {
+        buf[off + i] = (value >> (8 * i)) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpu::{MpuRegion, RegionAttr};
+
+    fn machine() -> Machine {
+        Machine::new(Board::stm32f4_discovery())
+    }
+
+    #[test]
+    fn sram_roundtrip_little_endian() {
+        let mut m = machine();
+        m.store(0x2000_0000, 4, 0xA1B2_C3D4, Mode::Privileged).unwrap();
+        assert_eq!(m.load(0x2000_0000, 4, Mode::Privileged).unwrap(), 0xA1B2_C3D4);
+        assert_eq!(m.load(0x2000_0000, 1, Mode::Privileged).unwrap(), 0xD4);
+        assert_eq!(m.load(0x2000_0001, 1, Mode::Privileged).unwrap(), 0xC3);
+        assert_eq!(m.load(0x2000_0002, 2, Mode::Privileged).unwrap(), 0xA1B2);
+    }
+
+    #[test]
+    fn flash_is_readonly_at_runtime() {
+        let mut m = machine();
+        m.load_flash(0x0800_0000, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.load(0x0800_0000, 4, Mode::Privileged).unwrap(), 0x0403_0201);
+        let err = m.store(0x0800_0000, 4, 0, Mode::Privileged).unwrap_err();
+        assert!(matches!(err, Exception::BusFault(fi) if fi.cause == FaultCause::Unmapped));
+    }
+
+    #[test]
+    fn ppb_requires_privilege() {
+        let mut m = machine();
+        let err = m.load(ppb::SYST_CSR, 4, Mode::Unprivileged).unwrap_err();
+        match err {
+            Exception::BusFault(fi) => {
+                assert_eq!(fi.cause, FaultCause::PpbUnprivileged);
+                assert_eq!(fi.address, ppb::SYST_CSR);
+            }
+            other => panic!("expected BusFault, got {other:?}"),
+        }
+        assert!(m.load(ppb::SYST_CSR, 4, Mode::Privileged).is_ok());
+        assert_eq!(m.stats.bus_faults, 1);
+    }
+
+    #[test]
+    fn dwt_cyccnt_reads_clock() {
+        let mut m = machine();
+        m.clock.tick(1234);
+        assert_eq!(m.load(ppb::DWT_CYCCNT, 4, Mode::Privileged).unwrap(), 1234);
+    }
+
+    #[test]
+    fn mpu_denial_raises_memmanage_with_pc() {
+        let mut m = machine();
+        m.mpu.enabled = true;
+        m.current_pc = 0x0800_1234;
+        let err = m.store(0x2000_0000, 4, 7, Mode::Unprivileged).unwrap_err();
+        match err {
+            Exception::MemManage(fi) => {
+                assert_eq!(fi.pc, 0x0800_1234);
+                assert_eq!(fi.write_value, Some(7));
+                assert_eq!(fi.cause, FaultCause::MpuViolation);
+            }
+            other => panic!("expected MemManage, got {other:?}"),
+        }
+        assert_eq!(m.stats.mem_faults, 1);
+    }
+
+    #[test]
+    fn mpu_region_grants_unprivileged_access() {
+        let mut m = machine();
+        m.mpu.enabled = true;
+        m.mpu
+            .set_region(2, MpuRegion::new(0x2000_0000, 0x100, RegionAttr::read_write_xn()))
+            .unwrap();
+        m.store(0x2000_0010, 4, 42, Mode::Unprivileged).unwrap();
+        assert_eq!(m.load(0x2000_0010, 4, Mode::Unprivileged).unwrap(), 42);
+    }
+
+    #[test]
+    fn unmapped_address_bus_faults() {
+        let mut m = machine();
+        let err = m.load(0x6000_0000, 4, Mode::Privileged).unwrap_err();
+        assert!(matches!(err, Exception::BusFault(fi) if fi.cause == FaultCause::Unmapped));
+    }
+
+    #[test]
+    fn device_routing() {
+        struct Reg {
+            region: MemRegion,
+            value: u32,
+        }
+        impl MmioDevice for Reg {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+            fn name(&self) -> &str {
+                "reg"
+            }
+            fn region(&self) -> MemRegion {
+                self.region
+            }
+            fn read(&mut self, offset: u32, _len: u32) -> u32 {
+                assert_eq!(offset, 4);
+                self.value
+            }
+            fn write(&mut self, offset: u32, _len: u32, value: u32) {
+                assert_eq!(offset, 4);
+                self.value = value;
+            }
+        }
+        let mut m = machine();
+        m.add_device(Box::new(Reg { region: MemRegion::new(0x4000_0000, 0x400), value: 9 }))
+            .unwrap();
+        assert_eq!(m.load(0x4000_0004, 4, Mode::Privileged).unwrap(), 9);
+        m.store(0x4000_0004, 4, 11, Mode::Privileged).unwrap();
+        assert_eq!(m.load(0x4000_0004, 4, Mode::Privileged).unwrap(), 11);
+        assert_eq!(m.stats.mmio_accesses, 3);
+        // Overlapping registration is refused.
+        let err = m
+            .add_device(Box::new(Reg { region: MemRegion::new(0x4000_0200, 0x400), value: 0 }))
+            .unwrap_err();
+        assert!(err.contains("overlaps"));
+    }
+
+    #[test]
+    fn loader_bounds_checked() {
+        let mut m = machine();
+        assert!(m.load_flash(0x0800_0000 + (1 << 20) - 2, &[1, 2, 3]).is_err());
+        assert!(m.load_sram(0x2000_0000 + 192 * 1024 - 1, &[1, 2]).is_err());
+        assert!(m.load_sram(0x2000_0000, &[1, 2]).is_ok());
+    }
+}

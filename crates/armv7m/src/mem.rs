@@ -1,0 +1,197 @@
+//! The fixed ARMv7-M memory map.
+//!
+//! ARMv7-M divides the 4 GiB address space into architecturally defined
+//! regions (ARMv7-M ARM, B3.1). OPEC cares about five of them: Code
+//! (where Flash lives), SRAM (data, stacks, operation data sections),
+//! Peripheral (general memory-mapped peripherals), the Private Peripheral
+//! Bus (core peripherals such as the MPU, SysTick and DWT — privileged
+//! access only), and the vendor-specific region.
+
+/// Base of the Code region (Flash and aliases).
+pub const CODE_BASE: u32 = 0x0000_0000;
+/// Exclusive end of the Code region.
+pub const CODE_END: u32 = 0x2000_0000;
+/// Base of the SRAM region.
+pub const SRAM_BASE: u32 = 0x2000_0000;
+/// Exclusive end of the SRAM region.
+pub const SRAM_END: u32 = 0x4000_0000;
+/// Base of the Peripheral region.
+pub const PERIPH_BASE: u32 = 0x4000_0000;
+/// Exclusive end of the Peripheral region.
+pub const PERIPH_END: u32 = 0x6000_0000;
+/// Base of the External RAM region.
+pub const EXT_RAM_BASE: u32 = 0x6000_0000;
+/// Exclusive end of the External RAM region.
+pub const EXT_RAM_END: u32 = 0xA000_0000;
+/// Base of the External Device region.
+pub const EXT_DEV_BASE: u32 = 0xA000_0000;
+/// Exclusive end of the External Device region.
+pub const EXT_DEV_END: u32 = 0xE000_0000;
+/// Base of the Private Peripheral Bus.
+pub const PPB_BASE: u32 = 0xE000_0000;
+/// Exclusive end of the Private Peripheral Bus.
+pub const PPB_END: u32 = 0xE010_0000;
+/// Base of the vendor-specific region.
+pub const VENDOR_BASE: u32 = 0xE010_0000;
+
+/// Well-known PPB component addresses used by the workloads and monitor.
+pub mod ppb {
+    /// DWT cycle counter (`DWT_CYCCNT`).
+    pub const DWT_CYCCNT: u32 = 0xE000_1004;
+    /// DWT control register (`DWT_CTRL`).
+    pub const DWT_CTRL: u32 = 0xE000_1000;
+    /// SysTick control and status register.
+    pub const SYST_CSR: u32 = 0xE000_E010;
+    /// SysTick reload value register.
+    pub const SYST_RVR: u32 = 0xE000_E014;
+    /// SysTick current value register.
+    pub const SYST_CVR: u32 = 0xE000_E018;
+    /// MPU type register.
+    pub const MPU_TYPE: u32 = 0xE000_ED90;
+    /// MPU control register.
+    pub const MPU_CTRL: u32 = 0xE000_ED94;
+    /// NVIC interrupt set-enable register 0.
+    pub const NVIC_ISER0: u32 = 0xE000_E100;
+    /// System control block: vector table offset register.
+    pub const SCB_VTOR: u32 = 0xE000_ED08;
+}
+
+/// Architectural classification of an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressClass {
+    /// Code region (Flash).
+    Code,
+    /// SRAM region.
+    Sram,
+    /// Peripheral region.
+    Peripheral,
+    /// External RAM region.
+    ExternalRam,
+    /// External Device region.
+    ExternalDevice,
+    /// Private Peripheral Bus (privileged-only).
+    Ppb,
+    /// Vendor-specific memory.
+    Vendor,
+}
+
+impl AddressClass {
+    /// Classifies an address according to the ARMv7-M memory map.
+    pub fn of(addr: u32) -> AddressClass {
+        match addr {
+            a if a < CODE_END => AddressClass::Code,
+            a if a < SRAM_END => AddressClass::Sram,
+            a if a < PERIPH_END => AddressClass::Peripheral,
+            a if a < EXT_RAM_END => AddressClass::ExternalRam,
+            a if a < EXT_DEV_END => AddressClass::ExternalDevice,
+            a if a < PPB_END => AddressClass::Ppb,
+            _ => AddressClass::Vendor,
+        }
+    }
+
+    /// Returns `true` if the class maps a peripheral of some kind
+    /// (general peripheral, external device, or core peripheral).
+    pub fn is_peripheral(self) -> bool {
+        matches!(
+            self,
+            AddressClass::Peripheral | AddressClass::ExternalDevice | AddressClass::Ppb
+        )
+    }
+}
+
+/// A contiguous, half-open address range `[base, base + size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRegion {
+    /// First address of the range.
+    pub base: u32,
+    /// Size of the range in bytes.
+    pub size: u32,
+}
+
+impl MemRegion {
+    /// Creates a new region. `size` may be zero (an empty region).
+    pub fn new(base: u32, size: u32) -> MemRegion {
+        MemRegion { base, size }
+    }
+
+    /// Exclusive end address, saturating at the top of the address space.
+    pub fn end(&self) -> u32 {
+        self.base.saturating_add(self.size)
+    }
+
+    /// Returns `true` if `addr` lies within the region.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && (addr - self.base) < self.size
+    }
+
+    /// Returns `true` if `[addr, addr + len)` lies entirely within the
+    /// region. A zero-length access is contained iff `addr` is.
+    pub fn contains_range(&self, addr: u32, len: u32) -> bool {
+        if len == 0 {
+            return self.contains(addr);
+        }
+        self.contains(addr) && addr.checked_add(len - 1).is_some_and(|last| self.contains(last))
+    }
+
+    /// Returns `true` if the two regions share at least one address.
+    pub fn overlaps(&self, other: &MemRegion) -> bool {
+        self.size != 0 && other.size != 0 && self.base < other.end() && other.base < self.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_map_boundaries() {
+        assert_eq!(AddressClass::of(0x0000_0000), AddressClass::Code);
+        assert_eq!(AddressClass::of(0x1FFF_FFFF), AddressClass::Code);
+        assert_eq!(AddressClass::of(0x2000_0000), AddressClass::Sram);
+        assert_eq!(AddressClass::of(0x3FFF_FFFF), AddressClass::Sram);
+        assert_eq!(AddressClass::of(0x4000_0000), AddressClass::Peripheral);
+        assert_eq!(AddressClass::of(0x6000_0000), AddressClass::ExternalRam);
+        assert_eq!(AddressClass::of(0xA000_0000), AddressClass::ExternalDevice);
+        assert_eq!(AddressClass::of(0xE000_0000), AddressClass::Ppb);
+        assert_eq!(AddressClass::of(0xE000_ED94), AddressClass::Ppb);
+        assert_eq!(AddressClass::of(0xE010_0000), AddressClass::Vendor);
+        assert_eq!(AddressClass::of(0xFFFF_FFFF), AddressClass::Vendor);
+    }
+
+    #[test]
+    fn peripheral_classes() {
+        assert!(AddressClass::Peripheral.is_peripheral());
+        assert!(AddressClass::Ppb.is_peripheral());
+        assert!(AddressClass::ExternalDevice.is_peripheral());
+        assert!(!AddressClass::Sram.is_peripheral());
+        assert!(!AddressClass::Code.is_peripheral());
+    }
+
+    #[test]
+    fn region_contains() {
+        let r = MemRegion::new(0x2000_0000, 0x100);
+        assert!(r.contains(0x2000_0000));
+        assert!(r.contains(0x2000_00FF));
+        assert!(!r.contains(0x2000_0100));
+        assert!(!r.contains(0x1FFF_FFFF));
+        assert!(r.contains_range(0x2000_00F0, 0x10));
+        assert!(!r.contains_range(0x2000_00F0, 0x11));
+    }
+
+    #[test]
+    fn region_contains_range_at_top_of_address_space() {
+        let r = MemRegion::new(0xFFFF_FF00, 0x100);
+        assert!(r.contains_range(0xFFFF_FFFC, 4));
+        assert!(!r.contains_range(0xFFFF_FFFC, 8));
+    }
+
+    #[test]
+    fn region_overlap() {
+        let a = MemRegion::new(0x100, 0x100);
+        let b = MemRegion::new(0x1FF, 0x10);
+        let c = MemRegion::new(0x200, 0x10);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&MemRegion::new(0x0, 0)));
+    }
+}

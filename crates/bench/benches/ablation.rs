@@ -1,0 +1,222 @@
+//! Ablations over OPEC's design choices (DESIGN.md §5):
+//!
+//! * **sync-cost** — how the operation-switch cost scales with the
+//!   amount of shared (shadowed) data, the price of solving
+//!   partition-time over-privilege by copying;
+//! * **reloc-indirection** — the per-access cost of reaching external
+//!   variables through the relocation table vs internal fixed slots;
+//! * **sanitization** — the per-switch cost of range-checking shared
+//!   variables;
+//! * **mpu-virtualization** — fault-handler pressure as an operation's
+//!   peripheral count exceeds the four reserved MPU regions.
+//!
+//! Each ablation prints the simulated-cycle numbers (the architectural
+//! result) and Criterion measures one representative configuration
+//! (the host-side cost of producing it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opec_armv7m::{Board, Machine};
+use opec_core::{compile, OpecMonitor, OperationSpec};
+use opec_ir::{BinOp, Module, ModuleBuilder, Operand, Ty};
+use opec_vm::Vm;
+
+const ROUNDS: u32 = 50;
+
+/// Two tasks ping-ponging over `shared_words` shared words; main loops
+/// `ROUNDS` times. Optionally every shared word carries a sanitization
+/// range.
+fn sync_module(shared_words: u32, sanitized: bool) -> (Module, Vec<OperationSpec>) {
+    let mut mb = ModuleBuilder::new("ablate-sync");
+    let ty = Ty::Array(Box::new(Ty::I32), shared_words);
+    let shared = if sanitized {
+        mb.sanitized_global("shared", ty, "m.c", (0, u32::MAX - 1))
+    } else {
+        mb.global("shared", ty, "m.c")
+    };
+    let t1 = mb.func("t1", vec![], None, "m.c", move |fb| {
+        let v = fb.load_global(shared, 0, 4);
+        let v2 = fb.bin(BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+        fb.store_global(shared, 0, Operand::Reg(v2), 4);
+        fb.ret_void();
+    });
+    let t2 = mb.func("t2", vec![], None, "m.c", move |fb| {
+        let _ = fb.load_global(shared, 0, 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", move |fb| {
+        opec_apps::builder::counted_loop(fb, Operand::Imm(ROUNDS), move |fb, _| {
+            fb.call_void(t1, vec![]);
+            fb.call_void(t2, vec![]);
+        });
+        fb.halt();
+        fb.ret_void();
+    });
+    (mb.finish(), vec![OperationSpec::plain("t1"), OperationSpec::plain("t2")])
+}
+
+fn cycles_of(module: Module, specs: &[OperationSpec]) -> (u64, opec_core::MonitorStats) {
+    let board = Board::stm32f4_discovery();
+    let out = compile(module, board, specs).expect("compile");
+    let policy = out.policy.clone();
+    let mut machine = Machine::new(board);
+    opec_devices::install_standard_devices(&mut machine, Default::default()).unwrap();
+    let mut vm = Vm::new(machine, out.image, OpecMonitor::new(policy)).expect("vm");
+    let cycles = vm.run(opec_bench::FUEL).expect("run").cycles();
+    (cycles, vm.supervisor.stats)
+}
+
+fn ablate_sync_cost() {
+    println!("\nAblation: switch cost vs shared-data size (cycles/switch)");
+    println!("shared-bytes  cycles/switch  sync-bytes/switch");
+    for words in [1u32, 4, 16, 64, 256] {
+        let (module, specs) = sync_module(words, false);
+        let (cycles, stats) = cycles_of(module, &specs);
+        let (empty_module, empty_specs) = sync_module(1, false);
+        let _ = (empty_module, empty_specs);
+        let per_switch = cycles / stats.switches.max(1);
+        println!(
+            "{:>12}  {:>13}  {:>17}",
+            words * 4,
+            per_switch,
+            stats.sync_bytes / stats.switches.max(1)
+        );
+    }
+}
+
+fn ablate_sanitization() {
+    println!("\nAblation: sanitization on/off (total cycles)");
+    for words in [4u32, 64] {
+        let (m_off, s_off) = sync_module(words, false);
+        let (c_off, _) = cycles_of(m_off, &s_off);
+        let (m_on, s_on) = sync_module(words, true);
+        let (c_on, st_on) = cycles_of(m_on, &s_on);
+        println!(
+            "  {} shared bytes: off={c_off} on={c_on} (+{:.2}%, {} checks)",
+            words * 4,
+            (c_on as f64 / c_off as f64 - 1.0) * 100.0,
+            st_on.sanitize_checks
+        );
+    }
+}
+
+/// One task reading a global `n` times; the global is internal (fixed
+/// slot) or external (relocation-table indirection) depending on
+/// whether a second task shares it.
+fn indirection_module(external: bool) -> (Module, Vec<OperationSpec>) {
+    let mut mb = ModuleBuilder::new("ablate-reloc");
+    let g = mb.global("g", Ty::I32, "m.c");
+    let reader = mb.func("reader", vec![], None, "m.c", move |fb| {
+        opec_apps::builder::counted_loop(fb, Operand::Imm(1000), move |fb, _| {
+            let _ = fb.load_global(g, 0, 4);
+        });
+        fb.ret_void();
+    });
+    let other = mb.func("other", vec![], None, "m.c", move |fb| {
+        if external {
+            fb.store_global(g, 0, Operand::Imm(1), 4);
+        }
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", move |fb| {
+        fb.call_void(other, vec![]);
+        fb.call_void(reader, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    (mb.finish(), vec![OperationSpec::plain("reader"), OperationSpec::plain("other")])
+}
+
+fn ablate_reloc_indirection() {
+    println!("\nAblation: relocation-table indirection (1000 loads)");
+    let (m_int, s_int) = indirection_module(false);
+    let (c_int, _) = cycles_of(m_int, &s_int);
+    let (m_ext, s_ext) = indirection_module(true);
+    let (c_ext, _) = cycles_of(m_ext, &s_ext);
+    println!(
+        "  internal (fixed slot): {c_int} cycles; external (via table): {c_ext} \
+         cycles (+{:.2} cycles/access)",
+        (c_ext as f64 - c_int as f64) / 1000.0
+    );
+}
+
+/// One operation touching `n` scattered peripherals `rounds` times.
+fn periph_module(n: usize) -> (Module, Vec<OperationSpec>) {
+    let addrs = [
+        0x4000_0000u32, // TIM2
+        0x4000_4408,    // USART2
+        0x4001_1008,    // USART1
+        0x4001_2C04,    // SDIO
+        0x4001_6804,    // LCD
+        0x4002_0000,    // GPIOA
+        0x4002_3830,    // RCC
+    ];
+    let mut mb = ModuleBuilder::new("ablate-periph");
+    for p in opec_devices::datasheet() {
+        mb.peripheral(p.name, p.base, p.size, p.is_core);
+    }
+    let picks: Vec<u32> = addrs[..n].to_vec();
+    let t = mb.func("touchy", vec![], None, "m.c", move |fb| {
+        for a in &picks {
+            fb.mmio_write(*a, Operand::Imm(1), 4);
+        }
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", move |fb| {
+        opec_apps::builder::counted_loop(fb, Operand::Imm(20), move |fb, _| {
+            fb.call_void(t, vec![]);
+        });
+        fb.halt();
+        fb.ret_void();
+    });
+    (mb.finish(), vec![OperationSpec::plain("touchy")])
+}
+
+fn ablate_mpu_virtualization() {
+    println!("\nAblation: MPU virtualization pressure (4 reserved regions)");
+    println!("peripherals  merged-windows  virt-faults  cycles");
+    for n in [1usize, 3, 4, 5, 6, 7] {
+        let (module, specs) = periph_module(n);
+        let board = Board::stm32f4_discovery();
+        let out = compile(module, board, &specs).expect("compile");
+        let windows = out.policy.op(1).periph_windows.len();
+        let policy = out.policy.clone();
+        let mut machine = Machine::new(board);
+        opec_devices::install_standard_devices(&mut machine, Default::default()).unwrap();
+        let mut vm = Vm::new(machine, out.image, OpecMonitor::new(policy)).expect("vm");
+        let cycles = vm.run(opec_bench::FUEL).expect("run").cycles();
+        println!(
+            "{:>11}  {:>14}  {:>11}  {:>6}",
+            n, windows, vm.supervisor.stats.virt_faults, cycles
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    ablate_sync_cost();
+    ablate_sanitization();
+    ablate_reloc_indirection();
+    ablate_mpu_virtualization();
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("switch-with-256-shared-bytes", |b| {
+        b.iter(|| {
+            let (module, specs) = sync_module(64, false);
+            std::hint::black_box(cycles_of(module, &specs))
+        });
+    });
+    g.bench_function("virtualization-7-peripherals", |b| {
+        b.iter(|| {
+            let (module, specs) = periph_module(7);
+            let board = Board::stm32f4_discovery();
+            let out = compile(module, board, &specs).expect("compile");
+            std::hint::black_box(out.image.flash_used)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Regenerates **Figure 10** (cumulative PT distributions under the
+//! ACES strategies) and measures the region-grouping/merging pass that
+//! produces the partition-time over-privilege.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opec_aces::{AcesStrategy, Compartments, DataRegions};
+use opec_analysis::{CallGraph, PointsTo, ResourceAnalysis};
+
+fn bench(c: &mut Criterion) {
+    let evals = opec_eval::report::run_comparison_apps();
+    println!("\n{}", opec_eval::report::figure10(&evals));
+
+    let mut g = c.benchmark_group("figure10/region-merging");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for app in opec_apps::programs::aces_comparison_apps() {
+        let (module, _) = (app.build)();
+        let pt = PointsTo::analyze(&module);
+        let cg = CallGraph::build(&module, &pt);
+        let ra = ResourceAnalysis::analyze(&module, &pt);
+        for strategy in [
+            AcesStrategy::Filename,
+            AcesStrategy::FilenameNoOpt,
+            AcesStrategy::Peripheral,
+        ] {
+            let comps = Compartments::build(&module, &cg, &ra, strategy);
+            g.bench_function(format!("{}/{}", app.name, strategy.label()), |b| {
+                b.iter(|| std::hint::black_box(DataRegions::build(&module, &comps)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

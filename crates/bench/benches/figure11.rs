@@ -1,0 +1,30 @@
+//! Regenerates **Figure 11** (ET per task for OPEC and ACES) and
+//! measures the traced-execution + metric-computation path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opec_eval::runs::evaluate_app;
+
+fn bench(c: &mut Criterion) {
+    let evals = opec_eval::report::run_comparison_apps();
+    println!("\n{}", opec_eval::report::figure11(&evals));
+
+    let mut g = c.benchmark_group("figure11/et-metric");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    // Computing ET from an existing evaluation (trace segmentation +
+    // per-task set algebra) is the interesting cost; measure it on the
+    // app with the most tasks.
+    let app = opec_apps::programs::lcd_usd::app();
+    let eval = evaluate_app(&app, true);
+    g.bench_function("LCD-uSD/et_by_task", |b| {
+        b.iter(|| std::hint::black_box(opec_eval::et_by_task(&eval)));
+    });
+    g.bench_function("LCD-uSD/traced-run", |b| {
+        b.iter(|| std::hint::black_box(evaluate_app(&app, false).opec.trace.events.len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

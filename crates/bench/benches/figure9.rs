@@ -1,0 +1,26 @@
+//! Regenerates **Figure 9** (runtime / Flash / SRAM overhead of OPEC)
+//! and measures full workload executions, baseline vs OPEC, per app.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let evals = opec_eval::report::run_all_apps();
+    println!("\n{}", opec_eval::report::figure9(&evals));
+
+    let mut g = c.benchmark_group("figure9/full-run");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for app in opec_apps::all_apps() {
+        g.bench_function(format!("{}/baseline", app.name), |b| {
+            b.iter(|| std::hint::black_box(opec_bench::run_baseline_once(&app)));
+        });
+        g.bench_function(format!("{}/opec", app.name), |b| {
+            b.iter(|| std::hint::black_box(opec_bench::run_opec_once(&app)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

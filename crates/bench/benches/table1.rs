@@ -1,0 +1,25 @@
+//! Regenerates **Table 1** (security metrics) and measures the OPEC
+//! compile pipeline (analysis + partition + layout + image) per app.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the table once, so `cargo bench` reproduces the paper
+    // artifact alongside the timings.
+    let evals = opec_eval::report::run_all_apps();
+    println!("\n{}", opec_eval::report::table1(&evals));
+
+    let mut g = c.benchmark_group("table1/opec-compile");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for app in opec_apps::all_apps() {
+        g.bench_function(app.name, |b| {
+            b.iter(|| std::hint::black_box(opec_bench::compile_app(&app)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates **Table 2** (OPEC vs the three ACES strategies) and
+//! measures full ACES workload executions on the comparison apps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opec_aces::{build_aces_image, AcesRuntime, AcesStrategy};
+use opec_armv7m::Machine;
+use opec_vm::Vm;
+
+fn run_aces_once(app: &opec_apps::App, strategy: AcesStrategy) -> u64 {
+    let (module, _) = (app.build)();
+    let out = build_aces_image(module, app.board, strategy).expect("aces build");
+    let main_comp = out.comps.of(out.image.entry);
+    let rt = AcesRuntime::new(
+        &out.image.module,
+        out.comps,
+        out.regions,
+        app.board,
+        out.stack,
+        main_comp,
+    );
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let mut vm = Vm::new(machine, out.image, rt).expect("vm");
+    vm.run(opec_bench::FUEL).expect("aces run").cycles()
+}
+
+fn bench(c: &mut Criterion) {
+    let evals = opec_eval::report::run_comparison_apps();
+    println!("\n{}", opec_eval::report::table2(&evals));
+
+    let mut g = c.benchmark_group("table2/aces-run");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for app in opec_apps::programs::aces_comparison_apps() {
+        for strategy in [
+            AcesStrategy::Filename,
+            AcesStrategy::FilenameNoOpt,
+            AcesStrategy::Peripheral,
+        ] {
+            g.bench_function(format!("{}/{}", app.name, strategy.label()), |b| {
+                b.iter(|| std::hint::black_box(run_aces_once(&app, strategy)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

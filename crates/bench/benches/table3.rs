@@ -1,0 +1,30 @@
+//! Regenerates **Table 3** (efficiency of the icall analysis) and
+//! measures the points-to solver — the literal "Time(s)" column of the
+//! paper — plus call-graph construction per app.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opec_analysis::{CallGraph, PointsTo};
+
+fn bench(c: &mut Criterion) {
+    let evals = opec_eval::report::run_all_apps();
+    println!("\n{}", opec_eval::report::table3(&evals));
+
+    let mut g = c.benchmark_group("table3/points-to");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for app in opec_apps::all_apps() {
+        let (module, _) = (app.build)();
+        g.bench_function(format!("{}/svf", app.name), |b| {
+            b.iter(|| std::hint::black_box(PointsTo::analyze(&module)));
+        });
+        let pt = PointsTo::analyze(&module);
+        g.bench_function(format!("{}/callgraph", app.name), |b| {
+            b.iter(|| std::hint::black_box(CallGraph::build(&module, &pt)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Shared helpers for the table/figure benchmark harness.
+//!
+//! Each Criterion bench in `benches/` regenerates one table or figure
+//! of the paper (printing the rows/series) and then measures the code
+//! paths behind it. `cargo bench` therefore both re-derives every
+//! evaluation artifact and times the toolchain that produces it.
+
+#![warn(missing_docs)]
+
+use opec_armv7m::Machine;
+use opec_apps::App;
+use opec_core::{compile, CompileOutput, OpecMonitor};
+use opec_vm::{link_baseline, NullSupervisor, RunOutcome, Vm};
+
+/// Fuel for benchmark runs.
+pub const FUEL: u64 = opec_vm::exec::DEFAULT_FUEL;
+
+/// Compiles an app with OPEC (panicking on failure).
+pub fn compile_app(app: &App) -> CompileOutput {
+    let (module, specs) = (app.build)();
+    compile(module, app.board, &specs).unwrap_or_else(|e| panic!("{} compile: {e}", app.name))
+}
+
+/// One full baseline run; returns cycles.
+pub fn run_baseline_once(app: &App) -> u64 {
+    let (module, _) = (app.build)();
+    let image = link_baseline(module, app.board).expect("link");
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let mut vm = Vm::new(machine, image, NullSupervisor).expect("vm");
+    match vm.run(FUEL).expect("baseline run") {
+        RunOutcome::Halted { cycles } | RunOutcome::Returned { cycles, .. } => cycles,
+    }
+}
+
+/// One full OPEC run; returns cycles.
+pub fn run_opec_once(app: &App) -> u64 {
+    let out = compile_app(app);
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let policy = out.policy.clone();
+    let mut vm = Vm::new(machine, out.image, OpecMonitor::new(policy)).expect("vm");
+    match vm.run(FUEL).expect("OPEC run") {
+        RunOutcome::Halted { cycles } | RunOutcome::Returned { cycles, .. } => cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_run_pinlock() {
+        let app = opec_apps::programs::pinlock::app();
+        assert!(run_baseline_once(&app) > 0);
+        assert!(run_opec_once(&app) > 0);
+    }
+}

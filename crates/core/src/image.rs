@@ -1,0 +1,333 @@
+//! OPEC image generation (paper Section 4.4, "Program Image
+//! Generation" and "Code Instrumentation").
+//!
+//! Produces a [`LoadedImage`] in which:
+//!
+//! * internal globals resolve to fixed addresses inside their owning
+//!   operation's data section;
+//! * external globals resolve **through the relocation table** — the
+//!   compiled access loads the current pointer from the table entry and
+//!   dereferences it, the indirection whose entry the monitor rewrites
+//!   at each switch;
+//! * every indirect load/store has a real Thumb-2 encoding emitted at
+//!   its flash address, so the monitor's core-peripheral emulation can
+//!   fetch and decode the faulting instruction exactly as on hardware;
+//! * operation entry functions are marked so the VM raises the
+//!   enter/exit supervisor calls that model the inserted `SVC`s;
+//! * initial data for the public section and internal variables is
+//!   staged as `.data`-style SRAM initialisation records.
+
+use opec_armv7m::thumb::{LdStInst, LdStOp};
+use opec_armv7m::{Board, Mode};
+use opec_ir::{GlobalId, Inst, Module, Operand};
+use opec_vm::exec::thumb_regs_for;
+use opec_vm::image::layout_code;
+use opec_vm::{GlobalSlot, LoadedImage};
+
+use crate::layout::SystemPolicy;
+use crate::partition::Partition;
+use crate::MONITOR_CODE_BYTES;
+
+/// Image-generation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The module has no `main`.
+    NoMain,
+    /// Code plus rodata plus metadata exceed the Flash size.
+    FlashOverflow {
+        /// Bytes needed.
+        needed: u32,
+        /// Bytes available.
+        available: u32,
+    },
+}
+
+impl core::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ImageError::NoMain => write!(f, "module has no main function"),
+            ImageError::FlashOverflow { needed, available } => {
+                write!(f, "flash overflow: need {needed:#x}, have {available:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// Builds the OPEC image from a partitioned, laid-out program.
+pub fn build_image(
+    module: Module,
+    partition: &Partition,
+    policy: &SystemPolicy,
+    board: Board,
+) -> Result<LoadedImage, ImageError> {
+    let entry = module.func_by_name("main").ok_or(ImageError::NoMain)?;
+    // Reserve space for the monitor's (privileged) code first, then the
+    // application code — mirroring "OPEC-Monitor is linked to the image".
+    let code_base = board.flash.base + MONITOR_CODE_BYTES;
+    let (func_addrs, inst_addrs, code_end) = layout_code(&module, code_base);
+
+    let mut flash_init: Vec<(u32, Vec<u8>)> = Vec::new();
+    // Emit Thumb-2 words for every indirect load/store.
+    for (fi, f) in module.funcs.iter().enumerate() {
+        for (bi, block) in f.blocks.iter().enumerate() {
+            for (ii, inst) in block.insts.iter().enumerate() {
+                let encoded = match inst {
+                    Inst::Load { dst, addr, size } => {
+                        let areg = match addr {
+                            Operand::Reg(r) => Some(*r),
+                            Operand::Imm(_) => None,
+                        };
+                        let (rt, rn) = thumb_regs_for(Some(*dst), areg);
+                        Some(
+                            LdStInst::new(LdStOp::Load, *size, rt, rn, 0)
+                                .expect("validated fields")
+                                .encode(),
+                        )
+                    }
+                    Inst::Store { addr, value, size } => {
+                        let areg = match addr {
+                            Operand::Reg(r) => Some(*r),
+                            Operand::Imm(_) => None,
+                        };
+                        let vreg = match value {
+                            Operand::Reg(r) => Some(*r),
+                            Operand::Imm(_) => None,
+                        };
+                        let (rt, rn) = thumb_regs_for(vreg, areg);
+                        Some(
+                            LdStInst::new(LdStOp::Store, *size, rt, rn, 0)
+                                .expect("validated fields")
+                                .encode(),
+                        )
+                    }
+                    _ => None,
+                };
+                if let Some(word) = encoded {
+                    let addr = inst_addrs[fi][bi][ii];
+                    flash_init.push((addr, word.to_le_bytes().to_vec()));
+                }
+            }
+        }
+    }
+
+    // Constant globals go to flash after the code.
+    let mut flash_cursor = (code_end + 3) & !3;
+    let mut const_addrs = std::collections::BTreeMap::new();
+    for (i, g) in module.globals.iter().enumerate() {
+        if !g.is_const {
+            continue;
+        }
+        let gid = GlobalId(i as u32);
+        let size = module.types.size_of(&g.ty).max(1);
+        let align = module.types.align_of(&g.ty).max(4);
+        flash_cursor = flash_cursor.div_ceil(align) * align;
+        const_addrs.insert(gid, flash_cursor);
+        let mut bytes = g.init.clone();
+        bytes.resize(size as usize, 0);
+        flash_init.push((flash_cursor, bytes));
+        flash_cursor += size;
+    }
+    // Operation metadata follows the rodata (accounted, content opaque).
+    let flash_used = (flash_cursor - board.flash.base) + policy.metadata_flash_bytes;
+    if flash_used > board.flash.size {
+        return Err(ImageError::FlashOverflow { needed: flash_used, available: board.flash.size });
+    }
+
+    // Global slots.
+    let heap = module.global_by_name(crate::layout::HEAP_GLOBAL);
+    let mut global_slots = Vec::with_capacity(module.globals.len());
+    for (i, g) in module.globals.iter().enumerate() {
+        let gid = GlobalId(i as u32);
+        let slot = if g.is_const {
+            GlobalSlot::Fixed(const_addrs[&gid])
+        } else if Some(gid) == heap {
+            GlobalSlot::Fixed(policy.heap.expect("heap laid out").base)
+        } else if let Some(entry_addr) = policy.reloc_entries.get(&gid) {
+            GlobalSlot::Reloc { entry_addr: *entry_addr }
+        } else if let Some((_, addr)) = policy.internal_addrs.get(&gid) {
+            GlobalSlot::Fixed(*addr)
+        } else {
+            // Unclaimed by any operation: public copy.
+            GlobalSlot::Fixed(policy.public_addrs[&gid])
+        };
+        global_slots.push(slot);
+    }
+
+    // SRAM initial data: public masters + internal variables + heap.
+    let mut sram_init: Vec<(u32, Vec<u8>)> = Vec::new();
+    for (i, g) in module.globals.iter().enumerate() {
+        if g.is_const || g.init.is_empty() {
+            continue;
+        }
+        let gid = GlobalId(i as u32);
+        let size = module.types.size_of(&g.ty).max(1);
+        let mut bytes = g.init.clone();
+        bytes.resize(size as usize, 0);
+        let addr = if Some(gid) == heap {
+            policy.heap.expect("heap laid out").base
+        } else if let Some(a) = policy.public_addrs.get(&gid) {
+            *a
+        } else if let Some((_, a)) = policy.internal_addrs.get(&gid) {
+            *a
+        } else {
+            continue;
+        };
+        sram_init.push((addr, bytes));
+    }
+
+    // Operation entry markers (the inserted SVCs). The main default
+    // operation is entered at reset by the monitor, not via SVC.
+    let op_entries = partition
+        .ops
+        .iter()
+        .filter(|op| op.id != 0)
+        .map(|op| (op.entry, op.id))
+        .collect();
+
+    Ok(LoadedImage {
+        module,
+        func_addrs,
+        inst_addrs,
+        global_slots,
+        entry,
+        op_entries,
+        irq_vector: std::collections::HashMap::new(),
+        stack: policy.stack,
+        app_mode: Mode::Unprivileged,
+        flash_init,
+        sram_init,
+        flash_used,
+        sram_used: policy.sram_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::build_layout;
+    use crate::partition::Partition;
+    use crate::spec::OperationSpec;
+    use opec_analysis::{CallGraph, PointsTo, ResourceAnalysis};
+    use opec_armv7m::Machine;
+    use opec_ir::{ModuleBuilder, Ty};
+
+    fn compile_parts(
+        m: Module,
+        specs: &[OperationSpec],
+    ) -> (LoadedImage, SystemPolicy, Partition) {
+        let pt = PointsTo::analyze(&m);
+        let cg = CallGraph::build(&m, &pt);
+        let ra = ResourceAnalysis::analyze(&m, &pt);
+        let p = Partition::build(&m, &cg, &ra, specs).unwrap();
+        let board = Board::stm32f4_discovery();
+        let sp = build_layout(&m, &p, board).unwrap();
+        let img = build_image(m, &p, &sp, board).unwrap();
+        (img, sp, p)
+    }
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let shared = mb.global_init("shared", Ty::I32, vec![9, 0, 0, 0], "m.c");
+        let solo = mb.global_init("solo", Ty::I32, vec![3, 0, 0, 0], "m.c");
+        let konst = mb.const_global("tbl", Ty::I32, vec![1, 1, 1, 1], "m.c");
+        let t1 = mb.func("t1", vec![], None, "m.c", |fb| {
+            let v = fb.load_global(shared, 0, 4);
+            fb.store_global(solo, 0, opec_ir::Operand::Reg(v), 4);
+            let _ = fb.load_global(konst, 0, 4);
+            fb.ret_void();
+        });
+        let t2 = mb.func("t2", vec![], None, "m.c", |fb| {
+            fb.store_global(shared, 0, opec_ir::Operand::Imm(4), 4);
+            fb.mmio_write(0xE000_E014, opec_ir::Operand::Imm(7), 4);
+            fb.ret_void();
+        });
+        mb.peripheral("SysTick", 0xE000_E010, 0x10, true);
+        mb.func("main", vec![], None, "m.c", |fb| {
+            fb.call_void(t1, vec![]);
+            fb.call_void(t2, vec![]);
+            fb.halt();
+            fb.ret_void();
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn slots_route_internal_fixed_external_reloc() {
+        let (img, sp, _) =
+            compile_parts(sample(), &[OperationSpec::plain("t1"), OperationSpec::plain("t2")]);
+        let shared = img.module.global_by_name("shared").unwrap();
+        let solo = img.module.global_by_name("solo").unwrap();
+        let konst = img.module.global_by_name("tbl").unwrap();
+        assert!(matches!(
+            img.global_slots[shared.0 as usize],
+            GlobalSlot::Reloc { entry_addr } if sp.reloc_table.contains(entry_addr)
+        ));
+        assert!(matches!(
+            img.global_slots[solo.0 as usize],
+            GlobalSlot::Fixed(a) if sp.op(1).section.contains(a)
+        ));
+        assert!(matches!(
+            img.global_slots[konst.0 as usize],
+            GlobalSlot::Fixed(a) if (0x0800_0000..0x0810_0000).contains(&a)
+        ));
+    }
+
+    #[test]
+    fn thumb_words_are_emitted_and_decodable() {
+        let (img, _, _) =
+            compile_parts(sample(), &[OperationSpec::plain("t1"), OperationSpec::plain("t2")]);
+        let mut machine = Machine::new(Board::stm32f4_discovery());
+        img.load_into(&mut machine).unwrap();
+        // Find the mmio store in t2 (block 0: imm mov, store).
+        let t2 = img.module.func_by_name("t2").unwrap();
+        let f = img.module.func(t2);
+        let (bi, ii) = f
+            .blocks
+            .iter()
+            .enumerate()
+            .find_map(|(bi, b)| {
+                b.insts.iter().position(|i| matches!(i, Inst::Store { .. })).map(|ii| (bi, ii))
+            })
+            .expect("store inst");
+        let pc = img.inst_addrs[t2.0 as usize][bi][ii];
+        let word = machine.peek(pc, 4).unwrap();
+        let decoded = LdStInst::decode(word).unwrap();
+        assert_eq!(decoded.op, LdStOp::Store);
+        assert_eq!(decoded.size, 4);
+        assert_eq!(decoded.imm12, 0);
+    }
+
+    #[test]
+    fn op_entries_skip_main() {
+        let (img, _, _) =
+            compile_parts(sample(), &[OperationSpec::plain("t1"), OperationSpec::plain("t2")]);
+        let main = img.module.func_by_name("main").unwrap();
+        let t1 = img.module.func_by_name("t1").unwrap();
+        assert!(!img.op_entries.contains_key(&main));
+        assert_eq!(img.op_entries.get(&t1), Some(&1));
+        assert_eq!(img.app_mode, Mode::Unprivileged);
+    }
+
+    #[test]
+    fn sram_init_targets_public_and_internal_addresses() {
+        let (img, sp, _) =
+            compile_parts(sample(), &[OperationSpec::plain("t1"), OperationSpec::plain("t2")]);
+        let shared = img.module.global_by_name("shared").unwrap();
+        let solo = img.module.global_by_name("solo").unwrap();
+        let pub_addr = sp.public_addrs[&shared];
+        let solo_addr = sp.internal_addrs[&solo].1;
+        assert!(img.sram_init.iter().any(|(a, b)| *a == pub_addr && b[0] == 9));
+        assert!(img.sram_init.iter().any(|(a, b)| *a == solo_addr && b[0] == 3));
+    }
+
+    #[test]
+    fn monitor_code_reserved_before_app_code() {
+        let (img, _, _) = compile_parts(sample(), &[]);
+        for &a in &img.func_addrs {
+            assert!(a >= 0x0800_0000 + MONITOR_CODE_BYTES);
+        }
+        assert!(img.flash_used > MONITOR_CODE_BYTES);
+    }
+}

@@ -1,0 +1,591 @@
+//! OPEC-Monitor: the privileged runtime (paper Section 5).
+//!
+//! Implements [`opec_vm::Supervisor`] over a [`SystemPolicy`]:
+//!
+//! * **Initialisation** (§5.1) — copies initial values into every
+//!   shadow copy, points the relocation table at the `main` operation,
+//!   programs the MPU (regions 0–3 plus up to four peripheral regions),
+//!   and drops to the unprivileged level.
+//! * **Operation switch** (§5.3) — on enter: sanitize + write back the
+//!   outgoing operation's shadows to the public section, pull the
+//!   incoming operation's shadows from it, rewrite the relocation table,
+//!   redirect pointer fields that still point into other operations'
+//!   sections, relocate stack-passed data into the incoming operation's
+//!   stack sub-regions, and reload the MPU. On exit: the mirror image,
+//!   plus copying relocated buffers back (Figure 8(e)).
+//! * **MPU virtualization** (§5.2) — a MemManage fault on an address
+//!   inside the operation's peripheral allow list swaps the window into
+//!   one of the four reserved regions (round-robin) and retries;
+//!   anything else is a genuine violation and aborts.
+//! * **Core-peripheral emulation** (§5.2) — a bus fault from an
+//!   unprivileged PPB access is served by fetching the faulting Thumb-2
+//!   instruction from Flash, decoding it, checking the address against
+//!   the operation's core-peripheral allow list, and performing the
+//!   access at the privileged level.
+//!
+//! All monitor work charges the machine clock so the runtime overhead
+//! it induces is visible to the DWT-based measurement.
+
+use opec_armv7m::clock::costs;
+use opec_armv7m::mem::MemRegion;
+use opec_armv7m::thumb::{LdStInst, LdStOp};
+use opec_armv7m::{FaultCause, FaultInfo, Machine, Mode};
+use opec_ir::GlobalId;
+use opec_vm::{CpuContext, FaultFixup, OpId, Supervisor, SwitchRequest};
+
+use crate::layout::SystemPolicy;
+
+/// Monitor-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Operation switches handled (enter events).
+    pub switches: u64,
+    /// Bytes synchronized through the public section.
+    pub sync_bytes: u64,
+    /// Sanitization range checks performed.
+    pub sanitize_checks: u64,
+    /// MPU-region virtualization faults served.
+    pub virt_faults: u64,
+    /// Core-peripheral load/store emulations performed.
+    pub emulations: u64,
+    /// Bytes relocated for stack protection.
+    pub stack_reloc_bytes: u64,
+    /// Pointer fields redirected during switches.
+    pub ptr_redirects: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Relocation {
+    orig: u32,
+    copy: u32,
+    size: u32,
+    /// `(offset-in-copy, original word)` pairs restored before the
+    /// copy-back, so deep-copied pointer fields return to the caller
+    /// unchanged.
+    fixups: Vec<(u32, u32)>,
+}
+
+#[derive(Debug, Clone)]
+struct OpContext {
+    op: OpId,
+    srd: u8,
+    relocations: Vec<Relocation>,
+}
+
+/// The OPEC-Monitor runtime.
+pub struct OpecMonitor {
+    policy: SystemPolicy,
+    ctx: Vec<OpContext>,
+    rr: usize,
+    /// Counters for the evaluation.
+    pub stats: MonitorStats,
+}
+
+impl OpecMonitor {
+    /// Creates a monitor enforcing `policy`.
+    pub fn new(policy: SystemPolicy) -> OpecMonitor {
+        OpecMonitor { policy, ctx: Vec::new(), rr: 0, stats: MonitorStats::default() }
+    }
+
+    /// The currently executing operation.
+    pub fn current_op(&self) -> OpId {
+        self.ctx.last().map(|c| c.op).unwrap_or(0)
+    }
+
+    /// Read access to the enforced policy.
+    pub fn policy(&self) -> &SystemPolicy {
+        &self.policy
+    }
+
+    fn priv_copy(
+        &mut self,
+        machine: &mut Machine,
+        from: u32,
+        to: u32,
+        size: u32,
+    ) -> Result<(), String> {
+        let mut off = 0;
+        while off < size {
+            let chunk = if size - off >= 4 { 4 } else { 1 };
+            let v = machine
+                .load(from + off, chunk, Mode::Privileged)
+                .map_err(|e| format!("monitor copy load fault: {}", e.name()))?;
+            machine
+                .store(to + off, chunk, v, Mode::Privileged)
+                .map_err(|e| format!("monitor copy store fault: {}", e.name()))?;
+            off += chunk;
+            machine.clock.tick(costs::COPY_WORD);
+        }
+        self.stats.sync_bytes += u64::from(size);
+        Ok(())
+    }
+
+    /// Sanitize + write back `op`'s shadows to the public section.
+    fn sync_out(&mut self, machine: &mut Machine, op: OpId) -> Result<(), String> {
+        let shared = self.policy.op(op).shared.clone();
+        for sv in shared {
+            if let Some((lo, hi)) = sv.range {
+                self.stats.sanitize_checks += 1;
+                machine.clock.tick(costs::SANITIZE_CHECK);
+                let chunk = sv.size.min(4);
+                let v = machine
+                    .load(sv.shadow_addr, chunk, Mode::Privileged)
+                    .map_err(|e| format!("sanitize load fault: {}", e.name()))?;
+                if v < lo || v > hi {
+                    return Err(format!(
+                        "sanitization failed: {} value {v} outside [{lo}, {hi}] when leaving operation {}",
+                        global_name(&self.policy, sv.global, machine),
+                        self.policy.op(op).name
+                    ));
+                }
+            }
+            self.priv_copy(machine, sv.shadow_addr, sv.public_addr, sv.size)?;
+        }
+        Ok(())
+    }
+
+    /// Pull `op`'s shadows from the public section.
+    fn sync_in(&mut self, machine: &mut Machine, op: OpId) -> Result<(), String> {
+        let shared = self.policy.op(op).shared.clone();
+        for sv in shared {
+            self.priv_copy(machine, sv.public_addr, sv.shadow_addr, sv.size)?;
+        }
+        Ok(())
+    }
+
+    /// Point every relocation-table entry at `op`'s copy (shadow if the
+    /// operation shares the variable, the public master otherwise).
+    fn update_reloc_table(&mut self, machine: &mut Machine, op: OpId) -> Result<(), String> {
+        let entries: Vec<(GlobalId, u32)> =
+            self.policy.reloc_entries.iter().map(|(g, a)| (*g, *a)).collect();
+        for (g, entry_addr) in entries {
+            let target = self
+                .policy
+                .shadow_addr(op, g)
+                .unwrap_or_else(|| self.policy.public_addrs[&g]);
+            machine
+                .store(entry_addr, 4, target, Mode::Privileged)
+                .map_err(|e| format!("reloc table store fault: {}", e.name()))?;
+            machine.clock.tick(costs::MEM);
+        }
+        Ok(())
+    }
+
+    /// If `addr` lands inside some copy (shadow or public master) of an
+    /// external variable, return the variable and the offset within it.
+    fn locate_external(&self, addr: u32) -> Option<(GlobalId, u32)> {
+        for op in &self.policy.ops {
+            for sv in &op.shared {
+                if addr >= sv.shadow_addr && addr < sv.shadow_addr + sv.size {
+                    return Some((sv.global, addr - sv.shadow_addr));
+                }
+            }
+        }
+        for (g, base) in &self.policy.public_addrs {
+            if !self.policy.reloc_entries.contains_key(g) {
+                continue;
+            }
+            // Size lookup via any sharer's record.
+            if let Some(size) = self
+                .policy
+                .ops
+                .iter()
+                .flat_map(|o| o.shared.iter())
+                .find(|sv| sv.global == *g)
+                .map(|sv| sv.size)
+            {
+                if addr >= *base && addr < *base + size {
+                    return Some((*g, addr - *base));
+                }
+            }
+        }
+        None
+    }
+
+    /// Rewrite pointer fields of `op`'s shared variables that point into
+    /// another operation's shadow (or the public master) of an external
+    /// variable, so they reference `op`'s own copy (paper §5.3).
+    fn redirect_pointer_fields(&mut self, machine: &mut Machine, op: OpId) -> Result<(), String> {
+        let shared = self.policy.op(op).shared.clone();
+        for sv in shared {
+            for &field in &sv.ptr_fields {
+                let slot = sv.shadow_addr + field;
+                let ptr = machine
+                    .load(slot, 4, Mode::Privileged)
+                    .map_err(|e| format!("ptr field load fault: {}", e.name()))?;
+                machine.clock.tick(costs::MEM);
+                if let Some((g, off)) = self.locate_external(ptr) {
+                    let target = self
+                        .policy
+                        .shadow_addr(op, g)
+                        .unwrap_or_else(|| self.policy.public_addrs[&g])
+                        + off;
+                    if target != ptr {
+                        machine
+                            .store(slot, 4, target, Mode::Privileged)
+                            .map_err(|e| format!("ptr field store fault: {}", e.name()))?;
+                        machine.clock.tick(costs::MEM);
+                        self.stats.ptr_redirects += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Program the MPU for `op` with stack sub-region disable mask
+    /// `srd`.
+    fn load_mpu(&mut self, machine: &mut Machine, op: OpId, srd: u8) -> Result<(), String> {
+        let mut regions: Vec<(usize, opec_armv7m::MpuRegion)> = Vec::with_capacity(8);
+        for (n, mut r) in self.policy.base_regions() {
+            if n == 2 {
+                r.srd = srd;
+            }
+            regions.push((n, r));
+        }
+        regions.push((3, self.policy.section_region(op)));
+        for (i, r) in self.policy.op(op).periph_regions.iter().take(4).enumerate() {
+            regions.push((4 + i, *r));
+        }
+        machine.clock.tick(costs::MPU_REGION_WRITE * regions.len() as u64);
+        machine.mpu.load_regions(&regions).map_err(|e| format!("MPU programming: {e}"))
+    }
+
+    /// Stack relocation on entry (paper Figure 8): copy stack-passed
+    /// arguments and pointed-to buffers below the sub-region boundary,
+    /// rewrite the pointer arguments, move SP, and compute the
+    /// sub-region disable mask protecting previous frames.
+    fn relocate_stack(
+        &mut self,
+        machine: &mut Machine,
+        req: &mut SwitchRequest<'_>,
+    ) -> Result<(u8, Vec<Relocation>), String> {
+        let stack = self.policy.stack;
+        let sub = stack.size / 8;
+        let sp = *req.sp;
+        if sp < stack.base || sp > stack.end() {
+            return Err(format!("stack pointer {sp:#010x} outside the stack window"));
+        }
+        let idx = ((sp - stack.base) / sub).min(8);
+        if idx == 0 {
+            return Err(format!(
+                "no stack sub-region available for operation {}",
+                self.policy.op(req.op).name
+            ));
+        }
+        let boundary = stack.base + idx * sub;
+        // Disable sub-regions idx..8 (the previous operations' frames).
+        let srd = if idx >= 8 { 0 } else { (0xFFu32 << idx) as u8 };
+        let mut cursor = boundary;
+        let mut relocations = Vec::new();
+        // Copy the stack-passed argument block.
+        if let Some(args_addr) = req.stack_args_addr {
+            let bytes = 4 * req.n_stack_args;
+            if bytes > 0 {
+                cursor -= bytes;
+                self.priv_copy(machine, args_addr, cursor, bytes)?;
+                self.stats.stack_reloc_bytes += u64::from(bytes);
+            }
+        }
+        // Copy pointed-to data that lives in the now-disabled stack
+        // area. `Buffer` arguments are flat copies; `Nested` arguments
+        // are deep-copied one level (object + the buffers its pointer
+        // fields reference), with the copied fields fixed up — the
+        // paper's future-work extension.
+        let arg_infos = self.policy.op(req.op).args.clone();
+        let needs_reloc = |ptr: u32| stack.contains(ptr) && ptr >= boundary;
+        for (i, info) in arg_infos.iter().enumerate() {
+            let Some(ptr) = req.args.get(i).copied() else { continue };
+            match info {
+                crate::spec::ArgInfo::Value => {}
+                crate::spec::ArgInfo::Buffer { size } => {
+                    if !needs_reloc(ptr) {
+                        continue;
+                    }
+                    cursor = (cursor - size) & !3;
+                    self.priv_copy(machine, ptr, cursor, *size)?;
+                    self.stats.stack_reloc_bytes += u64::from(*size);
+                    relocations.push(Relocation {
+                        orig: ptr,
+                        copy: cursor,
+                        size: *size,
+                        fixups: Vec::new(),
+                    });
+                    req.args[i] = cursor;
+                }
+                crate::spec::ArgInfo::Nested { size, fields } => {
+                    if !needs_reloc(ptr) {
+                        continue;
+                    }
+                    // 1. Relocate the object itself.
+                    cursor = (cursor - size) & !3;
+                    let obj_copy = cursor;
+                    self.priv_copy(machine, ptr, obj_copy, *size)?;
+                    self.stats.stack_reloc_bytes += u64::from(*size);
+                    // 2. Relocate each pointed-to buffer and fix the
+                    //    copied field up, remembering the original
+                    //    value so exit can restore it before copying
+                    //    the object back.
+                    let mut fixups = Vec::new();
+                    for (field_off, pointee_size) in fields {
+                        let field_addr = obj_copy + field_off;
+                        let inner = machine
+                            .load(field_addr, 4, Mode::Privileged)
+                            .map_err(|e| format!("deep-copy field load: {}", e.name()))?;
+                        machine.clock.tick(costs::MEM);
+                        if !needs_reloc(inner) {
+                            continue;
+                        }
+                        cursor = (cursor - pointee_size) & !3;
+                        self.priv_copy(machine, inner, cursor, *pointee_size)?;
+                        self.stats.stack_reloc_bytes += u64::from(*pointee_size);
+                        relocations.push(Relocation {
+                            orig: inner,
+                            copy: cursor,
+                            size: *pointee_size,
+                            fixups: Vec::new(),
+                        });
+                        machine
+                            .store(field_addr, 4, cursor, Mode::Privileged)
+                            .map_err(|e| format!("deep-copy field store: {}", e.name()))?;
+                        machine.clock.tick(costs::MEM);
+                        fixups.push((*field_off, inner));
+                        self.stats.ptr_redirects += 1;
+                    }
+                    relocations.push(Relocation {
+                        orig: ptr,
+                        copy: obj_copy,
+                        size: *size,
+                        fixups,
+                    });
+                    req.args[i] = obj_copy;
+                }
+            }
+        }
+        *req.sp = cursor & !7;
+        Ok((srd, relocations))
+    }
+}
+
+fn global_name(policy: &SystemPolicy, g: GlobalId, _machine: &Machine) -> String {
+    // Policies do not carry names; fall back to the id. The pipeline's
+    // callers have the module for pretty diagnostics.
+    let _ = policy;
+    format!("global g{}", g.0)
+}
+
+impl Supervisor for OpecMonitor {
+    fn on_reset(&mut self, machine: &mut Machine) -> Result<(), String> {
+        // Shadow-copy initialisation: every operation's shadows start
+        // from the public masters (which the image's .data staging
+        // filled with the initial values).
+        let ops: Vec<OpId> = self.policy.ops.iter().map(|o| o.id).collect();
+        for op in ops {
+            self.sync_in(machine, op)?;
+        }
+        // Relocation table and MPU for the default (main) operation.
+        self.update_reloc_table(machine, 0)?;
+        self.load_mpu(machine, 0, 0)?;
+        machine.mpu.enabled = true;
+        machine.mpu.priv_default_enabled = true;
+        // Drop privilege: application code runs unprivileged from here.
+        machine.mode = Mode::Unprivileged;
+        self.ctx = vec![OpContext { op: 0, srd: 0, relocations: Vec::new() }];
+        Ok(())
+    }
+
+    fn on_operation_enter(
+        &mut self,
+        machine: &mut Machine,
+        req: &mut SwitchRequest<'_>,
+    ) -> Result<(), String> {
+        machine.clock.tick(costs::SWITCH_FIXED);
+        self.stats.switches += 1;
+        let from = self.current_op();
+        let to = req.op;
+        // Data synchronization through the public section (Figure 7).
+        self.sync_out(machine, from)?;
+        self.sync_in(machine, to)?;
+        self.update_reloc_table(machine, to)?;
+        self.redirect_pointer_fields(machine, to)?;
+        // Pointer-type *arguments* that reference another operation's
+        // shadow of a shared variable are redirected to the incoming
+        // operation's copy — the same §5.3 mechanism applied to the
+        // entry arguments the developer declared as pointers.
+        let arg_infos = self.policy.op(to).args.clone();
+        for (i, spec) in arg_infos.iter().enumerate() {
+            if !spec.is_pointer() {
+                continue;
+            }
+            let Some(ptr) = req.args.get(i).copied() else { continue };
+            if let Some((g, off)) = self.locate_external(ptr) {
+                let target = self
+                    .policy
+                    .shadow_addr(to, g)
+                    .unwrap_or_else(|| self.policy.public_addrs[&g])
+                    + off;
+                if target != ptr {
+                    req.args[i] = target;
+                    machine.clock.tick(costs::ALU);
+                    self.stats.ptr_redirects += 1;
+                }
+            }
+        }
+        // Stack protection (Figure 8).
+        let (srd, relocations) = self.relocate_stack(machine, req)?;
+        // Resource isolation: reload the MPU for the new operation.
+        self.load_mpu(machine, to, srd)?;
+        self.ctx.push(OpContext { op: to, srd, relocations });
+        Ok(())
+    }
+
+    fn on_operation_exit(
+        &mut self,
+        machine: &mut Machine,
+        req: &mut SwitchRequest<'_>,
+    ) -> Result<(), String> {
+        machine.clock.tick(costs::SWITCH_FIXED);
+        let leaving = self.ctx.pop().ok_or("operation exit without matching enter")?;
+        if leaving.op != req.op {
+            return Err(format!(
+                "operation context mismatch: exiting {} but top of stack is {}",
+                req.op, leaving.op
+            ));
+        }
+        let back_to = self.current_op();
+        // Write back and resynchronise (Figure 7(c)).
+        self.sync_out(machine, leaving.op)?;
+        self.sync_in(machine, back_to)?;
+        self.update_reloc_table(machine, back_to)?;
+        self.redirect_pointer_fields(machine, back_to)?;
+        // Copy relocated data back to their original frames
+        // (Figure 8(e)) — privileged, so the disabled sub-regions do
+        // not stop the monitor. Deep-copied pointer fields are restored
+        // to their original values first, so the caller's object comes
+        // back intact.
+        for r in &leaving.relocations.clone() {
+            for (off, orig_val) in &r.fixups {
+                machine
+                    .store(r.copy + off, 4, *orig_val, Mode::Privileged)
+                    .map_err(|e| format!("fixup restore: {}", e.name()))?;
+                machine.clock.tick(costs::MEM);
+            }
+            self.priv_copy(machine, r.copy, r.orig, r.size)?;
+        }
+        // Restore the previous operation's MPU view (saved context).
+        let srd = self.ctx.last().map(|c| c.srd).unwrap_or(0);
+        self.load_mpu(machine, back_to, srd)?;
+        // Register clearing (the paper zeroes GP registers on exit; our
+        // frames are private per call, so only the cost is modelled).
+        machine.clock.tick(13 * costs::ALU);
+        Ok(())
+    }
+
+    fn on_mem_fault(
+        &mut self,
+        machine: &mut Machine,
+        fault: FaultInfo,
+        _cpu: &mut CpuContext,
+    ) -> FaultFixup {
+        if fault.cause != FaultCause::MpuViolation {
+            return FaultFixup::Abort(format!(
+                "unexpected MemManage cause at {:#010x}",
+                fault.address
+            ));
+        }
+        let op = self.current_op();
+        let policy = self.policy.op(op);
+        // MPU virtualization: is the address inside the operation's
+        // peripheral allow list?
+        let window: Option<MemRegion> =
+            policy.periph_windows.iter().copied().find(|w| w.contains(fault.address));
+        if let Some(w) = window {
+            // Find the covering region prepared at compile time.
+            let region = policy
+                .periph_regions
+                .iter()
+                .copied()
+                .find(|r| r.range().contains(w.base))
+                .expect("window has a prepared region");
+            let victim = 4 + (self.rr % 4);
+            self.rr += 1;
+            machine.clock.tick(costs::MPU_REGION_WRITE);
+            if let Err(e) = machine.mpu.set_region(victim, region) {
+                return FaultFixup::Abort(format!("MPU virtualization failed: {e}"));
+            }
+            self.stats.virt_faults += 1;
+            return FaultFixup::Retry;
+        }
+        FaultFixup::Abort(format!(
+            "operation {} denied {} access to {:#010x}",
+            self.policy.op(op).name,
+            if fault.kind.is_write() { "write" } else { "read" },
+            fault.address
+        ))
+    }
+
+    fn on_bus_fault(
+        &mut self,
+        machine: &mut Machine,
+        fault: FaultInfo,
+        cpu: &mut CpuContext,
+    ) -> FaultFixup {
+        if fault.cause != FaultCause::PpbUnprivileged {
+            return FaultFixup::Abort(format!(
+                "bus fault ({:?}) at {:#010x}",
+                fault.cause, fault.address
+            ));
+        }
+        let op = self.current_op();
+        let allowed = self
+            .policy
+            .op(op)
+            .core_windows
+            .iter()
+            .any(|w| w.contains(fault.address));
+        if !allowed {
+            return FaultFixup::Abort(format!(
+                "operation {} denied core-peripheral access to {:#010x}",
+                self.policy.op(op).name,
+                fault.address
+            ));
+        }
+        // Fetch and decode the faulting instruction (real Thumb-2 words
+        // are emitted into Flash by image generation).
+        machine.clock.tick(costs::DECODE);
+        let Some(word) = machine.peek(fault.pc, 4) else {
+            return FaultFixup::Abort(format!("cannot fetch instruction at {:#010x}", fault.pc));
+        };
+        let inst = match LdStInst::decode(word) {
+            Ok(i) => i,
+            Err(e) => return FaultFixup::Abort(format!("emulation decode failed: {e}")),
+        };
+        let ea = inst.effective_address(cpu.reg(inst.rn));
+        if ea != fault.address {
+            return FaultFixup::Abort(format!(
+                "emulation address mismatch: decoded {ea:#010x}, faulted {:#010x}",
+                fault.address
+            ));
+        }
+        let size = u32::from(inst.size);
+        match inst.op {
+            LdStOp::Load => match machine.load(ea, size, Mode::Privileged) {
+                Ok(v) => cpu.set_reg(inst.rt, v),
+                Err(e) => {
+                    return FaultFixup::Abort(format!("emulated load failed: {}", e.name()))
+                }
+            },
+            LdStOp::Store => {
+                let v = cpu.reg(inst.rt);
+                if let Err(e) = machine.store(ea, size, v, Mode::Privileged) {
+                    return FaultFixup::Abort(format!("emulated store failed: {}", e.name()));
+                }
+            }
+        }
+        self.stats.emulations += 1;
+        FaultFixup::Emulated
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,447 @@
+use super::*;
+use crate::pipeline::compile;
+use crate::spec::OperationSpec;
+use opec_armv7m::Board;
+use opec_ir::{ModuleBuilder, Operand, Ty};
+use opec_vm::{RunOutcome, Vm, VmError};
+
+const FUEL: u64 = 50_000_000;
+
+fn boot(module: opec_ir::Module, specs: &[OperationSpec]) -> Vm<OpecMonitor> {
+    let board = Board::stm32f4_discovery();
+    let out = compile(module, board, specs).unwrap();
+    let machine = Machine::new(board);
+    Vm::new(machine, out.image, OpecMonitor::new(out.policy)).unwrap()
+}
+
+fn boot_with_devices(
+    module: opec_ir::Module,
+    specs: &[OperationSpec],
+) -> Vm<OpecMonitor> {
+    let board = Board::stm32f4_discovery();
+    let out = compile(module, board, specs).unwrap();
+    let mut machine = Machine::new(board);
+    opec_devices::install_standard_devices(&mut machine, Default::default()).unwrap();
+    Vm::new(machine, out.image, OpecMonitor::new(out.policy)).unwrap()
+}
+
+/// Registers the standard datasheet into a builder.
+fn add_datasheet(mb: &mut ModuleBuilder) {
+    for p in opec_devices::datasheet() {
+        mb.peripheral(p.name, p.base, p.size, p.is_core);
+    }
+}
+
+#[test]
+fn shared_variable_synchronises_between_operations() {
+    let mut mb = ModuleBuilder::new("sync");
+    let shared = mb.global("shared", Ty::I32, "m.c");
+    let result = mb.global("result", Ty::I32, "m.c");
+    let writer = mb.func("writer", vec![], None, "m.c", |fb| {
+        fb.store_global(shared, 0, Operand::Imm(77), 4);
+        fb.ret_void();
+    });
+    let reader = mb.func("reader", vec![], None, "m.c", |fb| {
+        let v = fb.load_global(shared, 0, 4);
+        fb.store_global(result, 0, Operand::Reg(v), 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], Some(Ty::I32), "m.c", |fb| {
+        // main also reads both so they are external (shared) variables.
+        let _ = fb.load_global(shared, 0, 4);
+        fb.call_void(writer, vec![]);
+        fb.call_void(reader, vec![]);
+        let r = fb.load_global(result, 0, 4);
+        fb.ret(Operand::Reg(r));
+    });
+    let mut vm = boot(
+        mb.finish(),
+        &[OperationSpec::plain("writer"), OperationSpec::plain("reader")],
+    );
+    match vm.run(FUEL).unwrap() {
+        RunOutcome::Returned { value, .. } => assert_eq!(value, Some(77)),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    // Two operations entered; shadows synchronised through the public
+    // section.
+    assert_eq!(vm.supervisor.stats.switches, 2);
+    assert!(vm.supervisor.stats.sync_bytes > 0);
+}
+
+#[test]
+fn operations_use_distinct_shadow_addresses() {
+    let mut mb = ModuleBuilder::new("shadows");
+    let shared = mb.global("shared", Ty::I32, "m.c");
+    let t1 = mb.func("t1", vec![], None, "m.c", |fb| {
+        fb.store_global(shared, 0, Operand::Imm(5), 4);
+        fb.ret_void();
+    });
+    let t2 = mb.func("t2", vec![], None, "m.c", |fb| {
+        let _ = fb.load_global(shared, 0, 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", |fb| {
+        fb.call_void(t1, vec![]);
+        fb.call_void(t2, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm =
+        boot(mb.finish(), &[OperationSpec::plain("t1"), OperationSpec::plain("t2")]);
+    vm.run(FUEL).unwrap();
+    let policy = vm.supervisor.policy();
+    let g = vm.image.module.global_by_name("shared").unwrap();
+    let s1 = policy.shadow_addr(1, g).unwrap();
+    let s2 = policy.shadow_addr(2, g).unwrap();
+    let p = policy.public_addrs[&g];
+    assert_ne!(s1, s2);
+    // After the run, all copies converged to t1's write.
+    assert_eq!(vm.machine.peek(s1, 4), Some(5));
+    assert_eq!(vm.machine.peek(s2, 4), Some(5));
+    assert_eq!(vm.machine.peek(p, 4), Some(5));
+}
+
+#[test]
+fn rogue_write_outside_policy_is_stopped() {
+    let mut mb = ModuleBuilder::new("rogue");
+    let own = mb.global("own", Ty::I32, "m.c");
+    let attack = mb.func("attack", vec![], None, "m.c", |fb| {
+        // Arbitrary-write primitive: compute an address far outside the
+        // operation's data section (the public/reloc area) and write.
+        let p = fb.addr_of_global(own, 0);
+        let evil = fb.bin(opec_ir::BinOp::Sub, Operand::Reg(p), Operand::Imm(0x4000));
+        fb.store(Operand::Reg(evil), Operand::Imm(0xBAD), 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", |fb| {
+        fb.call_void(attack, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm = boot(mb.finish(), &[OperationSpec::plain("attack")]);
+    match vm.run(FUEL).unwrap_err() {
+        VmError::Aborted { reason, .. } => {
+            assert!(reason.contains("denied write"), "reason: {reason}")
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn peripheral_not_in_policy_is_denied() {
+    let mut mb = ModuleBuilder::new("periph");
+    add_datasheet(&mut mb);
+    let t = mb.func("timer_task", vec![], None, "m.c", |fb| {
+        // Policy grants TIM2 (this access)...
+        fb.mmio_write(0x4000_0000, Operand::Imm(1), 4);
+        fb.ret_void();
+    });
+    let evil = mb.func("evil_task", vec![], None, "m.c", |fb| {
+        // ...but this operation touches the UART through a *computed*
+        // address the static analysis cannot see (base smuggled through
+        // arithmetic on a runtime value), modelling a compromised task.
+        let zero = fb.load(Operand::Imm(0x4000_0000), 4); // TIM2 CR reads 0
+        let base = fb.bin(opec_ir::BinOp::Add, Operand::Reg(zero), Operand::Imm(0x4000_4400));
+        fb.store(Operand::Reg(base), Operand::Imm(0x41), 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", |fb| {
+        fb.call_void(t, vec![]);
+        fb.call_void(evil, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm = boot_with_devices(
+        mb.finish(),
+        &[OperationSpec::plain("timer_task"), OperationSpec::plain("evil_task")],
+    );
+    match vm.run(FUEL).unwrap_err() {
+        VmError::Aborted { reason, .. } => {
+            assert!(reason.contains("denied"), "reason: {reason}")
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn sanitization_stops_corrupted_shared_values() {
+    let mut mb = ModuleBuilder::new("sanitize");
+    // Robot-arm speed: valid range 0..=10.
+    let speed = mb.sanitized_global("arm_speed", Ty::I32, "m.c", (0, 10));
+    let corrupt = mb.func("corrupt", vec![], None, "m.c", |fb| {
+        fb.store_global(speed, 0, Operand::Imm(9999), 4);
+        fb.ret_void();
+    });
+    let uses = mb.func("uses", vec![], None, "m.c", |fb| {
+        let _ = fb.load_global(speed, 0, 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", |fb| {
+        fb.call_void(corrupt, vec![]);
+        fb.call_void(uses, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm = boot(
+        mb.finish(),
+        &[OperationSpec::plain("corrupt"), OperationSpec::plain("uses")],
+    );
+    match vm.run(FUEL).unwrap_err() {
+        VmError::Aborted { reason, .. } => {
+            assert!(reason.contains("sanitization failed"), "reason: {reason}")
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn sanitized_value_in_range_passes() {
+    let mut mb = ModuleBuilder::new("sanitize_ok");
+    let speed = mb.sanitized_global("arm_speed", Ty::I32, "m.c", (0, 10));
+    let set = mb.func("set", vec![], None, "m.c", |fb| {
+        fb.store_global(speed, 0, Operand::Imm(7), 4);
+        fb.ret_void();
+    });
+    let get = mb.func("get", vec![], None, "m.c", |fb| {
+        let _ = fb.load_global(speed, 0, 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", |fb| {
+        fb.call_void(set, vec![]);
+        fb.call_void(get, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm =
+        boot(mb.finish(), &[OperationSpec::plain("set"), OperationSpec::plain("get")]);
+    assert!(vm.run(FUEL).is_ok());
+    assert!(vm.supervisor.stats.sanitize_checks >= 1);
+}
+
+#[test]
+fn mpu_virtualization_serves_more_than_four_peripherals() {
+    let mut mb = ModuleBuilder::new("virt");
+    add_datasheet(&mut mb);
+    // One operation touching six scattered (non-adjacent) peripherals:
+    // TIM2+TIM3 merge, but USART2, USART1, SDIO, LCD, GPIOA, RCC stay
+    // separate — more windows than the four reserved MPU regions.
+    let t = mb.func("big_task", vec![], None, "m.c", |fb| {
+        for addr in [
+            0x4000_4408u32, // USART2 BRR
+            0x4001_1008,    // USART1 BRR
+            0x4001_2C04,    // SDIO ARG
+            0x4001_6804,    // LCD X
+            0x4002_0000,    // GPIOA MODER
+            0x4002_3830,    // RCC AHB1ENR
+        ] {
+            fb.mmio_write(addr, Operand::Imm(1), 4);
+        }
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", |fb| {
+        fb.call_void(t, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm = boot_with_devices(mb.finish(), &[OperationSpec::plain("big_task")]);
+    vm.run(FUEL).unwrap();
+    // At least two accesses fell outside the four loaded regions and
+    // were served by virtualization.
+    assert!(vm.supervisor.stats.virt_faults >= 2, "virt faults: {}", vm.supervisor.stats.virt_faults);
+    assert!(vm.stats.faults_retried >= 2);
+}
+
+#[test]
+fn core_peripheral_access_is_emulated_not_privileged() {
+    let mut mb = ModuleBuilder::new("coreperiph");
+    add_datasheet(&mut mb);
+    let observed = mb.global("observed", Ty::I32, "m.c");
+    let _ = observed;
+    let t = mb.func("sys_init", vec![], None, "m.c", |fb| {
+        // Configure SysTick: a PPB (core) peripheral. Unprivileged code
+        // bus-faults; the monitor decodes the Thumb-2 store and
+        // emulates it at the privileged level.
+        fb.mmio_write(0xE000_E014, Operand::Imm(0x3E8), 4); // SYST_RVR
+        let v = fb.mmio_read(0xE000_E014, 4);
+        fb.store_global(
+            fb.module().global_by_name("observed").unwrap(),
+            0,
+            Operand::Reg(v),
+            4,
+        );
+        fb.ret_void();
+    });
+    mb.func("main", vec![], Some(Ty::I32), "m.c", |fb| {
+        fb.call_void(t, vec![]);
+        let g = fb.module().global_by_name("observed").unwrap();
+        let v = fb.load_global(g, 0, 4);
+        fb.ret(Operand::Reg(v));
+    });
+    let mut vm = boot(mb.finish(), &[OperationSpec::plain("sys_init")]);
+    match vm.run(FUEL).unwrap() {
+        RunOutcome::Returned { value, .. } => assert_eq!(value, Some(0x3E8)),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(vm.supervisor.stats.emulations, 2);
+    assert_eq!(vm.stats.faults_emulated, 2);
+}
+
+#[test]
+fn core_peripheral_outside_policy_is_denied() {
+    let mut mb = ModuleBuilder::new("coredeny");
+    add_datasheet(&mut mb);
+    let zero_src = mb.global("zero_src", Ty::I32, "m.c");
+    let t = mb.func("quiet_task", vec![], None, "m.c", |fb| {
+        // No core peripheral in this operation's dependency; the PPB
+        // address is built from a runtime value (a global load, opaque
+        // to constant propagation), modelling an attack on the NVIC.
+        let zero = fb.load_global(zero_src, 0, 4);
+        let addr = fb.bin(opec_ir::BinOp::Add, Operand::Reg(zero), Operand::Imm(0xE000_E100));
+        fb.store(Operand::Reg(addr), Operand::Imm(0xFFFF_FFFF), 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", |fb| {
+        fb.call_void(t, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm = boot(mb.finish(), &[OperationSpec::plain("quiet_task")]);
+    match vm.run(FUEL).unwrap_err() {
+        VmError::Aborted { reason, .. } => {
+            assert!(reason.contains("core-peripheral"), "reason: {reason}")
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn stack_buffer_is_relocated_and_copied_back() {
+    let mut mb = ModuleBuilder::new("stackreloc");
+    let fill = mb.declare(
+        "fill_buf",
+        vec![("buf", Ty::Ptr(Box::new(Ty::I8))), ("len", Ty::I32)],
+        None,
+        "m.c",
+    );
+    mb.define(fill, |fb| {
+        // memset(buf, 'B', len) through the (possibly relocated) pointer.
+        fb.memset(Operand::Reg(fb.param(0)), Operand::Imm(0x42), Operand::Reg(fb.param(1)));
+        fb.ret_void();
+    });
+    mb.func("main", vec![], Some(Ty::I32), "m.c", |fb| {
+        let buf = fb.local("buf", Ty::Array(Box::new(Ty::I8), 16));
+        let p = fb.addr_of_local(buf, 0);
+        fb.memset(Operand::Reg(p), Operand::Imm(0x41), Operand::Imm(16));
+        fb.call_void(fill, vec![Operand::Reg(p), Operand::Imm(16)]);
+        // After the operation exits, the monitor must have copied the
+        // relocated buffer back into main's frame.
+        let last = fb.addr_of_local(buf, 15);
+        let v = fb.load(Operand::Reg(last), 1);
+        fb.ret(Operand::Reg(v));
+    });
+    let mut vm = boot(
+        mb.finish(),
+        &[OperationSpec::with_args("fill_buf", vec![Some(16), None])],
+    );
+    match vm.run(FUEL).unwrap() {
+        RunOutcome::Returned { value, .. } => assert_eq!(value, Some(0x42)),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert!(vm.supervisor.stats.stack_reloc_bytes >= 16);
+}
+
+#[test]
+fn previous_stack_frame_is_protected_from_the_operation() {
+    let mut mb = ModuleBuilder::new("stackattack");
+    let attack = mb.declare("attack", vec![("leak", Ty::I32)], None, "m.c");
+    mb.define(attack, |fb| {
+        // The raw address of main's local leaked through a plain int
+        // parameter (so no relocation applies): the disabled sub-region
+        // must stop the write.
+        fb.store(Operand::Reg(fb.param(0)), Operand::Imm(0xEE), 1);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", |fb| {
+        let secret = fb.local("secret", Ty::Array(Box::new(Ty::I8), 64));
+        let p = fb.addr_of_local(secret, 0);
+        fb.call_void(attack, vec![Operand::Reg(p)]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm = boot(mb.finish(), &[OperationSpec::with_args("attack", vec![None])]);
+    match vm.run(FUEL).unwrap_err() {
+        VmError::Aborted { reason, .. } => {
+            assert!(reason.contains("denied write"), "reason: {reason}")
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn nested_operations_maintain_context_stack() {
+    let mut mb = ModuleBuilder::new("nested");
+    let shared = mb.global("shared", Ty::I32, "m.c");
+    let inner = mb.func("inner", vec![], None, "m.c", |fb| {
+        let v = fb.load_global(shared, 0, 4);
+        let v2 = fb.bin(opec_ir::BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+        fb.store_global(shared, 0, Operand::Reg(v2), 4);
+        fb.ret_void();
+    });
+    let outer = mb.func("outer", vec![], None, "m.c", |fb| {
+        fb.store_global(shared, 0, Operand::Imm(10), 4);
+        fb.call_void(inner, vec![]);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], Some(Ty::I32), "m.c", |fb| {
+        fb.call_void(outer, vec![]);
+        let v = fb.load_global(shared, 0, 4);
+        fb.ret(Operand::Reg(v));
+    });
+    let mut vm = boot(
+        mb.finish(),
+        &[OperationSpec::plain("outer"), OperationSpec::plain("inner")],
+    );
+    match vm.run(FUEL).unwrap() {
+        RunOutcome::Returned { value, .. } => assert_eq!(value, Some(11)),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(vm.supervisor.stats.switches, 2);
+    assert_eq!(vm.supervisor.current_op(), 0);
+}
+
+#[test]
+fn reloc_table_points_at_current_operations_copy() {
+    let mut mb = ModuleBuilder::new("reloctab");
+    let shared = mb.global("shared", Ty::I32, "m.c");
+    let t1 = mb.func("t1", vec![], None, "m.c", |fb| {
+        fb.store_global(shared, 0, Operand::Imm(1), 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", |fb| {
+        let _ = fb.load_global(shared, 0, 4);
+        fb.call_void(t1, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm = boot(mb.finish(), &[OperationSpec::plain("t1")]);
+    vm.run(FUEL).unwrap();
+    // After t1 exited, the table points at main's (op 0) copy again.
+    let policy = vm.supervisor.policy();
+    let g = vm.image.module.global_by_name("shared").unwrap();
+    let entry = policy.reloc_entries[&g];
+    let target = vm.machine.peek(entry, 4).unwrap();
+    assert_eq!(Some(target), policy.shadow_addr(0, g));
+}
+
+#[test]
+fn monitor_runs_unprivileged_application() {
+    let mut mb = ModuleBuilder::new("priv");
+    mb.func("main", vec![], None, "m.c", |fb| {
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm = boot(mb.finish(), &[]);
+    vm.run(FUEL).unwrap();
+    assert_eq!(vm.machine.mode, Mode::Unprivileged);
+    assert!(vm.machine.mpu.enabled);
+}

@@ -1,0 +1,328 @@
+//! Operation partitioning (paper Section 4.3).
+//!
+//! "For each entry function, OPEC-Compiler performs the Depth-First
+//! Search algorithm to traverse the call graph from the entry function
+//! to determine the functions that operation contains. When reaching
+//! another operation entry function, the OPEC-Compiler performs
+//! backtracking. Note that two different operations can share functions.
+//! [...] OPEC-Compiler also considers the function main as a default
+//! operation."
+
+use std::collections::BTreeSet;
+
+use opec_analysis::{CallGraph, FuncResources, ResourceAnalysis};
+use opec_ir::{FuncId, Module};
+use opec_vm::OpId;
+
+use crate::spec::{ArgInfo, OperationSpec};
+
+/// One partitioned operation.
+#[derive(Debug, Clone)]
+pub struct Operation {
+    /// Operation id; id 0 is the default `main` operation.
+    pub id: OpId,
+    /// Entry-function name (diagnostics).
+    pub name: String,
+    /// Entry function.
+    pub entry: FuncId,
+    /// Member functions (entry included; members may be shared with
+    /// other operations).
+    pub funcs: BTreeSet<FuncId>,
+    /// Merged resource dependency of all members.
+    pub resources: FuncResources,
+    /// Per-parameter stack information from the developer.
+    pub args: Vec<ArgInfo>,
+}
+
+/// The partition of a program into operations.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Operations; index = `OpId`. `ops[0]` is the `main` default
+    /// operation.
+    pub ops: Vec<Operation>,
+}
+
+/// Partitioning failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// An entry named in a spec does not exist.
+    NoSuchEntry(String),
+    /// `main` is missing.
+    NoMain,
+    /// An entry is an interrupt handler ("the operation entries cannot
+    /// be [...] within an interrupt handling routine").
+    IrqEntry(String),
+    /// The same entry was listed twice.
+    DuplicateEntry(String),
+    /// More operations than the id space allows.
+    TooManyOperations(usize),
+}
+
+impl core::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PartitionError::NoSuchEntry(n) => write!(f, "no function named {n}"),
+            PartitionError::NoMain => write!(f, "module has no main function"),
+            PartitionError::IrqEntry(n) => {
+                write!(f, "{n} is an interrupt handler and cannot be an operation entry")
+            }
+            PartitionError::DuplicateEntry(n) => write!(f, "entry {n} listed twice"),
+            PartitionError::TooManyOperations(n) => write!(f, "{n} operations exceed the id space"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl Partition {
+    /// Partitions `module` into the `main` default operation plus one
+    /// operation per spec.
+    pub fn build(
+        module: &Module,
+        cg: &CallGraph,
+        resources: &ResourceAnalysis,
+        specs: &[OperationSpec],
+    ) -> Result<Partition, PartitionError> {
+        if specs.len() + 1 > usize::from(OpId::MAX) {
+            return Err(PartitionError::TooManyOperations(specs.len() + 1));
+        }
+        let main = module.func_by_name("main").ok_or(PartitionError::NoMain)?;
+        let mut entries: Vec<(String, FuncId, Vec<ArgInfo>)> =
+            vec![("main".to_string(), main, Vec::new())];
+        for spec in specs {
+            let f = module
+                .func_by_name(&spec.entry)
+                .ok_or_else(|| PartitionError::NoSuchEntry(spec.entry.clone()))?;
+            if module.func(f).is_irq_handler {
+                return Err(PartitionError::IrqEntry(spec.entry.clone()));
+            }
+            if entries.iter().any(|(_, e, _)| *e == f) {
+                return Err(PartitionError::DuplicateEntry(spec.entry.clone()));
+            }
+            entries.push((spec.entry.clone(), f, spec.args.clone()));
+        }
+        let stops: BTreeSet<FuncId> = entries.iter().map(|(_, e, _)| *e).collect();
+        let ops = entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, entry, args))| {
+                let funcs = cg.reachable_with_stops(entry, &stops);
+                let res = resources.merged(funcs.iter().copied());
+                Operation { id: i as OpId, name, entry, funcs, resources: res, args }
+            })
+            .collect();
+        Ok(Partition { ops })
+    }
+
+    /// The operation with the given id.
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[usize::from(id)]
+    }
+
+    /// Operations (other than `exclude`) that access global `g`.
+    pub fn ops_using_global(&self, g: opec_ir::GlobalId) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .filter(|o| o.resources.globals().contains(&g))
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// Average number of member functions per operation (Table 1's
+    /// "#Avg. Funcs").
+    pub fn avg_funcs(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 0.0;
+        }
+        self.ops.iter().map(|o| o.funcs.len()).sum::<usize>() as f64 / self.ops.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opec_analysis::PointsTo;
+    use opec_ir::{ModuleBuilder, Operand, Ty};
+
+    /// PinLock-shaped module: main calls init tasks and the two lock
+    /// tasks; both tasks share a receive helper and the rx buffer.
+    fn pinlock_like() -> Module {
+        let mut mb = ModuleBuilder::new("pinlock");
+        let rx_buf = mb.global("PinRxBuffer", Ty::Array(Box::new(Ty::I8), 16), "uart.c");
+        let key = mb.global("KEY", Ty::Array(Box::new(Ty::I8), 16), "main.c");
+        let lock_state = mb.global("lock_state", Ty::I32, "lock.c");
+        let recv = mb.func("HAL_UART_Receive_IT", vec![], None, "uart.c", |fb| {
+            let p = fb.addr_of_global(rx_buf, 0);
+            fb.store(Operand::Reg(p), Operand::Imm(0x31), 1);
+            fb.ret_void();
+        });
+        let do_unlock = mb.func("do_unlock", vec![], None, "lock.c", |fb| {
+            fb.store_global(lock_state, 0, Operand::Imm(1), 4);
+            fb.ret_void();
+        });
+        let do_lock = mb.func("do_lock", vec![], None, "lock.c", |fb| {
+            fb.store_global(lock_state, 0, Operand::Imm(0), 4);
+            fb.ret_void();
+        });
+        let unlock_task = mb.func("Unlock_Task", vec![], None, "main.c", |fb| {
+            fb.call_void(recv, vec![]);
+            let h = fb.load_global(rx_buf, 0, 1);
+            let k = fb.load_global(key, 0, 1);
+            let eq = fb.bin(opec_ir::BinOp::CmpEq, Operand::Reg(h), Operand::Reg(k));
+            let hit = fb.block();
+            let out = fb.block();
+            fb.cond_br(Operand::Reg(eq), hit, out);
+            fb.switch_to(hit);
+            fb.call_void(do_unlock, vec![]);
+            fb.br(out);
+            fb.switch_to(out);
+            fb.ret_void();
+        });
+        let lock_task = mb.func("Lock_Task", vec![], None, "main.c", |fb| {
+            fb.call_void(recv, vec![]);
+            let c = fb.load_global(rx_buf, 0, 1);
+            let z = fb.bin(opec_ir::BinOp::CmpEq, Operand::Reg(c), Operand::Imm(0x30));
+            let hit = fb.block();
+            let out = fb.block();
+            fb.cond_br(Operand::Reg(z), hit, out);
+            fb.switch_to(hit);
+            fb.call_void(do_lock, vec![]);
+            fb.br(out);
+            fb.switch_to(out);
+            fb.ret_void();
+        });
+        let key_init = mb.func("Key_Init", vec![], None, "main.c", |fb| {
+            fb.store_global(key, 0, Operand::Imm(0x31), 1);
+            fb.ret_void();
+        });
+        mb.func("main", vec![], None, "main.c", |fb| {
+            fb.call_void(key_init, vec![]);
+            fb.call_void(unlock_task, vec![]);
+            fb.call_void(lock_task, vec![]);
+            fb.halt();
+            fb.ret_void();
+        });
+        mb.finish()
+    }
+
+    fn analyse(m: &Module) -> (CallGraph, ResourceAnalysis) {
+        let pt = PointsTo::analyze(m);
+        let cg = CallGraph::build(m, &pt);
+        let ra = ResourceAnalysis::analyze(m, &pt);
+        (cg, ra)
+    }
+
+    #[test]
+    fn main_is_the_default_operation() {
+        let m = pinlock_like();
+        let (cg, ra) = analyse(&m);
+        let p = Partition::build(&m, &cg, &ra, &[]).unwrap();
+        assert_eq!(p.ops.len(), 1);
+        assert_eq!(p.ops[0].id, 0);
+        assert_eq!(p.ops[0].name, "main");
+        // Without other entries, main's operation swallows everything.
+        assert_eq!(p.ops[0].funcs.len(), m.funcs.len());
+    }
+
+    #[test]
+    fn entries_carve_out_operations_with_backtracking() {
+        let m = pinlock_like();
+        let (cg, ra) = analyse(&m);
+        let specs = vec![
+            OperationSpec::plain("Key_Init"),
+            OperationSpec::plain("Unlock_Task"),
+            OperationSpec::plain("Lock_Task"),
+        ];
+        let p = Partition::build(&m, &cg, &ra, &specs).unwrap();
+        assert_eq!(p.ops.len(), 4);
+        let unlock = &p.ops[2];
+        let names: Vec<&str> =
+            unlock.funcs.iter().map(|f| m.func(*f).name.as_str()).collect();
+        assert!(names.contains(&"Unlock_Task"));
+        assert!(names.contains(&"do_unlock"));
+        assert!(names.contains(&"HAL_UART_Receive_IT"));
+        assert!(!names.contains(&"Lock_Task"));
+        assert!(!names.contains(&"main"));
+        // main's operation excludes the carved-out entries but keeps main.
+        let main_op = &p.ops[0];
+        let main_names: Vec<&str> =
+            main_op.funcs.iter().map(|f| m.func(*f).name.as_str()).collect();
+        assert_eq!(main_names, vec!["main"]);
+        // Shared helper appears in both tasks (operations share functions).
+        let lock = &p.ops[3];
+        assert!(lock.funcs.iter().any(|f| m.func(*f).name == "HAL_UART_Receive_IT"));
+    }
+
+    #[test]
+    fn resources_merge_over_members() {
+        let m = pinlock_like();
+        let (cg, ra) = analyse(&m);
+        let specs = vec![OperationSpec::plain("Unlock_Task"), OperationSpec::plain("Lock_Task")];
+        let p = Partition::build(&m, &cg, &ra, &specs).unwrap();
+        let unlock = &p.ops[1];
+        let rx = m.global_by_name("PinRxBuffer").unwrap();
+        let key = m.global_by_name("KEY").unwrap();
+        assert!(unlock.resources.globals().contains(&rx));
+        assert!(unlock.resources.globals().contains(&key));
+        let lock = &p.ops[2];
+        assert!(lock.resources.globals().contains(&rx));
+        // Lock_Task never touches KEY — the basis of the case study.
+        assert!(!lock.resources.globals().contains(&key));
+    }
+
+    #[test]
+    fn ops_using_global_lists_sharers() {
+        let m = pinlock_like();
+        let (cg, ra) = analyse(&m);
+        let specs = vec![OperationSpec::plain("Unlock_Task"), OperationSpec::plain("Lock_Task")];
+        let p = Partition::build(&m, &cg, &ra, &specs).unwrap();
+        let rx = m.global_by_name("PinRxBuffer").unwrap();
+        assert_eq!(p.ops_using_global(rx), vec![1, 2]);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let m = pinlock_like();
+        let (cg, ra) = analyse(&m);
+        assert_eq!(
+            Partition::build(&m, &cg, &ra, &[OperationSpec::plain("ghost")]).unwrap_err(),
+            PartitionError::NoSuchEntry("ghost".into())
+        );
+        assert_eq!(
+            Partition::build(
+                &m,
+                &cg,
+                &ra,
+                &[OperationSpec::plain("Lock_Task"), OperationSpec::plain("Lock_Task")]
+            )
+            .unwrap_err(),
+            PartitionError::DuplicateEntry("Lock_Task".into())
+        );
+    }
+
+    #[test]
+    fn irq_handler_cannot_be_entry() {
+        let mut mb = ModuleBuilder::new("t");
+        let h = mb.declare("SysTick_Handler", vec![], None, "irq.c");
+        mb.define(h, |fb| fb.ret_void());
+        mb.mark_irq_handler(h);
+        mb.func("main", vec![], None, "main.c", |fb| {
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let (cg, ra) = analyse(&m);
+        assert_eq!(
+            Partition::build(&m, &cg, &ra, &[OperationSpec::plain("SysTick_Handler")])
+                .unwrap_err(),
+            PartitionError::IrqEntry("SysTick_Handler".into())
+        );
+    }
+
+    #[test]
+    fn avg_funcs_statistic() {
+        let m = pinlock_like();
+        let (cg, ra) = analyse(&m);
+        let p = Partition::build(&m, &cg, &ra, &[OperationSpec::plain("Unlock_Task")]).unwrap();
+        assert!(p.avg_funcs() > 0.0);
+    }
+}

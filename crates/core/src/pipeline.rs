@@ -1,0 +1,144 @@
+//! The OPEC-Compiler driver: analyses → partition → layout → image.
+//!
+//! Mirrors the paper's Stage I workflow (Figure 5): call-graph
+//! generation (with points-to and type-based icall resolution), resource
+//! dependency analysis, operation partitioning, and program image
+//! generation, emitting the operation policy alongside the image.
+
+use opec_analysis::callgraph::IcallStats;
+use opec_analysis::{CallGraph, PointsTo, ResourceAnalysis};
+use opec_armv7m::Board;
+use opec_ir::{validate, Module};
+use opec_vm::LoadedImage;
+
+use crate::image::{build_image, ImageError};
+use crate::layout::{build_layout, LayoutError, SystemPolicy};
+use crate::partition::{Partition, PartitionError};
+use crate::spec::OperationSpec;
+
+/// Compilation failures.
+#[derive(Debug)]
+pub enum CompileError {
+    /// IR validation failed.
+    Invalid(opec_ir::ValidateError),
+    /// Partitioning failed.
+    Partition(PartitionError),
+    /// Layout failed.
+    Layout(LayoutError),
+    /// Image generation failed.
+    Image(ImageError),
+}
+
+impl core::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CompileError::Invalid(e) => write!(f, "invalid IR: {e}"),
+            CompileError::Partition(e) => write!(f, "partitioning: {e}"),
+            CompileError::Layout(e) => write!(f, "layout: {e}"),
+            CompileError::Image(e) => write!(f, "image: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Analysis facts the evaluation reads out of a compile.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// Icall resolution statistics (Table 3).
+    pub icalls: IcallStats,
+    /// Points-to solving time (Table 3's "Time(s)").
+    pub points_to_time: std::time::Duration,
+    /// Modelled application code bytes.
+    pub app_code_bytes: u32,
+}
+
+/// Everything a compile produces.
+pub struct CompileOutput {
+    /// The linked image (load into a machine, run under a VM).
+    pub image: LoadedImage,
+    /// The policy the monitor enforces.
+    pub policy: SystemPolicy,
+    /// The partition (for the security metrics).
+    pub partition: Partition,
+    /// The per-function resource analysis (kept for the PT/ET metrics).
+    pub resources: ResourceAnalysis,
+    /// The call graph (kept for metrics and inspection).
+    pub callgraph: CallGraph,
+    /// Analysis statistics.
+    pub report: CompileReport,
+}
+
+impl core::fmt::Debug for CompileOutput {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CompileOutput")
+            .field("ops", &self.partition.ops.len())
+            .field("flash_used", &self.image.flash_used)
+            .field("sram_used", &self.image.sram_used)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Compiles `module` with OPEC for `board`, isolating the operations in
+/// `specs` (plus the default `main` operation).
+pub fn compile(
+    module: Module,
+    board: Board,
+    specs: &[OperationSpec],
+) -> Result<CompileOutput, CompileError> {
+    validate(&module).map_err(CompileError::Invalid)?;
+    let pt = PointsTo::analyze(&module);
+    let cg = CallGraph::build(&module, &pt);
+    let ra = ResourceAnalysis::analyze(&module, &pt);
+    let partition =
+        Partition::build(&module, &cg, &ra, specs).map_err(CompileError::Partition)?;
+    let policy = build_layout(&module, &partition, board).map_err(CompileError::Layout)?;
+    let report = CompileReport {
+        icalls: cg.icall_stats(),
+        points_to_time: pt.stats.duration,
+        app_code_bytes: module.total_code_size(),
+    };
+    let image =
+        build_image(module, &partition, &policy, board).map_err(CompileError::Image)?;
+    Ok(CompileOutput { image, policy, partition, resources: ra, callgraph: cg, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opec_ir::{ModuleBuilder, Ty};
+
+    #[test]
+    fn compile_smoke() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("g", Ty::I32, "m.c");
+        let t = mb.func("t", vec![], None, "m.c", |fb| {
+            fb.store_global(g, 0, opec_ir::Operand::Imm(1), 4);
+            fb.ret_void();
+        });
+        mb.func("main", vec![], None, "m.c", |fb| {
+            fb.call_void(t, vec![]);
+            fb.halt();
+            fb.ret_void();
+        });
+        let out = compile(
+            mb.finish(),
+            Board::stm32f4_discovery(),
+            &[OperationSpec::plain("t")],
+        )
+        .unwrap();
+        assert_eq!(out.partition.ops.len(), 2);
+        assert!(out.image.flash_used > 0);
+        assert_eq!(out.report.icalls.total, 0);
+    }
+
+    #[test]
+    fn invalid_ir_is_rejected() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("main", vec![], None, "m.c", |fb| {
+            fb.br(opec_ir::BlockId(42));
+        });
+        let err = compile(mb.finish(), Board::stm32f4_discovery(), &[]).unwrap_err();
+        assert!(matches!(err, CompileError::Invalid(_)));
+    }
+}

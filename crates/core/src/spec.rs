@@ -1,0 +1,108 @@
+//! Developer-provided inputs to OPEC-Compiler.
+//!
+//! The paper's workflow (Figure 5) takes two things from the developer:
+//! the list of operation entry functions and, per entry, the stack
+//! information — "the number of arguments and size of the buffer"
+//! pointed to by pointer-type arguments — which drives the monitor's
+//! stack relocation (Figure 8). Sanitization ranges ride on the globals
+//! themselves (`Global::valid_range`).
+//!
+//! [`ArgInfo::Nested`] implements the deep copy the paper leaves as
+//! future work ("the current prototype of our system cannot handle
+//! nested pointer-type arguments of operation entry functions. In the
+//! future, the deep copy can be leveraged to solve this issue"): the
+//! developer describes the pointer fields inside the pointed-to
+//! object, and the monitor relocates one level of nesting.
+
+/// Stack information for one entry-function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgInfo {
+    /// A plain value; nothing to relocate.
+    Value,
+    /// A pointer to `size` bytes of flat data the operation must reach.
+    Buffer {
+        /// Pointee size in bytes.
+        size: u32,
+    },
+    /// A pointer to a `size`-byte object containing further pointers:
+    /// each `(offset, pointee_size)` names a pointer field inside the
+    /// object and the flat buffer it points at. The monitor
+    /// deep-copies object and nested buffers and fixes the copied
+    /// fields up (one level of nesting — the paper's future-work
+    /// extension).
+    Nested {
+        /// Object size in bytes.
+        size: u32,
+        /// `(field offset, pointee size)` pairs.
+        fields: Vec<(u32, u32)>,
+    },
+}
+
+impl ArgInfo {
+    /// Returns `true` for pointer-type arguments.
+    pub fn is_pointer(&self) -> bool {
+        !matches!(self, ArgInfo::Value)
+    }
+}
+
+/// One operation the developer wants isolated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationSpec {
+    /// Name of the entry function.
+    pub entry: String,
+    /// Per-parameter stack information.
+    pub args: Vec<ArgInfo>,
+}
+
+impl OperationSpec {
+    /// Spec for an entry whose parameters are all plain values.
+    pub fn plain(entry: impl Into<String>) -> OperationSpec {
+        OperationSpec { entry: entry.into(), args: Vec::new() }
+    }
+
+    /// Spec with flat per-parameter pointee sizes: `None` = value,
+    /// `Some(n)` = pointer to `n` bytes.
+    pub fn with_args(
+        entry: impl Into<String>,
+        arg_pointee_sizes: Vec<Option<u32>>,
+    ) -> OperationSpec {
+        OperationSpec {
+            entry: entry.into(),
+            args: arg_pointee_sizes
+                .into_iter()
+                .map(|a| match a {
+                    None => ArgInfo::Value,
+                    Some(size) => ArgInfo::Buffer { size },
+                })
+                .collect(),
+        }
+    }
+
+    /// Spec with full per-parameter stack information, including
+    /// nested pointer descriptions.
+    pub fn with_arg_info(entry: impl Into<String>, args: Vec<ArgInfo>) -> OperationSpec {
+        OperationSpec { entry: entry.into(), args }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let a = OperationSpec::plain("Unlock_Task");
+        assert_eq!(a.entry, "Unlock_Task");
+        assert!(a.args.is_empty());
+        let b = OperationSpec::with_args("foo", vec![None, Some(16)]);
+        assert_eq!(b.args[0], ArgInfo::Value);
+        assert_eq!(b.args[1], ArgInfo::Buffer { size: 16 });
+        assert!(!b.args[0].is_pointer());
+        assert!(b.args[1].is_pointer());
+        let c = OperationSpec::with_arg_info(
+            "bar",
+            vec![ArgInfo::Nested { size: 12, fields: vec![(4, 32)] }],
+        );
+        assert!(c.args[0].is_pointer());
+    }
+}

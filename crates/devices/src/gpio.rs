@@ -1,0 +1,188 @@
+//! GPIO port and user-button models.
+//!
+//! GPIO register map (a thin slice of the STM32 one):
+//!
+//! | Offset | Register | Behaviour |
+//! |--------|----------|-----------|
+//! | 0x00   | `MODER`  | pin mode bits (plain storage) |
+//! | 0x10   | `IDR`    | input data (host-settable pin states) |
+//! | 0x14   | `ODR`    | output data |
+//!
+//! [`Button`] is a host-side convenience wrapping one input pin.
+
+use opec_armv7m::mem::MemRegion;
+use opec_armv7m::MmioDevice;
+
+/// One GPIO port (16 pins).
+pub struct Gpio {
+    name: String,
+    base: u32,
+    moder: u32,
+    idr: u32,
+    odr: u32,
+}
+
+impl Gpio {
+    /// Creates a port at `base`.
+    pub fn new(name: impl Into<String>, base: u32) -> Gpio {
+        Gpio { name: name.into(), base, moder: 0, idr: 0, odr: 0 }
+    }
+
+    /// Host side: drives input pin `pin` to `high`.
+    pub fn set_input(&mut self, pin: u8, high: bool) {
+        if high {
+            self.idr |= 1 << pin;
+        } else {
+            self.idr &= !(1 << pin);
+        }
+    }
+
+    /// Host side: reads output pin `pin`.
+    pub fn output(&self, pin: u8) -> bool {
+        self.odr & (1 << pin) != 0
+    }
+}
+
+impl MmioDevice for Gpio {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn region(&self) -> MemRegion {
+        MemRegion::new(self.base, 0x400)
+    }
+
+    fn read(&mut self, offset: u32, _len: u32) -> u32 {
+        match offset {
+            0x00 => self.moder,
+            0x10 => self.idr,
+            0x14 => self.odr,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u32, _len: u32, value: u32) {
+        match offset {
+            0x00 => self.moder = value,
+            0x14 => self.odr = value,
+            _ => {}
+        }
+    }
+}
+
+/// A debounced user button on one GPIO pin, scripted from the host.
+///
+/// The Camera workload waits for a press; tests schedule one with
+/// [`Button::press_after`].
+pub struct Button {
+    gpio_base: u32,
+    pin: u8,
+    press_at: Option<u64>,
+    elapsed: u64,
+    pressed: bool,
+}
+
+impl Button {
+    /// Creates a button on `pin` of the GPIO port at `gpio_base`.
+    /// The button device itself owns a small window above the port for
+    /// its latch register at offset 0: reads return 1 once pressed.
+    pub fn new(gpio_base: u32, pin: u8) -> Button {
+        Button { gpio_base, pin, press_at: None, elapsed: 0, pressed: false }
+    }
+
+    /// Schedules a press after `cycles` machine cycles.
+    pub fn press_after(&mut self, cycles: u64) {
+        self.press_at = Some(cycles);
+    }
+
+    /// Presses the button immediately.
+    pub fn press_now(&mut self) {
+        self.pressed = true;
+    }
+}
+
+impl MmioDevice for Button {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn name(&self) -> &str {
+        "BUTTON"
+    }
+
+    fn region(&self) -> MemRegion {
+        // The latch register lives in the EXTI-adjacent window.
+        MemRegion::new(self.gpio_base, 0x20)
+    }
+
+    fn read(&mut self, offset: u32, _len: u32) -> u32 {
+        match offset {
+            0x00 => u32::from(self.pressed),
+            0x04 => u32::from(self.pin),
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u32, _len: u32, value: u32) {
+        // Writing 1 to the latch clears it (write-one-to-clear).
+        if offset == 0x00 && value == 1 {
+            self.pressed = false;
+        }
+    }
+
+    fn tick(&mut self, cycles: u64) {
+        self.elapsed += cycles;
+        if let Some(at) = self.press_at {
+            if self.elapsed >= at {
+                self.pressed = true;
+                self.press_at = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpio_input_output() {
+        let mut g = Gpio::new("GPIOA", 0x4002_0000);
+        g.set_input(3, true);
+        assert_eq!(g.read(0x10, 4), 1 << 3);
+        g.write(0x14, 4, 1 << 5);
+        assert!(g.output(5));
+        assert!(!g.output(4));
+    }
+
+    #[test]
+    fn gpio_moder_is_storage() {
+        let mut g = Gpio::new("GPIOA", 0x4002_0000);
+        g.write(0x00, 4, 0x5555);
+        assert_eq!(g.read(0x00, 4), 0x5555);
+    }
+
+    #[test]
+    fn button_press_after_delay() {
+        let mut b = Button::new(0x4001_3C00, 0);
+        b.press_after(100);
+        assert_eq!(b.read(0x00, 4), 0);
+        b.tick(50);
+        assert_eq!(b.read(0x00, 4), 0);
+        b.tick(60);
+        assert_eq!(b.read(0x00, 4), 1);
+        // Write-one-to-clear.
+        b.write(0x00, 4, 1);
+        assert_eq!(b.read(0x00, 4), 0);
+    }
+
+    #[test]
+    fn button_immediate_press() {
+        let mut b = Button::new(0x4001_3C00, 13);
+        b.press_now();
+        assert_eq!(b.read(0x00, 4), 1);
+        assert_eq!(b.read(0x04, 4), 13);
+    }
+}

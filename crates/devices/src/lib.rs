@@ -1,0 +1,36 @@
+//! Peripheral device models for the OPEC evaluation boards.
+//!
+//! The paper's workloads exercise a UART (PinLock), an SD card over SDIO
+//! (Animation, FatFs-uSD, LCD-uSD), an LCD controller (Animation,
+//! LCD-uSD), an Ethernet MAC (TCP-Echo), a DCMI camera and USB
+//! mass-storage disk (Camera), buttons/GPIO, and the core peripherals on
+//! the PPB (SysTick, DWT, NVIC, SCB, MPU). This crate provides
+//! register-level models of each, implementing
+//! [`opec_armv7m::MmioDevice`], plus [`map`] — the "datasheet" address
+//! list OPEC-Compiler matches constant addresses against.
+//!
+//! Register interfaces are deliberately simple (status/data/control
+//! ports) but behave like real hardware in the ways the isolation layer
+//! cares about: every access is memory-mapped, devices sit in the
+//! Peripheral address region, and firmware must poll status flags and
+//! move data through data ports one word at a time.
+
+#![warn(missing_docs)]
+
+pub mod camera;
+pub mod display;
+pub mod gpio;
+pub mod map;
+pub mod misc;
+pub mod net;
+pub mod storage;
+pub mod uart;
+
+pub use camera::Dcmi;
+pub use display::Lcd;
+pub use gpio::{Button, Gpio};
+pub use map::{datasheet, install_standard_devices, DeviceConfig, PeripheralInfo};
+pub use misc::{Dma, Rcc, RegFile, Timer};
+pub use net::EthMac;
+pub use storage::{BlockDevice, SdCard, UsbMsc};
+pub use uart::Uart;

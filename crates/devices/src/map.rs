@@ -1,0 +1,252 @@
+//! The "datasheet": peripheral address windows for the simulated SoC,
+//! and a helper that installs the standard device set into a machine.
+//!
+//! OPEC-Compiler identifies peripheral accesses by comparing constant
+//! addresses against this list (paper Section 4.2: "We obtain the
+//! addresses of peripherals from the SoC datasheet"). The layout follows
+//! the STM32F4 family: APB/AHB windows of 0x400 bytes, AHB2 devices for
+//! USB and DCMI, and core peripherals on the PPB.
+
+use opec_armv7m::Machine;
+
+use crate::camera::Dcmi;
+use crate::display::Lcd;
+use crate::gpio::{Button, Gpio};
+use crate::misc::{Dma, Rcc, RegFile, Timer};
+use crate::net::EthMac;
+use crate::storage::{SdCard, UsbMsc};
+use crate::uart::Uart;
+
+/// One datasheet row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeripheralInfo {
+    /// Peripheral name.
+    pub name: &'static str,
+    /// Window base address.
+    pub base: u32,
+    /// Window size in bytes.
+    pub size: u32,
+    /// Core peripherals live on the PPB (privileged access only).
+    pub is_core: bool,
+}
+
+/// Well-known base addresses.
+pub mod bases {
+    /// TIM2 general-purpose timer.
+    pub const TIM2: u32 = 0x4000_0000;
+    /// TIM3 general-purpose timer.
+    pub const TIM3: u32 = 0x4000_0400;
+    /// USART2 (PinLock's console).
+    pub const USART2: u32 = 0x4000_4400;
+    /// Power control.
+    pub const PWR: u32 = 0x4000_7000;
+    /// USART1.
+    pub const USART1: u32 = 0x4001_1000;
+    /// SDIO (SD card controller).
+    pub const SDIO: u32 = 0x4001_2C00;
+    /// EXTI (and the user-button latch in our model).
+    pub const EXTI: u32 = 0x4001_3C00;
+    /// LCD controller.
+    pub const LCD: u32 = 0x4001_6800;
+    /// GPIO port A.
+    pub const GPIOA: u32 = 0x4002_0000;
+    /// GPIO port B.
+    pub const GPIOB: u32 = 0x4002_0400;
+    /// GPIO port C.
+    pub const GPIOC: u32 = 0x4002_0800;
+    /// GPIO port D.
+    pub const GPIOD: u32 = 0x4002_0C00;
+    /// Reset and clock control.
+    pub const RCC: u32 = 0x4002_3800;
+    /// DMA1 controller.
+    pub const DMA1: u32 = 0x4002_6000;
+    /// DMA2 controller.
+    pub const DMA2: u32 = 0x4002_6400;
+    /// Ethernet MAC.
+    pub const ETH: u32 = 0x4002_8000;
+    /// USB OTG FS (mass storage in our model).
+    pub const USB: u32 = 0x5000_0000;
+    /// DCMI camera interface.
+    pub const DCMI: u32 = 0x5005_0000;
+    /// DWT (core).
+    pub const DWT: u32 = 0xE000_1000;
+    /// SysTick (core).
+    pub const SYSTICK: u32 = 0xE000_E010;
+    /// NVIC (core).
+    pub const NVIC: u32 = 0xE000_E100;
+    /// System control block (core).
+    pub const SCB: u32 = 0xE000_ED00;
+    /// MPU register window (core).
+    pub const MPU: u32 = 0xE000_ED90;
+}
+
+/// The full datasheet table.
+pub fn datasheet() -> Vec<PeripheralInfo> {
+    use bases::*;
+    vec![
+        PeripheralInfo { name: "TIM2", base: TIM2, size: 0x400, is_core: false },
+        PeripheralInfo { name: "TIM3", base: TIM3, size: 0x400, is_core: false },
+        PeripheralInfo { name: "USART2", base: USART2, size: 0x400, is_core: false },
+        PeripheralInfo { name: "PWR", base: PWR, size: 0x400, is_core: false },
+        PeripheralInfo { name: "USART1", base: USART1, size: 0x400, is_core: false },
+        PeripheralInfo { name: "SDIO", base: SDIO, size: 0x400, is_core: false },
+        PeripheralInfo { name: "EXTI", base: EXTI, size: 0x400, is_core: false },
+        PeripheralInfo { name: "LCD", base: LCD, size: 0x400, is_core: false },
+        PeripheralInfo { name: "GPIOA", base: GPIOA, size: 0x400, is_core: false },
+        PeripheralInfo { name: "GPIOB", base: GPIOB, size: 0x400, is_core: false },
+        PeripheralInfo { name: "GPIOC", base: GPIOC, size: 0x400, is_core: false },
+        PeripheralInfo { name: "GPIOD", base: GPIOD, size: 0x400, is_core: false },
+        PeripheralInfo { name: "RCC", base: RCC, size: 0x400, is_core: false },
+        PeripheralInfo { name: "DMA1", base: DMA1, size: 0x400, is_core: false },
+        PeripheralInfo { name: "DMA2", base: DMA2, size: 0x400, is_core: false },
+        PeripheralInfo { name: "ETH", base: ETH, size: 0x400, is_core: false },
+        PeripheralInfo { name: "USB", base: USB, size: 0x400, is_core: false },
+        PeripheralInfo { name: "DCMI", base: DCMI, size: 0x400, is_core: false },
+        PeripheralInfo { name: "DWT", base: DWT, size: 0x1000, is_core: true },
+        PeripheralInfo { name: "SYSTICK", base: SYSTICK, size: 0x10, is_core: true },
+        PeripheralInfo { name: "NVIC", base: NVIC, size: 0x300, is_core: true },
+        PeripheralInfo { name: "SCB", base: SCB, size: 0x90, is_core: true },
+        PeripheralInfo { name: "MPU", base: MPU, size: 0x20, is_core: true },
+    ]
+}
+
+/// Standard device-set parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceConfig {
+    /// SD card capacity in 512-byte blocks.
+    pub sd_blocks: u32,
+    /// USB disk capacity in blocks.
+    pub usb_blocks: u32,
+    /// LCD panel width.
+    pub lcd_width: u32,
+    /// LCD panel height.
+    pub lcd_height: u32,
+    /// Camera frame size in bytes.
+    pub camera_frame_bytes: u32,
+    /// UART byte pacing in machine cycles (wire time per byte).
+    pub uart_byte_delay: u64,
+    /// SD card busy period per block command.
+    pub sd_busy_cycles: u64,
+    /// USB disk busy period per block command.
+    pub usb_busy_cycles: u64,
+    /// Ethernet inter-frame arrival gap.
+    pub eth_frame_gap: u64,
+    /// Camera exposure/transfer delay per capture.
+    pub dcmi_capture_delay: u64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> DeviceConfig {
+        DeviceConfig {
+            sd_blocks: 1024,
+            usb_blocks: 256,
+            lcd_width: 64,
+            lcd_height: 48,
+            camera_frame_bytes: 1024,
+            // Timing defaults approximate real interface speeds on a
+            // 168 MHz part: ~100 kbaud UART, sub-millisecond block
+            // commands, sub-millisecond packet pacing. They make the
+            // workloads I/O-bound, as the paper observes its apps are.
+            uart_byte_delay: 12_000,
+            sd_busy_cycles: 100_000,
+            usb_busy_cycles: 100_000,
+            eth_frame_gap: 100_000,
+            dcmi_capture_delay: 200_000,
+        }
+    }
+}
+
+/// Installs the full standard device set (UARTs, SD card, LCD, Ethernet,
+/// camera, USB disk, button, GPIO ports, RCC, DMA, timers) into a
+/// machine. Devices are later retrieved by name through
+/// [`Machine::device_mut`].
+pub fn install_standard_devices(machine: &mut Machine, cfg: DeviceConfig) -> Result<(), String> {
+    use bases::*;
+    machine.add_device(Box::new(Timer::new("TIM2", TIM2)))?;
+    machine.add_device(Box::new(Timer::new("TIM3", TIM3)))?;
+    machine.add_device(Box::new(
+        Uart::new("USART2", USART2).with_byte_delay(cfg.uart_byte_delay),
+    ))?;
+    machine.add_device(Box::new(
+        Uart::new("USART1", USART1).with_byte_delay(cfg.uart_byte_delay),
+    ))?;
+    machine.add_device(Box::new(
+        SdCard::new(SDIO, cfg.sd_blocks).with_busy_cycles(cfg.sd_busy_cycles),
+    ))?;
+    machine.add_device(Box::new(Button::new(EXTI, 0)))?;
+    machine.add_device(Box::new(Lcd::new(LCD, cfg.lcd_width, cfg.lcd_height)))?;
+    machine.add_device(Box::new(Gpio::new("GPIOA", GPIOA)))?;
+    machine.add_device(Box::new(Gpio::new("GPIOB", GPIOB)))?;
+    machine.add_device(Box::new(Gpio::new("GPIOC", GPIOC)))?;
+    machine.add_device(Box::new(Gpio::new("GPIOD", GPIOD)))?;
+    machine.add_device(Box::new(RegFile::new("PWR", PWR)))?;
+    machine.add_device(Box::new(Rcc::new(RCC)))?;
+    machine.add_device(Box::new(Dma::new("DMA1", DMA1)))?;
+    machine.add_device(Box::new(Dma::new("DMA2", DMA2)))?;
+    machine.add_device(Box::new(EthMac::new(ETH).with_frame_gap(cfg.eth_frame_gap)))?;
+    machine.add_device(Box::new(
+        UsbMsc::new(USB, cfg.usb_blocks).with_busy_cycles(cfg.usb_busy_cycles),
+    ))?;
+    machine.add_device(Box::new(
+        Dcmi::new(DCMI, cfg.camera_frame_bytes).with_capture_delay(cfg.dcmi_capture_delay),
+    ))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opec_armv7m::{Board, Mode};
+
+    #[test]
+    fn datasheet_windows_do_not_overlap() {
+        let list = datasheet();
+        for (i, a) in list.iter().enumerate() {
+            for b in &list[i + 1..] {
+                let disjoint = a.base + a.size <= b.base || b.base + b.size <= a.base;
+                assert!(disjoint, "{} overlaps {}", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn core_flag_matches_ppb_addresses() {
+        for p in datasheet() {
+            assert_eq!(
+                p.is_core,
+                p.base >= 0xE000_0000,
+                "{} core flag inconsistent with its address",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn standard_devices_install_cleanly() {
+        let mut m = Machine::new(Board::stm32479i_eval());
+        install_standard_devices(&mut m, DeviceConfig::default()).unwrap();
+        // A couple of spot checks through the bus.
+        assert!(m.load(bases::USART2, 4, Mode::Privileged).is_ok());
+        assert!(m.load(bases::SDIO + 0x0C, 4, Mode::Privileged).is_ok());
+        assert!(m.load(bases::LCD, 4, Mode::Privileged).is_ok());
+        assert!(m.device_mut("DCMI").is_some());
+        assert!(m.device_mut("NOPE").is_none());
+    }
+
+    #[test]
+    fn uart_reachable_through_machine_bus() {
+        let mut m = Machine::new(Board::stm32f4_discovery());
+        install_standard_devices(&mut m, DeviceConfig::default()).unwrap();
+        // Feed a byte host-side, then read DR through the bus.
+        {
+            let dev = m.device_mut("USART2").unwrap();
+            // Downcast via the register interface: feed using write is
+            // not possible, so use the typed handle instead.
+            let _ = dev;
+        }
+        // Drive through registers directly: DR write then take_tx is
+        // device-internal; here we only verify SR reads as TXE.
+        let sr = m.load(bases::USART2, 4, Mode::Privileged).unwrap();
+        assert_eq!(sr & crate::uart::SR_TXE, crate::uart::SR_TXE);
+    }
+}

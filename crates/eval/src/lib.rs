@@ -1,0 +1,30 @@
+//! The evaluation harness: regenerates every table and figure of the
+//! paper's Section 6.
+//!
+//! * [`runs`] — builds and executes each application three ways
+//!   (vanilla baseline, OPEC, ACES under the three strategies) and
+//!   collects cycles, image footprints, traces, and analysis artifacts;
+//! * [`metrics`] — the paper's two new metrics: partition-time
+//!   over-privilege (PT, Equation 1) and execution-time over-privilege
+//!   (ET, Equation 2), plus the Table 1 security metrics;
+//! * [`report`] — renderers for Table 1, Figure 9, Table 2, Figure 10,
+//!   Figure 11, and Table 3, as aligned text tables and CSV series;
+//! * [`table`] — a small text-table formatter.
+//!
+//! The `opec-eval` binary drives everything:
+//!
+//! ```text
+//! opec-eval all           # every table and figure
+//! opec-eval table1 | figure9 | table2 | figure10 | figure11 | table3
+//! opec-eval case-study    # the §6.1 PinLock attack demonstration
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+pub mod runs;
+pub mod table;
+
+pub use metrics::{et_by_task, pt_of_compartments, table1_row, EtSeries, Table1Row};
+pub use runs::{evaluate_app, evaluate_many, AcesRun, AppEval, OpecRun};

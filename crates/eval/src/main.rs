@@ -1,0 +1,79 @@
+//! `opec-eval`: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! opec-eval all          # everything (Tables 1–3, Figures 9–11, case study)
+//! opec-eval table1       # security metrics
+//! opec-eval figure9      # OPEC overheads
+//! opec-eval table2       # OPEC vs ACES overheads + PAC
+//! opec-eval figure10     # PT cumulative distributions
+//! opec-eval figure11     # ET per task
+//! opec-eval table3       # icall analysis efficiency
+//! opec-eval case-study   # the §6.1 PinLock attack demonstration
+//! opec-eval csv [DIR]    # write every table/figure as CSV (default: results/)
+//! ```
+
+use opec_eval::report;
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match cmd.as_str() {
+        "table1" => {
+            let evals = report::run_all_apps();
+            println!("{}", report::table1(&evals));
+        }
+        "figure9" => {
+            let evals = report::run_all_apps();
+            println!("{}", report::figure9(&evals));
+        }
+        "table2" => {
+            let evals = report::run_comparison_apps();
+            println!("{}", report::table2(&evals));
+        }
+        "figure10" => {
+            let evals = report::run_comparison_apps();
+            println!("{}", report::figure10(&evals));
+        }
+        "figure11" => {
+            let evals = report::run_comparison_apps();
+            println!("{}", report::figure11(&evals));
+        }
+        "table3" => {
+            let evals = report::run_all_apps();
+            println!("{}", report::table3(&evals));
+        }
+        "case-study" => {
+            println!("{}", report::case_study());
+        }
+        "csv" => {
+            let dir = std::env::args().nth(2).unwrap_or_else(|| "results".to_string());
+            eprintln!("[opec-eval] running all workloads for CSV export...");
+            let evals = report::run_all_apps();
+            let cmp = report::run_comparison_apps();
+            let written = report::write_csv(std::path::Path::new(&dir), &evals, &cmp)
+                .expect("write CSV files");
+            for p in written {
+                println!("wrote {}", p.display());
+            }
+        }
+        "all" => {
+            eprintln!("[opec-eval] building and running all workloads (baseline + OPEC)...");
+            let evals = report::run_all_apps();
+            println!("{}", report::table1(&evals));
+            println!("{}", report::figure9(&evals));
+            println!("{}", report::table3(&evals));
+            eprintln!("[opec-eval] running the ACES comparison (3 strategies x 5 apps)...");
+            let cmp = report::run_comparison_apps();
+            println!("{}", report::table2(&cmp));
+            println!("{}", report::figure10(&cmp));
+            println!("{}", report::figure11(&cmp));
+            println!("{}", report::case_study());
+        }
+        other => {
+            eprintln!(
+                "unknown command {other}; expected one of: all table1 figure9 \
+                 table2 figure10 figure11 table3 case-study csv"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Ergonomic builders for IR modules and functions.
+//!
+//! The seven evaluation workloads comprise hundreds of functions, so the
+//! builder favours terseness: emitters return fresh registers, blocks are
+//! created and targeted explicitly, and functions may be declared first
+//! and defined later (needed for mutual recursion and for call sites that
+//! reference functions defined further down).
+
+use crate::module::{
+    BinOp, Block, BlockId, FuncId, Function, Global, GlobalId, Inst, Local, LocalId, Module,
+    Operand, Param, PeripheralDef, RegId, SigId, Terminator, UnOp,
+};
+use crate::types::{SigKey, StructDef, StructId, Ty};
+
+/// Builds a [`Module`].
+pub struct ModuleBuilder {
+    module: Module,
+    defined: Vec<bool>,
+}
+
+impl ModuleBuilder {
+    /// Creates a builder for a module called `name`.
+    pub fn new(name: impl Into<String>) -> ModuleBuilder {
+        ModuleBuilder { module: Module::new(name), defined: Vec::new() }
+    }
+
+    /// Adds a struct definition.
+    pub fn add_struct(&mut self, name: impl Into<String>, fields: Vec<Ty>) -> StructId {
+        self.module.types.add_struct(StructDef { name: name.into(), fields })
+    }
+
+    /// Adds a zero-initialised mutable global.
+    pub fn global(&mut self, name: impl Into<String>, ty: Ty, source_file: &str) -> GlobalId {
+        self.add_global(name, ty, Vec::new(), false, source_file, None)
+    }
+
+    /// Adds a mutable global with explicit initial bytes.
+    pub fn global_init(
+        &mut self,
+        name: impl Into<String>,
+        ty: Ty,
+        init: Vec<u8>,
+        source_file: &str,
+    ) -> GlobalId {
+        self.add_global(name, ty, init, false, source_file, None)
+    }
+
+    /// Adds a constant (Flash-resident) global.
+    pub fn const_global(
+        &mut self,
+        name: impl Into<String>,
+        ty: Ty,
+        init: Vec<u8>,
+        source_file: &str,
+    ) -> GlobalId {
+        self.add_global(name, ty, init, true, source_file, None)
+    }
+
+    /// Adds a mutable global with a developer-provided sanitization range.
+    pub fn sanitized_global(
+        &mut self,
+        name: impl Into<String>,
+        ty: Ty,
+        source_file: &str,
+        range: (u32, u32),
+    ) -> GlobalId {
+        self.add_global(name, ty, Vec::new(), false, source_file, Some(range))
+    }
+
+    fn add_global(
+        &mut self,
+        name: impl Into<String>,
+        ty: Ty,
+        init: Vec<u8>,
+        is_const: bool,
+        source_file: &str,
+        valid_range: Option<(u32, u32)>,
+    ) -> GlobalId {
+        let id = GlobalId(self.module.globals.len() as u32);
+        self.module.globals.push(Global {
+            name: name.into(),
+            ty,
+            init,
+            is_const,
+            source_file: source_file.into(),
+            valid_range,
+        });
+        id
+    }
+
+    /// Registers a datasheet peripheral window.
+    pub fn peripheral(
+        &mut self,
+        name: impl Into<String>,
+        base: u32,
+        size: u32,
+        is_core: bool,
+    ) -> &mut ModuleBuilder {
+        self.module.peripherals.push(PeripheralDef { name: name.into(), base, size, is_core });
+        self
+    }
+
+    /// Declares a function signature without a body; define it later with
+    /// [`ModuleBuilder::define`].
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<(&str, Ty)>,
+        ret: Option<Ty>,
+        source_file: &str,
+    ) -> FuncId {
+        let id = FuncId(self.module.funcs.len() as u32);
+        self.module.funcs.push(Function {
+            name: name.into(),
+            params: params
+                .into_iter()
+                .map(|(n, ty)| Param { name: n.to_string(), ty })
+                .collect(),
+            ret,
+            locals: Vec::new(),
+            num_regs: 0,
+            blocks: Vec::new(),
+            source_file: source_file.into(),
+            is_irq_handler: false,
+        });
+        self.defined.push(false);
+        id
+    }
+
+    /// Marks a declared function as an interrupt handler.
+    pub fn mark_irq_handler(&mut self, id: FuncId) {
+        self.module.funcs[id.0 as usize].is_irq_handler = true;
+    }
+
+    /// Defines the body of a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function is already defined.
+    pub fn define(&mut self, id: FuncId, build: impl FnOnce(&mut FunctionBuilder<'_>)) {
+        assert!(
+            !self.defined[id.0 as usize],
+            "function {} defined twice",
+            self.module.funcs[id.0 as usize].name
+        );
+        let mut func = self.module.funcs[id.0 as usize].clone();
+        func.num_regs = func.params.len() as u32;
+        func.blocks.push(Block { insts: Vec::new(), term: Terminator::Unreachable });
+        let mut fb = FunctionBuilder { module: &mut self.module, func, cur: BlockId(0) };
+        build(&mut fb);
+        let func = fb.func;
+        self.module.funcs[id.0 as usize] = func;
+        self.defined[id.0 as usize] = true;
+    }
+
+    /// Declares and defines a function in one step.
+    pub fn func(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<(&str, Ty)>,
+        ret: Option<Ty>,
+        source_file: &str,
+        build: impl FnOnce(&mut FunctionBuilder<'_>),
+    ) -> FuncId {
+        let id = self.declare(name, params, ret, source_file);
+        self.define(id, build);
+        id
+    }
+
+    /// Interns a signature key on the module.
+    pub fn sig(&mut self, key: SigKey) -> SigId {
+        self.module.intern_sig(key)
+    }
+
+    /// Interns the signature of a declared function.
+    pub fn sig_of(&mut self, func: FuncId) -> SigId {
+        let key = self.module.funcs[func.0 as usize].sig_key(&self.module.types);
+        self.module.intern_sig(key)
+    }
+
+    /// Read access to the module under construction.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Finishes the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any declared function lacks a definition.
+    pub fn finish(self) -> Module {
+        for (i, defined) in self.defined.iter().enumerate() {
+            assert!(*defined, "function {} declared but never defined", self.module.funcs[i].name);
+        }
+        self.module
+    }
+}
+
+/// Builds one function's body.
+pub struct FunctionBuilder<'m> {
+    module: &'m mut Module,
+    func: Function,
+    cur: BlockId,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    /// Allocates a fresh virtual register.
+    pub fn reg(&mut self) -> RegId {
+        let r = RegId(self.func.num_regs);
+        self.func.num_regs += 1;
+        r
+    }
+
+    /// The register holding parameter `i` at entry.
+    pub fn param(&self, i: usize) -> RegId {
+        assert!(i < self.func.params.len(), "parameter index {i} out of range");
+        RegId(i as u32)
+    }
+
+    /// Declares a stack local of type `ty`.
+    pub fn local(&mut self, name: impl Into<String>, ty: Ty) -> LocalId {
+        let id = LocalId(self.func.locals.len() as u32);
+        self.func.locals.push(Local { name: name.into(), ty });
+        id
+    }
+
+    /// Creates a new (empty, unterminated) block.
+    pub fn block(&mut self) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block { insts: Vec::new(), term: Terminator::Unreachable });
+        id
+    }
+
+    /// Redirects emission to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    /// The block currently being emitted into.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.func.blocks[self.cur.0 as usize].insts.push(inst);
+    }
+
+    fn set_term(&mut self, term: Terminator) {
+        self.func.blocks[self.cur.0 as usize].term = term;
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: RegId, src: Operand) {
+        self.emit(Inst::Mov { dst, src });
+    }
+
+    /// Fresh register holding the immediate `v`.
+    pub fn imm(&mut self, v: u32) -> RegId {
+        let r = self.reg();
+        self.emit(Inst::Mov { dst: r, src: Operand::Imm(v) });
+        r
+    }
+
+    /// `fresh = lhs op rhs`.
+    pub fn bin(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> RegId {
+        let dst = self.reg();
+        self.emit(Inst::Bin { dst, op, lhs, rhs });
+        dst
+    }
+
+    /// `fresh = op src`.
+    pub fn un(&mut self, op: UnOp, src: Operand) -> RegId {
+        let dst = self.reg();
+        self.emit(Inst::Un { dst, op, src });
+        dst
+    }
+
+    /// `fresh = &global + offset`.
+    pub fn addr_of_global(&mut self, global: GlobalId, offset: u32) -> RegId {
+        let dst = self.reg();
+        self.emit(Inst::AddrOfGlobal { dst, global, offset });
+        dst
+    }
+
+    /// `fresh = &local + offset`.
+    pub fn addr_of_local(&mut self, local: LocalId, offset: u32) -> RegId {
+        let dst = self.reg();
+        self.emit(Inst::AddrOfLocal { dst, local, offset });
+        dst
+    }
+
+    /// `fresh = &func`.
+    pub fn addr_of_func(&mut self, func: FuncId) -> RegId {
+        let dst = self.reg();
+        self.emit(Inst::AddrOfFunc { dst, func });
+        dst
+    }
+
+    /// Direct global load into a fresh register.
+    pub fn load_global(&mut self, global: GlobalId, offset: u32, size: u8) -> RegId {
+        let dst = self.reg();
+        self.emit(Inst::LoadGlobal { dst, global, offset, size });
+        dst
+    }
+
+    /// Direct global store.
+    pub fn store_global(&mut self, global: GlobalId, offset: u32, value: Operand, size: u8) {
+        self.emit(Inst::StoreGlobal { global, offset, value, size });
+    }
+
+    /// Indirect load through a pointer into a fresh register.
+    pub fn load(&mut self, addr: Operand, size: u8) -> RegId {
+        let dst = self.reg();
+        self.emit(Inst::Load { dst, addr, size });
+        dst
+    }
+
+    /// Indirect store through a pointer.
+    pub fn store(&mut self, addr: Operand, value: Operand, size: u8) {
+        self.emit(Inst::Store { addr, value, size });
+    }
+
+    /// Peripheral register read: materialises the constant address (so
+    /// backward slicing can find it) and loads through it.
+    pub fn mmio_read(&mut self, addr: u32, size: u8) -> RegId {
+        let a = self.imm(addr);
+        self.load(Operand::Reg(a), size)
+    }
+
+    /// Peripheral register write through a materialised constant address.
+    pub fn mmio_write(&mut self, addr: u32, value: Operand, size: u8) {
+        let a = self.imm(addr);
+        self.store(Operand::Reg(a), value, size);
+    }
+
+    /// Direct call with a result.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Operand>) -> RegId {
+        let dst = self.reg();
+        self.emit(Inst::Call { dst: Some(dst), callee, args });
+        dst
+    }
+
+    /// Direct call without a result.
+    pub fn call_void(&mut self, callee: FuncId, args: Vec<Operand>) {
+        self.emit(Inst::Call { dst: None, callee, args });
+    }
+
+    /// Indirect call with a result.
+    pub fn icall(&mut self, fptr: Operand, sig: SigId, args: Vec<Operand>) -> RegId {
+        let dst = self.reg();
+        self.emit(Inst::CallIndirect { dst: Some(dst), fptr, sig, args });
+        dst
+    }
+
+    /// Indirect call without a result.
+    pub fn icall_void(&mut self, fptr: Operand, sig: SigId, args: Vec<Operand>) {
+        self.emit(Inst::CallIndirect { dst: None, fptr, sig, args });
+    }
+
+    /// `memcpy(dst, src, len)`.
+    pub fn memcpy(&mut self, dst: Operand, src: Operand, len: Operand) {
+        self.emit(Inst::Memcpy { dst, src, len });
+    }
+
+    /// `memset(dst, val, len)`.
+    pub fn memset(&mut self, dst: Operand, val: Operand, len: Operand) {
+        self.emit(Inst::Memset { dst, val, len });
+    }
+
+    /// Raw supervisor call.
+    pub fn svc(&mut self, imm: u8) {
+        self.emit(Inst::Svc { imm });
+    }
+
+    /// Stops the simulation (profiling stop point).
+    pub fn halt(&mut self) {
+        self.emit(Inst::Halt);
+    }
+
+    /// No-op (padding; also handy in generated code).
+    pub fn nop(&mut self) {
+        self.emit(Inst::Nop);
+    }
+
+    /// Terminates the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.set_term(Terminator::Br(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: Operand, then_to: BlockId, else_to: BlockId) {
+        self.set_term(Terminator::CondBr { cond, then_to, else_to });
+    }
+
+    /// Terminates the current block with `ret value`.
+    pub fn ret(&mut self, value: Operand) {
+        self.set_term(Terminator::Ret(Some(value)));
+    }
+
+    /// Terminates the current block with a void return.
+    pub fn ret_void(&mut self) {
+        self.set_term(Terminator::Ret(None));
+    }
+
+    /// Interns a signature key via the module.
+    pub fn sig(&mut self, key: SigKey) -> SigId {
+        self.module.intern_sig(key)
+    }
+
+    /// Read access to the enclosing module (globals/functions declared so
+    /// far).
+    pub fn module(&self) -> &Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn build_simple_add_function() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.func(
+            "add",
+            vec![("a", Ty::I32), ("b", Ty::I32)],
+            Some(Ty::I32),
+            "math.c",
+            |fb| {
+                let s = fb.bin(
+                    BinOp::Add,
+                    Operand::Reg(fb.param(0)),
+                    Operand::Reg(fb.param(1)),
+                );
+                fb.ret(Operand::Reg(s));
+            },
+        );
+        let m = mb.finish();
+        assert_eq!(m.func(f).name, "add");
+        assert_eq!(m.func(f).num_regs, 3);
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn declare_then_define_supports_forward_calls() {
+        let mut mb = ModuleBuilder::new("t");
+        let callee = mb.declare("callee", vec![], None, "a.c");
+        let caller = mb.func("caller", vec![], None, "a.c", |fb| {
+            fb.call_void(callee, vec![]);
+            fb.ret_void();
+        });
+        mb.define(callee, |fb| fb.ret_void());
+        let m = mb.finish();
+        validate(&m).unwrap();
+        assert!(matches!(
+            m.func(caller).blocks[0].insts[0],
+            Inst::Call { callee: c, .. } if c == callee
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "declared but never defined")]
+    fn finish_panics_on_missing_definition() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.declare("ghost", vec![], None, "a.c");
+        mb.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn double_definition_panics() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.declare("f", vec![], None, "a.c");
+        mb.define(f, |fb| fb.ret_void());
+        mb.define(f, |fb| fb.ret_void());
+    }
+
+    #[test]
+    fn blocks_and_branches() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("loops", vec![("n", Ty::I32)], Some(Ty::I32), "a.c", |fb| {
+            let acc = fb.reg();
+            let i = fb.reg();
+            fb.mov(acc, Operand::Imm(0));
+            fb.mov(i, Operand::Imm(0));
+            let head = fb.block();
+            let body = fb.block();
+            let exit = fb.block();
+            fb.br(head);
+            fb.switch_to(head);
+            let c = fb.bin(BinOp::CmpLtU, Operand::Reg(i), Operand::Reg(fb.param(0)));
+            fb.cond_br(Operand::Reg(c), body, exit);
+            fb.switch_to(body);
+            let a2 = fb.bin(BinOp::Add, Operand::Reg(acc), Operand::Reg(i));
+            fb.mov(acc, Operand::Reg(a2));
+            let i2 = fb.bin(BinOp::Add, Operand::Reg(i), Operand::Imm(1));
+            fb.mov(i, Operand::Reg(i2));
+            fb.br(head);
+            fb.switch_to(exit);
+            fb.ret(Operand::Reg(acc));
+        });
+        validate(&mb.finish()).unwrap();
+    }
+
+    #[test]
+    fn mmio_helpers_materialise_constants() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.func("touch", vec![], None, "drv.c", |fb| {
+            let v = fb.mmio_read(0x4000_4400, 4);
+            fb.mmio_write(0x4000_4404, Operand::Reg(v), 4);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let insts = &m.func(f).blocks[0].insts;
+        assert!(matches!(insts[0], Inst::Mov { src: Operand::Imm(0x4000_4400), .. }));
+        assert!(matches!(insts[1], Inst::Load { .. }));
+        assert!(matches!(insts[2], Inst::Mov { src: Operand::Imm(0x4000_4404), .. }));
+        assert!(matches!(insts[3], Inst::Store { .. }));
+    }
+}

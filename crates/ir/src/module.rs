@@ -1,0 +1,454 @@
+//! IR data structures: modules, globals, functions, blocks, instructions.
+
+use std::collections::BTreeMap;
+
+use crate::types::{SigKey, Ty, TypeTable};
+
+/// Index of a function in its module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Index of a global variable in its module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// Index of a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// A virtual register within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub u32);
+
+/// A stack-allocated local (address-taken) within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalId(pub u32);
+
+/// Index into the module's interned signature table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SigId(pub u32);
+
+/// An instruction operand: a virtual register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Virtual register value.
+    Reg(RegId),
+    /// Immediate constant (address constants included).
+    Imm(u32),
+}
+
+/// Binary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (divide-by-zero yields 0, like a trapped CM4
+    /// with DIV_0_TRP clear).
+    UDiv,
+    /// Unsigned remainder.
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (modulo 32).
+    Shl,
+    /// Logical shift right (modulo 32).
+    Shr,
+    /// Equality comparison, producing 0 or 1.
+    CmpEq,
+    /// Inequality comparison.
+    CmpNe,
+    /// Unsigned less-than.
+    CmpLtU,
+    /// Signed less-than.
+    CmpLtS,
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Two's-complement negation.
+    Neg,
+    /// Bitwise not.
+    Not,
+}
+
+/// An IR instruction.
+///
+/// Memory access comes in three flavours that the compiler analyses
+/// distinguish exactly as the paper does: direct global access
+/// (`LoadGlobal`/`StoreGlobal`, found by def-use), indirect access
+/// through a pointer (`Load`/`Store`, needs points-to), and accesses
+/// whose pointer operand is an address constant (found by backward
+/// slicing and matched against the peripheral map).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // Field names are the documentation: dst/src/addr/value/size.
+pub enum Inst {
+    /// `dst = src`.
+    Mov { dst: RegId, src: Operand },
+    /// `dst = op src`.
+    Un { dst: RegId, op: UnOp, src: Operand },
+    /// `dst = lhs op rhs`.
+    Bin { dst: RegId, op: BinOp, lhs: Operand, rhs: Operand },
+    /// `dst = &global + offset` — takes the address of a global (the
+    /// escape point that feeds points-to analysis).
+    AddrOfGlobal { dst: RegId, global: GlobalId, offset: u32 },
+    /// `dst = &local + offset` — takes the address of a stack local.
+    AddrOfLocal { dst: RegId, local: LocalId, offset: u32 },
+    /// `dst = &func` — takes a function's address (icall target seed).
+    AddrOfFunc { dst: RegId, func: FuncId },
+    /// Direct load of `size` bytes from a global at a constant offset.
+    LoadGlobal { dst: RegId, global: GlobalId, offset: u32, size: u8 },
+    /// Direct store of `size` bytes to a global at a constant offset.
+    StoreGlobal { global: GlobalId, offset: u32, value: Operand, size: u8 },
+    /// Indirect load of `size` bytes through a pointer.
+    Load { dst: RegId, addr: Operand, size: u8 },
+    /// Indirect store of `size` bytes through a pointer.
+    Store { addr: Operand, value: Operand, size: u8 },
+    /// Direct call.
+    Call { dst: Option<RegId>, callee: FuncId, args: Vec<Operand> },
+    /// Indirect call through a function pointer with a recorded
+    /// signature.
+    CallIndirect { dst: Option<RegId>, fptr: Operand, sig: SigId, args: Vec<Operand> },
+    /// `memcpy(dst, src, len)` intrinsic.
+    Memcpy { dst: Operand, src: Operand, len: Operand },
+    /// `memset(dst, val, len)` intrinsic.
+    Memset { dst: Operand, val: Operand, len: Operand },
+    /// Supervisor call — inserted by OPEC instrumentation around
+    /// operation-entry call sites, or written by hand in monitorless
+    /// firmware.
+    Svc { imm: u8 },
+    /// Ends the simulation run (models the profiling stop points).
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // Field names are the documentation: cond/then_to/else_to.
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Conditional branch: to `then_to` if `cond != 0`, else `else_to`.
+    CondBr { cond: Operand, then_to: BlockId, else_to: BlockId },
+    /// Function return.
+    Ret(Option<Operand>),
+    /// Unreachable (validation failure if executed).
+    Unreachable,
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+/// A stack local definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Local {
+    /// Diagnostic name.
+    pub name: String,
+    /// Type (decides stack slot size and pointer fields).
+    pub ty: Ty,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Diagnostic name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Ty,
+}
+
+/// An IR function.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// Parameters; the first four are passed in registers, the rest on
+    /// the caller's stack, mirroring AAPCS.
+    pub params: Vec<Param>,
+    /// Return type, if any.
+    pub ret: Option<Ty>,
+    /// Address-taken stack locals.
+    pub locals: Vec<Local>,
+    /// Number of virtual registers used.
+    pub num_regs: u32,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Source file the function came from (drives the ACES filename
+    /// partition strategy).
+    pub source_file: String,
+    /// Interrupt handlers cannot be operation entries and always run
+    /// privileged.
+    pub is_irq_handler: bool,
+}
+
+impl Function {
+    /// The interned signature key of this function, used when matching
+    /// icall sites by type.
+    pub fn sig_key(&self, types: &TypeTable) -> SigKey {
+        SigKey {
+            params: self.params.iter().map(|p| types.param_kind(&p.ty)).collect(),
+            ret: self.ret.as_ref().map(|t| types.param_kind(t)),
+        }
+    }
+
+    /// Total instruction count (straight-line instructions only).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Deterministic code-size model in bytes: Thumb-2-flavoured
+    /// per-instruction sizes plus an 8-byte prologue/epilogue.
+    pub fn code_size(&self) -> u32 {
+        let body: u32 = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .map(Inst::encoded_size)
+            .sum::<u32>()
+            + self.blocks.iter().map(|b| b.term.encoded_size()).sum::<u32>();
+        body + 8
+    }
+}
+
+impl Inst {
+    /// Modelled encoded size of the instruction in bytes.
+    pub fn encoded_size(&self) -> u32 {
+        match self {
+            Inst::Mov { .. } | Inst::Un { .. } => 2,
+            Inst::Bin { .. } => 4,
+            Inst::AddrOfGlobal { .. } | Inst::AddrOfLocal { .. } | Inst::AddrOfFunc { .. } => 4,
+            Inst::LoadGlobal { .. } | Inst::StoreGlobal { .. } => 4,
+            Inst::Load { .. } | Inst::Store { .. } => 4,
+            Inst::Call { args, .. } => 4 + 2 * args.len().saturating_sub(4) as u32,
+            Inst::CallIndirect { args, .. } => 6 + 2 * args.len().saturating_sub(4) as u32,
+            Inst::Memcpy { .. } | Inst::Memset { .. } => 4,
+            Inst::Svc { .. } => 2,
+            Inst::Halt => 2,
+            Inst::Nop => 2,
+        }
+    }
+}
+
+impl Terminator {
+    /// Modelled encoded size of the terminator in bytes.
+    pub fn encoded_size(&self) -> u32 {
+        match self {
+            Terminator::Br(_) => 2,
+            Terminator::CondBr { .. } => 4,
+            Terminator::Ret(_) => 2,
+            Terminator::Unreachable => 2,
+        }
+    }
+}
+
+/// A peripheral as listed in the SoC datasheet: a named address window.
+///
+/// OPEC-Compiler matches constant addresses discovered by backward
+/// slicing against this list (paper Section 4.2), and OPEC's layout
+/// merges adjacent windows to save MPU regions (Section 4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeripheralDef {
+    /// Peripheral name (e.g. `USART2`).
+    pub name: String,
+    /// Base address of the register window.
+    pub base: u32,
+    /// Window size in bytes.
+    pub size: u32,
+    /// Core peripherals live on the PPB and require privileged access.
+    pub is_core: bool,
+}
+
+impl PeripheralDef {
+    /// Returns `true` if `addr` falls inside the window.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && addr - self.base < self.size
+    }
+}
+
+/// A global variable.
+#[derive(Debug, Clone)]
+pub struct Global {
+    /// Name (unique within the module).
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// Initial value bytes; shorter than the type size means
+    /// zero-extended (bss-style).
+    pub init: Vec<u8>,
+    /// Constant globals live in Flash and are never shadowed.
+    pub is_const: bool,
+    /// Source file provenance.
+    pub source_file: String,
+    /// Developer-provided sanitization range `[lo, hi]` applied to the
+    /// first word of the variable during synchronization (paper
+    /// Section 5.2, "Global Variables").
+    pub valid_range: Option<(u32, u32)>,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Program name.
+    pub name: String,
+    /// Struct definitions.
+    pub types: TypeTable,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Functions; `FuncId` indexes into this.
+    pub funcs: Vec<Function>,
+    /// Interned signature keys; `SigId` indexes into this.
+    pub sigs: Vec<SigKey>,
+    /// The datasheet peripheral list.
+    pub peripherals: Vec<PeripheralDef>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module { name: name.into(), ..Module::default() }
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
+    }
+
+    /// Returns the function for `id`.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Returns the global for `id`.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// Interns a signature key, returning a stable id.
+    pub fn intern_sig(&mut self, key: SigKey) -> SigId {
+        if let Some(i) = self.sigs.iter().position(|s| *s == key) {
+            return SigId(i as u32);
+        }
+        let id = SigId(self.sigs.len() as u32);
+        self.sigs.push(key);
+        id
+    }
+
+    /// Finds the peripheral containing `addr`, if any.
+    pub fn peripheral_at(&self, addr: u32) -> Option<&PeripheralDef> {
+        self.peripherals.iter().find(|p| p.contains(addr))
+    }
+
+    /// Size in bytes of global `id` per the type table.
+    pub fn global_size(&self, id: GlobalId) -> u32 {
+        self.types.size_of(&self.global(id).ty)
+    }
+
+    /// Total modelled code size of all functions, in bytes.
+    pub fn total_code_size(&self) -> u32 {
+        self.funcs.iter().map(Function::code_size).sum()
+    }
+
+    /// Groups function ids by source file (used by the ACES baseline).
+    pub fn funcs_by_file(&self) -> BTreeMap<&str, Vec<FuncId>> {
+        let mut map: BTreeMap<&str, Vec<FuncId>> = BTreeMap::new();
+        for (i, f) in self.funcs.iter().enumerate() {
+            map.entry(f.source_file.as_str()).or_default().push(FuncId(i as u32));
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_sig_dedups() {
+        let mut m = Module::new("t");
+        let a = m.intern_sig(SigKey { params: vec![], ret: None });
+        let b = m.intern_sig(SigKey { params: vec![], ret: None });
+        assert_eq!(a, b);
+        assert_eq!(m.sigs.len(), 1);
+    }
+
+    #[test]
+    fn peripheral_lookup() {
+        let mut m = Module::new("t");
+        m.peripherals.push(PeripheralDef {
+            name: "USART2".into(),
+            base: 0x4000_4400,
+            size: 0x400,
+            is_core: false,
+        });
+        assert_eq!(m.peripheral_at(0x4000_4404).map(|p| p.name.as_str()), Some("USART2"));
+        assert!(m.peripheral_at(0x4000_4800).is_none());
+    }
+
+    #[test]
+    fn code_size_model_is_positive_and_additive() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            num_regs: 2,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Mov { dst: RegId(0), src: Operand::Imm(1) },
+                    Inst::Bin {
+                        dst: RegId(1),
+                        op: BinOp::Add,
+                        lhs: Operand::Reg(RegId(0)),
+                        rhs: Operand::Imm(2),
+                    },
+                ],
+                term: Terminator::Ret(None),
+            }],
+            source_file: "f.c".into(),
+            is_irq_handler: false,
+        };
+        // 2 (mov) + 4 (bin) + 2 (ret) + 8 (prologue) = 16.
+        assert_eq!(f.code_size(), 16);
+        assert_eq!(f.inst_count(), 2);
+    }
+
+    #[test]
+    fn funcs_by_file_groups() {
+        let mut m = Module::new("t");
+        for (name, file) in [("a", "x.c"), ("b", "y.c"), ("c", "x.c")] {
+            m.funcs.push(Function {
+                name: name.into(),
+                params: vec![],
+                ret: None,
+                locals: vec![],
+                num_regs: 0,
+                blocks: vec![Block { insts: vec![], term: Terminator::Ret(None) }],
+                source_file: file.into(),
+                is_irq_handler: false,
+            });
+        }
+        let groups = m.funcs_by_file();
+        assert_eq!(groups["x.c"], vec![FuncId(0), FuncId(2)]);
+        assert_eq!(groups["y.c"], vec![FuncId(1)]);
+    }
+}

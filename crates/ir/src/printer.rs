@@ -1,0 +1,173 @@
+//! Human-readable IR dump, for debugging partitions and analyses.
+
+use core::fmt::Write as _;
+
+use crate::module::{Function, Inst, Module, Operand, Terminator};
+
+fn op(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) => format!("r{}", r.0),
+        Operand::Imm(v) => format!("{v:#x}"),
+    }
+}
+
+/// Renders one instruction.
+pub fn inst_to_string(m: &Module, f: &Function, i: &Inst) -> String {
+    match i {
+        Inst::Mov { dst, src } => format!("r{} = {}", dst.0, op(src)),
+        Inst::Un { dst, op: o, src } => format!("r{} = {o:?} {}", dst.0, op(src)),
+        Inst::Bin { dst, op: o, lhs, rhs } => {
+            format!("r{} = {o:?} {}, {}", dst.0, op(lhs), op(rhs))
+        }
+        Inst::AddrOfGlobal { dst, global, offset } => {
+            format!("r{} = &{} + {offset}", dst.0, m.global(*global).name)
+        }
+        Inst::AddrOfLocal { dst, local, offset } => {
+            format!("r{} = &{} + {offset}", dst.0, f.locals[local.0 as usize].name)
+        }
+        Inst::AddrOfFunc { dst, func } => format!("r{} = &{}", dst.0, m.func(*func).name),
+        Inst::LoadGlobal { dst, global, offset, size } => {
+            format!("r{} = load.{size} {}[{offset}]", dst.0, m.global(*global).name)
+        }
+        Inst::StoreGlobal { global, offset, value, size } => {
+            format!("store.{size} {}[{offset}], {}", m.global(*global).name, op(value))
+        }
+        Inst::Load { dst, addr, size } => format!("r{} = load.{size} [{}]", dst.0, op(addr)),
+        Inst::Store { addr, value, size } => format!("store.{size} [{}], {}", op(addr), op(value)),
+        Inst::Call { dst, callee, args } => {
+            let args: Vec<_> = args.iter().map(op).collect();
+            match dst {
+                Some(d) => format!("r{} = call {}({})", d.0, m.func(*callee).name, args.join(", ")),
+                None => format!("call {}({})", m.func(*callee).name, args.join(", ")),
+            }
+        }
+        Inst::CallIndirect { dst, fptr, sig, args } => {
+            let args: Vec<_> = args.iter().map(op).collect();
+            match dst {
+                Some(d) => {
+                    format!("r{} = icall.s{} {}({})", d.0, sig.0, op(fptr), args.join(", "))
+                }
+                None => format!("icall.s{} {}({})", sig.0, op(fptr), args.join(", ")),
+            }
+        }
+        Inst::Memcpy { dst, src, len } => {
+            format!("memcpy({}, {}, {})", op(dst), op(src), op(len))
+        }
+        Inst::Memset { dst, val, len } => {
+            format!("memset({}, {}, {})", op(dst), op(val), op(len))
+        }
+        Inst::Svc { imm } => format!("svc #{imm}"),
+        Inst::Halt => "halt".into(),
+        Inst::Nop => "nop".into(),
+    }
+}
+
+/// Renders a whole function.
+pub fn function_to_string(m: &Module, f: &Function) -> String {
+    let mut s = String::new();
+    let params: Vec<_> = f.params.iter().map(|p| p.name.clone()).collect();
+    let _ = writeln!(s, "fn {}({}) // {}", f.name, params.join(", "), f.source_file);
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(s, "b{bi}:");
+        for i in &b.insts {
+            let _ = writeln!(s, "  {}", inst_to_string(m, f, i));
+        }
+        let term = match &b.term {
+            Terminator::Br(t) => format!("br b{}", t.0),
+            Terminator::CondBr { cond, then_to, else_to } => {
+                format!("br {} ? b{} : b{}", op(cond), then_to.0, else_to.0)
+            }
+            Terminator::Ret(Some(v)) => format!("ret {}", op(v)),
+            Terminator::Ret(None) => "ret".into(),
+            Terminator::Unreachable => "unreachable".into(),
+        };
+        let _ = writeln!(s, "  {term}");
+    }
+    s
+}
+
+/// Renders a whole module.
+pub fn module_to_string(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "module {}", m.name);
+    for g in &m.globals {
+        let _ = writeln!(
+            s,
+            "global {} : {} bytes{}{}",
+            g.name,
+            m.types.size_of(&g.ty),
+            if g.is_const { " const" } else { "" },
+            g.valid_range.map(|(lo, hi)| format!(" range [{lo}, {hi}]")).unwrap_or_default(),
+        );
+    }
+    for f in &m.funcs {
+        s.push_str(&function_to_string(m, f));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ModuleBuilder;
+    use crate::module::BinOp;
+    use crate::types::Ty;
+
+    #[test]
+    fn printer_renders_all_constructs() {
+        let mut mb = ModuleBuilder::new("demo");
+        let g = mb.global("state", Ty::I32, "a.c");
+        let helper = mb.func("helper", vec![("x", Ty::I32)], Some(Ty::I32), "a.c", |fb| {
+            let r = fb.bin(BinOp::Add, Operand::Reg(fb.param(0)), Operand::Imm(1));
+            fb.ret(Operand::Reg(r));
+        });
+        mb.func("entry", vec![], None, "a.c", |fb| {
+            let v = fb.load_global(g, 0, 4);
+            let fp = fb.addr_of_func(helper);
+            let sig = fb.sig(crate::types::SigKey {
+                params: vec![crate::types::ParamKind::Int],
+                ret: Some(crate::types::ParamKind::Int),
+            });
+            let r = fb.icall(Operand::Reg(fp), sig, vec![Operand::Reg(v)]);
+            fb.store_global(g, 0, Operand::Reg(r), 4);
+            fb.svc(1);
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let text = module_to_string(&m);
+        assert!(text.contains("fn entry"));
+        assert!(text.contains("icall.s"));
+        assert!(text.contains("svc #1"));
+        assert!(text.contains("global state"));
+    }
+
+    use crate::module::Operand;
+
+    #[test]
+    fn printer_renders_branches_and_memory_ops() {
+        let mut mb = ModuleBuilder::new("demo2");
+        let g = mb.global("buf", Ty::Array(Box::new(Ty::I8), 8), "a.c");
+        mb.func("f", vec![("n", Ty::I32)], None, "a.c", |fb| {
+            let local = fb.local("tmp", Ty::I32);
+            let t = fb.block();
+            let e = fb.block();
+            fb.cond_br(Operand::Reg(fb.param(0)), t, e);
+            fb.switch_to(t);
+            let p = fb.addr_of_local(local, 0);
+            fb.store(Operand::Reg(p), Operand::Imm(1), 4);
+            let q = fb.addr_of_global(g, 2);
+            fb.memcpy(Operand::Reg(q), Operand::Reg(p), Operand::Imm(4));
+            fb.ret_void();
+            fb.switch_to(e);
+            fb.halt();
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let text = module_to_string(&m);
+        assert!(text.contains("br r0 ? b1 : b2"));
+        assert!(text.contains("&tmp + 0"));
+        assert!(text.contains("&buf + 2"));
+        assert!(text.contains("memcpy("));
+        assert!(text.contains("halt"));
+    }
+}

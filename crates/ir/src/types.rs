@@ -1,0 +1,254 @@
+//! The IR type system.
+//!
+//! Types matter to OPEC for three reasons: sizes and alignments decide
+//! data-section layout and MPU region sizing; pointer fields of globals
+//! must be enumerable so OPEC-Monitor can redirect them during operation
+//! switches (paper Section 4.2 / 5.3); and function signatures drive the
+//! type-based fallback resolution of indirect calls (Section 4.1).
+
+/// Index of a struct definition in the module's [`TypeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StructId(pub u32);
+
+/// An IR type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer (the native word).
+    I32,
+    /// Data pointer to `T` (4 bytes).
+    Ptr(Box<Ty>),
+    /// Function pointer carrying its signature id (4 bytes).
+    FnPtr(SigKey),
+    /// Fixed-length array.
+    Array(Box<Ty>, u32),
+    /// Named struct, defined in the [`TypeTable`].
+    Struct(StructId),
+}
+
+/// The shape of a function type used for type-based icall resolution.
+///
+/// Two function types are considered identical when the number of
+/// arguments, the kinds of pointer/struct arguments, and the return kind
+/// all match — the paper's Section 4.1 rule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SigKey {
+    /// Abstract kinds of each parameter.
+    pub params: Vec<ParamKind>,
+    /// Whether the function returns a value, and its kind.
+    pub ret: Option<ParamKind>,
+}
+
+/// Abstracted parameter kind for signature matching.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ParamKind {
+    /// Any integer.
+    Int,
+    /// Pointer to a non-struct type.
+    Ptr,
+    /// Pointer to the named struct — struct identity participates in
+    /// matching, per the paper.
+    StructPtr(String),
+    /// A function pointer.
+    FnPtr,
+}
+
+/// A named struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct name (e.g. `UART_HandleTypeDef`).
+    pub name: String,
+    /// Ordered field types.
+    pub fields: Vec<Ty>,
+}
+
+/// The module's struct table.
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    defs: Vec<StructDef>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> TypeTable {
+        TypeTable::default()
+    }
+
+    /// Adds a struct definition and returns its id.
+    pub fn add_struct(&mut self, def: StructDef) -> StructId {
+        let id = StructId(self.defs.len() as u32);
+        self.defs.push(def);
+        id
+    }
+
+    /// Looks up a struct definition.
+    pub fn get(&self, id: StructId) -> &StructDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// Finds a struct by name.
+    pub fn by_name(&self, name: &str) -> Option<StructId> {
+        self.defs.iter().position(|d| d.name == name).map(|i| StructId(i as u32))
+    }
+
+    /// Number of struct definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Returns `true` when no structs are defined.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Size of `ty` in bytes, including struct field alignment padding.
+    pub fn size_of(&self, ty: &Ty) -> u32 {
+        match ty {
+            Ty::I8 => 1,
+            Ty::I16 => 2,
+            Ty::I32 | Ty::Ptr(_) | Ty::FnPtr(_) => 4,
+            Ty::Array(elem, n) => self.size_of(elem) * n,
+            Ty::Struct(id) => {
+                let def = self.get(*id);
+                let mut off = 0u32;
+                let mut max_align = 1u32;
+                for f in &def.fields {
+                    let a = self.align_of(f);
+                    max_align = max_align.max(a);
+                    off = round_up(off, a) + self.size_of(f);
+                }
+                round_up(off, max_align)
+            }
+        }
+    }
+
+    /// Natural alignment of `ty` in bytes.
+    pub fn align_of(&self, ty: &Ty) -> u32 {
+        match ty {
+            Ty::I8 => 1,
+            Ty::I16 => 2,
+            Ty::I32 | Ty::Ptr(_) | Ty::FnPtr(_) => 4,
+            Ty::Array(elem, _) => self.align_of(elem),
+            Ty::Struct(id) => {
+                self.get(*id).fields.iter().map(|f| self.align_of(f)).max().unwrap_or(1)
+            }
+        }
+    }
+
+    /// Byte offsets, within a value of type `ty`, of every field that is
+    /// a data or function pointer. OPEC-Compiler records these for each
+    /// global so OPEC-Monitor can redirect pointers into shadow sections
+    /// during an operation switch.
+    pub fn pointer_field_offsets(&self, ty: &Ty) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_ptr_offsets(ty, 0, &mut out);
+        out
+    }
+
+    fn collect_ptr_offsets(&self, ty: &Ty, base: u32, out: &mut Vec<u32>) {
+        match ty {
+            Ty::Ptr(_) | Ty::FnPtr(_) => out.push(base),
+            Ty::Array(elem, n) => {
+                let sz = self.size_of(elem);
+                for i in 0..*n {
+                    self.collect_ptr_offsets(elem, base + i * sz, out);
+                }
+            }
+            Ty::Struct(id) => {
+                let def = self.get(*id).clone();
+                let mut off = 0u32;
+                for f in &def.fields {
+                    off = round_up(off, self.align_of(f));
+                    self.collect_ptr_offsets(f, base + off, out);
+                    off += self.size_of(f);
+                }
+            }
+            Ty::I8 | Ty::I16 | Ty::I32 => {}
+        }
+    }
+
+    /// Abstracts a type to its [`ParamKind`] for signature matching.
+    pub fn param_kind(&self, ty: &Ty) -> ParamKind {
+        match ty {
+            Ty::Ptr(inner) => match inner.as_ref() {
+                Ty::Struct(id) => ParamKind::StructPtr(self.get(*id).name.clone()),
+                _ => ParamKind::Ptr,
+            },
+            Ty::FnPtr(_) => ParamKind::FnPtr,
+            _ => ParamKind::Int,
+        }
+    }
+}
+
+fn round_up(v: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_handle() -> (TypeTable, StructId) {
+        let mut t = TypeTable::new();
+        // struct UartHandle { u32 instance_ptr*; u8 state; u8* buf; u16 len; }
+        let id = t.add_struct(StructDef {
+            name: "UartHandle".into(),
+            fields: vec![
+                Ty::Ptr(Box::new(Ty::I32)),
+                Ty::I8,
+                Ty::Ptr(Box::new(Ty::I8)),
+                Ty::I16,
+            ],
+        });
+        (t, id)
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        let t = TypeTable::new();
+        assert_eq!(t.size_of(&Ty::I8), 1);
+        assert_eq!(t.size_of(&Ty::I16), 2);
+        assert_eq!(t.size_of(&Ty::I32), 4);
+        assert_eq!(t.size_of(&Ty::Ptr(Box::new(Ty::I8))), 4);
+        assert_eq!(t.size_of(&Ty::Array(Box::new(Ty::I16), 7)), 14);
+    }
+
+    #[test]
+    fn struct_layout_with_padding() {
+        let (t, id) = table_with_handle();
+        // ptr(0..4) u8(4) pad(5..8) ptr(8..12) u16(12..14) pad to 16.
+        assert_eq!(t.size_of(&Ty::Struct(id)), 16);
+        assert_eq!(t.align_of(&Ty::Struct(id)), 4);
+    }
+
+    #[test]
+    fn pointer_fields_enumerated() {
+        let (t, id) = table_with_handle();
+        assert_eq!(t.pointer_field_offsets(&Ty::Struct(id)), vec![0, 8]);
+        let arr = Ty::Array(Box::new(Ty::Struct(id)), 2);
+        assert_eq!(t.pointer_field_offsets(&arr), vec![0, 8, 16, 24]);
+        assert!(t.pointer_field_offsets(&Ty::I32).is_empty());
+    }
+
+    #[test]
+    fn param_kind_abstraction() {
+        let (t, id) = table_with_handle();
+        assert_eq!(t.param_kind(&Ty::I32), ParamKind::Int);
+        assert_eq!(t.param_kind(&Ty::Ptr(Box::new(Ty::I8))), ParamKind::Ptr);
+        assert_eq!(
+            t.param_kind(&Ty::Ptr(Box::new(Ty::Struct(id)))),
+            ParamKind::StructPtr("UartHandle".into())
+        );
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let (t, id) = table_with_handle();
+        assert_eq!(t.by_name("UartHandle"), Some(id));
+        assert_eq!(t.by_name("Nope"), None);
+    }
+}

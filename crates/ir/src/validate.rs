@@ -1,0 +1,341 @@
+//! Structural validation of IR modules.
+//!
+//! Catches malformed programs before they reach the analyses or the VM:
+//! dangling ids, out-of-range registers, accesses past the end of a
+//! global, size/alignment mistakes, and argument-count mismatches on
+//! direct calls.
+
+use crate::module::{FuncId, Function, Inst, Module, Operand, RegId, Terminator};
+
+/// A validation failure, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Function in which the error was found, if any.
+    pub func: Option<String>,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl core::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match &self.func {
+            Some(name) => write!(f, "in function {name}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validates the whole module.
+pub fn validate(module: &Module) -> Result<(), ValidateError> {
+    let mut names = std::collections::HashSet::new();
+    for f in &module.funcs {
+        if !names.insert(f.name.as_str()) {
+            return Err(ValidateError {
+                func: None,
+                message: format!("duplicate function name {}", f.name),
+            });
+        }
+    }
+    let mut gnames = std::collections::HashSet::new();
+    for g in &module.globals {
+        if !gnames.insert(g.name.as_str()) {
+            return Err(ValidateError {
+                func: None,
+                message: format!("duplicate global name {}", g.name),
+            });
+        }
+        let size = module.types.size_of(&g.ty);
+        if g.init.len() as u32 > size {
+            return Err(ValidateError {
+                func: None,
+                message: format!(
+                    "global {} initialiser ({} bytes) exceeds type size ({size} bytes)",
+                    g.name,
+                    g.init.len()
+                ),
+            });
+        }
+    }
+    for (i, f) in module.funcs.iter().enumerate() {
+        validate_func(module, FuncId(i as u32), f)
+            .map_err(|message| ValidateError { func: Some(f.name.clone()), message })?;
+    }
+    Ok(())
+}
+
+fn validate_func(module: &Module, _id: FuncId, f: &Function) -> Result<(), String> {
+    if f.blocks.is_empty() {
+        return Err("function has no blocks".into());
+    }
+    if (f.params.len() as u32) > f.num_regs {
+        return Err("num_regs smaller than parameter count".into());
+    }
+    let check_reg = |r: RegId| -> Result<(), String> {
+        if r.0 >= f.num_regs {
+            Err(format!("register r{} out of range (num_regs = {})", r.0, f.num_regs))
+        } else {
+            Ok(())
+        }
+    };
+    let check_op = |op: &Operand| -> Result<(), String> {
+        match op {
+            Operand::Reg(r) => check_reg(*r),
+            Operand::Imm(_) => Ok(()),
+        }
+    };
+    let check_size = |s: u8| -> Result<(), String> {
+        if matches!(s, 1 | 2 | 4) {
+            Ok(())
+        } else {
+            Err(format!("bad access size {s}"))
+        }
+    };
+    let check_block = |b: crate::module::BlockId| -> Result<(), String> {
+        if (b.0 as usize) < f.blocks.len() {
+            Ok(())
+        } else {
+            Err(format!("branch to nonexistent block b{}", b.0))
+        }
+    };
+    for block in &f.blocks {
+        for inst in &block.insts {
+            match inst {
+                Inst::Mov { dst, src } => {
+                    check_reg(*dst)?;
+                    check_op(src)?;
+                }
+                Inst::Un { dst, src, .. } => {
+                    check_reg(*dst)?;
+                    check_op(src)?;
+                }
+                Inst::Bin { dst, lhs, rhs, .. } => {
+                    check_reg(*dst)?;
+                    check_op(lhs)?;
+                    check_op(rhs)?;
+                }
+                Inst::AddrOfGlobal { dst, global, offset } => {
+                    check_reg(*dst)?;
+                    let g = module
+                        .globals
+                        .get(global.0 as usize)
+                        .ok_or_else(|| format!("dangling global g{}", global.0))?;
+                    if *offset > module.types.size_of(&g.ty) {
+                        return Err(format!("&{} + {offset} exceeds global size", g.name));
+                    }
+                }
+                Inst::AddrOfLocal { dst, local, offset } => {
+                    check_reg(*dst)?;
+                    let l = f
+                        .locals
+                        .get(local.0 as usize)
+                        .ok_or_else(|| format!("dangling local l{}", local.0))?;
+                    if *offset > module.types.size_of(&l.ty) {
+                        return Err(format!("&{} + {offset} exceeds local size", l.name));
+                    }
+                }
+                Inst::AddrOfFunc { dst, func } => {
+                    check_reg(*dst)?;
+                    if module.funcs.get(func.0 as usize).is_none() {
+                        return Err(format!("dangling function f{}", func.0));
+                    }
+                }
+                Inst::LoadGlobal { dst, global, offset, size } => {
+                    check_reg(*dst)?;
+                    check_size(*size)?;
+                    check_global_access(module, *global, *offset, *size)?;
+                }
+                Inst::StoreGlobal { global, offset, value, size } => {
+                    check_op(value)?;
+                    check_size(*size)?;
+                    check_global_access(module, *global, *offset, *size)?;
+                    let g = module.global(*global);
+                    if g.is_const {
+                        return Err(format!("store to constant global {}", g.name));
+                    }
+                }
+                Inst::Load { dst, addr, size } => {
+                    check_reg(*dst)?;
+                    check_op(addr)?;
+                    check_size(*size)?;
+                }
+                Inst::Store { addr, value, size } => {
+                    check_op(addr)?;
+                    check_op(value)?;
+                    check_size(*size)?;
+                }
+                Inst::Call { dst, callee, args } => {
+                    if let Some(d) = dst {
+                        check_reg(*d)?;
+                    }
+                    let target = module
+                        .funcs
+                        .get(callee.0 as usize)
+                        .ok_or_else(|| format!("dangling callee f{}", callee.0))?;
+                    if target.params.len() != args.len() {
+                        return Err(format!(
+                            "call to {} passes {} args, expects {}",
+                            target.name,
+                            args.len(),
+                            target.params.len()
+                        ));
+                    }
+                    for a in args {
+                        check_op(a)?;
+                    }
+                }
+                Inst::CallIndirect { dst, fptr, sig, args } => {
+                    if let Some(d) = dst {
+                        check_reg(*d)?;
+                    }
+                    check_op(fptr)?;
+                    if module.sigs.get(sig.0 as usize).is_none() {
+                        return Err(format!("dangling signature s{}", sig.0));
+                    }
+                    for a in args {
+                        check_op(a)?;
+                    }
+                }
+                Inst::Memcpy { dst, src, len } => {
+                    check_op(dst)?;
+                    check_op(src)?;
+                    check_op(len)?;
+                }
+                Inst::Memset { dst, val, len } => {
+                    check_op(dst)?;
+                    check_op(val)?;
+                    check_op(len)?;
+                }
+                Inst::Svc { .. } | Inst::Halt | Inst::Nop => {}
+            }
+        }
+        match &block.term {
+            Terminator::Br(b) => check_block(*b)?,
+            Terminator::CondBr { cond, then_to, else_to } => {
+                check_op(cond)?;
+                check_block(*then_to)?;
+                check_block(*else_to)?;
+            }
+            Terminator::Ret(Some(v)) => {
+                check_op(v)?;
+                if f.ret.is_none() {
+                    return Err("value returned from void function".into());
+                }
+            }
+            Terminator::Ret(None) => {
+                if f.ret.is_some() {
+                    return Err("void return from value-returning function".into());
+                }
+            }
+            Terminator::Unreachable => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_global_access(
+    module: &Module,
+    global: crate::module::GlobalId,
+    offset: u32,
+    size: u8,
+) -> Result<(), String> {
+    let g = module
+        .globals
+        .get(global.0 as usize)
+        .ok_or_else(|| format!("dangling global g{}", global.0))?;
+    let total = module.types.size_of(&g.ty);
+    if offset + u32::from(size) > total {
+        return Err(format!(
+            "access to {} at offset {offset}+{size} exceeds size {total}",
+            g.name
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ModuleBuilder;
+    use crate::module::{BinOp, BlockId};
+    use crate::types::Ty;
+
+    #[test]
+    fn accepts_well_formed_module() {
+        let mut mb = ModuleBuilder::new("ok");
+        let g = mb.global("counter", Ty::I32, "a.c");
+        mb.func("bump", vec![], None, "a.c", |fb| {
+            let v = fb.load_global(g, 0, 4);
+            let v2 = fb.bin(BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+            fb.store_global(g, 0, Operand::Reg(v2), 4);
+            fb.ret_void();
+        });
+        assert!(validate(&mb.finish()).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_global_access() {
+        let mut mb = ModuleBuilder::new("bad");
+        let g = mb.global("small", Ty::I16, "a.c");
+        mb.func("f", vec![], None, "a.c", |fb| {
+            fb.store_global(g, 0, Operand::Imm(0), 4);
+            fb.ret_void();
+        });
+        let err = validate(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("exceeds size"));
+    }
+
+    #[test]
+    fn rejects_store_to_const_global() {
+        let mut mb = ModuleBuilder::new("bad");
+        let g = mb.const_global("key", Ty::I32, vec![1, 2, 3, 4], "a.c");
+        mb.func("f", vec![], None, "a.c", |fb| {
+            fb.store_global(g, 0, Operand::Imm(0), 4);
+            fb.ret_void();
+        });
+        let err = validate(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("constant global"));
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut mb = ModuleBuilder::new("bad");
+        let callee = mb.func("callee", vec![("x", Ty::I32)], None, "a.c", |fb| fb.ret_void());
+        mb.func("caller", vec![], None, "a.c", |fb| {
+            fb.call_void(callee, vec![]);
+            fb.ret_void();
+        });
+        let err = validate(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("passes 0 args"));
+    }
+
+    #[test]
+    fn rejects_branch_to_missing_block() {
+        let mut mb = ModuleBuilder::new("bad");
+        mb.func("f", vec![], None, "a.c", |fb| {
+            fb.br(BlockId(99));
+        });
+        let err = validate(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("nonexistent block"));
+    }
+
+    #[test]
+    fn rejects_wrong_return_kind() {
+        let mut mb = ModuleBuilder::new("bad");
+        mb.func("f", vec![], Some(Ty::I32), "a.c", |fb| {
+            fb.ret_void();
+        });
+        let err = validate(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("void return"));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut mb = ModuleBuilder::new("bad");
+        mb.func("same", vec![], None, "a.c", |fb| fb.ret_void());
+        mb.func("same", vec![], None, "b.c", |fb| fb.ret_void());
+        let err = validate(&mb.finish()).unwrap_err();
+        assert!(err.message.contains("duplicate function name"));
+    }
+}

@@ -1,0 +1,381 @@
+//! RISC-V Physical Memory Protection (PMP) and the OPEC policy encoder.
+//!
+//! The paper's §7 names three requirements for porting OPEC to another
+//! platform, the first being "a memory protection unit, which has
+//! enough regions enforcing the physical memory permissions similar to
+//! the ARM MPU, e.g., RISC-V PMP". This crate substantiates that claim:
+//!
+//! * [`Pmp`] models the RV32 PMP as specified in the privileged ISA —
+//!   sixteen entries with `R`/`W`/`X` permissions, `OFF`/`TOR`/`NA4`/
+//!   `NAPOT` address matching, **lowest-numbered-entry-wins** priority
+//!   (the opposite of the ARM MPU), and the M-mode default-allow /
+//!   S/U-mode default-deny rule;
+//! * [`encode`] translates one operation's OPEC policy (the MPU plan of
+//!   `opec-core`) into a PMP entry file: a `TOR` pair for the live part
+//!   of the stack (PMP has no sub-regions, but `TOR`'s arbitrary top
+//!   bound expresses the same protection *exactly*), `NAPOT` entries
+//!   for the operation data section and peripheral windows, and
+//!   background entries for Flash (read/execute) and SRAM (read-only);
+//! * the tests check the encoder against the ARM MPU decision for the
+//!   same policy, address by address.
+//!
+//! Core peripherals have no PMP analogue — on RISC-V they are CSRs,
+//! reachable only from M-mode, which is precisely the situation OPEC's
+//! load/store emulation handles on ARM (the monitor would emulate CSR
+//! accesses from the trap handler instead).
+
+#![warn(missing_docs)]
+
+use opec_armv7m::mem::MemRegion;
+
+/// Number of PMP entries modelled (RV32: up to 64; 16 is the common
+/// implementation size and plenty for OPEC's plan).
+pub const PMP_ENTRIES: usize = 16;
+
+/// Address-matching mode of one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmpMode {
+    /// Entry disabled.
+    Off,
+    /// Top-of-range: matches `[pmpaddr[i-1], pmpaddr[i])` (or
+    /// `[0, pmpaddr[0])` for entry 0).
+    Tor,
+    /// Naturally aligned four-byte region.
+    Na4,
+    /// Naturally aligned power-of-two region, ≥ 8 bytes.
+    Napot,
+}
+
+/// One PMP entry: configuration byte + address register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmpEntry {
+    /// Read permission.
+    pub r: bool,
+    /// Write permission.
+    pub w: bool,
+    /// Execute permission.
+    pub x: bool,
+    /// Address-matching mode.
+    pub mode: PmpMode,
+    /// The `pmpaddr` register value (physical address >> 2, with the
+    /// NAPOT size encoded in trailing ones).
+    pub addr: u32,
+}
+
+impl PmpEntry {
+    /// A disabled entry.
+    pub const OFF: PmpEntry =
+        PmpEntry { r: false, w: false, x: false, mode: PmpMode::Off, addr: 0 };
+}
+
+/// Encodes a naturally aligned power-of-two region into a `pmpaddr`
+/// value (`size` ≥ 8, a power of two; `base` aligned to `size`).
+pub fn napot_addr(base: u32, size: u32) -> u32 {
+    debug_assert!(size >= 8 && size.is_power_of_two());
+    debug_assert_eq!(base % size, 0);
+    (base >> 2) | ((size >> 3) - 1)
+}
+
+/// Decodes a NAPOT `pmpaddr` back into `(base, size)`.
+pub fn napot_decode(addr: u32) -> (u32, u32) {
+    let trailing = addr.trailing_ones();
+    let size = 8u32 << trailing;
+    let base = (addr & !((1 << trailing) - 1)) << 2;
+    (base, size)
+}
+
+/// The access being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmpAccess {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Exec,
+}
+
+/// The privilege mode performing the access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivMode {
+    /// Machine mode (the monitor). Unmatched accesses are allowed.
+    Machine,
+    /// User mode (operations). Unmatched accesses are denied.
+    User,
+}
+
+/// The modelled PMP unit.
+#[derive(Debug, Clone)]
+pub struct Pmp {
+    entries: [PmpEntry; PMP_ENTRIES],
+}
+
+impl Default for Pmp {
+    fn default() -> Pmp {
+        Pmp::new()
+    }
+}
+
+impl Pmp {
+    /// All entries off.
+    pub fn new() -> Pmp {
+        Pmp { entries: [PmpEntry::OFF; PMP_ENTRIES] }
+    }
+
+    /// Programs entry `i`.
+    pub fn set(&mut self, i: usize, e: PmpEntry) {
+        self.entries[i] = e;
+    }
+
+    /// Loads a full entry file (remaining entries are switched off).
+    pub fn load(&mut self, entries: &[(usize, PmpEntry)]) {
+        self.entries = [PmpEntry::OFF; PMP_ENTRIES];
+        for &(i, e) in entries {
+            self.entries[i] = e;
+        }
+    }
+
+    /// The byte range matched by entry `i`, if enabled.
+    fn range(&self, i: usize) -> Option<(u32, u32)> {
+        let e = self.entries[i];
+        match e.mode {
+            PmpMode::Off => None,
+            PmpMode::Na4 => {
+                let base = e.addr << 2;
+                Some((base, base.checked_add(4)?))
+            }
+            PmpMode::Napot => {
+                let (base, size) = napot_decode(e.addr);
+                Some((base, base.checked_add(size)?))
+            }
+            PmpMode::Tor => {
+                let lo = if i == 0 { 0 } else { self.entries[i - 1].addr << 2 };
+                let hi = e.addr << 2;
+                if lo < hi {
+                    Some((lo, hi))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Checks an access of `len` bytes at `addr`: every byte must be
+    /// permitted. The **lowest-numbered** matching entry decides, per
+    /// the privileged ISA.
+    pub fn check(&self, addr: u32, len: u32, access: PmpAccess, mode: PrivMode) -> bool {
+        for off in 0..len.max(1) {
+            let Some(a) = addr.checked_add(off) else { return false };
+            if !self.check_byte(a, access, mode) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn check_byte(&self, addr: u32, access: PmpAccess, mode: PrivMode) -> bool {
+        for i in 0..PMP_ENTRIES {
+            if let Some((lo, hi)) = self.range(i) {
+                if addr >= lo && addr < hi {
+                    let e = self.entries[i];
+                    return match access {
+                        PmpAccess::Read => e.r,
+                        PmpAccess::Write => e.w,
+                        PmpAccess::Exec => e.x,
+                    };
+                }
+            }
+        }
+        // No match: M-mode falls through, U-mode faults.
+        mode == PrivMode::Machine
+    }
+}
+
+/// Translation of one operation's OPEC policy into PMP entries.
+pub mod encode {
+    use super::*;
+    use opec_core::SystemPolicy;
+    use opec_vm::OpId;
+
+    /// Builds the PMP entry file for operation `op`, with the live
+    /// stack extending from the stack base up to `stack_boundary`
+    /// (exclusive) — the same quantity the ARM monitor expresses with
+    /// sub-region disables.
+    ///
+    /// Entry order (lowest wins, so the most specific comes first):
+    ///
+    /// | # | what | mode | perms |
+    /// |---|------|------|-------|
+    /// | 0–1 | live stack `[base, boundary)` | TOR pair | RW |
+    /// | 2 | operation data section | NAPOT | RW |
+    /// | 3.. | peripheral windows (first four) | NAPOT | RW |
+    /// | n | Flash | NAPOT | R+X |
+    /// | n+1 | SRAM background | NAPOT | R |
+    pub fn op_policy_to_pmp(
+        policy: &SystemPolicy,
+        op: OpId,
+        stack_boundary: u32,
+    ) -> Vec<(usize, PmpEntry)> {
+        let mut out = Vec::new();
+        let mut idx = 0;
+        // Stack TOR pair.
+        out.push((
+            idx,
+            PmpEntry {
+                r: false,
+                w: false,
+                x: false,
+                mode: PmpMode::Off,
+                addr: policy.stack.base >> 2,
+            },
+        ));
+        idx += 1;
+        out.push((
+            idx,
+            PmpEntry { r: true, w: true, x: false, mode: PmpMode::Tor, addr: stack_boundary >> 2 },
+        ));
+        idx += 1;
+        // Operation data section.
+        let s = policy.op(op).section;
+        out.push((
+            idx,
+            PmpEntry {
+                r: true,
+                w: true,
+                x: false,
+                mode: PmpMode::Napot,
+                addr: napot_addr(s.base, s.size.max(8)),
+            },
+        ));
+        idx += 1;
+        // Peripheral windows (covering regions, like MPU regions 4–7).
+        for region in policy.op(op).periph_regions.iter().take(4) {
+            out.push((
+                idx,
+                PmpEntry {
+                    r: true,
+                    w: true,
+                    x: false,
+                    mode: PmpMode::Napot,
+                    addr: napot_addr(region.base, region.size.max(8)),
+                },
+            ));
+            idx += 1;
+        }
+        // Flash: read + execute.
+        let flash = policy.board.flash;
+        out.push((
+            idx,
+            PmpEntry {
+                r: true,
+                w: false,
+                x: true,
+                mode: PmpMode::Napot,
+                addr: napot_addr(flash.base, flash.size.next_power_of_two()),
+            },
+        ));
+        idx += 1;
+        // SRAM background: read-only (public section, relocation table,
+        // other sections are readable but never writable).
+        let sram_span = policy.board.sram.size.next_power_of_two();
+        out.push((
+            idx,
+            PmpEntry {
+                r: true,
+                w: false,
+                x: false,
+                mode: PmpMode::Napot,
+                addr: napot_addr(policy.board.sram.base, sram_span),
+            },
+        ));
+        out
+    }
+
+    /// Convenience: the byte range of the live stack given a sub-region
+    /// disable mask as the ARM monitor computes it.
+    pub fn stack_boundary_from_srd(stack: MemRegion, srd: u8) -> u32 {
+        let sub = stack.size / 8;
+        let enabled = (0..8).take_while(|i| srd & (1 << i) == 0).count() as u32;
+        stack.base + enabled * sub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn napot_roundtrip() {
+        for (base, size) in [(0x2000_0000u32, 32u32), (0x4000_4000, 0x400), (0x0800_0000, 1 << 20)]
+        {
+            let a = napot_addr(base, size);
+            assert_eq!(napot_decode(a), (base, size));
+        }
+    }
+
+    #[test]
+    fn lowest_entry_wins() {
+        let mut pmp = Pmp::new();
+        // Entry 0: RW window inside...
+        pmp.set(
+            0,
+            PmpEntry {
+                r: true,
+                w: true,
+                x: false,
+                mode: PmpMode::Napot,
+                addr: napot_addr(0x2000_0100, 0x100),
+            },
+        );
+        // ...entry 1: read-only cover of the whole page.
+        pmp.set(
+            1,
+            PmpEntry {
+                r: true,
+                w: false,
+                x: false,
+                mode: PmpMode::Napot,
+                addr: napot_addr(0x2000_0000, 0x1000),
+            },
+        );
+        assert!(pmp.check(0x2000_0180, 4, PmpAccess::Write, PrivMode::User));
+        assert!(!pmp.check(0x2000_0480, 4, PmpAccess::Write, PrivMode::User));
+        assert!(pmp.check(0x2000_0480, 4, PmpAccess::Read, PrivMode::User));
+    }
+
+    #[test]
+    fn unmatched_access_mode_rule() {
+        let pmp = Pmp::new();
+        assert!(pmp.check(0x1234, 4, PmpAccess::Read, PrivMode::Machine));
+        assert!(!pmp.check(0x1234, 4, PmpAccess::Read, PrivMode::User));
+    }
+
+    #[test]
+    fn tor_pair_matches_exact_range() {
+        let mut pmp = Pmp::new();
+        pmp.set(0, PmpEntry { r: false, w: false, x: false, mode: PmpMode::Off, addr: 0x2000_0000 >> 2 });
+        pmp.set(1, PmpEntry { r: true, w: true, x: false, mode: PmpMode::Tor, addr: 0x2000_0600 >> 2 });
+        assert!(pmp.check(0x2000_0000, 4, PmpAccess::Write, PrivMode::User));
+        assert!(pmp.check(0x2000_05FC, 4, PmpAccess::Write, PrivMode::User));
+        assert!(!pmp.check(0x2000_0600, 4, PmpAccess::Write, PrivMode::User));
+        // TOR's arbitrary bound expresses what the ARM MPU needs
+        // sub-regions for.
+        assert!(!pmp.check(0x2000_05FE, 4, PmpAccess::Write, PrivMode::User));
+    }
+
+    #[test]
+    fn straddling_access_is_denied() {
+        let mut pmp = Pmp::new();
+        pmp.set(
+            0,
+            PmpEntry {
+                r: true,
+                w: true,
+                x: false,
+                mode: PmpMode::Napot,
+                addr: napot_addr(0x2000_0000, 0x100),
+            },
+        );
+        assert!(!pmp.check(0x2000_00FE, 4, PmpAccess::Write, PrivMode::User));
+    }
+}

@@ -1,0 +1,789 @@
+//! The IR interpreter.
+//!
+//! Executes a [`LoadedImage`] over a [`Machine`], raising supervisor
+//! events for operation switches and faults. See the crate docs for the
+//! behavioural commitments.
+
+use opec_armv7m::clock::costs;
+use opec_armv7m::mem::AddressClass;
+use opec_armv7m::{Exception, Machine, Mode};
+use opec_ir::module::{BinOp, UnOp};
+use opec_ir::{FuncId, GlobalId, Inst, LocalId, Operand, RegId, Terminator};
+
+use crate::image::{GlobalSlot, LoadedImage};
+use crate::supervisor::{CpuContext, FaultFixup, Supervisor, SwitchKind, SwitchRequest};
+use crate::trace::{Trace, TraceEvent};
+
+/// Maps an instruction's value/address virtual registers onto the
+/// architectural registers used in its emitted Thumb-2 encoding.
+///
+/// `rt` (the transfer register) is drawn from r0–r5 and `rn` (the base
+/// register) from r6–r11, so the two never collide even for immediate
+/// operands. Image generators and the VM must agree on this mapping:
+/// the generator encodes the instruction word with these registers, and
+/// the VM materialises the corresponding values into the
+/// [`CpuContext`] before each access so a fault handler can decode and
+/// emulate faithfully.
+pub fn thumb_regs_for(value_reg: Option<RegId>, addr_reg: Option<RegId>) -> (u8, u8) {
+    let rt = value_reg.map(|r| (r.0 % 6) as u8).unwrap_or(0);
+    let rn = 6 + addr_reg.map(|r| (r.0 % 6) as u8).unwrap_or(0);
+    (rt, rn)
+}
+
+/// Why a run ended successfully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The program executed a `halt` (the profiling stop point).
+    Halted {
+        /// Cycle count at the halt.
+        cycles: u64,
+    },
+    /// `main` returned.
+    Returned {
+        /// `main`'s return value, if it produces one.
+        value: Option<u32>,
+        /// Cycle count at return.
+        cycles: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Cycles consumed by the run.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            RunOutcome::Halted { cycles } | RunOutcome::Returned { cycles, .. } => *cycles,
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The supervisor terminated the program (security violation,
+    /// sanitization failure, unrecoverable fault).
+    Aborted {
+        /// Human-readable reason.
+        reason: String,
+        /// PC of the instruction that triggered the abort.
+        pc: u32,
+    },
+    /// An indirect call did not land on a function.
+    BadIndirectCall {
+        /// The bogus target address.
+        target: u32,
+    },
+    /// The fuel budget was exhausted.
+    OutOfFuel,
+    /// Call depth exceeded the frame limit.
+    StackExhausted,
+    /// Internal inconsistency (a bug in the image or VM).
+    Internal(String),
+}
+
+impl core::fmt::Display for VmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VmError::Aborted { reason, pc } => write!(f, "aborted at {pc:#010x}: {reason}"),
+            VmError::BadIndirectCall { target } => {
+                write!(f, "indirect call to non-function address {target:#010x}")
+            }
+            VmError::OutOfFuel => write!(f, "fuel exhausted"),
+            VmError::StackExhausted => write!(f, "frame limit exceeded"),
+            VmError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Instructions executed.
+    pub insts: u64,
+    /// Direct + indirect calls performed.
+    pub calls: u64,
+    /// Operation switches (enter events).
+    pub op_enters: u64,
+    /// Faults resolved by `Retry` (MPU virtualization hits).
+    pub faults_retried: u64,
+    /// Faults resolved by `Emulated` (core-peripheral emulation hits).
+    pub faults_emulated: u64,
+    /// Explicit `svc` instructions executed.
+    pub svcs: u64,
+    /// Interrupt handler dispatches.
+    pub irqs: u64,
+}
+
+struct Frame {
+    func: FuncId,
+    regs: Vec<u32>,
+    block: usize,
+    inst: usize,
+    locals_base: u32,
+    local_offsets: Vec<u32>,
+    saved_sp: u32,
+    ret_dst: Option<RegId>,
+    op_call: Option<OpCall>,
+    /// For interrupt frames: the thread mode to restore on return.
+    irq_restore_mode: Option<Mode>,
+}
+
+struct OpCall {
+    op: u8,
+    entry: FuncId,
+    args: Vec<u32>,
+    stack_args_addr: Option<u32>,
+    n_stack_args: u32,
+}
+
+/// Default instruction budget for [`Vm::run`].
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+const MAX_FRAMES: usize = 256;
+
+/// The virtual machine: machine + image + supervisor.
+pub struct Vm<S: Supervisor> {
+    /// The simulated microcontroller.
+    pub machine: Machine,
+    /// The program image.
+    pub image: LoadedImage,
+    /// The privileged runtime.
+    pub supervisor: S,
+    /// Architectural register mirror used by fault handlers.
+    pub cpu: CpuContext,
+    /// Execution counters.
+    pub stats: VmStats,
+    /// Optional execution trace.
+    pub trace: Option<Trace>,
+    sp: u32,
+    frames: Vec<Frame>,
+    irq_depth: u32,
+}
+
+impl<S: Supervisor> Vm<S> {
+    /// Creates a VM, programs the image into the machine, and leaves it
+    /// ready to [`run`](Vm::run).
+    pub fn new(machine: Machine, image: LoadedImage, supervisor: S) -> Result<Vm<S>, String> {
+        let mut machine = machine;
+        image.load_into(&mut machine)?;
+        let sp = image.stack.end();
+        Ok(Vm {
+            machine,
+            image,
+            supervisor,
+            cpu: CpuContext::default(),
+            stats: VmStats::default(),
+            trace: None,
+            sp,
+            frames: Vec::new(),
+            irq_depth: 0,
+        })
+    }
+
+    /// Enables function-level tracing.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::new());
+    }
+
+    /// Current stack pointer (for tests and the monitor's assertions).
+    pub fn sp(&self) -> u32 {
+        self.sp
+    }
+
+    /// Runs the program from reset until halt, return of `main`, an
+    /// error, or fuel exhaustion.
+    pub fn run(&mut self, fuel: u64) -> Result<RunOutcome, VmError> {
+        // Reset: start at the image's application privilege level; the
+        // supervisor's initialisation (which performs its own work at
+        // the privileged level explicitly) has the final word — OPEC
+        // drops to unprivileged, ACES picks the main compartment's
+        // level, the baseline stays as linked.
+        self.machine.mode = self.image.app_mode;
+        self.supervisor
+            .on_reset(&mut self.machine)
+            .map_err(|reason| VmError::Aborted { reason, pc: self.machine.current_pc })?;
+        let entry = self.image.entry;
+        self.push_call(entry, Vec::new(), None)?;
+        let mut remaining = fuel;
+        loop {
+            if remaining == 0 {
+                return Err(VmError::OutOfFuel);
+            }
+            remaining -= 1;
+            // Interrupt dispatch between instructions (cheap check,
+            // throttled to every 32 steps).
+            if remaining & 31 == 0 {
+                self.dispatch_irq()?;
+            }
+            match self.step()? {
+                StepResult::Continue => {}
+                StepResult::Halted => {
+                    return Ok(RunOutcome::Halted { cycles: self.machine.clock.now() })
+                }
+                StepResult::MainReturned(value) => {
+                    return Ok(RunOutcome::Returned {
+                        value,
+                        cycles: self.machine.clock.now(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn frame(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("no active frame")
+    }
+
+    fn reg(&self, r: RegId) -> u32 {
+        self.frames.last().expect("no active frame").regs[r.0 as usize]
+    }
+
+    fn set_reg(&mut self, r: RegId, v: u32) {
+        self.frame().regs[r.0 as usize] = v;
+    }
+
+    fn op_value(&self, op: &Operand) -> u32 {
+        match op {
+            Operand::Reg(r) => self.reg(*r),
+            Operand::Imm(v) => *v,
+        }
+    }
+
+    fn charge(&mut self, cycles: u64) {
+        self.machine.clock.tick(cycles);
+        // Device-internal time (baud pacing, block busy periods, frame
+        // gaps, capture delays) advances with CPU time.
+        self.machine.tick_devices(cycles);
+    }
+
+    fn mem_cost(addr: u32) -> u64 {
+        if AddressClass::of(addr).is_peripheral() {
+            costs::MMIO
+        } else {
+            costs::MEM
+        }
+    }
+
+    /// Resolves the runtime address of a global, going through the
+    /// relocation table when the image says so (and paying for the extra
+    /// indirection, which is part of OPEC's measured overhead).
+    fn global_addr(&mut self, g: GlobalId) -> Result<u32, VmError> {
+        match self.image.global_slots[g.0 as usize] {
+            GlobalSlot::Fixed(a) => Ok(a),
+            GlobalSlot::Reloc { entry_addr } => {
+                self.charge(costs::MEM);
+                self.checked_load(entry_addr, 4, None, None)
+            }
+        }
+    }
+
+    fn local_addr(&self, l: LocalId) -> u32 {
+        let f = self.frames.last().expect("no active frame");
+        f.locals_base + f.local_offsets[l.0 as usize]
+    }
+
+    /// A load with full fault handling. `value_reg`/`addr_reg` are the
+    /// virtual registers behind the access (for the Thumb-2 register
+    /// mapping); pass `None` for internal accesses such as
+    /// relocation-table reads.
+    fn checked_load(
+        &mut self,
+        addr: u32,
+        size: u8,
+        value_reg: Option<RegId>,
+        addr_reg: Option<RegId>,
+    ) -> Result<u32, VmError> {
+        let (rt, rn) = thumb_regs_for(value_reg, addr_reg);
+        self.cpu.regs[rn as usize] = addr;
+        let mut attempts = 0;
+        loop {
+            match self.machine.load(addr, u32::from(size), self.machine.mode) {
+                Ok(v) => return Ok(v),
+                Err(exc) => {
+                    attempts += 1;
+                    if attempts > 2 {
+                        return Err(VmError::Aborted {
+                            reason: format!("repeated fault loading {addr:#010x}"),
+                            pc: self.machine.current_pc,
+                        });
+                    }
+                    match self.dispatch_fault(exc)? {
+                        FaultFixup::Retry => continue,
+                        FaultFixup::Emulated => return Ok(self.cpu.regs[rt as usize]),
+                        FaultFixup::Abort(reason) => {
+                            return Err(VmError::Aborted {
+                                reason,
+                                pc: self.machine.current_pc,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A store with full fault handling.
+    fn checked_store(
+        &mut self,
+        addr: u32,
+        size: u8,
+        value: u32,
+        value_reg: Option<RegId>,
+        addr_reg: Option<RegId>,
+    ) -> Result<(), VmError> {
+        let (rt, rn) = thumb_regs_for(value_reg, addr_reg);
+        self.cpu.regs[rn as usize] = addr;
+        self.cpu.regs[rt as usize] = value;
+        let mut attempts = 0;
+        loop {
+            match self.machine.store(addr, u32::from(size), value, self.machine.mode) {
+                Ok(()) => return Ok(()),
+                Err(exc) => {
+                    attempts += 1;
+                    if attempts > 2 {
+                        return Err(VmError::Aborted {
+                            reason: format!("repeated fault storing {addr:#010x}"),
+                            pc: self.machine.current_pc,
+                        });
+                    }
+                    match self.dispatch_fault(exc)? {
+                        FaultFixup::Retry => continue,
+                        FaultFixup::Emulated => return Ok(()),
+                        FaultFixup::Abort(reason) => {
+                            return Err(VmError::Aborted {
+                                reason,
+                                pc: self.machine.current_pc,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch_fault(&mut self, exc: Exception) -> Result<FaultFixup, VmError> {
+        self.charge(costs::EXC_ENTRY);
+        let saved_mode = self.machine.mode;
+        self.machine.mode = Mode::Privileged;
+        let fixup = match exc {
+            Exception::MemManage(fi) => {
+                self.supervisor.on_mem_fault(&mut self.machine, fi, &mut self.cpu)
+            }
+            Exception::BusFault(fi) => {
+                self.supervisor.on_bus_fault(&mut self.machine, fi, &mut self.cpu)
+            }
+            other => FaultFixup::Abort(format!("unrecoverable exception {}", other.name())),
+        };
+        self.machine.mode = saved_mode;
+        self.charge(costs::EXC_RETURN);
+        match &fixup {
+            FaultFixup::Retry => self.stats.faults_retried += 1,
+            FaultFixup::Emulated => self.stats.faults_emulated += 1,
+            FaultFixup::Abort(_) => {}
+        }
+        Ok(fixup)
+    }
+
+    fn push_call(
+        &mut self,
+        callee: FuncId,
+        mut args: Vec<u32>,
+        ret_dst: Option<RegId>,
+    ) -> Result<(), VmError> {
+        if self.frames.len() >= MAX_FRAMES {
+            return Err(VmError::StackExhausted);
+        }
+        self.charge(costs::CALL);
+        self.stats.calls += 1;
+        let saved_sp = self.sp;
+        // Stack-passed arguments (beyond the first four).
+        let n_stack_args = args.len().saturating_sub(4) as u32;
+        let mut stack_args_addr = None;
+        if n_stack_args > 0 {
+            self.sp -= 4 * n_stack_args;
+            let base = self.sp;
+            stack_args_addr = Some(base);
+            for i in 0..n_stack_args {
+                self.charge(costs::MEM);
+                let v = args[4 + i as usize];
+                self.checked_store(base + 4 * i, 4, v, None, None)?;
+            }
+        }
+        // Operation switch (the compiler-inserted SVC before the call).
+        let mut op_call = None;
+        if let Some(&op) = self.image.op_entries.get(&callee) {
+            if self.supervisor.wants_switch(op) {
+                self.stats.op_enters += 1;
+                self.charge(costs::EXC_ENTRY);
+                let saved_mode = self.machine.mode;
+                self.machine.mode = Mode::Privileged;
+                let mut app_mode = saved_mode;
+                let mut req = SwitchRequest {
+                    kind: SwitchKind::Enter,
+                    entry: callee,
+                    op,
+                    args: &mut args,
+                    stack_args_addr,
+                    n_stack_args,
+                    sp: &mut self.sp,
+                    app_mode: &mut app_mode,
+                };
+                let result = self.supervisor.on_operation_enter(&mut self.machine, &mut req);
+                self.machine.mode = app_mode;
+                self.charge(costs::EXC_RETURN);
+                result.map_err(|reason| VmError::Aborted {
+                    reason,
+                    pc: self.machine.current_pc,
+                })?;
+                if let Some(t) = &mut self.trace {
+                    t.push(TraceEvent::OpEnter(op, callee));
+                }
+                op_call = Some(OpCall {
+                    op,
+                    entry: callee,
+                    args: args.clone(),
+                    stack_args_addr,
+                    n_stack_args,
+                });
+            }
+        }
+        // Allocate stack locals.
+        let (local_offsets, locals_size) = {
+            let module = &self.image.module;
+            let f = module.func(callee);
+            let mut offsets = Vec::with_capacity(f.locals.len());
+            let mut cursor = 0u32;
+            for l in &f.locals {
+                let align = module.types.align_of(&l.ty).max(4);
+                cursor = (cursor + align - 1) & !(align - 1);
+                offsets.push(cursor);
+                cursor += module.types.size_of(&l.ty);
+            }
+            (offsets, (cursor + 7) & !7)
+        };
+        self.sp -= locals_size;
+        let locals_base = self.sp;
+        let num_regs = self.image.module.func(callee).num_regs as usize;
+        let mut regs = vec![0u32; num_regs];
+        for (i, v) in args.iter().enumerate().take(num_regs) {
+            regs[i] = *v;
+        }
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::FuncEnter(callee));
+        }
+        self.frames.push(Frame {
+            func: callee,
+            regs,
+            block: 0,
+            inst: 0,
+            locals_base,
+            local_offsets,
+            saved_sp,
+            ret_dst,
+            op_call,
+            irq_restore_mode: None,
+        });
+        Ok(())
+    }
+
+    /// Dispatches a pending device interrupt, if any: the handler runs
+    /// at the privileged level on the current stack, like an ARMv7-M
+    /// exception (handler mode), and is never an operation entry.
+    fn dispatch_irq(&mut self) -> Result<(), VmError> {
+        if self.irq_depth > 0 || self.image.irq_vector.is_empty() {
+            return Ok(());
+        }
+        let pending: Vec<String> =
+            self.machine.pending_irqs().into_iter().map(str::to_string).collect();
+        for dev in pending {
+            let Some(&handler) = self.image.irq_vector.get(&dev) else { continue };
+            self.stats.irqs += 1;
+            self.irq_depth += 1;
+            self.charge(costs::EXC_ENTRY);
+            let restore = self.machine.mode;
+            self.machine.mode = Mode::Privileged;
+            self.push_call(handler, Vec::new(), None)?;
+            self.frame().irq_restore_mode = Some(restore);
+            return Ok(());
+        }
+        Ok(())
+    }
+
+    fn pop_return(&mut self, value: Option<u32>) -> Result<Option<Option<u32>>, VmError> {
+        self.charge(costs::RET);
+        let frame = self.frames.pop().expect("return without frame");
+        if let Some(restore) = frame.irq_restore_mode {
+            // Exception return: drop back to thread mode.
+            self.machine.mode = restore;
+            self.irq_depth = self.irq_depth.saturating_sub(1);
+            self.charge(costs::EXC_RETURN);
+        }
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::FuncExit(frame.func));
+        }
+        // Operation exit (the compiler-inserted SVC after the call).
+        if let Some(mut oc) = frame.op_call {
+            self.charge(costs::EXC_ENTRY);
+            let saved_mode = self.machine.mode;
+            self.machine.mode = Mode::Privileged;
+            let mut app_mode = saved_mode;
+            let mut req = SwitchRequest {
+                kind: SwitchKind::Exit,
+                entry: oc.entry,
+                op: oc.op,
+                args: &mut oc.args,
+                stack_args_addr: oc.stack_args_addr,
+                n_stack_args: oc.n_stack_args,
+                sp: &mut self.sp,
+                app_mode: &mut app_mode,
+            };
+            let result = self.supervisor.on_operation_exit(&mut self.machine, &mut req);
+            self.machine.mode = app_mode;
+            self.charge(costs::EXC_RETURN);
+            result.map_err(|reason| VmError::Aborted {
+                reason,
+                pc: self.machine.current_pc,
+            })?;
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::OpExit(oc.op, oc.entry));
+            }
+        }
+        self.sp = frame.saved_sp;
+        if self.frames.is_empty() {
+            return Ok(Some(value));
+        }
+        if let Some(dst) = frame.ret_dst {
+            if let Some(v) = value {
+                self.set_reg(dst, v);
+            }
+        }
+        Ok(None)
+    }
+
+    fn step(&mut self) -> Result<StepResult, VmError> {
+        self.stats.insts += 1;
+        let (func, block, inst_idx) = {
+            let f = self.frames.last().expect("no active frame");
+            (f.func, f.block, f.inst)
+        };
+        let blocks = &self.image.module.func(func).blocks;
+        let b = &blocks[block];
+        if inst_idx >= b.insts.len() {
+            // Terminator.
+            let term = b.term.clone();
+            return self.exec_term(func, term);
+        }
+        let inst = b.insts[inst_idx].clone();
+        self.machine.current_pc = self.image.inst_addr(func, block, inst_idx);
+        self.frame().inst += 1;
+        if matches!(inst, Inst::Halt) {
+            return Ok(StepResult::Halted);
+        }
+        self.exec_inst(inst)?;
+        Ok(StepResult::Continue)
+    }
+
+    fn exec_term(&mut self, _func: FuncId, term: Terminator) -> Result<StepResult, VmError> {
+        match term {
+            Terminator::Br(t) => {
+                self.charge(costs::BRANCH_TAKEN);
+                let f = self.frame();
+                f.block = t.0 as usize;
+                f.inst = 0;
+                Ok(StepResult::Continue)
+            }
+            Terminator::CondBr { cond, then_to, else_to } => {
+                let c = self.op_value(&cond);
+                let target = if c != 0 { then_to } else { else_to };
+                self.charge(if c != 0 { costs::BRANCH_TAKEN } else { costs::BRANCH_NOT_TAKEN });
+                let f = self.frame();
+                f.block = target.0 as usize;
+                f.inst = 0;
+                Ok(StepResult::Continue)
+            }
+            Terminator::Ret(v) => {
+                let value = v.map(|op| self.op_value(&op));
+                match self.pop_return(value)? {
+                    Some(main_value) => Ok(StepResult::MainReturned(main_value)),
+                    None => Ok(StepResult::Continue),
+                }
+            }
+            Terminator::Unreachable => Err(VmError::Internal(format!(
+                "unreachable executed at {:#010x}",
+                self.machine.current_pc
+            ))),
+        }
+    }
+
+    fn exec_inst(&mut self, inst: Inst) -> Result<(), VmError> {
+        match inst {
+            Inst::Mov { dst, src } => {
+                self.charge(costs::ALU);
+                let v = self.op_value(&src);
+                self.set_reg(dst, v);
+            }
+            Inst::Un { dst, op, src } => {
+                self.charge(costs::ALU);
+                let v = self.op_value(&src);
+                let r = match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => !v,
+                };
+                self.set_reg(dst, r);
+            }
+            Inst::Bin { dst, op, lhs, rhs } => {
+                self.charge(costs::ALU);
+                let a = self.op_value(&lhs);
+                let b = self.op_value(&rhs);
+                self.set_reg(dst, eval_bin(op, a, b));
+            }
+            Inst::AddrOfGlobal { dst, global, offset } => {
+                self.charge(costs::ALU);
+                let base = self.global_addr(global)?;
+                self.set_reg(dst, base + offset);
+            }
+            Inst::AddrOfLocal { dst, local, offset } => {
+                self.charge(costs::ALU);
+                let a = self.local_addr(local) + offset;
+                self.set_reg(dst, a);
+            }
+            Inst::AddrOfFunc { dst, func } => {
+                self.charge(costs::ALU);
+                let a = self.image.func_addrs[func.0 as usize];
+                self.set_reg(dst, a);
+            }
+            Inst::LoadGlobal { dst, global, offset, size } => {
+                let base = self.global_addr(global)?;
+                let addr = base + offset;
+                self.charge(Self::mem_cost(addr));
+                let v = self.checked_load(addr, size, Some(dst), None)?;
+                self.set_reg(dst, v);
+            }
+            Inst::StoreGlobal { global, offset, value, size } => {
+                let base = self.global_addr(global)?;
+                let addr = base + offset;
+                self.charge(Self::mem_cost(addr));
+                let v = self.op_value(&value);
+                let vreg = match value {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                self.checked_store(addr, size, v, vreg, None)?;
+            }
+            Inst::Load { dst, addr, size } => {
+                let a = self.op_value(&addr);
+                self.charge(Self::mem_cost(a));
+                let areg = match addr {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                let v = self.checked_load(a, size, Some(dst), areg)?;
+                self.set_reg(dst, v);
+            }
+            Inst::Store { addr, value, size } => {
+                let a = self.op_value(&addr);
+                self.charge(Self::mem_cost(a));
+                let v = self.op_value(&value);
+                let areg = match addr {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                let vreg = match value {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                self.checked_store(a, size, v, vreg, areg)?;
+            }
+            Inst::Call { dst, callee, args } => {
+                let vals: Vec<u32> = args.iter().map(|a| self.op_value(a)).collect();
+                self.push_call(callee, vals, dst)?;
+            }
+            Inst::CallIndirect { dst, fptr, args, .. } => {
+                let target_addr = self.op_value(&fptr);
+                let callee = self
+                    .image
+                    .func_at(target_addr)
+                    .ok_or(VmError::BadIndirectCall { target: target_addr })?;
+                let vals: Vec<u32> = args.iter().map(|a| self.op_value(a)).collect();
+                self.charge(costs::ALU); // blx register setup
+                self.push_call(callee, vals, dst)?;
+            }
+            Inst::Memcpy { dst, src, len } => {
+                let d = self.op_value(&dst);
+                let s = self.op_value(&src);
+                let n = self.op_value(&len);
+                self.charge(u64::from(n));
+                for i in 0..n {
+                    let b = self.checked_load(s + i, 1, None, None)?;
+                    self.checked_store(d + i, 1, b, None, None)?;
+                }
+            }
+            Inst::Memset { dst, val, len } => {
+                let d = self.op_value(&dst);
+                let v = self.op_value(&val);
+                let n = self.op_value(&len);
+                self.charge(u64::from(n) / 2 + 1);
+                for i in 0..n {
+                    self.checked_store(d + i, 1, v & 0xFF, None, None)?;
+                }
+            }
+            Inst::Svc { imm } => {
+                self.stats.svcs += 1;
+                self.charge(costs::EXC_ENTRY);
+                let saved_mode = self.machine.mode;
+                self.machine.mode = Mode::Privileged;
+                let result = self.supervisor.on_svc(&mut self.machine, imm);
+                self.machine.mode = saved_mode;
+                self.charge(costs::EXC_RETURN);
+                result.map_err(|reason| VmError::Aborted {
+                    reason,
+                    pc: self.machine.current_pc,
+                })?;
+            }
+            Inst::Halt => {
+                // `step` intercepts Halt before dispatching here.
+                return Err(VmError::Internal("halt reached exec_inst".into()));
+            }
+            Inst::Nop => {
+                self.charge(costs::ALU);
+            }
+        }
+        Ok(())
+    }
+}
+
+enum StepResult {
+    Continue,
+    Halted,
+    MainReturned(Option<u32>),
+}
+
+impl<S: Supervisor> Vm<S> {
+    /// Exposes total cycles (the DWT view).
+    pub fn cycles(&self) -> u64 {
+        self.machine.clock.now()
+    }
+}
+
+fn eval_bin(op: BinOp, a: u32, b: u32) -> u32 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        // DIV by zero yields 0 (a Cortex-M with DIV_0_TRP clear).
+        BinOp::UDiv => a.checked_div(b).unwrap_or(0),
+        BinOp::URem => a.checked_rem(b).unwrap_or(0),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b),
+        BinOp::Shr => a.wrapping_shr(b),
+        BinOp::CmpEq => u32::from(a == b),
+        BinOp::CmpNe => u32::from(a != b),
+        BinOp::CmpLtU => u32::from(a < b),
+        BinOp::CmpLtS => u32::from((a as i32) < (b as i32)),
+    }
+}
+
+#[cfg(test)]
+mod tests;

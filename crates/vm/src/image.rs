@@ -1,0 +1,302 @@
+//! The loadable program image.
+//!
+//! A [`LoadedImage`] is what a linker would hand to the flash programmer:
+//! function addresses in the Code region, per-global address slots
+//! (fixed, or routed through a relocation-table entry that privileged
+//! code rewires), raw bytes to program into Flash and SRAM, the stack
+//! window, operation entry markers, and the reset privilege level.
+//!
+//! `opec-core` builds OPEC images (shadowed data sections, relocation
+//! tables, SVC-marked operation entries); `opec-aces` builds ACES
+//! images; [`link_baseline`] builds the vanilla image used as the
+//! measurement baseline in the paper's evaluation.
+
+use std::collections::HashMap;
+
+use opec_armv7m::mem::MemRegion;
+use opec_armv7m::{Board, Machine, Mode};
+use opec_ir::{FuncId, Module};
+
+/// Operation identifier (the paper's operations are small in number; the
+/// default `main` operation is id 0).
+pub type OpId = u8;
+
+/// How compiled code reaches a global variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalSlot {
+    /// The global lives at a fixed address (baseline, and OPEC-internal
+    /// variables inside their owning operation's data section).
+    Fixed(u32),
+    /// The global is reached through a relocation-table entry holding
+    /// the address of the currently active copy. Compiled code loads
+    /// the pointer from `entry_addr`, then accesses through it; the
+    /// monitor rewrites the entry during operation switches.
+    Reloc {
+        /// Address of the 4-byte relocation-table entry.
+        entry_addr: u32,
+    },
+}
+
+/// Layout and metadata of a linked program.
+#[derive(Debug, Clone)]
+pub struct LoadedImage {
+    /// The program being executed.
+    pub module: Module,
+    /// Flash address of each function (indexed by `FuncId`).
+    pub func_addrs: Vec<u32>,
+    /// Per-instruction flash addresses: `inst_addrs[f][b][i]`.
+    pub inst_addrs: Vec<Vec<Vec<u32>>>,
+    /// Address slot for each global (indexed by `GlobalId`).
+    pub global_slots: Vec<GlobalSlot>,
+    /// The program entry function (`main`).
+    pub entry: FuncId,
+    /// Operation entry functions and their ids; calls to these raise
+    /// enter/exit supervisor events (the compiler-inserted SVCs).
+    pub op_entries: HashMap<FuncId, OpId>,
+    /// Interrupt vector: device name → handler function. Handlers run
+    /// at the privileged level on the current stack and are never
+    /// operation entries (paper §4.3).
+    pub irq_vector: HashMap<String, FuncId>,
+    /// The application stack window (grows downward from `end()`).
+    pub stack: MemRegion,
+    /// Privilege level application code starts in. The baseline runs
+    /// privileged (no isolation); OPEC drops to unprivileged during
+    /// monitor initialisation.
+    pub app_mode: Mode,
+    /// Bytes to program into Flash: `(address, bytes)`.
+    pub flash_init: Vec<(u32, Vec<u8>)>,
+    /// Bytes to load into SRAM before reset: `(address, bytes)`.
+    pub sram_init: Vec<(u32, Vec<u8>)>,
+    /// Total Flash footprint in bytes (code + rodata + metadata), for
+    /// the Flash-overhead metric.
+    pub flash_used: u32,
+    /// Total SRAM footprint in bytes (data sections + stack), for the
+    /// SRAM-overhead metric.
+    pub sram_used: u32,
+}
+
+impl LoadedImage {
+    /// Programs the image into a machine (flash + SRAM initial data).
+    pub fn load_into(&self, machine: &mut Machine) -> Result<(), String> {
+        for (addr, bytes) in &self.flash_init {
+            machine.load_flash(*addr, bytes)?;
+        }
+        for (addr, bytes) in &self.sram_init {
+            machine.load_sram(*addr, bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Finds the function whose modelled code range contains `addr`
+    /// (used to resolve indirect calls through function addresses).
+    pub fn func_at(&self, addr: u32) -> Option<FuncId> {
+        self.func_addrs.iter().enumerate().find_map(|(i, &base)| {
+            let f = FuncId(i as u32);
+            let size = self.module.func(f).code_size();
+            if addr >= base && addr < base + size {
+                Some(f)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Flash address of instruction `i` of block `b` of function `f`.
+    pub fn inst_addr(&self, f: FuncId, block: usize, inst: usize) -> u32 {
+        self.inst_addrs[f.0 as usize][block][inst]
+    }
+}
+
+/// Assigns flash addresses to every function and instruction starting at
+/// `code_base`, returning `(func_addrs, inst_addrs, end_address)`.
+pub fn layout_code(
+    module: &Module,
+    code_base: u32,
+) -> (Vec<u32>, Vec<Vec<Vec<u32>>>, u32) {
+    let mut func_addrs = Vec::with_capacity(module.funcs.len());
+    let mut inst_addrs = Vec::with_capacity(module.funcs.len());
+    let mut cursor = code_base;
+    for f in &module.funcs {
+        // 4-byte align each function (Thumb functions are 2-aligned on
+        // hardware; 4 keeps the model simple).
+        cursor = (cursor + 3) & !3;
+        func_addrs.push(cursor);
+        let mut blocks = Vec::with_capacity(f.blocks.len());
+        let mut pc = cursor + 4; // modelled prologue
+        for b in &f.blocks {
+            let mut insts = Vec::with_capacity(b.insts.len());
+            for i in &b.insts {
+                insts.push(pc);
+                pc += i.encoded_size();
+            }
+            pc += b.term.encoded_size();
+            blocks.push(insts);
+        }
+        inst_addrs.push(blocks);
+        cursor += f.code_size();
+    }
+    (func_addrs, inst_addrs, cursor)
+}
+
+/// Default size of the application stack in a linked image.
+pub const DEFAULT_STACK_SIZE: u32 = 0x1000;
+
+/// Links a **baseline** (vanilla) image: no isolation, all globals at
+/// fixed addresses, application runs privileged with the MPU off — the
+/// measurement baseline of the paper's evaluation.
+pub fn link_baseline(module: Module, board: Board) -> Result<LoadedImage, String> {
+    let code_base = board.flash.base;
+    let (func_addrs, inst_addrs, code_end) = layout_code(&module, code_base);
+    // Constant globals go to flash after the code; mutable globals to
+    // SRAM from the base; the stack sits at the top of SRAM.
+    let mut flash_cursor = (code_end + 3) & !3;
+    let mut sram_cursor = board.sram.base;
+    let mut global_slots = Vec::with_capacity(module.globals.len());
+    let mut flash_init = Vec::new();
+    let mut sram_init = Vec::new();
+    for g in &module.globals {
+        let size = module.types.size_of(&g.ty).max(1);
+        let align = module.types.align_of(&g.ty).max(1);
+        if g.is_const {
+            flash_cursor = round_up(flash_cursor, align);
+            global_slots.push(GlobalSlot::Fixed(flash_cursor));
+            let mut bytes = g.init.clone();
+            bytes.resize(size as usize, 0);
+            flash_init.push((flash_cursor, bytes));
+            flash_cursor += size;
+        } else {
+            sram_cursor = round_up(sram_cursor, align);
+            global_slots.push(GlobalSlot::Fixed(sram_cursor));
+            if !g.init.is_empty() {
+                let mut bytes = g.init.clone();
+                bytes.resize(size as usize, 0);
+                sram_init.push((sram_cursor, bytes));
+            }
+            sram_cursor += size;
+        }
+    }
+    let entry = module
+        .func_by_name("main")
+        .ok_or_else(|| "module has no `main` function".to_string())?;
+    let stack_top = board.sram.end();
+    let stack = MemRegion::new(stack_top - DEFAULT_STACK_SIZE, DEFAULT_STACK_SIZE);
+    if sram_cursor > stack.base {
+        return Err(format!(
+            "data ({:#010x}) collides with stack ({:#010x})",
+            sram_cursor, stack.base
+        ));
+    }
+    let flash_used = flash_cursor - board.flash.base;
+    let sram_used = (sram_cursor - board.sram.base) + stack.size;
+    Ok(LoadedImage {
+        module,
+        func_addrs,
+        inst_addrs,
+        global_slots,
+        entry,
+        op_entries: HashMap::new(),
+        irq_vector: HashMap::new(),
+        stack,
+        app_mode: Mode::Privileged,
+        flash_init,
+        sram_init,
+        flash_used,
+        sram_used,
+    })
+}
+
+fn round_up(v: u32, align: u32) -> u32 {
+    let align = align.max(1);
+    v.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opec_ir::{ModuleBuilder, Ty};
+
+    fn tiny_module() -> Module {
+        let mut mb = ModuleBuilder::new("tiny");
+        let g = mb.global_init("counter", Ty::I32, vec![7, 0, 0, 0], "main.c");
+        let k = mb.const_global("key", Ty::I32, vec![1, 2, 3, 4], "main.c");
+        mb.func("helper", vec![], None, "main.c", |fb| {
+            let v = fb.load_global(g, 0, 4);
+            fb.store_global(g, 0, opec_ir::Operand::Reg(v), 4);
+            fb.ret_void();
+        });
+        mb.func("main", vec![], None, "main.c", |fb| {
+            let _ = fb.load_global(k, 0, 4);
+            fb.halt();
+            fb.ret_void();
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn baseline_link_assigns_disjoint_addresses() {
+        let img = link_baseline(tiny_module(), Board::stm32f4_discovery()).unwrap();
+        // Functions laid out in flash, ascending, 4-aligned.
+        assert!(img.func_addrs[0] >= 0x0800_0000);
+        assert!(img.func_addrs[1] > img.func_addrs[0]);
+        assert_eq!(img.func_addrs[0] % 4, 0);
+        // Mutable global in SRAM, const global in flash.
+        let counter = img.module.global_by_name("counter").unwrap();
+        let key = img.module.global_by_name("key").unwrap();
+        match (img.global_slots[counter.0 as usize], img.global_slots[key.0 as usize]) {
+            (GlobalSlot::Fixed(c), GlobalSlot::Fixed(k)) => {
+                assert!((0x2000_0000..0x2003_0000).contains(&c));
+                assert!((0x0800_0000..0x0810_0000).contains(&k));
+            }
+            other => panic!("unexpected slots {other:?}"),
+        }
+        assert!(img.flash_used > 0);
+        assert!(img.sram_used >= DEFAULT_STACK_SIZE);
+    }
+
+    #[test]
+    fn image_loads_into_machine() {
+        let img = link_baseline(tiny_module(), Board::stm32f4_discovery()).unwrap();
+        let mut m = Machine::new(Board::stm32f4_discovery());
+        img.load_into(&mut m).unwrap();
+        let counter = img.module.global_by_name("counter").unwrap();
+        if let GlobalSlot::Fixed(addr) = img.global_slots[counter.0 as usize] {
+            assert_eq!(m.peek(addr, 4), Some(7));
+        }
+        let key = img.module.global_by_name("key").unwrap();
+        if let GlobalSlot::Fixed(addr) = img.global_slots[key.0 as usize] {
+            assert_eq!(m.peek(addr, 4), Some(0x0403_0201));
+        }
+    }
+
+    #[test]
+    fn func_at_resolves_code_addresses() {
+        let img = link_baseline(tiny_module(), Board::stm32f4_discovery()).unwrap();
+        let helper = img.module.func_by_name("helper").unwrap();
+        let addr = img.func_addrs[helper.0 as usize];
+        assert_eq!(img.func_at(addr), Some(helper));
+        assert_eq!(img.func_at(addr + 2), Some(helper));
+        assert_eq!(img.func_at(0x0900_0000), None);
+    }
+
+    #[test]
+    fn inst_addrs_are_monotonic_within_function() {
+        let img = link_baseline(tiny_module(), Board::stm32f4_discovery()).unwrap();
+        for f in 0..img.module.funcs.len() {
+            let mut last = img.func_addrs[f];
+            for b in &img.inst_addrs[f] {
+                for &a in b {
+                    assert!(a > last || a == img.func_addrs[f] + 4);
+                    last = a;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let mut mb = ModuleBuilder::new("nomain");
+        mb.func("not_main", vec![], None, "a.c", |fb| fb.ret_void());
+        let err = link_baseline(mb.finish(), Board::stm32f4_discovery()).unwrap_err();
+        assert!(err.contains("main"));
+    }
+}

@@ -1,0 +1,40 @@
+//! The firmware execution engine.
+//!
+//! This crate interprets [`opec_ir`] programs over the
+//! [`opec_armv7m::Machine`], giving every load and store the same
+//! privilege/MPU treatment real silicon would. It is deliberately split
+//! from the OPEC runtime: the VM only knows about a *loaded image*
+//! ([`image::LoadedImage`]) and a pluggable [`supervisor::Supervisor`]
+//! that receives SVCs and faults. The OPEC-Monitor (in `opec-core`) and
+//! the ACES runtime (in `opec-aces`) are two implementations of that
+//! trait; the no-isolation baseline uses [`supervisor::NullSupervisor`].
+//!
+//! Behavioural commitments that matter to the paper's evaluation:
+//!
+//! * every data access is checked by the machine (privilege + MPU), so
+//!   isolation violations surface exactly where they would on hardware;
+//! * calls follow an AAPCS-flavoured convention — the first four
+//!   arguments travel in registers, the rest are written to the stack
+//!   *through checked stores*, and stack frames live in simulated SRAM,
+//!   which is what makes the paper's stack sub-region protection
+//!   meaningful;
+//! * calls to operation entry functions raise enter/exit supervisor
+//!   calls, modelling the compiler-inserted `SVC` instructions;
+//! * the cycle clock is charged per instruction with Cortex-M4-style
+//!   costs, and supervisors charge their own handler work, so runtime
+//!   overhead is measurable via the simulated DWT;
+//! * an optional tracer records function entries/exits and operation
+//!   switches — the stand-in for the paper's GDB single-stepping when
+//!   computing the ET metric.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod image;
+pub mod supervisor;
+pub mod trace;
+
+pub use exec::{RunOutcome, Vm, VmError, VmStats};
+pub use image::{link_baseline, GlobalSlot, LoadedImage, OpId};
+pub use supervisor::{CpuContext, FaultFixup, NullSupervisor, Supervisor, SwitchKind, SwitchRequest};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,214 @@
+//! The supervisor interface between the VM and a privileged runtime.
+//!
+//! On hardware, the compiler-inserted `SVC` instructions and the
+//! MemManage/BusFault vectors transfer control to OPEC-Monitor. In the
+//! simulation the VM raises the same events through this trait. The
+//! supervisor receives the machine (so it can program the MPU, copy
+//! memory at the privileged level, and charge cycles to the clock) and a
+//! [`CpuContext`] mirroring the architectural register file of the
+//! interrupted code (what a handler reads from the stacked exception
+//! frame).
+
+use opec_armv7m::{FaultInfo, Machine};
+use opec_ir::FuncId;
+
+/// Architectural register file (r0–r12, sp, lr, pc) visible to fault
+/// handlers, as stacked/banked state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct CpuContext {
+    /// General-purpose registers; index 13 = SP, 14 = LR, 15 = PC.
+    pub regs: [u32; 16],
+}
+
+
+impl CpuContext {
+    /// Reads register `r`.
+    pub fn reg(&self, r: u8) -> u32 {
+        self.regs[r as usize]
+    }
+
+    /// Writes register `r`.
+    pub fn set_reg(&mut self, r: u8, v: u32) {
+        self.regs[r as usize] = v;
+    }
+}
+
+/// What the supervisor decided about a faulting access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultFixup {
+    /// The handler adjusted machine state (e.g. remapped an MPU region);
+    /// the VM re-executes the faulting access.
+    Retry,
+    /// The handler emulated the access at the privileged level. For a
+    /// load, the result has been written to the `rt` register of the
+    /// [`CpuContext`] (decoded from the faulting instruction).
+    Emulated,
+    /// The fault is a genuine violation; the program is terminated with
+    /// this reason. This is the paper's security outcome: a compromised
+    /// or buggy operation touching memory outside its policy is stopped.
+    Abort(String),
+}
+
+/// Direction of an operation switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchKind {
+    /// SVC before the call to an operation entry.
+    Enter,
+    /// SVC after returning from an operation entry.
+    Exit,
+}
+
+/// Everything the monitor can see and adjust during an operation switch.
+#[derive(Debug)]
+pub struct SwitchRequest<'a> {
+    /// Enter or exit.
+    pub kind: SwitchKind,
+    /// The operation entry function being called / returned from.
+    pub entry: FuncId,
+    /// The operation id from the image's entry table.
+    pub op: u8,
+    /// Evaluated argument values. The monitor may rewrite pointer-type
+    /// arguments here to point at relocated copies (paper Figure 8).
+    pub args: &'a mut [u32],
+    /// Address of the block of stack-passed arguments (arguments beyond
+    /// the first four), or `None` when all arguments fit in registers.
+    pub stack_args_addr: Option<u32>,
+    /// Number of stack-passed arguments.
+    pub n_stack_args: u32,
+    /// The stack pointer. The monitor may move it (stack relocation)
+    /// on enter and must restore it on exit.
+    pub sp: &'a mut u32,
+    /// The privilege level application code resumes at after the
+    /// switch. Initialised to the pre-exception level; the supervisor
+    /// may change it (ACES lifts compartments that need core
+    /// peripherals to the privileged level — its "PAC" cost).
+    pub app_mode: &'a mut opec_armv7m::Mode,
+}
+
+/// A privileged runtime attached to the VM.
+pub trait Supervisor {
+    /// Asked before the enter/exit protocol runs for a call to an
+    /// operation-entry function. Returning `false` makes the call an
+    /// ordinary one (no SVC, no switch cost). ACES uses this to switch
+    /// only on *cross-compartment* calls; OPEC always switches.
+    fn wants_switch(&mut self, _op: u8) -> bool {
+        true
+    }
+    /// Runs once before `main`, with the machine still privileged: the
+    /// monitor's initialisation (shadow-copy setup, exception enabling,
+    /// MPU programming, privilege drop).
+    fn on_reset(&mut self, machine: &mut Machine) -> Result<(), String>;
+
+    /// Handles the SVC raised before calling an operation entry.
+    fn on_operation_enter(
+        &mut self,
+        machine: &mut Machine,
+        req: &mut SwitchRequest<'_>,
+    ) -> Result<(), String>;
+
+    /// Handles the SVC raised after an operation entry returns.
+    fn on_operation_exit(
+        &mut self,
+        machine: &mut Machine,
+        req: &mut SwitchRequest<'_>,
+    ) -> Result<(), String>;
+
+    /// Handles an explicit `svc #imm` instruction.
+    fn on_svc(&mut self, _machine: &mut Machine, _imm: u8) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Handles an MPU (MemManage) fault.
+    fn on_mem_fault(
+        &mut self,
+        machine: &mut Machine,
+        fault: FaultInfo,
+        cpu: &mut CpuContext,
+    ) -> FaultFixup;
+
+    /// Handles a bus fault (PPB privilege violation or unmapped access).
+    fn on_bus_fault(
+        &mut self,
+        machine: &mut Machine,
+        fault: FaultInfo,
+        cpu: &mut CpuContext,
+    ) -> FaultFixup;
+}
+
+/// The baseline supervisor: no isolation, no fault tolerance.
+///
+/// Used for the vanilla builds the paper measures against: the program
+/// runs privileged, the MPU is off, and any fault is fatal.
+#[derive(Debug, Default, Clone)]
+pub struct NullSupervisor;
+
+impl Supervisor for NullSupervisor {
+    fn on_reset(&mut self, _machine: &mut Machine) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn on_operation_enter(
+        &mut self,
+        _machine: &mut Machine,
+        _req: &mut SwitchRequest<'_>,
+    ) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn on_operation_exit(
+        &mut self,
+        _machine: &mut Machine,
+        _req: &mut SwitchRequest<'_>,
+    ) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn on_mem_fault(
+        &mut self,
+        _machine: &mut Machine,
+        fault: FaultInfo,
+        _cpu: &mut CpuContext,
+    ) -> FaultFixup {
+        FaultFixup::Abort(format!("unhandled MemManage fault at {:#010x}", fault.address))
+    }
+
+    fn on_bus_fault(
+        &mut self,
+        _machine: &mut Machine,
+        fault: FaultInfo,
+        _cpu: &mut CpuContext,
+    ) -> FaultFixup {
+        FaultFixup::Abort(format!("unhandled BusFault at {:#010x}", fault.address))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_context_register_access() {
+        let mut c = CpuContext::default();
+        c.set_reg(3, 0xDEAD);
+        assert_eq!(c.reg(3), 0xDEAD);
+        assert_eq!(c.reg(0), 0);
+    }
+
+    #[test]
+    fn null_supervisor_aborts_on_faults() {
+        let mut s = NullSupervisor;
+        let mut m = Machine::new(opec_armv7m::Board::stm32f4_discovery());
+        let fi = FaultInfo {
+            address: 0x2000_0000,
+            len: 4,
+            kind: opec_armv7m::AccessKind::Read,
+            cause: opec_armv7m::FaultCause::MpuViolation,
+            pc: 0,
+            write_value: None,
+        };
+        let mut cpu = CpuContext::default();
+        assert!(matches!(s.on_mem_fault(&mut m, fi, &mut cpu), FaultFixup::Abort(_)));
+        assert!(matches!(s.on_bus_fault(&mut m, fi, &mut cpu), FaultFixup::Abort(_)));
+    }
+}

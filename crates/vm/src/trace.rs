@@ -1,0 +1,149 @@
+//! Execution tracing at function granularity.
+//!
+//! The paper extracts per-task executed-function sets by single-stepping
+//! the firmware under GDB (Section 6.4). The VM records the same
+//! information exactly, with operation enter/exit markers so the ET
+//! metric can segment the run into tasks.
+
+use std::collections::BTreeSet;
+
+use opec_ir::FuncId;
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A function body was entered.
+    FuncEnter(FuncId),
+    /// A function returned.
+    FuncExit(FuncId),
+    /// An operation was entered (the id from the image's entry table).
+    OpEnter(u8, FuncId),
+    /// An operation was exited.
+    OpExit(u8, FuncId),
+}
+
+/// An execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Recorded events, in program order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// Splits the trace into *tasks*: for each top-level operation
+    /// invocation, the set of functions executed inside it (including
+    /// nested helper calls). Returns `(op_id, entry, executed set)` per
+    /// invocation.
+    pub fn tasks(&self) -> Vec<(u8, FuncId, BTreeSet<FuncId>)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(u8, FuncId, BTreeSet<FuncId>)> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                TraceEvent::OpEnter(op, entry) => {
+                    stack.push((*op, *entry, BTreeSet::new()));
+                }
+                TraceEvent::OpExit(op, _) => {
+                    if let Some((sop, entry, set)) = stack.pop() {
+                        debug_assert_eq!(sop, *op);
+                        // Nested operations also contribute to the outer
+                        // task's record? No: the paper's tasks are the
+                        // operations themselves; keep them separate.
+                        out.push((sop, entry, set));
+                    }
+                }
+                TraceEvent::FuncEnter(f) => {
+                    if let Some((_, _, set)) = stack.last_mut() {
+                        set.insert(*f);
+                    }
+                }
+                TraceEvent::FuncExit(_) => {}
+            }
+        }
+        out
+    }
+
+    /// The set of all functions that executed at least once.
+    pub fn executed_functions(&self) -> BTreeSet<FuncId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::FuncEnter(f) => Some(*f),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of operation switches (enter events).
+    pub fn op_switches(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::OpEnter(..))).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_segment_by_operation() {
+        let mut t = Trace::new();
+        let f = |i| FuncId(i);
+        t.push(TraceEvent::OpEnter(1, f(10)));
+        t.push(TraceEvent::FuncEnter(f(10)));
+        t.push(TraceEvent::FuncEnter(f(11)));
+        t.push(TraceEvent::FuncExit(f(11)));
+        t.push(TraceEvent::FuncExit(f(10)));
+        t.push(TraceEvent::OpExit(1, f(10)));
+        t.push(TraceEvent::OpEnter(2, f(20)));
+        t.push(TraceEvent::FuncEnter(f(20)));
+        t.push(TraceEvent::FuncExit(f(20)));
+        t.push(TraceEvent::OpExit(2, f(20)));
+        let tasks = t.tasks();
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].0, 1);
+        assert_eq!(tasks[0].2, [f(10), f(11)].into_iter().collect());
+        assert_eq!(tasks[1].2, [f(20)].into_iter().collect());
+        assert_eq!(t.op_switches(), 2);
+        assert_eq!(t.executed_functions().len(), 3);
+    }
+
+    #[test]
+    fn nested_operations_segment_separately() {
+        let mut t = Trace::new();
+        let f = |i| FuncId(i);
+        t.push(TraceEvent::OpEnter(1, f(10)));
+        t.push(TraceEvent::FuncEnter(f(10)));
+        // Nested operation: its functions belong to ITS task record.
+        t.push(TraceEvent::OpEnter(2, f(20)));
+        t.push(TraceEvent::FuncEnter(f(20)));
+        t.push(TraceEvent::FuncEnter(f(21)));
+        t.push(TraceEvent::OpExit(2, f(20)));
+        t.push(TraceEvent::FuncEnter(f(11)));
+        t.push(TraceEvent::OpExit(1, f(10)));
+        let tasks = t.tasks();
+        assert_eq!(tasks.len(), 2);
+        // Inner task closes first.
+        assert_eq!(tasks[0].0, 2);
+        assert_eq!(tasks[0].2, [f(20), f(21)].into_iter().collect());
+        assert_eq!(tasks[1].0, 1);
+        assert_eq!(tasks[1].2, [f(10), f(11)].into_iter().collect());
+    }
+
+    #[test]
+    fn functions_outside_operations_are_not_in_tasks() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::FuncEnter(FuncId(1)));
+        t.push(TraceEvent::FuncExit(FuncId(1)));
+        assert!(t.tasks().is_empty());
+        assert_eq!(t.executed_functions().len(), 1);
+    }
+}

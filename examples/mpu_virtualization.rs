@@ -1,0 +1,106 @@
+//! MPU-region virtualization (paper §5.2): one operation needs more
+//! peripheral windows than the four MPU regions OPEC reserves, so the
+//! monitor serves the overflow from the MemManage fault handler with a
+//! round-robin replacement — and a peripheral *outside* the policy is
+//! still denied.
+//!
+//! ```text
+//! cargo run --example mpu_virtualization
+//! ```
+
+use opec::prelude::*;
+
+fn main() {
+    let mut mb = ModuleBuilder::new("mpu-virt");
+    for p in opec::devices::datasheet() {
+        mb.peripheral(p.name, p.base, p.size, p.is_core);
+    }
+
+    // One operation touching six scattered peripherals: USART1, USART2,
+    // SDIO, LCD, GPIOA, RCC. After merging, that is six windows — two
+    // more than the reserved MPU regions 4–7 can hold at once.
+    let addrs: [(&str, u32); 6] = [
+        ("USART2", 0x4000_4408),
+        ("USART1", 0x4001_1008),
+        ("SDIO", 0x4001_2C04),
+        ("LCD", 0x4001_6804),
+        ("GPIOA", 0x4002_0000),
+        ("RCC", 0x4002_3830),
+    ];
+    let busy_task = mb.func("busy_task", vec![], None, "drv.c", move |fb| {
+        for (_, addr) in addrs {
+            fb.mmio_write(addr, Operand::Imm(1), 4);
+        }
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "main.c", move |fb| {
+        // Touch all six peripherals three times so the round-robin
+        // replacement has to swap windows in and out repeatedly.
+        for _ in 0..3 {
+            fb.call_void(busy_task, vec![]);
+        }
+        fb.halt();
+        fb.ret_void();
+    });
+
+    let board = Board::stm32f4_discovery();
+    let out =
+        opec::core::compile(mb.finish(), board, &[OperationSpec::plain("busy_task")])
+            .expect("compile");
+
+    let policy = out.policy.op(1);
+    println!("busy_task peripheral windows (merged):");
+    for w in &policy.periph_windows {
+        println!("  {:#010x}..{:#010x}", w.base, w.end());
+    }
+    println!(
+        "-> {} windows for 4 reserved MPU regions: virtualization needed\n",
+        policy.periph_windows.len()
+    );
+
+    let mut machine = Machine::new(board);
+    opec::devices::install_standard_devices(&mut machine, Default::default()).unwrap();
+    let policy = out.policy.clone();
+    let mut vm = Vm::new(machine, out.image, opec::core::OpecMonitor::new(policy)).unwrap();
+    vm.run(10_000_000).expect("run");
+    println!(
+        "run completed: {} MemManage faults served by MPU virtualization \
+         (round-robin over regions 4-7), {} retried accesses",
+        vm.supervisor.stats.virt_faults, vm.stats.faults_retried
+    );
+    assert!(vm.supervisor.stats.virt_faults >= 2);
+
+    // A peripheral outside the policy stays unreachable, fault handler
+    // or not: the allow-list check rejects it.
+    let mut mb = ModuleBuilder::new("mpu-virt-deny");
+    for p in opec::devices::datasheet() {
+        mb.peripheral(p.name, p.base, p.size, p.is_core);
+    }
+    let opaque = mb.global("opaque", Ty::I32, "drv.c");
+    let sneaky = mb.func("sneaky_task", vec![], None, "drv.c", move |fb| {
+        fb.mmio_write(0x4000_0000, Operand::Imm(1), 4); // TIM2: in policy
+        // ETH computed at runtime: *not* in this operation's policy.
+        let z = fb.load_global(opaque, 0, 4);
+        let eth = fb.bin(BinOp::Add, Operand::Reg(z), Operand::Imm(0x4002_8000));
+        fb.store(Operand::Reg(eth), Operand::Imm(1), 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "main.c", move |fb| {
+        fb.call_void(sneaky, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let out =
+        opec::core::compile(mb.finish(), board, &[OperationSpec::plain("sneaky_task")])
+            .expect("compile");
+    let mut machine = Machine::new(board);
+    opec::devices::install_standard_devices(&mut machine, Default::default()).unwrap();
+    let policy = out.policy.clone();
+    let mut vm = Vm::new(machine, out.image, opec::core::OpecMonitor::new(policy)).unwrap();
+    match vm.run(10_000_000) {
+        Err(VmError::Aborted { reason, .. }) => {
+            println!("\nout-of-policy peripheral access stopped: {reason}");
+        }
+        other => panic!("expected denial, got {other:?}"),
+    }
+}

@@ -1,0 +1,13 @@
+//! The paper's §6.1 case study, end to end: a compromised `Lock_Task`
+//! uses an arbitrary-write primitive in `HAL_UART_Receive_IT` to
+//! overwrite the smart lock's `KEY` digest, then unlocks with a wrong
+//! pin. On the vanilla firmware the attack succeeds; under OPEC the
+//! rogue write faults and the monitor halts the program.
+//!
+//! ```text
+//! cargo run --example pinlock_attack
+//! ```
+
+fn main() {
+    println!("{}", opec::eval::report::case_study());
+}

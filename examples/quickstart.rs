@@ -1,0 +1,119 @@
+//! Quickstart: write a tiny firmware in the IR, compile it with OPEC,
+//! run it under the monitor, and watch an out-of-policy access get
+//! stopped.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use opec::prelude::*;
+
+fn main() {
+    // A two-task firmware: a sensor task owns `reading`, a logger task
+    // owns `log_count`, and both share `latest` (which OPEC will shadow
+    // per operation and synchronise through the public section).
+    let mut mb = ModuleBuilder::new("quickstart");
+    let reading = mb.global("reading", Ty::I32, "sensor.c");
+    let latest = mb.global("latest", Ty::I32, "shared.c");
+    let log_count = mb.global("log_count", Ty::I32, "logger.c");
+
+    let sensor_task = mb.func("sensor_task", vec![], None, "sensor.c", move |fb| {
+        let v = fb.load_global(reading, 0, 4);
+        let v2 = fb.bin(BinOp::Add, Operand::Reg(v), Operand::Imm(21));
+        fb.store_global(reading, 0, Operand::Reg(v2), 4);
+        fb.store_global(latest, 0, Operand::Reg(v2), 4);
+        fb.ret_void();
+    });
+    let logger_task = mb.func("logger_task", vec![], None, "logger.c", move |fb| {
+        let v = fb.load_global(latest, 0, 4);
+        let c = fb.load_global(log_count, 0, 4);
+        let c2 = fb.bin(BinOp::Add, Operand::Reg(c), Operand::Imm(1));
+        fb.store_global(log_count, 0, Operand::Reg(c2), 4);
+        let _ = v;
+        fb.ret_void();
+    });
+    mb.func("main", vec![], Some(Ty::I32), "main.c", move |fb| {
+        fb.call_void(sensor_task, vec![]);
+        fb.call_void(sensor_task, vec![]);
+        fb.call_void(logger_task, vec![]);
+        let v = fb.load_global(latest, 0, 4);
+        fb.ret(Operand::Reg(v));
+    });
+    let module = mb.finish();
+
+    // Compile with OPEC: each task becomes an isolated operation.
+    let board = Board::stm32f4_discovery();
+    let specs = vec![
+        OperationSpec::plain("sensor_task"),
+        OperationSpec::plain("logger_task"),
+    ];
+    let out = opec::core::compile(module, board, &specs).expect("compile");
+
+    println!("compiled {} operations:", out.partition.ops.len());
+    for op in &out.partition.ops {
+        println!(
+            "  op {} ({:12}) {} function(s), section {:#010x}+{:#x}",
+            op.id,
+            op.name,
+            op.funcs.len(),
+            out.policy.op(op.id).section.base,
+            out.policy.op(op.id).section.size,
+        );
+    }
+    println!(
+        "image: {} bytes flash, {} bytes SRAM ({} shared variables shadowed)",
+        out.image.flash_used,
+        out.image.sram_used,
+        out.policy.externals.len()
+    );
+
+    // Run under OPEC-Monitor.
+    let policy = out.policy.clone();
+    let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy))
+        .expect("vm");
+    match vm.run(10_000_000).expect("run") {
+        RunOutcome::Returned { value, cycles } => {
+            println!("main returned {:?} after {cycles} cycles", value);
+            println!(
+                "operation switches: {}, bytes synchronised: {}",
+                vm.supervisor.stats.switches, vm.supervisor.stats.sync_bytes
+            );
+            assert_eq!(value, Some(42), "two sensor increments of 21");
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+
+    // Now the security half: the same firmware, but the logger goes
+    // rogue and pokes at an address outside its policy.
+    let mut mb = ModuleBuilder::new("quickstart-rogue");
+    let reading = mb.global("reading", Ty::I32, "sensor.c");
+    let latest = mb.global("latest", Ty::I32, "shared.c");
+    let _ = reading;
+    let rogue = mb.func("rogue_task", vec![], None, "logger.c", move |fb| {
+        // Compute an address far outside this operation's data section.
+        let p = fb.addr_of_global(latest, 0);
+        let evil = fb.bin(BinOp::Sub, Operand::Reg(p), Operand::Imm(0x2000));
+        fb.store(Operand::Reg(evil), Operand::Imm(0xDEAD), 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "main.c", move |fb| {
+        fb.call_void(rogue, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let out = opec::core::compile(
+        mb.finish(),
+        board,
+        &[OperationSpec::plain("rogue_task")],
+    )
+    .expect("compile");
+    let policy = out.policy.clone();
+    let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy))
+        .expect("vm");
+    match vm.run(10_000_000) {
+        Err(VmError::Aborted { reason, pc }) => {
+            println!("\nrogue task stopped at {pc:#010x}: {reason}");
+        }
+        other => panic!("the rogue write should have been stopped, got {other:?}"),
+    }
+}

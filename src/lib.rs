@@ -1,0 +1,76 @@
+//! # OPEC — operation-based security isolation for bare-metal embedded systems
+//!
+//! A from-scratch Rust reproduction of *OPEC: Operation-based Security
+//! Isolation for Bare-metal Embedded Systems* (EuroSys '22), including
+//! every substrate the paper depends on: an ARMv7-M machine model with
+//! an 8-region MPU, an IR compiler stack with Andersen points-to
+//! analysis, the OPEC partitioner and monitor, the ACES comparison
+//! system, the seven evaluation workloads, and the harness that
+//! regenerates the paper's tables and figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use opec::prelude::*;
+//!
+//! // 1. Write firmware in the IR.
+//! let mut mb = ModuleBuilder::new("demo");
+//! let counter = mb.global("counter", Ty::I32, "main.c");
+//! let tick = mb.func("tick_task", vec![], None, "main.c", |fb| {
+//!     let v = fb.load_global(counter, 0, 4);
+//!     let v2 = fb.bin(BinOp::Add, Operand::Reg(v), Operand::Imm(1));
+//!     fb.store_global(counter, 0, Operand::Reg(v2), 4);
+//!     fb.ret_void();
+//! });
+//! mb.func("main", vec![], None, "main.c", move |fb| {
+//!     fb.call_void(tick, vec![]);
+//!     fb.halt();
+//!     fb.ret_void();
+//! });
+//!
+//! // 2. Compile with OPEC: `tick_task` becomes an isolated operation.
+//! let board = Board::stm32f4_discovery();
+//! let out = compile(mb.finish(), board, &[OperationSpec::plain("tick_task")]).unwrap();
+//!
+//! // 3. Run under the monitor on the simulated machine.
+//! let policy = out.policy.clone();
+//! let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).unwrap();
+//! let outcome = vm.run(10_000_000).unwrap();
+//! assert!(outcome.cycles() > 0);
+//! assert_eq!(vm.supervisor.stats.switches, 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`opec_armv7m`] | machine model: memory map, MPU, privilege, faults, Thumb-2 codec |
+//! | [`opec_ir`] | the compiler IR and builder |
+//! | [`opec_analysis`] | points-to, call graph, constant-address slicing, resources |
+//! | [`opec_core`] | the paper's system: partitioner, layout, image, OPEC-Monitor |
+//! | [`opec_vm`] | the firmware execution engine |
+//! | [`opec_aces`] | the ACES baseline (three partitioning strategies) |
+//! | [`opec_devices`] | peripheral models (UART, SD, LCD, ETH, DCMI, USB, ...) |
+//! | [`opec_apps`] | the seven evaluation workloads |
+//! | [`opec_eval`] | the table/figure harness (`opec-eval` binary) |
+
+#![warn(missing_docs)]
+
+pub use opec_aces as aces;
+pub use opec_analysis as analysis;
+pub use opec_apps as apps;
+pub use opec_armv7m as armv7m;
+pub use opec_core as core;
+pub use opec_devices as devices;
+pub use opec_eval as eval;
+pub use opec_ir as ir;
+pub use opec_pmp as pmp;
+pub use opec_vm as vm;
+
+/// The most common imports for building and running isolated firmware.
+pub mod prelude {
+    pub use opec_armv7m::{Board, Machine, Mode};
+    pub use opec_core::{compile, OpecMonitor, OperationSpec};
+    pub use opec_ir::{BinOp, ModuleBuilder, Operand, Ty};
+    pub use opec_vm::{link_baseline, NullSupervisor, RunOutcome, Vm, VmError};
+}

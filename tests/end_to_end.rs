@@ -1,0 +1,158 @@
+//! Cross-crate integration: every workload must behave identically on
+//! the vanilla baseline and under OPEC, and the builds must be
+//! deterministic.
+
+use opec::prelude::*;
+use opec_apps::all_apps;
+use opec_core::OpecMonitor;
+
+const FUEL: u64 = opec_vm::exec::DEFAULT_FUEL;
+
+fn run_baseline(app: &opec_apps::App) -> u64 {
+    let (module, _) = (app.build)();
+    let image = link_baseline(module, app.board).unwrap();
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let mut vm = Vm::new(machine, image, NullSupervisor).unwrap();
+    let out = vm.run(FUEL).unwrap_or_else(|e| panic!("{} baseline: {e}", app.name));
+    (app.check)(&mut vm.machine).unwrap_or_else(|e| panic!("{} baseline: {e}", app.name));
+    out.cycles()
+}
+
+fn run_opec(app: &opec_apps::App) -> (u64, opec_core::MonitorStats) {
+    let (module, specs) = (app.build)();
+    let out = opec::core::compile(module, app.board, &specs)
+        .unwrap_or_else(|e| panic!("{} compile: {e}", app.name));
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let policy = out.policy.clone();
+    let mut vm = Vm::new(machine, out.image, OpecMonitor::new(policy)).unwrap();
+    let run = vm.run(FUEL).unwrap_or_else(|e| panic!("{} OPEC: {e}", app.name));
+    (app.check)(&mut vm.machine).unwrap_or_else(|e| panic!("{} OPEC: {e}", app.name));
+    (run.cycles(), vm.supervisor.stats)
+}
+
+#[test]
+fn every_workload_behaves_identically_under_opec() {
+    for app in all_apps() {
+        let base = run_baseline(&app);
+        let (opec_cycles, stats) = run_opec(&app);
+        assert!(
+            opec_cycles > base,
+            "{}: isolation must cost something ({opec_cycles} vs {base})",
+            app.name
+        );
+        let overhead = (opec_cycles as f64 / base as f64 - 1.0) * 100.0;
+        assert!(
+            overhead < 25.0,
+            "{}: runtime overhead {overhead:.1}% is out of the paper's regime",
+            app.name
+        );
+        assert!(stats.switches > 0, "{}: no operation switches?", app.name);
+    }
+}
+
+#[test]
+fn builds_and_runs_are_deterministic() {
+    let app = opec_apps::programs::pinlock::app();
+    let (c1, s1) = run_opec(&app);
+    let (c2, s2) = run_opec(&app);
+    assert_eq!(c1, c2, "cycle counts must be reproducible");
+    assert_eq!(s1, s2, "monitor statistics must be reproducible");
+    // The images themselves are byte-identical.
+    let (m1, sp1) = (app.build)();
+    let (m2, sp2) = (app.build)();
+    let i1 = opec::core::compile(m1, app.board, &sp1).unwrap().image;
+    let i2 = opec::core::compile(m2, app.board, &sp2).unwrap().image;
+    assert_eq!(i1.func_addrs, i2.func_addrs);
+    assert_eq!(i1.global_slots, i2.global_slots);
+    assert_eq!(i1.flash_init, i2.flash_init);
+    assert_eq!(i1.sram_init, i2.sram_init);
+}
+
+#[test]
+fn opec_images_carry_all_operation_entries() {
+    for app in all_apps() {
+        let (module, specs) = (app.build)();
+        let out = opec::core::compile(module, app.board, &specs).unwrap();
+        assert_eq!(
+            out.image.op_entries.len(),
+            specs.len(),
+            "{}: one SVC-marked entry per spec",
+            app.name
+        );
+        // Every operation's data section is MPU-legal and disjoint.
+        for (i, a) in out.policy.ops.iter().enumerate() {
+            assert!(a.section.size.is_power_of_two());
+            assert_eq!(a.section.base % a.section.size, 0);
+            for b in &out.policy.ops[i + 1..] {
+                assert!(!a.section.overlaps(&b.section), "{}: sections overlap", app.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn aces_strategies_run_all_comparison_apps() {
+    use opec_aces::{build_aces_image, AcesRuntime, AcesStrategy};
+    for app in opec_apps::programs::aces_comparison_apps() {
+        for strategy in [
+            AcesStrategy::Filename,
+            AcesStrategy::FilenameNoOpt,
+            AcesStrategy::Peripheral,
+        ] {
+            let (module, _) = (app.build)();
+            let out = build_aces_image(module, app.board, strategy)
+                .unwrap_or_else(|e| panic!("{} {}: {e}", app.name, strategy.label()));
+            let main_comp = out.comps.of(out.image.entry);
+            let rt = AcesRuntime::new(
+                &out.image.module,
+                out.comps,
+                out.regions,
+                app.board,
+                out.stack,
+                main_comp,
+            );
+            let mut machine = Machine::new(app.board);
+            (app.setup)(&mut machine);
+            let mut vm = Vm::new(machine, out.image, rt).unwrap();
+            vm.run(FUEL)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", app.name, strategy.label()));
+            (app.check)(&mut vm.machine)
+                .unwrap_or_else(|e| panic!("{} {}: {e}", app.name, strategy.label()));
+        }
+    }
+}
+
+#[test]
+fn opec_has_zero_partition_time_over_privilege_by_construction() {
+    // Every operation's data section contains exactly its dependency:
+    // internal variables it owns plus shadows of what it shares —
+    // nothing else. This is the PT = 0 claim of Figure 10.
+    for app in all_apps() {
+        let (module, specs) = (app.build)();
+        let out = opec::core::compile(module, app.board, &specs).unwrap();
+        let module = &out.image.module;
+        for op in &out.partition.ops {
+            let policy = out.policy.op(op.id);
+            let needed = op.resources.globals();
+            // Shared list ⊆ needed.
+            for sv in &policy.shared {
+                assert!(
+                    needed.contains(&sv.global),
+                    "{}: op {} granted unneeded shared {}",
+                    app.name,
+                    op.name,
+                    module.global(sv.global).name
+                );
+            }
+            // Internal placements owned by this op ⊆ needed.
+            for (g, (owner, addr)) in &out.policy.internal_addrs {
+                if *owner == op.id {
+                    assert!(needed.contains(g));
+                    assert!(policy.section.contains(*addr));
+                }
+            }
+        }
+    }
+}

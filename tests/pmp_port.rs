@@ -1,0 +1,94 @@
+//! Portability check (paper §7): the PMP encoding of an OPEC policy
+//! enforces the same decisions as the ARM MPU plan the monitor loads —
+//! address by address, over a compiled application's real policy.
+
+use opec::prelude::*;
+use opec_armv7m::mpu::{Mpu, MpuDecision};
+use opec_pmp::encode::{op_policy_to_pmp, stack_boundary_from_srd};
+use opec_pmp::{Pmp, PmpAccess, PrivMode};
+
+/// Loads the ARM-side MPU exactly as `OpecMonitor::load_mpu` does.
+fn arm_mpu_for(policy: &opec::core::SystemPolicy, op: u8, srd: u8) -> Mpu {
+    let mut regions: Vec<(usize, opec_armv7m::MpuRegion)> = Vec::new();
+    for (n, mut r) in policy.base_regions() {
+        if n == 2 {
+            r.srd = srd;
+        }
+        regions.push((n, r));
+    }
+    regions.push((3, policy.section_region(op)));
+    for (i, r) in policy.op(op).periph_regions.iter().take(4).enumerate() {
+        regions.push((4 + i, *r));
+    }
+    let mut mpu = Mpu::new();
+    mpu.enabled = true;
+    mpu.load_regions(&regions).unwrap();
+    mpu
+}
+
+#[test]
+fn pmp_encoding_matches_the_arm_mpu_for_pinlock() {
+    let (module, specs) = opec_apps::programs::pinlock::build();
+    let out = opec::core::compile(module, Board::stm32f4_discovery(), &specs).unwrap();
+    let policy = &out.policy;
+
+    for op in 0..policy.ops.len() as u8 {
+        // A representative sub-region mask: top sub-region disabled
+        // (one nested frame protected), as the monitor computes on the
+        // first switch.
+        let srd: u8 = 0b1000_0000;
+        let boundary = stack_boundary_from_srd(policy.stack, srd);
+        let mpu = arm_mpu_for(policy, op, srd);
+        let mut pmp = Pmp::new();
+        pmp.load(&op_policy_to_pmp(policy, op, boundary));
+
+        // Probe addresses across every interesting window.
+        let mut probes: Vec<u32> = vec![
+            policy.board.flash.base + 0x100,
+            policy.public_section.base,
+            policy.reloc_table.base,
+            policy.stack.base,
+            policy.stack.base + 0x10,
+            boundary.saturating_sub(4),
+            boundary,
+            policy.stack.end() - 4,
+        ];
+        for p in &policy.ops {
+            probes.push(p.section.base);
+            probes.push(p.section.base + p.section.size - 4);
+        }
+        for w in &policy.op(op).periph_windows {
+            probes.push(w.base);
+            probes.push(w.end() - 4);
+        }
+        for addr in probes {
+            for write in [false, true] {
+                let arm = mpu.check_data(addr, 4, write, Mode::Unprivileged)
+                    == MpuDecision::Allowed;
+                let access = if write { PmpAccess::Write } else { PmpAccess::Read };
+                let riscv = pmp.check(addr, 4, access, PrivMode::User);
+                assert_eq!(
+                    arm, riscv,
+                    "op {op} divergence at {addr:#010x} (write={write}): ARM {arm}, PMP {riscv}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pmp_stack_protection_is_byte_exact() {
+    // PMP's TOR bound expresses the stack protection without the
+    // MPU's eighth-of-region granularity: the boundary can be any
+    // word-aligned address.
+    let (module, specs) = opec_apps::programs::pinlock::build();
+    let out = opec::core::compile(module, Board::stm32f4_discovery(), &specs).unwrap();
+    let policy = &out.policy;
+    let boundary = policy.stack.base + 0x123 * 4; // arbitrary, word-aligned
+    let mut pmp = Pmp::new();
+    pmp.load(&op_policy_to_pmp(policy, 1, boundary));
+    assert!(pmp.check(boundary - 4, 4, PmpAccess::Write, PrivMode::User));
+    assert!(!pmp.check(boundary, 4, PmpAccess::Write, PrivMode::User));
+    // The protected area is still readable (the SRAM background).
+    assert!(pmp.check(boundary, 4, PmpAccess::Read, PrivMode::User));
+}

@@ -1,0 +1,301 @@
+//! Property-based tests over the core data structures and, most
+//! importantly, over the system's end-to-end semantics: for random
+//! firmware, the OPEC build must compute exactly what the vanilla
+//! build computes — isolation may never change program meaning.
+
+use proptest::prelude::*;
+
+use opec::prelude::*;
+use opec_armv7m::mpu::{region_size_for, Mpu, MpuDecision, MpuRegion, RegionAttr};
+use opec_armv7m::thumb::{LdStInst, LdStOp};
+use opec_core::OpecMonitor;
+
+// ---------------------------------------------------------------- MPU
+
+/// A reference oracle for the PMSAv7 decision: highest-numbered region
+/// whose enabled sub-region covers the address wins; otherwise the
+/// background map.
+fn mpu_oracle(regions: &[(usize, MpuRegion)], addr: u32, write: bool, privileged: bool) -> bool {
+    let mut best: Option<&MpuRegion> = None;
+    let mut best_n = 0usize;
+    for (n, r) in regions {
+        let within = addr >= r.base && (addr - r.base) < r.size;
+        if !within {
+            continue;
+        }
+        if r.srd != 0 && r.size >= 256 {
+            let sub = ((addr - r.base) / (r.size / 8)) as u8;
+            if r.srd & (1 << sub) != 0 {
+                continue;
+            }
+        }
+        if best.is_none() || *n >= best_n {
+            best = Some(r);
+            best_n = *n;
+        }
+    }
+    match best {
+        Some(r) => {
+            let perm = if privileged { r.attr.privileged } else { r.attr.unprivileged };
+            if write {
+                perm.allows_write()
+            } else {
+                perm.allows_read()
+            }
+        }
+        None => privileged,
+    }
+}
+
+fn arb_attr() -> impl Strategy<Value = RegionAttr> {
+    prop_oneof![
+        Just(RegionAttr::full_access()),
+        Just(RegionAttr::read_only(true)),
+        Just(RegionAttr::priv_rw_unpriv_ro(true)),
+        Just(RegionAttr::priv_only()),
+        Just(RegionAttr::read_write_xn()),
+    ]
+}
+
+fn arb_region() -> impl Strategy<Value = MpuRegion> {
+    (5u32..16, 0u32..64, arb_attr(), any::<u8>()).prop_map(|(log2, slot, attr, srd)| {
+        let size = 1u32 << log2;
+        let base = 0x2000_0000 + (slot % 16) * size;
+        let mut r = MpuRegion::new(base, size, attr);
+        if size >= 256 {
+            // Never disable everything.
+            r.srd = srd & 0x7F;
+        }
+        r
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mpu_matches_reference_oracle(
+        regions in proptest::collection::vec((0usize..8, arb_region()), 0..6),
+        addr in 0x2000_0000u32..0x2010_0000,
+        write in any::<bool>(),
+        privileged in any::<bool>(),
+    ) {
+        // Deduplicate region numbers (later assignments win, as in
+        // load_regions' replace semantics).
+        let mut file: [Option<MpuRegion>; 8] = [None; 8];
+        for (n, r) in &regions {
+            file[*n] = Some(*r);
+        }
+        let final_regions: Vec<(usize, MpuRegion)> =
+            file.iter().enumerate().filter_map(|(n, r)| r.map(|r| (n, r))).collect();
+        let mut mpu = Mpu::new();
+        mpu.enabled = true;
+        mpu.load_regions(&final_regions).unwrap();
+        let mode = if privileged { Mode::Privileged } else { Mode::Unprivileged };
+        let got = mpu.check_data(addr, 1, write, mode) == MpuDecision::Allowed;
+        let want = mpu_oracle(&final_regions, addr, write, privileged);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn region_size_for_is_minimal_legal(size in 1u32..100_000) {
+        let s = region_size_for(size);
+        prop_assert!(s.is_power_of_two());
+        prop_assert!(s >= 32);
+        prop_assert!(s >= size);
+        if s > 32 {
+            prop_assert!(s / 2 < size, "not minimal: {s} for {size}");
+        }
+    }
+
+    #[test]
+    fn thumb_roundtrip(
+        load in any::<bool>(),
+        size_sel in 0u8..3,
+        rt in 0u8..15,
+        rn in 0u8..15,
+        imm in 0u32..0x1000,
+    ) {
+        let op = if load { LdStOp::Load } else { LdStOp::Store };
+        let size = [1u8, 2, 4][size_sel as usize];
+        let inst = LdStInst::new(op, size, rt, rn, imm).unwrap();
+        prop_assert_eq!(LdStInst::decode(inst.encode()).unwrap(), inst);
+    }
+}
+
+// ---------------------------------------------- firmware equivalence
+
+/// A random step a task performs on the shared state.
+#[derive(Debug, Clone)]
+enum Step {
+    Add(usize, u32),
+    Store(usize, u32),
+    Xor(usize, usize),
+}
+
+fn arb_steps(nglobals: usize) -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..nglobals, 1u32..1000).prop_map(|(g, v)| Step::Add(g, v)),
+            (0..nglobals, 1u32..1000).prop_map(|(g, v)| Step::Store(g, v)),
+            (0..nglobals, 0..nglobals).prop_map(|(a, b)| Step::Xor(a, b)),
+        ],
+        1..8,
+    )
+}
+
+/// Builds a firmware of `tasks.len()` operations, each executing its
+/// step list against `nglobals` shared words; main runs every task once
+/// and returns a checksum of all globals.
+fn build_firmware(nglobals: usize, tasks: &[Vec<Step>]) -> opec_ir::Module {
+    let mut mb = ModuleBuilder::new("prop-firmware");
+    let globals: Vec<_> = (0..nglobals)
+        .map(|i| mb.global(format!("g{i}"), Ty::I32, "state.c"))
+        .collect();
+    let mut entries = Vec::new();
+    for (ti, steps) in tasks.iter().enumerate() {
+        let steps = steps.clone();
+        let globals = globals.clone();
+        let f = mb.func(format!("task_{ti}"), vec![], None, "tasks.c", move |fb| {
+            for s in &steps {
+                match s {
+                    Step::Add(g, v) => {
+                        let cur = fb.load_global(globals[*g], 0, 4);
+                        let next = fb.bin(BinOp::Add, Operand::Reg(cur), Operand::Imm(*v));
+                        fb.store_global(globals[*g], 0, Operand::Reg(next), 4);
+                    }
+                    Step::Store(g, v) => {
+                        fb.store_global(globals[*g], 0, Operand::Imm(*v), 4);
+                    }
+                    Step::Xor(a, b) => {
+                        let x = fb.load_global(globals[*a], 0, 4);
+                        let y = fb.load_global(globals[*b], 0, 4);
+                        let z = fb.bin(BinOp::Xor, Operand::Reg(x), Operand::Reg(y));
+                        fb.store_global(globals[*a], 0, Operand::Reg(z), 4);
+                    }
+                }
+            }
+            fb.ret_void();
+        });
+        entries.push(f);
+    }
+    let globals2 = globals.clone();
+    mb.func("main", vec![], Some(Ty::I32), "main.c", move |fb| {
+        for f in &entries {
+            fb.call_void(*f, vec![]);
+        }
+        // Checksum: fold every global with rotate-ish mixing.
+        let acc = fb.reg();
+        fb.mov(acc, Operand::Imm(0x9E37));
+        for g in &globals2 {
+            let v = fb.load_global(*g, 0, 4);
+            let m = fb.bin(BinOp::Mul, Operand::Reg(acc), Operand::Imm(31));
+            let x = fb.bin(BinOp::Xor, Operand::Reg(m), Operand::Reg(v));
+            fb.mov(acc, Operand::Reg(x));
+        }
+        fb.ret(Operand::Reg(acc));
+    });
+    mb.finish()
+}
+
+fn run_value<S: opec_vm::Supervisor>(
+    image: opec_vm::LoadedImage,
+    supervisor: S,
+    board: Board,
+) -> u32 {
+    let mut vm = Vm::new(Machine::new(board), image, supervisor).unwrap();
+    match vm.run(20_000_000).expect("run") {
+        RunOutcome::Returned { value, .. } => value.expect("checksum"),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Isolation must not change program semantics: for random task
+    /// mixes over shared state, the OPEC build returns the same
+    /// checksum as the vanilla build.
+    #[test]
+    fn opec_preserves_program_semantics(
+        nglobals in 1usize..5,
+        tasks in proptest::collection::vec(arb_steps(4), 1..5),
+    ) {
+        let tasks: Vec<Vec<Step>> = tasks
+            .into_iter()
+            .map(|steps| {
+                steps
+                    .into_iter()
+                    .map(|s| match s {
+                        Step::Add(g, v) => Step::Add(g % nglobals, v),
+                        Step::Store(g, v) => Step::Store(g % nglobals, v),
+                        Step::Xor(a, b) => Step::Xor(a % nglobals, b % nglobals),
+                    })
+                    .collect()
+            })
+            .collect();
+        let board = Board::stm32f4_discovery();
+        let module = build_firmware(nglobals, &tasks);
+        let baseline = run_value(
+            link_baseline(module.clone(), board).unwrap(),
+            NullSupervisor,
+            board,
+        );
+        let specs: Vec<_> =
+            (0..tasks.len()).map(|i| OperationSpec::plain(format!("task_{i}"))).collect();
+        let out = opec::core::compile(module, board, &specs).unwrap();
+        let policy = out.policy.clone();
+        let opec_value = run_value(out.image, OpecMonitor::new(policy), board);
+        prop_assert_eq!(baseline, opec_value);
+    }
+
+    /// Layout invariants hold for every random firmware: sections are
+    /// MPU-legal, mutually disjoint, and disjoint from the public
+    /// section, the relocation table, and the stack.
+    #[test]
+    fn layout_invariants_hold(
+        nglobals in 1usize..5,
+        tasks in proptest::collection::vec(arb_steps(4), 1..5),
+    ) {
+        let tasks: Vec<Vec<Step>> = tasks
+            .into_iter()
+            .map(|steps| {
+                steps
+                    .into_iter()
+                    .map(|s| match s {
+                        Step::Add(g, v) => Step::Add(g % nglobals, v),
+                        Step::Store(g, v) => Step::Store(g % nglobals, v),
+                        Step::Xor(a, b) => Step::Xor(a % nglobals, b % nglobals),
+                    })
+                    .collect()
+            })
+            .collect();
+        let board = Board::stm32f4_discovery();
+        let module = build_firmware(nglobals, &tasks);
+        let specs: Vec<_> =
+            (0..tasks.len()).map(|i| OperationSpec::plain(format!("task_{i}"))).collect();
+        let out = opec::core::compile(module, board, &specs).unwrap();
+        let policy = &out.policy;
+        let mut windows = vec![policy.public_section, policy.reloc_table, policy.stack];
+        for op in &policy.ops {
+            prop_assert!(op.section.size.is_power_of_two());
+            prop_assert!(op.section.size >= 32);
+            prop_assert_eq!(op.section.base % op.section.size, 0);
+            windows.push(op.section);
+        }
+        for (i, a) in windows.iter().enumerate() {
+            for b in &windows[i + 1..] {
+                prop_assert!(!a.overlaps(b), "windows overlap: {a:?} vs {b:?}");
+            }
+        }
+        // Every shared variable's shadow lies inside its section and
+        // its master copy inside the public section.
+        for op in &policy.ops {
+            for sv in &op.shared {
+                prop_assert!(op.section.contains(sv.shadow_addr));
+                prop_assert!(op.section.contains(sv.shadow_addr + sv.size - 1));
+                prop_assert!(policy.public_section.contains(sv.public_addr));
+            }
+        }
+    }
+}
