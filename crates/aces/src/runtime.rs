@@ -128,9 +128,7 @@ impl AcesRuntime {
         if let Some(p) = self.periph_region[usize::from(comp)] {
             regions.push((7, p));
         }
-        machine
-            .clock
-            .tick(opec_armv7m::clock::costs::MPU_REGION_WRITE * regions.len() as u64);
+        machine.clock.tick(opec_armv7m::clock::costs::MPU_REGION_WRITE * regions.len() as u64);
         machine.mpu.load_regions(&regions).map_err(|e| format!("ACES MPU programming: {e}"))
     }
 
@@ -362,11 +360,9 @@ mod tests {
 
     #[test]
     fn covering_all_spans_scattered_windows() {
-        let r = covering_all(&[
-            MemRegion::new(0x4000_0000, 0x400),
-            MemRegion::new(0x4002_0000, 0x400),
-        ])
-        .unwrap();
+        let r =
+            covering_all(&[MemRegion::new(0x4000_0000, 0x400), MemRegion::new(0x4002_0000, 0x400)])
+                .unwrap();
         assert!(r.range().contains(0x4000_0000));
         assert!(r.range().contains(0x4002_03FF));
         assert_eq!(r.base % r.size, 0);

@@ -81,9 +81,7 @@ impl Compartments {
         for (i, f) in module.funcs.iter().enumerate() {
             let fid = FuncId(i as u32);
             let key = match strategy {
-                AcesStrategy::Filename | AcesStrategy::FilenameNoOpt => {
-                    f.source_file.clone()
-                }
+                AcesStrategy::Filename | AcesStrategy::FilenameNoOpt => f.source_file.clone(),
                 AcesStrategy::Peripheral => {
                     let res = resources.of(fid);
                     if res.peripherals.is_empty() && res.core_peripherals.is_empty() {
@@ -245,7 +243,7 @@ mod tests {
     fn filename_no_opt_gives_one_compartment_per_file() {
         let (m, c) = build(AcesStrategy::FilenameNoOpt);
         assert_eq!(c.comps.len(), 3); // uart.c, sys.c, main.c
-        // Disjoint and complete.
+                                      // Disjoint and complete.
         let total: usize = c.comps.iter().map(|x| x.funcs.len()).sum();
         assert_eq!(total, m.funcs.len());
         for f in 0..m.funcs.len() {

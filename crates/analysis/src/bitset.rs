@@ -1,68 +1,302 @@
-//! A small dense bitset used by the points-to solver.
+//! The bitset behind the points-to solver.
+//!
+//! Points-to sets are tiny for most nodes (a register usually aims at
+//! one or two abstract objects) and only a handful of hub nodes grow
+//! large, so the set is hybrid: up to [`SMALL_CAP`] elements live in a
+//! sorted inline array with no heap allocation; past that the set
+//! spills to a dense `u64` word vector. The dense paths are written for
+//! the solver's inner loop: unions skip zero source words, never grow
+//! the destination for an all-zero tail, and [`BitSet::union_into_delta`]
+//! fuses "union + which bits are new" for difference propagation.
 
-/// A growable dense bitset over `usize` indices.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Maximum number of elements stored inline before spilling to the
+/// dense representation.
+pub const SMALL_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Sorted, deduplicated element indices; first `len` slots valid.
+    Small { len: u8, elems: [u32; SMALL_CAP] },
+    /// Dense bit words; the tail may contain zero words.
+    Dense(Vec<u64>),
+}
+
+/// A growable set of `usize` indices, hybrid small-inline/dense.
+#[derive(Debug, Clone)]
 pub struct BitSet {
-    words: Vec<u64>,
+    repr: Repr,
+}
+
+impl Default for BitSet {
+    fn default() -> BitSet {
+        BitSet::new()
+    }
 }
 
 impl BitSet {
     /// Creates an empty set.
     pub fn new() -> BitSet {
-        BitSet::default()
+        BitSet { repr: Repr::Small { len: 0, elems: [0; SMALL_CAP] } }
     }
 
     /// Inserts `bit`; returns `true` if it was newly inserted.
     pub fn insert(&mut self, bit: usize) -> bool {
-        let (w, b) = (bit / 64, bit % 64);
-        if w >= self.words.len() {
-            self.words.resize(w + 1, 0);
+        match &mut self.repr {
+            Repr::Small { len, elems } => {
+                let bit32 = bit as u32;
+                debug_assert_eq!(bit32 as usize, bit, "index exceeds u32 range");
+                let n = *len as usize;
+                let pos = elems[..n].partition_point(|&e| e < bit32);
+                if pos < n && elems[pos] == bit32 {
+                    return false;
+                }
+                if n < SMALL_CAP {
+                    elems.copy_within(pos..n, pos + 1);
+                    elems[pos] = bit32;
+                    *len += 1;
+                    return true;
+                }
+                self.spill();
+                self.insert(bit)
+            }
+            Repr::Dense(words) => {
+                let (w, b) = (bit / 64, bit % 64);
+                if w >= words.len() {
+                    words.resize(w + 1, 0);
+                }
+                let mask = 1u64 << b;
+                let newly = words[w] & mask == 0;
+                words[w] |= mask;
+                newly
+            }
         }
-        let mask = 1u64 << b;
-        let newly = self.words[w] & mask == 0;
-        self.words[w] |= mask;
-        newly
+    }
+
+    /// Converts the inline representation to the dense one.
+    fn spill(&mut self) {
+        if let Repr::Small { len, elems } = &self.repr {
+            let mut words = Vec::new();
+            for &e in &elems[..*len as usize] {
+                let (w, b) = (e as usize / 64, e % 64);
+                if w >= words.len() {
+                    words.resize(w + 1, 0);
+                }
+                words[w] |= 1u64 << b;
+            }
+            self.repr = Repr::Dense(words);
+        }
     }
 
     /// Returns `true` if `bit` is present.
     pub fn contains(&self, bit: usize) -> bool {
-        let (w, b) = (bit / 64, bit % 64);
-        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+        match &self.repr {
+            Repr::Small { len, elems } => {
+                elems[..*len as usize].binary_search(&(bit as u32)).is_ok()
+            }
+            Repr::Dense(words) => {
+                let (w, b) = (bit / 64, bit % 64);
+                words.get(w).is_some_and(|word| word & (1 << b) != 0)
+            }
+        }
+    }
+
+    /// Removes every element but keeps any dense allocation for reuse.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Small { len, .. } => *len = 0,
+            Repr::Dense(words) => words.fill(0),
+        }
+    }
+
+    /// Replaces `self` with an empty set, returning the old contents.
+    pub fn take(&mut self) -> BitSet {
+        std::mem::take(self)
     }
 
     /// Unions `other` into `self`; returns `true` if anything changed.
+    /// Never grows for `other`'s zero tail words, and skips zero source
+    /// words entirely.
     pub fn union_with(&mut self, other: &BitSet) -> bool {
-        if other.words.len() > self.words.len() {
-            self.words.resize(other.words.len(), 0);
-        }
-        let mut changed = false;
-        for (dst, src) in self.words.iter_mut().zip(other.words.iter()) {
-            let merged = *dst | *src;
-            if merged != *dst {
-                *dst = merged;
-                changed = true;
+        match &other.repr {
+            Repr::Small { len, elems } => {
+                let mut changed = false;
+                for &e in &elems[..*len as usize] {
+                    changed |= self.insert(e as usize);
+                }
+                changed
+            }
+            Repr::Dense(src) => {
+                let effective = dense_effective_len(src);
+                if effective == 0 {
+                    return false;
+                }
+                if matches!(self.repr, Repr::Small { .. })
+                    && self.len() + dense_count(&src[..effective]) > SMALL_CAP
+                {
+                    self.spill();
+                }
+                match &mut self.repr {
+                    Repr::Small { .. } => {
+                        // Small destination and the union provably fits.
+                        let mut changed = false;
+                        for bit in DenseIter::new(&src[..effective]) {
+                            changed |= self.insert(bit);
+                        }
+                        changed
+                    }
+                    Repr::Dense(dst) => {
+                        if effective > dst.len() {
+                            dst.resize(effective, 0);
+                        }
+                        let mut changed = false;
+                        for (d, &s) in dst.iter_mut().zip(&src[..effective]) {
+                            if s == 0 {
+                                continue;
+                            }
+                            let merged = *d | s;
+                            if merged != *d {
+                                *d = merged;
+                                changed = true;
+                            }
+                        }
+                        changed
+                    }
+                }
             }
         }
-        changed
+    }
+
+    /// Unions `src` into `self`, inserting every *newly added* bit into
+    /// `delta` as well. Returns `true` if `self` changed. This is the
+    /// difference-propagation primitive: the caller forwards only
+    /// `delta`, never the whole set.
+    pub fn union_into_delta(&mut self, src: &BitSet, delta: &mut BitSet) -> bool {
+        match (&mut self.repr, &src.repr) {
+            (Repr::Dense(dst), Repr::Dense(srcw)) => {
+                let effective = dense_effective_len(srcw);
+                if effective > dst.len() {
+                    dst.resize(effective, 0);
+                }
+                let mut changed = false;
+                for (wi, (d, &s)) in dst.iter_mut().zip(&srcw[..effective]).enumerate() {
+                    let new = s & !*d;
+                    if new != 0 {
+                        *d |= new;
+                        changed = true;
+                        for bit in DenseIter::new(std::slice::from_ref(&new)) {
+                            delta.insert(wi * 64 + bit);
+                        }
+                    }
+                }
+                changed
+            }
+            _ => {
+                let mut changed = false;
+                // Collect first: `src` may alias patterns where insert
+                // spills `self` mid-iteration; iterating a snapshot of
+                // src's elements is always safe because src is `&`.
+                for bit in src.iter() {
+                    if self.insert(bit) {
+                        delta.insert(bit);
+                        changed = true;
+                    }
+                }
+                changed
+            }
+        }
     }
 
     /// Number of set bits.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        match &self.repr {
+            Repr::Small { len, .. } => *len as usize,
+            Repr::Dense(words) => dense_count(words),
+        }
     }
 
     /// Returns `true` if no bits are set.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|w| *w == 0)
+        match &self.repr {
+            Repr::Small { len, .. } => *len == 0,
+            Repr::Dense(words) => words.iter().all(|w| *w == 0),
+        }
     }
 
     /// Iterates over set bit indices in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter_map(move |b| if w & (1 << b) != 0 { Some(wi * 64 + b) } else { None })
-        })
+    pub fn iter(&self) -> Iter<'_> {
+        match &self.repr {
+            Repr::Small { len, elems } => Iter::Small(elems[..*len as usize].iter()),
+            Repr::Dense(words) => Iter::Dense(DenseIter::new(words)),
+        }
     }
 }
+
+fn dense_count(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Length of `words` with trailing zero words trimmed.
+fn dense_effective_len(words: &[u64]) -> usize {
+    words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1)
+}
+
+/// Ascending iterator over set bits of either representation.
+pub enum Iter<'a> {
+    /// Inline representation: sorted element slice.
+    Small(std::slice::Iter<'a, u32>),
+    /// Dense representation: word scanner.
+    Dense(DenseIter<'a>),
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            Iter::Small(it) => it.next().map(|&e| e as usize),
+            Iter::Dense(it) => it.next(),
+        }
+    }
+}
+
+/// Word-skipping set-bit iterator over dense words.
+pub struct DenseIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> DenseIter<'a> {
+    fn new(words: &'a [u64]) -> DenseIter<'a> {
+        DenseIter { words, word_idx: 0, current: words.first().copied().unwrap_or(0) }
+    }
+}
+
+impl Iterator for DenseIter<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let b = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + b);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &BitSet) -> bool {
+        // Semantic equality across representations.
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for BitSet {}
 
 impl FromIterator<usize> for BitSet {
     fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> BitSet {
@@ -110,5 +344,107 @@ mod tests {
         let s = BitSet::new();
         assert!(s.is_empty());
         assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn spills_past_inline_capacity_and_stays_correct() {
+        let mut s = BitSet::new();
+        let vals: Vec<usize> = (0..SMALL_CAP + 5).map(|i| i * 37).collect();
+        for &v in &vals {
+            assert!(s.insert(v));
+        }
+        assert_eq!(s.len(), vals.len());
+        assert_eq!(s.iter().collect::<Vec<_>>(), vals);
+        for &v in &vals {
+            assert!(s.contains(v));
+            assert!(!s.insert(v));
+        }
+    }
+
+    #[test]
+    fn union_does_not_grow_for_zero_tail() {
+        // A dense set whose high words are all zero after construction.
+        let mut big: BitSet = [5000].into_iter().collect();
+        let mut other = BitSet::new();
+        other.insert(5000);
+        // Make `big` small again semantically, then union: destination
+        // capacity must track the *effective* source length only.
+        let mut dst: BitSet = (0..SMALL_CAP + 1).collect();
+        big.clear();
+        big.insert(60); // dense repr, words len still spans to 5000/64
+        assert!(dst.union_with(&big));
+        if let Repr::Dense(words) = &dst.repr {
+            assert!(words.len() <= 1, "grew to zero tail: {} words", words.len());
+        }
+        assert!(dst.contains(60));
+    }
+
+    #[test]
+    fn clear_keeps_set_usable() {
+        let mut s: BitSet = (0..100).collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.insert(7));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn take_leaves_empty() {
+        let mut s: BitSet = [1, 2].into_iter().collect();
+        let t = s.take();
+        assert!(s.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn union_into_delta_reports_only_new_bits() {
+        let mut dst: BitSet = [1, 64, 200].into_iter().collect();
+        let src: BitSet = [1, 65, 200, 300].into_iter().collect();
+        let mut delta = BitSet::new();
+        assert!(dst.union_into_delta(&src, &mut delta));
+        assert_eq!(delta.iter().collect::<Vec<_>>(), vec![65, 300]);
+        assert_eq!(dst.iter().collect::<Vec<_>>(), vec![1, 64, 65, 200, 300]);
+        let mut delta2 = BitSet::new();
+        assert!(!dst.union_into_delta(&src, &mut delta2));
+        assert!(delta2.is_empty());
+    }
+
+    #[test]
+    fn union_into_delta_small_reprs() {
+        let mut dst = BitSet::new();
+        dst.insert(3);
+        let mut src = BitSet::new();
+        src.insert(3);
+        src.insert(9);
+        let mut delta = BitSet::new();
+        assert!(dst.union_into_delta(&src, &mut delta));
+        assert_eq!(delta.iter().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn semantic_equality_across_reprs() {
+        let small: BitSet = [1, 2, 3].into_iter().collect();
+        let mut dense: BitSet = (0..SMALL_CAP + 1).collect();
+        dense.clear();
+        for b in [1usize, 2, 3] {
+            dense.insert(b);
+        }
+        assert_eq!(small, dense);
+        assert_eq!(dense, small);
+    }
+
+    #[test]
+    fn mixed_repr_unions() {
+        // small ∪ dense, dense ∪ small, around the spill boundary.
+        let dense: BitSet = (0..SMALL_CAP * 3).map(|i| i * 3).collect();
+        let mut small = BitSet::new();
+        small.insert(1);
+        assert!(small.union_with(&dense));
+        assert_eq!(small.len(), SMALL_CAP * 3 + 1);
+        let mut dense2: BitSet = (0..SMALL_CAP * 3).map(|i| i * 3).collect();
+        let tiny: BitSet = [1].into_iter().collect();
+        assert!(dense2.union_with(&tiny));
+        assert_eq!(small, dense2);
     }
 }

@@ -68,15 +68,13 @@ impl CallGraph {
                             succs[fi].insert(*callee);
                         }
                         Inst::CallIndirect { sig, .. } => {
-                            let site =
-                                SiteId { func: fid, block: bi as u32, inst: ii as u32 };
+                            let site = SiteId { func: fid, block: bi as u32, inst: ii as u32 };
                             let pt_targets =
                                 pt.icall_targets.get(&site).cloned().unwrap_or_default();
                             let (targets, resolution) = if !pt_targets.is_empty() {
                                 (pt_targets, IcallResolution::PointsTo)
                             } else {
-                                let type_targets =
-                                    by_sig.get(&sig.0).cloned().unwrap_or_default();
+                                let type_targets = by_sig.get(&sig.0).cloned().unwrap_or_default();
                                 if type_targets.is_empty() {
                                     (BTreeSet::new(), IcallResolution::Unresolved)
                                 } else {
@@ -105,7 +103,11 @@ impl CallGraph {
     /// another operation entry is reached — the paper's partitioning
     /// traversal (Section 4.3). `entry` itself is always included; other
     /// members of `stops` are never entered.
-    pub fn reachable_with_stops(&self, entry: FuncId, stops: &BTreeSet<FuncId>) -> BTreeSet<FuncId> {
+    pub fn reachable_with_stops(
+        &self,
+        entry: FuncId,
+        stops: &BTreeSet<FuncId>,
+    ) -> BTreeSet<FuncId> {
         let mut seen = BTreeSet::new();
         let mut stack = vec![entry];
         while let Some(f) = stack.pop() {
@@ -132,16 +134,10 @@ impl CallGraph {
     /// Summary statistics over the icall sites (Table 3 columns).
     pub fn icall_stats(&self) -> IcallStats {
         let total = self.icall_sites.len();
-        let by_pt = self
-            .icall_sites
-            .iter()
-            .filter(|s| s.resolution == IcallResolution::PointsTo)
-            .count();
-        let by_type = self
-            .icall_sites
-            .iter()
-            .filter(|s| s.resolution == IcallResolution::TypeBased)
-            .count();
+        let by_pt =
+            self.icall_sites.iter().filter(|s| s.resolution == IcallResolution::PointsTo).count();
+        let by_type =
+            self.icall_sites.iter().filter(|s| s.resolution == IcallResolution::TypeBased).count();
         let resolved: Vec<usize> = self
             .icall_sites
             .iter()
@@ -272,19 +268,20 @@ mod tests {
         let h1 = mb.func("h1", vec![("x", Ty::I32)], None, "a.c", |fb| fb.ret_void());
         let h2 = mb.func("h2", vec![("x", Ty::I32)], None, "a.c", |fb| fb.ret_void());
         // A function with a different signature must not be matched.
-        let other =
-            mb.func("other", vec![("p", Ty::Ptr(Box::new(Ty::I8)))], None, "a.c", |fb| {
-                fb.ret_void()
-            });
+        let other = mb
+            .func("other", vec![("p", Ty::Ptr(Box::new(Ty::I8)))], None, "a.c", |fb| fb.ret_void());
         let sig = mb.sig_of(h1);
         // The function pointer comes from an opaque source (a parameter),
         // so points-to cannot resolve it.
         let disp = mb.func(
             "disp",
-            vec![("fp", Ty::FnPtr(opec_ir::types::SigKey {
-                params: vec![opec_ir::types::ParamKind::Int],
-                ret: None,
-            }))],
+            vec![(
+                "fp",
+                Ty::FnPtr(opec_ir::types::SigKey {
+                    params: vec![opec_ir::types::ParamKind::Int],
+                    ret: None,
+                }),
+            )],
             None,
             "a.c",
             |fb| {

@@ -73,11 +73,8 @@ pub struct ConstAnalysis {
 impl ConstAnalysis {
     /// Runs the inter-procedural fixpoint over `module`.
     pub fn analyze(module: &Module) -> ConstAnalysis {
-        let mut param_states: Vec<Vec<Lattice>> = module
-            .funcs
-            .iter()
-            .map(|f| vec![Lattice::Bottom; f.params.len()])
-            .collect();
+        let mut param_states: Vec<Vec<Lattice>> =
+            module.funcs.iter().map(|f| vec![Lattice::Bottom; f.params.len()]).collect();
         // `main` is reached from reset with no arguments.
         // Address-taken functions may be invoked through icalls with
         // arbitrary arguments: widen their parameters.
@@ -185,11 +182,7 @@ impl ConstAnalysis {
 
 /// Intra-procedural dataflow with the given entry parameter states.
 /// Returns the stable in-state of each block (`None` = unreachable).
-fn intra_dataflow(
-    module: &Module,
-    func: FuncId,
-    params: &[Lattice],
-) -> Vec<Option<Vec<Lattice>>> {
+fn intra_dataflow(module: &Module, func: FuncId, params: &[Lattice]) -> Vec<Option<Vec<Lattice>>> {
     let f = &module.funcs[func.0 as usize];
     let nregs = f.num_regs as usize;
     let mut in_states: Vec<Option<Vec<Lattice>>> = vec![None; f.blocks.len()];
@@ -373,11 +366,7 @@ mod tests {
         let mut mb = ModuleBuilder::new("t");
         let f = mb.func("drv", vec![], None, "drv.c", |fb| {
             let base = fb.imm(0x4001_1000);
-            let addr = fb.bin(
-                BinOp::Add,
-                opec_ir::Operand::Reg(base),
-                opec_ir::Operand::Imm(0x24),
-            );
+            let addr = fb.bin(BinOp::Add, opec_ir::Operand::Reg(base), opec_ir::Operand::Imm(0x24));
             fb.store(opec_ir::Operand::Reg(addr), opec_ir::Operand::Imm(1), 4);
             fb.ret_void();
         });
@@ -393,8 +382,11 @@ mod tests {
         // a parameter, and the callers pass constants.
         let mut mb = ModuleBuilder::new("t");
         let init = mb.func("gpio_init", vec![("port", Ty::I32)], None, "hal.c", |fb| {
-            let stride =
-                fb.bin(BinOp::Mul, opec_ir::Operand::Reg(fb.param(0)), opec_ir::Operand::Imm(0x400));
+            let stride = fb.bin(
+                BinOp::Mul,
+                opec_ir::Operand::Reg(fb.param(0)),
+                opec_ir::Operand::Imm(0x400),
+            );
             let addr = fb.bin(
                 BinOp::Add,
                 opec_ir::Operand::Imm(0x4002_0000),
@@ -412,10 +404,7 @@ mod tests {
         let accs = constant_accesses(&m, init);
         assert_eq!(accs.len(), 1);
         // Both possible ports are reported.
-        assert_eq!(
-            accs[0].addresses,
-            [0x4002_0000, 0x4002_0C00].into_iter().collect()
-        );
+        assert_eq!(accs[0].addresses, [0x4002_0000, 0x4002_0C00].into_iter().collect());
     }
 
     #[test]
@@ -482,11 +471,8 @@ mod tests {
             let exit = fb.block();
             fb.br(head);
             fb.switch_to(head);
-            let c = fb.bin(
-                BinOp::CmpLtU,
-                opec_ir::Operand::Reg(i),
-                opec_ir::Operand::Reg(fb.param(0)),
-            );
+            let c =
+                fb.bin(BinOp::CmpLtU, opec_ir::Operand::Reg(i), opec_ir::Operand::Reg(fb.param(0)));
             fb.cond_br(opec_ir::Operand::Reg(c), body, exit);
             fb.switch_to(body);
             let _ = fb.mmio_read(0x4002_0014, 4);

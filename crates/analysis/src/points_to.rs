@@ -13,8 +13,27 @@
 //! copies for calls. Indirect calls are resolved while solving: whenever
 //! a function object reaches an icall's pointer, argument/return copies
 //! for that target are added and solving continues to fixpoint.
+//!
+//! # Solving algorithm
+//!
+//! The paper reports analysis *time* as a first-class result (Table 3),
+//! so the solver is the worklist formulation with **difference
+//! propagation**: every node keeps, besides its points-to set, a
+//! *delta* of bits not yet forwarded. Processing a node forwards only
+//! its delta along copy edges ([`BitSet::union_into_delta`]), expands
+//! the load/store/icall constraints indexed *on that node* for the new
+//! objects only, and never rescans the constraint system. Copy-edge
+//! cycles — which otherwise spin deltas around forever — are detected
+//! with an iterative Tarjan pass and collapsed through a union-find so
+//! every cycle member shares one representative set; detection runs
+//! once up front and periodically as on-the-fly edges accumulate.
+//! [`PointsToStats`] exposes the propagation and SCC counters.
+//!
+//! The seed's round-robin whole-graph solver is preserved as
+//! [`oracle`] (tests / the `oracle` feature only) and the two are
+//! asserted equivalent on random modules and on the paper's apps.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use opec_ir::{FuncId, GlobalId, Inst, LocalId, Module, Operand, RegId, Terminator};
@@ -44,15 +63,27 @@ pub struct SiteId {
     pub inst: u32,
 }
 
-/// Solver statistics (Table 3 reports analysis time).
+/// Solver statistics (Table 3 reports analysis time; the counters make
+/// the worklist solver's behaviour visible in reports).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PointsToStats {
     /// Number of pointer nodes.
     pub nodes: usize,
     /// Number of abstract objects.
     pub objects: usize,
-    /// Fixpoint rounds executed.
+    /// Solver passes: 1 + the number of periodic SCC re-runs.
     pub rounds: usize,
+    /// Worklist pops that carried a non-empty delta.
+    pub worklist_pops: usize,
+    /// Total points-to bits forwarded along copy edges (difference
+    /// propagation forwards each bit per edge at most once).
+    pub propagated_bits: usize,
+    /// Copy edges in the final constraint graph.
+    pub copy_edges: usize,
+    /// SCC detection passes executed.
+    pub scc_runs: usize,
+    /// Nodes eliminated by collapsing copy cycles.
+    pub scc_collapsed: usize,
     /// Wall-clock solving time.
     pub duration: Duration,
 }
@@ -65,26 +96,39 @@ enum NodeKey {
     Temp(u32),
 }
 
+struct IcallConstraint {
+    site: SiteId,
+    args: Vec<Option<usize>>,
+    dst: Option<usize>,
+    wired: BTreeSet<FuncId>,
+}
+
 struct Solver<'m> {
     module: &'m Module,
     node_ids: HashMap<NodeKey, usize>,
     nodes: Vec<NodeKey>,
     objs: Vec<AbsObj>,
     obj_ids: HashMap<AbsObj, usize>,
+    /// Union-find parent; `parent[n] == n` for representatives.
+    parent: Vec<usize>,
+    /// Points-to set per representative.
     pts: Vec<BitSet>,
+    /// Not-yet-forwarded bits per representative (always ⊆ `pts`).
+    delta: Vec<BitSet>,
+    /// Copy-edge successors per representative (targets may be stale
+    /// after collapsing; remapped through `find` at use).
     succ: Vec<BTreeSet<usize>>,
-    loads: Vec<(usize, usize)>,
-    stores: Vec<(usize, usize)>,
+    /// Load constraints indexed by address node: destination nodes.
+    loads_at: Vec<Vec<usize>>,
+    /// Store constraints indexed by address node: value nodes.
+    stores_at: Vec<Vec<usize>>,
+    /// Icall constraints indexed by function-pointer node.
+    icalls_at: Vec<Vec<usize>>,
     icalls: Vec<IcallConstraint>,
+    worklist: VecDeque<usize>,
+    queued: Vec<bool>,
     temp_count: u32,
-}
-
-struct IcallConstraint {
-    site: SiteId,
-    fptr: usize,
-    args: Vec<Option<usize>>,
-    dst: Option<usize>,
-    wired: BTreeSet<FuncId>,
+    stats: PointsToStats,
 }
 
 /// The analysis result.
@@ -107,44 +151,43 @@ impl PointsTo {
             nodes: Vec::new(),
             objs: Vec::new(),
             obj_ids: HashMap::new(),
+            parent: Vec::new(),
             pts: Vec::new(),
+            delta: Vec::new(),
             succ: Vec::new(),
-            loads: Vec::new(),
-            stores: Vec::new(),
+            loads_at: Vec::new(),
+            stores_at: Vec::new(),
+            icalls_at: Vec::new(),
             icalls: Vec::new(),
+            worklist: VecDeque::new(),
+            queued: Vec::new(),
             temp_count: 0,
+            stats: PointsToStats::default(),
         };
         s.generate();
-        let rounds = s.solve();
+        s.solve();
         let mut reg_pts = HashMap::new();
         let mut cell_pts = HashMap::new();
-        for (i, key) in s.nodes.iter().enumerate() {
-            let set: BTreeSet<AbsObj> = s.pts[i].iter().map(|o| s.objs[o]).collect();
-            match *key {
-                NodeKey::Reg(f, r)
-                    if !set.is_empty() => {
-                        reg_pts.insert((f, r), set);
-                    }
-                NodeKey::Cell(o)
-                    if !set.is_empty() => {
-                        cell_pts.insert(s.objs[o as usize], set);
-                    }
+        for i in 0..s.nodes.len() {
+            let rep = s.find(i);
+            let set: BTreeSet<AbsObj> = s.pts[rep].iter().map(|o| s.objs[o]).collect();
+            match s.nodes[i] {
+                NodeKey::Reg(f, r) if !set.is_empty() => {
+                    reg_pts.insert((f, r), set);
+                }
+                NodeKey::Cell(o) if !set.is_empty() => {
+                    cell_pts.insert(s.objs[o as usize], set);
+                }
                 _ => {}
             }
         }
         let icall_targets =
             s.icalls.iter().map(|c| (c.site, c.wired.clone())).collect::<HashMap<_, _>>();
-        PointsTo {
-            reg_pts,
-            cell_pts,
-            icall_targets,
-            stats: PointsToStats {
-                nodes: s.nodes.len(),
-                objects: s.objs.len(),
-                rounds,
-                duration: start.elapsed(),
-            },
-        }
+        let mut stats = s.stats;
+        stats.nodes = s.nodes.len();
+        stats.objects = s.objs.len();
+        stats.duration = start.elapsed();
+        PointsTo { reg_pts, cell_pts, icall_targets, stats }
     }
 
     /// The points-to set of register `r` in function `f` (empty set if
@@ -156,6 +199,16 @@ impl PointsTo {
     /// The points-to set of the *contents* of an abstract object.
     pub fn cell(&self, obj: AbsObj) -> BTreeSet<AbsObj> {
         self.cell_pts.get(&obj).cloned().unwrap_or_default()
+    }
+
+    /// All registers with non-empty points-to sets.
+    pub fn reg_entries(&self) -> impl Iterator<Item = (&(FuncId, RegId), &BTreeSet<AbsObj>)> {
+        self.reg_pts.iter()
+    }
+
+    /// All object cells with non-empty points-to sets.
+    pub fn cell_entries(&self) -> impl Iterator<Item = (&AbsObj, &BTreeSet<AbsObj>)> {
+        self.cell_pts.iter()
     }
 
     /// Globals that `f`'s register `r` may point to.
@@ -170,6 +223,19 @@ impl PointsTo {
     }
 }
 
+/// Splits `pts` into the source set of `src` and the mutable
+/// destination set of `dst` (`src != dst`).
+fn pts_pair(pts: &mut [BitSet], src: usize, dst: usize) -> (&BitSet, &mut BitSet) {
+    debug_assert_ne!(src, dst);
+    if src < dst {
+        let (l, r) = pts.split_at_mut(dst);
+        (&l[src], &mut r[0])
+    } else {
+        let (l, r) = pts.split_at_mut(src);
+        (&r[0], &mut l[dst])
+    }
+}
+
 impl<'m> Solver<'m> {
     fn node(&mut self, key: NodeKey) -> usize {
         if let Some(&i) = self.node_ids.get(&key) {
@@ -178,8 +244,14 @@ impl<'m> Solver<'m> {
         let i = self.nodes.len();
         self.nodes.push(key);
         self.node_ids.insert(key, i);
+        self.parent.push(i);
         self.pts.push(BitSet::new());
+        self.delta.push(BitSet::new());
         self.succ.push(BTreeSet::new());
+        self.loads_at.push(Vec::new());
+        self.stores_at.push(Vec::new());
+        self.icalls_at.push(Vec::new());
+        self.queued.push(false);
         i
     }
 
@@ -199,11 +271,42 @@ impl<'m> Solver<'m> {
         self.node(NodeKey::Temp(t))
     }
 
-    fn copy(&mut self, from: usize, to: usize) -> bool {
-        if from == to {
+    /// Union-find lookup with path halving.
+    fn find(&mut self, mut n: usize) -> usize {
+        while self.parent[n] != n {
+            let grandparent = self.parent[self.parent[n]];
+            self.parent[n] = grandparent;
+            n = grandparent;
+        }
+        n
+    }
+
+    fn enqueue(&mut self, n: usize) {
+        if !self.queued[n] {
+            self.queued[n] = true;
+            self.worklist.push_back(n);
+        }
+    }
+
+    /// Adds a copy edge and flows everything currently known at `from`
+    /// into `to`. Returns `true` if the edge is new.
+    fn add_edge(&mut self, from: usize, to: usize) -> bool {
+        let from = self.find(from);
+        let to = self.find(to);
+        if from == to || !self.succ[from].insert(to) {
             return false;
         }
-        self.succ[from].insert(to)
+        self.stats.copy_edges += 1;
+        if !self.pts[from].is_empty() {
+            let changed = {
+                let (src, dst) = pts_pair(&mut self.pts, from, to);
+                dst.union_into_delta(src, &mut self.delta[to])
+            };
+            if changed {
+                self.enqueue(to);
+            }
+        }
+        true
     }
 
     fn base(&mut self, node: usize, obj: AbsObj) {
@@ -228,7 +331,7 @@ impl<'m> Solver<'m> {
                 if let Terminator::Ret(Some(Operand::Reg(r))) = block.term {
                     let from = self.node(NodeKey::Reg(fid, r));
                     let to = self.node(NodeKey::Ret(fid));
-                    self.copy(from, to);
+                    self.succ[from].insert(to);
                 }
             }
         }
@@ -239,7 +342,9 @@ impl<'m> Solver<'m> {
             Inst::Mov { dst, src } | Inst::Un { dst, src, .. } => {
                 let d = self.node(NodeKey::Reg(f, *dst));
                 if let Some(s) = self.op_node(f, src) {
-                    self.copy(s, d);
+                    if s != d {
+                        self.succ[s].insert(d);
+                    }
                 }
             }
             Inst::Bin { dst, lhs, rhs, .. } => {
@@ -248,7 +353,9 @@ impl<'m> Solver<'m> {
                 let d = self.node(NodeKey::Reg(f, *dst));
                 for op in [lhs, rhs] {
                     if let Some(s) = self.op_node(f, op) {
-                        self.copy(s, d);
+                        if s != d {
+                            self.succ[s].insert(d);
+                        }
                     }
                 }
             }
@@ -268,26 +375,28 @@ impl<'m> Solver<'m> {
                 let o = self.obj(AbsObj::Global(*global));
                 let cell = self.node(NodeKey::Cell(o as u32));
                 let d = self.node(NodeKey::Reg(f, *dst));
-                self.copy(cell, d);
+                if cell != d {
+                    self.succ[cell].insert(d);
+                }
             }
             Inst::StoreGlobal { global, value, .. } => {
                 if let Some(v) = self.op_node(f, value) {
                     let o = self.obj(AbsObj::Global(*global));
                     let cell = self.node(NodeKey::Cell(o as u32));
-                    self.copy(v, cell);
+                    if v != cell {
+                        self.succ[v].insert(cell);
+                    }
                 }
             }
             Inst::Load { dst, addr, .. } => {
                 if let Some(a) = self.op_node(f, addr) {
                     let d = self.node(NodeKey::Reg(f, *dst));
-                    self.loads.push((a, d));
+                    self.loads_at[a].push(d);
                 }
             }
             Inst::Store { addr, value, .. } => {
-                if let (Some(a), Some(v)) =
-                    (self.op_node(f, addr), self.op_node(f, value))
-                {
-                    self.stores.push((a, v));
+                if let (Some(a), Some(v)) = (self.op_node(f, addr), self.op_node(f, value)) {
+                    self.stores_at[a].push(v);
                 }
             }
             Inst::Call { dst, callee, args } => {
@@ -297,27 +406,25 @@ impl<'m> Solver<'m> {
                 if let Some(a) = self.op_node(f, fptr) {
                     let arg_nodes = args.iter().map(|op| self.op_node(f, op)).collect();
                     let dst_node = dst.map(|d| self.node(NodeKey::Reg(f, d)));
+                    let ci = self.icalls.len();
                     self.icalls.push(IcallConstraint {
                         site: SiteId { func: f, block, inst: inst_idx },
-                        fptr: a,
                         args: arg_nodes,
                         dst: dst_node,
                         wired: BTreeSet::new(),
                     });
+                    self.icalls_at[a].push(ci);
                 }
             }
             Inst::Memcpy { dst, src, .. } => {
                 // *dst ⊇ *src via a temporary: t ⊇ *src; *dst ⊇ t.
                 if let (Some(d), Some(s)) = (self.op_node(f, dst), self.op_node(f, src)) {
                     let t = self.temp();
-                    self.loads.push((s, t));
-                    self.stores.push((d, t));
+                    self.loads_at[s].push(t);
+                    self.stores_at[d].push(t);
                 }
             }
-            Inst::Memset { .. }
-            | Inst::Svc { .. }
-            | Inst::Halt
-            | Inst::Nop => {}
+            Inst::Memset { .. } | Inst::Svc { .. } | Inst::Halt | Inst::Nop => {}
         }
     }
 
@@ -326,13 +433,17 @@ impl<'m> Solver<'m> {
         for (i, arg) in args.iter().enumerate().take(param_count) {
             if let Some(a) = self.op_node(caller, arg) {
                 let p = self.node(NodeKey::Reg(callee, RegId(i as u32)));
-                self.copy(a, p);
+                if a != p {
+                    self.succ[a].insert(p);
+                }
             }
         }
         if let Some(d) = dst {
             let r = self.node(NodeKey::Ret(callee));
             let dn = self.node(NodeKey::Reg(caller, d));
-            self.copy(r, dn);
+            if r != dn {
+                self.succ[r].insert(dn);
+            }
         }
     }
 
@@ -343,83 +454,550 @@ impl<'m> Solver<'m> {
         }
     }
 
-    fn solve(&mut self) -> usize {
-        let mut rounds = 0;
-        loop {
-            rounds += 1;
-            // 1. Propagate along copy edges to a local fixpoint.
-            let mut changed = true;
-            while changed {
-                changed = false;
-                for from in 0..self.nodes.len() {
-                    if self.pts[from].is_empty() {
-                        continue;
-                    }
-                    let src = self.pts[from].clone();
-                    let succs: Vec<usize> = self.succ[from].iter().copied().collect();
-                    for to in succs {
-                        if self.pts[to].union_with(&src) {
-                            changed = true;
-                        }
-                    }
-                }
+    /// Worklist fixpoint with difference propagation.
+    fn solve(&mut self) {
+        // Seed: every base fact is an unforwarded delta.
+        for n in 0..self.nodes.len() {
+            if !self.pts[n].is_empty() {
+                self.delta[n] = self.pts[n].clone();
+                self.enqueue(n);
             }
-            // 2. Expand complex constraints; repeat if new edges appear.
-            let mut new_edges = false;
-            for li in 0..self.loads.len() {
-                let (addr, dst) = self.loads[li];
-                let objs: Vec<usize> = self.pts[addr].iter().collect();
-                for o in objs {
+        }
+        self.collapse_sccs();
+        self.stats.rounds = 1;
+        let mut pops_since_scc = 0usize;
+        while let Some(popped) = self.worklist.pop_front() {
+            self.queued[popped] = false;
+            let n = self.find(popped);
+            let d = self.delta[n].take();
+            if d.is_empty() {
+                continue;
+            }
+            self.stats.worklist_pops += 1;
+            self.stats.propagated_bits += d.len();
+
+            // Expand the complex constraints indexed on this node for
+            // the *new* objects only.
+            let loads = self.loads_at[n].clone();
+            let stores = self.stores_at[n].clone();
+            let icall_idxs = self.icalls_at[n].clone();
+            for o in d.iter() {
+                if !loads.is_empty() || !stores.is_empty() {
                     if let Some(cell) = self.cell_of(o) {
-                        if self.copy(cell, dst) {
-                            new_edges = true;
+                        for &dst in &loads {
+                            self.add_edge(cell, dst);
+                        }
+                        for &val in &stores {
+                            self.add_edge(val, cell);
+                        }
+                    }
+                }
+                if !icall_idxs.is_empty() {
+                    if let AbsObj::Func(target) = self.objs[o] {
+                        for &ci in &icall_idxs {
+                            self.wire_icall_target(ci, target);
                         }
                     }
                 }
             }
-            for si in 0..self.stores.len() {
-                let (addr, value) = self.stores[si];
-                let objs: Vec<usize> = self.pts[addr].iter().collect();
-                for o in objs {
-                    if let Some(cell) = self.cell_of(o) {
-                        if self.copy(value, cell) {
-                            new_edges = true;
+
+            // Forward only the delta along copy edges.
+            let succs: Vec<usize> = self.succ[n].iter().copied().collect();
+            for raw_to in succs {
+                let to = self.find(raw_to);
+                if to == n {
+                    continue;
+                }
+                if self.pts[to].union_into_delta(&d, &mut self.delta[to]) {
+                    self.enqueue(to);
+                }
+            }
+
+            // Periodically collapse copy cycles formed by on-the-fly
+            // edges; cycles otherwise keep deltas circulating.
+            pops_since_scc += 1;
+            if pops_since_scc >= self.nodes.len().max(128) && !self.worklist.is_empty() {
+                self.collapse_sccs();
+                self.stats.rounds += 1;
+                pops_since_scc = 0;
+            }
+        }
+    }
+
+    fn wire_icall_target(&mut self, ci: usize, target: FuncId) {
+        if self.icalls[ci].wired.contains(&target) {
+            return;
+        }
+        self.icalls[ci].wired.insert(target);
+        let args = self.icalls[ci].args.clone();
+        let dst = self.icalls[ci].dst;
+        let param_count = self.module.funcs[target.0 as usize].params.len();
+        for (i, arg) in args.iter().enumerate().take(param_count) {
+            if let Some(a) = *arg {
+                let p = self.node(NodeKey::Reg(target, RegId(i as u32)));
+                self.add_edge(a, p);
+            }
+        }
+        if let Some(d) = dst {
+            let r = self.node(NodeKey::Ret(target));
+            self.add_edge(r, d);
+        }
+    }
+
+    /// Successor representatives of `v`, deduplicated, self-loops
+    /// dropped.
+    fn rep_succs(&mut self, v: usize) -> Vec<usize> {
+        let raw: Vec<usize> = self.succ[v].iter().copied().collect();
+        let mut out: BTreeSet<usize> = BTreeSet::new();
+        for t in raw {
+            let t = self.find(t);
+            if t != v {
+                out.insert(t);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Iterative Tarjan over the copy graph's representatives; every
+    /// multi-node SCC is collapsed into its smallest member.
+    fn collapse_sccs(&mut self) {
+        self.stats.scc_runs += 1;
+        const UNVISITED: u32 = u32::MAX;
+        let n = self.nodes.len();
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+        let mut next = 0u32;
+        struct Frame {
+            v: usize,
+            succs: Vec<usize>,
+            pos: usize,
+        }
+        enum Step {
+            Child(usize, usize),
+            Done(usize),
+        }
+        let mut frames: Vec<Frame> = Vec::new();
+        for root in 0..n {
+            if self.parent[root] != root || index[root] != UNVISITED {
+                continue;
+            }
+            index[root] = next;
+            low[root] = next;
+            next += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            let succs = self.rep_succs(root);
+            frames.push(Frame { v: root, succs, pos: 0 });
+            while !frames.is_empty() {
+                let step = {
+                    let f = frames.last_mut().expect("non-empty");
+                    if f.pos < f.succs.len() {
+                        let w = f.succs[f.pos];
+                        f.pos += 1;
+                        Step::Child(f.v, w)
+                    } else {
+                        Step::Done(f.v)
+                    }
+                };
+                match step {
+                    Step::Child(v, w) => {
+                        if index[w] == UNVISITED {
+                            index[w] = next;
+                            low[w] = next;
+                            next += 1;
+                            stack.push(w);
+                            on_stack[w] = true;
+                            let succs = self.rep_succs(w);
+                            frames.push(Frame { v: w, succs, pos: 0 });
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                    Step::Done(v) => {
+                        frames.pop();
+                        if let Some(parent_frame) = frames.last() {
+                            let pv = parent_frame.v;
+                            low[pv] = low[pv].min(low[v]);
+                        }
+                        if low[v] == index[v] {
+                            let mut comp = Vec::new();
+                            while let Some(w) = stack.pop() {
+                                on_stack[w] = false;
+                                comp.push(w);
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            if comp.len() > 1 {
+                                sccs.push(comp);
+                            }
                         }
                     }
                 }
             }
-            for ci in 0..self.icalls.len() {
-                let fptr = self.icalls[ci].fptr;
-                let targets: Vec<FuncId> = self.pts[fptr]
-                    .iter()
-                    .filter_map(|o| match self.objs[o] {
-                        AbsObj::Func(f) => Some(f),
-                        _ => None,
-                    })
-                    .collect();
-                for t in targets {
-                    if self.icalls[ci].wired.contains(&t) {
-                        continue;
+        }
+        for comp in sccs {
+            self.merge_scc(&comp);
+        }
+    }
+
+    /// Collapses one copy cycle into its smallest member and schedules
+    /// a full re-propagation of the merged set (sound: difference
+    /// propagation tolerates duplicate forwarding).
+    fn merge_scc(&mut self, comp: &[usize]) {
+        let rep = *comp.iter().min().expect("non-empty SCC");
+        for &m in comp {
+            if m == rep {
+                continue;
+            }
+            self.parent[m] = rep;
+            let m_pts = self.pts[m].take();
+            self.pts[rep].union_with(&m_pts);
+            self.delta[m].clear();
+            let m_succ = std::mem::take(&mut self.succ[m]);
+            self.succ[rep].extend(m_succ);
+            let m_loads = std::mem::take(&mut self.loads_at[m]);
+            self.loads_at[rep].extend(m_loads);
+            let m_stores = std::mem::take(&mut self.stores_at[m]);
+            self.stores_at[rep].extend(m_stores);
+            let m_icalls = std::mem::take(&mut self.icalls_at[m]);
+            self.icalls_at[rep].extend(m_icalls);
+            self.stats.scc_collapsed += 1;
+        }
+        if !self.pts[rep].is_empty() {
+            self.delta[rep] = self.pts[rep].clone();
+            self.enqueue(rep);
+        }
+    }
+}
+
+/// The seed's round-robin, whole-graph solver, kept verbatim as a
+/// differential-testing oracle. Compiled only for tests (or under the
+/// `oracle` feature, which the workspace enables from dev-dependencies
+/// so integration tests can compare the solvers on the paper's apps).
+#[cfg(any(test, feature = "oracle"))]
+#[doc(hidden)]
+pub mod oracle {
+    use super::{AbsObj, NodeKey, SiteId};
+    use crate::bitset::BitSet;
+    use opec_ir::{FuncId, Inst, Module, Operand, RegId, Terminator};
+    use std::collections::{BTreeSet, HashMap};
+
+    /// Result of the reference solver, shaped for whole-map equality
+    /// assertions against [`super::PointsTo`].
+    pub struct OracleResult {
+        pub reg_pts: HashMap<(FuncId, RegId), BTreeSet<AbsObj>>,
+        pub cell_pts: HashMap<AbsObj, BTreeSet<AbsObj>>,
+        pub icall_targets: HashMap<SiteId, BTreeSet<FuncId>>,
+    }
+
+    struct IcallConstraint {
+        site: SiteId,
+        fptr: usize,
+        args: Vec<Option<usize>>,
+        dst: Option<usize>,
+        wired: BTreeSet<FuncId>,
+    }
+
+    struct Solver<'m> {
+        module: &'m Module,
+        node_ids: HashMap<NodeKey, usize>,
+        nodes: Vec<NodeKey>,
+        objs: Vec<AbsObj>,
+        obj_ids: HashMap<AbsObj, usize>,
+        pts: Vec<BitSet>,
+        succ: Vec<BTreeSet<usize>>,
+        loads: Vec<(usize, usize)>,
+        stores: Vec<(usize, usize)>,
+        icalls: Vec<IcallConstraint>,
+        temp_count: u32,
+    }
+
+    /// Runs the seed's round-robin analysis over `module`.
+    pub fn analyze(module: &Module) -> OracleResult {
+        let mut s = Solver {
+            module,
+            node_ids: HashMap::new(),
+            nodes: Vec::new(),
+            objs: Vec::new(),
+            obj_ids: HashMap::new(),
+            pts: Vec::new(),
+            succ: Vec::new(),
+            loads: Vec::new(),
+            stores: Vec::new(),
+            icalls: Vec::new(),
+            temp_count: 0,
+        };
+        s.generate();
+        s.solve();
+        let mut reg_pts = HashMap::new();
+        let mut cell_pts = HashMap::new();
+        for (i, key) in s.nodes.iter().enumerate() {
+            let set: BTreeSet<AbsObj> = s.pts[i].iter().map(|o| s.objs[o]).collect();
+            match *key {
+                NodeKey::Reg(f, r) if !set.is_empty() => {
+                    reg_pts.insert((f, r), set);
+                }
+                NodeKey::Cell(o) if !set.is_empty() => {
+                    cell_pts.insert(s.objs[o as usize], set);
+                }
+                _ => {}
+            }
+        }
+        let icall_targets = s.icalls.iter().map(|c| (c.site, c.wired.clone())).collect();
+        OracleResult { reg_pts, cell_pts, icall_targets }
+    }
+
+    impl<'m> Solver<'m> {
+        fn node(&mut self, key: NodeKey) -> usize {
+            if let Some(&i) = self.node_ids.get(&key) {
+                return i;
+            }
+            let i = self.nodes.len();
+            self.nodes.push(key);
+            self.node_ids.insert(key, i);
+            self.pts.push(BitSet::new());
+            self.succ.push(BTreeSet::new());
+            i
+        }
+
+        fn obj(&mut self, obj: AbsObj) -> usize {
+            if let Some(&i) = self.obj_ids.get(&obj) {
+                return i;
+            }
+            let i = self.objs.len();
+            self.objs.push(obj);
+            self.obj_ids.insert(obj, i);
+            i
+        }
+
+        fn temp(&mut self) -> usize {
+            let t = self.temp_count;
+            self.temp_count += 1;
+            self.node(NodeKey::Temp(t))
+        }
+
+        fn copy(&mut self, from: usize, to: usize) -> bool {
+            if from == to {
+                return false;
+            }
+            self.succ[from].insert(to)
+        }
+
+        fn base(&mut self, node: usize, obj: AbsObj) {
+            let o = self.obj(obj);
+            self.pts[node].insert(o);
+        }
+
+        fn op_node(&mut self, f: FuncId, op: &Operand) -> Option<usize> {
+            match op {
+                Operand::Reg(r) => Some(self.node(NodeKey::Reg(f, *r))),
+                Operand::Imm(_) => None,
+            }
+        }
+
+        fn generate(&mut self) {
+            for (fi, func) in self.module.funcs.iter().enumerate() {
+                let fid = FuncId(fi as u32);
+                for (bi, block) in func.blocks.iter().enumerate() {
+                    for (ii, inst) in block.insts.iter().enumerate() {
+                        self.gen_inst(fid, bi as u32, ii as u32, inst);
                     }
-                    self.icalls[ci].wired.insert(t);
-                    new_edges = true;
-                    let args = self.icalls[ci].args.clone();
-                    let dst = self.icalls[ci].dst;
-                    let param_count = self.module.funcs[t.0 as usize].params.len();
-                    for (i, arg) in args.iter().enumerate().take(param_count) {
-                        if let Some(a) = *arg {
-                            let p = self.node(NodeKey::Reg(t, RegId(i as u32)));
-                            self.copy(a, p);
-                        }
-                    }
-                    if let Some(d) = dst {
-                        let r = self.node(NodeKey::Ret(t));
-                        self.copy(r, d);
+                    if let Terminator::Ret(Some(Operand::Reg(r))) = block.term {
+                        let from = self.node(NodeKey::Reg(fid, r));
+                        let to = self.node(NodeKey::Ret(fid));
+                        self.copy(from, to);
                     }
                 }
             }
-            if !new_edges {
-                return rounds;
+        }
+
+        fn gen_inst(&mut self, f: FuncId, block: u32, inst_idx: u32, inst: &Inst) {
+            match inst {
+                Inst::Mov { dst, src } | Inst::Un { dst, src, .. } => {
+                    let d = self.node(NodeKey::Reg(f, *dst));
+                    if let Some(s) = self.op_node(f, src) {
+                        self.copy(s, d);
+                    }
+                }
+                Inst::Bin { dst, lhs, rhs, .. } => {
+                    let d = self.node(NodeKey::Reg(f, *dst));
+                    for op in [lhs, rhs] {
+                        if let Some(s) = self.op_node(f, op) {
+                            self.copy(s, d);
+                        }
+                    }
+                }
+                Inst::AddrOfGlobal { dst, global, .. } => {
+                    let d = self.node(NodeKey::Reg(f, *dst));
+                    self.base(d, AbsObj::Global(*global));
+                }
+                Inst::AddrOfLocal { dst, local, .. } => {
+                    let d = self.node(NodeKey::Reg(f, *dst));
+                    self.base(d, AbsObj::Local(f, *local));
+                }
+                Inst::AddrOfFunc { dst, func } => {
+                    let d = self.node(NodeKey::Reg(f, *dst));
+                    self.base(d, AbsObj::Func(*func));
+                }
+                Inst::LoadGlobal { dst, global, .. } => {
+                    let o = self.obj(AbsObj::Global(*global));
+                    let cell = self.node(NodeKey::Cell(o as u32));
+                    let d = self.node(NodeKey::Reg(f, *dst));
+                    self.copy(cell, d);
+                }
+                Inst::StoreGlobal { global, value, .. } => {
+                    if let Some(v) = self.op_node(f, value) {
+                        let o = self.obj(AbsObj::Global(*global));
+                        let cell = self.node(NodeKey::Cell(o as u32));
+                        self.copy(v, cell);
+                    }
+                }
+                Inst::Load { dst, addr, .. } => {
+                    if let Some(a) = self.op_node(f, addr) {
+                        let d = self.node(NodeKey::Reg(f, *dst));
+                        self.loads.push((a, d));
+                    }
+                }
+                Inst::Store { addr, value, .. } => {
+                    if let (Some(a), Some(v)) = (self.op_node(f, addr), self.op_node(f, value)) {
+                        self.stores.push((a, v));
+                    }
+                }
+                Inst::Call { dst, callee, args } => {
+                    self.wire_call(f, *callee, args, *dst);
+                }
+                Inst::CallIndirect { dst, fptr, args, .. } => {
+                    if let Some(a) = self.op_node(f, fptr) {
+                        let arg_nodes = args.iter().map(|op| self.op_node(f, op)).collect();
+                        let dst_node = dst.map(|d| self.node(NodeKey::Reg(f, d)));
+                        self.icalls.push(IcallConstraint {
+                            site: SiteId { func: f, block, inst: inst_idx },
+                            fptr: a,
+                            args: arg_nodes,
+                            dst: dst_node,
+                            wired: BTreeSet::new(),
+                        });
+                    }
+                }
+                Inst::Memcpy { dst, src, .. } => {
+                    if let (Some(d), Some(s)) = (self.op_node(f, dst), self.op_node(f, src)) {
+                        let t = self.temp();
+                        self.loads.push((s, t));
+                        self.stores.push((d, t));
+                    }
+                }
+                Inst::Memset { .. } | Inst::Svc { .. } | Inst::Halt | Inst::Nop => {}
+            }
+        }
+
+        fn wire_call(
+            &mut self,
+            caller: FuncId,
+            callee: FuncId,
+            args: &[Operand],
+            dst: Option<RegId>,
+        ) {
+            let param_count = self.module.funcs[callee.0 as usize].params.len();
+            for (i, arg) in args.iter().enumerate().take(param_count) {
+                if let Some(a) = self.op_node(caller, arg) {
+                    let p = self.node(NodeKey::Reg(callee, RegId(i as u32)));
+                    self.copy(a, p);
+                }
+            }
+            if let Some(d) = dst {
+                let r = self.node(NodeKey::Ret(callee));
+                let dn = self.node(NodeKey::Reg(caller, d));
+                self.copy(r, dn);
+            }
+        }
+
+        fn cell_of(&mut self, obj_idx: usize) -> Option<usize> {
+            match self.objs[obj_idx] {
+                AbsObj::Func(_) => None,
+                _ => Some(self.node(NodeKey::Cell(obj_idx as u32))),
+            }
+        }
+
+        fn solve(&mut self) {
+            loop {
+                // 1. Propagate along copy edges to a local fixpoint.
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for from in 0..self.nodes.len() {
+                        if self.pts[from].is_empty() {
+                            continue;
+                        }
+                        let src = self.pts[from].clone();
+                        let succs: Vec<usize> = self.succ[from].iter().copied().collect();
+                        for to in succs {
+                            if self.pts[to].union_with(&src) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                // 2. Expand complex constraints; repeat if new edges appear.
+                let mut new_edges = false;
+                for li in 0..self.loads.len() {
+                    let (addr, dst) = self.loads[li];
+                    let objs: Vec<usize> = self.pts[addr].iter().collect();
+                    for o in objs {
+                        if let Some(cell) = self.cell_of(o) {
+                            if self.copy(cell, dst) {
+                                new_edges = true;
+                            }
+                        }
+                    }
+                }
+                for si in 0..self.stores.len() {
+                    let (addr, value) = self.stores[si];
+                    let objs: Vec<usize> = self.pts[addr].iter().collect();
+                    for o in objs {
+                        if let Some(cell) = self.cell_of(o) {
+                            if self.copy(value, cell) {
+                                new_edges = true;
+                            }
+                        }
+                    }
+                }
+                for ci in 0..self.icalls.len() {
+                    let fptr = self.icalls[ci].fptr;
+                    let targets: Vec<FuncId> = self.pts[fptr]
+                        .iter()
+                        .filter_map(|o| match self.objs[o] {
+                            AbsObj::Func(f) => Some(f),
+                            _ => None,
+                        })
+                        .collect();
+                    for t in targets {
+                        if self.icalls[ci].wired.contains(&t) {
+                            continue;
+                        }
+                        self.icalls[ci].wired.insert(t);
+                        new_edges = true;
+                        let args = self.icalls[ci].args.clone();
+                        let dst = self.icalls[ci].dst;
+                        let param_count = self.module.funcs[t.0 as usize].params.len();
+                        for (i, arg) in args.iter().enumerate().take(param_count) {
+                            if let Some(a) = *arg {
+                                let p = self.node(NodeKey::Reg(t, RegId(i as u32)));
+                                self.copy(a, p);
+                            }
+                        }
+                        if let Some(d) = dst {
+                            let r = self.node(NodeKey::Ret(t));
+                            self.copy(r, d);
+                        }
+                    }
+                }
+                if !new_edges {
+                    return;
+                }
             }
         }
     }
@@ -428,8 +1006,8 @@ impl<'m> Solver<'m> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use opec_ir::{ModuleBuilder, Ty};
     use opec_ir::module::BinOp;
+    use opec_ir::{ModuleBuilder, Ty};
 
     #[test]
     fn addr_of_global_flows_through_mov_and_call() {
@@ -450,10 +1028,7 @@ mod tests {
         let pt = PointsTo::analyze(&m);
         let _ = caller;
         // Parameter register 0 of callee points to the global.
-        assert_eq!(
-            pt.reg_globals(callee, RegId(0)).into_iter().collect::<Vec<_>>(),
-            vec![g]
-        );
+        assert_eq!(pt.reg_globals(callee, RegId(0)).into_iter().collect::<Vec<_>>(), vec![g]);
     }
 
     #[test]
@@ -531,11 +1106,7 @@ mod tests {
         mb.func("copyit", vec![], None, "a.c", |fb| {
             let d = fb.addr_of_global(dst, 0);
             let s = fb.addr_of_global(src, 0);
-            fb.memcpy(
-                opec_ir::Operand::Reg(d),
-                opec_ir::Operand::Reg(s),
-                opec_ir::Operand::Imm(4),
-            );
+            fb.memcpy(opec_ir::Operand::Reg(d), opec_ir::Operand::Reg(s), opec_ir::Operand::Imm(4));
             fb.ret_void();
         });
         let m = mb.finish();
@@ -547,11 +1118,10 @@ mod tests {
     fn return_value_flows_to_caller() {
         let mut mb = ModuleBuilder::new("t");
         let g = mb.global("singleton", Ty::I32, "a.c");
-        let getter =
-            mb.func("get", vec![], Some(Ty::Ptr(Box::new(Ty::I32))), "a.c", |fb| {
-                let p = fb.addr_of_global(g, 0);
-                fb.ret(opec_ir::Operand::Reg(p));
-            });
+        let getter = mb.func("get", vec![], Some(Ty::Ptr(Box::new(Ty::I32))), "a.c", |fb| {
+            let p = fb.addr_of_global(g, 0);
+            fb.ret(opec_ir::Operand::Reg(p));
+        });
         let user = mb.func("user", vec![], None, "a.c", |fb| {
             let p = fb.call(getter, vec![]);
             let _ = fb.load(opec_ir::Operand::Reg(p), 4);
@@ -568,5 +1138,237 @@ mod tests {
         mb.func("empty", vec![], None, "a.c", |fb| fb.ret_void());
         let pt = PointsTo::analyze(&mb.finish());
         assert!(pt.stats.rounds >= 1);
+        assert!(pt.stats.scc_runs >= 1);
+    }
+
+    #[test]
+    fn copy_cycle_is_collapsed() {
+        // p0 -> p1 -> p2 -> p0 via movs; one address seeds the cycle.
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("obj", Ty::I32, "a.c");
+        let f = mb.func("spin", vec![], None, "a.c", |fb| {
+            let a = fb.addr_of_global(g, 0);
+            let b = fb.reg();
+            let c = fb.reg();
+            fb.mov(b, opec_ir::Operand::Reg(a));
+            fb.mov(c, opec_ir::Operand::Reg(b));
+            fb.mov(a, opec_ir::Operand::Reg(c));
+            fb.ret_void();
+        });
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        for r in 0..3 {
+            assert!(pt.reg_globals(f, RegId(r)).contains(&g), "r{r} lost the target");
+        }
+        assert!(pt.stats.scc_collapsed >= 2, "cycle not collapsed: {:?}", pt.stats);
+    }
+
+    /// Whole-result equality against the seed solver on a module
+    /// exercising every constraint form at once.
+    #[test]
+    fn matches_oracle_on_mixed_module() {
+        let m = dense_test_module();
+        assert_same_results(&m);
+    }
+
+    fn dense_test_module() -> opec_ir::Module {
+        let mut mb = ModuleBuilder::new("mixed");
+        let slots: Vec<_> = (0..4)
+            .map(|i| mb.global(format!("slot{i}"), Ty::Ptr(Box::new(Ty::I32)), "a.c"))
+            .collect();
+        let objs: Vec<_> = (0..3).map(|i| mb.global(format!("obj{i}"), Ty::I32, "a.c")).collect();
+        let ptr_ty = Ty::Ptr(Box::new(Ty::I32));
+        let h1 = mb.declare("h1", vec![("p", ptr_ty.clone())], Some(ptr_ty.clone()), "a.c");
+        let h2 = mb.declare("h2", vec![("p", ptr_ty.clone())], Some(ptr_ty.clone()), "a.c");
+        mb.define(h1, |fb| {
+            let p = fb.param(0);
+            fb.ret(opec_ir::Operand::Reg(p));
+        });
+        mb.define(h2, |fb| {
+            let p = fb.param(0);
+            let q = fb.load(opec_ir::Operand::Reg(p), 4);
+            fb.ret(opec_ir::Operand::Reg(q));
+        });
+        let sig = mb.sig_of(h1);
+        mb.func("driver", vec![], None, "a.c", |fb| {
+            let o0 = fb.addr_of_global(objs[0], 0);
+            let o1 = fb.addr_of_global(objs[1], 0);
+            fb.store_global(slots[0], 0, opec_ir::Operand::Reg(o0), 4);
+            fb.store_global(slots[1], 0, opec_ir::Operand::Reg(o1), 4);
+            let s0 = fb.addr_of_global(slots[0], 0);
+            let s1 = fb.addr_of_global(slots[1], 0);
+            fb.memcpy(
+                opec_ir::Operand::Reg(s1),
+                opec_ir::Operand::Reg(s0),
+                opec_ir::Operand::Imm(4),
+            );
+            let fp1 = fb.addr_of_func(h1);
+            fb.store_global(slots[2], 0, opec_ir::Operand::Reg(fp1), 4);
+            let fp2 = fb.addr_of_func(h2);
+            fb.store_global(slots[3], 0, opec_ir::Operand::Reg(fp2), 4);
+            let fpa = fb.load_global(slots[2], 0, 4);
+            let fpb = fb.load_global(slots[3], 0, 4);
+            // A two-target icall whose argument is itself a pointer.
+            let r1 = fb.icall(opec_ir::Operand::Reg(fpa), sig, vec![opec_ir::Operand::Reg(s0)]);
+            let r2 = fb.icall(opec_ir::Operand::Reg(fpb), sig, vec![opec_ir::Operand::Reg(r1)]);
+            // Copy cycle closed through a global cell.
+            fb.store_global(slots[0], 0, opec_ir::Operand::Reg(r2), 4);
+            let back = fb.load_global(slots[0], 0, 4);
+            let cyc = fb.bin(BinOp::Add, opec_ir::Operand::Reg(back), opec_ir::Operand::Imm(0));
+            fb.store_global(slots[0], 0, opec_ir::Operand::Reg(cyc), 4);
+            fb.ret_void();
+        });
+        mb.finish()
+    }
+
+    fn assert_same_results(m: &opec_ir::Module) {
+        let fast = PointsTo::analyze(m);
+        let slow = oracle::analyze(m);
+        assert_eq!(fast.reg_pts, slow.reg_pts, "register points-to sets differ");
+        assert_eq!(fast.cell_pts, slow.cell_pts, "cell points-to sets differ");
+        assert_eq!(fast.icall_targets, slow.icall_targets, "icall resolutions differ");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One random instruction; indices are taken modulo whatever is
+        /// available at build time.
+        #[derive(Debug, Clone)]
+        enum Op {
+            AddrGlobal(usize),
+            AddrFunc(usize),
+            Mov(usize),
+            Bin(usize, usize),
+            LoadGlobal(usize),
+            StoreGlobal(usize, usize),
+            Load(usize),
+            Store(usize, usize),
+            Call(usize, usize),
+            Icall(usize, usize),
+            Memcpy(usize, usize),
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            let i = || 0usize..16;
+            prop_oneof![
+                i().prop_map(Op::AddrGlobal),
+                i().prop_map(Op::AddrFunc),
+                i().prop_map(Op::Mov),
+                (i(), i()).prop_map(|(a, b)| Op::Bin(a, b)),
+                i().prop_map(Op::LoadGlobal),
+                (i(), i()).prop_map(|(a, b)| Op::StoreGlobal(a, b)),
+                i().prop_map(Op::Load),
+                (i(), i()).prop_map(|(a, b)| Op::Store(a, b)),
+                (i(), i()).prop_map(|(a, b)| Op::Call(a, b)),
+                (i(), i()).prop_map(|(a, b)| Op::Icall(a, b)),
+                (i(), i()).prop_map(|(a, b)| Op::Memcpy(a, b)),
+            ]
+        }
+
+        /// Builds a module of `nfuncs` single-pointer-param functions
+        /// whose bodies execute the random op lists.
+        fn build_module(nglobals: usize, bodies: &[Vec<Op>]) -> opec_ir::Module {
+            let mut mb = ModuleBuilder::new("prop");
+            let ptr_ty = Ty::Ptr(Box::new(Ty::I8));
+            let globals: Vec<_> =
+                (0..nglobals).map(|i| mb.global(format!("g{i}"), ptr_ty.clone(), "p.c")).collect();
+            let funcs: Vec<_> = (0..bodies.len())
+                .map(|i| {
+                    mb.declare(
+                        format!("f{i}"),
+                        vec![("p", ptr_ty.clone())],
+                        Some(ptr_ty.clone()),
+                        "p.c",
+                    )
+                })
+                .collect();
+            let sigs: Vec<_> = funcs.iter().map(|&f| mb.sig_of(f)).collect();
+            for (fi, body) in bodies.iter().enumerate() {
+                let globals = globals.clone();
+                let funcs = funcs.clone();
+                let sigs = sigs.clone();
+                let body = body.clone();
+                mb.define(funcs[fi], move |fb| {
+                    use opec_ir::Operand::Reg;
+                    let mut regs = vec![fb.param(0)];
+                    let r = |k: usize, regs: &Vec<opec_ir::RegId>| regs[k % regs.len()];
+                    for op in &body {
+                        match *op {
+                            Op::AddrGlobal(g) => {
+                                regs.push(fb.addr_of_global(globals[g % globals.len()], 0));
+                            }
+                            Op::AddrFunc(f) => {
+                                regs.push(fb.addr_of_func(funcs[f % funcs.len()]));
+                            }
+                            Op::Mov(s) => {
+                                let d = fb.reg();
+                                fb.mov(d, Reg(r(s, &regs)));
+                                regs.push(d);
+                            }
+                            Op::Bin(a, b) => {
+                                regs.push(fb.bin(BinOp::Add, Reg(r(a, &regs)), Reg(r(b, &regs))));
+                            }
+                            Op::LoadGlobal(g) => {
+                                regs.push(fb.load_global(globals[g % globals.len()], 0, 4));
+                            }
+                            Op::StoreGlobal(g, v) => {
+                                fb.store_global(globals[g % globals.len()], 0, Reg(r(v, &regs)), 4);
+                            }
+                            Op::Load(a) => {
+                                regs.push(fb.load(Reg(r(a, &regs)), 4));
+                            }
+                            Op::Store(a, v) => {
+                                fb.store(Reg(r(a, &regs)), Reg(r(v, &regs)), 4);
+                            }
+                            Op::Call(f, a) => {
+                                regs.push(fb.call(funcs[f % funcs.len()], vec![Reg(r(a, &regs))]));
+                            }
+                            Op::Icall(p, a) => {
+                                regs.push(fb.icall(
+                                    Reg(r(p, &regs)),
+                                    sigs[0],
+                                    vec![Reg(r(a, &regs))],
+                                ));
+                            }
+                            Op::Memcpy(d, s) => {
+                                fb.memcpy(
+                                    Reg(r(d, &regs)),
+                                    Reg(r(s, &regs)),
+                                    opec_ir::Operand::Imm(4),
+                                );
+                            }
+                        }
+                    }
+                    let last = *regs.last().expect("at least the param");
+                    fb.ret(Reg(last));
+                });
+            }
+            mb.finish()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// The worklist/difference-propagation solver computes
+            /// exactly what the seed's round-robin solver computes, on
+            /// random modules mixing every constraint form.
+            #[test]
+            fn worklist_equals_round_robin(
+                nglobals in 1usize..5,
+                bodies in proptest::collection::vec(
+                    proptest::collection::vec(arb_op(), 1..10),
+                    1..5,
+                ),
+            ) {
+                let m = build_module(nglobals, &bodies);
+                let fast = PointsTo::analyze(&m);
+                let slow = oracle::analyze(&m);
+                prop_assert_eq!(&fast.reg_pts, &slow.reg_pts);
+                prop_assert_eq!(&fast.cell_pts, &slow.cell_pts);
+                prop_assert_eq!(&fast.icall_targets, &slow.icall_targets);
+            }
+        }
     }
 }

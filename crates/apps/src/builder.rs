@@ -9,9 +9,7 @@
 use std::collections::BTreeMap;
 
 use opec_ir::module::BinOp;
-use opec_ir::{
-    FuncId, FunctionBuilder, GlobalId, Module, ModuleBuilder, Operand, RegId, Ty,
-};
+use opec_ir::{FuncId, FunctionBuilder, GlobalId, Module, ModuleBuilder, Operand, RegId, Ty};
 
 /// Name-indexed wrapper around [`ModuleBuilder`].
 pub struct Ctx {
@@ -78,10 +76,7 @@ impl Ctx {
     /// Panics when the function was never declared — a programming
     /// error in the workload definition.
     pub fn f(&self, name: &str) -> FuncId {
-        *self
-            .fns
-            .get(name)
-            .unwrap_or_else(|| panic!("function {name} not declared"))
+        *self.fns.get(name).unwrap_or_else(|| panic!("function {name} not declared"))
     }
 
     /// Registers a zero-initialised global.
@@ -124,10 +119,7 @@ impl Ctx {
     ///
     /// Panics when the global was never registered.
     pub fn g(&self, name: &str) -> GlobalId {
-        *self
-            .globals
-            .get(name)
-            .unwrap_or_else(|| panic!("global {name} not registered"))
+        *self.globals.get(name).unwrap_or_else(|| panic!("global {name} not registered"))
     }
 
     /// Finishes the module.

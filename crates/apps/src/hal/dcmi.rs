@@ -23,10 +23,8 @@ pub fn build(cx: &mut Ctx) {
     cx.global("camera_frame", Ty::Array(Box::new(Ty::I8), 1024), "bsp_camera.c");
     cx.global("camera_state", Ty::I32, "hal_dcmi.c");
     // Per-effect frame filters registered at init.
-    let filter_sig = SigKey {
-        params: vec![ParamKind::Ptr, ParamKind::Int],
-        ret: Some(ParamKind::Int),
-    };
+    let filter_sig =
+        SigKey { params: vec![ParamKind::Ptr, ParamKind::Int], ret: Some(ParamKind::Int) };
     cx.global(
         "camera_filters",
         Ty::Array(Box::new(Ty::FnPtr(filter_sig.clone())), 4),
@@ -170,10 +168,9 @@ pub fn build(cx: &mut Ctx) {
     });
 
     // Applies filter `idx` to the frame via the callback table.
-    let apply_sig = cx.mb.sig(SigKey {
-        params: vec![ParamKind::Ptr, ParamKind::Int],
-        ret: Some(ParamKind::Int),
-    });
+    let apply_sig = cx
+        .mb
+        .sig(SigKey { params: vec![ParamKind::Ptr, ParamKind::Int], ret: Some(ParamKind::Int) });
     cx.def(
         "BSP_CAMERA_ApplyFilter",
         vec![("idx", Ty::I32), ("len", Ty::I32)],

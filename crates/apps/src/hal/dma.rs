@@ -151,11 +151,8 @@ mod tests {
         opec_ir::validate(&m).unwrap();
         let pt = PointsTo::analyze(&m);
         let cg = CallGraph::build(&m, &pt);
-        let site = cg
-            .icall_sites
-            .iter()
-            .find(|s| s.site.func == xfer)
-            .expect("the descriptor icall site");
+        let site =
+            cg.icall_sites.iter().find(|s| s.site.func == xfer).expect("the descriptor icall site");
         // Points-to cannot see through device memory; the type fallback
         // resolves it, over-approximately.
         assert_eq!(site.resolution, IcallResolution::TypeBased);

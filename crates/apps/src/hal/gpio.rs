@@ -26,13 +26,19 @@ pub fn build(cx: &mut Ctx) {
         },
     );
 
-    cx.def("HAL_GPIO_WritePin", vec![("pin", Ty::I32), ("state", Ty::I32)], None, "hal_gpio.c", |fb| {
-        let pin = fb.param(0);
-        let state = fb.param(1);
-        let bit = fb.bin(opec_ir::BinOp::Shl, Operand::Reg(state), Operand::Reg(pin));
-        fb.mmio_write(bases::GPIOD + 0x14, Operand::Reg(bit), 4); // ODR
-        fb.ret_void();
-    });
+    cx.def(
+        "HAL_GPIO_WritePin",
+        vec![("pin", Ty::I32), ("state", Ty::I32)],
+        None,
+        "hal_gpio.c",
+        |fb| {
+            let pin = fb.param(0);
+            let state = fb.param(1);
+            let bit = fb.bin(opec_ir::BinOp::Shl, Operand::Reg(state), Operand::Reg(pin));
+            fb.mmio_write(bases::GPIOD + 0x14, Operand::Reg(bit), 4); // ODR
+            fb.ret_void();
+        },
+    );
 
     cx.def("HAL_GPIO_ReadPin", vec![("pin", Ty::I32)], Some(Ty::I32), "hal_gpio.c", |fb| {
         let v = fb.mmio_read(bases::GPIOA + 0x10, 4); // IDR

@@ -98,10 +98,9 @@ pub fn build(cx: &mut Ctx) {
 
     // Dispatches through the writer table — a points-to-resolvable
     // icall with two targets.
-    let draw_sig = cx.mb.sig(SigKey {
-        params: vec![ParamKind::Int, ParamKind::Int, ParamKind::Int],
-        ret: None,
-    });
+    let draw_sig = cx
+        .mb
+        .sig(SigKey { params: vec![ParamKind::Int, ParamKind::Int, ParamKind::Int], ret: None });
     cx.def(
         "BSP_LCD_DrawPixel",
         vec![("fmt", Ty::I32), ("x", Ty::I32), ("y", Ty::I32), ("color", Ty::I32)],
@@ -186,7 +185,12 @@ pub fn build(cx: &mut Ctx) {
                     let xi = fb.bin(BinOp::Add, Operand::Reg(x), Operand::Reg(i));
                     fb.call_void(
                         draw,
-                        vec![Operand::Imm(0), Operand::Reg(xi), Operand::Reg(y), Operand::Reg(color)],
+                        vec![
+                            Operand::Imm(0),
+                            Operand::Reg(xi),
+                            Operand::Reg(y),
+                            Operand::Reg(color),
+                        ],
                     );
                 });
                 fb.ret_void();
@@ -209,7 +213,12 @@ pub fn build(cx: &mut Ctx) {
                     let yi = fb.bin(BinOp::Add, Operand::Reg(y), Operand::Reg(i));
                     fb.call_void(
                         draw,
-                        vec![Operand::Imm(0), Operand::Reg(x), Operand::Reg(yi), Operand::Reg(color)],
+                        vec![
+                            Operand::Imm(0),
+                            Operand::Reg(x),
+                            Operand::Reg(yi),
+                            Operand::Reg(color),
+                        ],
                     );
                 });
                 fb.ret_void();
@@ -229,12 +238,24 @@ pub fn build(cx: &mut Ctx) {
                 let w = fb.param(0);
                 let hh = fb.param(1);
                 let c = fb.param(2);
-                fb.call_void(h, vec![Operand::Imm(0), Operand::Imm(0), Operand::Reg(w), Operand::Reg(c)]);
+                fb.call_void(
+                    h,
+                    vec![Operand::Imm(0), Operand::Imm(0), Operand::Reg(w), Operand::Reg(c)],
+                );
                 let bottom = fb.bin(BinOp::Sub, Operand::Reg(hh), Operand::Imm(1));
-                fb.call_void(h, vec![Operand::Imm(0), Operand::Reg(bottom), Operand::Reg(w), Operand::Reg(c)]);
-                fb.call_void(v, vec![Operand::Imm(0), Operand::Imm(0), Operand::Reg(hh), Operand::Reg(c)]);
+                fb.call_void(
+                    h,
+                    vec![Operand::Imm(0), Operand::Reg(bottom), Operand::Reg(w), Operand::Reg(c)],
+                );
+                fb.call_void(
+                    v,
+                    vec![Operand::Imm(0), Operand::Imm(0), Operand::Reg(hh), Operand::Reg(c)],
+                );
                 let right = fb.bin(BinOp::Sub, Operand::Reg(w), Operand::Imm(1));
-                fb.call_void(v, vec![Operand::Reg(right), Operand::Imm(0), Operand::Reg(hh), Operand::Reg(c)]);
+                fb.call_void(
+                    v,
+                    vec![Operand::Reg(right), Operand::Imm(0), Operand::Reg(hh), Operand::Reg(c)],
+                );
                 fb.ret_void();
             }
         },

@@ -30,11 +30,7 @@ pub fn build_full_hal(cx: &mut crate::Ctx) {
     sysclk::build(cx);
     gpio::build(cx);
     dma::build(cx);
-    cx.global(
-        "uart_rx_buffer",
-        opec_ir::Ty::Array(Box::new(opec_ir::Ty::I8), 16),
-        "main.c",
-    );
+    cx.global("uart_rx_buffer", opec_ir::Ty::Array(Box::new(opec_ir::Ty::I8), 16), "main.c");
     uart::build(cx, "uart_rx_buffer", 16);
     sd::build(cx);
     lcd::build(cx);

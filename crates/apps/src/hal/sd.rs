@@ -42,8 +42,13 @@ pub fn build(cx: &mut Ctx) {
 
     // Response readers, one per response format like the real command
     // layer (R1/R2/R3/R6/R7).
-    for resp in ["SDMMC_GetCmdResp1", "SDMMC_GetCmdResp2", "SDMMC_GetCmdResp3",
-                 "SDMMC_GetCmdResp6", "SDMMC_GetCmdResp7"] {
+    for resp in [
+        "SDMMC_GetCmdResp1",
+        "SDMMC_GetCmdResp2",
+        "SDMMC_GetCmdResp3",
+        "SDMMC_GetCmdResp6",
+        "SDMMC_GetCmdResp7",
+    ] {
         cx.def(resp, vec![], Some(Ty::I32), "hal_sd_cmd.c", move |fb| {
             let st = fb.mmio_read(STATUS, 4);
             let err = fb.bin(BinOp::And, Operand::Reg(st), Operand::Imm(0b10));

@@ -120,11 +120,17 @@ pub fn build(cx: &mut Ctx) {
         fb.ret(Operand::Imm(0));
     });
 
-    cx.def("HAL_NVIC_SetPriority", vec![("irq", Ty::I32), ("prio", Ty::I32)], None, "hal_cortex.c", |fb| {
-        let p = fb.param(1);
-        fb.mmio_write(0xE000_E100 + 0x100, Operand::Reg(p), 4); // IPR block
-        fb.ret_void();
-    });
+    cx.def(
+        "HAL_NVIC_SetPriority",
+        vec![("irq", Ty::I32), ("prio", Ty::I32)],
+        None,
+        "hal_cortex.c",
+        |fb| {
+            let p = fb.param(1);
+            fb.mmio_write(0xE000_E100 + 0x100, Operand::Reg(p), 4); // IPR block
+            fb.ret_void();
+        },
+    );
 
     cx.def("HAL_NVIC_EnableIRQ", vec![("irq", Ty::I32)], None, "hal_cortex.c", |fb| {
         let irq = fb.param(0);

@@ -49,15 +49,12 @@ pub fn format_volume() -> Vec<(u32, [u8; 512])> {
 /// (`crate::hal::sd`) to be registered first.
 pub fn build(cx: &mut Ctx) {
     // struct FATFS { fs_type; winsect; database; u8* win; }
-    let fs_struct = cx.mb.add_struct(
-        "FATFS",
-        vec![Ty::I32, Ty::I32, Ty::I32, Ty::Ptr(Box::new(Ty::I8))],
-    );
+    let fs_struct =
+        cx.mb.add_struct("FATFS", vec![Ty::I32, Ty::I32, Ty::I32, Ty::Ptr(Box::new(Ty::I8))]);
     // struct FIL { flag; sclust; fptr; fsize; u8* buf; }
-    let fil_struct = cx.mb.add_struct(
-        "FIL",
-        vec![Ty::I32, Ty::I32, Ty::I32, Ty::I32, Ty::Ptr(Box::new(Ty::I8))],
-    );
+    let fil_struct = cx
+        .mb
+        .add_struct("FIL", vec![Ty::I32, Ty::I32, Ty::I32, Ty::I32, Ty::Ptr(Box::new(Ty::I8))]);
     cx.global("SDFatFs", Ty::Struct(fs_struct), "ff.c");
     cx.global("MyFile", Ty::Struct(fil_struct), "ff.c");
     cx.global("fs_win", Ty::Array(Box::new(Ty::I8), 512), "ff.c");
@@ -389,8 +386,7 @@ pub fn build(cx: &mut Ctx) {
             fb.cond_br(Operand::Reg(missing), create, open_existing);
             // Create path.
             fb.switch_to(create);
-            let want_create =
-                fb.bin(BinOp::And, Operand::Reg(fb.param(1)), Operand::Imm(1));
+            let want_create = fb.bin(BinOp::And, Operand::Reg(fb.param(1)), Operand::Imm(1));
             let do_create = fb.block();
             let fail = fb.block();
             fb.cond_br(Operand::Reg(want_create), do_create, fail);
@@ -450,7 +446,7 @@ pub fn build(cx: &mut Ctx) {
                 let ok = fb.bin(BinOp::CmpEq, Operand::Reg(r), Operand::Imm(0));
                 bail_if_zero(fb, ok, Some(err), Some(1));
                 fb.store_global(fil, 12, Operand::Reg(fb.param(1)), 4); // fsize
-                // Update the directory entry's size field.
+                                                                        // Update the directory entry's size field.
                 let _ = fb.call(mv, vec![Operand::Imm(DIR_SECT)]);
                 let win = fb.load_global(fs, 12, 4);
                 // Entry 0 is ours in the single-file workloads; find by

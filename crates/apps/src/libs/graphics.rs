@@ -92,9 +92,7 @@ pub fn build(cx: &mut Ctx) {
     });
 
     // Fade effects ramp the backlight through the sanitized level.
-    for (name, from, to, step) in
-        [("fade_in", 0u32, 100u32, 10u32), ("fade_out", 100, 0, 10)]
-    {
+    for (name, from, to, step) in [("fade_in", 0u32, 100u32, 10u32), ("fade_out", 100, 0, 10)] {
         cx.def(name, vec![], None, "effects.c", {
             let level = cx.g("backlight_level");
             let set = cx.f("BSP_LCD_SetBrightness");

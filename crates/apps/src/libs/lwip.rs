@@ -70,10 +70,8 @@ pub fn make_invalid_frame(kind: u8) -> Vec<u8> {
 /// Registers the network stack. Requires the Ethernet HAL family.
 pub fn build(cx: &mut Ctx) {
     // Callback signature: (pbuf*, len) -> i32.
-    let recv_sig = SigKey {
-        params: vec![ParamKind::Ptr, ParamKind::Int],
-        ret: Some(ParamKind::Int),
-    };
+    let recv_sig =
+        SigKey { params: vec![ParamKind::Ptr, ParamKind::Int], ret: Some(ParamKind::Int) };
     // Sent-callback signature: (len) -> i32 — same shape as the MSC
     // callbacks on purpose: a type-based match has several candidates.
     let sent_sig = SigKey { params: vec![ParamKind::Int], ret: Some(ParamKind::Int) };

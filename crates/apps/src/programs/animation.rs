@@ -181,13 +181,7 @@ pub fn check(machine: &mut Machine) -> Result<(), String> {
 
 /// The Animation [`super::App`].
 pub fn app() -> super::App {
-    super::App {
-        name: "Animation",
-        board: Board::stm32479i_eval(),
-        build,
-        setup,
-        check,
-    }
+    super::App { name: "Animation", board: Board::stm32479i_eval(), build, setup, check }
 }
 
 #[cfg(test)]

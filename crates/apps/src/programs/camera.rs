@@ -211,8 +211,9 @@ pub fn check(machine: &mut Machine) -> Result<(), String> {
         let block = usb.block(blk).ok_or("missing block")?;
         for w in 0..128u32 {
             let off = blk * 512 + w * 4;
-            let have =
-                u32::from_le_bytes(block[(w * 4) as usize..(w * 4 + 4) as usize].try_into().unwrap());
+            let have = u32::from_le_bytes(
+                block[(w * 4) as usize..(w * 4 + 4) as usize].try_into().unwrap(),
+            );
             let want = expected_saved_word(1, off);
             if have != want {
                 return Err(format!(
@@ -226,13 +227,7 @@ pub fn check(machine: &mut Machine) -> Result<(), String> {
 
 /// The Camera [`super::App`].
 pub fn app() -> super::App {
-    super::App {
-        name: "Camera",
-        board: Board::stm32479i_eval(),
-        build,
-        setup,
-        check,
-    }
+    super::App { name: "Camera", board: Board::stm32479i_eval(), build, setup, check }
 }
 
 #[cfg(test)]

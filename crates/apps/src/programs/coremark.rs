@@ -100,41 +100,43 @@ pub fn build() -> (Module, Vec<OperationSpec>) {
 
     // The two large shared buffers.
     cx.global("list_memblk", Ty::Array(Box::new(Ty::I32), LIST_LEN), "core_list_join.c");
-    cx.global(
-        "matrix_memblk",
-        Ty::Array(Box::new(Ty::I32), MATRIX_N * MATRIX_N),
-        "core_matrix.c",
-    );
+    cx.global("matrix_memblk", Ty::Array(Box::new(Ty::I32), MATRIX_N * MATRIX_N), "core_matrix.c");
     cx.global("crc_accum", Ty::I32, "core_util.c");
     cx.global("state_value", Ty::I32, "core_state.c");
     cx.global("iteration", Ty::I32, "core_main.c");
     cx.global("bench_result", Ty::I32, "core_main.c");
 
     // CRC step, faithful to the host reference above.
-    cx.def("crcu16_step", vec![("crc", Ty::I32), ("data", Ty::I32)], Some(Ty::I32), "core_util.c", |fb| {
-        let masked = fb.bin(BinOp::And, Operand::Reg(fb.param(1)), Operand::Imm(0xFFFF));
-        let c0 = fb.bin(BinOp::Xor, Operand::Reg(fb.param(0)), Operand::Reg(masked));
-        let c = fb.reg();
-        fb.mov(c, Operand::Reg(c0));
-        crate::builder::counted_loop(fb, Operand::Imm(8), move |fb, _| {
-            let lsb = fb.bin(BinOp::And, Operand::Reg(c), Operand::Imm(1));
-            let shifted = fb.bin(BinOp::Shr, Operand::Reg(c), Operand::Imm(1));
-            let with_poly = fb.bin(BinOp::Xor, Operand::Reg(shifted), Operand::Imm(0xA001));
-            let odd = fb.block();
-            let even = fb.block();
-            let join = fb.block();
-            fb.cond_br(Operand::Reg(lsb), odd, even);
-            fb.switch_to(odd);
-            fb.mov(c, Operand::Reg(with_poly));
-            fb.br(join);
-            fb.switch_to(even);
-            fb.mov(c, Operand::Reg(shifted));
-            fb.br(join);
-            fb.switch_to(join);
-        });
-        let out = fb.bin(BinOp::And, Operand::Reg(c), Operand::Imm(0xFFFF));
-        fb.ret(Operand::Reg(out));
-    });
+    cx.def(
+        "crcu16_step",
+        vec![("crc", Ty::I32), ("data", Ty::I32)],
+        Some(Ty::I32),
+        "core_util.c",
+        |fb| {
+            let masked = fb.bin(BinOp::And, Operand::Reg(fb.param(1)), Operand::Imm(0xFFFF));
+            let c0 = fb.bin(BinOp::Xor, Operand::Reg(fb.param(0)), Operand::Reg(masked));
+            let c = fb.reg();
+            fb.mov(c, Operand::Reg(c0));
+            crate::builder::counted_loop(fb, Operand::Imm(8), move |fb, _| {
+                let lsb = fb.bin(BinOp::And, Operand::Reg(c), Operand::Imm(1));
+                let shifted = fb.bin(BinOp::Shr, Operand::Reg(c), Operand::Imm(1));
+                let with_poly = fb.bin(BinOp::Xor, Operand::Reg(shifted), Operand::Imm(0xA001));
+                let odd = fb.block();
+                let even = fb.block();
+                let join = fb.block();
+                fb.cond_br(Operand::Reg(lsb), odd, even);
+                fb.switch_to(odd);
+                fb.mov(c, Operand::Reg(with_poly));
+                fb.br(join);
+                fb.switch_to(even);
+                fb.mov(c, Operand::Reg(shifted));
+                fb.br(join);
+                fb.switch_to(join);
+            });
+            let out = fb.bin(BinOp::And, Operand::Reg(c), Operand::Imm(0xFFFF));
+            fb.ret(Operand::Reg(out));
+        },
+    );
 
     cx.def("crcu8_calc", vec![("data", Ty::I32)], Some(Ty::I32), "core_util.c", |fb| {
         let c = fb.reg();
@@ -557,13 +559,7 @@ pub fn check(machine: &mut Machine) -> Result<(), String> {
 
 /// The CoreMark [`super::App`].
 pub fn app() -> super::App {
-    super::App {
-        name: "CoreMark",
-        board: Board::stm32f4_discovery(),
-        build,
-        setup,
-        check,
-    }
+    super::App { name: "CoreMark", board: Board::stm32f4_discovery(), build, setup, check }
 }
 
 #[cfg(test)]

@@ -27,12 +27,7 @@ pub fn build() -> (Module, Vec<OperationSpec>) {
     hal::sd::build(&mut cx);
     libs::fatfs::build(&mut cx);
 
-    cx.const_global(
-        "wtext",
-        Ty::Array(Box::new(Ty::I8), 32),
-        MESSAGE.to_vec(),
-        "main.c",
-    );
+    cx.const_global("wtext", Ty::Array(Box::new(Ty::I8), 32), MESSAGE.to_vec(), "main.c");
     cx.global("rtext", Ty::Array(Box::new(Ty::I8), 32), "main.c");
     cx.sanitized_global("verify_ok", Ty::I32, "main.c", (0, 1));
 
@@ -237,13 +232,7 @@ pub fn check(machine: &mut Machine) -> Result<(), String> {
 
 /// The FatFs-uSD [`super::App`].
 pub fn app() -> super::App {
-    super::App {
-        name: "FatFs-uSD",
-        board: Board::stm32f4_discovery(),
-        build,
-        setup,
-        check,
-    }
+    super::App { name: "FatFs-uSD", board: Board::stm32f4_discovery(), build, setup, check }
 }
 
 #[cfg(test)]

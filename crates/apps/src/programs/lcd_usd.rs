@@ -13,7 +13,7 @@
 
 use opec_armv7m::{Board, Machine};
 use opec_core::OperationSpec;
-use opec_devices::{DeviceConfig, Button, Lcd, SdCard};
+use opec_devices::{Button, DeviceConfig, Lcd, SdCard};
 use opec_ir::module::BinOp;
 use opec_ir::types::{ParamKind, SigKey};
 use opec_ir::{Module, Operand, Ty};
@@ -271,13 +271,7 @@ pub fn check(machine: &mut Machine) -> Result<(), String> {
 
 /// The LCD-uSD [`super::App`].
 pub fn app() -> super::App {
-    super::App {
-        name: "LCD-uSD",
-        board: Board::stm32479i_eval(),
-        build,
-        setup,
-        check,
-    }
+    super::App { name: "LCD-uSD", board: Board::stm32479i_eval(), build, setup, check }
 }
 
 #[cfg(test)]

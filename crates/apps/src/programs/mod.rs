@@ -48,13 +48,7 @@ pub fn all_apps() -> Vec<App> {
 /// The five applications the ACES comparison uses (Table 2, Figures
 /// 10–11).
 pub fn aces_comparison_apps() -> Vec<App> {
-    vec![
-        pinlock::app(),
-        animation::app(),
-        fatfs_usd::app(),
-        lcd_usd::app(),
-        tcp_echo::app(),
-    ]
+    vec![pinlock::app(), animation::app(), fatfs_usd::app(), lcd_usd::app(), tcp_echo::app()]
 }
 
 #[cfg(test)]

@@ -224,13 +224,7 @@ pub fn check(machine: &mut Machine) -> Result<(), String> {
 
 /// The PinLock [`super::App`].
 pub fn app() -> super::App {
-    super::App {
-        name: "PinLock",
-        board: Board::stm32f4_discovery(),
-        build,
-        setup,
-        check,
-    }
+    super::App { name: "PinLock", board: Board::stm32f4_discovery(), build, setup, check }
 }
 
 #[cfg(test)]

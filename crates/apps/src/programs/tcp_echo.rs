@@ -251,13 +251,7 @@ pub fn check(machine: &mut Machine) -> Result<(), String> {
 
 /// The TCP-Echo [`super::App`].
 pub fn app() -> super::App {
-    super::App {
-        name: "TCP-Echo",
-        board: Board::stm32479i_eval(),
-        build,
-        setup,
-        check,
-    }
+    super::App { name: "TCP-Echo", board: Board::stm32479i_eval(), build, setup, check }
 }
 
 #[cfg(test)]

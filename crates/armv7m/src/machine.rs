@@ -146,7 +146,14 @@ impl Machine {
         self.devices.iter().filter(|d| d.irq_pending()).map(|d| d.name()).collect()
     }
 
-    fn fault(&self, address: u32, len: u32, kind: AccessKind, cause: FaultCause, write_value: Option<u32>) -> FaultInfo {
+    fn fault(
+        &self,
+        address: u32,
+        len: u32,
+        kind: AccessKind,
+        cause: FaultCause,
+        write_value: Option<u32>,
+    ) -> FaultInfo {
         FaultInfo { address, len, kind, cause, pc: self.current_pc, write_value }
     }
 
@@ -440,9 +447,9 @@ mod tests {
             value: u32,
         }
         impl MmioDevice for Reg {
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
             fn name(&self) -> &str {
                 "reg"
             }

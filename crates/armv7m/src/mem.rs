@@ -92,10 +92,7 @@ impl AddressClass {
     /// Returns `true` if the class maps a peripheral of some kind
     /// (general peripheral, external device, or core peripheral).
     pub fn is_peripheral(self) -> bool {
-        matches!(
-            self,
-            AddressClass::Peripheral | AddressClass::ExternalDevice | AddressClass::Ppb
-        )
+        matches!(self, AddressClass::Peripheral | AddressClass::ExternalDevice | AddressClass::Ppb)
     }
 }
 

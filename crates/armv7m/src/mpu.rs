@@ -265,10 +265,7 @@ impl Mpu {
 
     /// Replaces the entire region file at once (used during operation
     /// switches, which reload the MPU from the operation's policy).
-    pub fn load_regions(
-        &mut self,
-        regions: &[(usize, MpuRegion)],
-    ) -> Result<(), MpuConfigError> {
+    pub fn load_regions(&mut self, regions: &[(usize, MpuRegion)]) -> Result<(), MpuConfigError> {
         let mut fresh: [Option<MpuRegion>; MPU_NUM_REGIONS] = [None; MPU_NUM_REGIONS];
         for &(number, region) in regions {
             if number >= MPU_NUM_REGIONS {
@@ -496,9 +493,6 @@ mod tests {
     fn data_check_rejects_address_wraparound() {
         let mut mpu = Mpu::new();
         mpu.enabled = true;
-        assert_eq!(
-            mpu.check_data(0xFFFF_FFFE, 4, false, Mode::Privileged),
-            MpuDecision::Denied
-        );
+        assert_eq!(mpu.check_data(0xFFFF_FFFE, 4, false, Mode::Privileged), MpuDecision::Denied);
     }
 }

@@ -19,11 +19,9 @@ fn bench(c: &mut Criterion) {
         let pt = PointsTo::analyze(&module);
         let cg = CallGraph::build(&module, &pt);
         let ra = ResourceAnalysis::analyze(&module, &pt);
-        for strategy in [
-            AcesStrategy::Filename,
-            AcesStrategy::FilenameNoOpt,
-            AcesStrategy::Peripheral,
-        ] {
+        for strategy in
+            [AcesStrategy::Filename, AcesStrategy::FilenameNoOpt, AcesStrategy::Peripheral]
+        {
             let comps = Compartments::build(&module, &cg, &ra, strategy);
             g.bench_function(format!("{}/{}", app.name, strategy.label()), |b| {
                 b.iter(|| std::hint::black_box(DataRegions::build(&module, &comps)));

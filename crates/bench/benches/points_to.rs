@@ -1,0 +1,106 @@
+//! Micro-benchmarks for the Andersen worklist solver and its hybrid
+//! bitset: per-app end-to-end solves (the paper's Table 3 "Time(s)"
+//! column at finer grain) plus synthetic stress shapes — a long copy
+//! chain (difference propagation forwards each bit once per edge) and
+//! a wide copy cycle (collapsed to one representative by the periodic
+//! SCC pass).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use opec_analysis::bitset::BitSet;
+use opec_analysis::PointsTo;
+use opec_ir::module::BinOp;
+use opec_ir::{ModuleBuilder, Operand, Ty};
+
+/// `n` registers in a copy chain seeded by one address-of.
+fn chain_module(n: u32) -> opec_ir::Module {
+    let mut mb = ModuleBuilder::new("chain");
+    let g = mb.global("seed", Ty::I32, "b.c");
+    mb.func("chain", vec![], None, "b.c", |fb| {
+        let mut r = fb.addr_of_global(g, 0);
+        for _ in 1..n {
+            let d = fb.reg();
+            fb.mov(d, Operand::Reg(r));
+            r = d;
+        }
+        let _ = fb.load(Operand::Reg(r), 4);
+        fb.ret_void();
+    });
+    mb.finish()
+}
+
+/// `n` registers in one big copy cycle, plus pointer arithmetic edges.
+fn cycle_module(n: u32) -> opec_ir::Module {
+    let mut mb = ModuleBuilder::new("cycle");
+    let g = mb.global("seed", Ty::I32, "b.c");
+    mb.func("cycle", vec![], None, "b.c", |fb| {
+        let first = fb.addr_of_global(g, 0);
+        let mut regs = vec![first];
+        for _ in 1..n {
+            let prev = *regs.last().expect("non-empty");
+            regs.push(fb.bin(BinOp::Add, Operand::Reg(prev), Operand::Imm(4)));
+        }
+        // Close the cycle.
+        fb.mov(first, Operand::Reg(*regs.last().expect("non-empty")));
+        fb.ret_void();
+    });
+    mb.finish()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("points_to/apps");
+    g.sample_size(30);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for app in opec_apps::all_apps() {
+        let (module, _) = (app.build)();
+        g.bench_function(app.name, |b| {
+            b.iter(|| black_box(PointsTo::analyze(&module)));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("points_to/synthetic");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64u32, 512, 2048] {
+        let m = chain_module(n);
+        g.bench_function(format!("copy-chain/{n}"), |b| {
+            b.iter(|| black_box(PointsTo::analyze(&m)));
+        });
+        let m = cycle_module(n);
+        g.bench_function(format!("copy-cycle/{n}"), |b| {
+            b.iter(|| black_box(PointsTo::analyze(&m)));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("points_to/bitset");
+    g.sample_size(50);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let sparse: BitSet = (0..8usize).map(|i| i * 97).collect();
+    let dense: BitSet = (0..2048usize).filter(|i| i % 3 == 0).collect();
+    g.bench_function("union_with/sparse-into-dense", |b| {
+        b.iter(|| {
+            let mut d = dense.clone();
+            black_box(d.union_with(&sparse));
+            d
+        });
+    });
+    g.bench_function("union_into_delta/dense-into-dense", |b| {
+        b.iter(|| {
+            let mut d = sparse.clone();
+            let mut delta = BitSet::new();
+            black_box(d.union_into_delta(&dense, &mut delta));
+            (d, delta)
+        });
+    });
+    g.bench_function("iter/dense-2048", |b| {
+        b.iter(|| dense.iter().sum::<usize>());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -33,11 +33,9 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_secs(1));
     g.measurement_time(std::time::Duration::from_secs(2));
     for app in opec_apps::programs::aces_comparison_apps() {
-        for strategy in [
-            AcesStrategy::Filename,
-            AcesStrategy::FilenameNoOpt,
-            AcesStrategy::Peripheral,
-        ] {
+        for strategy in
+            [AcesStrategy::Filename, AcesStrategy::FilenameNoOpt, AcesStrategy::Peripheral]
+        {
             g.bench_function(format!("{}/{}", app.name, strategy.label()), |b| {
                 b.iter(|| std::hint::black_box(run_aces_once(&app, strategy)));
             });

@@ -7,8 +7,8 @@
 
 #![warn(missing_docs)]
 
-use opec_armv7m::Machine;
 use opec_apps::App;
+use opec_armv7m::Machine;
 use opec_core::{compile, CompileOutput, OpecMonitor};
 use opec_vm::{link_baseline, NullSupervisor, RunOutcome, Vm};
 

@@ -179,12 +179,8 @@ pub fn build_image(
 
     // Operation entry markers (the inserted SVCs). The main default
     // operation is entered at reset by the monitor, not via SVC.
-    let op_entries = partition
-        .ops
-        .iter()
-        .filter(|op| op.id != 0)
-        .map(|op| (op.entry, op.id))
-        .collect();
+    let op_entries =
+        partition.ops.iter().filter(|op| op.id != 0).map(|op| (op.entry, op.id)).collect();
 
     Ok(LoadedImage {
         module,
@@ -213,10 +209,7 @@ mod tests {
     use opec_armv7m::Machine;
     use opec_ir::{ModuleBuilder, Ty};
 
-    fn compile_parts(
-        m: Module,
-        specs: &[OperationSpec],
-    ) -> (LoadedImage, SystemPolicy, Partition) {
+    fn compile_parts(m: Module, specs: &[OperationSpec]) -> (LoadedImage, SystemPolicy, Partition) {
         let pt = PointsTo::analyze(&m);
         let cg = CallGraph::build(&m, &pt);
         let ra = ResourceAnalysis::analyze(&m, &pt);

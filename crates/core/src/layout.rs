@@ -294,10 +294,8 @@ pub fn build_layout(
         windows.sort_by_key(|w| w.base);
         let merged = merge_adjacent(&windows);
         let mut merged = merged;
-        let mut periph_regions: Vec<MpuRegion> = merged
-            .iter()
-            .map(|w| covering_region(w, RegionAttr::read_write_xn()))
-            .collect();
+        let mut periph_regions: Vec<MpuRegion> =
+            merged.iter().map(|w| covering_region(w, RegionAttr::read_write_xn())).collect();
         // The heap window rides in the same reserved-region pool and
         // allow list (the monitor's virtualization check consults the
         // allow list).
@@ -390,10 +388,7 @@ impl SystemPolicy {
     /// Region 2: the stack, read-write, sub-regions managed per switch.
     pub fn base_regions(&self) -> [(usize, MpuRegion); 3] {
         [
-            (
-                0,
-                MpuRegion::new(0, 0x4000_0000, RegionAttr::priv_rw_unpriv_ro(true)),
-            ),
+            (0, MpuRegion::new(0, 0x4000_0000, RegionAttr::priv_rw_unpriv_ro(true))),
             (
                 1,
                 MpuRegion::new(
@@ -414,11 +409,7 @@ impl SystemPolicy {
 
     /// All operations sharing global `g` (used by sync tests).
     pub fn sharers(&self, g: GlobalId) -> BTreeSet<OpId> {
-        self.ops
-            .iter()
-            .filter(|o| o.shared.iter().any(|s| s.global == g))
-            .map(|o| o.id)
-            .collect()
+        self.ops.iter().filter(|o| o.shared.iter().any(|s| s.global == g)).map(|o| o.id).collect()
     }
 }
 
@@ -471,12 +462,8 @@ mod tests {
     /// Two tasks sharing `shared_buf`; task_a additionally owns `a_only`.
     fn two_task_module() -> Module {
         let mut mb = ModuleBuilder::new("t");
-        let shared = mb.sanitized_global(
-            "shared_buf",
-            Ty::Array(Box::new(Ty::I32), 4),
-            "m.c",
-            (0, 100),
-        );
+        let shared =
+            mb.sanitized_global("shared_buf", Ty::Array(Box::new(Ty::I32), 4), "m.c", (0, 100));
         let a_only = mb.global("a_only", Ty::I32, "m.c");
         mb.peripheral("USART2", 0x4000_4400, 0x400, false);
         mb.peripheral("TIM2", 0x4000_0000, 0x400, false);
@@ -505,8 +492,7 @@ mod tests {
     #[test]
     fn internal_vs_external_classification() {
         let m = two_task_module();
-        let (_, sp) =
-            build(&m, &[OperationSpec::plain("task_a"), OperationSpec::plain("task_b")]);
+        let (_, sp) = build(&m, &[OperationSpec::plain("task_a"), OperationSpec::plain("task_b")]);
         let shared = m.global_by_name("shared_buf").unwrap();
         let a_only = m.global_by_name("a_only").unwrap();
         assert!(sp.reloc_entries.contains_key(&shared));
@@ -518,8 +504,7 @@ mod tests {
     #[test]
     fn every_sharer_gets_its_own_shadow() {
         let m = two_task_module();
-        let (_, sp) =
-            build(&m, &[OperationSpec::plain("task_a"), OperationSpec::plain("task_b")]);
+        let (_, sp) = build(&m, &[OperationSpec::plain("task_a"), OperationSpec::plain("task_b")]);
         let shared = m.global_by_name("shared_buf").unwrap();
         let a = sp.shadow_addr(1, shared).unwrap();
         let b = sp.shadow_addr(2, shared).unwrap();
@@ -535,8 +520,7 @@ mod tests {
     #[test]
     fn sections_are_mpu_legal_and_disjoint() {
         let m = two_task_module();
-        let (_, sp) =
-            build(&m, &[OperationSpec::plain("task_a"), OperationSpec::plain("task_b")]);
+        let (_, sp) = build(&m, &[OperationSpec::plain("task_a"), OperationSpec::plain("task_b")]);
         for op in &sp.ops {
             assert!(op.section.size.is_power_of_two());
             assert!(op.section.size >= 32);
@@ -552,8 +536,7 @@ mod tests {
     #[test]
     fn adjacent_peripherals_merge_into_one_region() {
         let m = two_task_module();
-        let (_, sp) =
-            build(&m, &[OperationSpec::plain("task_a"), OperationSpec::plain("task_b")]);
+        let (_, sp) = build(&m, &[OperationSpec::plain("task_a"), OperationSpec::plain("task_b")]);
         // task_b touches TIM2 (0x40000000) and TIM3 (0x40000400):
         // adjacent, so one merged window and one MPU region.
         let b = sp.op(2);
@@ -587,10 +570,7 @@ mod tests {
             MemRegion::new(0x200, 0x100),
             MemRegion::new(0x400, 0x100),
         ]);
-        assert_eq!(
-            merged,
-            vec![MemRegion::new(0x100, 0x200), MemRegion::new(0x400, 0x100)]
-        );
+        assert_eq!(merged, vec![MemRegion::new(0x100, 0x200), MemRegion::new(0x400, 0x100)]);
     }
 
     #[test]
@@ -611,8 +591,7 @@ mod tests {
     #[test]
     fn sanitization_range_propagates_to_policy() {
         let m = two_task_module();
-        let (_, sp) =
-            build(&m, &[OperationSpec::plain("task_a"), OperationSpec::plain("task_b")]);
+        let (_, sp) = build(&m, &[OperationSpec::plain("task_a"), OperationSpec::plain("task_b")]);
         let shared = m.global_by_name("shared_buf").unwrap();
         let sv = sp.op(1).shared.iter().find(|s| s.global == shared).unwrap();
         assert_eq!(sv.range, Some((0, 100)));

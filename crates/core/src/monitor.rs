@@ -159,10 +159,8 @@ impl OpecMonitor {
         let entries: Vec<(GlobalId, u32)> =
             self.policy.reloc_entries.iter().map(|(g, a)| (*g, *a)).collect();
         for (g, entry_addr) in entries {
-            let target = self
-                .policy
-                .shadow_addr(op, g)
-                .unwrap_or_else(|| self.policy.public_addrs[&g]);
+            let target =
+                self.policy.shadow_addr(op, g).unwrap_or_else(|| self.policy.public_addrs[&g]);
             machine
                 .store(entry_addr, 4, target, Mode::Privileged)
                 .map_err(|e| format!("reloc table store fault: {}", e.name()))?;
@@ -352,12 +350,7 @@ impl OpecMonitor {
                         fixups.push((*field_off, inner));
                         self.stats.ptr_redirects += 1;
                     }
-                    relocations.push(Relocation {
-                        orig: ptr,
-                        copy: obj_copy,
-                        size: *size,
-                        fixups,
-                    });
+                    relocations.push(Relocation { orig: ptr, copy: obj_copy, size: *size, fixups });
                     req.args[i] = obj_copy;
                 }
             }
@@ -419,11 +412,9 @@ impl Supervisor for OpecMonitor {
             }
             let Some(ptr) = req.args.get(i).copied() else { continue };
             if let Some((g, off)) = self.locate_external(ptr) {
-                let target = self
-                    .policy
-                    .shadow_addr(to, g)
-                    .unwrap_or_else(|| self.policy.public_addrs[&g])
-                    + off;
+                let target =
+                    self.policy.shadow_addr(to, g).unwrap_or_else(|| self.policy.public_addrs[&g])
+                        + off;
                 if target != ptr {
                     req.args[i] = target;
                     machine.clock.tick(costs::ALU);
@@ -537,12 +528,7 @@ impl Supervisor for OpecMonitor {
             ));
         }
         let op = self.current_op();
-        let allowed = self
-            .policy
-            .op(op)
-            .core_windows
-            .iter()
-            .any(|w| w.contains(fault.address));
+        let allowed = self.policy.op(op).core_windows.iter().any(|w| w.contains(fault.address));
         if !allowed {
             return FaultFixup::Abort(format!(
                 "operation {} denied core-peripheral access to {:#010x}",
@@ -571,9 +557,7 @@ impl Supervisor for OpecMonitor {
         match inst.op {
             LdStOp::Load => match machine.load(ea, size, Mode::Privileged) {
                 Ok(v) => cpu.set_reg(inst.rt, v),
-                Err(e) => {
-                    return FaultFixup::Abort(format!("emulated load failed: {}", e.name()))
-                }
+                Err(e) => return FaultFixup::Abort(format!("emulated load failed: {}", e.name())),
             },
             LdStOp::Store => {
                 let v = cpu.reg(inst.rt);

@@ -14,10 +14,7 @@ fn boot(module: opec_ir::Module, specs: &[OperationSpec]) -> Vm<OpecMonitor> {
     Vm::new(machine, out.image, OpecMonitor::new(out.policy)).unwrap()
 }
 
-fn boot_with_devices(
-    module: opec_ir::Module,
-    specs: &[OperationSpec],
-) -> Vm<OpecMonitor> {
+fn boot_with_devices(module: opec_ir::Module, specs: &[OperationSpec]) -> Vm<OpecMonitor> {
     let board = Board::stm32f4_discovery();
     let out = compile(module, board, specs).unwrap();
     let mut machine = Machine::new(board);
@@ -54,10 +51,8 @@ fn shared_variable_synchronises_between_operations() {
         let r = fb.load_global(result, 0, 4);
         fb.ret(Operand::Reg(r));
     });
-    let mut vm = boot(
-        mb.finish(),
-        &[OperationSpec::plain("writer"), OperationSpec::plain("reader")],
-    );
+    let mut vm =
+        boot(mb.finish(), &[OperationSpec::plain("writer"), OperationSpec::plain("reader")]);
     match vm.run(FUEL).unwrap() {
         RunOutcome::Returned { value, .. } => assert_eq!(value, Some(77)),
         other => panic!("unexpected outcome {other:?}"),
@@ -86,8 +81,7 @@ fn operations_use_distinct_shadow_addresses() {
         fb.halt();
         fb.ret_void();
     });
-    let mut vm =
-        boot(mb.finish(), &[OperationSpec::plain("t1"), OperationSpec::plain("t2")]);
+    let mut vm = boot(mb.finish(), &[OperationSpec::plain("t1"), OperationSpec::plain("t2")]);
     vm.run(FUEL).unwrap();
     let policy = vm.supervisor.policy();
     let g = vm.image.module.global_by_name("shared").unwrap();
@@ -182,10 +176,8 @@ fn sanitization_stops_corrupted_shared_values() {
         fb.halt();
         fb.ret_void();
     });
-    let mut vm = boot(
-        mb.finish(),
-        &[OperationSpec::plain("corrupt"), OperationSpec::plain("uses")],
-    );
+    let mut vm =
+        boot(mb.finish(), &[OperationSpec::plain("corrupt"), OperationSpec::plain("uses")]);
     match vm.run(FUEL).unwrap_err() {
         VmError::Aborted { reason, .. } => {
             assert!(reason.contains("sanitization failed"), "reason: {reason}")
@@ -212,8 +204,7 @@ fn sanitized_value_in_range_passes() {
         fb.halt();
         fb.ret_void();
     });
-    let mut vm =
-        boot(mb.finish(), &[OperationSpec::plain("set"), OperationSpec::plain("get")]);
+    let mut vm = boot(mb.finish(), &[OperationSpec::plain("set"), OperationSpec::plain("get")]);
     assert!(vm.run(FUEL).is_ok());
     assert!(vm.supervisor.stats.sanitize_checks >= 1);
 }
@@ -247,7 +238,11 @@ fn mpu_virtualization_serves_more_than_four_peripherals() {
     vm.run(FUEL).unwrap();
     // At least two accesses fell outside the four loaded regions and
     // were served by virtualization.
-    assert!(vm.supervisor.stats.virt_faults >= 2, "virt faults: {}", vm.supervisor.stats.virt_faults);
+    assert!(
+        vm.supervisor.stats.virt_faults >= 2,
+        "virt faults: {}",
+        vm.supervisor.stats.virt_faults
+    );
     assert!(vm.stats.faults_retried >= 2);
 }
 
@@ -263,12 +258,7 @@ fn core_peripheral_access_is_emulated_not_privileged() {
         // emulates it at the privileged level.
         fb.mmio_write(0xE000_E014, Operand::Imm(0x3E8), 4); // SYST_RVR
         let v = fb.mmio_read(0xE000_E014, 4);
-        fb.store_global(
-            fb.module().global_by_name("observed").unwrap(),
-            0,
-            Operand::Reg(v),
-            4,
-        );
+        fb.store_global(fb.module().global_by_name("observed").unwrap(), 0, Operand::Reg(v), 4);
         fb.ret_void();
     });
     mb.func("main", vec![], Some(Ty::I32), "m.c", |fb| {
@@ -339,10 +329,7 @@ fn stack_buffer_is_relocated_and_copied_back() {
         let v = fb.load(Operand::Reg(last), 1);
         fb.ret(Operand::Reg(v));
     });
-    let mut vm = boot(
-        mb.finish(),
-        &[OperationSpec::with_args("fill_buf", vec![Some(16), None])],
-    );
+    let mut vm = boot(mb.finish(), &[OperationSpec::with_args("fill_buf", vec![Some(16), None])]);
     match vm.run(FUEL).unwrap() {
         RunOutcome::Returned { value, .. } => assert_eq!(value, Some(0x42)),
         other => panic!("unexpected outcome {other:?}"),
@@ -397,10 +384,7 @@ fn nested_operations_maintain_context_stack() {
         let v = fb.load_global(shared, 0, 4);
         fb.ret(Operand::Reg(v));
     });
-    let mut vm = boot(
-        mb.finish(),
-        &[OperationSpec::plain("outer"), OperationSpec::plain("inner")],
-    );
+    let mut vm = boot(mb.finish(), &[OperationSpec::plain("outer"), OperationSpec::plain("inner")]);
     match vm.run(FUEL).unwrap() {
         RunOutcome::Returned { value, .. } => assert_eq!(value, Some(11)),
         other => panic!("unexpected outcome {other:?}"),

@@ -121,11 +121,7 @@ impl Partition {
 
     /// Operations (other than `exclude`) that access global `g`.
     pub fn ops_using_global(&self, g: opec_ir::GlobalId) -> Vec<OpId> {
-        self.ops
-            .iter()
-            .filter(|o| o.resources.globals().contains(&g))
-            .map(|o| o.id)
-            .collect()
+        self.ops.iter().filter(|o| o.resources.globals().contains(&g)).map(|o| o.id).collect()
     }
 
     /// Average number of member functions per operation (Table 1's
@@ -236,8 +232,7 @@ mod tests {
         let p = Partition::build(&m, &cg, &ra, &specs).unwrap();
         assert_eq!(p.ops.len(), 4);
         let unlock = &p.ops[2];
-        let names: Vec<&str> =
-            unlock.funcs.iter().map(|f| m.func(*f).name.as_str()).collect();
+        let names: Vec<&str> = unlock.funcs.iter().map(|f| m.func(*f).name.as_str()).collect();
         assert!(names.contains(&"Unlock_Task"));
         assert!(names.contains(&"do_unlock"));
         assert!(names.contains(&"HAL_UART_Receive_IT"));
@@ -312,8 +307,7 @@ mod tests {
         let m = mb.finish();
         let (cg, ra) = analyse(&m);
         assert_eq!(
-            Partition::build(&m, &cg, &ra, &[OperationSpec::plain("SysTick_Handler")])
-                .unwrap_err(),
+            Partition::build(&m, &cg, &ra, &[OperationSpec::plain("SysTick_Handler")]).unwrap_err(),
             PartitionError::IrqEntry("SysTick_Handler".into())
         );
     }

@@ -90,16 +90,14 @@ pub fn compile(
     let pt = PointsTo::analyze(&module);
     let cg = CallGraph::build(&module, &pt);
     let ra = ResourceAnalysis::analyze(&module, &pt);
-    let partition =
-        Partition::build(&module, &cg, &ra, specs).map_err(CompileError::Partition)?;
+    let partition = Partition::build(&module, &cg, &ra, specs).map_err(CompileError::Partition)?;
     let policy = build_layout(&module, &partition, board).map_err(CompileError::Layout)?;
     let report = CompileReport {
         icalls: cg.icall_stats(),
         points_to_time: pt.stats.duration,
         app_code_bytes: module.total_code_size(),
     };
-    let image =
-        build_image(module, &partition, &policy, board).map_err(CompileError::Image)?;
+    let image = build_image(module, &partition, &policy, board).map_err(CompileError::Image)?;
     Ok(CompileOutput { image, policy, partition, resources: ra, callgraph: cg, report })
 }
 
@@ -121,12 +119,8 @@ mod tests {
             fb.halt();
             fb.ret_void();
         });
-        let out = compile(
-            mb.finish(),
-            Board::stm32f4_discovery(),
-            &[OperationSpec::plain("t")],
-        )
-        .unwrap();
+        let out =
+            compile(mb.finish(), Board::stm32f4_discovery(), &[OperationSpec::plain("t")]).unwrap();
         assert_eq!(out.partition.ops.len(), 2);
         assert!(out.image.flash_used > 0);
         assert_eq!(out.report.icalls.total, 0);

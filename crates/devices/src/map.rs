@@ -164,12 +164,10 @@ pub fn install_standard_devices(machine: &mut Machine, cfg: DeviceConfig) -> Res
     use bases::*;
     machine.add_device(Box::new(Timer::new("TIM2", TIM2)))?;
     machine.add_device(Box::new(Timer::new("TIM3", TIM3)))?;
-    machine.add_device(Box::new(
-        Uart::new("USART2", USART2).with_byte_delay(cfg.uart_byte_delay),
-    ))?;
-    machine.add_device(Box::new(
-        Uart::new("USART1", USART1).with_byte_delay(cfg.uart_byte_delay),
-    ))?;
+    machine
+        .add_device(Box::new(Uart::new("USART2", USART2).with_byte_delay(cfg.uart_byte_delay)))?;
+    machine
+        .add_device(Box::new(Uart::new("USART1", USART1).with_byte_delay(cfg.uart_byte_delay)))?;
     machine.add_device(Box::new(
         SdCard::new(SDIO, cfg.sd_blocks).with_busy_cycles(cfg.sd_busy_cycles),
     ))?;

@@ -84,10 +84,7 @@ impl MmioDevice for EthMac {
 
     fn read(&mut self, offset: u32, _len: u32) -> u32 {
         match offset {
-            0x00
-                if self.frame_visible() => {
-                    self.rx.front().map(|f| f.len() as u32).unwrap_or(0)
-                }
+            0x00 if self.frame_visible() => self.rx.front().map(|f| f.len() as u32).unwrap_or(0),
             0x04 => {
                 if !self.frame_visible() {
                     return 0;

@@ -331,9 +331,6 @@ mod tests {
         usb.write(0x08, 4, 0xFEED);
         usb.write(0x00, 4, CMD_WRITE_BLOCK);
         assert_eq!(usb.written_blocks(), 1);
-        assert_eq!(
-            u32::from_le_bytes(usb.block(0).unwrap()[0..4].try_into().unwrap()),
-            0xFEED
-        );
+        assert_eq!(u32::from_le_bytes(usb.block(0).unwrap()[0..4].try_into().unwrap()), 0xFEED);
     }
 }

@@ -1,0 +1,114 @@
+//! Machine-readable timings (`opec-eval bench-json`).
+//!
+//! Emits a single JSON document with two sections:
+//!
+//! * `"solver"` — per-app wall-clock of the Andersen worklist solver
+//!   plus its difference-propagation/SCC counters;
+//! * `"eval"` — the evaluation pipeline measured two ways: the seed's
+//!   naive shape (every artifact triggers its own sequential, uncached
+//!   pass: four seven-app passes for Table 1 / Figure 9 / Table 3 /
+//!   CSV and four five-app comparison passes for Table 2 / Figure 10 /
+//!   Figure 11 / CSV) versus the memoized, parallel pipeline that
+//!   serves every artifact from one shared set of runs.
+//!
+//! Everything reported is measured in-process, on this machine, in
+//! this invocation — no saved baselines.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use opec_analysis::points_to::PointsTo;
+use opec_apps::programs::{aces_comparison_apps, all_apps};
+
+use crate::cache::EvalCache;
+use crate::{report, runs};
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// How many sequential passes of each shape the seed CLI performed to
+/// produce every artifact (see module docs).
+const NAIVE_ALL_PASSES: usize = 4;
+const NAIVE_CMP_PASSES: usize = 4;
+
+/// Runs both measurements and renders the JSON document.
+pub fn bench_json() -> String {
+    let mut out = String::from("{\n");
+
+    // --- Solver micro-timings. ---
+    out.push_str("  \"solver\": [\n");
+    let apps = all_apps();
+    for (i, app) in apps.iter().enumerate() {
+        let (module, _) = (app.build)();
+        let start = Instant::now();
+        let pt = PointsTo::analyze(&module);
+        let wall = ms(start.elapsed());
+        let s = pt.stats;
+        writeln!(
+            out,
+            "    {{\"app\": \"{}\", \"solve_ms\": {:.4}, \"nodes\": {}, \
+             \"objects\": {}, \"copy_edges\": {}, \"worklist_pops\": {}, \
+             \"propagated_bits\": {}, \"scc_runs\": {}, \"scc_collapsed\": {}}}{}",
+            app.name,
+            wall,
+            s.nodes,
+            s.objects,
+            s.copy_edges,
+            s.worklist_pops,
+            s.propagated_bits,
+            s.scc_runs,
+            s.scc_collapsed,
+            if i + 1 < apps.len() { "," } else { "" },
+        )
+        .expect("write to String");
+    }
+    out.push_str("  ],\n");
+
+    // --- Naive pipeline: sequential, uncached, one pass per artifact. ---
+    eprintln!(
+        "[bench-json] measuring naive pipeline ({NAIVE_ALL_PASSES} seven-app passes \
+         + {NAIVE_CMP_PASSES} comparison passes, sequential, uncached)..."
+    );
+    let naive_start = Instant::now();
+    let mut naive_sink = 0u64;
+    for _ in 0..NAIVE_ALL_PASSES {
+        let evals = runs::evaluate_many_sequential(&all_apps(), false);
+        naive_sink += evals.iter().map(|e| e.opec.cycles).sum::<u64>();
+    }
+    for _ in 0..NAIVE_CMP_PASSES {
+        let cmp = runs::evaluate_many_sequential(&aces_comparison_apps(), true);
+        naive_sink += cmp.iter().map(|e| e.opec.cycles).sum::<u64>();
+    }
+    let naive = ms(naive_start.elapsed());
+
+    // --- Memoized, parallel pipeline: everything from one shared pass. ---
+    eprintln!("[bench-json] measuring memoized parallel pipeline (the `all` path)...");
+    let cache = EvalCache::new();
+    let memo_start = Instant::now();
+    let evals = cache.evaluate_many(&all_apps(), false);
+    let cmp = cache.evaluate_many(&aces_comparison_apps(), true);
+    // Render every table and figure so formatting cost is included.
+    let rendered_bytes = report::table1(&evals).len()
+        + report::figure9(&evals).len()
+        + report::table3(&evals).len()
+        + report::table2(&cmp).len()
+        + report::figure10(&cmp).len()
+        + report::figure11(&cmp).len();
+    let memoized = ms(memo_start.elapsed());
+
+    writeln!(
+        out,
+        "  \"eval\": {{\"naive_sequential_ms\": {:.3}, \
+         \"memoized_parallel_ms\": {:.3}, \"speedup\": {:.2}, \
+         \"naive_all_passes\": {NAIVE_ALL_PASSES}, \
+         \"naive_cmp_passes\": {NAIVE_CMP_PASSES}, \
+         \"rendered_bytes\": {rendered_bytes}, \"checksum\": {naive_sink}}}",
+        naive,
+        memoized,
+        naive / memoized,
+    )
+    .expect("write to String");
+    out.push_str("}\n");
+    out
+}

@@ -3,7 +3,10 @@
 //!
 //! * [`runs`] — builds and executes each application three ways
 //!   (vanilla baseline, OPEC, ACES under the three strategies) and
-//!   collects cycles, image footprints, traces, and analysis artifacts;
+//!   collects cycles, image footprints, traces, and analysis artifacts,
+//!   fanning independent runs across scoped threads;
+//! * [`cache`] — memoizes runs per `(app, configuration)` so one set of
+//!   runs serves every table, figure, CSV export, and bench;
 //! * [`metrics`] — the paper's two new metrics: partition-time
 //!   over-privilege (PT, Equation 1) and execution-time over-privilege
 //!   (ET, Equation 2), plus the Table 1 security metrics;
@@ -14,17 +17,21 @@
 //! The `opec-eval` binary drives everything:
 //!
 //! ```text
-//! opec-eval all           # every table and figure
+//! opec-eval all           # every table and figure, from one memoized pass
 //! opec-eval table1 | figure9 | table2 | figure10 | figure11 | table3
 //! opec-eval case-study    # the §6.1 PinLock attack demonstration
+//! opec-eval bench-json    # machine-readable solver + pipeline timings
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod benchjson;
+pub mod cache;
 pub mod metrics;
 pub mod report;
 pub mod runs;
 pub mod table;
 
+pub use cache::EvalCache;
 pub use metrics::{et_by_task, pt_of_compartments, table1_row, EtSeries, Table1Row};
 pub use runs::{evaluate_app, evaluate_many, AcesRun, AppEval, OpecRun};

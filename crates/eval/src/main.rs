@@ -10,9 +10,15 @@
 //! opec-eval table3       # icall analysis efficiency
 //! opec-eval case-study   # the §6.1 PinLock attack demonstration
 //! opec-eval csv [DIR]    # write every table/figure as CSV (default: results/)
+//! opec-eval bench-json [FILE]  # machine-readable timings (default: stdout)
 //! ```
+//!
+//! Every subcommand draws its runs from one process-wide memoized
+//! cache, so `all` (and `csv`, which needs both evaluation shapes)
+//! performs each baseline/OPEC/ACES run exactly once and the renderers
+//! share the results.
 
-use opec_eval::report;
+use opec_eval::{benchjson, report};
 
 fn main() {
     let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -56,22 +62,46 @@ fn main() {
             }
         }
         "all" => {
-            eprintln!("[opec-eval] building and running all workloads (baseline + OPEC)...");
+            eprintln!(
+                "[opec-eval] building and running all workloads once \
+                 (baseline + OPEC, memoized)..."
+            );
             let evals = report::run_all_apps();
             println!("{}", report::table1(&evals));
             println!("{}", report::figure9(&evals));
             println!("{}", report::table3(&evals));
-            eprintln!("[opec-eval] running the ACES comparison (3 strategies x 5 apps)...");
+            eprintln!(
+                "[opec-eval] ACES comparison (baseline/OPEC reused from cache; \
+                 3 strategies x 5 apps run now)..."
+            );
             let cmp = report::run_comparison_apps();
             println!("{}", report::table2(&cmp));
             println!("{}", report::figure10(&cmp));
             println!("{}", report::figure11(&cmp));
             println!("{}", report::case_study());
         }
+        "bench-json" => {
+            // Open the output first: measuring takes a while, so an
+            // unwritable path should fail before the runs, not after.
+            let out = std::env::args().nth(2).map(|path| {
+                let file = std::fs::File::create(&path)
+                    .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+                (path, file)
+            });
+            let json = benchjson::bench_json();
+            match out {
+                Some((path, mut file)) => {
+                    use std::io::Write as _;
+                    file.write_all(json.as_bytes()).expect("write bench JSON");
+                    eprintln!("[opec-eval] wrote {path}");
+                }
+                None => print!("{json}"),
+            }
+        }
         other => {
             eprintln!(
                 "unknown command {other}; expected one of: all table1 figure9 \
-                 table2 figure10 figure11 table3 case-study csv"
+                 table2 figure10 figure11 table3 case-study csv bench-json"
             );
             std::process::exit(2);
         }

@@ -10,7 +10,7 @@ use opec_vm::OpId;
 use crate::runs::AppEval;
 
 fn bytes_of(module: &Module, globals: &BTreeSet<GlobalId>) -> u64 {
-    globals.iter().map(|g| u64::from(module.global_size(*g).max(1))) .sum()
+    globals.iter().map(|g| u64::from(module.global_size(*g).max(1))).sum()
 }
 
 fn total_mutable_global_bytes(module: &Module) -> u64 {
@@ -56,11 +56,8 @@ pub fn table1_row(eval: &AppEval) -> Table1Row {
     let total_code = module.total_code_size();
     let pri = opec_core::MONITOR_CODE_BYTES;
     let total_gv = total_mutable_global_bytes(module).max(1);
-    let avg_gv = ops
-        .iter()
-        .map(|o| bytes_of(module, &o.resources.globals()) as f64)
-        .sum::<f64>()
-        / n as f64;
+    let avg_gv =
+        ops.iter().map(|o| bytes_of(module, &o.resources.globals()) as f64).sum::<f64>() / n as f64;
     Table1Row {
         app: eval.name.to_string(),
         ops: ops.len(),

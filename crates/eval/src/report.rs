@@ -6,25 +6,30 @@ use opec_core::{compile, OpecMonitor};
 use opec_devices::{DeviceConfig, Uart};
 use opec_vm::{link_baseline, GlobalSlot, NullSupervisor, Vm, VmError};
 
+use crate::cache::EvalCache;
 use crate::metrics::{cumulative, et_by_task, pt_of_compartments, table1_row};
-use crate::runs::{evaluate_many, AppEval};
+use crate::runs::AppEval;
 use crate::table::{f2, pct, TextTable};
 
 /// Runs the seven applications (no ACES) — enough for Table 1,
-/// Figure 9, and Table 3.
+/// Figure 9, and Table 3. Served from the process-wide [`EvalCache`],
+/// so repeated calls (and the comparison pass) reuse the same runs.
 pub fn run_all_apps() -> Vec<AppEval> {
-    evaluate_many(&all_apps(), false)
+    EvalCache::global().evaluate_many(&all_apps(), false)
 }
 
 /// Runs the five comparison applications including the three ACES
-/// strategies — enough for Table 2, Figure 10, and Figure 11.
+/// strategies — enough for Table 2, Figure 10, and Figure 11. The
+/// baseline and OPEC runs are shared with [`run_all_apps`] through the
+/// process-wide [`EvalCache`]; only the ACES builds are new work.
 pub fn run_comparison_apps() -> Vec<AppEval> {
-    evaluate_many(&aces_comparison_apps(), true)
+    EvalCache::global().evaluate_many(&aces_comparison_apps(), true)
 }
 
 /// Table 1: the security metrics.
 pub fn table1(evals: &[AppEval]) -> String {
-    let mut t = TextTable::new(&["Application", "#OPs", "#Avg. Funcs", "#Pri. Code(%)", "#Avg. GVars(%)"]);
+    let mut t =
+        TextTable::new(&["Application", "#OPs", "#Avg. Funcs", "#Pri. Code(%)", "#Avg. GVars(%)"]);
     let mut sum = (0usize, 0.0, 0.0, 0.0, 0.0, 0.0);
     for e in evals {
         let r = table1_row(e);
@@ -55,7 +60,8 @@ pub fn table1(evals: &[AppEval]) -> String {
 
 /// Figure 9: runtime / Flash / SRAM overhead per application.
 pub fn figure9(evals: &[AppEval]) -> String {
-    let mut t = TextTable::new(&["Application", "Runtime Overhead", "Flash Overhead", "SRAM Overhead"]);
+    let mut t =
+        TextTable::new(&["Application", "Runtime Overhead", "Flash Overhead", "SRAM Overhead"]);
     let (mut ro, mut fo, mut so) = (0.0, 0.0, 0.0);
     for e in evals {
         let r = e.runtime_overhead_pct();
@@ -104,7 +110,8 @@ pub fn table2(evals: &[AppEval]) -> String {
 /// Figure 10: cumulative distribution of the PT metric per ACES
 /// strategy (OPEC's PT is 0 for every operation by construction).
 pub fn figure10(evals: &[AppEval]) -> String {
-    let mut out = String::from("Figure 10: cumulative ratio of PT (partition-time over-privilege)\n");
+    let mut out =
+        String::from("Figure 10: cumulative ratio of PT (partition-time over-privilege)\n");
     for e in evals {
         out.push_str(&format!("\n[{}]\n", e.name));
         let module = &e.opec.compile.image.module;
@@ -147,7 +154,8 @@ pub fn figure11(evals: &[AppEval]) -> String {
 
 /// Table 3: efficiency of the icall analysis.
 pub fn table3(evals: &[AppEval]) -> String {
-    let mut t = TextTable::new(&["Application", "#Icall", "#SVF", "Time(s)", "#Type", "#Avg.", "#Max"]);
+    let mut t =
+        TextTable::new(&["Application", "#Icall", "#SVF", "Time(s)", "#Type", "#Avg.", "#Max"]);
     for e in evals {
         let ic = &e.opec.compile.report.icalls;
         t.row(vec![
@@ -183,22 +191,31 @@ pub fn write_csv(
     };
 
     // Table 1.
-    let mut t1 = String::from("app,ops,avg_funcs,pri_code_bytes,pri_code_pct,avg_gvars_bytes,avg_gvars_pct
-");
+    let mut t1 = String::from(
+        "app,ops,avg_funcs,pri_code_bytes,pri_code_pct,avg_gvars_bytes,avg_gvars_pct
+",
+    );
     for e in evals {
         let r = table1_row(e);
         t1.push_str(&format!(
             "{},{},{:.2},{},{:.2},{:.2},{:.2}
 ",
-            r.app, r.ops, r.avg_funcs, r.pri_code_bytes, r.pri_code_pct, r.avg_gvars_bytes,
+            r.app,
+            r.ops,
+            r.avg_funcs,
+            r.pri_code_bytes,
+            r.pri_code_pct,
+            r.avg_gvars_bytes,
             r.avg_gvars_pct
         ));
     }
     emit("table1.csv", t1)?;
 
     // Figure 9.
-    let mut f9 = String::from("app,runtime_overhead_pct,flash_overhead_pct,sram_overhead_pct
-");
+    let mut f9 = String::from(
+        "app,runtime_overhead_pct,flash_overhead_pct,sram_overhead_pct
+",
+    );
     for e in evals {
         f9.push_str(&format!(
             "{},{:.4},{:.4},{:.4}
@@ -212,8 +229,10 @@ pub fn write_csv(
     emit("figure9.csv", f9)?;
 
     // Table 3.
-    let mut t3 = String::from("app,icalls,svf,time_s,type,avg_targets,max_targets
-");
+    let mut t3 = String::from(
+        "app,icalls,svf,time_s,type,avg_targets,max_targets
+",
+    );
     for e in evals {
         let ic = &e.opec.compile.report.icalls;
         t3.push_str(&format!(
@@ -231,8 +250,10 @@ pub fn write_csv(
     emit("table3.csv", t3)?;
 
     // Table 2.
-    let mut t2 = String::from("app,policy,ro_x,fo_pct,so_pct,pac_pct
-");
+    let mut t2 = String::from(
+        "app,policy,ro_x,fo_pct,so_pct,pac_pct
+",
+    );
     for e in cmp {
         t2.push_str(&format!(
             "{},OPEC,{:.4},{:.4},{:.4},0.0
@@ -260,13 +281,20 @@ pub fn write_csv(
     // Figure 10: one CSV per app, long format.
     for e in cmp {
         let module = &e.opec.compile.image.module;
-        let mut f10 = String::from("strategy,pt,cumulative_ratio
-");
+        let mut f10 = String::from(
+            "strategy,pt,cumulative_ratio
+",
+        );
         for a in &e.aces {
             let pts = pt_of_compartments(module, &a.comps, &a.regions);
             for (pt, cum) in cumulative(pts) {
-                f10.push_str(&format!("{},{:.4},{:.4}
-", a.strategy.label(), pt, cum));
+                f10.push_str(&format!(
+                    "{},{:.4},{:.4}
+",
+                    a.strategy.label(),
+                    pt,
+                    cum
+                ));
             }
         }
         emit(&format!("figure10_{}.csv", e.name.to_lowercase().replace('-', "_")), f10)?;
@@ -275,8 +303,10 @@ pub fn write_csv(
     // Figure 11: one CSV per app.
     for e in cmp {
         let ets = et_by_task(e);
-        let mut f11 = String::from("task,operation,aces1,aces2,aces3,opec
-");
+        let mut f11 = String::from(
+            "task,operation,aces1,aces2,aces3,opec
+",
+        );
         for (i, task) in ets.tasks.iter().enumerate() {
             let g = |k: usize| ets.aces.get(k).and_then(|(_, s)| s.get(i)).copied().unwrap_or(0.0);
             f11.push_str(&format!(
@@ -345,9 +375,9 @@ pub fn case_study() -> String {
                  and the monitor stops the program: {reason}\n",
             ));
         }
-        other => out.push_str(&format!(
-            "OPEC   : UNEXPECTED outcome {other:?} — isolation failed!\n"
-        )),
+        other => {
+            out.push_str(&format!("OPEC   : UNEXPECTED outcome {other:?} — isolation failed!\n"))
+        }
     }
     out.push_str(
         "\nLock_Task's operation data section contains no shadow of KEY, so \

@@ -5,15 +5,36 @@
 //! the isolation system — each is run to its workload's stop condition
 //! on a freshly scripted machine, and cycle counts come from the
 //! simulated DWT (the machine clock).
+//!
+//! Runs are pure functions of `(app, configuration)`, so
+//! [`evaluate_app`] fans the baseline/OPEC/ACES runs of one app across
+//! scoped threads and [`evaluate_many`] fans whole apps, joining in
+//! input order so output is deterministic regardless of scheduling.
+//! The `*_sequential` variants preserve the seed's single-threaded
+//! behaviour for benchmarking against. Shareable artifacts are held in
+//! [`Arc`] so the memoized pipeline (`crate::cache`) can hand the same
+//! run to every renderer.
+
+use std::sync::Arc;
+use std::thread;
 
 use opec_aces::{build_aces_image, AcesRuntime, AcesStrategy, Compartments, DataRegions};
-use opec_armv7m::{Board, Machine};
 use opec_apps::App;
+use opec_armv7m::{Board, Machine};
 use opec_core::{compile, CompileOutput, MonitorStats, OpecMonitor};
 use opec_vm::{link_baseline, NullSupervisor, RunOutcome, Trace, Vm};
 
 /// Fuel for evaluation runs.
 pub const FUEL: u64 = opec_vm::exec::DEFAULT_FUEL;
+
+/// The three ACES strategies, in the paper's Table 2 order.
+pub const ACES_STRATEGIES: [AcesStrategy; 3] =
+    [AcesStrategy::Filename, AcesStrategy::FilenameNoOpt, AcesStrategy::Peripheral];
+
+/// Joins a scoped thread, re-raising any panic from inside it.
+fn join<T>(handle: thread::ScopedJoinHandle<'_, T>) -> T {
+    handle.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+}
 
 /// Artifacts of the OPEC build + run of one application.
 pub struct OpecRun {
@@ -51,7 +72,10 @@ pub struct AcesRun {
     pub total_code_bytes: u32,
 }
 
-/// Everything measured for one application.
+/// Everything measured for one application. Cloning is cheap: the run
+/// artifacts are behind [`Arc`] and shared, which is what lets the
+/// memoized pipeline serve every renderer from one set of runs.
+#[derive(Clone)]
 pub struct AppEval {
     /// Application name.
     pub name: &'static str,
@@ -64,9 +88,9 @@ pub struct AppEval {
     /// Baseline SRAM footprint.
     pub base_sram: u32,
     /// The OPEC build + run.
-    pub opec: OpecRun,
+    pub opec: Arc<OpecRun>,
     /// ACES builds + runs (empty unless requested).
-    pub aces: Vec<AcesRun>,
+    pub aces: Vec<Arc<AcesRun>>,
 }
 
 fn fresh_machine(app: &App) -> Machine {
@@ -76,7 +100,7 @@ fn fresh_machine(app: &App) -> Machine {
 }
 
 /// Runs the vanilla baseline. Returns `(cycles, flash, sram)`.
-fn run_baseline(app: &App) -> (u64, u32, u32) {
+pub(crate) fn run_baseline(app: &App) -> (u64, u32, u32) {
     let (module, _) = (app.build)();
     let image = link_baseline(module, app.board).expect("baseline link");
     let flash = image.flash_used;
@@ -89,15 +113,15 @@ fn run_baseline(app: &App) -> (u64, u32, u32) {
 }
 
 /// Runs the OPEC build with tracing.
-fn run_opec(app: &App) -> OpecRun {
+pub(crate) fn run_opec(app: &App) -> OpecRun {
     let (module, specs) = (app.build)();
     let out =
         compile(module, app.board, &specs).unwrap_or_else(|e| panic!("{} compile: {e}", app.name));
     let flash = out.image.flash_used;
     let sram = out.image.sram_used;
     let policy = out.policy.clone();
-    let mut vm = Vm::new(fresh_machine(app), out.image.clone(), OpecMonitor::new(policy))
-        .expect("opec vm");
+    let mut vm =
+        Vm::new(fresh_machine(app), out.image.clone(), OpecMonitor::new(policy)).expect("opec vm");
     vm.enable_trace();
     let run = vm.run(FUEL).unwrap_or_else(|e| panic!("{} under OPEC: {e}", app.name));
     assert!(matches!(run, RunOutcome::Halted { .. }));
@@ -113,7 +137,7 @@ fn run_opec(app: &App) -> OpecRun {
 }
 
 /// Runs one ACES build.
-fn run_aces(app: &App, strategy: AcesStrategy) -> AcesRun {
+pub(crate) fn run_aces(app: &App, strategy: AcesStrategy) -> AcesRun {
     let (module, _) = (app.build)();
     let total_code_bytes = module.total_code_size();
     let out = build_aces_image(module, app.board, strategy)
@@ -131,9 +155,8 @@ fn run_aces(app: &App, strategy: AcesStrategy) -> AcesRun {
         main_comp,
     );
     let mut vm = Vm::new(fresh_machine(app), out.image, rt).expect("aces vm");
-    let run = vm
-        .run(FUEL)
-        .unwrap_or_else(|e| panic!("{} under {}: {e}", app.name, strategy.label()));
+    let run =
+        vm.run(FUEL).unwrap_or_else(|e| panic!("{} under {}: {e}", app.name, strategy.label()));
     assert!(matches!(run, RunOutcome::Halted { .. }));
     (app.check)(&mut vm.machine)
         .unwrap_or_else(|e| panic!("{} {} check: {e}", app.name, strategy.label()));
@@ -151,23 +174,53 @@ fn run_aces(app: &App, strategy: AcesStrategy) -> AcesRun {
 
 /// Evaluates one application; `with_aces` additionally builds and runs
 /// the three ACES strategies (used for the five comparison apps).
+///
+/// The baseline, OPEC, and ACES runs are independent of each other
+/// (each rebuilds its own module and machine), so they execute on
+/// scoped threads; joins happen in a fixed order, so the result is
+/// identical to the sequential variant.
 pub fn evaluate_app(app: &App, with_aces: bool) -> AppEval {
+    thread::scope(|s| {
+        let base = s.spawn(|| run_baseline(app));
+        let opec = s.spawn(|| run_opec(app));
+        let aces_handles: Vec<_> = if with_aces {
+            ACES_STRATEGIES.iter().map(|&st| s.spawn(move || run_aces(app, st))).collect()
+        } else {
+            Vec::new()
+        };
+        let (base_cycles, base_flash, base_sram) = join(base);
+        let opec = Arc::new(join(opec));
+        let aces = aces_handles.into_iter().map(|h| Arc::new(join(h))).collect();
+        AppEval { name: app.name, board: app.board, base_cycles, base_flash, base_sram, opec, aces }
+    })
+}
+
+/// Evaluates one application on the calling thread only (the seed's
+/// behaviour; the `bench-json` naive baseline measures this path).
+pub fn evaluate_app_sequential(app: &App, with_aces: bool) -> AppEval {
     let (base_cycles, base_flash, base_sram) = run_baseline(app);
-    let opec = run_opec(app);
+    let opec = Arc::new(run_opec(app));
     let aces = if with_aces {
-        [AcesStrategy::Filename, AcesStrategy::FilenameNoOpt, AcesStrategy::Peripheral]
-            .into_iter()
-            .map(|s| run_aces(app, s))
-            .collect()
+        ACES_STRATEGIES.into_iter().map(|st| Arc::new(run_aces(app, st))).collect()
     } else {
         Vec::new()
     };
     AppEval { name: app.name, board: app.board, base_cycles, base_flash, base_sram, opec, aces }
 }
 
-/// Evaluates a list of applications.
+/// Evaluates a list of applications, one scoped thread per app, results
+/// in input order.
 pub fn evaluate_many(apps: &[App], with_aces: bool) -> Vec<AppEval> {
-    apps.iter().map(|a| evaluate_app(a, with_aces)).collect()
+    thread::scope(|s| {
+        let handles: Vec<_> =
+            apps.iter().map(|a| s.spawn(move || evaluate_app(a, with_aces))).collect();
+        handles.into_iter().map(join).collect()
+    })
+}
+
+/// Sequential [`evaluate_many`] (the seed's behaviour).
+pub fn evaluate_many_sequential(apps: &[App], with_aces: bool) -> Vec<AppEval> {
+    apps.iter().map(|a| evaluate_app_sequential(a, with_aces)).collect()
 }
 
 impl AppEval {
@@ -178,15 +231,13 @@ impl AppEval {
 
     /// Flash overhead (increase over baseline / device flash), percent.
     pub fn flash_overhead_pct(&self) -> f64 {
-        (self.opec.flash_used.saturating_sub(self.base_flash)) as f64
-            / self.board.flash.size as f64
+        (self.opec.flash_used.saturating_sub(self.base_flash)) as f64 / self.board.flash.size as f64
             * 100.0
     }
 
     /// SRAM overhead (increase over baseline / device SRAM), percent.
     pub fn sram_overhead_pct(&self) -> f64 {
-        (self.opec.sram_used.saturating_sub(self.base_sram)) as f64
-            / self.board.sram.size as f64
+        (self.opec.sram_used.saturating_sub(self.base_sram)) as f64 / self.board.sram.size as f64
             * 100.0
     }
 }

@@ -112,10 +112,7 @@ impl ModuleBuilder {
         let id = FuncId(self.module.funcs.len() as u32);
         self.module.funcs.push(Function {
             name: name.into(),
-            params: params
-                .into_iter()
-                .map(|(n, ty)| Param { name: n.to_string(), ty })
-                .collect(),
+            params: params.into_iter().map(|(n, ty)| Param { name: n.to_string(), ty }).collect(),
             ret,
             locals: Vec::new(),
             num_regs: 0,
@@ -422,20 +419,11 @@ mod tests {
     #[test]
     fn build_simple_add_function() {
         let mut mb = ModuleBuilder::new("t");
-        let f = mb.func(
-            "add",
-            vec![("a", Ty::I32), ("b", Ty::I32)],
-            Some(Ty::I32),
-            "math.c",
-            |fb| {
-                let s = fb.bin(
-                    BinOp::Add,
-                    Operand::Reg(fb.param(0)),
-                    Operand::Reg(fb.param(1)),
-                );
+        let f =
+            mb.func("add", vec![("a", Ty::I32), ("b", Ty::I32)], Some(Ty::I32), "math.c", |fb| {
+                let s = fb.bin(BinOp::Add, Operand::Reg(fb.param(0)), Operand::Reg(fb.param(1)));
                 fb.ret(Operand::Reg(s));
-            },
-        );
+            });
         let m = mb.finish();
         assert_eq!(m.func(f).name, "add");
         assert_eq!(m.func(f).num_regs, 3);

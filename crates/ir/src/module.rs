@@ -214,13 +214,9 @@ impl Function {
     /// Deterministic code-size model in bytes: Thumb-2-flavoured
     /// per-instruction sizes plus an 8-byte prologue/epilogue.
     pub fn code_size(&self) -> u32 {
-        let body: u32 = self
-            .blocks
-            .iter()
-            .flat_map(|b| b.insts.iter())
-            .map(Inst::encoded_size)
-            .sum::<u32>()
-            + self.blocks.iter().map(|b| b.term.encoded_size()).sum::<u32>();
+        let body: u32 =
+            self.blocks.iter().flat_map(|b| b.insts.iter()).map(Inst::encoded_size).sum::<u32>()
+                + self.blocks.iter().map(|b| b.term.encoded_size()).sum::<u32>();
         body + 8
     }
 }

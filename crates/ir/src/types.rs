@@ -197,12 +197,7 @@ mod tests {
         // struct UartHandle { u32 instance_ptr*; u8 state; u8* buf; u16 len; }
         let id = t.add_struct(StructDef {
             name: "UartHandle".into(),
-            fields: vec![
-                Ty::Ptr(Box::new(Ty::I32)),
-                Ty::I8,
-                Ty::Ptr(Box::new(Ty::I8)),
-                Ty::I16,
-            ],
+            fields: vec![Ty::Ptr(Box::new(Ty::I32)), Ty::I8, Ty::Ptr(Box::new(Ty::I8)), Ty::I16],
         });
         (t, id)
     }

@@ -246,10 +246,7 @@ fn check_global_access(
         .ok_or_else(|| format!("dangling global g{}", global.0))?;
     let total = module.types.size_of(&g.ty);
     if offset + u32::from(size) > total {
-        return Err(format!(
-            "access to {} at offset {offset}+{size} exceeds size {total}",
-            g.name
-        ));
+        return Err(format!("access to {} at offset {offset}+{size} exceeds size {total}", g.name));
     }
     Ok(())
 }

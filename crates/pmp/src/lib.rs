@@ -353,8 +353,14 @@ mod tests {
     #[test]
     fn tor_pair_matches_exact_range() {
         let mut pmp = Pmp::new();
-        pmp.set(0, PmpEntry { r: false, w: false, x: false, mode: PmpMode::Off, addr: 0x2000_0000 >> 2 });
-        pmp.set(1, PmpEntry { r: true, w: true, x: false, mode: PmpMode::Tor, addr: 0x2000_0600 >> 2 });
+        pmp.set(
+            0,
+            PmpEntry { r: false, w: false, x: false, mode: PmpMode::Off, addr: 0x2000_0000 >> 2 },
+        );
+        pmp.set(
+            1,
+            PmpEntry { r: true, w: true, x: false, mode: PmpMode::Tor, addr: 0x2000_0600 >> 2 },
+        );
         assert!(pmp.check(0x2000_0000, 4, PmpAccess::Write, PrivMode::User));
         assert!(pmp.check(0x2000_05FC, 4, PmpAccess::Write, PrivMode::User));
         assert!(!pmp.check(0x2000_0600, 4, PmpAccess::Write, PrivMode::User));

@@ -221,10 +221,7 @@ impl<S: Supervisor> Vm<S> {
                     return Ok(RunOutcome::Halted { cycles: self.machine.clock.now() })
                 }
                 StepResult::MainReturned(value) => {
-                    return Ok(RunOutcome::Returned {
-                        value,
-                        cycles: self.machine.clock.now(),
-                    })
+                    return Ok(RunOutcome::Returned { value, cycles: self.machine.clock.now() })
                 }
             }
         }
@@ -311,10 +308,7 @@ impl<S: Supervisor> Vm<S> {
                         FaultFixup::Retry => continue,
                         FaultFixup::Emulated => return Ok(self.cpu.regs[rt as usize]),
                         FaultFixup::Abort(reason) => {
-                            return Err(VmError::Aborted {
-                                reason,
-                                pc: self.machine.current_pc,
-                            })
+                            return Err(VmError::Aborted { reason, pc: self.machine.current_pc })
                         }
                     }
                 }
@@ -350,10 +344,7 @@ impl<S: Supervisor> Vm<S> {
                         FaultFixup::Retry => continue,
                         FaultFixup::Emulated => return Ok(()),
                         FaultFixup::Abort(reason) => {
-                            return Err(VmError::Aborted {
-                                reason,
-                                pc: self.machine.current_pc,
-                            })
+                            return Err(VmError::Aborted { reason, pc: self.machine.current_pc })
                         }
                     }
                 }
@@ -431,10 +422,8 @@ impl<S: Supervisor> Vm<S> {
                 let result = self.supervisor.on_operation_enter(&mut self.machine, &mut req);
                 self.machine.mode = app_mode;
                 self.charge(costs::EXC_RETURN);
-                result.map_err(|reason| VmError::Aborted {
-                    reason,
-                    pc: self.machine.current_pc,
-                })?;
+                result
+                    .map_err(|reason| VmError::Aborted { reason, pc: self.machine.current_pc })?;
                 if let Some(t) = &mut self.trace {
                     t.push(TraceEvent::OpEnter(op, callee));
                 }
@@ -540,10 +529,7 @@ impl<S: Supervisor> Vm<S> {
             let result = self.supervisor.on_operation_exit(&mut self.machine, &mut req);
             self.machine.mode = app_mode;
             self.charge(costs::EXC_RETURN);
-            result.map_err(|reason| VmError::Aborted {
-                reason,
-                pc: self.machine.current_pc,
-            })?;
+            result.map_err(|reason| VmError::Aborted { reason, pc: self.machine.current_pc })?;
             if let Some(t) = &mut self.trace {
                 t.push(TraceEvent::OpExit(oc.op, oc.entry));
             }
@@ -735,10 +721,8 @@ impl<S: Supervisor> Vm<S> {
                 let result = self.supervisor.on_svc(&mut self.machine, imm);
                 self.machine.mode = saved_mode;
                 self.charge(costs::EXC_RETURN);
-                result.map_err(|reason| VmError::Aborted {
-                    reason,
-                    pc: self.machine.current_pc,
-                })?;
+                result
+                    .map_err(|reason| VmError::Aborted { reason, pc: self.machine.current_pc })?;
             }
             Inst::Halt => {
                 // `step` intercepts Halt before dispatching here.

@@ -113,11 +113,10 @@ fn six_arguments_spill_to_stack() {
 #[test]
 fn indirect_call_through_function_address() {
     let mut mb = ModuleBuilder::new("t");
-    let twice =
-        mb.func("twice", vec![("x", Ty::I32)], Some(Ty::I32), "a.c", |fb| {
-            let r = fb.bin(BinOp::Mul, Operand::Reg(fb.param(0)), Operand::Imm(2));
-            fb.ret(Operand::Reg(r));
-        });
+    let twice = mb.func("twice", vec![("x", Ty::I32)], Some(Ty::I32), "a.c", |fb| {
+        let r = fb.bin(BinOp::Mul, Operand::Reg(fb.param(0)), Operand::Imm(2));
+        fb.ret(Operand::Reg(r));
+    });
     let sig = mb.sig_of(twice);
     mb.func("main", vec![], Some(Ty::I32), "a.c", |fb| {
         let fp = fb.addr_of_func(twice);
@@ -140,10 +139,7 @@ fn bogus_indirect_call_is_an_error() {
         fb.ret_void();
     });
     let mut vm = boot(mb.finish(), NullSupervisor);
-    assert_eq!(
-        vm.run(DEFAULT_FUEL).unwrap_err(),
-        VmError::BadIndirectCall { target: 0xDEAD_BEEF }
-    );
+    assert_eq!(vm.run(DEFAULT_FUEL).unwrap_err(), VmError::BadIndirectCall { target: 0xDEAD_BEEF });
 }
 
 #[test]

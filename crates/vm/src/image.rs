@@ -109,10 +109,7 @@ impl LoadedImage {
 
 /// Assigns flash addresses to every function and instruction starting at
 /// `code_base`, returning `(func_addrs, inst_addrs, end_address)`.
-pub fn layout_code(
-    module: &Module,
-    code_base: u32,
-) -> (Vec<u32>, Vec<Vec<Vec<u32>>>, u32) {
+pub fn layout_code(module: &Module, code_base: u32) -> (Vec<u32>, Vec<Vec<Vec<u32>>>, u32) {
     let mut func_addrs = Vec::with_capacity(module.funcs.len());
     let mut inst_addrs = Vec::with_capacity(module.funcs.len());
     let mut cursor = code_base;
@@ -175,9 +172,8 @@ pub fn link_baseline(module: Module, board: Board) -> Result<LoadedImage, String
             sram_cursor += size;
         }
     }
-    let entry = module
-        .func_by_name("main")
-        .ok_or_else(|| "module has no `main` function".to_string())?;
+    let entry =
+        module.func_by_name("main").ok_or_else(|| "module has no `main` function".to_string())?;
     let stack_top = board.sram.end();
     let stack = MemRegion::new(stack_top - DEFAULT_STACK_SIZE, DEFAULT_STACK_SIZE);
     if sram_cursor > stack.base {

@@ -36,5 +36,7 @@ pub mod trace;
 
 pub use exec::{RunOutcome, Vm, VmError, VmStats};
 pub use image::{link_baseline, GlobalSlot, LoadedImage, OpId};
-pub use supervisor::{CpuContext, FaultFixup, NullSupervisor, Supervisor, SwitchKind, SwitchRequest};
+pub use supervisor::{
+    CpuContext, FaultFixup, NullSupervisor, Supervisor, SwitchKind, SwitchRequest,
+};
 pub use trace::{Trace, TraceEvent};

@@ -14,13 +14,11 @@ use opec_ir::FuncId;
 
 /// Architectural register file (r0–r12, sp, lr, pc) visible to fault
 /// handlers, as stacked/banked state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CpuContext {
     /// General-purpose registers; index 13 = SP, 14 = LR, 15 = PC.
     pub regs: [u32; 16],
 }
-
 
 impl CpuContext {
     /// Reads register `r`.

@@ -44,9 +44,8 @@ fn main() {
     });
 
     let board = Board::stm32f4_discovery();
-    let out =
-        opec::core::compile(mb.finish(), board, &[OperationSpec::plain("busy_task")])
-            .expect("compile");
+    let out = opec::core::compile(mb.finish(), board, &[OperationSpec::plain("busy_task")])
+        .expect("compile");
 
     let policy = out.policy.op(1);
     println!("busy_task peripheral windows (merged):");
@@ -79,7 +78,7 @@ fn main() {
     let opaque = mb.global("opaque", Ty::I32, "drv.c");
     let sneaky = mb.func("sneaky_task", vec![], None, "drv.c", move |fb| {
         fb.mmio_write(0x4000_0000, Operand::Imm(1), 4); // TIM2: in policy
-        // ETH computed at runtime: *not* in this operation's policy.
+                                                        // ETH computed at runtime: *not* in this operation's policy.
         let z = fb.load_global(opaque, 0, 4);
         let eth = fb.bin(BinOp::Add, Operand::Reg(z), Operand::Imm(0x4002_8000));
         fb.store(Operand::Reg(eth), Operand::Imm(1), 4);
@@ -90,9 +89,8 @@ fn main() {
         fb.halt();
         fb.ret_void();
     });
-    let out =
-        opec::core::compile(mb.finish(), board, &[OperationSpec::plain("sneaky_task")])
-            .expect("compile");
+    let out = opec::core::compile(mb.finish(), board, &[OperationSpec::plain("sneaky_task")])
+        .expect("compile");
     let mut machine = Machine::new(board);
     opec::devices::install_standard_devices(&mut machine, Default::default()).unwrap();
     let policy = out.policy.clone();

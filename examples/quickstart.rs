@@ -43,10 +43,7 @@ fn main() {
 
     // Compile with OPEC: each task becomes an isolated operation.
     let board = Board::stm32f4_discovery();
-    let specs = vec![
-        OperationSpec::plain("sensor_task"),
-        OperationSpec::plain("logger_task"),
-    ];
+    let specs = vec![OperationSpec::plain("sensor_task"), OperationSpec::plain("logger_task")];
     let out = opec::core::compile(module, board, &specs).expect("compile");
 
     println!("compiled {} operations:", out.partition.ops.len());
@@ -69,8 +66,7 @@ fn main() {
 
     // Run under OPEC-Monitor.
     let policy = out.policy.clone();
-    let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy))
-        .expect("vm");
+    let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).expect("vm");
     match vm.run(10_000_000).expect("run") {
         RunOutcome::Returned { value, cycles } => {
             println!("main returned {:?} after {cycles} cycles", value);
@@ -101,15 +97,10 @@ fn main() {
         fb.halt();
         fb.ret_void();
     });
-    let out = opec::core::compile(
-        mb.finish(),
-        board,
-        &[OperationSpec::plain("rogue_task")],
-    )
-    .expect("compile");
+    let out = opec::core::compile(mb.finish(), board, &[OperationSpec::plain("rogue_task")])
+        .expect("compile");
     let policy = out.policy.clone();
-    let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy))
-        .expect("vm");
+    let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).expect("vm");
     match vm.run(10_000_000) {
         Err(VmError::Aborted { reason, pc }) => {
             println!("\nrogue task stopped at {pc:#010x}: {reason}");

@@ -22,11 +22,7 @@ fn main() {
     let boundary = stack_boundary_from_srd(policy.stack, srd);
     let entries = op_policy_to_pmp(policy, op, boundary);
 
-    println!(
-        "PMP entry file for operation {} ({}):",
-        op,
-        policy.op(op).name
-    );
+    println!("PMP entry file for operation {} ({}):", op, policy.op(op).name);
     for (i, e) in &entries {
         let mode = match e.mode {
             PmpMode::Off => "OFF  ",

@@ -24,7 +24,11 @@ fn main() {
         "foo.c",
     );
     mb.define(foo, |fb| {
-        fb.memset(Operand::Reg(fb.param(0)), Operand::Imm(u32::from(b'B')), Operand::Reg(fb.param(1)));
+        fb.memset(
+            Operand::Reg(fb.param(0)),
+            Operand::Imm(u32::from(b'B')),
+            Operand::Reg(fb.param(1)),
+        );
         fb.ret_void();
     });
     mb.func("main", vec![], Some(Ty::I32), "main.c", move |fb| {
@@ -87,12 +91,9 @@ fn main() {
         fb.halt();
         fb.ret_void();
     });
-    let out = opec::core::compile(
-        mb.finish(),
-        board,
-        &[OperationSpec::with_args("attack", vec![None])],
-    )
-    .expect("compile");
+    let out =
+        opec::core::compile(mb.finish(), board, &[OperationSpec::with_args("attack", vec![None])])
+            .expect("compile");
     let policy = out.policy.clone();
     let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).unwrap();
     match vm.run(10_000_000) {

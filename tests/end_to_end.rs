@@ -96,11 +96,9 @@ fn opec_images_carry_all_operation_entries() {
 fn aces_strategies_run_all_comparison_apps() {
     use opec_aces::{build_aces_image, AcesRuntime, AcesStrategy};
     for app in opec_apps::programs::aces_comparison_apps() {
-        for strategy in [
-            AcesStrategy::Filename,
-            AcesStrategy::FilenameNoOpt,
-            AcesStrategy::Peripheral,
-        ] {
+        for strategy in
+            [AcesStrategy::Filename, AcesStrategy::FilenameNoOpt, AcesStrategy::Peripheral]
+        {
             let (module, _) = (app.build)();
             let out = build_aces_image(module, app.board, strategy)
                 .unwrap_or_else(|e| panic!("{} {}: {e}", app.name, strategy.label()));
@@ -116,8 +114,7 @@ fn aces_strategies_run_all_comparison_apps() {
             let mut machine = Machine::new(app.board);
             (app.setup)(&mut machine);
             let mut vm = Vm::new(machine, out.image, rt).unwrap();
-            vm.run(FUEL)
-                .unwrap_or_else(|e| panic!("{} under {}: {e}", app.name, strategy.label()));
+            vm.run(FUEL).unwrap_or_else(|e| panic!("{} under {}: {e}", app.name, strategy.label()));
             (app.check)(&mut vm.machine)
                 .unwrap_or_else(|e| panic!("{} {}: {e}", app.name, strategy.label()));
         }

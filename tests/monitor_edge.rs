@@ -41,16 +41,11 @@ fn heap_section_is_usable_by_operations_that_need_it() {
         fb.memset(Operand::Reg(p), Operand::Imm(0x5A), Operand::Imm(16));
         fb.ret(Operand::Reg(p));
     });
-    let consumer = mb.func(
-        "consumer",
-        vec![("p", Ty::Ptr(Box::new(Ty::I8)))],
-        Some(Ty::I32),
-        "m.c",
-        |fb| {
+    let consumer =
+        mb.func("consumer", vec![("p", Ty::Ptr(Box::new(Ty::I8)))], Some(Ty::I32), "m.c", |fb| {
             let v = fb.load(Operand::Reg(fb.param(0)), 1);
             fb.ret(Operand::Reg(v));
-        },
-    );
+        });
     mb.func("main", vec![], Some(Ty::I32), "m.c", move |fb| {
         let p = fb.call(producer, vec![]);
         let v = fb.call(consumer, vec![Operand::Reg(p)]);
@@ -184,10 +179,8 @@ fn pointer_fields_are_redirected_between_shadows() {
         let r = fb.call(reader, vec![]);
         fb.ret(Operand::Reg(r));
     });
-    let mut vm = boot(
-        mb.finish(),
-        &[OperationSpec::plain("writer"), OperationSpec::plain("reader")],
-    );
+    let mut vm =
+        boot(mb.finish(), &[OperationSpec::plain("writer"), OperationSpec::plain("reader")]);
     match vm.run(FUEL).unwrap() {
         RunOutcome::Returned { value, .. } => assert_eq!(value, Some(0x7E)),
         other => panic!("unexpected outcome {other:?}"),
@@ -205,14 +198,7 @@ fn virtualization_round_robin_evicts_and_restores() {
     for p in opec::devices::datasheet() {
         mb.peripheral(p.name, p.base, p.size, p.is_core);
     }
-    let addrs = [
-        0x4000_4408u32,
-        0x4001_1008,
-        0x4001_2C04,
-        0x4001_6814,
-        0x4002_0000,
-        0x4002_3830,
-    ];
+    let addrs = [0x4000_4408u32, 0x4001_1008, 0x4001_2C04, 0x4001_6814, 0x4002_0000, 0x4002_3830];
     let t = mb.func("rotate", vec![], None, "m.c", move |fb| {
         for a in addrs {
             fb.mmio_write(a, Operand::Imm(1), 4);

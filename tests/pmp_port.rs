@@ -63,8 +63,8 @@ fn pmp_encoding_matches_the_arm_mpu_for_pinlock() {
         }
         for addr in probes {
             for write in [false, true] {
-                let arm = mpu.check_data(addr, 4, write, Mode::Unprivileged)
-                    == MpuDecision::Allowed;
+                let arm =
+                    mpu.check_data(addr, 4, write, Mode::Unprivileged) == MpuDecision::Allowed;
                 let access = if write { PmpAccess::Write } else { PmpAccess::Read };
                 let riscv = pmp.check(addr, 4, access, PrivMode::User);
                 assert_eq!(

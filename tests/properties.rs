@@ -149,9 +149,8 @@ fn arb_steps(nglobals: usize) -> impl Strategy<Value = Vec<Step>> {
 /// and returns a checksum of all globals.
 fn build_firmware(nglobals: usize, tasks: &[Vec<Step>]) -> opec_ir::Module {
     let mut mb = ModuleBuilder::new("prop-firmware");
-    let globals: Vec<_> = (0..nglobals)
-        .map(|i| mb.global(format!("g{i}"), Ty::I32, "state.c"))
-        .collect();
+    let globals: Vec<_> =
+        (0..nglobals).map(|i| mb.global(format!("g{i}"), Ty::I32, "state.c")).collect();
     let mut entries = Vec::new();
     for (ti, steps) in tasks.iter().enumerate() {
         let steps = steps.clone();

@@ -37,10 +37,7 @@ fn victim_module(
         fb.halt();
         fb.ret_void();
     });
-    (
-        mb.finish(),
-        vec![OperationSpec::plain("secret_task"), OperationSpec::plain("attack_task")],
-    )
+    (mb.finish(), vec![OperationSpec::plain("secret_task"), OperationSpec::plain("attack_task")])
 }
 
 fn run_expecting_abort(module: Module, specs: Vec<OperationSpec>, needle: &str) {
@@ -180,10 +177,7 @@ fn sanitization_bounds_shared_state_between_operations() {
     });
     run_expecting_abort(
         mb.finish(),
-        vec![
-            OperationSpec::plain("compromised_task"),
-            OperationSpec::plain("actuator_task"),
-        ],
+        vec![OperationSpec::plain("compromised_task"), OperationSpec::plain("actuator_task")],
         "sanitization failed",
     );
 }
