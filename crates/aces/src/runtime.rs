@@ -22,7 +22,7 @@ use opec_armv7m::mem::MemRegion;
 use opec_armv7m::mpu::{region_size_for, MpuRegion, RegionAttr};
 use opec_armv7m::{Board, FaultInfo, Machine, Mode};
 use opec_ir::Module;
-use opec_vm::{CpuContext, FaultFixup, OpId, Supervisor, SwitchRequest};
+use opec_vm::{CpuContext, FaultFixup, OpId, Supervisor, SwitchRequest, TrapCause, TrapError};
 
 use crate::regions::DataRegions;
 use crate::strategy::Compartments;
@@ -166,7 +166,7 @@ impl Supervisor for AcesRuntime {
         }
     }
 
-    fn on_reset(&mut self, machine: &mut Machine) -> Result<(), String> {
+    fn on_reset(&mut self, machine: &mut Machine) -> Result<(), TrapError> {
         self.current = vec![self.main_comp];
         self.load_mpu_for(machine, self.main_comp)?;
         machine.mpu.enabled = true;
@@ -179,9 +179,15 @@ impl Supervisor for AcesRuntime {
         &mut self,
         machine: &mut Machine,
         req: &mut SwitchRequest<'_>,
-    ) -> Result<(), String> {
+    ) -> Result<(), TrapError> {
         machine.clock.tick(opec_armv7m::clock::costs::SWITCH_FIXED + crate::ACES_SWITCH_CYCLES);
         self.stats.switches += 1;
+        if usize::from(req.op) >= self.comps.comps.len() {
+            return Err(TrapError::new(
+                self.current_comp(),
+                TrapCause::BadSwitch { detail: format!("unknown compartment id {}", req.op) },
+            ));
+        }
         self.load_mpu_for(machine, req.op)?;
         *req.app_mode = self.mode_for(req.op);
         self.current.push(req.op);
@@ -192,11 +198,21 @@ impl Supervisor for AcesRuntime {
         &mut self,
         machine: &mut Machine,
         req: &mut SwitchRequest<'_>,
-    ) -> Result<(), String> {
+    ) -> Result<(), TrapError> {
         machine.clock.tick(opec_armv7m::clock::costs::SWITCH_FIXED + crate::ACES_SWITCH_CYCLES);
-        let top = self.current.pop().ok_or("ACES exit without enter")?;
+        let top = self.current.pop().ok_or_else(|| {
+            TrapError::new(
+                req.op,
+                TrapCause::BadSwitch { detail: "ACES exit without enter".into() },
+            )
+        })?;
         if top != req.op {
-            return Err(format!("ACES context mismatch: exiting {} on top of {top}", req.op));
+            return Err(TrapError::new(
+                req.op,
+                TrapCause::BadSwitch {
+                    detail: format!("ACES context mismatch: exiting {} on top of {top}", req.op),
+                },
+            ));
         }
         let back = self.current_comp();
         self.load_mpu_for(machine, back)?;
@@ -210,10 +226,9 @@ impl Supervisor for AcesRuntime {
         fault: FaultInfo,
         _cpu: &mut CpuContext,
     ) -> FaultFixup {
-        FaultFixup::Abort(format!(
-            "ACES: compartment {} denied access to {:#010x}",
-            self.comps.comps[usize::from(self.current_comp())].name,
-            fault.address
+        FaultFixup::Abort(TrapError::new(
+            self.current_comp(),
+            TrapCause::PolicyDeniedMem { address: fault.address, write: fault.kind.is_write() },
         ))
     }
 
@@ -225,7 +240,26 @@ impl Supervisor for AcesRuntime {
     ) -> FaultFixup {
         // ACES has no core-peripheral emulation: an unprivileged PPB
         // access in a non-lifted compartment is fatal.
-        FaultFixup::Abort(format!("ACES: bus fault at {:#010x}", fault.address))
+        FaultFixup::Abort(TrapError::new(
+            self.current_comp(),
+            TrapCause::BusFault { address: fault.address },
+        ))
+    }
+
+    fn on_quarantine(
+        &mut self,
+        machine: &mut Machine,
+        comp: OpId,
+        resume_mode: &mut Mode,
+    ) -> Result<(), TrapError> {
+        machine.clock.tick(opec_armv7m::clock::costs::SWITCH_FIXED + crate::ACES_SWITCH_CYCLES);
+        if self.current.len() > 1 && self.current.last() == Some(&comp) {
+            self.current.pop();
+        }
+        let back = self.current_comp();
+        self.load_mpu_for(machine, back)?;
+        *resume_mode = self.mode_for(back);
+        Ok(())
     }
 }
 
@@ -306,7 +340,10 @@ mod tests {
         });
         let mut vm = boot(mb.finish(), AcesStrategy::FilenameNoOpt);
         match vm.run(FUEL).unwrap_err() {
-            VmError::Aborted { reason, .. } => assert!(reason.contains("denied"), "{reason}"),
+            VmError::Aborted { trap, .. } => {
+                let reason = trap.to_string();
+                assert!(reason.contains("denied"), "{reason}")
+            }
             other => panic!("unexpected error {other:?}"),
         }
     }
@@ -353,7 +390,10 @@ mod tests {
         });
         let mut vm = boot(mb.finish(), AcesStrategy::FilenameNoOpt);
         match vm.run(FUEL).unwrap_err() {
-            VmError::Aborted { reason, .. } => assert!(reason.contains("bus fault"), "{reason}"),
+            VmError::Aborted { trap, .. } => {
+                let reason = trap.to_string();
+                assert!(reason.contains("bus fault"), "{reason}")
+            }
             other => panic!("unexpected error {other:?}"),
         }
     }

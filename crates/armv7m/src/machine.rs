@@ -285,6 +285,13 @@ impl Machine {
     }
 
     fn ppb_write(&mut self, addr: u32, value: u32) {
+        // MPU_CTRL is live state: ENABLE (bit 0) and PRIVDEFENA (bit 2)
+        // drive the modelled MPU, so privileged code that reaches this
+        // register really does turn protection off.
+        if addr == ppb::MPU_CTRL {
+            self.mpu.enabled = value & 1 != 0;
+            self.mpu.priv_default_enabled = value & 4 != 0;
+        }
         // DWT_CYCCNT writes reset the counter on real silicon; our clock
         // is the ground truth for the whole run, so we record the offset.
         self.ppb_regs.insert(addr, value);
@@ -316,6 +323,20 @@ impl Machine {
             return true;
         }
         false
+    }
+
+    /// Flips bit `bit` (0–7) of the byte at `addr`, bypassing privilege
+    /// and MPU checks — a physical memory fault (fault injection).
+    /// Returns `false` if the address is not backed by Flash or SRAM.
+    pub fn flip_bit(&mut self, addr: u32, bit: u8) -> bool {
+        let Some(byte) = self.peek(addr, 1) else { return false };
+        self.poke(addr, 1, byte ^ (1u32 << (bit & 7)))
+    }
+
+    /// Name and address window of every registered device (used by
+    /// attack libraries to find mapped peripheral registers).
+    pub fn device_regions(&self) -> Vec<(String, MemRegion)> {
+        self.devices.iter().map(|d| (d.name().to_string(), d.region())).collect()
     }
 
     /// Copies `bytes` into Flash at `addr` (image loading).
@@ -477,6 +498,31 @@ mod tests {
             .add_device(Box::new(Reg { region: MemRegion::new(0x4000_0200, 0x400), value: 0 }))
             .unwrap_err();
         assert!(err.contains("overlaps"));
+    }
+
+    #[test]
+    fn flip_bit_is_physical_and_bounds_checked() {
+        let mut m = machine();
+        m.mpu.enabled = true; // flips bypass the MPU entirely
+        m.poke(0x2000_0000, 1, 0b0000_0100);
+        assert!(m.flip_bit(0x2000_0000, 2));
+        assert_eq!(m.peek(0x2000_0000, 1), Some(0));
+        assert!(m.flip_bit(0x2000_0000, 7));
+        assert_eq!(m.peek(0x2000_0000, 1), Some(0x80));
+        assert!(!m.flip_bit(0x7000_0000, 0));
+    }
+
+    #[test]
+    fn mpu_ctrl_write_drives_the_mpu() {
+        let mut m = machine();
+        m.mpu.enabled = true;
+        m.mpu.priv_default_enabled = true;
+        m.store(ppb::MPU_CTRL, 4, 0, Mode::Privileged).unwrap();
+        assert!(!m.mpu.enabled);
+        m.store(ppb::MPU_CTRL, 4, 0b101, Mode::Privileged).unwrap();
+        assert!(m.mpu.enabled);
+        assert!(m.mpu.priv_default_enabled);
+        assert_eq!(m.load(ppb::MPU_CTRL, 4, Mode::Privileged).unwrap(), 0b101);
     }
 
     #[test]

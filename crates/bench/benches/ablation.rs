@@ -1,4 +1,4 @@
-//! Ablations over OPEC's design choices (DESIGN.md §5):
+//! Ablations over OPEC's design choices (DESIGN.md §6):
 //!
 //! * **sync-cost** — how the operation-switch cost scales with the
 //!   amount of shared (shadowed) data, the price of solving

@@ -27,11 +27,10 @@
 //! it induces is visible to the DWT-based measurement.
 
 use opec_armv7m::clock::costs;
-use opec_armv7m::mem::MemRegion;
 use opec_armv7m::thumb::{LdStInst, LdStOp};
 use opec_armv7m::{FaultCause, FaultInfo, Machine, Mode};
 use opec_ir::GlobalId;
-use opec_vm::{CpuContext, FaultFixup, OpId, Supervisor, SwitchRequest};
+use opec_vm::{CpuContext, FaultFixup, OpId, Supervisor, SwitchRequest, TrapCause, TrapError};
 
 use crate::layout::SystemPolicy;
 
@@ -121,7 +120,7 @@ impl OpecMonitor {
     }
 
     /// Sanitize + write back `op`'s shadows to the public section.
-    fn sync_out(&mut self, machine: &mut Machine, op: OpId) -> Result<(), String> {
+    fn sync_out(&mut self, machine: &mut Machine, op: OpId) -> Result<(), TrapError> {
         let shared = self.policy.op(op).shared.clone();
         for sv in shared {
             if let Some((lo, hi)) = sv.range {
@@ -132,10 +131,14 @@ impl OpecMonitor {
                     .load(sv.shadow_addr, chunk, Mode::Privileged)
                     .map_err(|e| format!("sanitize load fault: {}", e.name()))?;
                 if v < lo || v > hi {
-                    return Err(format!(
-                        "sanitization failed: {} value {v} outside [{lo}, {hi}] when leaving operation {}",
-                        global_name(&self.policy, sv.global, machine),
-                        self.policy.op(op).name
+                    return Err(TrapError::new(
+                        op,
+                        TrapCause::Sanitization {
+                            var: global_name(&self.policy, sv.global, machine),
+                            value: v,
+                            lo: i64::from(lo),
+                            hi: i64::from(hi),
+                        },
                     ));
                 }
             }
@@ -257,19 +260,21 @@ impl OpecMonitor {
         &mut self,
         machine: &mut Machine,
         req: &mut SwitchRequest<'_>,
-    ) -> Result<(u8, Vec<Relocation>), String> {
+    ) -> Result<(u8, Vec<Relocation>), TrapError> {
+        let op = req.op;
+        let bad = move |detail: String| TrapError::new(op, TrapCause::BadSwitch { detail });
         let stack = self.policy.stack;
         let sub = stack.size / 8;
         let sp = *req.sp;
         if sp < stack.base || sp > stack.end() {
-            return Err(format!("stack pointer {sp:#010x} outside the stack window"));
+            return Err(bad(format!("stack pointer {sp:#010x} outside the stack window")));
         }
         let idx = ((sp - stack.base) / sub).min(8);
         if idx == 0 {
-            return Err(format!(
+            return Err(bad(format!(
                 "no stack sub-region available for operation {}",
                 self.policy.op(req.op).name
-            ));
+            )));
         }
         let boundary = stack.base + idx * sub;
         // Disable sub-regions idx..8 (the previous operations' frames).
@@ -277,10 +282,21 @@ impl OpecMonitor {
         let mut cursor = boundary;
         let mut relocations = Vec::new();
         // Copy the stack-passed argument block.
+        // Every downward move of the relocation cursor is checked
+        // against the stack base: a (possibly corrupted) oversized
+        // argument must become a typed abort, not an underflow panic.
+        let lower = |cursor: u32, size: u32| -> Result<u32, TrapError> {
+            match cursor.checked_sub(size) {
+                Some(c) if c >= stack.base => Ok(c & !3),
+                _ => Err(bad(format!(
+                    "stack relocation of {size:#x} bytes exhausts the stack window"
+                ))),
+            }
+        };
         if let Some(args_addr) = req.stack_args_addr {
             let bytes = 4 * req.n_stack_args;
             if bytes > 0 {
-                cursor -= bytes;
+                cursor = lower(cursor, bytes)?;
                 self.priv_copy(machine, args_addr, cursor, bytes)?;
                 self.stats.stack_reloc_bytes += u64::from(bytes);
             }
@@ -300,7 +316,7 @@ impl OpecMonitor {
                     if !needs_reloc(ptr) {
                         continue;
                     }
-                    cursor = (cursor - size) & !3;
+                    cursor = lower(cursor, *size)?;
                     self.priv_copy(machine, ptr, cursor, *size)?;
                     self.stats.stack_reloc_bytes += u64::from(*size);
                     relocations.push(Relocation {
@@ -316,7 +332,7 @@ impl OpecMonitor {
                         continue;
                     }
                     // 1. Relocate the object itself.
-                    cursor = (cursor - size) & !3;
+                    cursor = lower(cursor, *size)?;
                     let obj_copy = cursor;
                     self.priv_copy(machine, ptr, obj_copy, *size)?;
                     self.stats.stack_reloc_bytes += u64::from(*size);
@@ -334,7 +350,7 @@ impl OpecMonitor {
                         if !needs_reloc(inner) {
                             continue;
                         }
-                        cursor = (cursor - pointee_size) & !3;
+                        cursor = lower(cursor, *pointee_size)?;
                         self.priv_copy(machine, inner, cursor, *pointee_size)?;
                         self.stats.stack_reloc_bytes += u64::from(*pointee_size);
                         relocations.push(Relocation {
@@ -368,7 +384,7 @@ fn global_name(policy: &SystemPolicy, g: GlobalId, _machine: &Machine) -> String
 }
 
 impl Supervisor for OpecMonitor {
-    fn on_reset(&mut self, machine: &mut Machine) -> Result<(), String> {
+    fn on_reset(&mut self, machine: &mut Machine) -> Result<(), TrapError> {
         // Shadow-copy initialisation: every operation's shadows start
         // from the public masters (which the image's .data staging
         // filled with the initial values).
@@ -391,11 +407,20 @@ impl Supervisor for OpecMonitor {
         &mut self,
         machine: &mut Machine,
         req: &mut SwitchRequest<'_>,
-    ) -> Result<(), String> {
+    ) -> Result<(), TrapError> {
         machine.clock.tick(costs::SWITCH_FIXED);
         self.stats.switches += 1;
         let from = self.current_op();
         let to = req.op;
+        // A corrupted SVC can carry any operation id; reject it before
+        // touching monitor state so the fault stays attributable to the
+        // operation that issued the switch.
+        if usize::from(to) >= self.policy.ops.len() {
+            return Err(TrapError::new(
+                from,
+                TrapCause::BadSwitch { detail: format!("unknown operation id {to}") },
+            ));
+        }
         // Data synchronization through the public section (Figure 7).
         self.sync_out(machine, from)?;
         self.sync_in(machine, to)?;
@@ -434,16 +459,29 @@ impl Supervisor for OpecMonitor {
         &mut self,
         machine: &mut Machine,
         req: &mut SwitchRequest<'_>,
-    ) -> Result<(), String> {
+    ) -> Result<(), TrapError> {
         machine.clock.tick(costs::SWITCH_FIXED);
-        let leaving = self.ctx.pop().ok_or("operation exit without matching enter")?;
+        // Peek, don't pop: if sanitization (or any other step) fails,
+        // the dead operation must still sit on top of the context stack
+        // so a quarantine can identify and discard it.
+        let leaving = self.ctx.last().cloned().ok_or_else(|| {
+            TrapError::new(
+                req.op,
+                TrapCause::BadSwitch { detail: "operation exit without matching enter".into() },
+            )
+        })?;
         if leaving.op != req.op {
-            return Err(format!(
-                "operation context mismatch: exiting {} but top of stack is {}",
-                req.op, leaving.op
+            return Err(TrapError::new(
+                req.op,
+                TrapCause::BadSwitch {
+                    detail: format!(
+                        "operation context mismatch: exiting {} but top of stack is {}",
+                        req.op, leaving.op
+                    ),
+                },
             ));
         }
-        let back_to = self.current_op();
+        let back_to = if self.ctx.len() >= 2 { self.ctx[self.ctx.len() - 2].op } else { 0 };
         // Write back and resynchronise (Figure 7(c)).
         self.sync_out(machine, leaving.op)?;
         self.sync_in(machine, back_to)?;
@@ -454,15 +492,18 @@ impl Supervisor for OpecMonitor {
         // not stop the monitor. Deep-copied pointer fields are restored
         // to their original values first, so the caller's object comes
         // back intact.
-        for r in &leaving.relocations.clone() {
+        for r in &leaving.relocations {
             for (off, orig_val) in &r.fixups {
                 machine
                     .store(r.copy + off, 4, *orig_val, Mode::Privileged)
                     .map_err(|e| format!("fixup restore: {}", e.name()))?;
                 machine.clock.tick(costs::MEM);
             }
-            self.priv_copy(machine, r.copy, r.orig, r.size)?;
+            let (copy, orig, size) = (r.copy, r.orig, r.size);
+            self.priv_copy(machine, copy, orig, size)?;
         }
+        // Everything fallible succeeded — retire the context.
+        self.ctx.pop();
         // Restore the previous operation's MPU view (saved context).
         let srd = self.ctx.last().map(|c| c.srd).unwrap_or(0);
         self.load_mpu(machine, back_to, srd)?;
@@ -478,40 +519,47 @@ impl Supervisor for OpecMonitor {
         fault: FaultInfo,
         _cpu: &mut CpuContext,
     ) -> FaultFixup {
+        let op = self.current_op();
         if fault.cause != FaultCause::MpuViolation {
-            return FaultFixup::Abort(format!(
-                "unexpected MemManage cause at {:#010x}",
-                fault.address
+            return FaultFixup::Abort(TrapError::new(
+                op,
+                TrapCause::MemFault { address: fault.address },
             ));
         }
-        let op = self.current_op();
-        let policy = self.policy.op(op);
         // MPU virtualization: is the address inside the operation's
-        // peripheral allow list?
-        let window: Option<MemRegion> =
-            policy.periph_windows.iter().copied().find(|w| w.contains(fault.address));
-        if let Some(w) = window {
-            // Find the covering region prepared at compile time.
-            let region = policy
-                .periph_regions
-                .iter()
-                .copied()
-                .find(|r| r.range().contains(w.base))
-                .expect("window has a prepared region");
+        // peripheral allow list? Windows and their prepared regions are
+        // index-aligned by construction (see `layout::OpPolicy`), so the
+        // window's position selects the region directly — finding the
+        // region by base address breaks when several windows share one
+        // covering region.
+        let widx = {
+            let policy = self.policy.op(op);
+            policy.periph_windows.iter().position(|w| w.contains(fault.address))
+        };
+        if let Some(widx) = widx {
+            let Some(region) = self.policy.op(op).periph_regions.get(widx).copied() else {
+                return FaultFixup::Abort(TrapError::new(
+                    op,
+                    TrapCause::Unrecoverable(format!(
+                        "no prepared MPU region for peripheral window {widx}"
+                    )),
+                ));
+            };
             let victim = 4 + (self.rr % 4);
             self.rr += 1;
             machine.clock.tick(costs::MPU_REGION_WRITE);
             if let Err(e) = machine.mpu.set_region(victim, region) {
-                return FaultFixup::Abort(format!("MPU virtualization failed: {e}"));
+                return FaultFixup::Abort(TrapError::new(
+                    op,
+                    TrapCause::Unrecoverable(format!("MPU virtualization failed: {e}")),
+                ));
             }
             self.stats.virt_faults += 1;
             return FaultFixup::Retry;
         }
-        FaultFixup::Abort(format!(
-            "operation {} denied {} access to {:#010x}",
-            self.policy.op(op).name,
-            if fault.kind.is_write() { "write" } else { "read" },
-            fault.address
+        FaultFixup::Abort(TrapError::new(
+            op,
+            TrapCause::PolicyDeniedMem { address: fault.address, write: fault.kind.is_write() },
         ))
     }
 
@@ -521,34 +569,36 @@ impl Supervisor for OpecMonitor {
         fault: FaultInfo,
         cpu: &mut CpuContext,
     ) -> FaultFixup {
+        let op = self.current_op();
+        let oops = |detail: String| {
+            FaultFixup::Abort(TrapError::new(op, TrapCause::Unrecoverable(detail)))
+        };
         if fault.cause != FaultCause::PpbUnprivileged {
-            return FaultFixup::Abort(format!(
-                "bus fault ({:?}) at {:#010x}",
-                fault.cause, fault.address
+            return FaultFixup::Abort(TrapError::new(
+                op,
+                TrapCause::BusFault { address: fault.address },
             ));
         }
-        let op = self.current_op();
         let allowed = self.policy.op(op).core_windows.iter().any(|w| w.contains(fault.address));
         if !allowed {
-            return FaultFixup::Abort(format!(
-                "operation {} denied core-peripheral access to {:#010x}",
-                self.policy.op(op).name,
-                fault.address
+            return FaultFixup::Abort(TrapError::new(
+                op,
+                TrapCause::PolicyDeniedCore { address: fault.address },
             ));
         }
         // Fetch and decode the faulting instruction (real Thumb-2 words
         // are emitted into Flash by image generation).
         machine.clock.tick(costs::DECODE);
         let Some(word) = machine.peek(fault.pc, 4) else {
-            return FaultFixup::Abort(format!("cannot fetch instruction at {:#010x}", fault.pc));
+            return oops(format!("cannot fetch instruction at {:#010x}", fault.pc));
         };
         let inst = match LdStInst::decode(word) {
             Ok(i) => i,
-            Err(e) => return FaultFixup::Abort(format!("emulation decode failed: {e}")),
+            Err(e) => return oops(format!("emulation decode failed: {e}")),
         };
         let ea = inst.effective_address(cpu.reg(inst.rn));
         if ea != fault.address {
-            return FaultFixup::Abort(format!(
+            return oops(format!(
                 "emulation address mismatch: decoded {ea:#010x}, faulted {:#010x}",
                 fault.address
             ));
@@ -557,17 +607,41 @@ impl Supervisor for OpecMonitor {
         match inst.op {
             LdStOp::Load => match machine.load(ea, size, Mode::Privileged) {
                 Ok(v) => cpu.set_reg(inst.rt, v),
-                Err(e) => return FaultFixup::Abort(format!("emulated load failed: {}", e.name())),
+                Err(e) => return oops(format!("emulated load failed: {}", e.name())),
             },
             LdStOp::Store => {
                 let v = cpu.reg(inst.rt);
                 if let Err(e) = machine.store(ea, size, v, Mode::Privileged) {
-                    return FaultFixup::Abort(format!("emulated store failed: {}", e.name()));
+                    return oops(format!("emulated store failed: {}", e.name()));
                 }
             }
         }
         self.stats.emulations += 1;
         FaultFixup::Emulated
+    }
+
+    fn on_quarantine(
+        &mut self,
+        machine: &mut Machine,
+        op: OpId,
+        resume_mode: &mut Mode,
+    ) -> Result<(), TrapError> {
+        machine.clock.tick(costs::SWITCH_FIXED);
+        // Discard the dead operation's context. Its relocations are
+        // deliberately NOT copied back and its shadows are NOT synced
+        // out: the operation is compromised, so nothing it produced may
+        // reach the public section or the caller's frames.
+        if self.ctx.len() > 1 && self.ctx.last().map(|c| c.op) == Some(op) {
+            self.ctx.pop();
+        }
+        let survivor = self.current_op();
+        let srd = self.ctx.last().map(|c| c.srd).unwrap_or(0);
+        self.update_reloc_table(machine, survivor)?;
+        self.load_mpu(machine, survivor, srd)?;
+        // Application code resumes at the unprivileged level no matter
+        // what mode the fault interrupted.
+        *resume_mode = Mode::Unprivileged;
+        Ok(())
     }
 }
 

@@ -114,7 +114,8 @@ fn rogue_write_outside_policy_is_stopped() {
     });
     let mut vm = boot(mb.finish(), &[OperationSpec::plain("attack")]);
     match vm.run(FUEL).unwrap_err() {
-        VmError::Aborted { reason, .. } => {
+        VmError::Aborted { trap, .. } => {
+            let reason = trap.to_string();
             assert!(reason.contains("denied write"), "reason: {reason}")
         }
         other => panic!("unexpected error {other:?}"),
@@ -150,7 +151,8 @@ fn peripheral_not_in_policy_is_denied() {
         &[OperationSpec::plain("timer_task"), OperationSpec::plain("evil_task")],
     );
     match vm.run(FUEL).unwrap_err() {
-        VmError::Aborted { reason, .. } => {
+        VmError::Aborted { trap, .. } => {
+            let reason = trap.to_string();
             assert!(reason.contains("denied"), "reason: {reason}")
         }
         other => panic!("unexpected error {other:?}"),
@@ -179,7 +181,8 @@ fn sanitization_stops_corrupted_shared_values() {
     let mut vm =
         boot(mb.finish(), &[OperationSpec::plain("corrupt"), OperationSpec::plain("uses")]);
     match vm.run(FUEL).unwrap_err() {
-        VmError::Aborted { reason, .. } => {
+        VmError::Aborted { trap, .. } => {
+            let reason = trap.to_string();
             assert!(reason.contains("sanitization failed"), "reason: {reason}")
         }
         other => panic!("unexpected error {other:?}"),
@@ -297,7 +300,8 @@ fn core_peripheral_outside_policy_is_denied() {
     });
     let mut vm = boot(mb.finish(), &[OperationSpec::plain("quiet_task")]);
     match vm.run(FUEL).unwrap_err() {
-        VmError::Aborted { reason, .. } => {
+        VmError::Aborted { trap, .. } => {
+            let reason = trap.to_string();
             assert!(reason.contains("core-peripheral"), "reason: {reason}")
         }
         other => panic!("unexpected error {other:?}"),
@@ -357,7 +361,8 @@ fn previous_stack_frame_is_protected_from_the_operation() {
     });
     let mut vm = boot(mb.finish(), &[OperationSpec::with_args("attack", vec![None])]);
     match vm.run(FUEL).unwrap_err() {
-        VmError::Aborted { reason, .. } => {
+        VmError::Aborted { trap, .. } => {
+            let reason = trap.to_string();
             assert!(reason.contains("denied write"), "reason: {reason}")
         }
         other => panic!("unexpected error {other:?}"),
@@ -415,6 +420,206 @@ fn reloc_table_points_at_current_operations_copy() {
     let entry = policy.reloc_entries[&g];
     let target = vm.machine.peek(entry, 4).unwrap();
     assert_eq!(Some(target), policy.shadow_addr(0, g));
+}
+
+#[test]
+fn round_robin_virtualization_survives_overlapping_covering_regions() {
+    // Two custom peripherals whose MPU covering regions overlap: PA's
+    // window [0x4004_0000, 0x700) is covered by [0x4004_0000, 0x800),
+    // and PB's window [0x4004_0780, 0x100) straddles that boundary, so
+    // its own covering region is [0x4004_0000, 0x1000) — and PA's
+    // region *contains PB's base* without covering all of PB. Looking
+    // the region up by base containment therefore maps PA's region for
+    // a PB fault at 0x4004_0800+, which faults again forever. The
+    // windows must select their prepared regions by index.
+    let mut mb = ModuleBuilder::new("rrobin");
+    add_datasheet(&mut mb);
+    mb.peripheral("PA", 0x4004_0000, 0x700, false);
+    mb.peripheral("PB", 0x4004_0780, 0x100, false);
+    let t = mb.func("big_task", vec![], None, "m.c", |fb| {
+        for addr in [
+            0x4000_0000u32, // TIM2 (preloaded window 1)
+            0x4000_4400,    // USART2 (2)
+            0x4002_0000,    // GPIOA (3)
+            0x4002_3830,    // RCC (4)
+            0x4004_0680,    // PA interior: virtualization fault
+            0x4004_0800,    // PB beyond PA's covering region
+        ] {
+            fb.mmio_write(addr, Operand::Imm(1), 4);
+        }
+        fb.ret_void();
+    });
+    mb.func("main", vec![], None, "m.c", |fb| {
+        fb.call_void(t, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let _ = t;
+    let board = Board::stm32f4_discovery();
+    let out = compile(mb.finish(), board, &[OperationSpec::plain("big_task")]).unwrap();
+    let mut machine = Machine::new(board);
+    opec_devices::install_standard_devices(&mut machine, Default::default()).unwrap();
+    for base in [0x4004_0000u32, 0x4004_0400, 0x4004_0800] {
+        machine
+            .add_device(Box::new(opec_devices::misc::RegFile::new(format!("PX@{base:#x}"), base)))
+            .unwrap();
+    }
+    let mut vm = Vm::new(machine, out.image, OpecMonitor::new(out.policy)).unwrap();
+    vm.run(FUEL).unwrap();
+    // Both out-of-pool windows were served and the program finished.
+    assert!(
+        vm.supervisor.stats.virt_faults >= 2,
+        "virt faults: {}",
+        vm.supervisor.stats.virt_faults
+    );
+    assert!(vm.stats.faults_retried >= 2);
+}
+
+#[test]
+fn quarantine_contains_a_rogue_operation_and_continues() {
+    let mut mb = ModuleBuilder::new("rogue_q");
+    let own = mb.global("own", Ty::I32, "m.c");
+    let attack = mb.func("attack", vec![], None, "m.c", |fb| {
+        let p = fb.addr_of_global(own, 0);
+        let evil = fb.bin(opec_ir::BinOp::Sub, Operand::Reg(p), Operand::Imm(0x4000));
+        fb.store(Operand::Reg(evil), Operand::Imm(0xBAD), 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], Some(Ty::I32), "m.c", |fb| {
+        fb.call_void(attack, vec![]);
+        fb.ret(Operand::Imm(42));
+    });
+    let mut vm = boot(mb.finish(), &[OperationSpec::plain("attack")]);
+    vm.containment = opec_vm::ContainmentMode::Quarantine;
+    match vm.run(FUEL).unwrap() {
+        RunOutcome::Returned { value, .. } => assert_eq!(value, Some(42)),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(vm.stats.quarantines, 1);
+    assert_eq!(vm.contained.len(), 1);
+    assert!(vm.contained[0].to_string().contains("denied write"));
+    // Monitor context unwound to main; application still unprivileged.
+    assert_eq!(vm.supervisor.current_op(), 0);
+    assert_eq!(vm.machine.mode, Mode::Unprivileged);
+}
+
+#[test]
+fn quarantine_on_exit_discards_the_corrupted_shadow() {
+    // The sanitization failure fires in `on_operation_exit`, after the
+    // VM already popped the frame — the exit-path quarantine must still
+    // unwind the monitor context and keep the public copy clean.
+    let mut mb = ModuleBuilder::new("sanitize_q");
+    let speed = mb.sanitized_global("arm_speed", Ty::I32, "m.c", (0, 10));
+    let corrupt = mb.func("corrupt", vec![], None, "m.c", |fb| {
+        fb.store_global(speed, 0, Operand::Imm(9999), 4);
+        fb.ret_void();
+    });
+    let uses = mb.func("uses", vec![], Some(Ty::I32), "m.c", |fb| {
+        let v = fb.load_global(speed, 0, 4);
+        fb.ret(Operand::Reg(v));
+    });
+    mb.func("main", vec![], Some(Ty::I32), "m.c", |fb| {
+        fb.call_void(corrupt, vec![]);
+        let v = fb.call(uses, vec![]);
+        fb.ret(Operand::Reg(v));
+    });
+    let mut vm =
+        boot(mb.finish(), &[OperationSpec::plain("corrupt"), OperationSpec::plain("uses")]);
+    vm.containment = opec_vm::ContainmentMode::Quarantine;
+    match vm.run(FUEL).unwrap() {
+        // `uses` still sees the sane public value (0), not 9999.
+        RunOutcome::Returned { value, .. } => assert_eq!(value, Some(0)),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(vm.stats.quarantines, 1);
+    assert!(vm.contained[0].to_string().contains("sanitization failed"));
+    assert_eq!(vm.supervisor.current_op(), 0);
+    // The corrupted value never reached the public section.
+    let policy = vm.supervisor.policy();
+    let g = vm.image.module.global_by_name("arm_speed").unwrap();
+    assert_eq!(vm.machine.peek(policy.public_addrs[&g], 4), Some(0));
+}
+
+#[test]
+fn corrupted_switch_id_is_a_typed_bad_switch() {
+    let mut mb = ModuleBuilder::new("badswitch");
+    let t = mb.func("task", vec![], None, "m.c", |fb| fb.ret_void());
+    mb.func("main", vec![], None, "m.c", |fb| {
+        fb.call_void(t, vec![]);
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm = boot(mb.finish(), &[OperationSpec::plain("task")]);
+    vm.set_injector(Box::new(opec_vm::ScheduledInjector::new(vec![(
+        0,
+        opec_vm::InjectAction::CorruptNextSwitchOp { bogus: 77 },
+    )])));
+    match vm.run(FUEL).unwrap_err() {
+        VmError::Aborted { trap, .. } => {
+            let reason = trap.to_string();
+            assert!(reason.contains("bad operation switch"), "reason: {reason}");
+            assert!(reason.contains("77"), "reason: {reason}");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn smashing_the_callers_stack_frame_is_denied_by_the_srd() {
+    let mut mb = ModuleBuilder::new("smash");
+    let task = mb.func("task", vec![], None, "m.c", |fb| {
+        for _ in 0..40 {
+            fb.nop();
+        }
+        fb.ret_void();
+    });
+    // Six arguments: two spill to the simulated stack, so `helper`
+    // performs the operation switch with live caller data above the
+    // stack pointer — exactly the window the SRD must cover.
+    let helper = mb.func(
+        "helper",
+        vec![
+            ("a", Ty::I32),
+            ("b", Ty::I32),
+            ("c", Ty::I32),
+            ("d", Ty::I32),
+            ("e", Ty::I32),
+            ("f", Ty::I32),
+        ],
+        Some(Ty::I32),
+        "m.c",
+        |fb| {
+            fb.call_void(task, vec![]);
+            fb.ret(Operand::Reg(fb.param(5)));
+        },
+    );
+    mb.func("main", vec![], Some(Ty::I32), "m.c", |fb| {
+        let r = fb.call(
+            helper,
+            vec![
+                Operand::Imm(1),
+                Operand::Imm(2),
+                Operand::Imm(3),
+                Operand::Imm(4),
+                Operand::Imm(5),
+                Operand::Imm(6),
+            ],
+        );
+        fb.ret(Operand::Reg(r));
+    });
+    let mut vm = boot(mb.finish(), &[OperationSpec::plain("task")]);
+    vm.set_injector(Box::new(opec_vm::ScheduledInjector::new(vec![(
+        20,
+        opec_vm::InjectAction::SmashCallerStack { value: 0x4141_4141 },
+    )])));
+    match vm.run(FUEL).unwrap_err() {
+        VmError::Aborted { trap, .. } => {
+            let reason = trap.to_string();
+            assert!(reason.contains("denied write"), "reason: {reason}");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    assert!(vm.inject_log.iter().any(|(_, o)| matches!(o, opec_vm::InjectOutcome::Trapped(_))));
 }
 
 #[test]

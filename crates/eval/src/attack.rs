@@ -1,0 +1,791 @@
+//! The attack matrix (`opec-eval attack-matrix`).
+//!
+//! Runs every evaluation application under seeded attack campaigns
+//! (crate `opec-inject`) in three configurations — OPEC, ACES, and the
+//! unprotected baseline — and scores each `(app, config, attack, seed)`
+//! cell with a containment [`Verdict`]. The acceptance bar mirrors the
+//! paper's §7 security argument: OPEC contains every applicable attack
+//! class with a typed trap, the baseline lets every data and peripheral
+//! attack through, and ACES lands in between (containment depends on
+//! which compartment the compromised code sits in).
+//!
+//! Targets are resolved *per configuration* from the artifacts the
+//! builds actually produce (policy, image layout, installed devices),
+//! so the same logical attack hits a meaningful address in each world.
+//! Campaign trigger steps come from `(seed, app, attack class)` alone,
+//! so re-running the matrix with the same seeds is bit-identical —
+//! that is what lets CI fail on any OPEC escape.
+
+use std::fmt::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::thread;
+
+use opec_aces::{build_aces_image, AcesCompileOutput, AcesRuntime, AcesStrategy};
+use opec_apps::programs::{aces_comparison_apps, all_apps};
+use opec_apps::App;
+use opec_armv7m::{Machine, MemRegion};
+use opec_core::{compile, CompileOutput, OpecMonitor};
+use opec_inject::{score, Attack, AttackKind, CampaignInjector, CampaignResult, Verdict};
+use opec_vm::{
+    link_baseline, InjectAction, LoadedImage, NullSupervisor, OpId, Supervisor, Vm, VmError,
+};
+
+use crate::runs::FUEL;
+use crate::table::TextTable;
+
+/// Fuel for campaign runs whose verdict is decided at (or shortly
+/// after) the fire moment: hostile accesses are adjudicated on the
+/// spot, and an armed switch corruption resolves at the next
+/// operation/compartment call. Campaigns trigger within the first 2048
+/// steps, so the tail of the run — possibly corrupted into a loop by
+/// the attack itself — is not worth simulating.
+const SHORT_FUEL: u64 = 300_000;
+
+/// The ACES strategy the matrix attacks (the paper's default
+/// filename-based compartmentalisation).
+const ACES_MATRIX_STRATEGY: AcesStrategy = AcesStrategy::Filename;
+
+/// MPU_CTRL, the register an in-application attacker writes to turn
+/// protection off.
+const MPU_CTRL: u32 = 0xE000_ED94;
+
+/// Core-peripheral registers worth attacking, in preference order.
+const PPB_TARGETS: [u32; 3] = [0xE000_E010, 0xE000_E100, 0xE000_ED08];
+
+/// The isolation configuration of one matrix column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// Full OPEC: operations + privileged monitor.
+    Opec,
+    /// ACES compartments (filename strategy).
+    Aces,
+    /// Vanilla image, no MPU policy at all.
+    Baseline,
+}
+
+impl Config {
+    /// Display / JSON label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::Opec => "opec",
+            Config::Aces => "aces",
+            Config::Baseline => "baseline",
+        }
+    }
+
+    /// Matrix column order.
+    pub const ALL: [Config; 3] = [Config::Opec, Config::Aces, Config::Baseline];
+}
+
+/// One matrix cell: the verdicts of every seed for
+/// `(app, config, attack)`.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Application name.
+    pub app: &'static str,
+    /// Isolation configuration.
+    pub config: Config,
+    /// Attack class.
+    pub kind: AttackKind,
+    /// `(seed, verdict)` per campaign, in seed order.
+    pub verdicts: Vec<(u64, Verdict)>,
+}
+
+impl Cell {
+    /// Aggregate display label: the common label when every seed agrees,
+    /// otherwise per-label counts (`C:6 E:2`).
+    pub fn agg_label(&self) -> String {
+        let first = match self.verdicts.first() {
+            Some((_, v)) => v.label(),
+            None => return "n/a".into(),
+        };
+        if self.verdicts.iter().all(|(_, v)| v.label() == first) {
+            return first.to_string();
+        }
+        let mut parts = Vec::new();
+        for label in ["CONTAINED", "ESCAPED", "CRASHED", "n/a"] {
+            let n = self.verdicts.iter().filter(|(_, v)| v.label() == label).count();
+            if n > 0 {
+                parts.push(format!("{}:{n}", &label[..1]));
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+/// The full campaign outcome.
+#[derive(Debug, Clone)]
+pub struct AttackMatrix {
+    /// Seeds each cell was run under (`0..seeds`).
+    pub seeds: u64,
+    /// All cells, in app → attack → config order.
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the attack matrix over all seven applications.
+pub fn attack_matrix(seeds: u64) -> AttackMatrix {
+    attack_matrix_for(&all_apps(), seeds)
+}
+
+/// Runs the attack matrix over `apps` with seeds `0..seeds`. One scoped
+/// thread per application; results join in input order, so the matrix
+/// is deterministic regardless of scheduling.
+pub fn attack_matrix_for(apps: &[App], seeds: u64) -> AttackMatrix {
+    let aces_apps: Vec<&'static str> = aces_comparison_apps().iter().map(|a| a.name).collect();
+    let cells = thread::scope(|s| {
+        let handles: Vec<_> = apps
+            .iter()
+            .map(|app| {
+                let with_aces = aces_apps.contains(&app.name);
+                s.spawn(move || app_cells(app, seeds, with_aces))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| panic::resume_unwind(e)))
+            .collect()
+    });
+    AttackMatrix { seeds, cells }
+}
+
+/// Per-application build artifacts, produced once and cloned into each
+/// campaign run. A failed build poisons every cell of its column with
+/// [`Verdict::Crashed`] — a malformed image must surface, not panic.
+struct Artifacts {
+    devices: Vec<Device>,
+    opec: Result<CompileOutput, String>,
+    aces: Option<Result<AcesCompileOutput, String>>,
+    baseline: Result<LoadedImage, String>,
+}
+
+/// Converts a possibly-panicking build into a `Result`.
+fn caught<T>(what: &str, r: std::thread::Result<Result<T, String>>) -> Result<T, String> {
+    match r {
+        Ok(inner) => inner,
+        Err(payload) => Err(format!("{what}: {}", panic_message(&payload))),
+    }
+}
+
+fn build_artifacts(app: &App, with_aces: bool) -> Artifacts {
+    let devices = {
+        let mut m = Machine::new(app.board);
+        (app.setup)(&mut m);
+        m.device_regions()
+    };
+    let opec = caught(
+        "OPEC build",
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            let (module, specs) = (app.build)();
+            compile(module, app.board, &specs).map_err(|e| format!("OPEC compile: {e}"))
+        })),
+    );
+    let aces = with_aces.then(|| {
+        caught(
+            "ACES build",
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                let (module, _) = (app.build)();
+                build_aces_image(module, app.board, ACES_MATRIX_STRATEGY)
+                    .map_err(|e| format!("ACES build: {e}"))
+            })),
+        )
+    });
+    let baseline = caught(
+        "baseline link",
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            let (module, _) = (app.build)();
+            link_baseline(module, app.board).map_err(|e| format!("baseline link: {e}"))
+        })),
+    );
+    Artifacts { devices, opec, aces, baseline }
+}
+
+/// All cells of one application: every attack class under every
+/// configuration.
+fn app_cells(app: &App, seeds: u64, with_aces: bool) -> Vec<Cell> {
+    let art = build_artifacts(app, with_aces);
+    let mut cells = Vec::new();
+    for kind in AttackKind::ALL {
+        for config in Config::ALL {
+            if config == Config::Aces && !with_aces {
+                cells.push(Cell { app: app.name, config, kind, verdicts: Vec::new() });
+                continue;
+            }
+            let verdicts =
+                (0..seeds).map(|seed| (seed, run_cell(app, &art, config, kind, seed))).collect();
+            cells.push(Cell { app: app.name, config, kind, verdicts });
+        }
+    }
+    cells
+}
+
+/// Attacks and scores one `(app, config, attack, seed)` run against the
+/// prebuilt artifacts. Never panics: build failures and host panics
+/// score as [`Verdict::Crashed`], which the matrix (and CI) treat as a
+/// robustness bug.
+fn run_cell(app: &App, art: &Artifacts, config: Config, kind: AttackKind, seed: u64) -> Verdict {
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| match config {
+        Config::Opec => run_opec_cell(app, art, kind, seed),
+        Config::Aces => run_aces_cell(app, art, kind, seed),
+        Config::Baseline => run_baseline_cell(app, art, kind, seed),
+    }));
+    match outcome {
+        Ok(Ok(verdict)) => verdict,
+        Ok(Err(e)) => Verdict::Crashed { detail: e },
+        Err(payload) => Verdict::Crashed { detail: panic_message(&payload) },
+    }
+}
+
+type Device = (String, MemRegion);
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("host panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("host panic: {s}")
+    } else {
+        "host panic (non-string payload)".into()
+    }
+}
+
+/// Drives a prepared VM through one campaign and folds the result.
+fn drive<S: Supervisor>(vm: &mut Vm<S>, kind: AttackKind, fuel: u64) -> Verdict {
+    let result = match vm.run(fuel) {
+        Ok(_) => CampaignResult::Completed,
+        Err(VmError::Aborted { trap, .. }) => CampaignResult::Aborted(trap),
+        Err(other) => CampaignResult::OtherError(other.to_string()),
+    };
+    score(kind, &vm.inject_log, &result)
+}
+
+fn run_opec_cell(
+    app: &App,
+    art: &Artifacts,
+    kind: AttackKind,
+    seed: u64,
+) -> Result<Verdict, String> {
+    let out = art.opec.as_ref().map_err(Clone::clone)?;
+    let Some(attack) = opec_attack(kind, out, &art.devices) else {
+        return Ok(Verdict::NotApplicable);
+    };
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let mut vm = Vm::new(machine, out.image.clone(), OpecMonitor::new(out.policy.clone()))
+        .map_err(|e| format!("OPEC image: {e}"))?;
+    vm.set_injector(Box::new(CampaignInjector::new(attack.clone(), seed, app.name)));
+    // A bit flip's verdict shows up at the faulted operation's next
+    // sync-out, and an armed switch corruption at the next operation
+    // entry — either may be anywhere in the workload, so those get the
+    // full budget. Everything else resolves at the fire moment.
+    let fuel = match kind {
+        AttackKind::ShadowBitFlip | AttackKind::SvcCorrupt => FUEL,
+        _ => SHORT_FUEL,
+    };
+    let mut verdict = drive(&mut vm, kind, fuel);
+    // A flipped shadow bit the operation legitimately overwrote before
+    // its next sync-out was masked, not contained and not escaped — the
+    // standard fault-injection "benign fault" outcome.
+    if kind == AttackKind::ShadowBitFlip && matches!(verdict, Verdict::Escaped { .. }) {
+        if let InjectAction::FlipBit { addr, bit } = attack.action {
+            let still_set = vm.machine.peek(addr, 4).is_some_and(|v| (v >> bit) & 1 == 1);
+            if !still_set {
+                verdict = Verdict::NotApplicable;
+            }
+        }
+    }
+    Ok(verdict)
+}
+
+fn run_aces_cell(
+    app: &App,
+    art: &Artifacts,
+    kind: AttackKind,
+    seed: u64,
+) -> Result<Verdict, String> {
+    let out = art.aces.as_ref().expect("ACES requested").as_ref().map_err(Clone::clone)?;
+    let Some(attack) = aces_attack(kind, &out.image, out.stack, &art.devices) else {
+        return Ok(Verdict::NotApplicable);
+    };
+    let main_comp = out.comps.of(out.image.entry);
+    let rt = AcesRuntime::new(
+        &out.image.module,
+        out.comps.clone(),
+        out.regions.clone(),
+        app.board,
+        out.stack,
+        main_comp,
+    );
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let mut vm = Vm::new(machine, out.image.clone(), rt).map_err(|e| format!("ACES image: {e}"))?;
+    vm.set_injector(Box::new(CampaignInjector::new(attack, seed, app.name)));
+    let fuel = if kind == AttackKind::SvcCorrupt { FUEL } else { SHORT_FUEL };
+    Ok(drive(&mut vm, kind, fuel))
+}
+
+fn run_baseline_cell(
+    app: &App,
+    art: &Artifacts,
+    kind: AttackKind,
+    seed: u64,
+) -> Result<Verdict, String> {
+    let image = art.baseline.as_ref().map_err(Clone::clone)?;
+    let Some(attack) = baseline_attack(kind, image, &art.devices) else {
+        return Ok(Verdict::NotApplicable);
+    };
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let mut vm = Vm::new(machine, image.clone(), NullSupervisor)
+        .map_err(|e| format!("baseline image: {e}"))?;
+    vm.set_injector(Box::new(CampaignInjector::new(attack, seed, app.name)));
+    Ok(drive(&mut vm, kind, SHORT_FUEL))
+}
+
+// ---------------------------------------------------------------------
+// Target resolution.
+// ---------------------------------------------------------------------
+
+/// Device registers in the memory-mapped peripheral space (PPB devices
+/// are attacked separately).
+fn peripheral_bases(devices: &[Device]) -> Vec<u32> {
+    devices
+        .iter()
+        .filter(|(_, r)| (0x4000_0000..0x6000_0000).contains(&r.base))
+        .map(|(_, r)| r.base)
+        .collect()
+}
+
+/// Resolves `kind` against an OPEC build: a concrete address that the
+/// firing operation's policy must deny, plus the set of operations the
+/// campaign may fire in. `None` when the app has no such target (the
+/// cell scores n/a).
+fn opec_attack(kind: AttackKind, out: &CompileOutput, devices: &[Device]) -> Option<Attack> {
+    let policy = &out.policy;
+    let all_ops: Vec<OpId> = (0..policy.ops.len() as u8).collect();
+    match kind {
+        AttackKind::DataWrite => {
+            // The public master copy of a shared variable: writable only
+            // by the privileged monitor during switch synchronisation.
+            let g = policy.externals.first()?;
+            let addr = *policy.public_addrs.get(g)?;
+            Some(Attack::anytime(
+                kind,
+                InjectAction::HostileStore { addr, size: 4, value: 0xDEAD_BEEF },
+            ))
+        }
+        AttackKind::PeriphRead | AttackKind::PeriphWrite => {
+            // The mapped device register denied to the most operations;
+            // the campaign fires only in those, so the access is judged
+            // against a policy that must refuse it.
+            let (addr, denied) = peripheral_bases(devices)
+                .into_iter()
+                .map(|addr| {
+                    let denied: Vec<OpId> = all_ops
+                        .iter()
+                        .copied()
+                        .filter(|&op| {
+                            !policy.op(op).periph_windows.iter().any(|w| w.contains(addr))
+                        })
+                        .collect();
+                    (addr, denied)
+                })
+                .max_by_key(|(_, denied)| denied.len())?;
+            if denied.is_empty() {
+                return None;
+            }
+            let action = if kind == AttackKind::PeriphRead {
+                InjectAction::HostileLoad { addr, size: 4 }
+            } else {
+                InjectAction::HostileStore { addr, size: 4, value: 0xFFFF_FFFF }
+            };
+            Some(Attack::in_ops(kind, action, denied))
+        }
+        AttackKind::PpbWrite => {
+            let (addr, denied) = PPB_TARGETS.iter().find_map(|&addr| {
+                let denied: Vec<OpId> = all_ops
+                    .iter()
+                    .copied()
+                    .filter(|&op| !policy.op(op).core_windows.iter().any(|w| w.contains(addr)))
+                    .collect();
+                (!denied.is_empty()).then_some((addr, denied))
+            })?;
+            Some(Attack::in_ops(
+                kind,
+                InjectAction::HostileStore { addr, size: 4, value: 0 },
+                denied,
+            ))
+        }
+        AttackKind::MpuDisable => Some(Attack::anytime(
+            kind,
+            InjectAction::HostileStore { addr: MPU_CTRL, size: 4, value: 0 },
+        )),
+        AttackKind::StackSmash => {
+            // Overwrite the calling operation's live stack data. The VM
+            // resolves the address at fire time (the caller's saved
+            // stack pointer), which under OPEC always falls in the
+            // SRD-disabled sub-regions of the entered operation.
+            let ops: Vec<OpId> = all_ops.into_iter().filter(|&op| op != 0).collect();
+            if ops.is_empty() {
+                return None;
+            }
+            Some(Attack::in_ops(kind, InjectAction::SmashCallerStack { value: 0x4141_4141 }, ops))
+        }
+        AttackKind::RelocWrite => {
+            let addr = *policy.reloc_entries.values().next()?;
+            Some(Attack::anytime(
+                kind,
+                InjectAction::HostileStore { addr, size: 4, value: 0x2000_0000 },
+            ))
+        }
+        AttackKind::SvcCorrupt => {
+            if policy.ops.len() < 2 {
+                return None;
+            }
+            // Arm wherever the trigger lands: the next operation entry
+            // then carries a bogus id the monitor has no policy for.
+            Some(Attack::anytime(kind, InjectAction::CorruptNextSwitchOp { bogus: 200 }))
+        }
+        AttackKind::ShadowBitFlip => {
+            // A sanitized shared variable: setting a high bit of its
+            // live shadow pushes it out of declared range, which the
+            // monitor must catch at the next sync-out. Prefer flipping
+            // the shadow of an operation that only *reads* the variable
+            // — a writer would repair the fault with its next store (a
+            // masked fault), a reader carries it to sync-out.
+            let mut fallback = None;
+            for (op, p) in policy.ops.iter().enumerate() {
+                for sv in &p.shared {
+                    let Some((_, hi)) = sv.range else { continue };
+                    if hi >= 0x80 {
+                        continue;
+                    }
+                    let attack = Attack::in_ops(
+                        kind,
+                        InjectAction::FlipBit { addr: sv.shadow_addr, bit: 7 },
+                        vec![op as OpId],
+                    );
+                    let Some(part_op) = out.partition.ops.get(op) else { continue };
+                    let res = &part_op.resources;
+                    if res.globals_read.contains(&sv.global)
+                        && !res.globals_written.contains(&sv.global)
+                    {
+                        return Some(attack);
+                    }
+                    fallback.get_or_insert(attack);
+                }
+            }
+            fallback
+        }
+    }
+}
+
+/// First fixed-address global of a linked image (data-attack victim).
+fn first_fixed_global(image: &LoadedImage) -> Option<u32> {
+    image.global_slots.iter().find_map(|slot| match slot {
+        opec_vm::GlobalSlot::Fixed(addr) => Some(*addr),
+        _ => None,
+    })
+}
+
+/// Resolves `kind` against the unprotected baseline. Attacks on OPEC-
+/// or compartment-specific infrastructure have no baseline equivalent.
+fn baseline_attack(kind: AttackKind, image: &LoadedImage, devices: &[Device]) -> Option<Attack> {
+    let action = match kind {
+        AttackKind::DataWrite => InjectAction::HostileStore {
+            addr: first_fixed_global(image)?,
+            size: 4,
+            value: 0xDEAD_BEEF,
+        },
+        AttackKind::PeriphRead => {
+            InjectAction::HostileLoad { addr: *peripheral_bases(devices).first()?, size: 4 }
+        }
+        AttackKind::PeriphWrite => InjectAction::HostileStore {
+            addr: *peripheral_bases(devices).first()?,
+            size: 4,
+            value: 0xFFFF_FFFF,
+        },
+        AttackKind::PpbWrite => {
+            InjectAction::HostileStore { addr: PPB_TARGETS[0], size: 4, value: 0 }
+        }
+        AttackKind::MpuDisable => InjectAction::HostileStore { addr: MPU_CTRL, size: 4, value: 0 },
+        AttackKind::StackSmash => {
+            InjectAction::HostileStore { addr: image.stack.end() - 8, size: 4, value: 0x4141_4141 }
+        }
+        AttackKind::RelocWrite | AttackKind::SvcCorrupt | AttackKind::ShadowBitFlip => return None,
+    };
+    Some(Attack::anytime(kind, action))
+}
+
+/// Resolves `kind` against an ACES build. ACES attacks fire in whatever
+/// compartment is current at the trigger step: containment there
+/// genuinely depends on which compartment the compromised code sits in
+/// (and on whether it was lifted to the privileged level), which is the
+/// comparison the matrix is after.
+fn aces_attack(
+    kind: AttackKind,
+    image: &LoadedImage,
+    stack: MemRegion,
+    devices: &[Device],
+) -> Option<Attack> {
+    let action = match kind {
+        AttackKind::DataWrite => InjectAction::HostileStore {
+            addr: first_fixed_global(image)?,
+            size: 4,
+            value: 0xDEAD_BEEF,
+        },
+        AttackKind::PeriphRead => {
+            InjectAction::HostileLoad { addr: *peripheral_bases(devices).first()?, size: 4 }
+        }
+        AttackKind::PeriphWrite => InjectAction::HostileStore {
+            addr: *peripheral_bases(devices).first()?,
+            size: 4,
+            value: 0xFFFF_FFFF,
+        },
+        AttackKind::PpbWrite => {
+            InjectAction::HostileStore { addr: PPB_TARGETS[0], size: 4, value: 0 }
+        }
+        AttackKind::MpuDisable => InjectAction::HostileStore { addr: MPU_CTRL, size: 4, value: 0 },
+        AttackKind::StackSmash => {
+            // ACES keeps one flat stack region every compartment can
+            // reach — the paper's point about missing stack isolation.
+            InjectAction::HostileStore { addr: stack.end() - 8, size: 4, value: 0x4141_4141 }
+        }
+        AttackKind::SvcCorrupt => InjectAction::CorruptNextSwitchOp { bogus: 200 },
+        AttackKind::RelocWrite | AttackKind::ShadowBitFlip => return None,
+    };
+    Some(Attack::anytime(kind, action))
+}
+
+// ---------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------
+
+impl AttackMatrix {
+    /// Cells of one app, in [`AttackKind::ALL`] × [`Config::ALL`] order.
+    fn app_block(&self, app: &str) -> Vec<&Cell> {
+        self.cells.iter().filter(|c| c.app == app).collect()
+    }
+
+    fn app_names(&self) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        for c in &self.cells {
+            if !names.contains(&c.app) {
+                names.push(c.app);
+            }
+        }
+        names
+    }
+
+    /// Human-readable matrix, one table per application.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "Attack containment matrix ({} seeds per cell)", self.seeds).unwrap();
+        writeln!(out, "C = contained, E = escaped, X = crashed\n").unwrap();
+        for app in self.app_names() {
+            let block = self.app_block(app);
+            let mut table = TextTable::new(&["attack", "OPEC", "ACES", "baseline"]);
+            for kind in AttackKind::ALL {
+                let cell = |config| {
+                    block
+                        .iter()
+                        .find(|c| c.kind == kind && c.config == config)
+                        .map_or_else(|| "n/a".to_string(), |c| c.agg_label())
+                };
+                table.row(vec![
+                    kind.name().to_string(),
+                    cell(Config::Opec),
+                    cell(Config::Aces),
+                    cell(Config::Baseline),
+                ]);
+            }
+            writeln!(out, "== {app} ==").unwrap();
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises every per-seed verdict as a JSON document (the CI
+    /// artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        writeln!(out, "  \"seeds\": {},", self.seeds).unwrap();
+        out.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            write!(
+                out,
+                "    {{\"app\": {}, \"config\": \"{}\", \"attack\": \"{}\", \"verdicts\": [",
+                jstr(cell.app),
+                cell.config.label(),
+                cell.kind.name()
+            )
+            .unwrap();
+            for (j, (seed, verdict)) in cell.verdicts.iter().enumerate() {
+                write!(
+                    out,
+                    "{}{{\"seed\": {seed}, \"verdict\": \"{}\", \"detail\": {}}}",
+                    if j == 0 { "" } else { ", " },
+                    verdict.label(),
+                    jstr(&verdict_detail(verdict)),
+                )
+                .unwrap();
+            }
+            writeln!(out, "]}}{}", if i + 1 == self.cells.len() { "" } else { "," }).unwrap();
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Everything that must fail CI: an OPEC cell that escaped or
+    /// crashed, or a host crash in any configuration.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for cell in &self.cells {
+            for (seed, verdict) in &cell.verdicts {
+                let bad = match verdict {
+                    Verdict::Escaped { .. } => cell.config == Config::Opec,
+                    Verdict::Crashed { .. } => true,
+                    _ => false,
+                };
+                if bad {
+                    out.push(format!(
+                        "{} / {} / {} / seed {}: {} ({})",
+                        cell.app,
+                        cell.config.label(),
+                        cell.kind.name(),
+                        seed,
+                        verdict.label(),
+                        verdict_detail(verdict),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The human-readable payload of a verdict.
+fn verdict_detail(v: &Verdict) -> String {
+    match v {
+        Verdict::Contained { op, cause } => format!("operation {op}: {cause}"),
+        Verdict::Escaped { evidence } => evidence.clone(),
+        Verdict::Crashed { detail } => detail.clone(),
+        Verdict::NotApplicable => String::new(),
+    }
+}
+
+/// Minimal JSON string escaping.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pinlock_matrix(seeds: u64) -> AttackMatrix {
+        attack_matrix_for(&[opec_apps::programs::pinlock::app()], seeds)
+    }
+
+    #[test]
+    fn pinlock_opec_contains_every_applicable_attack() {
+        let m = pinlock_matrix(2);
+        for cell in m.cells.iter().filter(|c| c.config == Config::Opec) {
+            for (seed, v) in &cell.verdicts {
+                assert!(
+                    matches!(v, Verdict::Contained { .. } | Verdict::NotApplicable),
+                    "OPEC {} seed {seed}: {v:?}",
+                    cell.kind.name()
+                );
+            }
+        }
+        // The core attack classes actually fire (and are contained)
+        // rather than silently scoring n/a. Stack smashing is not in
+        // this list: PinLock never passes stack arguments across an
+        // operation boundary, so there is no caller frame to smash
+        // (the VM-level containment test lives in `opec-vm`).
+        for kind in [
+            AttackKind::DataWrite,
+            AttackKind::PeriphRead,
+            AttackKind::PeriphWrite,
+            AttackKind::PpbWrite,
+            AttackKind::MpuDisable,
+            AttackKind::RelocWrite,
+            AttackKind::SvcCorrupt,
+        ] {
+            let cell = m
+                .cells
+                .iter()
+                .find(|c| c.config == Config::Opec && c.kind == kind)
+                .expect("cell exists");
+            assert!(
+                cell.verdicts.iter().all(|(_, v)| matches!(v, Verdict::Contained { .. })),
+                "{}: {:?}",
+                kind.name(),
+                cell.verdicts
+            );
+        }
+        assert!(m.failures().is_empty(), "{:?}", m.failures());
+    }
+
+    #[test]
+    fn pinlock_baseline_lets_data_and_peripheral_attacks_through() {
+        let m = pinlock_matrix(2);
+        for kind in [
+            AttackKind::DataWrite,
+            AttackKind::PeriphRead,
+            AttackKind::PeriphWrite,
+            AttackKind::PpbWrite,
+            AttackKind::MpuDisable,
+            AttackKind::StackSmash,
+        ] {
+            let cell = m
+                .cells
+                .iter()
+                .find(|c| c.config == Config::Baseline && c.kind == kind)
+                .expect("cell exists");
+            assert!(
+                cell.verdicts.iter().all(|(_, v)| matches!(v, Verdict::Escaped { .. })),
+                "baseline {}: {:?}",
+                kind.name(),
+                cell.verdicts
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_is_deterministic_and_serialisable() {
+        let a = pinlock_matrix(2);
+        let b = pinlock_matrix(2);
+        let flat = |m: &AttackMatrix| {
+            m.cells
+                .iter()
+                .flat_map(|c| {
+                    c.verdicts.iter().map(move |(s, v)| {
+                        (c.app, c.config.label(), c.kind.name(), *s, format!("{v:?}"))
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(flat(&a), flat(&b));
+        let json = a.to_json();
+        assert!(json.contains("\"app\": \"PinLock\""), "{json}");
+        assert!(json.contains("\"attack\": \"data-write\""), "{json}");
+        assert!(!a.render().is_empty());
+    }
+}

@@ -12,7 +12,11 @@
 //!   (ET, Equation 2), plus the Table 1 security metrics;
 //! * [`report`] — renderers for Table 1, Figure 9, Table 2, Figure 10,
 //!   Figure 11, and Table 3, as aligned text tables and CSV series;
-//! * [`table`] — a small text-table formatter.
+//! * [`table`] — a small text-table formatter;
+//! * [`attack`] — the seeded attack-campaign matrix (`attack-matrix`):
+//!   every app under every `opec-inject` attack class in three
+//!   configurations (OPEC / ACES / baseline), scored with containment
+//!   verdicts.
 //!
 //! The `opec-eval` binary drives everything:
 //!
@@ -25,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod benchjson;
 pub mod cache;
 pub mod metrics;

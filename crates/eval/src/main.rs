@@ -11,6 +11,7 @@
 //! opec-eval case-study   # the §6.1 PinLock attack demonstration
 //! opec-eval csv [DIR]    # write every table/figure as CSV (default: results/)
 //! opec-eval bench-json [FILE]  # machine-readable timings (default: stdout)
+//! opec-eval attack-matrix [--seeds N] [--json FILE]  # §7 containment matrix
 //! ```
 //!
 //! Every subcommand draws its runs from one process-wide memoized
@@ -18,7 +19,7 @@
 //! performs each baseline/OPEC/ACES run exactly once and the renderers
 //! share the results.
 
-use opec_eval::{benchjson, report};
+use opec_eval::{attack, benchjson, report};
 
 fn main() {
     let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -98,10 +99,53 @@ fn main() {
                 None => print!("{json}"),
             }
         }
+        "attack-matrix" => {
+            let mut seeds: u64 = 4;
+            let mut json_path: Option<String> = None;
+            let mut args = std::env::args().skip(2);
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--seeds" => {
+                        let v = args.next().expect("--seeds needs a value");
+                        seeds = v.parse().unwrap_or_else(|e| panic!("bad --seeds {v}: {e}"));
+                    }
+                    "--json" => json_path = Some(args.next().expect("--json needs a path")),
+                    other => {
+                        eprintln!("unknown attack-matrix flag {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            // Open the artifact first so an unwritable path fails
+            // before the campaign runs, not after.
+            let out = json_path.map(|path| {
+                let file = std::fs::File::create(&path)
+                    .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+                (path, file)
+            });
+            eprintln!("[opec-eval] running attack campaigns ({seeds} seeds per cell)...");
+            let matrix = attack::attack_matrix(seeds);
+            print!("{}", matrix.render());
+            if let Some((path, mut file)) = out {
+                use std::io::Write as _;
+                file.write_all(matrix.to_json().as_bytes()).expect("write matrix JSON");
+                eprintln!("[opec-eval] wrote {path}");
+            }
+            let failures = matrix.failures();
+            if !failures.is_empty() {
+                eprintln!("[opec-eval] containment FAILURES:");
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                std::process::exit(1);
+            }
+            eprintln!("[opec-eval] containment matrix clean: no OPEC escapes, no crashes");
+        }
         other => {
             eprintln!(
                 "unknown command {other}; expected one of: all table1 figure9 \
-                 table2 figure10 figure11 table3 case-study csv bench-json"
+                 table2 figure10 figure11 table3 case-study csv bench-json \
+                 attack-matrix"
             );
             std::process::exit(2);
         }

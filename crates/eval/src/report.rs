@@ -368,7 +368,7 @@ pub fn case_study() -> String {
     let policy = compiled.policy.clone();
     let mut vm = Vm::new(machine, compiled.image, OpecMonitor::new(policy)).expect("vm");
     match vm.run(crate::runs::FUEL) {
-        Err(VmError::Aborted { reason, pc }) => {
+        Err(VmError::Aborted { trap: reason, pc }) => {
             out.push_str(&format!(
                 "OPEC   : the same write to KEY's master copy at \
                  {public_key_addr:#010x} faults at pc {pc:#010x}\n         \

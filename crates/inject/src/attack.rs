@@ -1,0 +1,181 @@
+//! The attack library: paper §7's scenarios as schedulable campaigns.
+
+use opec_vm::{InjectAction, Injector, OpId};
+
+use crate::prng::{hash_str, SplitMix64};
+
+/// The attack classes of the campaign, mirroring the paper's §7
+/// security evaluation (data attacks, peripheral attacks, monitor
+/// attacks) plus physical-fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Write another operation's private data (the master copy of a
+    /// secret the firing operation does not share).
+    DataWrite,
+    /// Read a peripheral register outside the operation's allow list.
+    PeriphRead,
+    /// Write a peripheral register outside the operation's allow list.
+    PeriphWrite,
+    /// Write a core (PPB) peripheral register without a policy grant.
+    PpbWrite,
+    /// Disable the MPU by writing `MPU_CTRL` from application code.
+    MpuDisable,
+    /// Overwrite a caller's stack frame from inside an operation.
+    StackSmash,
+    /// Overwrite a relocation-table entry to hijack shared-variable
+    /// addressing (OPEC-specific infrastructure).
+    RelocWrite,
+    /// Corrupt the operation id of the next switch SVC.
+    SvcCorrupt,
+    /// Physically flip a bit of a sanitized variable's shadow so it
+    /// leaves the operation out of range.
+    ShadowBitFlip,
+}
+
+impl AttackKind {
+    /// Every attack class, in matrix display order.
+    pub const ALL: [AttackKind; 9] = [
+        AttackKind::DataWrite,
+        AttackKind::PeriphRead,
+        AttackKind::PeriphWrite,
+        AttackKind::PpbWrite,
+        AttackKind::MpuDisable,
+        AttackKind::StackSmash,
+        AttackKind::RelocWrite,
+        AttackKind::SvcCorrupt,
+        AttackKind::ShadowBitFlip,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::DataWrite => "data-write",
+            AttackKind::PeriphRead => "periph-read",
+            AttackKind::PeriphWrite => "periph-write",
+            AttackKind::PpbWrite => "ppb-write",
+            AttackKind::MpuDisable => "mpu-disable",
+            AttackKind::StackSmash => "stack-smash",
+            AttackKind::RelocWrite => "reloc-write",
+            AttackKind::SvcCorrupt => "svc-corrupt",
+            AttackKind::ShadowBitFlip => "shadow-bitflip",
+        }
+    }
+
+    /// Stable per-class salt mixed into the campaign seed.
+    fn salt(self) -> u64 {
+        hash_str(self.name())
+    }
+}
+
+/// A concrete attack instance: which class, what to inject, and the
+/// operations it is allowed to fire in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attack {
+    /// The attack class.
+    pub kind: AttackKind,
+    /// The perturbation to inject when triggered.
+    pub action: InjectAction,
+    /// Operations the attack may fire in (`None` = any). An attack that
+    /// models a *compromised operation* must fire while that operation
+    /// is current, so its access is judged against the right policy.
+    pub fire_in_ops: Option<Vec<OpId>>,
+}
+
+impl Attack {
+    /// An attack firing in any operation.
+    pub fn anytime(kind: AttackKind, action: InjectAction) -> Attack {
+        Attack { kind, action, fire_in_ops: None }
+    }
+
+    /// An attack firing only while one of `ops` is current.
+    pub fn in_ops(kind: AttackKind, action: InjectAction, ops: Vec<OpId>) -> Attack {
+        Attack { kind, action, fire_in_ops: Some(ops) }
+    }
+}
+
+/// Fires one [`Attack`] exactly once, at a deterministic trigger step
+/// derived from `(seed, app, attack class)`, and only while an allowed
+/// operation is current.
+#[derive(Debug, Clone)]
+pub struct CampaignInjector {
+    attack: Attack,
+    trigger_step: u64,
+    fired: bool,
+}
+
+/// Earliest trigger step: past reset + monitor initialisation.
+const TRIGGER_MIN: u64 = 64;
+/// Trigger window width; kept small against every workload's length so
+/// campaigns fire well before the stop condition.
+const TRIGGER_MAX: u64 = 2048;
+
+impl CampaignInjector {
+    /// Creates the injector for `attack` on application `app` under
+    /// `seed`.
+    pub fn new(attack: Attack, seed: u64, app: &str) -> CampaignInjector {
+        let mut rng = SplitMix64::new(seed ^ hash_str(app) ^ attack.kind.salt());
+        let trigger_step = rng.gen_range(TRIGGER_MIN, TRIGGER_MAX);
+        CampaignInjector { attack, trigger_step, fired: false }
+    }
+
+    /// The step this campaign waits for (exposed for diagnostics).
+    pub fn trigger_step(&self) -> u64 {
+        self.trigger_step
+    }
+}
+
+impl Injector for CampaignInjector {
+    fn actions(&mut self, step: u64, current_op: OpId) -> Vec<InjectAction> {
+        if self.fired || step < self.trigger_step {
+            return Vec::new();
+        }
+        if let Some(ops) = &self.attack.fire_in_ops {
+            if !ops.contains(&current_op) {
+                return Vec::new();
+            }
+        }
+        self.fired = true;
+        vec![self.attack.action.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_fires_once_and_only_in_allowed_ops() {
+        let attack = Attack::in_ops(
+            AttackKind::DataWrite,
+            InjectAction::HostileStore { addr: 0x2000_0000, size: 4, value: 1 },
+            vec![2],
+        );
+        let mut inj = CampaignInjector::new(attack, 1, "PinLock");
+        let t = inj.trigger_step();
+        assert!((TRIGGER_MIN..TRIGGER_MAX).contains(&t));
+        assert!(inj.actions(t.saturating_sub(1), 2).is_empty(), "before trigger");
+        assert!(inj.actions(t, 1).is_empty(), "wrong operation");
+        assert_eq!(inj.actions(t + 10, 2).len(), 1, "fires in the allowed op");
+        assert!(inj.actions(t + 11, 2).is_empty(), "fires only once");
+    }
+
+    #[test]
+    fn trigger_steps_are_deterministic_and_distinct() {
+        let mk = |kind, seed, app: &str| {
+            CampaignInjector::new(
+                Attack::anytime(kind, InjectAction::FlipBit { addr: 0, bit: 0 }),
+                seed,
+                app,
+            )
+            .trigger_step()
+        };
+        assert_eq!(mk(AttackKind::DataWrite, 3, "A"), mk(AttackKind::DataWrite, 3, "A"));
+        let distinct = [
+            mk(AttackKind::DataWrite, 3, "A"),
+            mk(AttackKind::PeriphRead, 3, "A"),
+            mk(AttackKind::DataWrite, 4, "A"),
+            mk(AttackKind::DataWrite, 3, "B"),
+        ];
+        assert!(distinct.windows(2).any(|w| w[0] != w[1]), "seeds/apps/kinds vary the step");
+    }
+}

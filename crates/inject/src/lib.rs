@@ -1,0 +1,32 @@
+//! Seeded fault-injection and attack campaigns (paper §7).
+//!
+//! This crate turns the VM's raw [`opec_vm::Injector`] hook into a
+//! reproducible *campaign*: an [`Attack`] names a perturbation (a
+//! hostile access, a physical bit flip, a corrupted operation-switch)
+//! and the operations it must fire in; a [`CampaignInjector`] fires it
+//! exactly once at a deterministic, seed-derived trigger step; and
+//! [`score`] folds the VM's injection log and run result into a
+//! containment [`Verdict`]:
+//!
+//! * [`Verdict::Contained`] — the isolation system turned the attack
+//!   into a typed trap attributed to the firing operation;
+//! * [`Verdict::Escaped`] — the perturbation took effect and nothing
+//!   stopped it (the expected outcome for the unprotected baseline);
+//! * [`Verdict::Crashed`] — the *host* failed (a panic or an
+//!   unattributable error), which the robustness work treats as a bug;
+//! * [`Verdict::NotApplicable`] — the attack never fired (the workload
+//!   ended first, or the target does not exist in this configuration).
+//!
+//! Everything is deterministic: the same `(seed, app, attack)` triple
+//! always produces the same trigger step, so `opec-eval attack-matrix`
+//! is replayable in CI.
+
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod prng;
+pub mod verdict;
+
+pub use attack::{Attack, AttackKind, CampaignInjector};
+pub use prng::SplitMix64;
+pub use verdict::{score, CampaignResult, Verdict};

@@ -1,0 +1,205 @@
+//! Scoring a campaign run into a containment verdict.
+
+use opec_vm::{InjectAction, InjectOutcome, OpId, TrapCause, TrapError};
+
+use crate::attack::AttackKind;
+
+/// How a campaign run ended, as observed by the harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignResult {
+    /// The workload reached its stop condition (halt or return).
+    Completed,
+    /// The VM terminated the run with a typed trap.
+    Aborted(TrapError),
+    /// The VM failed for a non-trap reason (fuel, frame limit, …).
+    OtherError(String),
+    /// The *host* panicked — a robustness bug, never a valid outcome.
+    Panicked(String),
+}
+
+/// The containment verdict for one `(app, config, attack, seed)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The isolation system stopped the attack with a typed trap
+    /// attributed to the firing operation.
+    Contained {
+        /// Operation the trap was attributed to.
+        op: OpId,
+        /// Human-readable trap cause.
+        cause: String,
+    },
+    /// The perturbation took effect and nothing stopped it.
+    Escaped {
+        /// What the attack achieved.
+        evidence: String,
+    },
+    /// The host failed (panic or unattributable error).
+    Crashed {
+        /// The failure.
+        detail: String,
+    },
+    /// The attack never fired in this configuration.
+    NotApplicable,
+}
+
+impl Verdict {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Contained { .. } => "CONTAINED",
+            Verdict::Escaped { .. } => "ESCAPED",
+            Verdict::Crashed { .. } => "CRASHED",
+            Verdict::NotApplicable => "n/a",
+        }
+    }
+}
+
+/// Folds the VM's injection log and run result into a [`Verdict`].
+///
+/// The rules, in priority order:
+///
+/// 1. a host panic is always [`Verdict::Crashed`];
+/// 2. a hostile access the supervisor trapped is
+///    [`Verdict::Contained`] — in quarantine mode the run may still
+///    have *completed*, which is the point of graceful degradation;
+/// 3. a hostile access that went through ([`InjectOutcome::AccessOk`])
+///    is [`Verdict::Escaped`], whatever happened afterwards;
+/// 4. an applied bit flip or switch corruption is judged by how the
+///    run ended: a typed abort (for [`AttackKind::ShadowBitFlip`],
+///    specifically a sanitization abort) contains it, completion means
+///    it escaped, and anything else crashed;
+/// 5. a campaign that never fired (or only armed) is
+///    [`Verdict::NotApplicable`].
+pub fn score(
+    kind: AttackKind,
+    log: &[(InjectAction, InjectOutcome)],
+    result: &CampaignResult,
+) -> Verdict {
+    if let CampaignResult::Panicked(detail) = result {
+        return Verdict::Crashed { detail: clip(detail) };
+    }
+    for (action, outcome) in log {
+        match outcome {
+            InjectOutcome::Trapped(t) => {
+                return Verdict::Contained { op: t.op, cause: t.cause.to_string() };
+            }
+            InjectOutcome::AccessOk { value } => {
+                return Verdict::Escaped { evidence: evidence_for(action, *value) };
+            }
+            InjectOutcome::Applied => {
+                return score_applied(kind, result);
+            }
+            InjectOutcome::Armed | InjectOutcome::Skipped => {}
+        }
+    }
+    Verdict::NotApplicable
+}
+
+/// Verdict for fire-and-observe actions (bit flips, switch
+/// corruptions), where the effect shows up later in the run.
+fn score_applied(kind: AttackKind, result: &CampaignResult) -> Verdict {
+    match result {
+        CampaignResult::Aborted(t) => {
+            if kind == AttackKind::ShadowBitFlip
+                && !matches!(t.cause, TrapCause::Sanitization { .. })
+            {
+                // The flip was caught, but not by the sanitizer it was
+                // aimed at — still contained, but say so.
+                return Verdict::Contained { op: t.op, cause: format!("(indirectly) {}", t.cause) };
+            }
+            Verdict::Contained { op: t.op, cause: t.cause.to_string() }
+        }
+        CampaignResult::Completed => Verdict::Escaped {
+            evidence: format!("{} took effect and the run completed unchallenged", kind.name()),
+        },
+        CampaignResult::OtherError(e) => Verdict::Crashed { detail: clip(e) },
+        CampaignResult::Panicked(e) => Verdict::Crashed { detail: clip(e) },
+    }
+}
+
+fn evidence_for(action: &InjectAction, value: u32) -> String {
+    match action {
+        InjectAction::HostileLoad { addr, .. } => {
+            format!("read {value:#010x} from {addr:#010x} out of policy")
+        }
+        InjectAction::HostileStore { addr, value: v, .. } => {
+            format!("wrote {v:#010x} to {addr:#010x} out of policy")
+        }
+        InjectAction::SmashCallerStack { value: v } => {
+            format!("overwrote the caller's stack frame with {v:#010x}")
+        }
+        other => format!("{other:?} succeeded"),
+    }
+}
+
+fn clip(s: &str) -> String {
+    const MAX: usize = 160;
+    if s.len() <= MAX {
+        s.to_string()
+    } else {
+        let mut end = MAX;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opec_vm::TrapCause;
+
+    fn trap() -> TrapError {
+        TrapError::new(2, TrapCause::PolicyDeniedMem { address: 0x2000_0000, write: true })
+    }
+
+    #[test]
+    fn trapped_hostile_access_is_contained_even_when_run_completes() {
+        let log = vec![(
+            InjectAction::HostileStore { addr: 0x2000_0000, size: 4, value: 1 },
+            InjectOutcome::Trapped(trap()),
+        )];
+        // Quarantine mode: the run completed *and* the attack was
+        // contained.
+        let v = score(AttackKind::DataWrite, &log, &CampaignResult::Completed);
+        assert!(matches!(v, Verdict::Contained { op: 2, .. }), "{v:?}");
+    }
+
+    #[test]
+    fn permitted_hostile_access_is_an_escape() {
+        let log = vec![(
+            InjectAction::HostileLoad { addr: 0x4000_0000, size: 4 },
+            InjectOutcome::AccessOk { value: 0xAB },
+        )];
+        let v = score(AttackKind::PeriphRead, &log, &CampaignResult::Completed);
+        assert!(matches!(v, Verdict::Escaped { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn bit_flip_is_judged_by_how_the_run_ends() {
+        let log =
+            vec![(InjectAction::FlipBit { addr: 0x2000_0000, bit: 7 }, InjectOutcome::Applied)];
+        let sanitize = TrapError::new(
+            1,
+            TrapCause::Sanitization { var: "g".into(), value: 128, lo: 0, hi: 1 },
+        );
+        let v = score(AttackKind::ShadowBitFlip, &log, &CampaignResult::Aborted(sanitize));
+        assert!(matches!(v, Verdict::Contained { op: 1, .. }), "{v:?}");
+        let v = score(AttackKind::ShadowBitFlip, &log, &CampaignResult::Completed);
+        assert!(matches!(v, Verdict::Escaped { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn unfired_campaigns_and_panics_rank_correctly() {
+        assert_eq!(score(AttackKind::SvcCorrupt, &[], &CampaignResult::Completed).label(), "n/a");
+        let armed_only =
+            vec![(InjectAction::CorruptNextSwitchOp { bogus: 9 }, InjectOutcome::Armed)];
+        assert_eq!(
+            score(AttackKind::SvcCorrupt, &armed_only, &CampaignResult::Completed).label(),
+            "n/a"
+        );
+        let v = score(AttackKind::DataWrite, &[], &CampaignResult::Panicked("boom".into()));
+        assert!(matches!(v, Verdict::Crashed { .. }), "{v:?}");
+    }
+}

@@ -10,8 +10,11 @@ use opec_armv7m::{Exception, Machine, Mode};
 use opec_ir::module::{BinOp, UnOp};
 use opec_ir::{FuncId, GlobalId, Inst, LocalId, Operand, RegId, Terminator};
 
-use crate::image::{GlobalSlot, LoadedImage};
-use crate::supervisor::{CpuContext, FaultFixup, Supervisor, SwitchKind, SwitchRequest};
+use crate::image::{GlobalSlot, ImageError, LoadedImage, OpId};
+use crate::inject::{InjectAction, InjectOutcome, Injector};
+use crate::supervisor::{
+    CpuContext, FaultFixup, Supervisor, SwitchKind, SwitchRequest, TrapCause, TrapError,
+};
 use crate::trace::{Trace, TraceEvent};
 
 /// Maps an instruction's value/address virtual registers onto the
@@ -57,13 +60,13 @@ impl RunOutcome {
 }
 
 /// Why a run failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum VmError {
     /// The supervisor terminated the program (security violation,
     /// sanitization failure, unrecoverable fault).
     Aborted {
-        /// Human-readable reason.
-        reason: String,
+        /// The typed verdict: which operation misbehaved and how.
+        trap: TrapError,
         /// PC of the instruction that triggered the abort.
         pc: u32,
     },
@@ -83,7 +86,7 @@ pub enum VmError {
 impl core::fmt::Display for VmError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            VmError::Aborted { reason, pc } => write!(f, "aborted at {pc:#010x}: {reason}"),
+            VmError::Aborted { trap, pc } => write!(f, "aborted at {pc:#010x}: {trap}"),
             VmError::BadIndirectCall { target } => {
                 write!(f, "indirect call to non-function address {target:#010x}")
             }
@@ -113,6 +116,23 @@ pub struct VmStats {
     pub svcs: u64,
     /// Interrupt handler dispatches.
     pub irqs: u64,
+    /// Operations killed and unwound under
+    /// [`ContainmentMode::Quarantine`].
+    pub quarantines: u64,
+}
+
+/// What the VM does with an [`FaultFixup::Abort`] verdict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ContainmentMode {
+    /// Terminate the run with [`VmError::Aborted`] (the paper's default
+    /// response: the violation is fatal to the program).
+    #[default]
+    Terminate,
+    /// Kill only the offending operation: unwind its frames, zero its
+    /// result, notify the supervisor
+    /// ([`Supervisor::on_quarantine`]) and keep executing the caller.
+    /// Falls back to `Terminate` when no operation is active.
+    Quarantine,
 }
 
 struct Frame {
@@ -155,6 +175,16 @@ pub struct Vm<S: Supervisor> {
     pub stats: VmStats,
     /// Optional execution trace.
     pub trace: Option<Trace>,
+    /// Log of every injected action and its outcome, in order.
+    pub inject_log: Vec<(InjectAction, InjectOutcome)>,
+    /// Verdicts of operations killed under
+    /// [`ContainmentMode::Quarantine`], in order.
+    pub contained: Vec<TrapError>,
+    /// What to do when the supervisor aborts an operation.
+    pub containment: ContainmentMode,
+    injector: Option<Box<dyn Injector>>,
+    pending_op_corrupt: Option<OpId>,
+    pending_arg_corrupt: Vec<(usize, u32)>,
     sp: u32,
     frames: Vec<Frame>,
     irq_depth: u32,
@@ -163,7 +193,7 @@ pub struct Vm<S: Supervisor> {
 impl<S: Supervisor> Vm<S> {
     /// Creates a VM, programs the image into the machine, and leaves it
     /// ready to [`run`](Vm::run).
-    pub fn new(machine: Machine, image: LoadedImage, supervisor: S) -> Result<Vm<S>, String> {
+    pub fn new(machine: Machine, image: LoadedImage, supervisor: S) -> Result<Vm<S>, ImageError> {
         let mut machine = machine;
         image.load_into(&mut machine)?;
         let sp = image.stack.end();
@@ -174,6 +204,12 @@ impl<S: Supervisor> Vm<S> {
             cpu: CpuContext::default(),
             stats: VmStats::default(),
             trace: None,
+            inject_log: Vec::new(),
+            contained: Vec::new(),
+            containment: ContainmentMode::Terminate,
+            injector: None,
+            pending_op_corrupt: None,
+            pending_arg_corrupt: Vec::new(),
             sp,
             frames: Vec::new(),
             irq_depth: 0,
@@ -185,9 +221,19 @@ impl<S: Supervisor> Vm<S> {
         self.trace = Some(Trace::new());
     }
 
+    /// Attaches a fault injector, polled between instructions.
+    pub fn set_injector(&mut self, injector: Box<dyn Injector>) {
+        self.injector = Some(injector);
+    }
+
     /// Current stack pointer (for tests and the monitor's assertions).
     pub fn sp(&self) -> u32 {
         self.sp
+    }
+
+    /// The innermost operation currently executing (0 = `main`).
+    pub fn current_op(&self) -> OpId {
+        self.frames.iter().rev().find_map(|f| f.op_call.as_ref().map(|oc| oc.op)).unwrap_or(0)
     }
 
     /// Runs the program from reset until halt, return of `main`, an
@@ -201,7 +247,7 @@ impl<S: Supervisor> Vm<S> {
         self.machine.mode = self.image.app_mode;
         self.supervisor
             .on_reset(&mut self.machine)
-            .map_err(|reason| VmError::Aborted { reason, pc: self.machine.current_pc })?;
+            .map_err(|trap| VmError::Aborted { trap, pc: self.machine.current_pc })?;
         let entry = self.image.entry;
         self.push_call(entry, Vec::new(), None)?;
         let mut remaining = fuel;
@@ -213,18 +259,180 @@ impl<S: Supervisor> Vm<S> {
             // Interrupt dispatch between instructions (cheap check,
             // throttled to every 32 steps).
             if remaining & 31 == 0 {
-                self.dispatch_irq()?;
+                if let Err(e) = self.dispatch_irq() {
+                    self.contain(e)?;
+                    continue;
+                }
             }
-            match self.step()? {
-                StepResult::Continue => {}
-                StepResult::Halted => {
+            // Fault injection between instructions.
+            if self.injector.is_some() {
+                if let Err(e) = self.apply_injections() {
+                    self.contain(e)?;
+                    continue;
+                }
+            }
+            match self.step() {
+                Ok(StepResult::Continue) => {}
+                Ok(StepResult::Halted) => {
                     return Ok(RunOutcome::Halted { cycles: self.machine.clock.now() })
                 }
-                StepResult::MainReturned(value) => {
+                Ok(StepResult::MainReturned(value)) => {
                     return Ok(RunOutcome::Returned { value, cycles: self.machine.clock.now() })
+                }
+                Err(e) => self.contain(e)?,
+            }
+        }
+    }
+
+    /// Decides what a run-loop error means under the containment mode:
+    /// under [`ContainmentMode::Quarantine`] an [`VmError::Aborted`]
+    /// with an active operation kills only that operation and the run
+    /// continues (`Ok`); everything else terminates the run (`Err`).
+    fn contain(&mut self, e: VmError) -> Result<(), VmError> {
+        match e {
+            VmError::Aborted { trap, pc } => {
+                if self.containment == ContainmentMode::Quarantine && self.quarantine(&trap)? {
+                    Ok(())
+                } else {
+                    Err(VmError::Aborted { trap, pc })
+                }
+            }
+            other => Err(other),
+        }
+    }
+
+    /// Unwinds the innermost active operation after a trap: pops its
+    /// frames (restoring interrupted modes for any nested IRQ frames),
+    /// restores the stack pointer, zeroes the operation's result in the
+    /// caller, and gives the supervisor a privileged
+    /// [`Supervisor::on_quarantine`] callback to drop its state for the
+    /// dead operation. Returns `false` when no operation frame exists
+    /// (the trap is then fatal).
+    fn quarantine(&mut self, trap: &TrapError) -> Result<bool, VmError> {
+        let Some(pos) = self.frames.iter().rposition(|f| f.op_call.is_some()) else {
+            return Ok(false);
+        };
+        if pos == 0 {
+            return Ok(false);
+        }
+        let mut op_frame = None;
+        while self.frames.len() > pos {
+            let f = self.frames.pop().expect("frame during unwind");
+            if let Some(mode) = f.irq_restore_mode {
+                self.machine.mode = mode;
+                self.irq_depth = self.irq_depth.saturating_sub(1);
+            }
+            op_frame = Some(f);
+        }
+        let frame = op_frame.expect("operation frame during unwind");
+        let op = frame.op_call.as_ref().map(|oc| oc.op).unwrap_or(0);
+        self.sp = frame.saved_sp;
+        self.notify_quarantine(op)?;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::OpExit(op, frame.func));
+        }
+        if let Some(dst) = frame.ret_dst {
+            self.set_reg(dst, 0);
+        }
+        self.contained.push(trap.clone());
+        self.stats.quarantines += 1;
+        Ok(true)
+    }
+
+    /// Runs the privileged quarantine callback; its errors are fatal.
+    fn notify_quarantine(&mut self, op: OpId) -> Result<(), VmError> {
+        self.charge(costs::EXC_ENTRY);
+        let mut resume_mode = self.machine.mode;
+        self.machine.mode = Mode::Privileged;
+        let result = self.supervisor.on_quarantine(&mut self.machine, op, &mut resume_mode);
+        self.machine.mode = resume_mode;
+        self.charge(costs::EXC_RETURN);
+        result.map_err(|trap| VmError::Aborted { trap, pc: self.machine.current_pc })
+    }
+
+    /// Polls the injector and applies its actions. Hostile accesses go
+    /// through the full checked pipeline; a trapped access surfaces as
+    /// the corresponding [`VmError::Aborted`] (which the run loop then
+    /// terminates or quarantines on).
+    fn apply_injections(&mut self) -> Result<(), VmError> {
+        let step = self.stats.insts;
+        let op = self.current_op();
+        let mut injector = self.injector.take().expect("injector present");
+        let actions = injector.actions(step, op);
+        self.injector = Some(injector);
+        for action in actions {
+            match action {
+                InjectAction::FlipBit { addr, bit } => {
+                    let outcome = if self.machine.flip_bit(addr, bit) {
+                        InjectOutcome::Applied
+                    } else {
+                        InjectOutcome::Skipped
+                    };
+                    self.inject_log.push((action, outcome));
+                }
+                InjectAction::HostileLoad { addr, size } => {
+                    match self.checked_load(addr, size, None, None) {
+                        Ok(value) => {
+                            self.inject_log.push((action, InjectOutcome::AccessOk { value }));
+                        }
+                        Err(VmError::Aborted { trap, pc }) => {
+                            self.inject_log.push((action, InjectOutcome::Trapped(trap.clone())));
+                            return Err(VmError::Aborted { trap, pc });
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                InjectAction::HostileStore { addr, size, value } => {
+                    match self.checked_store(addr, size, value, None, None) {
+                        Ok(()) => {
+                            self.inject_log.push((action, InjectOutcome::AccessOk { value }));
+                        }
+                        Err(VmError::Aborted { trap, pc }) => {
+                            self.inject_log.push((action, InjectOutcome::Trapped(trap.clone())));
+                            return Err(VmError::Aborted { trap, pc });
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                InjectAction::SmashCallerStack { value } => {
+                    // The innermost operation call whose caller left
+                    // live data on the stack; `saved_sp` is the lowest
+                    // address of that data, and under OPEC it always
+                    // falls in the SRD-disabled sub-regions of the
+                    // operation entered from it.
+                    let target = self
+                        .frames
+                        .iter()
+                        .rev()
+                        .filter(|f| f.op_call.is_some())
+                        .map(|f| f.saved_sp)
+                        .find(|&sp| sp < self.image.stack.end());
+                    let Some(addr) = target else {
+                        self.inject_log.push((action, InjectOutcome::Skipped));
+                        continue;
+                    };
+                    match self.checked_store(addr, 4, value, None, None) {
+                        Ok(()) => {
+                            self.inject_log.push((action, InjectOutcome::AccessOk { value }));
+                        }
+                        Err(VmError::Aborted { trap, pc }) => {
+                            self.inject_log.push((action, InjectOutcome::Trapped(trap.clone())));
+                            return Err(VmError::Aborted { trap, pc });
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                InjectAction::CorruptNextSwitchOp { bogus } => {
+                    self.pending_op_corrupt = Some(bogus);
+                    self.inject_log.push((action, InjectOutcome::Armed));
+                }
+                InjectAction::CorruptNextSwitchArg { index, value } => {
+                    self.pending_arg_corrupt.push((index, value));
+                    self.inject_log.push((action, InjectOutcome::Armed));
                 }
             }
         }
+        Ok(())
     }
 
     fn frame(&mut self) -> &mut Frame {
@@ -299,16 +507,22 @@ impl<S: Supervisor> Vm<S> {
                 Err(exc) => {
                     attempts += 1;
                     if attempts > 2 {
+                        let op = self.current_op();
                         return Err(VmError::Aborted {
-                            reason: format!("repeated fault loading {addr:#010x}"),
+                            trap: TrapError::new(
+                                op,
+                                TrapCause::Unrecoverable(format!(
+                                    "repeated fault loading {addr:#010x}"
+                                )),
+                            ),
                             pc: self.machine.current_pc,
                         });
                     }
                     match self.dispatch_fault(exc)? {
                         FaultFixup::Retry => continue,
                         FaultFixup::Emulated => return Ok(self.cpu.regs[rt as usize]),
-                        FaultFixup::Abort(reason) => {
-                            return Err(VmError::Aborted { reason, pc: self.machine.current_pc })
+                        FaultFixup::Abort(trap) => {
+                            return Err(VmError::Aborted { trap, pc: self.machine.current_pc })
                         }
                     }
                 }
@@ -335,16 +549,22 @@ impl<S: Supervisor> Vm<S> {
                 Err(exc) => {
                     attempts += 1;
                     if attempts > 2 {
+                        let op = self.current_op();
                         return Err(VmError::Aborted {
-                            reason: format!("repeated fault storing {addr:#010x}"),
+                            trap: TrapError::new(
+                                op,
+                                TrapCause::Unrecoverable(format!(
+                                    "repeated fault storing {addr:#010x}"
+                                )),
+                            ),
                             pc: self.machine.current_pc,
                         });
                     }
                     match self.dispatch_fault(exc)? {
                         FaultFixup::Retry => continue,
                         FaultFixup::Emulated => return Ok(()),
-                        FaultFixup::Abort(reason) => {
-                            return Err(VmError::Aborted { reason, pc: self.machine.current_pc })
+                        FaultFixup::Abort(trap) => {
+                            return Err(VmError::Aborted { trap, pc: self.machine.current_pc })
                         }
                     }
                 }
@@ -363,7 +583,10 @@ impl<S: Supervisor> Vm<S> {
             Exception::BusFault(fi) => {
                 self.supervisor.on_bus_fault(&mut self.machine, fi, &mut self.cpu)
             }
-            other => FaultFixup::Abort(format!("unrecoverable exception {}", other.name())),
+            other => FaultFixup::Abort(TrapError::internal(format!(
+                "unrecoverable exception {}",
+                other.name()
+            ))),
         };
         self.machine.mode = saved_mode;
         self.charge(costs::EXC_RETURN);
@@ -404,6 +627,26 @@ impl<S: Supervisor> Vm<S> {
         let mut op_call = None;
         if let Some(&op) = self.image.op_entries.get(&callee) {
             if self.supervisor.wants_switch(op) {
+                // Armed switch corruptions (a tampered SVC number or
+                // argument) fire here, before the supervisor sees the
+                // request.
+                let mut op = op;
+                if let Some(bogus) = self.pending_op_corrupt.take() {
+                    op = bogus;
+                    self.inject_log.push((
+                        InjectAction::CorruptNextSwitchOp { bogus },
+                        InjectOutcome::Applied,
+                    ));
+                }
+                for (index, value) in std::mem::take(&mut self.pending_arg_corrupt) {
+                    if index < args.len() {
+                        args[index] = value;
+                    }
+                    self.inject_log.push((
+                        InjectAction::CorruptNextSwitchArg { index, value },
+                        InjectOutcome::Applied,
+                    ));
+                }
                 self.stats.op_enters += 1;
                 self.charge(costs::EXC_ENTRY);
                 let saved_mode = self.machine.mode;
@@ -422,8 +665,7 @@ impl<S: Supervisor> Vm<S> {
                 let result = self.supervisor.on_operation_enter(&mut self.machine, &mut req);
                 self.machine.mode = app_mode;
                 self.charge(costs::EXC_RETURN);
-                result
-                    .map_err(|reason| VmError::Aborted { reason, pc: self.machine.current_pc })?;
+                result.map_err(|trap| VmError::Aborted { trap, pc: self.machine.current_pc })?;
                 if let Some(t) = &mut self.trace {
                     t.push(TraceEvent::OpEnter(op, callee));
                 }
@@ -529,7 +771,26 @@ impl<S: Supervisor> Vm<S> {
             let result = self.supervisor.on_operation_exit(&mut self.machine, &mut req);
             self.machine.mode = app_mode;
             self.charge(costs::EXC_RETURN);
-            result.map_err(|reason| VmError::Aborted { reason, pc: self.machine.current_pc })?;
+            if let Err(trap) = result {
+                // An exit-time violation (sanitization failure, context
+                // mismatch). The frame is already gone; under
+                // quarantine the operation's result is poisoned to zero
+                // and the caller resumes.
+                if self.containment == ContainmentMode::Quarantine && !self.frames.is_empty() {
+                    self.sp = frame.saved_sp;
+                    self.notify_quarantine(oc.op)?;
+                    if let Some(t) = &mut self.trace {
+                        t.push(TraceEvent::OpExit(oc.op, oc.entry));
+                    }
+                    if let Some(dst) = frame.ret_dst {
+                        self.set_reg(dst, 0);
+                    }
+                    self.contained.push(trap);
+                    self.stats.quarantines += 1;
+                    return Ok(None);
+                }
+                return Err(VmError::Aborted { trap, pc: self.machine.current_pc });
+            }
             if let Some(t) = &mut self.trace {
                 t.push(TraceEvent::OpExit(oc.op, oc.entry));
             }
@@ -721,8 +982,7 @@ impl<S: Supervisor> Vm<S> {
                 let result = self.supervisor.on_svc(&mut self.machine, imm);
                 self.machine.mode = saved_mode;
                 self.charge(costs::EXC_RETURN);
-                result
-                    .map_err(|reason| VmError::Aborted { reason, pc: self.machine.current_pc })?;
+                result.map_err(|trap| VmError::Aborted { trap, pc: self.machine.current_pc })?;
             }
             Inst::Halt => {
                 // `step` intercepts Halt before dispatching here.

@@ -191,7 +191,7 @@ fn mpu_violation_aborts_under_null_supervisor() {
         .unwrap();
     let mut vm = Vm::new(machine, image, NullSupervisor).unwrap();
     match vm.run(DEFAULT_FUEL).unwrap_err() {
-        VmError::Aborted { reason, .. } => assert!(reason.contains("MemManage")),
+        VmError::Aborted { trap, .. } => assert!(trap.to_string().contains("MemManage")),
         other => panic!("unexpected error {other:?}"),
     }
 }
@@ -206,7 +206,7 @@ struct Recorder {
 }
 
 impl Supervisor for Recorder {
-    fn on_reset(&mut self, machine: &mut Machine) -> Result<(), String> {
+    fn on_reset(&mut self, machine: &mut Machine) -> Result<(), TrapError> {
         machine.mode = Mode::Unprivileged;
         Ok(())
     }
@@ -215,7 +215,7 @@ impl Supervisor for Recorder {
         &mut self,
         _machine: &mut Machine,
         req: &mut SwitchRequest<'_>,
-    ) -> Result<(), String> {
+    ) -> Result<(), TrapError> {
         self.enters.push((req.op, req.args.first().copied().unwrap_or(0)));
         Ok(())
     }
@@ -224,7 +224,7 @@ impl Supervisor for Recorder {
         &mut self,
         _machine: &mut Machine,
         req: &mut SwitchRequest<'_>,
-    ) -> Result<(), String> {
+    ) -> Result<(), TrapError> {
         self.exits.push(req.op);
         Ok(())
     }
@@ -235,7 +235,7 @@ impl Supervisor for Recorder {
         fault: FaultInfo,
         _cpu: &mut CpuContext,
     ) -> FaultFixup {
-        FaultFixup::Abort(format!("mem fault at {:#010x}", fault.address))
+        FaultFixup::Abort(format!("mem fault at {:#010x}", fault.address).into())
     }
 
     fn on_bus_fault(
@@ -300,32 +300,32 @@ fn retry_fixup_reexecutes_the_access() {
     /// Grants an MPU region on first fault, then lets the access retry.
     struct Granter;
     impl Supervisor for Granter {
-        fn on_reset(&mut self, machine: &mut Machine) -> Result<(), String> {
+        fn on_reset(&mut self, machine: &mut Machine) -> Result<(), TrapError> {
             machine.mpu.enabled = true;
             machine.mode = Mode::Unprivileged;
             // Code + stack accessible; peripheral not yet mapped.
             machine
                 .mpu
                 .set_region(1, MpuRegion::new(0x0800_0000, 0x10_0000, RegionAttr::read_only(false)))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| TrapError::internal(e.to_string()))?;
             machine
                 .mpu
                 .set_region(2, MpuRegion::new(0x2000_0000, 0x4_0000, RegionAttr::read_write_xn()))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| TrapError::internal(e.to_string()))?;
             Ok(())
         }
         fn on_operation_enter(
             &mut self,
             _m: &mut Machine,
             _r: &mut SwitchRequest<'_>,
-        ) -> Result<(), String> {
+        ) -> Result<(), TrapError> {
             Ok(())
         }
         fn on_operation_exit(
             &mut self,
             _m: &mut Machine,
             _r: &mut SwitchRequest<'_>,
-        ) -> Result<(), String> {
+        ) -> Result<(), TrapError> {
             Ok(())
         }
         fn on_mem_fault(
@@ -349,7 +349,7 @@ fn retry_fixup_reexecutes_the_access() {
             fault: FaultInfo,
             _cpu: &mut CpuContext,
         ) -> FaultFixup {
-            FaultFixup::Abort(format!("bus fault at {:#010x}", fault.address))
+            FaultFixup::Abort(format!("bus fault at {:#010x}", fault.address).into())
         }
     }
 
@@ -398,6 +398,206 @@ fn thumb_reg_mapping_is_disjoint() {
     }
     let (rt, rn) = thumb_regs_for(None, None);
     assert_eq!((rt, rn), (0, 6));
+}
+
+/// Module + machine where `main` calls operation entry `task` (op 3),
+/// which performs a store to an address the MPU denies, and `main`
+/// then returns `task`'s result plus 100.
+fn rogue_op_setup() -> Vm<Recorder> {
+    let mut mb = ModuleBuilder::new("t");
+    let task = mb.func("task", vec![], Some(Ty::I32), "a.c", |fb| {
+        let p = fb.imm(0x2001_0000);
+        fb.store(Operand::Reg(p), Operand::Imm(7), 4);
+        fb.ret(Operand::Imm(7));
+    });
+    mb.func("main", vec![], Some(Ty::I32), "a.c", |fb| {
+        let r = fb.call(task, vec![]);
+        let out = fb.bin(BinOp::Add, Operand::Reg(r), Operand::Imm(100));
+        fb.ret(Operand::Reg(out));
+    });
+    let board = Board::stm32f4_discovery();
+    let mut image = link_baseline(mb.finish(), board).unwrap();
+    let task_id = image.module.func_by_name("task").unwrap();
+    image.op_entries.insert(task_id, 3);
+    let mut machine = Machine::new(board);
+    machine.mpu.enabled = true;
+    machine
+        .mpu
+        .set_region(1, MpuRegion::new(0x0800_0000, 0x10_0000, RegionAttr::read_only(false)))
+        .unwrap();
+    machine
+        .mpu
+        .set_region(2, MpuRegion::new(0x2000_0000, 0x1_0000, RegionAttr::read_write_xn()))
+        .unwrap();
+    machine
+        .mpu
+        .set_region(3, MpuRegion::new(0x2002_F000, 0x1000, RegionAttr::read_write_xn()))
+        .unwrap();
+    Vm::new(machine, image, Recorder::default()).unwrap()
+}
+
+#[test]
+fn quarantine_kills_only_the_offending_operation() {
+    let mut vm = rogue_op_setup();
+    vm.containment = ContainmentMode::Quarantine;
+    match vm.run(DEFAULT_FUEL).unwrap() {
+        // task's result is poisoned to 0; main still completes.
+        RunOutcome::Returned { value, .. } => assert_eq!(value, Some(100)),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(vm.stats.quarantines, 1);
+    assert_eq!(vm.contained.len(), 1);
+    assert!(vm.contained[0].to_string().contains("mem fault"));
+    // SP fully restored after the unwind + main's return.
+    assert_eq!(vm.sp(), vm.image.stack.end());
+    assert_eq!(vm.current_op(), 0);
+}
+
+#[test]
+fn terminate_mode_reports_the_typed_trap() {
+    let mut vm = rogue_op_setup();
+    match vm.run(DEFAULT_FUEL).unwrap_err() {
+        VmError::Aborted { trap, .. } => assert!(trap.to_string().contains("mem fault")),
+        other => panic!("unexpected error {other:?}"),
+    }
+    assert_eq!(vm.stats.quarantines, 0);
+}
+
+#[test]
+fn hostile_injection_is_adjudicated_by_the_mpu() {
+    use crate::inject::{InjectAction, InjectOutcome, ScheduledInjector};
+    // Denied under the Recorder's unprivileged setup...
+    let mut vm = rogue_op_setup();
+    vm.set_injector(Box::new(ScheduledInjector::new(vec![(
+        2,
+        InjectAction::HostileStore { addr: 0x2001_0100, size: 4, value: 0x41 },
+    )])));
+    let err = vm.run(DEFAULT_FUEL).unwrap_err();
+    assert!(matches!(err, VmError::Aborted { .. }));
+    assert!(vm
+        .inject_log
+        .iter()
+        .any(|(_, outcome)| matches!(outcome, InjectOutcome::Trapped(t) if t.to_string().contains("mem fault"))));
+    // ...but permitted (an escape) on the privileged, MPU-off baseline.
+    let mut mb = ModuleBuilder::new("t");
+    mb.func("main", vec![], None, "a.c", |fb| {
+        for _ in 0..32 {
+            fb.nop();
+        }
+        fb.halt();
+        fb.ret_void();
+    });
+    let mut vm = boot(mb.finish(), NullSupervisor);
+    vm.set_injector(Box::new(ScheduledInjector::new(vec![(
+        2,
+        InjectAction::HostileStore { addr: 0x2001_0100, size: 4, value: 0x41 },
+    )])));
+    vm.run(DEFAULT_FUEL).unwrap();
+    assert!(vm
+        .inject_log
+        .iter()
+        .any(|(_, outcome)| matches!(outcome, InjectOutcome::AccessOk { .. })));
+    assert_eq!(vm.machine.peek(0x2001_0100, 4), Some(0x41));
+}
+
+#[test]
+fn armed_switch_corruption_fires_at_the_next_switch() {
+    use crate::inject::{InjectAction, InjectOutcome, ScheduledInjector};
+    let mut mb = ModuleBuilder::new("t");
+    let task = mb.func("task", vec![("x", Ty::I32)], None, "a.c", |fb| fb.ret_void());
+    mb.func("main", vec![], None, "a.c", |fb| {
+        for _ in 0..8 {
+            fb.nop();
+        }
+        fb.call_void(task, vec![Operand::Imm(9)]);
+        fb.ret_void();
+    });
+    let board = Board::stm32f4_discovery();
+    let mut image = link_baseline(mb.finish(), board).unwrap();
+    let task_id = image.module.func_by_name("task").unwrap();
+    image.op_entries.insert(task_id, 3);
+    let mut vm = Vm::new(Machine::new(board), image, Recorder::default()).unwrap();
+    vm.set_injector(Box::new(ScheduledInjector::new(vec![
+        (2, InjectAction::CorruptNextSwitchOp { bogus: 9 }),
+        (2, InjectAction::CorruptNextSwitchArg { index: 0, value: 0xBAD }),
+    ])));
+    vm.run(DEFAULT_FUEL).unwrap();
+    // The supervisor saw the corrupted op id and argument.
+    assert_eq!(vm.supervisor.enters, vec![(9, 0xBAD)]);
+    let fired = vm
+        .inject_log
+        .iter()
+        .filter(|(_, outcome)| matches!(outcome, InjectOutcome::Applied))
+        .count();
+    assert_eq!(fired, 2);
+}
+
+#[test]
+fn flip_bit_injection_bypasses_the_mpu() {
+    use crate::inject::{InjectAction, InjectOutcome, ScheduledInjector};
+    let mut mb = ModuleBuilder::new("t");
+    let g = mb.global_init("counter", Ty::I32, vec![0, 0, 0, 0], "a.c");
+    mb.func("main", vec![], Some(Ty::I32), "a.c", |fb| {
+        for _ in 0..32 {
+            fb.nop();
+        }
+        let v = fb.load_global(g, 0, 4);
+        fb.ret(Operand::Reg(v));
+    });
+    let mut vm = boot(mb.finish(), NullSupervisor);
+    let addr = match vm.image.global_slots[0] {
+        GlobalSlot::Fixed(a) => a,
+        other => panic!("unexpected slot {other:?}"),
+    };
+    vm.set_injector(Box::new(ScheduledInjector::new(vec![(
+        2,
+        InjectAction::FlipBit { addr, bit: 3 },
+    )])));
+    match vm.run(DEFAULT_FUEL).unwrap() {
+        RunOutcome::Returned { value, .. } => assert_eq!(value, Some(8)),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(
+        vm.inject_log,
+        vec![(InjectAction::FlipBit { addr, bit: 3 }, InjectOutcome::Applied)]
+    );
+}
+
+#[test]
+fn smash_caller_stack_is_skipped_when_no_caller_data_is_on_the_stack() {
+    use crate::inject::{InjectAction, InjectOutcome, ScheduledInjector};
+    let mut mb = ModuleBuilder::new("t");
+    let task = mb.func("task", vec![], Some(Ty::I32), "a.c", |fb| {
+        for _ in 0..8 {
+            fb.nop();
+        }
+        fb.ret(Operand::Imm(7));
+    });
+    mb.func("main", vec![], Some(Ty::I32), "a.c", |fb| {
+        let r = fb.call(task, vec![]);
+        let out = fb.bin(BinOp::Add, Operand::Reg(r), Operand::Imm(100));
+        fb.ret(Operand::Reg(out));
+    });
+    let board = Board::stm32f4_discovery();
+    let mut image = link_baseline(mb.finish(), board).unwrap();
+    let task_id = image.module.func_by_name("task").unwrap();
+    image.op_entries.insert(task_id, 3);
+    let mut vm = Vm::new(Machine::new(board), image, Recorder::default()).unwrap();
+    vm.set_injector(Box::new(ScheduledInjector::new(vec![(
+        3,
+        InjectAction::SmashCallerStack { value: 0x4141_4141 },
+    )])));
+    // `main` passes no stack arguments, so the operation is entered
+    // with the caller's stack empty: there is nothing to smash and the
+    // action must degrade to Skipped rather than store anywhere.
+    match vm.run(DEFAULT_FUEL).unwrap() {
+        RunOutcome::Returned { value, .. } => assert_eq!(value, Some(107)),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(
+        vm.inject_log,
+        vec![(InjectAction::SmashCallerStack { value: 0x4141_4141 }, InjectOutcome::Skipped)]
+    );
 }
 
 #[test]

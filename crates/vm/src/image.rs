@@ -21,6 +21,56 @@ use opec_ir::{FuncId, Module};
 /// default `main` operation is id 0).
 pub type OpId = u8;
 
+/// Why an image could not be linked or loaded.
+///
+/// A malformed image is a *caller* error, not a simulator crash: every
+/// linking/loading path reports one of these instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The module defines no `main` function.
+    MissingMain,
+    /// Data sections grew into the stack window.
+    StackCollision {
+        /// One past the highest data address.
+        data_end: u32,
+        /// Base of the stack window.
+        stack_base: u32,
+    },
+    /// A flash initialisation record falls outside the board's flash.
+    FlashWrite {
+        /// Start address of the record.
+        addr: u32,
+        /// Length of the record in bytes.
+        len: u32,
+    },
+    /// An SRAM initialisation record falls outside the board's SRAM.
+    SramWrite {
+        /// Start address of the record.
+        addr: u32,
+        /// Length of the record in bytes.
+        len: u32,
+    },
+}
+
+impl core::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ImageError::MissingMain => write!(f, "module has no `main` function"),
+            ImageError::StackCollision { data_end, stack_base } => {
+                write!(f, "data ({data_end:#010x}) collides with stack ({stack_base:#010x})")
+            }
+            ImageError::FlashWrite { addr, len } => {
+                write!(f, "flash write out of range: {addr:#010x}+{len:#x}")
+            }
+            ImageError::SramWrite { addr, len } => {
+                write!(f, "sram write out of range: {addr:#010x}+{len:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
 /// How compiled code reaches a global variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GlobalSlot {
@@ -77,12 +127,16 @@ pub struct LoadedImage {
 
 impl LoadedImage {
     /// Programs the image into a machine (flash + SRAM initial data).
-    pub fn load_into(&self, machine: &mut Machine) -> Result<(), String> {
+    pub fn load_into(&self, machine: &mut Machine) -> Result<(), ImageError> {
         for (addr, bytes) in &self.flash_init {
-            machine.load_flash(*addr, bytes)?;
+            machine
+                .load_flash(*addr, bytes)
+                .map_err(|_| ImageError::FlashWrite { addr: *addr, len: bytes.len() as u32 })?;
         }
         for (addr, bytes) in &self.sram_init {
-            machine.load_sram(*addr, bytes)?;
+            machine
+                .load_sram(*addr, bytes)
+                .map_err(|_| ImageError::SramWrite { addr: *addr, len: bytes.len() as u32 })?;
         }
         Ok(())
     }
@@ -141,7 +195,7 @@ pub const DEFAULT_STACK_SIZE: u32 = 0x1000;
 /// Links a **baseline** (vanilla) image: no isolation, all globals at
 /// fixed addresses, application runs privileged with the MPU off — the
 /// measurement baseline of the paper's evaluation.
-pub fn link_baseline(module: Module, board: Board) -> Result<LoadedImage, String> {
+pub fn link_baseline(module: Module, board: Board) -> Result<LoadedImage, ImageError> {
     let code_base = board.flash.base;
     let (func_addrs, inst_addrs, code_end) = layout_code(&module, code_base);
     // Constant globals go to flash after the code; mutable globals to
@@ -172,15 +226,11 @@ pub fn link_baseline(module: Module, board: Board) -> Result<LoadedImage, String
             sram_cursor += size;
         }
     }
-    let entry =
-        module.func_by_name("main").ok_or_else(|| "module has no `main` function".to_string())?;
+    let entry = module.func_by_name("main").ok_or(ImageError::MissingMain)?;
     let stack_top = board.sram.end();
     let stack = MemRegion::new(stack_top - DEFAULT_STACK_SIZE, DEFAULT_STACK_SIZE);
     if sram_cursor > stack.base {
-        return Err(format!(
-            "data ({:#010x}) collides with stack ({:#010x})",
-            sram_cursor, stack.base
-        ));
+        return Err(ImageError::StackCollision { data_end: sram_cursor, stack_base: stack.base });
     }
     let flash_used = flash_cursor - board.flash.base;
     let sram_used = (sram_cursor - board.sram.base) + stack.size;
@@ -293,6 +343,17 @@ mod tests {
         let mut mb = ModuleBuilder::new("nomain");
         mb.func("not_main", vec![], None, "a.c", |fb| fb.ret_void());
         let err = link_baseline(mb.finish(), Board::stm32f4_discovery()).unwrap_err();
-        assert!(err.contains("main"));
+        assert_eq!(err, ImageError::MissingMain);
+        assert!(err.to_string().contains("main"));
+    }
+
+    #[test]
+    fn oversized_init_record_is_a_typed_error() {
+        let mut img = link_baseline(tiny_module(), Board::stm32f4_discovery()).unwrap();
+        img.sram_init.push((0x3FFF_FFF0, vec![0u8; 64]));
+        let mut m = Machine::new(Board::stm32f4_discovery());
+        let err = img.load_into(&mut m).unwrap_err();
+        assert_eq!(err, ImageError::SramWrite { addr: 0x3FFF_FFF0, len: 64 });
+        assert!(err.to_string().contains("out of range"));
     }
 }

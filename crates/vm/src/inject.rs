@@ -1,0 +1,152 @@
+//! The fault-injection hook.
+//!
+//! An [`Injector`] attached to the VM is polled between instructions and
+//! may emit [`InjectAction`]s that perturb the run: physical bit flips
+//! (which bypass the MPU, modelling a hardware fault), *hostile*
+//! loads/stores issued at the application's current privilege level
+//! (which go through the full privilege/MPU/supervisor pipeline exactly
+//! like compromised application code would), and corruption of the next
+//! operation-switch request (a tampered SVC number or argument).
+//!
+//! The VM records every action with an [`InjectOutcome`] in
+//! [`Vm::inject_log`](crate::Vm::inject_log); campaign drivers (the
+//! `opec-inject` crate, `opec-eval attack-matrix`) score those logs into
+//! containment verdicts. The trait lives here, next to the VM, so attack
+//! libraries can implement it without depending on the runtime crates.
+
+use crate::image::OpId;
+use crate::supervisor::TrapError;
+
+/// A single perturbation requested by an [`Injector`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectAction {
+    /// Flip bit `bit` (0–7) of the byte at `addr`, bypassing the MPU —
+    /// a physical memory fault.
+    FlipBit {
+        /// Target address.
+        addr: u32,
+        /// Bit index within the byte (0–7).
+        bit: u8,
+    },
+    /// Perform a load at the application's current privilege level —
+    /// hostile code reading memory it may not own.
+    HostileLoad {
+        /// Target address.
+        addr: u32,
+        /// Access size (1, 2 or 4).
+        size: u8,
+    },
+    /// Perform a store at the application's current privilege level —
+    /// hostile code writing memory it may not own.
+    HostileStore {
+        /// Target address.
+        addr: u32,
+        /// Access size (1, 2 or 4).
+        size: u8,
+        /// Value to write.
+        value: u32,
+    },
+    /// Overwrite the caller's stack frame: a hostile store through the
+    /// saved stack pointer of the innermost operation call whose caller
+    /// actually has live stack data. The VM resolves the address at
+    /// fire time (stack depth is runtime state); if no operation call
+    /// has caller data on the stack, the action is
+    /// [`InjectOutcome::Skipped`].
+    SmashCallerStack {
+        /// Value to write over the caller's topmost stack word.
+        value: u32,
+    },
+    /// Replace the operation id of the next operation-switch SVC with a
+    /// bogus value (a corrupted SVC number).
+    CorruptNextSwitchOp {
+        /// The bogus operation id.
+        bogus: OpId,
+    },
+    /// Overwrite argument `index` of the next operation-switch request
+    /// (a corrupted stack/register argument).
+    CorruptNextSwitchArg {
+        /// Argument index.
+        index: usize,
+        /// Replacement value.
+        value: u32,
+    },
+}
+
+/// What happened when the VM applied an [`InjectAction`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectOutcome {
+    /// The perturbation landed (bit flipped, or an armed switch
+    /// corruption fired at a switch).
+    Applied,
+    /// The target address is unmapped; the perturbation had no effect.
+    Skipped,
+    /// A hostile access was *permitted* by the machine — under an
+    /// isolation runtime this is an escape.
+    AccessOk {
+        /// The value loaded (or echoed back for a store).
+        value: u32,
+    },
+    /// A hostile access was stopped by the supervisor with this
+    /// verdict — the containment outcome.
+    Trapped(TrapError),
+    /// A switch corruption was armed and waits for the next operation
+    /// switch.
+    Armed,
+}
+
+/// A deterministic fault/attack source polled by the VM step loop.
+pub trait Injector {
+    /// Called between instructions with the executed-instruction count
+    /// and the currently executing operation (0 = `main`). Returns the
+    /// perturbations to apply before the next instruction; an empty
+    /// vector means "not yet".
+    fn actions(&mut self, step: u64, current_op: OpId) -> Vec<InjectAction>;
+}
+
+/// A trivial injector driven by a pre-built schedule of
+/// `(fire-at-step, action)` pairs; mostly for tests.
+#[derive(Debug, Default)]
+pub struct ScheduledInjector {
+    schedule: Vec<(u64, InjectAction)>,
+}
+
+impl ScheduledInjector {
+    /// Builds an injector that fires `action` once `step` is reached.
+    pub fn new(mut schedule: Vec<(u64, InjectAction)>) -> ScheduledInjector {
+        schedule.sort_by_key(|(s, _)| *s);
+        ScheduledInjector { schedule }
+    }
+}
+
+impl Injector for ScheduledInjector {
+    fn actions(&mut self, step: u64, _current_op: OpId) -> Vec<InjectAction> {
+        let mut due = Vec::new();
+        while let Some((s, _)) = self.schedule.first() {
+            if *s > step {
+                break;
+            }
+            due.push(self.schedule.remove(0).1);
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_injector_fires_in_order_once() {
+        let mut inj = ScheduledInjector::new(vec![
+            (10, InjectAction::FlipBit { addr: 0x2000_0000, bit: 0 }),
+            (5, InjectAction::HostileLoad { addr: 0x4000_0000, size: 4 }),
+        ]);
+        assert!(inj.actions(1, 0).is_empty());
+        assert_eq!(
+            inj.actions(7, 0),
+            vec![InjectAction::HostileLoad { addr: 0x4000_0000, size: 4 }]
+        );
+        assert_eq!(inj.actions(20, 0), vec![InjectAction::FlipBit { addr: 0x2000_0000, bit: 0 }]);
+        assert!(inj.actions(30, 0).is_empty());
+    }
+}

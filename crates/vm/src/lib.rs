@@ -31,12 +31,15 @@
 
 pub mod exec;
 pub mod image;
+pub mod inject;
 pub mod supervisor;
 pub mod trace;
 
-pub use exec::{RunOutcome, Vm, VmError, VmStats};
-pub use image::{link_baseline, GlobalSlot, LoadedImage, OpId};
+pub use exec::{ContainmentMode, RunOutcome, Vm, VmError, VmStats};
+pub use image::{link_baseline, GlobalSlot, ImageError, LoadedImage, OpId};
+pub use inject::{InjectAction, InjectOutcome, Injector, ScheduledInjector};
 pub use supervisor::{
-    CpuContext, FaultFixup, NullSupervisor, Supervisor, SwitchKind, SwitchRequest,
+    CpuContext, FaultFixup, NullSupervisor, Supervisor, SwitchKind, SwitchRequest, TrapCause,
+    TrapError,
 };
 pub use trace::{Trace, TraceEvent};

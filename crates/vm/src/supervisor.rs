@@ -8,9 +8,18 @@
 //! [`CpuContext`] mirroring the architectural register file of the
 //! interrupted code (what a handler reads from the stacked exception
 //! frame).
+//!
+//! Supervisor verdicts are *typed*: a policy violation surfaces as a
+//! [`TrapError`] naming the offending operation and a [`TrapCause`],
+//! which the VM either turns into a clean
+//! [`VmError::Aborted`](crate::VmError::Aborted) termination or — under
+//! [`ContainmentMode::Quarantine`](crate::exec::ContainmentMode) — uses
+//! to kill only the offending operation and keep running.
 
-use opec_armv7m::{FaultInfo, Machine};
+use opec_armv7m::{FaultInfo, Machine, Mode};
 use opec_ir::FuncId;
+
+use crate::image::OpId;
 
 /// Architectural register file (r0–r12, sp, lr, pc) visible to fault
 /// handlers, as stacked/banked state.
@@ -32,8 +41,130 @@ impl CpuContext {
     }
 }
 
+/// Why a supervisor terminated (or quarantined) an operation.
+///
+/// The variants form the paper's fault model (§5.2/§7): each one is a
+/// distinct way a compromised or faulty operation can be caught.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrapCause {
+    /// A data access (SRAM, stack, or peripheral window) outside the
+    /// operation's policy.
+    PolicyDeniedMem {
+        /// The faulting address.
+        address: u32,
+        /// `true` for a store, `false` for a load.
+        write: bool,
+    },
+    /// A core-peripheral (PPB) access outside the operation's allow
+    /// list.
+    PolicyDeniedCore {
+        /// The faulting address.
+        address: u32,
+    },
+    /// A sanitized shared variable left the operation holding an
+    /// out-of-range value.
+    Sanitization {
+        /// Variable name.
+        var: String,
+        /// The offending value.
+        value: u32,
+        /// Inclusive lower bound of the permitted range.
+        lo: i64,
+        /// Inclusive upper bound of the permitted range.
+        hi: i64,
+    },
+    /// A malformed operation switch: unknown operation id, mismatched
+    /// enter/exit pairing, or a corrupted switch request.
+    BadSwitch {
+        /// What was wrong with the switch.
+        detail: String,
+    },
+    /// An MPU (MemManage) fault no policy could account for.
+    MemFault {
+        /// The faulting address.
+        address: u32,
+    },
+    /// A bus fault (unmapped address, or PPB access that no handler
+    /// emulates).
+    BusFault {
+        /// The faulting address.
+        address: u32,
+    },
+    /// Anything the runtime cannot attribute to a policy decision
+    /// (repeated faults, unrecoverable exceptions, internal limits).
+    Unrecoverable(String),
+}
+
+impl core::fmt::Display for TrapCause {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TrapCause::PolicyDeniedMem { address, write } => {
+                let what = if *write { "write" } else { "read" };
+                write!(f, "denied {what} access to {address:#010x}")
+            }
+            TrapCause::PolicyDeniedCore { address } => {
+                write!(f, "denied core-peripheral access to {address:#010x}")
+            }
+            TrapCause::Sanitization { var, value, lo, hi } => {
+                write!(f, "sanitization failed: {var} value {value} outside [{lo}, {hi}]")
+            }
+            TrapCause::BadSwitch { detail } => write!(f, "bad operation switch: {detail}"),
+            TrapCause::MemFault { address } => {
+                write!(f, "unhandled MemManage fault at {address:#010x}")
+            }
+            TrapCause::BusFault { address } => {
+                write!(f, "unhandled bus fault at {address:#010x}")
+            }
+            TrapCause::Unrecoverable(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// A typed trap verdict: which operation misbehaved and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrapError {
+    /// The operation that was current when the trap fired (0 = the
+    /// implicit `main` operation).
+    pub op: OpId,
+    /// Why the supervisor stopped it.
+    pub cause: TrapCause,
+}
+
+impl TrapError {
+    /// Builds a trap attributed to operation `op`.
+    pub fn new(op: OpId, cause: TrapCause) -> TrapError {
+        TrapError { op, cause }
+    }
+
+    /// Builds an unattributed, unrecoverable trap (internal errors,
+    /// pre-`main` failures).
+    pub fn internal(msg: impl Into<String>) -> TrapError {
+        TrapError { op: 0, cause: TrapCause::Unrecoverable(msg.into()) }
+    }
+}
+
+impl core::fmt::Display for TrapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "operation {}: {}", self.op, self.cause)
+    }
+}
+
+impl std::error::Error for TrapError {}
+
+impl From<String> for TrapError {
+    fn from(msg: String) -> TrapError {
+        TrapError::internal(msg)
+    }
+}
+
+impl From<&str> for TrapError {
+    fn from(msg: &str) -> TrapError {
+        TrapError::internal(msg.to_string())
+    }
+}
+
 /// What the supervisor decided about a faulting access.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FaultFixup {
     /// The handler adjusted machine state (e.g. remapped an MPU region);
     /// the VM re-executes the faulting access.
@@ -42,10 +173,11 @@ pub enum FaultFixup {
     /// load, the result has been written to the `rt` register of the
     /// [`CpuContext`] (decoded from the faulting instruction).
     Emulated,
-    /// The fault is a genuine violation; the program is terminated with
-    /// this reason. This is the paper's security outcome: a compromised
-    /// or buggy operation touching memory outside its policy is stopped.
-    Abort(String),
+    /// The fault is a genuine violation; the offending operation is
+    /// terminated (or quarantined) with this verdict. This is the
+    /// paper's security outcome: a compromised or buggy operation
+    /// touching memory outside its policy is stopped.
+    Abort(TrapError),
 }
 
 /// Direction of an operation switch.
@@ -96,24 +228,24 @@ pub trait Supervisor {
     /// Runs once before `main`, with the machine still privileged: the
     /// monitor's initialisation (shadow-copy setup, exception enabling,
     /// MPU programming, privilege drop).
-    fn on_reset(&mut self, machine: &mut Machine) -> Result<(), String>;
+    fn on_reset(&mut self, machine: &mut Machine) -> Result<(), TrapError>;
 
     /// Handles the SVC raised before calling an operation entry.
     fn on_operation_enter(
         &mut self,
         machine: &mut Machine,
         req: &mut SwitchRequest<'_>,
-    ) -> Result<(), String>;
+    ) -> Result<(), TrapError>;
 
     /// Handles the SVC raised after an operation entry returns.
     fn on_operation_exit(
         &mut self,
         machine: &mut Machine,
         req: &mut SwitchRequest<'_>,
-    ) -> Result<(), String>;
+    ) -> Result<(), TrapError>;
 
     /// Handles an explicit `svc #imm` instruction.
-    fn on_svc(&mut self, _machine: &mut Machine, _imm: u8) -> Result<(), String> {
+    fn on_svc(&mut self, _machine: &mut Machine, _imm: u8) -> Result<(), TrapError> {
         Ok(())
     }
 
@@ -132,6 +264,22 @@ pub trait Supervisor {
         fault: FaultInfo,
         cpu: &mut CpuContext,
     ) -> FaultFixup;
+
+    /// Invoked (privileged) after the VM unwound a quarantined
+    /// operation `op`: the runtime must discard any per-operation state
+    /// it holds for `op` (context stack entry, relocations) and
+    /// reprogram the MPU for the surviving context. `resume_mode` is
+    /// the privilege level application code resumes at; the supervisor
+    /// may change it. Errors here are unrecoverable (the run
+    /// terminates).
+    fn on_quarantine(
+        &mut self,
+        _machine: &mut Machine,
+        _op: OpId,
+        _resume_mode: &mut Mode,
+    ) -> Result<(), TrapError> {
+        Ok(())
+    }
 }
 
 /// The baseline supervisor: no isolation, no fault tolerance.
@@ -142,7 +290,7 @@ pub trait Supervisor {
 pub struct NullSupervisor;
 
 impl Supervisor for NullSupervisor {
-    fn on_reset(&mut self, _machine: &mut Machine) -> Result<(), String> {
+    fn on_reset(&mut self, _machine: &mut Machine) -> Result<(), TrapError> {
         Ok(())
     }
 
@@ -150,7 +298,7 @@ impl Supervisor for NullSupervisor {
         &mut self,
         _machine: &mut Machine,
         _req: &mut SwitchRequest<'_>,
-    ) -> Result<(), String> {
+    ) -> Result<(), TrapError> {
         Ok(())
     }
 
@@ -158,7 +306,7 @@ impl Supervisor for NullSupervisor {
         &mut self,
         _machine: &mut Machine,
         _req: &mut SwitchRequest<'_>,
-    ) -> Result<(), String> {
+    ) -> Result<(), TrapError> {
         Ok(())
     }
 
@@ -168,7 +316,7 @@ impl Supervisor for NullSupervisor {
         fault: FaultInfo,
         _cpu: &mut CpuContext,
     ) -> FaultFixup {
-        FaultFixup::Abort(format!("unhandled MemManage fault at {:#010x}", fault.address))
+        FaultFixup::Abort(TrapError::new(0, TrapCause::MemFault { address: fault.address }))
     }
 
     fn on_bus_fault(
@@ -177,7 +325,7 @@ impl Supervisor for NullSupervisor {
         fault: FaultInfo,
         _cpu: &mut CpuContext,
     ) -> FaultFixup {
-        FaultFixup::Abort(format!("unhandled BusFault at {:#010x}", fault.address))
+        FaultFixup::Abort(TrapError::new(0, TrapCause::BusFault { address: fault.address }))
     }
 }
 
@@ -208,5 +356,20 @@ mod tests {
         let mut cpu = CpuContext::default();
         assert!(matches!(s.on_mem_fault(&mut m, fi, &mut cpu), FaultFixup::Abort(_)));
         assert!(matches!(s.on_bus_fault(&mut m, fi, &mut cpu), FaultFixup::Abort(_)));
+    }
+
+    #[test]
+    fn trap_display_preserves_policy_wording() {
+        let t = TrapError::new(3, TrapCause::PolicyDeniedMem { address: 0x2000_0100, write: true });
+        assert!(t.to_string().contains("denied write"));
+        let t = TrapError::new(1, TrapCause::PolicyDeniedCore { address: 0xE000_E010 });
+        assert!(t.to_string().contains("core-peripheral"));
+        let t = TrapError::new(
+            2,
+            TrapCause::Sanitization { var: "lock_state".into(), value: 9, lo: 0, hi: 1 },
+        );
+        assert!(t.to_string().contains("sanitization failed"));
+        let t: TrapError = "boom".into();
+        assert_eq!(t.cause, TrapCause::Unrecoverable("boom".into()));
     }
 }

@@ -96,7 +96,7 @@ fn main() {
     let policy = out.policy.clone();
     let mut vm = Vm::new(machine, out.image, opec::core::OpecMonitor::new(policy)).unwrap();
     match vm.run(10_000_000) {
-        Err(VmError::Aborted { reason, .. }) => {
+        Err(VmError::Aborted { trap: reason, .. }) => {
             println!("\nout-of-policy peripheral access stopped: {reason}");
         }
         other => panic!("expected denial, got {other:?}"),

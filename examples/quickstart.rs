@@ -102,7 +102,7 @@ fn main() {
     let policy = out.policy.clone();
     let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).expect("vm");
     match vm.run(10_000_000) {
-        Err(VmError::Aborted { reason, pc }) => {
+        Err(VmError::Aborted { trap: reason, pc }) => {
             println!("\nrogue task stopped at {pc:#010x}: {reason}");
         }
         other => panic!("the rogue write should have been stopped, got {other:?}"),

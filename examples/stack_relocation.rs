@@ -97,7 +97,7 @@ fn main() {
     let policy = out.policy.clone();
     let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).unwrap();
     match vm.run(10_000_000) {
-        Err(VmError::Aborted { reason, .. }) => {
+        Err(VmError::Aborted { trap: reason, .. }) => {
             println!("\nwrite into the caller's frame stopped: {reason}");
         }
         other => panic!("expected the stack write to be stopped, got {other:?}"),

@@ -104,7 +104,8 @@ fn nesting_depth_is_bounded_by_stack_subregions() {
     let specs: Vec<_> = names.iter().map(OperationSpec::plain).collect();
     let mut vm = boot(mb.finish(), &specs);
     match vm.run(FUEL) {
-        Err(VmError::Aborted { reason, .. }) => {
+        Err(VmError::Aborted { trap, .. }) => {
+            let reason = trap.to_string();
             assert!(
                 reason.contains("no stack sub-region"),
                 "expected clean stack-exhaustion refusal, got: {reason}"

@@ -48,7 +48,8 @@ fn run_expecting_abort(module: Module, specs: Vec<OperationSpec>, needle: &str) 
     let policy = out.policy.clone();
     let mut vm = Vm::new(machine, out.image, OpecMonitor::new(policy)).unwrap();
     match vm.run(FUEL) {
-        Err(VmError::Aborted { reason, .. }) => {
+        Err(VmError::Aborted { trap, .. }) => {
+            let reason = trap.to_string();
             assert!(reason.contains(needle), "abort reason {reason:?} lacks {needle:?}")
         }
         other => panic!("attack should abort, got {other:?}"),
