@@ -22,6 +22,7 @@ use opec_armv7m::mem::MemRegion;
 use opec_armv7m::mpu::{region_size_for, MpuRegion, RegionAttr};
 use opec_armv7m::{Board, FaultInfo, Machine, Mode};
 use opec_ir::Module;
+use opec_obs::{Event, Obs};
 use opec_vm::{CpuContext, FaultFixup, OpId, Supervisor, SwitchRequest, TrapCause, TrapError};
 
 use crate::regions::DataRegions;
@@ -46,6 +47,7 @@ pub struct AcesRuntime {
     stack: MemRegion,
     main_comp: OpId,
     current: Vec<OpId>,
+    obs: Obs,
     /// Counters for the evaluation.
     pub stats: AcesStats,
 }
@@ -83,6 +85,7 @@ impl AcesRuntime {
             stack,
             main_comp,
             current: Vec::new(),
+            obs: Obs::disabled(),
             stats: AcesStats::default(),
         }
     }
@@ -129,7 +132,13 @@ impl AcesRuntime {
             regions.push((7, p));
         }
         machine.clock.tick(opec_armv7m::clock::costs::MPU_REGION_WRITE * regions.len() as u64);
-        machine.mpu.load_regions(&regions).map_err(|e| format!("ACES MPU programming: {e}"))
+        self.obs.set_now(machine.clock.now());
+        machine.mpu.load_regions(&regions).map_err(|e| format!("ACES MPU programming: {e}"))?;
+        self.obs.emit(|| Event::CompartmentMode {
+            comp,
+            privileged: self.privileged[usize::from(comp)],
+        });
+        Ok(())
     }
 
     fn mode_for(&self, comp: OpId) -> Mode {
@@ -157,6 +166,10 @@ fn covering_all(windows: &[MemRegion]) -> Option<MpuRegion> {
 }
 
 impl Supervisor for AcesRuntime {
+    fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+    }
+
     fn wants_switch(&mut self, op: u8) -> bool {
         if op == self.current_comp() {
             self.stats.same_comp_calls += 1;
@@ -286,7 +299,7 @@ mod tests {
             out.stack,
             main_comp,
         );
-        Vm::new(Machine::new(board), out.image, rt).unwrap()
+        Vm::builder(Machine::new(board), out.image).supervisor(rt).build().unwrap()
     }
 
     fn sample() -> Module {

@@ -566,7 +566,7 @@ pub fn app() -> super::App {
 mod tests {
     use super::*;
     use crate::programs::harness;
-    use opec_vm::{link_baseline, NullSupervisor, Vm};
+    use opec_vm::{link_baseline, Vm};
 
     #[test]
     fn module_is_valid_with_nine_operations() {
@@ -582,7 +582,7 @@ mod tests {
         let image = link_baseline(module, board).unwrap();
         let mut machine = Machine::new(board);
         setup(&mut machine);
-        let mut vm = Vm::new(machine, image, NullSupervisor).unwrap();
+        let mut vm = Vm::builder(machine, image).build().unwrap();
         vm.run(harness::FUEL).unwrap();
         // Read the stored result.
         let g = vm.image.module.global_by_name("bench_result").unwrap();

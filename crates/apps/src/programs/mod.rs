@@ -58,7 +58,7 @@ pub(crate) mod harness {
 
     use super::*;
     use opec_core::{compile, OpecMonitor};
-    use opec_vm::{link_baseline, NullSupervisor, RunOutcome, Vm};
+    use opec_vm::{link_baseline, RunOutcome, Vm};
 
     /// Generous fuel for full workload runs.
     pub const FUEL: u64 = opec_vm::exec::DEFAULT_FUEL;
@@ -69,7 +69,7 @@ pub(crate) mod harness {
         let image = link_baseline(module, app.board).unwrap();
         let mut machine = Machine::new(app.board);
         (app.setup)(&mut machine);
-        let mut vm = Vm::new(machine, image, NullSupervisor).unwrap();
+        let mut vm = Vm::builder(machine, image).build().unwrap();
         let out = vm.run(FUEL).unwrap_or_else(|e| panic!("{} baseline: {e}", app.name));
         assert!(matches!(out, RunOutcome::Halted { .. }), "{} must halt", app.name);
         (app.check)(&mut vm.machine).unwrap_or_else(|e| panic!("{} baseline check: {e}", app.name));
@@ -83,7 +83,10 @@ pub(crate) mod harness {
             .unwrap_or_else(|e| panic!("{} compile: {e}", app.name));
         let mut machine = Machine::new(app.board);
         (app.setup)(&mut machine);
-        let mut vm = Vm::new(machine, out.image, OpecMonitor::new(out.policy)).unwrap();
+        let mut vm = Vm::builder(machine, out.image)
+            .supervisor(OpecMonitor::new(out.policy))
+            .build()
+            .unwrap();
         let run = vm.run(FUEL).unwrap_or_else(|e| panic!("{} under OPEC: {e}", app.name));
         assert!(matches!(run, RunOutcome::Halted { .. }), "{} must halt", app.name);
         (app.check)(&mut vm.machine).unwrap_or_else(|e| panic!("{} OPEC check: {e}", app.name));

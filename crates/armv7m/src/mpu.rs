@@ -225,6 +225,9 @@ pub struct Mpu {
     /// When set, privileged accesses that match no region use the default
     /// (background) memory map instead of faulting (MPU_CTRL.PRIVDEFENA).
     pub priv_default_enabled: bool,
+    /// Observability handle; region writes are emitted as events
+    /// (disabled by default, attached by the VM builder).
+    obs: opec_obs::Obs,
 }
 
 impl Default for Mpu {
@@ -236,7 +239,21 @@ impl Default for Mpu {
 impl Mpu {
     /// Creates a disabled MPU with no regions programmed.
     pub fn new() -> Mpu {
-        Mpu { regions: [None; MPU_NUM_REGIONS], enabled: false, priv_default_enabled: true }
+        Mpu {
+            regions: [None; MPU_NUM_REGIONS],
+            enabled: false,
+            priv_default_enabled: true,
+            obs: opec_obs::Obs::disabled(),
+        }
+    }
+
+    /// Attaches an observability handle; every subsequent region write
+    /// emits an [`opec_obs::Event::MpuRegionWrite`]. The MPU has no
+    /// clock, so events carry the stream's last timestamp (the
+    /// emitting supervisor advances it via
+    /// [`opec_obs::Obs::set_now`]).
+    pub fn attach_obs(&mut self, obs: opec_obs::Obs) {
+        self.obs = obs;
     }
 
     /// Programs region `number`, validating architectural constraints.
@@ -246,6 +263,12 @@ impl Mpu {
         }
         region.validate()?;
         self.regions[number] = Some(region);
+        self.obs.emit(|| opec_obs::Event::MpuRegionWrite {
+            slot: number as u8,
+            base: region.base,
+            size: region.size,
+            srd: region.srd,
+        });
         Ok(())
     }
 
@@ -275,6 +298,7 @@ impl Mpu {
             fresh[number] = Some(region);
         }
         self.regions = fresh;
+        self.obs.emit(|| opec_obs::Event::MpuLoad { regions: regions.len() as u8 });
         Ok(())
     }
 

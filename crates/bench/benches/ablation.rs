@@ -60,7 +60,8 @@ fn cycles_of(module: Module, specs: &[OperationSpec]) -> (u64, opec_core::Monito
     let policy = out.policy.clone();
     let mut machine = Machine::new(board);
     opec_devices::install_standard_devices(&mut machine, Default::default()).unwrap();
-    let mut vm = Vm::new(machine, out.image, OpecMonitor::new(policy)).expect("vm");
+    let mut vm =
+        Vm::builder(machine, out.image).supervisor(OpecMonitor::new(policy)).build().expect("vm");
     let cycles = vm.run(opec_bench::FUEL).expect("run").cycles();
     (cycles, vm.supervisor.stats)
 }
@@ -182,7 +183,10 @@ fn ablate_mpu_virtualization() {
         let policy = out.policy.clone();
         let mut machine = Machine::new(board);
         opec_devices::install_standard_devices(&mut machine, Default::default()).unwrap();
-        let mut vm = Vm::new(machine, out.image, OpecMonitor::new(policy)).expect("vm");
+        let mut vm = Vm::builder(machine, out.image)
+            .supervisor(OpecMonitor::new(policy))
+            .build()
+            .expect("vm");
         let cycles = vm.run(opec_bench::FUEL).expect("run").cycles();
         println!(
             "{:>11}  {:>14}  {:>11}  {:>6}",

@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(opec_eval::et_by_task(&eval)));
     });
     g.bench_function("LCD-uSD/traced-run", |b| {
-        b.iter(|| std::hint::black_box(evaluate_app(&app, false).opec.trace.events.len()));
+        b.iter(|| std::hint::black_box(evaluate_app(&app, false).opec.trace.len()));
     });
     g.finish();
 }

@@ -20,7 +20,7 @@ fn run_aces_once(app: &opec_apps::App, strategy: AcesStrategy) -> u64 {
     );
     let mut machine = Machine::new(app.board);
     (app.setup)(&mut machine);
-    let mut vm = Vm::new(machine, out.image, rt).expect("vm");
+    let mut vm = Vm::builder(machine, out.image).supervisor(rt).build().expect("vm");
     vm.run(opec_bench::FUEL).expect("aces run").cycles()
 }
 

@@ -10,7 +10,7 @@
 use opec_apps::App;
 use opec_armv7m::Machine;
 use opec_core::{compile, CompileOutput, OpecMonitor};
-use opec_vm::{link_baseline, NullSupervisor, RunOutcome, Vm};
+use opec_vm::{link_baseline, RunOutcome, Vm};
 
 /// Fuel for benchmark runs.
 pub const FUEL: u64 = opec_vm::exec::DEFAULT_FUEL;
@@ -27,7 +27,7 @@ pub fn run_baseline_once(app: &App) -> u64 {
     let image = link_baseline(module, app.board).expect("link");
     let mut machine = Machine::new(app.board);
     (app.setup)(&mut machine);
-    let mut vm = Vm::new(machine, image, NullSupervisor).expect("vm");
+    let mut vm = Vm::builder(machine, image).build().expect("vm");
     match vm.run(FUEL).expect("baseline run") {
         RunOutcome::Halted { cycles } | RunOutcome::Returned { cycles, .. } => cycles,
     }
@@ -39,7 +39,8 @@ pub fn run_opec_once(app: &App) -> u64 {
     let mut machine = Machine::new(app.board);
     (app.setup)(&mut machine);
     let policy = out.policy.clone();
-    let mut vm = Vm::new(machine, out.image, OpecMonitor::new(policy)).expect("vm");
+    let mut vm =
+        Vm::builder(machine, out.image).supervisor(OpecMonitor::new(policy)).build().expect("vm");
     match vm.run(FUEL).expect("OPEC run") {
         RunOutcome::Halted { cycles } | RunOutcome::Returned { cycles, .. } => cycles,
     }

@@ -30,6 +30,7 @@ use opec_armv7m::clock::costs;
 use opec_armv7m::thumb::{LdStInst, LdStOp};
 use opec_armv7m::{FaultCause, FaultInfo, Machine, Mode};
 use opec_ir::GlobalId;
+use opec_obs::{Access, Event, Obs};
 use opec_vm::{CpuContext, FaultFixup, OpId, Supervisor, SwitchRequest, TrapCause, TrapError};
 
 use crate::layout::SystemPolicy;
@@ -76,6 +77,11 @@ pub struct OpecMonitor {
     policy: SystemPolicy,
     ctx: Vec<OpContext>,
     rr: usize,
+    /// Which peripheral window (index into the current operation's
+    /// `periph_windows`) each of the four reserved MPU slots holds.
+    /// Reset whenever the full region file is reprogrammed.
+    virt_slots: [Option<u8>; 4],
+    obs: Obs,
     /// Counters for the evaluation.
     pub stats: MonitorStats,
 }
@@ -83,7 +89,14 @@ pub struct OpecMonitor {
 impl OpecMonitor {
     /// Creates a monitor enforcing `policy`.
     pub fn new(policy: SystemPolicy) -> OpecMonitor {
-        OpecMonitor { policy, ctx: Vec::new(), rr: 0, stats: MonitorStats::default() }
+        OpecMonitor {
+            policy,
+            ctx: Vec::new(),
+            rr: 0,
+            virt_slots: [None; 4],
+            obs: Obs::disabled(),
+            stats: MonitorStats::default(),
+        }
     }
 
     /// The currently executing operation.
@@ -245,10 +258,16 @@ impl OpecMonitor {
             regions.push((n, r));
         }
         regions.push((3, self.policy.section_region(op)));
+        // The first four peripheral windows are preloaded index-aligned
+        // into the reserved slots; the virtualization bookkeeping must
+        // match what the region file now holds.
+        self.virt_slots = [None; 4];
         for (i, r) in self.policy.op(op).periph_regions.iter().take(4).enumerate() {
             regions.push((4 + i, *r));
+            self.virt_slots[i] = Some(i as u8);
         }
         machine.clock.tick(costs::MPU_REGION_WRITE * regions.len() as u64);
+        self.obs.set_now(machine.clock.now());
         machine.mpu.load_regions(&regions).map_err(|e| format!("MPU programming: {e}"))
     }
 
@@ -384,6 +403,10 @@ fn global_name(policy: &SystemPolicy, g: GlobalId, _machine: &Machine) -> String
 }
 
 impl Supervisor for OpecMonitor {
+    fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+    }
+
     fn on_reset(&mut self, machine: &mut Machine) -> Result<(), TrapError> {
         // Shadow-copy initialisation: every operation's shadows start
         // from the public masters (which the image's .data staging
@@ -548,6 +571,22 @@ impl Supervisor for OpecMonitor {
             let victim = 4 + (self.rr % 4);
             self.rr += 1;
             machine.clock.tick(costs::MPU_REGION_WRITE);
+            self.obs.set_now(machine.clock.now());
+            self.obs.emit(|| Event::VirtHit {
+                op,
+                address: fault.address,
+                window: widx as u8,
+                slot: victim as u8,
+            });
+            if let Some(old_window) = self.virt_slots[victim - 4] {
+                self.obs.emit(|| Event::VirtEvict {
+                    op,
+                    slot: victim as u8,
+                    old_window,
+                    new_window: widx as u8,
+                });
+            }
+            self.virt_slots[victim - 4] = Some(widx as u8);
             if let Err(e) = machine.mpu.set_region(victim, region) {
                 return FaultFixup::Abort(TrapError::new(
                     op,
@@ -557,6 +596,11 @@ impl Supervisor for OpecMonitor {
             self.stats.virt_faults += 1;
             return FaultFixup::Retry;
         }
+        self.obs.emit_at(machine.clock.now(), || Event::VirtMiss {
+            op,
+            address: fault.address,
+            write: fault.kind.is_write(),
+        });
         FaultFixup::Abort(TrapError::new(
             op,
             TrapCause::PolicyDeniedMem { address: fault.address, write: fault.kind.is_write() },
@@ -617,6 +661,17 @@ impl Supervisor for OpecMonitor {
             }
         }
         self.stats.emulations += 1;
+        self.obs.emit_at(machine.clock.now(), || Event::Emulated {
+            op,
+            address: ea,
+            access: match inst.op {
+                LdStOp::Load => Access::Load,
+                LdStOp::Store => Access::Store,
+            },
+            size: inst.size,
+            rt: inst.rt,
+            rn: inst.rn,
+        });
         FaultFixup::Emulated
     }
 

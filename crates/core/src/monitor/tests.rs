@@ -11,7 +11,21 @@ fn boot(module: opec_ir::Module, specs: &[OperationSpec]) -> Vm<OpecMonitor> {
     let board = Board::stm32f4_discovery();
     let out = compile(module, board, specs).unwrap();
     let machine = Machine::new(board);
-    Vm::new(machine, out.image, OpecMonitor::new(out.policy)).unwrap()
+    Vm::builder(machine, out.image).supervisor(OpecMonitor::new(out.policy)).build().unwrap()
+}
+
+fn boot_injected(
+    module: opec_ir::Module,
+    specs: &[OperationSpec],
+    injector: Box<dyn opec_vm::Injector>,
+) -> Vm<OpecMonitor> {
+    let board = Board::stm32f4_discovery();
+    let out = compile(module, board, specs).unwrap();
+    Vm::builder(Machine::new(board), out.image)
+        .supervisor(OpecMonitor::new(out.policy))
+        .injector(injector)
+        .build()
+        .unwrap()
 }
 
 fn boot_with_devices(module: opec_ir::Module, specs: &[OperationSpec]) -> Vm<OpecMonitor> {
@@ -19,7 +33,7 @@ fn boot_with_devices(module: opec_ir::Module, specs: &[OperationSpec]) -> Vm<Ope
     let out = compile(module, board, specs).unwrap();
     let mut machine = Machine::new(board);
     opec_devices::install_standard_devices(&mut machine, Default::default()).unwrap();
-    Vm::new(machine, out.image, OpecMonitor::new(out.policy)).unwrap()
+    Vm::builder(machine, out.image).supervisor(OpecMonitor::new(out.policy)).build().unwrap()
 }
 
 /// Registers the standard datasheet into a builder.
@@ -464,7 +478,8 @@ fn round_robin_virtualization_survives_overlapping_covering_regions() {
             .add_device(Box::new(opec_devices::misc::RegFile::new(format!("PX@{base:#x}"), base)))
             .unwrap();
     }
-    let mut vm = Vm::new(machine, out.image, OpecMonitor::new(out.policy)).unwrap();
+    let mut vm =
+        Vm::builder(machine, out.image).supervisor(OpecMonitor::new(out.policy)).build().unwrap();
     vm.run(FUEL).unwrap();
     // Both out-of-pool windows were served and the program finished.
     assert!(
@@ -549,11 +564,14 @@ fn corrupted_switch_id_is_a_typed_bad_switch() {
         fb.halt();
         fb.ret_void();
     });
-    let mut vm = boot(mb.finish(), &[OperationSpec::plain("task")]);
-    vm.set_injector(Box::new(opec_vm::ScheduledInjector::new(vec![(
-        0,
-        opec_vm::InjectAction::CorruptNextSwitchOp { bogus: 77 },
-    )])));
+    let mut vm = boot_injected(
+        mb.finish(),
+        &[OperationSpec::plain("task")],
+        Box::new(opec_vm::ScheduledInjector::new(vec![(
+            0,
+            opec_vm::InjectAction::CorruptNextSwitchOp { bogus: 77 },
+        )])),
+    );
     match vm.run(FUEL).unwrap_err() {
         VmError::Aborted { trap, .. } => {
             let reason = trap.to_string();
@@ -607,11 +625,14 @@ fn smashing_the_callers_stack_frame_is_denied_by_the_srd() {
         );
         fb.ret(Operand::Reg(r));
     });
-    let mut vm = boot(mb.finish(), &[OperationSpec::plain("task")]);
-    vm.set_injector(Box::new(opec_vm::ScheduledInjector::new(vec![(
-        20,
-        opec_vm::InjectAction::SmashCallerStack { value: 0x4141_4141 },
-    )])));
+    let mut vm = boot_injected(
+        mb.finish(),
+        &[OperationSpec::plain("task")],
+        Box::new(opec_vm::ScheduledInjector::new(vec![(
+            20,
+            opec_vm::InjectAction::SmashCallerStack { value: 0x4141_4141 },
+        )])),
+    );
     match vm.run(FUEL).unwrap_err() {
         VmError::Aborted { trap, .. } => {
             let reason = trap.to_string();

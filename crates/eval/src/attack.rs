@@ -26,9 +26,7 @@ use opec_apps::App;
 use opec_armv7m::{Machine, MemRegion};
 use opec_core::{compile, CompileOutput, OpecMonitor};
 use opec_inject::{score, Attack, AttackKind, CampaignInjector, CampaignResult, Verdict};
-use opec_vm::{
-    link_baseline, InjectAction, LoadedImage, NullSupervisor, OpId, Supervisor, Vm, VmError,
-};
+use opec_vm::{link_baseline, InjectAction, LoadedImage, OpId, Supervisor, Vm, VmError};
 
 use crate::runs::FUEL;
 use crate::table::TextTable;
@@ -269,9 +267,11 @@ fn run_opec_cell(
     };
     let mut machine = Machine::new(app.board);
     (app.setup)(&mut machine);
-    let mut vm = Vm::new(machine, out.image.clone(), OpecMonitor::new(out.policy.clone()))
+    let mut vm = Vm::builder(machine, out.image.clone())
+        .supervisor(OpecMonitor::new(out.policy.clone()))
+        .injector(Box::new(CampaignInjector::new(attack.clone(), seed, app.name)))
+        .build()
         .map_err(|e| format!("OPEC image: {e}"))?;
-    vm.set_injector(Box::new(CampaignInjector::new(attack.clone(), seed, app.name)));
     // A bit flip's verdict shows up at the faulted operation's next
     // sync-out, and an armed switch corruption at the next operation
     // entry — either may be anywhere in the workload, so those get the
@@ -316,8 +316,11 @@ fn run_aces_cell(
     );
     let mut machine = Machine::new(app.board);
     (app.setup)(&mut machine);
-    let mut vm = Vm::new(machine, out.image.clone(), rt).map_err(|e| format!("ACES image: {e}"))?;
-    vm.set_injector(Box::new(CampaignInjector::new(attack, seed, app.name)));
+    let mut vm = Vm::builder(machine, out.image.clone())
+        .supervisor(rt)
+        .injector(Box::new(CampaignInjector::new(attack, seed, app.name)))
+        .build()
+        .map_err(|e| format!("ACES image: {e}"))?;
     let fuel = if kind == AttackKind::SvcCorrupt { FUEL } else { SHORT_FUEL };
     Ok(drive(&mut vm, kind, fuel))
 }
@@ -334,9 +337,10 @@ fn run_baseline_cell(
     };
     let mut machine = Machine::new(app.board);
     (app.setup)(&mut machine);
-    let mut vm = Vm::new(machine, image.clone(), NullSupervisor)
+    let mut vm = Vm::builder(machine, image.clone())
+        .injector(Box::new(CampaignInjector::new(attack, seed, app.name)))
+        .build()
         .map_err(|e| format!("baseline image: {e}"))?;
-    vm.set_injector(Box::new(CampaignInjector::new(attack, seed, app.name)));
     Ok(drive(&mut vm, kind, SHORT_FUEL))
 }
 

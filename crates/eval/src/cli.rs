@@ -1,0 +1,174 @@
+//! Shared command-line argument parsing for `opec-eval`.
+//!
+//! Every subcommand historically grew its own ad-hoc flag loop with its
+//! own spelling; this module parses one [`CliArgs`] struct with one
+//! flag vocabulary, and each subcommand reads the fields it cares
+//! about. Flags a subcommand does not use are rejected by
+//! [`CliArgs::forbid_unused`] so typos fail loudly instead of being
+//! silently ignored.
+//!
+//! The vocabulary:
+//!
+//! ```text
+//! --seeds N        seeds per attack cell        (attack-matrix)
+//! --json FILE      machine-readable artifact    (attack-matrix, bench-json)
+//! --out DIR        output directory             (csv)
+//! --obs-json FILE  observability metrics JSON   (report)
+//! --trace FILE     Chrome trace_event JSON      (report)
+//! --apps FILTER    comma-separated name filter  (report)
+//! --ring N         event ring capacity          (report)
+//! --funcs          include function events      (report)
+//! ```
+//!
+//! For backward compatibility `csv DIR` and `bench-json FILE` also
+//! accept their original positional operand.
+
+/// Parsed command-line arguments, shared by every subcommand.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CliArgs {
+    /// `--seeds N`: seeds per attack-matrix cell.
+    pub seeds: Option<u64>,
+    /// `--json FILE`: machine-readable artifact path.
+    pub json: Option<String>,
+    /// `--out DIR`: output directory.
+    pub out: Option<String>,
+    /// `--obs-json FILE`: observability metrics JSON path.
+    pub obs_json: Option<String>,
+    /// `--trace FILE`: Chrome `trace_event` JSON path.
+    pub trace: Option<String>,
+    /// `--apps FILTER`: comma-separated application-name filter.
+    pub apps: Option<String>,
+    /// `--ring N`: event ring-buffer capacity.
+    pub ring: Option<usize>,
+    /// `--funcs`: record function enter/exit events in the ring.
+    pub funcs: bool,
+    /// Positional operands (legacy `csv DIR` / `bench-json FILE`).
+    pub positional: Vec<String>,
+}
+
+impl CliArgs {
+    /// Parses everything after the subcommand word.
+    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<CliArgs, String> {
+        let mut out = CliArgs::default();
+        let need =
+            |args: &mut I, flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--seeds" => {
+                    let v = need(&mut args, "--seeds")?;
+                    out.seeds =
+                        Some(v.parse().map_err(|e| format!("bad --seeds value {v:?}: {e}"))?);
+                }
+                "--json" => out.json = Some(need(&mut args, "--json")?),
+                "--out" => out.out = Some(need(&mut args, "--out")?),
+                "--obs-json" => out.obs_json = Some(need(&mut args, "--obs-json")?),
+                "--trace" => out.trace = Some(need(&mut args, "--trace")?),
+                "--apps" => out.apps = Some(need(&mut args, "--apps")?),
+                "--ring" => {
+                    let v = need(&mut args, "--ring")?;
+                    out.ring = Some(v.parse().map_err(|e| format!("bad --ring value {v:?}: {e}"))?);
+                }
+                "--funcs" => out.funcs = true,
+                f if f.starts_with('-') => return Err(format!("unknown flag {f}")),
+                other => out.positional.push(other.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rejects flags the current subcommand does not consume. `allowed`
+    /// lists the flag spellings the subcommand understands.
+    pub fn forbid_unused(&self, cmd: &str, allowed: &[&str]) -> Result<(), String> {
+        let set = |name: &str| -> bool {
+            match name {
+                "--seeds" => self.seeds.is_some(),
+                "--json" => self.json.is_some(),
+                "--out" => self.out.is_some(),
+                "--obs-json" => self.obs_json.is_some(),
+                "--trace" => self.trace.is_some(),
+                "--apps" => self.apps.is_some(),
+                "--ring" => self.ring.is_some(),
+                "--funcs" => self.funcs,
+                "positional" => !self.positional.is_empty(),
+                _ => false,
+            }
+        };
+        for name in [
+            "--seeds",
+            "--json",
+            "--out",
+            "--obs-json",
+            "--trace",
+            "--apps",
+            "--ring",
+            "--funcs",
+            "positional",
+        ] {
+            if set(name) && !allowed.contains(&name) {
+                return Err(if name == "positional" {
+                    format!("{cmd} takes no positional operand {:?}", self.positional[0])
+                } else {
+                    format!("{cmd} does not understand {name}")
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The application filter as a predicate over app names: a
+    /// comma-separated list of case-insensitive substrings, any match
+    /// accepting. `None` accepts everything.
+    pub fn app_matches(&self, name: &str) -> bool {
+        match &self.apps {
+            None => true,
+            Some(filter) => {
+                let lname = name.to_ascii_lowercase();
+                filter
+                    .split(',')
+                    .map(|p| p.trim().to_ascii_lowercase())
+                    .filter(|p| !p.is_empty())
+                    .any(|p| lname.contains(&p))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<CliArgs, String> {
+        CliArgs::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_and_positionals_parse() {
+        let a = parse(&["--seeds", "7", "--json", "m.json", "results"]).unwrap();
+        assert_eq!(a.seeds, Some(7));
+        assert_eq!(a.json.as_deref(), Some("m.json"));
+        assert_eq!(a.positional, vec!["results".to_string()]);
+    }
+
+    #[test]
+    fn unknown_and_valueless_flags_error() {
+        assert!(parse(&["--bogus"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["--seeds"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--seeds", "x"]).unwrap_err().contains("bad --seeds"));
+    }
+
+    #[test]
+    fn forbid_unused_rejects_foreign_flags() {
+        let a = parse(&["--seeds", "3"]).unwrap();
+        assert!(a.forbid_unused("csv", &["--out", "positional"]).is_err());
+        assert!(a.forbid_unused("attack-matrix", &["--seeds", "--json"]).is_ok());
+    }
+
+    #[test]
+    fn app_filter_is_substring_any_match() {
+        let a = parse(&["--apps", "pin,core"]).unwrap();
+        assert!(a.app_matches("PinLock"));
+        assert!(a.app_matches("CoreMark"));
+        assert!(!a.app_matches("Animation"));
+        assert!(parse(&[]).unwrap().app_matches("anything"));
+    }
+}

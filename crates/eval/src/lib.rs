@@ -13,6 +13,10 @@
 //! * [`report`] — renderers for Table 1, Figure 9, Table 2, Figure 10,
 //!   Figure 11, and Table 3, as aligned text tables and CSV series;
 //! * [`table`] — a small text-table formatter;
+//! * [`cli`] — one shared flag vocabulary for every subcommand;
+//! * [`obsreport`] — the `report` subcommand: per-operation overhead
+//!   breakdowns, metrics JSON, and Chrome `trace_event` exports cut
+//!   from the [`opec_obs`] stream, OPEC and ACES measured identically;
 //! * [`attack`] — the seeded attack-campaign matrix (`attack-matrix`):
 //!   every app under every `opec-inject` attack class in three
 //!   configurations (OPEC / ACES / baseline), scored with containment
@@ -32,11 +36,14 @@
 pub mod attack;
 pub mod benchjson;
 pub mod cache;
+pub mod cli;
 pub mod metrics;
+pub mod obsreport;
 pub mod report;
 pub mod runs;
 pub mod table;
 
 pub use cache::EvalCache;
+pub use cli::CliArgs;
 pub use metrics::{et_by_task, pt_of_compartments, table1_row, EtSeries, Table1Row};
 pub use runs::{evaluate_app, evaluate_many, AcesRun, AppEval, OpecRun};

@@ -1,58 +1,109 @@
 //! `opec-eval`: regenerates the paper's tables and figures.
 //!
-//! ```text
-//! opec-eval all          # everything (Tables 1–3, Figures 9–11, case study)
-//! opec-eval table1       # security metrics
-//! opec-eval figure9      # OPEC overheads
-//! opec-eval table2       # OPEC vs ACES overheads + PAC
-//! opec-eval figure10     # PT cumulative distributions
-//! opec-eval figure11     # ET per task
-//! opec-eval table3       # icall analysis efficiency
-//! opec-eval case-study   # the §6.1 PinLock attack demonstration
-//! opec-eval csv [DIR]    # write every table/figure as CSV (default: results/)
-//! opec-eval bench-json [FILE]  # machine-readable timings (default: stdout)
-//! opec-eval attack-matrix [--seeds N] [--json FILE]  # §7 containment matrix
-//! ```
+//! Run `opec-eval help` for the full usage text (also in
+//! [`USAGE`]). Every subcommand shares one flag vocabulary
+//! ([`opec_eval::CliArgs`]); flags a subcommand does not use are
+//! rejected rather than ignored.
 //!
 //! Every subcommand draws its runs from one process-wide memoized
 //! cache, so `all` (and `csv`, which needs both evaluation shapes)
 //! performs each baseline/OPEC/ACES run exactly once and the renderers
 //! share the results.
 
-use opec_eval::{attack, benchjson, report};
+use std::io::Write as _;
+
+use opec_eval::{attack, benchjson, obsreport, report, CliArgs};
+
+/// The usage text (`opec-eval help`).
+const USAGE: &str = "\
+opec-eval — regenerate the paper's tables and figures
+
+  opec-eval all                 everything (Tables 1-3, Figures 9-11, case study)
+  opec-eval table1              security metrics
+  opec-eval figure9             OPEC overheads
+  opec-eval table2              OPEC vs ACES overheads + PAC
+  opec-eval figure10            PT cumulative distributions
+  opec-eval figure11            ET per task
+  opec-eval table3              icall analysis efficiency
+  opec-eval case-study          the §6.1 PinLock attack demonstration
+  opec-eval csv [--out DIR]     every table/figure as CSV (default: results/)
+  opec-eval bench-json [--json FILE]
+                                machine-readable timings (default: stdout)
+  opec-eval attack-matrix [--seeds N] [--json FILE]
+                                §7 containment matrix (default: 4 seeds)
+  opec-eval report [--obs-json FILE] [--trace FILE] [--apps FILTER]
+                   [--ring N] [--funcs]
+                                per-operation overhead breakdown from the
+                                observability stream, OPEC and ACES measured
+                                from the same event format.
+                                  --obs-json  write metrics JSON
+                                  --trace     write a Chrome trace_event JSON
+                                              of the first run (pick the app
+                                              with --apps; load in Perfetto)
+                                  --apps      comma-separated name filter
+                                  --ring      event ring capacity (default 2^20)
+                                  --funcs     keep function enter/exit events
+                                              in the ring (bigger traces)
+                                Exits 1 if any ring shed events.
+
+Legacy positional forms `csv DIR` and `bench-json FILE` still work.
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("opec-eval: {msg}");
+    eprintln!("run `opec-eval help` for usage");
+    std::process::exit(2);
+}
+
+/// Opens `path` for writing, failing fast: runs take a while, so an
+/// unwritable artifact path should abort before them, not after.
+fn create(path: &str) -> std::fs::File {
+    std::fs::File::create(path).unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")))
+}
 
 fn main() {
     let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args = CliArgs::parse(std::env::args().skip(2)).unwrap_or_else(|e| fail(&e));
+    let no_flags = |allowed: &[&str]| {
+        args.forbid_unused(&cmd, allowed).unwrap_or_else(|e| fail(&e));
+    };
     match cmd.as_str() {
+        "help" | "--help" | "-h" => print!("{USAGE}"),
         "table1" => {
-            let evals = report::run_all_apps();
-            println!("{}", report::table1(&evals));
+            no_flags(&[]);
+            println!("{}", report::table1(&report::run_all_apps()));
         }
         "figure9" => {
-            let evals = report::run_all_apps();
-            println!("{}", report::figure9(&evals));
+            no_flags(&[]);
+            println!("{}", report::figure9(&report::run_all_apps()));
         }
         "table2" => {
-            let evals = report::run_comparison_apps();
-            println!("{}", report::table2(&evals));
+            no_flags(&[]);
+            println!("{}", report::table2(&report::run_comparison_apps()));
         }
         "figure10" => {
-            let evals = report::run_comparison_apps();
-            println!("{}", report::figure10(&evals));
+            no_flags(&[]);
+            println!("{}", report::figure10(&report::run_comparison_apps()));
         }
         "figure11" => {
-            let evals = report::run_comparison_apps();
-            println!("{}", report::figure11(&evals));
+            no_flags(&[]);
+            println!("{}", report::figure11(&report::run_comparison_apps()));
         }
         "table3" => {
-            let evals = report::run_all_apps();
-            println!("{}", report::table3(&evals));
+            no_flags(&[]);
+            println!("{}", report::table3(&report::run_all_apps()));
         }
         "case-study" => {
+            no_flags(&[]);
             println!("{}", report::case_study());
         }
         "csv" => {
-            let dir = std::env::args().nth(2).unwrap_or_else(|| "results".to_string());
+            no_flags(&["--out", "positional"]);
+            let dir = args
+                .out
+                .clone()
+                .or_else(|| args.positional.first().cloned())
+                .unwrap_or_else(|| "results".to_string());
             eprintln!("[opec-eval] running all workloads for CSV export...");
             let evals = report::run_all_apps();
             let cmp = report::run_comparison_apps();
@@ -63,6 +114,7 @@ fn main() {
             }
         }
         "all" => {
+            no_flags(&[]);
             eprintln!(
                 "[opec-eval] building and running all workloads once \
                  (baseline + OPEC, memoized)..."
@@ -82,17 +134,12 @@ fn main() {
             println!("{}", report::case_study());
         }
         "bench-json" => {
-            // Open the output first: measuring takes a while, so an
-            // unwritable path should fail before the runs, not after.
-            let out = std::env::args().nth(2).map(|path| {
-                let file = std::fs::File::create(&path)
-                    .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
-                (path, file)
-            });
+            no_flags(&["--json", "positional"]);
+            let path = args.json.clone().or_else(|| args.positional.first().cloned());
+            let out = path.map(|p| (create(&p), p));
             let json = benchjson::bench_json();
             match out {
-                Some((path, mut file)) => {
-                    use std::io::Write as _;
+                Some((mut file, path)) => {
                     file.write_all(json.as_bytes()).expect("write bench JSON");
                     eprintln!("[opec-eval] wrote {path}");
                 }
@@ -100,34 +147,13 @@ fn main() {
             }
         }
         "attack-matrix" => {
-            let mut seeds: u64 = 4;
-            let mut json_path: Option<String> = None;
-            let mut args = std::env::args().skip(2);
-            while let Some(arg) = args.next() {
-                match arg.as_str() {
-                    "--seeds" => {
-                        let v = args.next().expect("--seeds needs a value");
-                        seeds = v.parse().unwrap_or_else(|e| panic!("bad --seeds {v}: {e}"));
-                    }
-                    "--json" => json_path = Some(args.next().expect("--json needs a path")),
-                    other => {
-                        eprintln!("unknown attack-matrix flag {other}");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            // Open the artifact first so an unwritable path fails
-            // before the campaign runs, not after.
-            let out = json_path.map(|path| {
-                let file = std::fs::File::create(&path)
-                    .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
-                (path, file)
-            });
+            no_flags(&["--seeds", "--json"]);
+            let seeds = args.seeds.unwrap_or(4);
+            let out = args.json.clone().map(|p| (create(&p), p));
             eprintln!("[opec-eval] running attack campaigns ({seeds} seeds per cell)...");
             let matrix = attack::attack_matrix(seeds);
             print!("{}", matrix.render());
-            if let Some((path, mut file)) = out {
-                use std::io::Write as _;
+            if let Some((mut file, path)) = out {
                 file.write_all(matrix.to_json().as_bytes()).expect("write matrix JSON");
                 eprintln!("[opec-eval] wrote {path}");
             }
@@ -141,13 +167,36 @@ fn main() {
             }
             eprintln!("[opec-eval] containment matrix clean: no OPEC escapes, no crashes");
         }
+        "report" => {
+            no_flags(&["--obs-json", "--trace", "--apps", "--ring", "--funcs"]);
+            // Fail on unwritable artifact paths before the runs.
+            let obs_out = args.obs_json.clone().map(|p| (create(&p), p));
+            let trace_out = args.trace.clone().map(|p| (create(&p), p));
+            eprintln!("[opec-eval] instrumented runs (OPEC all apps, ACES comparison apps)...");
+            let rep = obsreport::collect(&args);
+            print!("{}", obsreport::render(&rep));
+            if let Some((mut file, path)) = obs_out {
+                file.write_all(obsreport::to_json(&rep).as_bytes()).expect("write metrics JSON");
+                eprintln!("[opec-eval] wrote {path}");
+            }
+            if let Some((mut file, path)) = trace_out {
+                match obsreport::first_chrome_trace(&rep) {
+                    Some((label, json)) => {
+                        file.write_all(json.as_bytes()).expect("write chrome trace");
+                        eprintln!("[opec-eval] wrote {path} ({label}; open in Perfetto)");
+                    }
+                    None => eprintln!("[opec-eval] no runs collected; {path} left empty"),
+                }
+            }
+            let dropped = rep.total_dropped();
+            if dropped > 0 {
+                eprintln!("[opec-eval] {dropped} events shed — raise --ring");
+                std::process::exit(1);
+            }
+            eprintln!("[opec-eval] event stream complete: no drops at the configured capacity");
+        }
         other => {
-            eprintln!(
-                "unknown command {other}; expected one of: all table1 figure9 \
-                 table2 figure10 figure11 table3 case-study csv bench-json \
-                 attack-matrix"
-            );
-            std::process::exit(2);
+            fail(&format!("unknown command {other}"));
         }
     }
 }

@@ -4,7 +4,7 @@ use opec_apps::programs::{aces_comparison_apps, all_apps, pinlock};
 use opec_armv7m::Machine;
 use opec_core::{compile, OpecMonitor};
 use opec_devices::{DeviceConfig, Uart};
-use opec_vm::{link_baseline, GlobalSlot, NullSupervisor, Vm, VmError};
+use opec_vm::{link_baseline, GlobalSlot, Vm, VmError};
 
 use crate::cache::EvalCache;
 use crate::metrics::{cumulative, et_by_task, pt_of_compartments, table1_row};
@@ -345,7 +345,7 @@ pub fn case_study() -> String {
     let mut machine = Machine::new(board);
     opec_devices::install_standard_devices(&mut machine, DeviceConfig::default()).unwrap();
     feed_attack_script(&mut machine, key_addr, forged_key);
-    let mut vm = Vm::new(machine, image, NullSupervisor).expect("vm");
+    let mut vm = Vm::builder(machine, image).build().expect("vm");
     vm.run(crate::runs::FUEL).expect("vanilla run");
     let uart: &mut Uart = vm.machine.device_as("USART2").unwrap();
     let tx = uart.take_tx();
@@ -366,7 +366,10 @@ pub fn case_study() -> String {
     opec_devices::install_standard_devices(&mut machine, DeviceConfig::default()).unwrap();
     feed_attack_script(&mut machine, public_key_addr, forged_key);
     let policy = compiled.policy.clone();
-    let mut vm = Vm::new(machine, compiled.image, OpecMonitor::new(policy)).expect("vm");
+    let mut vm = Vm::builder(machine, compiled.image)
+        .supervisor(OpecMonitor::new(policy))
+        .build()
+        .expect("vm");
     match vm.run(crate::runs::FUEL) {
         Err(VmError::Aborted { trap: reason, pc }) => {
             out.push_str(&format!(

@@ -15,6 +15,8 @@
 //! [`Arc`] so the memoized pipeline (`crate::cache`) can hand the same
 //! run to every renderer.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 use std::thread;
 
@@ -22,7 +24,7 @@ use opec_aces::{build_aces_image, AcesRuntime, AcesStrategy, Compartments, DataR
 use opec_apps::App;
 use opec_armv7m::{Board, Machine};
 use opec_core::{compile, CompileOutput, MonitorStats, OpecMonitor};
-use opec_vm::{link_baseline, NullSupervisor, RunOutcome, Trace, Vm};
+use opec_vm::{link_baseline, Obs, RunOutcome, Trace, Vm};
 
 /// Fuel for evaluation runs.
 pub const FUEL: u64 = opec_vm::exec::DEFAULT_FUEL;
@@ -105,7 +107,7 @@ pub(crate) fn run_baseline(app: &App) -> (u64, u32, u32) {
     let image = link_baseline(module, app.board).expect("baseline link");
     let flash = image.flash_used;
     let sram = image.sram_used;
-    let mut vm = Vm::new(fresh_machine(app), image, NullSupervisor).expect("baseline vm");
+    let mut vm = Vm::builder(fresh_machine(app), image).build().expect("baseline vm");
     let out = vm.run(FUEL).unwrap_or_else(|e| panic!("{} baseline: {e}", app.name));
     assert!(matches!(out, RunOutcome::Halted { .. }));
     (app.check)(&mut vm.machine).unwrap_or_else(|e| panic!("{} baseline check: {e}", app.name));
@@ -120,18 +122,22 @@ pub(crate) fn run_opec(app: &App) -> OpecRun {
     let flash = out.image.flash_used;
     let sram = out.image.sram_used;
     let policy = out.policy.clone();
-    let mut vm =
-        Vm::new(fresh_machine(app), out.image.clone(), OpecMonitor::new(policy)).expect("opec vm");
-    vm.enable_trace();
+    let trace = Rc::new(RefCell::new(Trace::new()));
+    let mut vm = Vm::builder(fresh_machine(app), out.image.clone())
+        .supervisor(OpecMonitor::new(policy))
+        .obs(Obs::single(trace.clone()))
+        .build()
+        .expect("opec vm");
     let run = vm.run(FUEL).unwrap_or_else(|e| panic!("{} under OPEC: {e}", app.name));
     assert!(matches!(run, RunOutcome::Halted { .. }));
     (app.check)(&mut vm.machine).unwrap_or_else(|e| panic!("{} OPEC check: {e}", app.name));
+    let trace = trace.borrow().clone();
     OpecRun {
         cycles: run.cycles(),
         flash_used: flash,
         sram_used: sram,
         compile: out,
-        trace: vm.trace.take().expect("trace enabled"),
+        trace,
         monitor: vm.supervisor.stats,
     }
 }
@@ -154,7 +160,8 @@ pub(crate) fn run_aces(app: &App, strategy: AcesStrategy) -> AcesRun {
         out.stack,
         main_comp,
     );
-    let mut vm = Vm::new(fresh_machine(app), out.image, rt).expect("aces vm");
+    let mut vm =
+        Vm::builder(fresh_machine(app), out.image).supervisor(rt).build().expect("aces vm");
     let run =
         vm.run(FUEL).unwrap_or_else(|e| panic!("{} under {}: {e}", app.name, strategy.label()));
     assert!(matches!(run, RunOutcome::Halted { .. }));
@@ -293,7 +300,7 @@ mod tests {
         let app = opec_apps::programs::coremark::app();
         let eval = evaluate_app(&app, false);
         assert!(eval.aces.is_empty());
-        assert!(!eval.opec.trace.events.is_empty());
+        assert!(!eval.opec.trace.is_empty());
         assert!(eval.opec.monitor.switches >= 60);
     }
 }

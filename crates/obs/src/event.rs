@@ -1,0 +1,249 @@
+//! The event taxonomy.
+//!
+//! Every observable action of the VM, the OPEC-Monitor, the MPU model
+//! and the ACES runtime maps to one [`Event`] variant. Events are small
+//! `Copy` records — numeric ids only, no strings — so constructing one
+//! on the hot path costs a handful of moves and recording one into a
+//! ring buffer is a bounded memcpy.
+
+/// Operation identifier, as in the image's entry table (0 = `main`).
+pub type OpId = u8;
+
+/// Direction of an operation switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// The compiler-inserted SVC before an operation entry call.
+    Enter,
+    /// The SVC after the operation returns to its caller.
+    Exit,
+}
+
+/// Direction of an emulated core-peripheral access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// A load (the emulator wrote the result into `rt`).
+    Load,
+    /// A store (the emulator read the value from `rt`).
+    Store,
+}
+
+/// The kind of an injected fault action (mirrors `vm::InjectAction`
+/// without its payload, so the event stays `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectKind {
+    /// Physical bit flip, bypassing the MPU.
+    FlipBit,
+    /// Hostile load through the checked pipeline.
+    HostileLoad,
+    /// Hostile store through the checked pipeline.
+    HostileStore,
+    /// Store aimed at the caller's live stack data.
+    SmashCallerStack,
+    /// Tampered SVC number on the next switch.
+    CorruptSwitchOp,
+    /// Tampered argument on the next switch.
+    CorruptSwitchArg,
+}
+
+/// What became of an injected action (mirrors `vm::InjectOutcome`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectVerdict {
+    /// The action took effect.
+    Applied,
+    /// The action had no target and was dropped.
+    Skipped,
+    /// A hostile access went through unchecked — an escape.
+    AccessOk,
+    /// A hostile access was trapped by the isolation machinery.
+    Trapped,
+    /// A switch corruption is armed for the next switch.
+    Armed,
+}
+
+/// The cause class of a trap verdict (mirrors `vm::TrapCause` without
+/// its payloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapKind {
+    /// Data access outside the operation's ACL.
+    PolicyDeniedMem,
+    /// Core-peripheral access outside the operation's allow list.
+    PolicyDeniedCore,
+    /// A shared variable failed its exit-time sanitization bounds.
+    Sanitization,
+    /// A malformed or forged switch request.
+    BadSwitch,
+    /// An unhandled MemManage fault.
+    MemFault,
+    /// An unhandled BusFault.
+    BusFault,
+    /// Anything the supervisor could not classify.
+    Unrecoverable,
+}
+
+/// One structured observability event.
+///
+/// Timestamps are *not* part of the event: sinks receive a [`Stamped`]
+/// wrapper carrying the simulated DWT cycle count, so the same event
+/// value is byte-identical whether it is aggregated, ring-buffered or
+/// exported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// An operation switch SVC was raised; the supervisor is about to
+    /// run. `insts` snapshots the VM's retired-instruction counter so
+    /// aggregators can attribute instructions to the outgoing operation.
+    SwitchBegin {
+        /// Enter or exit.
+        dir: Dir,
+        /// The operation the CPU is leaving.
+        from: OpId,
+        /// The operation the CPU is entering (on exit: returning to).
+        to: OpId,
+        /// Entry function of the switched operation.
+        entry: u32,
+        /// Instructions retired so far.
+        insts: u64,
+    },
+    /// The switch SVC returned to the application. The span between the
+    /// matching [`Event::SwitchBegin`] and this event is the switch
+    /// latency, exception entry/return included.
+    SwitchEnd {
+        /// Enter or exit.
+        dir: Dir,
+        /// The operation the CPU left.
+        from: OpId,
+        /// The operation the CPU entered (on exit: returned to).
+        to: OpId,
+        /// Entry function of the switched operation.
+        entry: u32,
+        /// Whether the supervisor accepted the switch.
+        ok: bool,
+    },
+    /// A function body was entered.
+    FuncEnter {
+        /// The function id.
+        func: u32,
+    },
+    /// A function returned.
+    FuncExit {
+        /// The function id.
+        func: u32,
+    },
+    /// A MemManage fault resolved by loading the faulting peripheral
+    /// window into a reserved MPU region (a virtualization *hit*).
+    VirtHit {
+        /// The active operation.
+        op: OpId,
+        /// The faulting address.
+        address: u32,
+        /// Index of the window in the operation's policy.
+        window: u8,
+        /// The reserved MPU region slot it was loaded into.
+        slot: u8,
+    },
+    /// A virtualization hit displaced a previously loaded window from
+    /// its round-robin slot.
+    VirtEvict {
+        /// The active operation.
+        op: OpId,
+        /// The reserved MPU region slot.
+        slot: u8,
+        /// The window index that was evicted.
+        old_window: u8,
+        /// The window index that replaced it.
+        new_window: u8,
+    },
+    /// A MemManage fault with no matching peripheral window — the
+    /// access is denied by policy.
+    VirtMiss {
+        /// The active operation.
+        op: OpId,
+        /// The faulting address.
+        address: u32,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// A BusFault on a core peripheral resolved by decoding the Thumb-2
+    /// load/store and emulating it at the privileged level.
+    Emulated {
+        /// The active operation.
+        op: OpId,
+        /// The faulting address.
+        address: u32,
+        /// Load or store.
+        access: Access,
+        /// Access width in bytes.
+        size: u8,
+        /// Decoded transfer register.
+        rt: u8,
+        /// Decoded base register.
+        rn: u8,
+    },
+    /// A single MPU region register was written.
+    MpuRegionWrite {
+        /// Region number.
+        slot: u8,
+        /// Region base address.
+        base: u32,
+        /// Region size in bytes.
+        size: u32,
+        /// Sub-region disable mask.
+        srd: u8,
+    },
+    /// A full MPU reprogramming (the per-switch region reload).
+    MpuLoad {
+        /// Number of regions written.
+        regions: u8,
+    },
+    /// The ACES runtime switched compartments (OPEC has no analogue:
+    /// this is the privilege-lifting design the paper compares against).
+    CompartmentMode {
+        /// The compartment id.
+        comp: OpId,
+        /// Whether the compartment runs privileged (a PAC lift).
+        privileged: bool,
+    },
+    /// The injector applied, armed or was denied an action.
+    Inject {
+        /// What was injected.
+        kind: InjectKind,
+        /// What became of it.
+        verdict: InjectVerdict,
+    },
+    /// The supervisor issued a trap verdict against an operation.
+    Trap {
+        /// The offending operation.
+        op: OpId,
+        /// The cause class.
+        kind: TrapKind,
+        /// The faulting address, when the cause carries one (else 0).
+        address: u32,
+    },
+    /// An operation was killed and unwound under quarantine containment.
+    Quarantine {
+        /// The quarantined operation.
+        op: OpId,
+    },
+    /// The run ended (halt, return of `main`, or a fatal error).
+    /// Aggregators flush pending attribution; exporters close open
+    /// spans.
+    RunEnd {
+        /// Final retired-instruction count.
+        insts: u64,
+    },
+}
+
+/// An event with its simulated-cycle timestamp (the DWT view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped {
+    /// Cycle count when the event was emitted.
+    pub t: u64,
+    /// The event.
+    pub ev: Event,
+}
+
+impl core::fmt::Display for Stamped {
+    /// One canonical line per event — the golden-file format.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:>12} {:?}", self.t, self.ev)
+    }
+}

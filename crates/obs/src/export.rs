@@ -1,0 +1,377 @@
+//! Exporters: Chrome `trace_event` JSON and metrics JSON.
+//!
+//! Both are hand-written JSON (the workspace carries no serde). The
+//! chrome format targets `chrome://tracing` / Perfetto: operation
+//! activations and switch SVCs become duration (`B`/`E`) pairs on one
+//! track, everything else becomes instant (`i`) events. Timestamps are
+//! the simulated DWT cycle counts, exported as integer `ts` values —
+//! the viewer's time unit reads "µs" but means "cycles" here.
+
+use crate::event::{Access, Dir, Event, Stamped};
+use crate::metrics::{Histogram, Metrics};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_trace_record(
+    out: &mut String,
+    first: &mut bool,
+    ph: char,
+    name: &str,
+    cat: &str,
+    ts: u64,
+    args: &str,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(&format!(
+        "\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":1",
+        esc(name),
+        cat,
+        ph,
+        ts
+    ));
+    if ph == 'i' {
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        out.push_str(args);
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Renders a stamped event stream as Chrome `trace_event` JSON.
+///
+/// `label` names the process in the viewer (e.g. `"PinLock/opec"`).
+/// Spans open and close strictly stacked; a [`Event::Quarantine`] or
+/// [`Event::RunEnd`] closes whatever the unwind skipped, so the output
+/// always balances and loads cleanly in Perfetto even for aborted runs.
+pub fn chrome_trace(events: &[Stamped], label: &str) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    push_trace_record(
+        &mut out,
+        &mut first,
+        'M',
+        "process_name",
+        "__metadata",
+        0,
+        &format!("\"name\":\"{}\"", esc(label)),
+    );
+    // Stack of open duration-span names, innermost last.
+    let mut open: Vec<String> = Vec::new();
+    let begin = |out: &mut String,
+                 first: &mut bool,
+                 open: &mut Vec<String>,
+                 name: String,
+                 cat,
+                 ts,
+                 args: &str| {
+        push_trace_record(out, first, 'B', &name, cat, ts, args);
+        open.push(name);
+    };
+    // Closes spans down to and including `name`; no-op if not open.
+    let close_to =
+        |out: &mut String, first: &mut bool, open: &mut Vec<String>, name: &str, ts: u64| {
+            if !open.iter().any(|n| n == name) {
+                return;
+            }
+            while let Some(top) = open.pop() {
+                push_trace_record(out, first, 'E', &top, "", ts, "");
+                if top == name {
+                    break;
+                }
+            }
+        };
+    for ev in events {
+        let ts = ev.t;
+        match ev.ev {
+            Event::SwitchBegin { dir, from, to, entry, .. } => {
+                let name = match dir {
+                    Dir::Enter => format!("switch enter op{to}"),
+                    Dir::Exit => format!("switch exit op{from}"),
+                };
+                // The exit SVC runs as the operation's last act: close
+                // the op span after the SVC span, so close nothing yet.
+                let args = format!("\"from\":{from},\"to\":{to},\"entry\":{entry}");
+                begin(&mut out, &mut first, &mut open, name, "switch", ts, &args);
+            }
+            Event::SwitchEnd { dir, from, to, ok, .. } => {
+                let name = match dir {
+                    Dir::Enter => format!("switch enter op{to}"),
+                    Dir::Exit => format!("switch exit op{from}"),
+                };
+                close_to(&mut out, &mut first, &mut open, &name, ts);
+                match dir {
+                    Dir::Enter if ok => {
+                        begin(&mut out, &mut first, &mut open, format!("op{to}"), "op", ts, "");
+                    }
+                    Dir::Exit if ok => {
+                        close_to(&mut out, &mut first, &mut open, &format!("op{from}"), ts);
+                    }
+                    _ => {}
+                }
+            }
+            Event::FuncEnter { func } => {
+                begin(&mut out, &mut first, &mut open, format!("f{func}"), "func", ts, "");
+            }
+            Event::FuncExit { func } => {
+                close_to(&mut out, &mut first, &mut open, &format!("f{func}"), ts);
+            }
+            Event::VirtHit { op, address, window, slot } => {
+                let args = format!(
+                    "\"op\":{op},\"address\":\"{address:#010x}\",\"window\":{window},\"slot\":{slot}"
+                );
+                push_trace_record(&mut out, &mut first, 'i', "virt hit", "virt", ts, &args);
+            }
+            Event::VirtEvict { op, slot, old_window, new_window } => {
+                let args = format!(
+                    "\"op\":{op},\"slot\":{slot},\"old\":{old_window},\"new\":{new_window}"
+                );
+                push_trace_record(&mut out, &mut first, 'i', "virt evict", "virt", ts, &args);
+            }
+            Event::VirtMiss { op, address, write } => {
+                let args = format!("\"op\":{op},\"address\":\"{address:#010x}\",\"write\":{write}");
+                push_trace_record(&mut out, &mut first, 'i', "virt miss", "virt", ts, &args);
+            }
+            Event::Emulated { op, address, access, size, rt, rn } => {
+                let dir = match access {
+                    Access::Load => "load",
+                    Access::Store => "store",
+                };
+                let args = format!(
+                    "\"op\":{op},\"address\":\"{address:#010x}\",\"dir\":\"{dir}\",\"size\":{size},\"rt\":{rt},\"rn\":{rn}"
+                );
+                push_trace_record(&mut out, &mut first, 'i', "emulated", "emul", ts, &args);
+            }
+            Event::MpuRegionWrite { slot, base, size, srd } => {
+                let args = format!(
+                    "\"slot\":{slot},\"base\":\"{base:#010x}\",\"size\":{size},\"srd\":{srd}"
+                );
+                push_trace_record(&mut out, &mut first, 'i', "mpu region", "mpu", ts, &args);
+            }
+            Event::MpuLoad { regions } => {
+                let args = format!("\"regions\":{regions}");
+                push_trace_record(&mut out, &mut first, 'i', "mpu load", "mpu", ts, &args);
+            }
+            Event::CompartmentMode { comp, privileged } => {
+                let args = format!("\"comp\":{comp},\"privileged\":{privileged}");
+                push_trace_record(&mut out, &mut first, 'i', "compartment", "aces", ts, &args);
+            }
+            Event::Inject { kind, verdict } => {
+                let args = format!("\"kind\":\"{kind:?}\",\"verdict\":\"{verdict:?}\"");
+                push_trace_record(&mut out, &mut first, 'i', "inject", "inject", ts, &args);
+            }
+            Event::Trap { op, kind, address } => {
+                let args =
+                    format!("\"op\":{op},\"kind\":\"{kind:?}\",\"address\":\"{address:#010x}\"");
+                push_trace_record(&mut out, &mut first, 'i', "trap", "trap", ts, &args);
+            }
+            Event::Quarantine { op } => {
+                // The unwind killed every frame of the operation: close
+                // any funcs still open inside it, then the op itself.
+                close_to(&mut out, &mut first, &mut open, &format!("op{op}"), ts);
+                let args = format!("\"op\":{op}");
+                push_trace_record(&mut out, &mut first, 'i', "quarantine", "trap", ts, &args);
+            }
+            Event::RunEnd { insts } => {
+                while let Some(top) = open.pop() {
+                    push_trace_record(&mut out, &mut first, 'E', &top, "", ts, "");
+                }
+                let args = format!("\"insts\":{insts}");
+                push_trace_record(&mut out, &mut first, 'i', "run end", "run", ts, &args);
+            }
+        }
+    }
+    // Streams cut short by a full ring may still have open spans.
+    let last_ts = events.last().map(|e| e.t).unwrap_or(0);
+    while let Some(top) = open.pop() {
+        push_trace_record(&mut out, &mut first, 'E', &top, "", last_ts, "");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders a histogram as a JSON object.
+pub fn histogram_json(h: &Histogram) -> String {
+    let buckets: Vec<String> = h.buckets().iter().map(|(lo, c)| format!("[{lo},{c}]")).collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.2},\"p50\":{},\"p99\":{},\"buckets\":[{}]}}",
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max(),
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.99),
+        buckets.join(",")
+    )
+}
+
+/// Renders a [`Metrics`] aggregate as a JSON object (one run's worth;
+/// `opec-eval report` wraps one of these per app/system pair).
+pub fn metrics_json(m: &Metrics) -> String {
+    let mut ops = Vec::new();
+    for (op, om) in m.ops() {
+        ops.push(format!(
+            "{{\"op\":{},\"enters\":{},\"exits\":{},\"switch_cycles\":{},\"enter_cycles\":{},\"exit_cycles\":{},\"virt_hits\":{},\"virt_evictions\":{},\"virt_misses\":{},\"emulated_loads\":{},\"emulated_stores\":{},\"insts_retired\":{},\"func_enters\":{},\"traps\":{},\"quarantines\":{},\"priv_lifts\":{}}}",
+            op,
+            om.enters,
+            om.exits,
+            om.switch_cycles(),
+            histogram_json(&om.enter_cycles),
+            histogram_json(&om.exit_cycles),
+            om.virt_hits,
+            om.virt_evictions,
+            om.virt_misses,
+            om.emulated_loads,
+            om.emulated_stores,
+            om.insts_retired,
+            om.func_enters,
+            om.traps,
+            om.quarantines,
+            om.priv_lifts,
+        ));
+    }
+    format!(
+        "{{\"ops\":[{}],\"totals\":{{\"switches\":{},\"switch_cycles\":{},\"insts\":{},\"cycles\":{},\"events\":{},\"mpu_loads\":{},\"mpu_region_writes\":{},\"injections\":{}}}}}",
+        ops.join(","),
+        m.total_switches(),
+        m.total_switch_cycles(),
+        m.total_insts,
+        m.run_cycles,
+        m.events_seen,
+        m.mpu_loads,
+        m.mpu_region_writes,
+        m.injections,
+    )
+}
+
+/// Renders a stream as canonical text, one event per line — the
+/// golden-file format.
+pub fn event_log(events: &[Stamped]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dir, Event};
+
+    fn st(t: u64, ev: Event) -> Stamped {
+        Stamped { t, ev }
+    }
+
+    fn sample() -> Vec<Stamped> {
+        vec![
+            st(10, Event::SwitchBegin { dir: Dir::Enter, from: 0, to: 1, entry: 7, insts: 3 }),
+            st(40, Event::SwitchEnd { dir: Dir::Enter, from: 0, to: 1, entry: 7, ok: true }),
+            st(50, Event::FuncEnter { func: 7 }),
+            st(60, Event::VirtHit { op: 1, address: 0x4000_0000, window: 0, slot: 4 }),
+            st(80, Event::FuncExit { func: 7 }),
+            st(90, Event::SwitchBegin { dir: Dir::Exit, from: 1, to: 0, entry: 7, insts: 9 }),
+            st(95, Event::SwitchEnd { dir: Dir::Exit, from: 1, to: 0, entry: 7, ok: true }),
+            st(100, Event::RunEnd { insts: 12 }),
+        ]
+    }
+
+    /// A minimal structural check that the output is one JSON object
+    /// with balanced brackets outside strings.
+    fn assert_balanced_json(s: &str) {
+        let mut depth_obj = 0i64;
+        let mut depth_arr = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in s.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            assert!(depth_obj >= 0 && depth_arr >= 0);
+        }
+        assert_eq!(depth_obj, 0);
+        assert_eq!(depth_arr, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_and_paired() {
+        let json = chrome_trace(&sample(), "Sample/opec");
+        assert_balanced_json(&json);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("Sample/opec"));
+        // Every B has a matching E.
+        let b = json.matches("\"ph\":\"B\"").count();
+        let e = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, e);
+    }
+
+    #[test]
+    fn chrome_trace_closes_spans_at_run_end() {
+        // Func span left open by a quarantine-style cut.
+        let events = vec![
+            st(10, Event::SwitchBegin { dir: Dir::Enter, from: 0, to: 1, entry: 7, insts: 0 }),
+            st(20, Event::SwitchEnd { dir: Dir::Enter, from: 0, to: 1, entry: 7, ok: true }),
+            st(30, Event::FuncEnter { func: 7 }),
+            st(50, Event::Quarantine { op: 1 }),
+            st(60, Event::RunEnd { insts: 5 }),
+        ];
+        let json = chrome_trace(&events, "x");
+        assert_balanced_json(&json);
+        let b = json.matches("\"ph\":\"B\"").count();
+        let e = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, e);
+    }
+
+    #[test]
+    fn metrics_json_is_balanced() {
+        let mut m = Metrics::new();
+        for ev in sample() {
+            m.observe(ev);
+        }
+        let json = metrics_json(&m);
+        assert_balanced_json(&json);
+        assert!(json.contains("\"virt_hits\":1"));
+        assert!(json.contains("\"insts\":12"));
+    }
+
+    #[test]
+    fn event_log_is_line_per_event() {
+        let log = event_log(&sample());
+        assert_eq!(log.lines().count(), 8);
+        assert!(log.ends_with('\n'));
+    }
+}

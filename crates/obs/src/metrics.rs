@@ -1,0 +1,592 @@
+//! Online per-operation metric aggregation.
+//!
+//! The aggregator is itself a [`Sink`]: it folds the event stream into
+//! per-op counters and latency histograms as events arrive, so metrics
+//! exist even when the raw ring has shed its oldest events.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Access, Dir, Event, OpId, Stamped};
+use crate::ring::RingBuffer;
+use crate::sink::Sink;
+
+const HIST_BUCKETS: usize = 65;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket *i* (1..=64) holds values whose
+/// highest set bit is *i − 1*, i.e. the range `[2^(i-1), 2^i)`. Exact
+/// count/sum/min/max ride along, so means are exact and only quantiles
+/// are bucket-resolution approximations.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { counts: [0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Lowest value landing in bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Merging histograms built from two
+    /// sample sets equals building one from their concatenation.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in 0..=1): the upper bound of the
+    /// first bucket whose cumulative count reaches `q * count`,
+    /// clamped to the exact max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let hi = if i >= 64 { u64::MAX } else { bucket_lo(i + 1) - 1 };
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(bucket_lower_bound, count)`, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lo(i), c))
+            .collect()
+    }
+}
+
+impl core::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Histogram {{ count: {}, sum: {}, min: {}, max: {} }}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max
+        )
+    }
+}
+
+/// Aggregates for one operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpMetrics {
+    /// Successful enter switches into this operation.
+    pub enters: u64,
+    /// Successful exit switches out of this operation.
+    pub exits: u64,
+    /// Enter-switch latency in cycles (SVC entry to return, supervisor
+    /// work included), one sample per attempted switch.
+    pub enter_cycles: Histogram,
+    /// Exit-switch latency in cycles.
+    pub exit_cycles: Histogram,
+    /// Peripheral-window faults resolved by MPU virtualization.
+    pub virt_hits: u64,
+    /// Window loads that displaced another window from its slot.
+    pub virt_evictions: u64,
+    /// Peripheral faults denied by policy.
+    pub virt_misses: u64,
+    /// Emulated core-peripheral loads.
+    pub emulated_loads: u64,
+    /// Emulated core-peripheral stores.
+    pub emulated_stores: u64,
+    /// Instructions retired while this operation was innermost.
+    pub insts_retired: u64,
+    /// Function bodies entered while this operation was innermost.
+    pub func_enters: u64,
+    /// Trap verdicts issued against this operation.
+    pub traps: u64,
+    /// Times this operation was quarantined.
+    pub quarantines: u64,
+    /// ACES only: switches that lifted this compartment to the
+    /// privileged level.
+    pub priv_lifts: u64,
+}
+
+impl OpMetrics {
+    /// Total cycles spent in switch SVCs for this operation.
+    pub fn switch_cycles(&self) -> u64 {
+        self.enter_cycles.sum() + self.exit_cycles.sum()
+    }
+}
+
+/// Online per-operation aggregator.
+///
+/// Feed it the event stream (it implements [`Sink`]) and read the
+/// aggregates after [`Event::RunEnd`]. Instruction attribution follows
+/// the operation stack: retired-instruction deltas carried on
+/// [`Event::SwitchBegin`]/[`Event::RunEnd`] are credited to the
+/// operation that was innermost since the previous snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    per_op: BTreeMap<OpId, OpMetrics>,
+    /// Every event observed (including ones the ring may have shed).
+    pub events_seen: u64,
+    /// Full MPU reprogrammings (per-switch region reloads).
+    pub mpu_loads: u64,
+    /// Individual MPU region register writes.
+    pub mpu_region_writes: u64,
+    /// Injector actions observed.
+    pub injections: u64,
+    /// Final retired-instruction count (set by [`Event::RunEnd`]).
+    pub total_insts: u64,
+    /// Timestamp of [`Event::RunEnd`] (the run's cycle count).
+    pub run_cycles: u64,
+    // Attribution state.
+    op_stack: Vec<OpId>,
+    open_switch: Vec<u64>,
+    last_insts: u64,
+}
+
+impl Metrics {
+    /// An empty aggregator.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// The aggregate for `op`, if any event touched it.
+    pub fn op(&self, op: OpId) -> Option<&OpMetrics> {
+        self.per_op.get(&op)
+    }
+
+    /// All per-op aggregates, ascending by op id.
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &OpMetrics)> {
+        self.per_op.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Total successful switches (enters) across all operations.
+    pub fn total_switches(&self) -> u64 {
+        self.per_op.values().map(|m| m.enters).sum()
+    }
+
+    /// Total cycles spent in switch SVCs across all operations.
+    pub fn total_switch_cycles(&self) -> u64 {
+        self.per_op.values().map(|m| m.switch_cycles()).sum()
+    }
+
+    fn current_op(&self) -> OpId {
+        self.op_stack.last().copied().unwrap_or(0)
+    }
+
+    fn entry(&mut self, op: OpId) -> &mut OpMetrics {
+        self.per_op.entry(op).or_default()
+    }
+
+    fn credit_insts(&mut self, insts: u64) {
+        let delta = insts.saturating_sub(self.last_insts);
+        self.last_insts = insts;
+        let op = self.current_op();
+        self.entry(op).insts_retired += delta;
+    }
+
+    /// Folds one event into the aggregates.
+    pub fn observe(&mut self, ev: Stamped) {
+        self.events_seen += 1;
+        match ev.ev {
+            Event::SwitchBegin { insts, .. } => {
+                self.credit_insts(insts);
+                self.open_switch.push(ev.t);
+            }
+            Event::SwitchEnd { dir, from, to, ok, .. } => {
+                let began = self.open_switch.pop();
+                let subject = match dir {
+                    Dir::Enter => to,
+                    Dir::Exit => from,
+                };
+                if let Some(t0) = began {
+                    let hist = match dir {
+                        Dir::Enter => &mut self.entry(subject).enter_cycles,
+                        Dir::Exit => &mut self.entry(subject).exit_cycles,
+                    };
+                    hist.record(ev.t.saturating_sub(t0));
+                }
+                if ok {
+                    match dir {
+                        Dir::Enter => {
+                            self.entry(to).enters += 1;
+                            self.op_stack.push(to);
+                        }
+                        Dir::Exit => {
+                            self.entry(from).exits += 1;
+                            if self.op_stack.last() == Some(&from) {
+                                self.op_stack.pop();
+                            }
+                        }
+                    }
+                }
+            }
+            Event::FuncEnter { .. } => {
+                let op = self.current_op();
+                self.entry(op).func_enters += 1;
+            }
+            Event::FuncExit { .. } => {}
+            Event::VirtHit { op, .. } => self.entry(op).virt_hits += 1,
+            Event::VirtEvict { op, .. } => self.entry(op).virt_evictions += 1,
+            Event::VirtMiss { op, .. } => self.entry(op).virt_misses += 1,
+            Event::Emulated { op, access, .. } => match access {
+                Access::Load => self.entry(op).emulated_loads += 1,
+                Access::Store => self.entry(op).emulated_stores += 1,
+            },
+            Event::MpuRegionWrite { .. } => self.mpu_region_writes += 1,
+            Event::MpuLoad { .. } => self.mpu_loads += 1,
+            Event::CompartmentMode { comp, privileged } => {
+                if privileged {
+                    self.entry(comp).priv_lifts += 1;
+                }
+            }
+            Event::Inject { .. } => self.injections += 1,
+            Event::Trap { op, .. } => self.entry(op).traps += 1,
+            Event::Quarantine { op } => {
+                self.entry(op).quarantines += 1;
+                if self.op_stack.last() == Some(&op) {
+                    self.op_stack.pop();
+                }
+            }
+            Event::RunEnd { insts } => {
+                self.credit_insts(insts);
+                self.total_insts = insts;
+                self.run_cycles = ev.t;
+            }
+        }
+    }
+}
+
+impl Sink for Metrics {
+    fn record(&mut self, ev: Stamped) {
+        self.observe(ev);
+    }
+}
+
+/// The standard sink: raw ring + online aggregates in one.
+///
+/// Function enter/exit events dominate the stream by an order of
+/// magnitude but only matter to timeline exports, so they are kept out
+/// of the ring unless [`Recorder::with_funcs`] opts in; the aggregator
+/// still counts them.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    /// The bounded raw stream.
+    pub ring: RingBuffer,
+    /// The online aggregates.
+    pub metrics: Metrics,
+    /// Whether `FuncEnter`/`FuncExit` events enter the ring.
+    pub record_funcs: bool,
+}
+
+impl Recorder {
+    /// A recorder with the default ring capacity, functions excluded.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// A recorder with an explicit ring capacity.
+    pub fn with_capacity(capacity: usize) -> Recorder {
+        Recorder { ring: RingBuffer::new(capacity), ..Recorder::default() }
+    }
+
+    /// Opts function enter/exit events into the ring.
+    pub fn with_funcs(mut self) -> Recorder {
+        self.record_funcs = true;
+        self
+    }
+}
+
+impl Sink for Recorder {
+    fn record(&mut self, ev: Stamped) {
+        self.metrics.observe(ev);
+        if !self.record_funcs && matches!(ev.ev, Event::FuncEnter { .. } | Event::FuncExit { .. }) {
+            return;
+        }
+        self.ring.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dir, Event};
+
+    fn st(t: u64, ev: Event) -> Stamped {
+        Stamped { t, ev }
+    }
+
+    /// A hand-written two-operation stream:
+    ///
+    /// ```text
+    /// t=0    main runs (op 0), 10 insts
+    /// t=100  enter op1 begins (insts=10) .. t=130 ok   (30 cycles)
+    /// t=140  func 7 enters
+    /// t=200  virt hit, emulated load (op 1)
+    /// t=300  exit op1 begins (insts=50) .. t=320 ok    (20 cycles)
+    /// t=400  enter op2 begins (insts=60) .. t=460 ok   (60 cycles)
+    /// t=500  exit op2 begins (insts=90) .. t=540 ok    (40 cycles)
+    /// t=600  run ends at insts=100
+    /// ```
+    fn two_op_stream() -> Vec<Stamped> {
+        vec![
+            st(100, Event::SwitchBegin { dir: Dir::Enter, from: 0, to: 1, entry: 7, insts: 10 }),
+            st(130, Event::SwitchEnd { dir: Dir::Enter, from: 0, to: 1, entry: 7, ok: true }),
+            st(140, Event::FuncEnter { func: 7 }),
+            st(200, Event::VirtHit { op: 1, address: 0x4000_0000, window: 0, slot: 4 }),
+            st(
+                200,
+                Event::Emulated {
+                    op: 1,
+                    address: 0xE000_1004,
+                    access: Access::Load,
+                    size: 4,
+                    rt: 0,
+                    rn: 6,
+                },
+            ),
+            st(290, Event::FuncExit { func: 7 }),
+            st(300, Event::SwitchBegin { dir: Dir::Exit, from: 1, to: 0, entry: 7, insts: 50 }),
+            st(320, Event::SwitchEnd { dir: Dir::Exit, from: 1, to: 0, entry: 7, ok: true }),
+            st(400, Event::SwitchBegin { dir: Dir::Enter, from: 0, to: 2, entry: 9, insts: 60 }),
+            st(460, Event::SwitchEnd { dir: Dir::Enter, from: 0, to: 2, entry: 9, ok: true }),
+            st(500, Event::SwitchBegin { dir: Dir::Exit, from: 2, to: 0, entry: 9, insts: 90 }),
+            st(540, Event::SwitchEnd { dir: Dir::Exit, from: 2, to: 0, entry: 9, ok: true }),
+            st(600, Event::RunEnd { insts: 100 }),
+        ]
+    }
+
+    #[test]
+    fn aggregates_match_hand_counts() {
+        let mut m = Metrics::new();
+        for ev in two_op_stream() {
+            m.observe(ev);
+        }
+        // Op 1: one enter (30 cycles), one exit (20 cycles), one virt
+        // hit, one emulated load, 40 insts (10..50), one func enter.
+        let op1 = m.op(1).unwrap();
+        assert_eq!(op1.enters, 1);
+        assert_eq!(op1.exits, 1);
+        assert_eq!(op1.enter_cycles.sum(), 30);
+        assert_eq!(op1.exit_cycles.sum(), 20);
+        assert_eq!(op1.virt_hits, 1);
+        assert_eq!(op1.emulated_loads, 1);
+        assert_eq!(op1.emulated_stores, 0);
+        assert_eq!(op1.insts_retired, 40);
+        assert_eq!(op1.func_enters, 1);
+        assert_eq!(op1.switch_cycles(), 50);
+        // Op 2: one enter (60), one exit (40), 30 insts (60..90).
+        let op2 = m.op(2).unwrap();
+        assert_eq!(op2.enters, 1);
+        assert_eq!(op2.enter_cycles.sum(), 60);
+        assert_eq!(op2.exit_cycles.sum(), 40);
+        assert_eq!(op2.insts_retired, 30);
+        // Op 0 (main): everything else — 10 before op1, 10 between,
+        // 10 after op2 = 30 insts.
+        let op0 = m.op(0).unwrap();
+        assert_eq!(op0.insts_retired, 30);
+        assert_eq!(m.total_insts, 100);
+        assert_eq!(m.run_cycles, 600);
+        assert_eq!(m.total_switches(), 2);
+        assert_eq!(m.total_switch_cycles(), 150);
+    }
+
+    #[test]
+    fn failed_switch_counts_latency_but_not_entry() {
+        let mut m = Metrics::new();
+        m.observe(st(
+            10,
+            Event::SwitchBegin { dir: Dir::Enter, from: 0, to: 5, entry: 1, insts: 4 },
+        ));
+        m.observe(st(
+            25,
+            Event::SwitchEnd { dir: Dir::Enter, from: 0, to: 5, entry: 1, ok: false },
+        ));
+        m.observe(st(30, Event::RunEnd { insts: 4 }));
+        let op5 = m.op(5).unwrap();
+        assert_eq!(op5.enters, 0);
+        assert_eq!(op5.enter_cycles.count(), 1);
+        assert_eq!(op5.enter_cycles.sum(), 15);
+        // Nothing was pushed on the op stack.
+        assert_eq!(m.op(0).unwrap().insts_retired, 4);
+    }
+
+    #[test]
+    fn quarantine_pops_the_op_stack() {
+        let mut m = Metrics::new();
+        m.observe(st(
+            10,
+            Event::SwitchBegin { dir: Dir::Enter, from: 0, to: 3, entry: 1, insts: 0 },
+        ));
+        m.observe(st(20, Event::SwitchEnd { dir: Dir::Enter, from: 0, to: 3, entry: 1, ok: true }));
+        m.observe(st(
+            50,
+            Event::Trap {
+                op: 3,
+                kind: crate::event::TrapKind::PolicyDeniedMem,
+                address: 0x4000_0000,
+            },
+        ));
+        m.observe(st(60, Event::Quarantine { op: 3 }));
+        m.observe(st(90, Event::RunEnd { insts: 40 }));
+        let op3 = m.op(3).unwrap();
+        assert_eq!(op3.traps, 1);
+        assert_eq!(op3.quarantines, 1);
+        // Post-quarantine instructions belong to main again.
+        assert_eq!(op3.insts_retired, 0);
+        assert_eq!(m.op(0).unwrap().insts_retired, 40);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1111);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.5) <= 4);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], (0, 1)); // the single 0
+        assert_eq!(buckets[1], (1, 2)); // two 1s
+    }
+
+    #[test]
+    fn histogram_merge_equals_concat() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [5u64, 9, 17] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [0u64, 1_000_000] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    proptest::proptest! {
+        /// Merging two histograms is indistinguishable from recording
+        /// both value streams into one — counts, sums, extrema, bucket
+        /// shapes, and therefore every derived quantile.
+        #[test]
+        fn histogram_merge_is_concat(
+            xs in proptest::collection::vec(0u64..5_000_000, 0..64),
+            ys in proptest::collection::vec(0u64..5_000_000, 0..64),
+        ) {
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            let mut whole = Histogram::new();
+            for &v in &xs {
+                a.record(v);
+                whole.record(v);
+            }
+            for &v in &ys {
+                b.record(v);
+                whole.record(v);
+            }
+            a.merge(&b);
+            proptest::prop_assert_eq!(&a, &whole);
+            proptest::prop_assert_eq!(a.quantile(0.5), whole.quantile(0.5));
+            proptest::prop_assert_eq!(a.quantile(0.99), whole.quantile(0.99));
+        }
+    }
+
+    #[test]
+    fn recorder_excludes_funcs_from_ring_by_default() {
+        let mut r = Recorder::with_capacity(16);
+        r.record(st(1, Event::FuncEnter { func: 1 }));
+        r.record(st(2, Event::FuncExit { func: 1 }));
+        r.record(st(3, Event::RunEnd { insts: 2 }));
+        assert_eq!(r.ring.len(), 1);
+        assert_eq!(r.metrics.op(0).unwrap().func_enters, 1);
+        let mut rf = Recorder::with_capacity(16).with_funcs();
+        rf.record(st(1, Event::FuncEnter { func: 1 }));
+        assert_eq!(rf.ring.len(), 1);
+    }
+}

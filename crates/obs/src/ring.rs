@@ -1,0 +1,126 @@
+//! A bounded event ring with drop accounting.
+//!
+//! The recorder must never let a long run exhaust host memory, so the
+//! raw stream lives in a fixed-capacity ring: when full, the *oldest*
+//! event is discarded and a drop counter advances. Exporters and the
+//! CI gate read [`RingBuffer::dropped`] — a nonzero value means the
+//! exported timeline is incomplete and the buffer must be resized.
+
+use std::collections::VecDeque;
+
+use crate::event::Stamped;
+
+/// Default ring capacity, sized so every app in the eval suite fits
+/// with headroom (the busiest stream, TCP-Echo under ACES, stays under
+/// a quarter of this).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+/// A bounded FIFO of stamped events that counts what it sheds.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    buf: VecDeque<Stamped>,
+    cap: usize,
+    total: u64,
+    dropped: u64,
+}
+
+impl RingBuffer {
+    /// An empty ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> RingBuffer {
+        let cap = capacity.max(1);
+        RingBuffer { buf: VecDeque::with_capacity(cap.min(4096)), cap, total: 0, dropped: 0 }
+    }
+
+    /// Appends an event, shedding the oldest when full.
+    pub fn push(&mut self, ev: Stamped) {
+        self.total += 1;
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Stamped> {
+        self.buf.iter()
+    }
+
+    /// Copies the held events out, oldest first.
+    pub fn to_vec(&self) -> Vec<Stamped> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events ever pushed, including shed ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events shed because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Default for RingBuffer {
+    fn default() -> RingBuffer {
+        RingBuffer::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(t: u64) -> Stamped {
+        Stamped { t, ev: Event::RunEnd { insts: t } }
+    }
+
+    #[test]
+    fn keeps_latest_and_counts_drops() {
+        let mut r = RingBuffer::new(3);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<u64> = r.events().map(|e| e.t).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn no_drops_under_capacity() {
+        let mut r = RingBuffer::new(8);
+        for t in 0..8 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = RingBuffer::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.events().next().unwrap().t, 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! The sink trait and the cloneable [`Obs`] handle.
+//!
+//! `Obs` is the only type the instrumented components (VM, monitor,
+//! MPU, ACES runtime) know about. A disabled handle is a `None` — every
+//! emission starts with one branch on that option and the
+//! event-constructing closure is never called, which is what makes the
+//! subsystem zero-cost when observability is off.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::event::{Event, Stamped};
+
+/// A consumer of stamped events.
+///
+/// Implementations decide what to keep: the ring-buffer recorder keeps
+/// the raw stream, the metrics aggregator folds events into per-op
+/// counters online, the VM's `Trace` keeps only what the ET metric
+/// needs.
+pub trait Sink {
+    /// Receives one event. Called synchronously from the emit site.
+    fn record(&mut self, ev: Stamped);
+}
+
+/// A shared, type-erased sink handle.
+pub type SinkHandle = Rc<RefCell<dyn Sink>>;
+
+struct Shared {
+    /// Last timestamp passed to [`Obs::emit_at`]/[`Obs::set_now`];
+    /// components without clock access (the MPU model) emit at this
+    /// time.
+    now: Cell<u64>,
+    sinks: Vec<SinkHandle>,
+}
+
+/// A cloneable observability handle; all clones fan out to the same
+/// sinks.
+///
+/// The handle is deliberately `!Send`: event emission is synchronous
+/// and single-threaded, like the VM it instruments. Extract plain data
+/// out of the sinks (clone the recorder) before crossing threads.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Rc<Shared>>,
+}
+
+impl Obs {
+    /// A disabled handle: every emission is a single `None` check.
+    pub fn disabled() -> Obs {
+        Obs::default()
+    }
+
+    /// A handle fanning out to `sinks`.
+    pub fn new(sinks: Vec<SinkHandle>) -> Obs {
+        Obs { inner: Some(Rc::new(Shared { now: Cell::new(0), sinks })) }
+    }
+
+    /// A handle with a single sink (keep your own `Rc` to read the sink
+    /// back after the run).
+    pub fn single<S: Sink + 'static>(sink: Rc<RefCell<S>>) -> Obs {
+        let handle: SinkHandle = sink;
+        Obs::new(vec![handle])
+    }
+
+    /// Whether events are being consumed.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The timestamp of the most recent emission.
+    pub fn now(&self) -> u64 {
+        self.inner.as_ref().map(|s| s.now.get()).unwrap_or(0)
+    }
+
+    /// Advances the emission clock without emitting (for components
+    /// that emit via [`Obs::emit`] later, at a time they cannot see).
+    pub fn set_now(&self, t: u64) {
+        if let Some(s) = &self.inner {
+            s.now.set(t);
+        }
+    }
+
+    /// Emits at an explicit timestamp. The closure runs only when a
+    /// sink is attached.
+    pub fn emit_at(&self, t: u64, ev: impl FnOnce() -> Event) {
+        if let Some(s) = &self.inner {
+            s.now.set(t);
+            let stamped = Stamped { t, ev: ev() };
+            for sink in &s.sinks {
+                sink.borrow_mut().record(stamped);
+            }
+        }
+    }
+
+    /// Emits at the current emission clock (see [`Obs::set_now`]).
+    pub fn emit(&self, ev: impl FnOnce() -> Event) {
+        if let Some(s) = &self.inner {
+            let stamped = Stamped { t: s.now.get(), ev: ev() };
+            for sink in &s.sinks {
+                sink.borrow_mut().record(stamped);
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Obs(disabled)"),
+            Some(s) => write!(f, "Obs({} sinks)", s.sinks.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Count(Vec<Stamped>);
+    impl Sink for Count {
+        fn record(&mut self, ev: Stamped) {
+            self.0.push(ev);
+        }
+    }
+
+    #[test]
+    fn disabled_never_calls_closure() {
+        let obs = Obs::disabled();
+        obs.emit_at(7, || panic!("closure must not run when disabled"));
+        obs.emit(|| panic!("closure must not run when disabled"));
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn clones_share_sinks_and_clock() {
+        let sink = Rc::new(RefCell::new(Count::default()));
+        let obs = Obs::single(sink.clone());
+        let clone = obs.clone();
+        obs.emit_at(10, || Event::RunEnd { insts: 1 });
+        // The clone emits at the clock the original set.
+        clone.emit(|| Event::RunEnd { insts: 2 });
+        let seen = &sink.borrow().0;
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].t, 10);
+        assert_eq!(seen[1].t, 10);
+    }
+
+    #[test]
+    fn fan_out_reaches_every_sink() {
+        let a = Rc::new(RefCell::new(Count::default()));
+        let b = Rc::new(RefCell::new(Count::default()));
+        let obs = Obs::new(vec![a.clone() as SinkHandle, b.clone() as SinkHandle]);
+        obs.emit_at(1, || Event::Quarantine { op: 3 });
+        assert_eq!(a.borrow().0.len(), 1);
+        assert_eq!(b.borrow().0.len(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for the metrics histogram.
+//!
+//! The merge law is what lets per-thread or per-run histograms be
+//! combined into the report's totals: merging must equal building one
+//! histogram from the concatenated samples, for any split.
+
+use proptest::prelude::*;
+
+use opec_obs::Histogram;
+
+fn from_samples(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_equals_concatenation(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+    ) {
+        let mut merged = from_samples(&a);
+        merged.merge(&from_samples(&b));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        prop_assert_eq!(merged, from_samples(&concat));
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..32),
+        b in proptest::collection::vec(0u64..1_000_000, 0..32),
+    ) {
+        let mut ab = from_samples(&a);
+        ab.merge(&from_samples(&b));
+        let mut ba = from_samples(&b);
+        ba.merge(&from_samples(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn summary_stats_are_exact(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..64),
+    ) {
+        let h = from_samples(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        // The approximate quantile never reports below the minimum or
+        // above the maximum.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v <= h.max());
+        }
+    }
+}

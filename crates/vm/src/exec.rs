@@ -9,13 +9,14 @@ use opec_armv7m::mem::AddressClass;
 use opec_armv7m::{Exception, Machine, Mode};
 use opec_ir::module::{BinOp, UnOp};
 use opec_ir::{FuncId, GlobalId, Inst, LocalId, Operand, RegId, Terminator};
+use opec_obs::{Event, Obs};
 
 use crate::image::{GlobalSlot, ImageError, LoadedImage, OpId};
 use crate::inject::{InjectAction, InjectOutcome, Injector};
 use crate::supervisor::{
-    CpuContext, FaultFixup, Supervisor, SwitchKind, SwitchRequest, TrapCause, TrapError,
+    CpuContext, FaultFixup, NullSupervisor, Supervisor, SwitchKind, SwitchRequest, TrapCause,
+    TrapError,
 };
-use crate::trace::{Trace, TraceEvent};
 
 /// Maps an instruction's value/address virtual registers onto the
 /// architectural registers used in its emitted Thumb-2 encoding.
@@ -31,6 +32,42 @@ pub fn thumb_regs_for(value_reg: Option<RegId>, addr_reg: Option<RegId>) -> (u8,
     let rt = value_reg.map(|r| (r.0 % 6) as u8).unwrap_or(0);
     let rn = 6 + addr_reg.map(|r| (r.0 % 6) as u8).unwrap_or(0);
     (rt, rn)
+}
+
+/// Maps an injector action/outcome pair onto its compact event.
+fn inject_event(action: &InjectAction, outcome: &InjectOutcome) -> Event {
+    let kind = match action {
+        InjectAction::FlipBit { .. } => opec_obs::InjectKind::FlipBit,
+        InjectAction::HostileLoad { .. } => opec_obs::InjectKind::HostileLoad,
+        InjectAction::HostileStore { .. } => opec_obs::InjectKind::HostileStore,
+        InjectAction::SmashCallerStack { .. } => opec_obs::InjectKind::SmashCallerStack,
+        InjectAction::CorruptNextSwitchOp { .. } => opec_obs::InjectKind::CorruptSwitchOp,
+        InjectAction::CorruptNextSwitchArg { .. } => opec_obs::InjectKind::CorruptSwitchArg,
+    };
+    let verdict = match outcome {
+        InjectOutcome::Applied => opec_obs::InjectVerdict::Applied,
+        InjectOutcome::Skipped => opec_obs::InjectVerdict::Skipped,
+        InjectOutcome::AccessOk { .. } => opec_obs::InjectVerdict::AccessOk,
+        InjectOutcome::Trapped(_) => opec_obs::InjectVerdict::Trapped,
+        InjectOutcome::Armed => opec_obs::InjectVerdict::Armed,
+    };
+    Event::Inject { kind, verdict }
+}
+
+/// Maps a trap verdict onto its compact event.
+fn trap_event(trap: &TrapError) -> Event {
+    let (kind, address) = match &trap.cause {
+        TrapCause::PolicyDeniedMem { address, .. } => {
+            (opec_obs::TrapKind::PolicyDeniedMem, *address)
+        }
+        TrapCause::PolicyDeniedCore { address } => (opec_obs::TrapKind::PolicyDeniedCore, *address),
+        TrapCause::Sanitization { .. } => (opec_obs::TrapKind::Sanitization, 0),
+        TrapCause::BadSwitch { .. } => (opec_obs::TrapKind::BadSwitch, 0),
+        TrapCause::MemFault { address } => (opec_obs::TrapKind::MemFault, *address),
+        TrapCause::BusFault { address } => (opec_obs::TrapKind::BusFault, *address),
+        TrapCause::Unrecoverable(_) => (opec_obs::TrapKind::Unrecoverable, 0),
+    };
+    Event::Trap { op: trap.op, kind, address }
 }
 
 /// Why a run ended successfully.
@@ -173,8 +210,9 @@ pub struct Vm<S: Supervisor> {
     pub cpu: CpuContext,
     /// Execution counters.
     pub stats: VmStats,
-    /// Optional execution trace.
-    pub trace: Option<Trace>,
+    /// The observability handle events are emitted through (disabled
+    /// unless a sink was attached at build time).
+    pub obs: Obs,
     /// Log of every injected action and its outcome, in order.
     pub inject_log: Vec<(InjectAction, InjectOutcome)>,
     /// Verdicts of operations killed under
@@ -190,12 +228,88 @@ pub struct Vm<S: Supervisor> {
     irq_depth: u32,
 }
 
-impl<S: Supervisor> Vm<S> {
-    /// Creates a VM, programs the image into the machine, and leaves it
-    /// ready to [`run`](Vm::run).
-    pub fn new(machine: Machine, image: LoadedImage, supervisor: S) -> Result<Vm<S>, ImageError> {
-        let mut machine = machine;
+/// Staged configuration for a [`Vm`].
+///
+/// Everything that used to be poked in after construction — the
+/// supervisor, a fault injector, tracing — is declared up front and
+/// fixed for the VM's lifetime:
+///
+/// ```ignore
+/// let vm = Vm::builder(machine, image)
+///     .supervisor(monitor)
+///     .injector(campaign)
+///     .obs(Obs::single(recorder.clone()))
+///     .build()?;
+/// ```
+///
+/// [`VmBuilder::supervisor`] changes the builder's type parameter, so
+/// the supervisor choice is part of the VM's type, as before. Without
+/// it, [`build`](VmBuilder::build) yields the no-isolation baseline
+/// (`Vm<NullSupervisor>`).
+pub struct VmBuilder<S: Supervisor = NullSupervisor> {
+    machine: Machine,
+    image: LoadedImage,
+    supervisor: S,
+    injector: Option<Box<dyn Injector>>,
+    obs: Obs,
+    containment: ContainmentMode,
+}
+
+impl Vm<NullSupervisor> {
+    /// Starts building a VM over `machine` and `image`.
+    pub fn builder(machine: Machine, image: LoadedImage) -> VmBuilder<NullSupervisor> {
+        VmBuilder {
+            machine,
+            image,
+            supervisor: NullSupervisor,
+            injector: None,
+            obs: Obs::disabled(),
+            containment: ContainmentMode::Terminate,
+        }
+    }
+}
+
+impl<S: Supervisor> VmBuilder<S> {
+    /// Selects the privileged runtime (changes the VM's type).
+    pub fn supervisor<T: Supervisor>(self, supervisor: T) -> VmBuilder<T> {
+        VmBuilder {
+            machine: self.machine,
+            image: self.image,
+            supervisor,
+            injector: self.injector,
+            obs: self.obs,
+            containment: self.containment,
+        }
+    }
+
+    /// Attaches a fault injector, polled between instructions.
+    pub fn injector(mut self, injector: Box<dyn Injector>) -> VmBuilder<S> {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Attaches an observability handle. The VM, the MPU model and the
+    /// supervisor all emit into it; pass [`Obs::disabled`] (the
+    /// default) for zero-cost operation.
+    pub fn obs(mut self, obs: Obs) -> VmBuilder<S> {
+        self.obs = obs;
+        self
+    }
+
+    /// Sets what an abort verdict does (terminate vs. quarantine).
+    pub fn containment(mut self, mode: ContainmentMode) -> VmBuilder<S> {
+        self.containment = mode;
+        self
+    }
+
+    /// Programs the image into the machine, wires the observability
+    /// handle through every layer, and yields a VM ready to
+    /// [`run`](Vm::run).
+    pub fn build(self) -> Result<Vm<S>, ImageError> {
+        let VmBuilder { mut machine, image, mut supervisor, injector, obs, containment } = self;
         image.load_into(&mut machine)?;
+        machine.mpu.attach_obs(obs.clone());
+        supervisor.attach_obs(&obs);
         let sp = image.stack.end();
         Ok(Vm {
             machine,
@@ -203,11 +317,11 @@ impl<S: Supervisor> Vm<S> {
             supervisor,
             cpu: CpuContext::default(),
             stats: VmStats::default(),
-            trace: None,
+            obs,
             inject_log: Vec::new(),
             contained: Vec::new(),
-            containment: ContainmentMode::Terminate,
-            injector: None,
+            containment,
+            injector,
             pending_op_corrupt: None,
             pending_arg_corrupt: Vec::new(),
             sp,
@@ -215,17 +329,9 @@ impl<S: Supervisor> Vm<S> {
             irq_depth: 0,
         })
     }
+}
 
-    /// Enables function-level tracing.
-    pub fn enable_trace(&mut self) {
-        self.trace = Some(Trace::new());
-    }
-
-    /// Attaches a fault injector, polled between instructions.
-    pub fn set_injector(&mut self, injector: Box<dyn Injector>) {
-        self.injector = Some(injector);
-    }
-
+impl<S: Supervisor> Vm<S> {
     /// Current stack pointer (for tests and the monitor's assertions).
     pub fn sp(&self) -> u32 {
         self.sp
@@ -239,6 +345,14 @@ impl<S: Supervisor> Vm<S> {
     /// Runs the program from reset until halt, return of `main`, an
     /// error, or fuel exhaustion.
     pub fn run(&mut self, fuel: u64) -> Result<RunOutcome, VmError> {
+        let result = self.run_inner(fuel);
+        // Aggregators flush pending attribution and exporters close
+        // open spans on this event, for clean and aborted runs alike.
+        self.obs.emit_at(self.machine.clock.now(), || Event::RunEnd { insts: self.stats.insts });
+        result
+    }
+
+    fn run_inner(&mut self, fuel: u64) -> Result<RunOutcome, VmError> {
         // Reset: start at the image's application privilege level; the
         // supervisor's initialisation (which performs its own work at
         // the privileged level explicitly) has the final word — OPEC
@@ -289,6 +403,9 @@ impl<S: Supervisor> Vm<S> {
     /// with an active operation kills only that operation and the run
     /// continues (`Ok`); everything else terminates the run (`Err`).
     fn contain(&mut self, e: VmError) -> Result<(), VmError> {
+        if let VmError::Aborted { trap, .. } = &e {
+            self.obs.emit_at(self.machine.clock.now(), || trap_event(trap));
+        }
         match e {
             VmError::Aborted { trap, pc } => {
                 if self.containment == ContainmentMode::Quarantine && self.quarantine(&trap)? {
@@ -328,9 +445,7 @@ impl<S: Supervisor> Vm<S> {
         let op = frame.op_call.as_ref().map(|oc| oc.op).unwrap_or(0);
         self.sp = frame.saved_sp;
         self.notify_quarantine(op)?;
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::OpExit(op, frame.func));
-        }
+        self.obs.emit_at(self.machine.clock.now(), || Event::Quarantine { op });
         if let Some(dst) = frame.ret_dst {
             self.set_reg(dst, 0);
         }
@@ -348,6 +463,13 @@ impl<S: Supervisor> Vm<S> {
         self.machine.mode = resume_mode;
         self.charge(costs::EXC_RETURN);
         result.map_err(|trap| VmError::Aborted { trap, pc: self.machine.current_pc })
+    }
+
+    /// Appends to the injection log and mirrors the entry into the
+    /// event stream.
+    fn log_inject(&mut self, action: InjectAction, outcome: InjectOutcome) {
+        self.obs.emit_at(self.machine.clock.now(), || inject_event(&action, &outcome));
+        self.inject_log.push((action, outcome));
     }
 
     /// Polls the injector and applies its actions. Hostile accesses go
@@ -368,15 +490,15 @@ impl<S: Supervisor> Vm<S> {
                     } else {
                         InjectOutcome::Skipped
                     };
-                    self.inject_log.push((action, outcome));
+                    self.log_inject(action, outcome);
                 }
                 InjectAction::HostileLoad { addr, size } => {
                     match self.checked_load(addr, size, None, None) {
                         Ok(value) => {
-                            self.inject_log.push((action, InjectOutcome::AccessOk { value }));
+                            self.log_inject(action, InjectOutcome::AccessOk { value });
                         }
                         Err(VmError::Aborted { trap, pc }) => {
-                            self.inject_log.push((action, InjectOutcome::Trapped(trap.clone())));
+                            self.log_inject(action, InjectOutcome::Trapped(trap.clone()));
                             return Err(VmError::Aborted { trap, pc });
                         }
                         Err(other) => return Err(other),
@@ -385,10 +507,10 @@ impl<S: Supervisor> Vm<S> {
                 InjectAction::HostileStore { addr, size, value } => {
                     match self.checked_store(addr, size, value, None, None) {
                         Ok(()) => {
-                            self.inject_log.push((action, InjectOutcome::AccessOk { value }));
+                            self.log_inject(action, InjectOutcome::AccessOk { value });
                         }
                         Err(VmError::Aborted { trap, pc }) => {
-                            self.inject_log.push((action, InjectOutcome::Trapped(trap.clone())));
+                            self.log_inject(action, InjectOutcome::Trapped(trap.clone()));
                             return Err(VmError::Aborted { trap, pc });
                         }
                         Err(other) => return Err(other),
@@ -408,15 +530,15 @@ impl<S: Supervisor> Vm<S> {
                         .map(|f| f.saved_sp)
                         .find(|&sp| sp < self.image.stack.end());
                     let Some(addr) = target else {
-                        self.inject_log.push((action, InjectOutcome::Skipped));
+                        self.log_inject(action, InjectOutcome::Skipped);
                         continue;
                     };
                     match self.checked_store(addr, 4, value, None, None) {
                         Ok(()) => {
-                            self.inject_log.push((action, InjectOutcome::AccessOk { value }));
+                            self.log_inject(action, InjectOutcome::AccessOk { value });
                         }
                         Err(VmError::Aborted { trap, pc }) => {
-                            self.inject_log.push((action, InjectOutcome::Trapped(trap.clone())));
+                            self.log_inject(action, InjectOutcome::Trapped(trap.clone()));
                             return Err(VmError::Aborted { trap, pc });
                         }
                         Err(other) => return Err(other),
@@ -424,11 +546,11 @@ impl<S: Supervisor> Vm<S> {
                 }
                 InjectAction::CorruptNextSwitchOp { bogus } => {
                     self.pending_op_corrupt = Some(bogus);
-                    self.inject_log.push((action, InjectOutcome::Armed));
+                    self.log_inject(action, InjectOutcome::Armed);
                 }
                 InjectAction::CorruptNextSwitchArg { index, value } => {
                     self.pending_arg_corrupt.push((index, value));
-                    self.inject_log.push((action, InjectOutcome::Armed));
+                    self.log_inject(action, InjectOutcome::Armed);
                 }
             }
         }
@@ -633,21 +755,30 @@ impl<S: Supervisor> Vm<S> {
                 let mut op = op;
                 if let Some(bogus) = self.pending_op_corrupt.take() {
                     op = bogus;
-                    self.inject_log.push((
+                    self.log_inject(
                         InjectAction::CorruptNextSwitchOp { bogus },
                         InjectOutcome::Applied,
-                    ));
+                    );
                 }
                 for (index, value) in std::mem::take(&mut self.pending_arg_corrupt) {
                     if index < args.len() {
                         args[index] = value;
                     }
-                    self.inject_log.push((
+                    self.log_inject(
                         InjectAction::CorruptNextSwitchArg { index, value },
                         InjectOutcome::Applied,
-                    ));
+                    );
                 }
                 self.stats.op_enters += 1;
+                let from = self.current_op();
+                let insts = self.stats.insts;
+                self.obs.emit_at(self.machine.clock.now(), || Event::SwitchBegin {
+                    dir: opec_obs::Dir::Enter,
+                    from,
+                    to: op,
+                    entry: callee.0,
+                    insts,
+                });
                 self.charge(costs::EXC_ENTRY);
                 let saved_mode = self.machine.mode;
                 self.machine.mode = Mode::Privileged;
@@ -665,10 +796,15 @@ impl<S: Supervisor> Vm<S> {
                 let result = self.supervisor.on_operation_enter(&mut self.machine, &mut req);
                 self.machine.mode = app_mode;
                 self.charge(costs::EXC_RETURN);
+                let ok = result.is_ok();
+                self.obs.emit_at(self.machine.clock.now(), || Event::SwitchEnd {
+                    dir: opec_obs::Dir::Enter,
+                    from,
+                    to: op,
+                    entry: callee.0,
+                    ok,
+                });
                 result.map_err(|trap| VmError::Aborted { trap, pc: self.machine.current_pc })?;
-                if let Some(t) = &mut self.trace {
-                    t.push(TraceEvent::OpEnter(op, callee));
-                }
                 op_call = Some(OpCall {
                     op,
                     entry: callee,
@@ -699,9 +835,7 @@ impl<S: Supervisor> Vm<S> {
         for (i, v) in args.iter().enumerate().take(num_regs) {
             regs[i] = *v;
         }
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::FuncEnter(callee));
-        }
+        self.obs.emit_at(self.machine.clock.now(), || Event::FuncEnter { func: callee.0 });
         self.frames.push(Frame {
             func: callee,
             regs,
@@ -749,11 +883,18 @@ impl<S: Supervisor> Vm<S> {
             self.irq_depth = self.irq_depth.saturating_sub(1);
             self.charge(costs::EXC_RETURN);
         }
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::FuncExit(frame.func));
-        }
+        self.obs.emit_at(self.machine.clock.now(), || Event::FuncExit { func: frame.func.0 });
         // Operation exit (the compiler-inserted SVC after the call).
         if let Some(mut oc) = frame.op_call {
+            let to = self.current_op();
+            let insts = self.stats.insts;
+            self.obs.emit_at(self.machine.clock.now(), || Event::SwitchBegin {
+                dir: opec_obs::Dir::Exit,
+                from: oc.op,
+                to,
+                entry: oc.entry.0,
+                insts,
+            });
             self.charge(costs::EXC_ENTRY);
             let saved_mode = self.machine.mode;
             self.machine.mode = Mode::Privileged;
@@ -771,6 +912,14 @@ impl<S: Supervisor> Vm<S> {
             let result = self.supervisor.on_operation_exit(&mut self.machine, &mut req);
             self.machine.mode = app_mode;
             self.charge(costs::EXC_RETURN);
+            let ok = result.is_ok();
+            self.obs.emit_at(self.machine.clock.now(), || Event::SwitchEnd {
+                dir: opec_obs::Dir::Exit,
+                from: oc.op,
+                to,
+                entry: oc.entry.0,
+                ok,
+            });
             if let Err(trap) = result {
                 // An exit-time violation (sanitization failure, context
                 // mismatch). The frame is already gone; under
@@ -779,9 +928,8 @@ impl<S: Supervisor> Vm<S> {
                 if self.containment == ContainmentMode::Quarantine && !self.frames.is_empty() {
                     self.sp = frame.saved_sp;
                     self.notify_quarantine(oc.op)?;
-                    if let Some(t) = &mut self.trace {
-                        t.push(TraceEvent::OpExit(oc.op, oc.entry));
-                    }
+                    self.obs.emit_at(self.machine.clock.now(), || trap_event(&trap));
+                    self.obs.emit_at(self.machine.clock.now(), || Event::Quarantine { op: oc.op });
                     if let Some(dst) = frame.ret_dst {
                         self.set_reg(dst, 0);
                     }
@@ -790,9 +938,6 @@ impl<S: Supervisor> Vm<S> {
                     return Ok(None);
                 }
                 return Err(VmError::Aborted { trap, pc: self.machine.current_pc });
-            }
-            if let Some(t) = &mut self.trace {
-                t.push(TraceEvent::OpExit(oc.op, oc.entry));
             }
         }
         self.sp = frame.saved_sp;

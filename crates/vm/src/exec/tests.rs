@@ -8,7 +8,7 @@ use opec_ir::{ModuleBuilder, Ty};
 fn boot<S: Supervisor>(module: opec_ir::Module, supervisor: S) -> Vm<S> {
     let board = Board::stm32f4_discovery();
     let image = link_baseline(module, board).unwrap();
-    Vm::new(Machine::new(board), image, supervisor).unwrap()
+    Vm::builder(Machine::new(board), image).supervisor(supervisor).build().unwrap()
 }
 
 #[test]
@@ -189,7 +189,7 @@ fn mpu_violation_aborts_under_null_supervisor() {
         .mpu
         .set_region(2, MpuRegion::new(0x2002_0000, 0x1_0000, RegionAttr::read_write_xn()))
         .unwrap();
-    let mut vm = Vm::new(machine, image, NullSupervisor).unwrap();
+    let mut vm = Vm::builder(machine, image).build().unwrap();
     match vm.run(DEFAULT_FUEL).unwrap_err() {
         VmError::Aborted { trap, .. } => assert!(trap.to_string().contains("MemManage")),
         other => panic!("unexpected error {other:?}"),
@@ -267,13 +267,17 @@ fn operation_entries_raise_switch_events() {
     let mut image = link_baseline(mb.finish(), board).unwrap();
     let task_id = image.module.func_by_name("task").unwrap();
     image.op_entries.insert(task_id, 3);
-    let mut vm = Vm::new(Machine::new(board), image, Recorder::default()).unwrap();
-    vm.enable_trace();
+    let trace = std::rc::Rc::new(std::cell::RefCell::new(crate::trace::Trace::new()));
+    let mut vm = Vm::builder(Machine::new(board), image)
+        .supervisor(Recorder::default())
+        .obs(Obs::single(trace.clone()))
+        .build()
+        .unwrap();
     vm.run(DEFAULT_FUEL).unwrap();
     assert_eq!(vm.supervisor.enters, vec![(3, 9), (3, 11)]);
     assert_eq!(vm.supervisor.exits, vec![3, 3]);
     assert_eq!(vm.stats.op_enters, 2);
-    let trace = vm.trace.as_ref().unwrap();
+    let trace = trace.borrow();
     assert_eq!(trace.op_switches(), 2);
     assert_eq!(trace.tasks().len(), 2);
 }
@@ -379,7 +383,7 @@ fn retry_fixup_reexecutes_the_access() {
     let image = link_baseline(mb.finish(), board).unwrap();
     let mut machine = Machine::new(board);
     machine.add_device(Box::new(Dummy)).unwrap();
-    let mut vm = Vm::new(machine, image, Granter).unwrap();
+    let mut vm = Vm::builder(machine, image).supervisor(Granter).build().unwrap();
     match vm.run(DEFAULT_FUEL).unwrap() {
         RunOutcome::Returned { value, .. } => assert_eq!(value, Some(0x77)),
         other => panic!("unexpected outcome {other:?}"),
@@ -402,8 +406,9 @@ fn thumb_reg_mapping_is_disjoint() {
 
 /// Module + machine where `main` calls operation entry `task` (op 3),
 /// which performs a store to an address the MPU denies, and `main`
-/// then returns `task`'s result plus 100.
-fn rogue_op_setup() -> Vm<Recorder> {
+/// then returns `task`'s result plus 100. Returns the builder so tests
+/// can add an injector or containment mode before building.
+fn rogue_op_setup() -> VmBuilder<Recorder> {
     let mut mb = ModuleBuilder::new("t");
     let task = mb.func("task", vec![], Some(Ty::I32), "a.c", |fb| {
         let p = fb.imm(0x2001_0000);
@@ -433,13 +438,12 @@ fn rogue_op_setup() -> Vm<Recorder> {
         .mpu
         .set_region(3, MpuRegion::new(0x2002_F000, 0x1000, RegionAttr::read_write_xn()))
         .unwrap();
-    Vm::new(machine, image, Recorder::default()).unwrap()
+    Vm::builder(machine, image).supervisor(Recorder::default())
 }
 
 #[test]
 fn quarantine_kills_only_the_offending_operation() {
-    let mut vm = rogue_op_setup();
-    vm.containment = ContainmentMode::Quarantine;
+    let mut vm = rogue_op_setup().containment(ContainmentMode::Quarantine).build().unwrap();
     match vm.run(DEFAULT_FUEL).unwrap() {
         // task's result is poisoned to 0; main still completes.
         RunOutcome::Returned { value, .. } => assert_eq!(value, Some(100)),
@@ -455,7 +459,7 @@ fn quarantine_kills_only_the_offending_operation() {
 
 #[test]
 fn terminate_mode_reports_the_typed_trap() {
-    let mut vm = rogue_op_setup();
+    let mut vm = rogue_op_setup().build().unwrap();
     match vm.run(DEFAULT_FUEL).unwrap_err() {
         VmError::Aborted { trap, .. } => assert!(trap.to_string().contains("mem fault")),
         other => panic!("unexpected error {other:?}"),
@@ -467,11 +471,13 @@ fn terminate_mode_reports_the_typed_trap() {
 fn hostile_injection_is_adjudicated_by_the_mpu() {
     use crate::inject::{InjectAction, InjectOutcome, ScheduledInjector};
     // Denied under the Recorder's unprivileged setup...
-    let mut vm = rogue_op_setup();
-    vm.set_injector(Box::new(ScheduledInjector::new(vec![(
-        2,
-        InjectAction::HostileStore { addr: 0x2001_0100, size: 4, value: 0x41 },
-    )])));
+    let mut vm = rogue_op_setup()
+        .injector(Box::new(ScheduledInjector::new(vec![(
+            2,
+            InjectAction::HostileStore { addr: 0x2001_0100, size: 4, value: 0x41 },
+        )])))
+        .build()
+        .unwrap();
     let err = vm.run(DEFAULT_FUEL).unwrap_err();
     assert!(matches!(err, VmError::Aborted { .. }));
     assert!(vm
@@ -487,11 +493,15 @@ fn hostile_injection_is_adjudicated_by_the_mpu() {
         fb.halt();
         fb.ret_void();
     });
-    let mut vm = boot(mb.finish(), NullSupervisor);
-    vm.set_injector(Box::new(ScheduledInjector::new(vec![(
-        2,
-        InjectAction::HostileStore { addr: 0x2001_0100, size: 4, value: 0x41 },
-    )])));
+    let board = Board::stm32f4_discovery();
+    let image = link_baseline(mb.finish(), board).unwrap();
+    let mut vm = Vm::builder(Machine::new(board), image)
+        .injector(Box::new(ScheduledInjector::new(vec![(
+            2,
+            InjectAction::HostileStore { addr: 0x2001_0100, size: 4, value: 0x41 },
+        )])))
+        .build()
+        .unwrap();
     vm.run(DEFAULT_FUEL).unwrap();
     assert!(vm
         .inject_log
@@ -516,11 +526,14 @@ fn armed_switch_corruption_fires_at_the_next_switch() {
     let mut image = link_baseline(mb.finish(), board).unwrap();
     let task_id = image.module.func_by_name("task").unwrap();
     image.op_entries.insert(task_id, 3);
-    let mut vm = Vm::new(Machine::new(board), image, Recorder::default()).unwrap();
-    vm.set_injector(Box::new(ScheduledInjector::new(vec![
-        (2, InjectAction::CorruptNextSwitchOp { bogus: 9 }),
-        (2, InjectAction::CorruptNextSwitchArg { index: 0, value: 0xBAD }),
-    ])));
+    let mut vm = Vm::builder(Machine::new(board), image)
+        .supervisor(Recorder::default())
+        .injector(Box::new(ScheduledInjector::new(vec![
+            (2, InjectAction::CorruptNextSwitchOp { bogus: 9 }),
+            (2, InjectAction::CorruptNextSwitchArg { index: 0, value: 0xBAD }),
+        ])))
+        .build()
+        .unwrap();
     vm.run(DEFAULT_FUEL).unwrap();
     // The supervisor saw the corrupted op id and argument.
     assert_eq!(vm.supervisor.enters, vec![(9, 0xBAD)]);
@@ -544,15 +557,19 @@ fn flip_bit_injection_bypasses_the_mpu() {
         let v = fb.load_global(g, 0, 4);
         fb.ret(Operand::Reg(v));
     });
-    let mut vm = boot(mb.finish(), NullSupervisor);
-    let addr = match vm.image.global_slots[0] {
+    let board = Board::stm32f4_discovery();
+    let image = link_baseline(mb.finish(), board).unwrap();
+    let addr = match image.global_slots[0] {
         GlobalSlot::Fixed(a) => a,
         other => panic!("unexpected slot {other:?}"),
     };
-    vm.set_injector(Box::new(ScheduledInjector::new(vec![(
-        2,
-        InjectAction::FlipBit { addr, bit: 3 },
-    )])));
+    let mut vm = Vm::builder(Machine::new(board), image)
+        .injector(Box::new(ScheduledInjector::new(vec![(
+            2,
+            InjectAction::FlipBit { addr, bit: 3 },
+        )])))
+        .build()
+        .unwrap();
     match vm.run(DEFAULT_FUEL).unwrap() {
         RunOutcome::Returned { value, .. } => assert_eq!(value, Some(8)),
         other => panic!("unexpected outcome {other:?}"),
@@ -582,11 +599,14 @@ fn smash_caller_stack_is_skipped_when_no_caller_data_is_on_the_stack() {
     let mut image = link_baseline(mb.finish(), board).unwrap();
     let task_id = image.module.func_by_name("task").unwrap();
     image.op_entries.insert(task_id, 3);
-    let mut vm = Vm::new(Machine::new(board), image, Recorder::default()).unwrap();
-    vm.set_injector(Box::new(ScheduledInjector::new(vec![(
-        3,
-        InjectAction::SmashCallerStack { value: 0x4141_4141 },
-    )])));
+    let mut vm = Vm::builder(Machine::new(board), image)
+        .supervisor(Recorder::default())
+        .injector(Box::new(ScheduledInjector::new(vec![(
+            3,
+            InjectAction::SmashCallerStack { value: 0x4141_4141 },
+        )])))
+        .build()
+        .unwrap();
     // `main` passes no stack arguments, so the operation is entered
     // with the caller's stack empty: there is nothing to smash and the
     // action must degrade to Skipped rather than store anywhere.

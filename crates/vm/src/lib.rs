@@ -23,9 +23,15 @@
 //! * the cycle clock is charged per instruction with Cortex-M4-style
 //!   costs, and supervisors charge their own handler work, so runtime
 //!   overhead is measurable via the simulated DWT;
-//! * an optional tracer records function entries/exits and operation
-//!   switches — the stand-in for the paper's GDB single-stepping when
-//!   computing the ET metric.
+//! * the VM emits structured [`opec_obs`] events — operation switches
+//!   with begin/end timing, function entries/exits, injector actions,
+//!   trap verdicts — through an [`opec_obs::Obs`] handle attached at
+//!   build time; the [`trace::Trace`] sink over that stream is the
+//!   stand-in for the paper's GDB single-stepping when computing the
+//!   ET metric.
+//!
+//! VMs are built with [`Vm::builder`]: supervisor, injector,
+//! observability and containment are all fixed at construction.
 
 #![warn(missing_docs)]
 
@@ -35,11 +41,14 @@ pub mod inject;
 pub mod supervisor;
 pub mod trace;
 
-pub use exec::{ContainmentMode, RunOutcome, Vm, VmError, VmStats};
+pub use opec_obs as obs;
+
+pub use exec::{ContainmentMode, RunOutcome, Vm, VmBuilder, VmError, VmStats};
 pub use image::{link_baseline, GlobalSlot, ImageError, LoadedImage, OpId};
 pub use inject::{InjectAction, InjectOutcome, Injector, ScheduledInjector};
+pub use obs::{Obs, Recorder, Sink};
 pub use supervisor::{
     CpuContext, FaultFixup, NullSupervisor, Supervisor, SwitchKind, SwitchRequest, TrapCause,
     TrapError,
 };
-pub use trace::{Trace, TraceEvent};
+pub use trace::Trace;

@@ -218,6 +218,13 @@ pub struct SwitchRequest<'a> {
 
 /// A privileged runtime attached to the VM.
 pub trait Supervisor {
+    /// Handed the VM's observability handle at build time
+    /// ([`VmBuilder::build`](crate::exec::VmBuilder::build)).
+    /// Supervisors that emit their own events (the OPEC-Monitor's
+    /// virtualization hits, the ACES runtime's compartment modes) keep
+    /// a clone; the default implementation ignores it.
+    fn attach_obs(&mut self, _obs: &opec_obs::Obs) {}
+
     /// Asked before the enter/exit protocol runs for a call to an
     /// operation-entry function. Returning `false` makes the call an
     /// ordinary one (no SVC, no switch cost). ACES uses this to switch

@@ -1,32 +1,40 @@
-//! Execution tracing at function granularity.
+//! Execution tracing at function granularity, as an observability sink.
 //!
 //! The paper extracts per-task executed-function sets by single-stepping
-//! the firmware under GDB (Section 6.4). The VM records the same
-//! information exactly, with operation enter/exit markers so the ET
-//! metric can segment the run into tasks.
+//! the firmware under GDB (Section 6.4). The VM emits the same
+//! information into the observability stream ([`opec_obs::Event`]); this
+//! sink keeps exactly what the ET metric needs — function entries/exits
+//! and operation boundaries — and segments the run into tasks.
+//!
+//! The old free-standing `TraceEvent` format is gone: attach a `Trace`
+//! through [`Obs`](opec_obs::Obs) instead, e.g.
+//!
+//! ```ignore
+//! let trace = Rc::new(RefCell::new(Trace::new()));
+//! let vm = Vm::builder(machine, image)
+//!     .supervisor(monitor)
+//!     .obs(Obs::single(trace.clone()))
+//!     .build()?;
+//! ```
 
 use std::collections::BTreeSet;
 
 use opec_ir::FuncId;
+use opec_obs::{Dir, Event, Sink, Stamped};
 
-/// One trace event.
+/// The subset of the event stream the ET metric needs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// A function body was entered.
+enum Rec {
     FuncEnter(FuncId),
-    /// A function returned.
     FuncExit(FuncId),
-    /// An operation was entered (the id from the image's entry table).
     OpEnter(u8, FuncId),
-    /// An operation was exited.
-    OpExit(u8, FuncId),
+    OpExit(u8),
 }
 
-/// An execution trace.
+/// An execution trace: function entries/exits with operation markers.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    /// Recorded events, in program order.
-    pub events: Vec<TraceEvent>,
+    recs: Vec<Rec>,
 }
 
 impl Trace {
@@ -35,9 +43,14 @@ impl Trace {
         Trace::default()
     }
 
-    /// Records an event.
-    pub fn push(&mut self, ev: TraceEvent) {
-        self.events.push(ev);
+    /// Number of recorded trace records.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
     }
 
     /// Splits the trace into *tasks*: for each top-level operation
@@ -47,12 +60,12 @@ impl Trace {
     pub fn tasks(&self) -> Vec<(u8, FuncId, BTreeSet<FuncId>)> {
         let mut out = Vec::new();
         let mut stack: Vec<(u8, FuncId, BTreeSet<FuncId>)> = Vec::new();
-        for ev in &self.events {
-            match ev {
-                TraceEvent::OpEnter(op, entry) => {
+        for rec in &self.recs {
+            match rec {
+                Rec::OpEnter(op, entry) => {
                     stack.push((*op, *entry, BTreeSet::new()));
                 }
-                TraceEvent::OpExit(op, _) => {
+                Rec::OpExit(op) => {
                     if let Some((sop, entry, set)) = stack.pop() {
                         debug_assert_eq!(sop, *op);
                         // Nested operations also contribute to the outer
@@ -61,12 +74,12 @@ impl Trace {
                         out.push((sop, entry, set));
                     }
                 }
-                TraceEvent::FuncEnter(f) => {
+                Rec::FuncEnter(f) => {
                     if let Some((_, _, set)) = stack.last_mut() {
                         set.insert(*f);
                     }
                 }
-                TraceEvent::FuncExit(_) => {}
+                Rec::FuncExit(_) => {}
             }
         }
         out
@@ -74,10 +87,10 @@ impl Trace {
 
     /// The set of all functions that executed at least once.
     pub fn executed_functions(&self) -> BTreeSet<FuncId> {
-        self.events
+        self.recs
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::FuncEnter(f) => Some(*f),
+                Rec::FuncEnter(f) => Some(*f),
                 _ => None,
             })
             .collect()
@@ -85,7 +98,28 @@ impl Trace {
 
     /// Number of operation switches (enter events).
     pub fn op_switches(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, TraceEvent::OpEnter(..))).count()
+        self.recs.iter().filter(|e| matches!(e, Rec::OpEnter(..))).count()
+    }
+}
+
+impl Sink for Trace {
+    fn record(&mut self, ev: Stamped) {
+        match ev.ev {
+            Event::FuncEnter { func } => self.recs.push(Rec::FuncEnter(FuncId(func))),
+            Event::FuncExit { func } => self.recs.push(Rec::FuncExit(FuncId(func))),
+            // An operation becomes active when its enter switch
+            // *succeeds*; a rejected switch never ran the operation.
+            Event::SwitchEnd { dir: Dir::Enter, to, entry, ok: true, .. } => {
+                self.recs.push(Rec::OpEnter(to, FuncId(entry)));
+            }
+            Event::SwitchEnd { dir: Dir::Exit, from, ok: true, .. } => {
+                self.recs.push(Rec::OpExit(from));
+            }
+            // A quarantined operation is closed by the unwind, with no
+            // exit switch.
+            Event::Quarantine { op } => self.recs.push(Rec::OpExit(op)),
+            _ => {}
+        }
     }
 }
 
@@ -93,20 +127,32 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn feed(t: &mut Trace, ev: Event) {
+        t.record(Stamped { t: 0, ev });
+    }
+
+    fn op_enter(t: &mut Trace, op: u8, entry: u32) {
+        feed(t, Event::SwitchEnd { dir: Dir::Enter, from: 0, to: op, entry, ok: true });
+    }
+
+    fn op_exit(t: &mut Trace, op: u8, entry: u32) {
+        feed(t, Event::SwitchEnd { dir: Dir::Exit, from: op, to: 0, entry, ok: true });
+    }
+
     #[test]
     fn tasks_segment_by_operation() {
         let mut t = Trace::new();
         let f = |i| FuncId(i);
-        t.push(TraceEvent::OpEnter(1, f(10)));
-        t.push(TraceEvent::FuncEnter(f(10)));
-        t.push(TraceEvent::FuncEnter(f(11)));
-        t.push(TraceEvent::FuncExit(f(11)));
-        t.push(TraceEvent::FuncExit(f(10)));
-        t.push(TraceEvent::OpExit(1, f(10)));
-        t.push(TraceEvent::OpEnter(2, f(20)));
-        t.push(TraceEvent::FuncEnter(f(20)));
-        t.push(TraceEvent::FuncExit(f(20)));
-        t.push(TraceEvent::OpExit(2, f(20)));
+        op_enter(&mut t, 1, 10);
+        feed(&mut t, Event::FuncEnter { func: 10 });
+        feed(&mut t, Event::FuncEnter { func: 11 });
+        feed(&mut t, Event::FuncExit { func: 11 });
+        feed(&mut t, Event::FuncExit { func: 10 });
+        op_exit(&mut t, 1, 10);
+        op_enter(&mut t, 2, 20);
+        feed(&mut t, Event::FuncEnter { func: 20 });
+        feed(&mut t, Event::FuncExit { func: 20 });
+        op_exit(&mut t, 2, 20);
         let tasks = t.tasks();
         assert_eq!(tasks.len(), 2);
         assert_eq!(tasks[0].0, 1);
@@ -120,15 +166,15 @@ mod tests {
     fn nested_operations_segment_separately() {
         let mut t = Trace::new();
         let f = |i| FuncId(i);
-        t.push(TraceEvent::OpEnter(1, f(10)));
-        t.push(TraceEvent::FuncEnter(f(10)));
+        op_enter(&mut t, 1, 10);
+        feed(&mut t, Event::FuncEnter { func: 10 });
         // Nested operation: its functions belong to ITS task record.
-        t.push(TraceEvent::OpEnter(2, f(20)));
-        t.push(TraceEvent::FuncEnter(f(20)));
-        t.push(TraceEvent::FuncEnter(f(21)));
-        t.push(TraceEvent::OpExit(2, f(20)));
-        t.push(TraceEvent::FuncEnter(f(11)));
-        t.push(TraceEvent::OpExit(1, f(10)));
+        op_enter(&mut t, 2, 20);
+        feed(&mut t, Event::FuncEnter { func: 20 });
+        feed(&mut t, Event::FuncEnter { func: 21 });
+        op_exit(&mut t, 2, 20);
+        feed(&mut t, Event::FuncEnter { func: 11 });
+        op_exit(&mut t, 1, 10);
         let tasks = t.tasks();
         assert_eq!(tasks.len(), 2);
         // Inner task closes first.
@@ -141,9 +187,22 @@ mod tests {
     #[test]
     fn functions_outside_operations_are_not_in_tasks() {
         let mut t = Trace::new();
-        t.push(TraceEvent::FuncEnter(FuncId(1)));
-        t.push(TraceEvent::FuncExit(FuncId(1)));
+        feed(&mut t, Event::FuncEnter { func: 1 });
+        feed(&mut t, Event::FuncExit { func: 1 });
         assert!(t.tasks().is_empty());
         assert_eq!(t.executed_functions().len(), 1);
+    }
+
+    #[test]
+    fn rejected_switch_opens_no_task_and_quarantine_closes_one() {
+        let mut t = Trace::new();
+        feed(&mut t, Event::SwitchEnd { dir: Dir::Enter, from: 0, to: 7, entry: 1, ok: false });
+        assert_eq!(t.op_switches(), 0);
+        op_enter(&mut t, 3, 30);
+        feed(&mut t, Event::FuncEnter { func: 30 });
+        feed(&mut t, Event::Quarantine { op: 3 });
+        let tasks = t.tasks();
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].0, 3);
     }
 }

@@ -60,7 +60,10 @@ fn main() {
     let mut machine = Machine::new(board);
     opec::devices::install_standard_devices(&mut machine, Default::default()).unwrap();
     let policy = out.policy.clone();
-    let mut vm = Vm::new(machine, out.image, opec::core::OpecMonitor::new(policy)).unwrap();
+    let mut vm = Vm::builder(machine, out.image)
+        .supervisor(opec::core::OpecMonitor::new(policy))
+        .build()
+        .unwrap();
     vm.run(10_000_000).expect("run");
     println!(
         "run completed: {} MemManage faults served by MPU virtualization \
@@ -94,7 +97,10 @@ fn main() {
     let mut machine = Machine::new(board);
     opec::devices::install_standard_devices(&mut machine, Default::default()).unwrap();
     let policy = out.policy.clone();
-    let mut vm = Vm::new(machine, out.image, opec::core::OpecMonitor::new(policy)).unwrap();
+    let mut vm = Vm::builder(machine, out.image)
+        .supervisor(opec::core::OpecMonitor::new(policy))
+        .build()
+        .unwrap();
     match vm.run(10_000_000) {
         Err(VmError::Aborted { trap: reason, .. }) => {
             println!("\nout-of-policy peripheral access stopped: {reason}");

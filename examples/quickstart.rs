@@ -66,7 +66,10 @@ fn main() {
 
     // Run under OPEC-Monitor.
     let policy = out.policy.clone();
-    let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).expect("vm");
+    let mut vm = Vm::builder(Machine::new(board), out.image)
+        .supervisor(OpecMonitor::new(policy))
+        .build()
+        .expect("vm");
     match vm.run(10_000_000).expect("run") {
         RunOutcome::Returned { value, cycles } => {
             println!("main returned {:?} after {cycles} cycles", value);
@@ -100,7 +103,10 @@ fn main() {
     let out = opec::core::compile(mb.finish(), board, &[OperationSpec::plain("rogue_task")])
         .expect("compile");
     let policy = out.policy.clone();
-    let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).expect("vm");
+    let mut vm = Vm::builder(Machine::new(board), out.image)
+        .supervisor(OpecMonitor::new(policy))
+        .build()
+        .expect("vm");
     match vm.run(10_000_000) {
         Err(VmError::Aborted { trap: reason, pc }) => {
             println!("\nrogue task stopped at {pc:#010x}: {reason}");

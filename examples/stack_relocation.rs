@@ -58,7 +58,10 @@ fn main() {
         out.policy.stack.size / 8
     );
     let policy = out.policy.clone();
-    let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).unwrap();
+    let mut vm = Vm::builder(Machine::new(board), out.image)
+        .supervisor(OpecMonitor::new(policy))
+        .build()
+        .unwrap();
     match vm.run(10_000_000).expect("run") {
         RunOutcome::Returned { value, .. } => {
             println!(
@@ -95,7 +98,10 @@ fn main() {
         opec::core::compile(mb.finish(), board, &[OperationSpec::with_args("attack", vec![None])])
             .expect("compile");
     let policy = out.policy.clone();
-    let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).unwrap();
+    let mut vm = Vm::builder(Machine::new(board), out.image)
+        .supervisor(OpecMonitor::new(policy))
+        .build()
+        .unwrap();
     match vm.run(10_000_000) {
         Err(VmError::Aborted { trap: reason, .. }) => {
             println!("\nwrite into the caller's frame stopped: {reason}");

@@ -34,7 +34,10 @@
 //!
 //! // 3. Run under the monitor on the simulated machine.
 //! let policy = out.policy.clone();
-//! let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).unwrap();
+//! let mut vm = Vm::builder(Machine::new(board), out.image)
+//!     .supervisor(OpecMonitor::new(policy))
+//!     .build()
+//!     .unwrap();
 //! let outcome = vm.run(10_000_000).unwrap();
 //! assert!(outcome.cycles() > 0);
 //! assert_eq!(vm.supervisor.stats.switches, 1);

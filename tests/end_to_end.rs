@@ -13,7 +13,7 @@ fn run_baseline(app: &opec_apps::App) -> u64 {
     let image = link_baseline(module, app.board).unwrap();
     let mut machine = Machine::new(app.board);
     (app.setup)(&mut machine);
-    let mut vm = Vm::new(machine, image, NullSupervisor).unwrap();
+    let mut vm = Vm::builder(machine, image).build().unwrap();
     let out = vm.run(FUEL).unwrap_or_else(|e| panic!("{} baseline: {e}", app.name));
     (app.check)(&mut vm.machine).unwrap_or_else(|e| panic!("{} baseline: {e}", app.name));
     out.cycles()
@@ -26,7 +26,8 @@ fn run_opec(app: &opec_apps::App) -> (u64, opec_core::MonitorStats) {
     let mut machine = Machine::new(app.board);
     (app.setup)(&mut machine);
     let policy = out.policy.clone();
-    let mut vm = Vm::new(machine, out.image, OpecMonitor::new(policy)).unwrap();
+    let mut vm =
+        Vm::builder(machine, out.image).supervisor(OpecMonitor::new(policy)).build().unwrap();
     let run = vm.run(FUEL).unwrap_or_else(|e| panic!("{} OPEC: {e}", app.name));
     (app.check)(&mut vm.machine).unwrap_or_else(|e| panic!("{} OPEC: {e}", app.name));
     (run.cycles(), vm.supervisor.stats)
@@ -113,7 +114,7 @@ fn aces_strategies_run_all_comparison_apps() {
             );
             let mut machine = Machine::new(app.board);
             (app.setup)(&mut machine);
-            let mut vm = Vm::new(machine, out.image, rt).unwrap();
+            let mut vm = Vm::builder(machine, out.image).supervisor(rt).build().unwrap();
             vm.run(FUEL).unwrap_or_else(|e| panic!("{} under {}: {e}", app.name, strategy.label()));
             (app.check)(&mut vm.machine)
                 .unwrap_or_else(|e| panic!("{} {}: {e}", app.name, strategy.label()));

@@ -74,7 +74,7 @@ fn interrupt_driven_reception_on_the_baseline() {
     let mut machine = Machine::new(board);
     opec::devices::install_standard_devices(&mut machine, Default::default()).unwrap();
     feed_uart(&mut machine);
-    let mut vm = Vm::new(machine, image, NullSupervisor).unwrap();
+    let mut vm = Vm::builder(machine, image).build().unwrap();
     match vm.run(FUEL).unwrap() {
         RunOutcome::Returned { value, .. } => assert_eq!(value, Some(u32::from(b'z'))),
         other => panic!("unexpected outcome {other:?}"),
@@ -94,7 +94,7 @@ fn interrupt_handlers_run_privileged_under_opec() {
     opec::devices::install_standard_devices(&mut machine, Default::default()).unwrap();
     feed_uart(&mut machine);
     let policy = out.policy.clone();
-    let mut vm = Vm::new(machine, image, OpecMonitor::new(policy)).unwrap();
+    let mut vm = Vm::builder(machine, image).supervisor(OpecMonitor::new(policy)).build().unwrap();
     match vm.run(FUEL).unwrap() {
         RunOutcome::Returned { value, .. } => assert_eq!(value, Some(u32::from(b'z'))),
         other => panic!("unexpected outcome {other:?}"),

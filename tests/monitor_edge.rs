@@ -14,7 +14,7 @@ fn boot(module: opec_ir::Module, specs: &[OperationSpec]) -> Vm<OpecMonitor> {
     let mut machine = Machine::new(board);
     opec::devices::install_standard_devices(&mut machine, Default::default()).unwrap();
     let policy = out.policy.clone();
-    Vm::new(machine, out.image, OpecMonitor::new(policy)).unwrap()
+    Vm::builder(machine, out.image).supervisor(OpecMonitor::new(policy)).build().unwrap()
 }
 
 #[test]

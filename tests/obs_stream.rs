@@ -1,0 +1,160 @@
+//! The observability stream is part of the repo's contract: the event
+//! sequence for a fixed firmware is byte-stable (golden file), the
+//! online aggregates agree with hand counts over the raw stream, and
+//! real applications produce identical streams run over run.
+//!
+//! Regenerate the golden file after an intentional event change with
+//! `UPDATE_GOLDEN=1 cargo test --test obs_stream`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use opec::prelude::*;
+use opec_vm::obs::export::{event_log, metrics_json};
+use opec_vm::obs::{Dir, Event};
+use opec_vm::{Obs, Recorder};
+
+const FUEL: u64 = 50_000_000;
+
+/// A fixed two-operation firmware: `writer` stores a shared variable,
+/// `reader` copies it to a result. Small enough that the whole event
+/// stream is reviewable by eye in the golden file.
+fn two_op_fixture() -> (opec_ir::Module, Vec<OperationSpec>) {
+    let mut mb = ModuleBuilder::new("golden");
+    let shared = mb.global("shared", Ty::I32, "m.c");
+    let result = mb.global("result", Ty::I32, "m.c");
+    let writer = mb.func("writer", vec![], None, "m.c", |fb| {
+        fb.store_global(shared, 0, Operand::Imm(77), 4);
+        fb.ret_void();
+    });
+    let reader = mb.func("reader", vec![], None, "m.c", |fb| {
+        let v = fb.load_global(shared, 0, 4);
+        fb.store_global(result, 0, Operand::Reg(v), 4);
+        fb.ret_void();
+    });
+    mb.func("main", vec![], Some(Ty::I32), "m.c", |fb| {
+        let _ = fb.load_global(shared, 0, 4);
+        fb.call_void(writer, vec![]);
+        fb.call_void(reader, vec![]);
+        let r = fb.load_global(result, 0, 4);
+        fb.ret(Operand::Reg(r));
+    });
+    (mb.finish(), vec![OperationSpec::plain("writer"), OperationSpec::plain("reader")])
+}
+
+/// Compiles and runs the fixture with a recorder attached (function
+/// events included) and returns the drained recorder.
+fn record_fixture() -> Recorder {
+    let (module, specs) = two_op_fixture();
+    let board = Board::stm32f4_discovery();
+    let out = compile(module, board, &specs).unwrap();
+    let rec = Rc::new(RefCell::new(Recorder::new().with_funcs()));
+    let mut vm = Vm::builder(Machine::new(board), out.image)
+        .supervisor(OpecMonitor::new(out.policy))
+        .obs(Obs::single(rec.clone()))
+        .build()
+        .unwrap();
+    match vm.run(FUEL).unwrap() {
+        RunOutcome::Returned { value, .. } => assert_eq!(value, Some(77)),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    drop(vm);
+    Rc::try_unwrap(rec).expect("sole recorder handle").into_inner()
+}
+
+#[test]
+fn event_stream_matches_golden_file() {
+    let rec = record_fixture();
+    assert_eq!(rec.ring.dropped(), 0, "fixture must fit the default ring");
+    let log = event_log(&rec.ring.to_vec());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/obs_stream.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &log).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        log, golden,
+        "event stream drifted from the golden file; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn aggregates_agree_with_hand_counts_over_the_raw_stream() {
+    let rec = record_fixture();
+    let events = rec.ring.to_vec();
+    assert_eq!(rec.ring.dropped(), 0);
+    // Nothing was shed, so the ring holds exactly what metrics saw.
+    assert_eq!(rec.ring.total(), rec.metrics.events_seen);
+    assert_eq!(rec.ring.total(), events.len() as u64);
+
+    // Hand-count the stream and compare against the online aggregates.
+    let mut enters = std::collections::BTreeMap::new();
+    let mut func_enters = 0u64;
+    let mut mpu_loads = 0u64;
+    let mut mpu_region_writes = 0u64;
+    let mut run_end_insts = None;
+    for ev in &events {
+        match ev.ev {
+            Event::SwitchEnd { dir: Dir::Enter, to, ok: true, .. } => {
+                *enters.entry(to).or_insert(0u64) += 1;
+            }
+            Event::FuncEnter { .. } => func_enters += 1,
+            Event::MpuLoad { .. } => mpu_loads += 1,
+            Event::MpuRegionWrite { .. } => mpu_region_writes += 1,
+            Event::RunEnd { insts } => run_end_insts = Some(insts),
+            _ => {}
+        }
+    }
+    // Each operation entered exactly once.
+    let (writer_op, reader_op) = (1, 2);
+    assert_eq!(enters.get(&writer_op), Some(&1));
+    assert_eq!(enters.get(&reader_op), Some(&1));
+    for (&op, &n) in &enters {
+        let m = rec.metrics.op(op).expect("per-op aggregate exists");
+        assert_eq!(m.enters, n, "op{op} enter count");
+        assert_eq!(m.enter_cycles.count(), n, "op{op} enter histogram count");
+        assert!(m.enter_cycles.sum() > 0, "op{op} switches cost cycles");
+    }
+    assert_eq!(rec.metrics.total_switches(), enters.values().sum::<u64>());
+    let metrics_funcs: u64 = rec.metrics.ops().map(|(_, m)| m.func_enters).sum();
+    assert_eq!(metrics_funcs, func_enters);
+    assert_eq!(rec.metrics.mpu_loads, mpu_loads);
+    assert_eq!(rec.metrics.mpu_region_writes, mpu_region_writes);
+    assert_eq!(Some(rec.metrics.total_insts), run_end_insts);
+    // The JSON export carries the same numbers.
+    let json = metrics_json(&rec.metrics);
+    assert!(json.contains(&format!("\"switches\":{}", rec.metrics.total_switches())));
+    assert!(json.contains(&format!("\"insts\":{}", rec.metrics.total_insts)));
+}
+
+#[test]
+fn real_app_streams_are_identical_run_over_run() {
+    let run = || {
+        let app = opec_apps::programs::pinlock::app();
+        let (module, specs) = (app.build)();
+        let out = opec::core::compile(module, app.board, &specs).unwrap();
+        let mut machine = Machine::new(app.board);
+        (app.setup)(&mut machine);
+        let rec = Rc::new(RefCell::new(Recorder::new()));
+        let mut vm = Vm::builder(machine, out.image)
+            .supervisor(OpecMonitor::new(out.policy))
+            .obs(Obs::single(rec.clone()))
+            .build()
+            .unwrap();
+        vm.run(FUEL).unwrap();
+        (app.check)(&mut vm.machine).unwrap();
+        drop(vm);
+        let rec = Rc::try_unwrap(rec).expect("sole recorder handle").into_inner();
+        (event_log(&rec.ring.to_vec()), metrics_json(&rec.metrics), rec.ring.dropped())
+    };
+    let (log1, json1, dropped1) = run();
+    let (log2, json2, dropped2) = run();
+    assert_eq!(dropped1, 0);
+    assert_eq!(dropped2, 0);
+    assert_eq!(log1, log2, "event streams must be byte-identical across runs");
+    assert_eq!(json1, json2, "aggregates must be identical across runs");
+    assert!(!log1.is_empty());
+}

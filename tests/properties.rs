@@ -202,7 +202,7 @@ fn run_value<S: opec_vm::Supervisor>(
     supervisor: S,
     board: Board,
 ) -> u32 {
-    let mut vm = Vm::new(Machine::new(board), image, supervisor).unwrap();
+    let mut vm = Vm::builder(Machine::new(board), image).supervisor(supervisor).build().unwrap();
     match vm.run(20_000_000).expect("run") {
         RunOutcome::Returned { value, .. } => value.expect("checksum"),
         other => panic!("unexpected outcome {other:?}"),

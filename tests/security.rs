@@ -46,7 +46,8 @@ fn run_expecting_abort(module: Module, specs: Vec<OperationSpec>, needle: &str) 
     let mut machine = Machine::new(board);
     opec::devices::install_standard_devices(&mut machine, Default::default()).unwrap();
     let policy = out.policy.clone();
-    let mut vm = Vm::new(machine, out.image, OpecMonitor::new(policy)).unwrap();
+    let mut vm =
+        Vm::builder(machine, out.image).supervisor(OpecMonitor::new(policy)).build().unwrap();
     match vm.run(FUEL) {
         Err(VmError::Aborted { trap, .. }) => {
             let reason = trap.to_string();
@@ -138,7 +139,10 @@ fn indirect_call_to_data_is_stopped() {
     let board = Board::stm32f4_discovery();
     let out = opec::core::compile(module, board, &specs).unwrap();
     let policy = out.policy.clone();
-    let mut vm = Vm::new(Machine::new(board), out.image, OpecMonitor::new(policy)).unwrap();
+    let mut vm = Vm::builder(Machine::new(board), out.image)
+        .supervisor(OpecMonitor::new(policy))
+        .build()
+        .unwrap();
     match vm.run(FUEL) {
         Err(VmError::BadIndirectCall { .. }) => {}
         other => panic!("expected the jump-to-data to fail, got {other:?}"),
@@ -154,7 +158,8 @@ fn benign_runs_survive_the_same_policies() {
     let mut machine = Machine::new(board);
     opec::devices::install_standard_devices(&mut machine, Default::default()).unwrap();
     let policy = out.policy.clone();
-    let mut vm = Vm::new(machine, out.image, OpecMonitor::new(policy)).unwrap();
+    let mut vm =
+        Vm::builder(machine, out.image).supervisor(OpecMonitor::new(policy)).build().unwrap();
     assert!(matches!(vm.run(FUEL).unwrap(), RunOutcome::Halted { .. }));
 }
 
