@@ -1,0 +1,281 @@
+//! Property tests for the MPU sub-region disable (SRD) encoding and
+//! regression coverage for the >4-peripheral-window round-robin
+//! virtualization discipline the OPEC monitor layers on top of
+//! [`Mpu::set_region`] / [`Mpu::load_regions`].
+//!
+//! The SRD tests round-trip the bit mask through the observable
+//! behaviour: bit `i` set must disable exactly the `i`-th eighth of the
+//! region — at its boundaries, in its interior, and through the full
+//! per-byte [`Mpu::check_data`] decision — and re-deriving the mask
+//! from those observations must reproduce the original bits.
+//!
+//! The property bodies live in plain functions (panics shrink fine
+//! under proptest) so the `proptest!` blocks stay small; the macro's
+//! token muncher still needs a bumped recursion limit.
+
+#![recursion_limit = "256"]
+
+use opec_armv7m::mpu::{
+    Mpu, MpuConfigError, MpuDecision, MpuRegion, RegionAttr, MPU_MIN_SUBREGION_REGION_SIZE,
+};
+use opec_armv7m::Mode;
+use proptest::prelude::*;
+
+/// A random region eligible for sub-regions: power-of-two size in
+/// 256..=64 KiB, base aligned to the size, arbitrary SRD mask.
+fn subregion_region() -> impl Strategy<Value = (u32, u32, u8)> {
+    (8u32..17, 0u32..64, any::<u8>()).prop_map(|(exp, slot, srd)| {
+        let size = 1u32 << exp;
+        (0x2000_0000 + slot * size, size, srd)
+    })
+}
+
+/// Builds an enabled MPU whose only region is `region` in slot 0.
+fn mpu_with(region: MpuRegion) -> Mpu {
+    let mut mpu = Mpu::new();
+    mpu.enabled = true;
+    mpu.set_region(0, region).expect("region validates");
+    mpu
+}
+
+/// SRD bits ↔ enabled byte-ranges round-trip. Forward: bit `i` clear
+/// makes every byte of eighth `i` match (and bit `i` set makes none
+/// match). Reverse: the mask re-derived from `matches` at each
+/// eighth's base equals the original.
+fn check_srd_round_trip(base: u32, size: u32, srd: u8) {
+    let mut region = MpuRegion::new(base, size, RegionAttr::full_access());
+    region.srd = srd;
+    assert_eq!(region.validate(), Ok(()));
+    let mpu = mpu_with(region);
+
+    let sub = size / 8;
+    for i in 0..8u32 {
+        let enabled = srd & (1u8 << i) == 0;
+        let lo = base + i * sub;
+        for addr in [lo, lo + sub / 2, lo + sub - 1] {
+            assert_eq!(
+                region.matches(addr),
+                enabled,
+                "eighth {i} at {addr:#010x} with srd {srd:#04x}"
+            );
+            let decision = mpu.check_data(addr, 1, true, Mode::Unprivileged);
+            assert_eq!(
+                decision == MpuDecision::Allowed,
+                enabled,
+                "check_data at {addr:#010x} with srd {srd:#04x}"
+            );
+        }
+    }
+
+    let mut derived = 0u8;
+    for i in 0..8u32 {
+        if !region.matches(base + i * sub) {
+            derived |= 1 << i;
+        }
+    }
+    assert_eq!(derived, srd, "re-derived mask differs from the programmed one");
+
+    // Outside the covering range nothing matches, whatever the mask.
+    assert!(!region.matches(base - 1));
+    assert!(!region.matches(base + size));
+}
+
+/// A multi-byte access is allowed iff every byte it touches lands in
+/// an enabled eighth — straddling a disabled sub-region denies.
+fn check_multibyte_straddle(base: u32, size: u32, srd: u8, start_eighth: u32, len: u32) {
+    let mut region = MpuRegion::new(base, size, RegionAttr::full_access());
+    region.srd = srd;
+    let mpu = mpu_with(region);
+
+    let sub = size / 8;
+    // Start just below an eighth boundary so len > 1 can straddle.
+    let addr = base + start_eighth * sub + sub - 1;
+    let all_enabled = (0..len).all(|off| {
+        let eighth = (addr + off - base) / sub;
+        eighth < 8 && srd & (1u8 << eighth) == 0
+    });
+    let decision = mpu.check_data(addr, len, false, Mode::Unprivileged);
+    assert_eq!(
+        decision == MpuDecision::Allowed,
+        all_enabled,
+        "{len}-byte access at {addr:#010x} with srd {srd:#04x}"
+    );
+}
+
+/// Regions below 256 bytes cannot carry SRD bits: `validate` rejects
+/// them, and the (defensive) `matches` ignores the mask.
+fn check_small_region_rejects_srd(exp: u32, slot: u32, srd: u8) {
+    let size = 1u32 << exp;
+    assert!(size < MPU_MIN_SUBREGION_REGION_SIZE);
+    let base = 0x2000_0000 + slot * size;
+    let mut region = MpuRegion::new(base, size, RegionAttr::full_access());
+    region.srd = srd;
+    assert_eq!(region.validate(), Err(MpuConfigError::SubregionsUnsupported { size }));
+    for off in [0, size / 2, size - 1] {
+        assert!(region.matches(base + off));
+    }
+}
+
+proptest! {
+    #[test]
+    fn srd_bits_round_trip_through_enabled_ranges(region in subregion_region()) {
+        let (base, size, srd) = region;
+        check_srd_round_trip(base, size, srd);
+    }
+
+    #[test]
+    fn multibyte_access_denied_iff_it_touches_a_disabled_eighth(
+        region in subregion_region(),
+        start_eighth in 0u32..8,
+        len in 1u32..5,
+    ) {
+        let (base, size, srd) = region;
+        check_multibyte_straddle(base, size, srd, start_eighth, len);
+    }
+
+    #[test]
+    fn small_regions_reject_srd_bits(exp in 5u32..8, slot in 0u32..256, srd in 0u8..255) {
+        check_small_region_rejects_srd(exp, slot, srd + 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round-robin window virtualization (regression for the >4-window fix).
+//
+// The OPEC monitor reserves MPU slots 4..8 for peripheral windows: the
+// first four are preloaded index-aligned, and a MemManage fault on a
+// fifth (or later) window swaps its prepared region into the victim
+// slot `4 + rr % 4`, `rr += 1` (see `OpecMonitor::on_mem_fault`). These
+// tests drive that exact discipline against the MPU model and assert
+// the region file tracks the slot bookkeeping at every step.
+// ---------------------------------------------------------------------
+
+const WINDOW_STRIDE: u32 = 0x1000;
+const WINDOW_SIZE: u32 = 0x400;
+
+fn window(widx: u32) -> MpuRegion {
+    MpuRegion::new(0x4000_0000 + widx * WINDOW_STRIDE, WINDOW_SIZE, RegionAttr::read_write_xn())
+}
+
+fn unpriv_allowed(mpu: &Mpu, addr: u32) -> bool {
+    mpu.check_data(addr, 4, true, Mode::Unprivileged) == MpuDecision::Allowed
+}
+
+/// The monitor's virtualization bookkeeping, replayed over a bare MPU.
+struct VirtFile {
+    mpu: Mpu,
+    virt_slots: [Option<u8>; 4],
+    rr: usize,
+}
+
+impl VirtFile {
+    fn new() -> VirtFile {
+        let mut f = VirtFile { mpu: Mpu::new(), virt_slots: [None; 4], rr: 0 };
+        f.mpu.enabled = true;
+        f.reload();
+        f
+    }
+
+    /// Mirrors `OpecMonitor::load_regions_for`: full reprogram with the
+    /// first four windows index-aligned in slots 4..8, bookkeeping and
+    /// round-robin cursor reset.
+    fn reload(&mut self) {
+        let regions: Vec<(usize, MpuRegion)> =
+            (0..4).map(|i| (4 + i as usize, window(i))).collect();
+        self.mpu.load_regions(&regions).expect("preload regions");
+        self.virt_slots = [None; 4];
+        for i in 0..4u32 {
+            self.virt_slots[i as usize] = Some(i as u8);
+        }
+        self.rr = 0;
+    }
+
+    /// Mirrors `OpecMonitor::on_mem_fault` for an access to window
+    /// `widx`: if the region file denies it, swap the window's region
+    /// into the round-robin victim slot and retry.
+    fn touch(&mut self, widx: u32) {
+        let addr = window(widx).base;
+        if !unpriv_allowed(&self.mpu, addr) {
+            let victim = 4 + (self.rr % 4);
+            self.rr += 1;
+            self.virt_slots[victim - 4] = Some(widx as u8);
+            self.mpu.set_region(victim, window(widx)).expect("swap window in");
+        }
+        assert!(unpriv_allowed(&self.mpu, addr), "window {widx} still denied after swap");
+    }
+
+    /// Asserts the region file allows exactly the windows the slot
+    /// bookkeeping says it holds, out of `total` windows.
+    fn assert_resident(&self, total: u32) {
+        let resident: Vec<u8> = self.virt_slots.iter().flatten().copied().collect();
+        for widx in 0..total {
+            assert_eq!(
+                unpriv_allowed(&self.mpu, window(widx).base),
+                resident.contains(&(widx as u8)),
+                "window {widx} vs slots {:?}",
+                self.virt_slots,
+            );
+        }
+    }
+}
+
+#[test]
+fn round_robin_swaps_track_the_region_file_beyond_four_windows() {
+    let mut f = VirtFile::new();
+    f.assert_resident(6);
+
+    // Window 4 faults in: victim is slot 4, evicting window 0.
+    f.touch(4);
+    assert_eq!(f.virt_slots, [Some(4), Some(1), Some(2), Some(3)]);
+    f.assert_resident(6);
+    assert!(!unpriv_allowed(&f.mpu, window(0).base), "evicted window 0 must deny again");
+
+    // Window 5 faults in: victim is slot 5, evicting window 1.
+    f.touch(5);
+    assert_eq!(f.virt_slots, [Some(4), Some(5), Some(2), Some(3)]);
+    f.assert_resident(6);
+
+    // Evicted windows fault back in, walking the remaining victims.
+    f.touch(0);
+    f.touch(1);
+    assert_eq!(f.virt_slots, [Some(4), Some(5), Some(0), Some(1)]);
+    f.assert_resident(6);
+
+    // The cursor wraps: the next miss takes slot 4 again.
+    f.touch(2);
+    assert_eq!(f.virt_slots, [Some(2), Some(5), Some(0), Some(1)]);
+    f.assert_resident(6);
+
+    // Resident windows never trigger a swap.
+    let rr_before = f.rr;
+    f.touch(5);
+    f.touch(0);
+    assert_eq!(f.rr, rr_before, "hits must not advance the round-robin cursor");
+
+    // A full reprogram (operation switch) clears every stale slot.
+    f.reload();
+    f.assert_resident(6);
+    assert_eq!(f.rr, 0);
+}
+
+/// Any access sequence over more windows than slots keeps the MPU
+/// region file and the slot bookkeeping in lockstep: after every
+/// access the touched window is resident, and exactly the windows the
+/// slots claim are allowed.
+fn check_sequence_lockstep(accesses: &[u32]) {
+    let mut f = VirtFile::new();
+    for &widx in accesses {
+        f.touch(widx);
+        assert!(unpriv_allowed(&f.mpu, window(widx).base));
+        f.assert_resident(6);
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_access_sequences_keep_slots_and_region_file_in_lockstep(
+        accesses in proptest::collection::vec(0u32..6, 1..40),
+    ) {
+        check_sequence_lockstep(&accesses);
+    }
+}

@@ -1,0 +1,565 @@
+//! The `check` subcommand: the differential security oracle over the
+//! whole pipeline.
+//!
+//! Runs every paper application under OPEC (and the five comparison
+//! apps under ACES) with the [`opec_oracle`] shadow monitor attached,
+//! plus a batch of seeded random firmwares under both stacks, and
+//! reports every divergence between the enforcement layers and the
+//! ground-truth access matrix. On top of the lockstep checks it
+//! cross-validates the evaluation's own numbers: PT recomputed from
+//! the matrix's granted/needed byte counts must equal
+//! [`pt_of_compartments`], and ET recomputed from the oracle's
+//! independently recorded execution sets must equal [`et_by_task`].
+//!
+//! Exit policy (enforced by `main`): any divergence, run error, or
+//! failed cross-check is a failure. ACES build rejections of generated
+//! firmwares (group-region overflow) are recorded as skips — that is
+//! an ACES scalability property the paper discusses, not an oracle
+//! disagreement.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::thread;
+
+use opec_aces::{build_aces_image, AcesRuntime, AcesStrategy};
+use opec_apps::programs::{aces_comparison_apps, all_apps};
+use opec_apps::App;
+use opec_armv7m::Machine;
+use opec_core::{compile, OpecMonitor};
+use opec_ir::{GlobalId, Module};
+use opec_obs::{Obs, OpId};
+use opec_oracle::{
+    describe, generate, run_aces, run_opec, shadow, shrink, AccessMatrix, OracleState, Verdict,
+};
+use opec_vm::{RunOutcome, Trace, Vm};
+
+use crate::metrics::{et_by_task, pt_of_compartments};
+use crate::runs::{AppEval, OpecRun, FUEL};
+
+/// Tolerance for the PT/ET cross-checks: both sides are exact integer
+/// byte ratios, so any disagreement beyond rounding is a real bug.
+const EPS: f64 = 1e-9;
+
+/// Shrink budget (pipeline re-runs) per divergent generated firmware.
+const SHRINK_BUDGET: usize = 200;
+
+/// Options for [`run_check`].
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOptions {
+    /// How many generated firmware seeds to run.
+    pub seeds: u64,
+    /// Shrink divergent generated firmwares to a minimal program.
+    pub shrink: bool,
+}
+
+/// The oracle's verdict over one subject (one app or one generated
+/// firmware under one enforcement stack).
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Subject name (`PinLock`, `gen[7]`, ...).
+    pub name: String,
+    /// Enforcement stack (`OPEC` or `ACES`).
+    pub system: &'static str,
+    /// Rendered divergences (capped by the oracle).
+    pub divergences: Vec<String>,
+    /// Total divergence count (uncapped).
+    pub total: u64,
+    /// Lockstep access checks performed.
+    pub checks: u64,
+    /// MPU probes performed.
+    pub probes: u64,
+    /// Accepted switches observed.
+    pub switches: u64,
+    /// Terminal run error, if the run did not end cleanly.
+    pub run_error: Option<String>,
+    /// Shrunk counterexample description, when shrinking ran.
+    pub shrunk: Option<String>,
+    /// Non-failure annotation (e.g. an ACES build skip).
+    pub note: Option<String>,
+}
+
+impl CaseResult {
+    fn failed(&self) -> bool {
+        self.total > 0 || self.run_error.is_some()
+    }
+}
+
+/// One recomputed-metric agreement check.
+#[derive(Debug, Clone)]
+pub struct CrossCheck {
+    /// What was compared.
+    pub name: String,
+    /// Whether the two derivations agree.
+    pub ok: bool,
+    /// Agreement summary or the first disagreement.
+    pub detail: String,
+}
+
+/// Everything `check` produced.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Per-subject oracle verdicts.
+    pub cases: Vec<CaseResult>,
+    /// Metric cross-checks.
+    pub crosschecks: Vec<CrossCheck>,
+}
+
+impl CheckReport {
+    /// Every failure, rendered: divergent cases, run errors, failed
+    /// cross-checks.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in &self.cases {
+            if c.total > 0 {
+                out.push(format!("{} ({}): {} divergences", c.name, c.system, c.total));
+            }
+            if let Some(e) = &c.run_error {
+                out.push(format!("{} ({}): run error: {e}", c.name, c.system));
+            }
+        }
+        for x in &self.crosschecks {
+            if !x.ok {
+                out.push(format!("cross-check {}: {}", x.name, x.detail));
+            }
+        }
+        out
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("Differential oracle\n===================\n");
+        for c in &self.cases {
+            let status = if c.failed() { "FAIL" } else { "  ok" };
+            s.push_str(&format!(
+                "{status}  {:<22} {:<4}  {:>3} divergences  {:>8} checks  {:>5} probes  {:>4} switches",
+                c.name, c.system, c.total, c.checks, c.probes, c.switches
+            ));
+            if let Some(n) = &c.note {
+                s.push_str(&format!("  [{n}]"));
+            }
+            s.push('\n');
+            if let Some(e) = &c.run_error {
+                s.push_str(&format!("      run error: {e}\n"));
+            }
+            for d in &c.divergences {
+                s.push_str(&format!("      {d}\n"));
+            }
+            if let Some(sh) = &c.shrunk {
+                s.push_str("      shrunk counterexample:\n");
+                for line in sh.lines() {
+                    s.push_str(&format!("        {line}\n"));
+                }
+            }
+        }
+        s.push_str("\nMetric cross-checks\n-------------------\n");
+        for x in &self.crosschecks {
+            let status = if x.ok { "  ok" } else { "FAIL" };
+            s.push_str(&format!("{status}  {:<30} {}\n", x.name, x.detail));
+        }
+        let failures = self.failures();
+        s.push_str(&format!(
+            "\n{} cases, {} cross-checks, {} failures\n",
+            self.cases.len(),
+            self.crosschecks.len(),
+            failures.len()
+        ));
+        s
+    }
+
+    /// Machine-readable artifact (the CI `oracle.json`).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+        }
+        fn opt(s: &Option<String>) -> String {
+            match s {
+                Some(v) => format!("\"{}\"", esc(v)),
+                None => "null".to_string(),
+            }
+        }
+        let mut s = String::from("{\n  \"cases\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            let divs = c
+                .divergences
+                .iter()
+                .map(|d| format!("\"{}\"", esc(d)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"system\": \"{}\", \"total_divergences\": {}, \
+                 \"checks\": {}, \"probes\": {}, \"switches\": {}, \"run_error\": {}, \
+                 \"note\": {}, \"shrunk\": {}, \"divergences\": [{divs}]}}{}\n",
+                esc(&c.name),
+                c.system,
+                c.total,
+                c.checks,
+                c.probes,
+                c.switches,
+                opt(&c.run_error),
+                opt(&c.note),
+                opt(&c.shrunk),
+                if i + 1 < self.cases.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"crosschecks\": [\n");
+        for (i, x) in self.crosschecks.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ok\": {}, \"detail\": \"{}\"}}{}\n",
+                esc(&x.name),
+                x.ok,
+                esc(&x.detail),
+                if i + 1 < self.crosschecks.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!("  ],\n  \"failures\": {}\n}}\n", self.failures().len()));
+        s
+    }
+}
+
+fn bytes_of(module: &Module, globals: &BTreeSet<GlobalId>) -> u64 {
+    globals.iter().map(|&g| u64::from(module.global_size(g).max(1))).sum()
+}
+
+fn et(used: u64, needed: u64) -> f64 {
+    if needed == 0 {
+        0.0
+    } else {
+        1.0 - (used.min(needed)) as f64 / needed as f64
+    }
+}
+
+fn state_case(
+    name: String,
+    system: &'static str,
+    st: &OracleState,
+    run_error: Option<String>,
+) -> CaseResult {
+    CaseResult {
+        name,
+        system,
+        divergences: st.divergences.iter().map(|d| d.to_string()).collect(),
+        total: st.total_divergences,
+        checks: st.checks,
+        probes: st.probes,
+        switches: st.switches,
+        run_error,
+        shrunk: None,
+        note: None,
+    }
+}
+
+fn verdict_case(name: String, system: &'static str, v: &Verdict) -> CaseResult {
+    CaseResult {
+        name,
+        system,
+        divergences: v.divergences.iter().map(|d| d.to_string()).collect(),
+        total: v.total_divergences,
+        checks: v.checks,
+        probes: v.probes,
+        switches: v.switches,
+        run_error: v.run_error.clone(),
+        shrunk: None,
+        note: None,
+    }
+}
+
+/// Runs one application under OPEC with the oracle attached and
+/// cross-checks ET: the trace-derived execution sets against the
+/// oracle's, and Equation 2 recomputed from the matrix against
+/// [`et_by_task`].
+fn check_opec_app(app: &App) -> (CaseResult, Vec<CrossCheck>) {
+    let (module, specs) = (app.build)();
+    let out =
+        compile(module, app.board, &specs).unwrap_or_else(|e| panic!("{} compile: {e}", app.name));
+    let matrix = AccessMatrix::opec(&out.image.module, &out.partition, &out.policy);
+    let trace = Rc::new(RefCell::new(Trace::new()));
+    let obs = Obs::single(trace.clone());
+    let (watcher, handle) = shadow(matrix.clone(), obs.clone());
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let mut vm = Vm::builder(machine, out.image.clone())
+        .supervisor(OpecMonitor::new(out.policy.clone()))
+        .obs(obs)
+        .watcher(watcher)
+        .build()
+        .expect("opec vm");
+    let (cycles, mut run_error) = match vm.run(FUEL) {
+        Ok(run @ RunOutcome::Halted { .. }) => (run.cycles(), None),
+        Ok(run) => (run.cycles(), Some(format!("did not halt: {run:?}"))),
+        Err(e) => (0, Some(format!("{e}"))),
+    };
+    if run_error.is_none() {
+        if let Err(e) = (app.check)(&mut vm.machine) {
+            run_error = Some(format!("workload check: {e}"));
+        }
+    }
+    let st = handle.take();
+    let case = state_case(app.name.to_string(), "OPEC", &st, run_error);
+
+    // The evaluation's view of the same run, for the ET cross-check.
+    let eval = AppEval {
+        name: app.name,
+        board: app.board,
+        base_cycles: 1,
+        base_flash: 0,
+        base_sram: 0,
+        opec: Arc::new(OpecRun {
+            cycles,
+            flash_used: out.image.flash_used,
+            sram_used: out.image.sram_used,
+            trace: trace.borrow().clone(),
+            monitor: vm.supervisor.stats,
+            compile: out,
+        }),
+        aces: Vec::new(),
+    };
+    let mut crosschecks = Vec::new();
+
+    // 1. Execution sets: the trace's per-task attribution vs the
+    //    oracle's independent per-switch recording (op 0 is main's
+    //    residue, which the trace's task list never reports).
+    let mut from_trace: BTreeMap<OpId, BTreeSet<_>> = BTreeMap::new();
+    for (op, _entry, funcs) in eval.opec.trace.tasks() {
+        from_trace.entry(op).or_default().extend(funcs);
+    }
+    let from_oracle: BTreeMap<OpId, BTreeSet<_>> = st
+        .exec
+        .iter()
+        .filter(|(op, _)| usize::from(**op) != 0)
+        .map(|(op, fs)| (*op, fs.clone()))
+        .collect();
+    crosschecks.push(CrossCheck {
+        name: format!("{}: exec sets", app.name),
+        ok: from_trace == from_oracle,
+        detail: if from_trace == from_oracle {
+            format!("{} operations, identical function sets", from_trace.len())
+        } else {
+            format!("trace sees {} operations, oracle sees {}", from_trace.len(), from_oracle.len())
+        },
+    });
+
+    // 2. ET (Equation 2): recompute from the oracle's execution sets
+    //    and the matrix's needed-byte counts, compare against the
+    //    evaluation's own series.
+    let series = et_by_task(&eval);
+    let module = &eval.opec.compile.image.module;
+    let resources = &eval.opec.compile.resources;
+    let oracle_et: Vec<f64> = from_oracle
+        .iter()
+        .map(|(op, funcs)| {
+            let used: BTreeSet<GlobalId> =
+                funcs.iter().flat_map(|f| resources.of(*f).globals()).collect();
+            let needed = matrix.ops.get(usize::from(*op)).map(|e| e.needed_bytes).unwrap_or(0);
+            et(bytes_of(module, &used), needed)
+        })
+        .collect();
+    let ok = oracle_et.len() == series.opec.len()
+        && oracle_et.iter().zip(&series.opec).all(|(a, b)| (a - b).abs() < EPS);
+    crosschecks.push(CrossCheck {
+        name: format!("{}: ET recompute", app.name),
+        ok,
+        detail: if ok {
+            format!("{} tasks agree to {EPS}", oracle_et.len())
+        } else {
+            format!("oracle {oracle_et:?} vs report {:?}", series.opec)
+        },
+    });
+    (case, crosschecks)
+}
+
+/// Runs one comparison application under ACES (Filename strategy) with
+/// the oracle attached and cross-checks PT: Equation 1 recomputed from
+/// the matrix's granted/needed byte counts against
+/// [`pt_of_compartments`].
+fn check_aces_app(app: &App) -> (CaseResult, Vec<CrossCheck>) {
+    let (module, _) = (app.build)();
+    let out = build_aces_image(module, app.board, AcesStrategy::Filename)
+        .unwrap_or_else(|e| panic!("{} ACES build: {e}", app.name));
+    let main_comp = out.comps.of(out.image.entry);
+    let matrix = AccessMatrix::aces(
+        &out.image.module,
+        &out.comps,
+        &out.regions,
+        out.stack,
+        app.board.flash.base,
+        main_comp,
+    );
+
+    let reference = pt_of_compartments(&out.image.module, &out.comps, &out.regions);
+    let matrix_pt: Vec<f64> = matrix
+        .ops
+        .iter()
+        .map(|e| {
+            if e.granted_bytes == 0 {
+                0.0
+            } else {
+                e.granted_bytes.saturating_sub(e.needed_bytes) as f64 / e.granted_bytes as f64
+            }
+        })
+        .collect();
+    let ok = matrix_pt.len() == reference.len()
+        && matrix_pt.iter().zip(&reference).all(|(a, b)| (a - b).abs() < EPS);
+    let crosschecks = vec![CrossCheck {
+        name: format!("{}: PT recompute", app.name),
+        ok,
+        detail: if ok {
+            format!("{} compartments agree to {EPS}", matrix_pt.len())
+        } else {
+            format!("matrix {matrix_pt:?} vs report {reference:?}")
+        },
+    }];
+
+    let rt = AcesRuntime::new(
+        &out.image.module,
+        out.comps.clone(),
+        out.regions.clone(),
+        app.board,
+        out.stack,
+        main_comp,
+    );
+    let (watcher, handle) = shadow(matrix, Obs::disabled());
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let mut vm =
+        Vm::builder(machine, out.image).supervisor(rt).watcher(watcher).build().expect("aces vm");
+    let mut run_error = match vm.run(FUEL) {
+        Ok(RunOutcome::Halted { .. }) => None,
+        Ok(run) => Some(format!("did not halt: {run:?}")),
+        Err(e) => Some(format!("{e}")),
+    };
+    if run_error.is_none() {
+        if let Err(e) = (app.check)(&mut vm.machine) {
+            run_error = Some(format!("workload check: {e}"));
+        }
+    }
+    let st = handle.take();
+    (state_case(app.name.to_string(), "ACES", &st, run_error), crosschecks)
+}
+
+fn join<T>(handle: thread::ScopedJoinHandle<'_, T>) -> T {
+    handle.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+}
+
+/// Runs the whole differential check: all seven applications under
+/// OPEC, the five comparison applications under ACES, and
+/// `opts.seeds` generated firmwares under both stacks.
+pub fn run_check(opts: &CheckOptions) -> CheckReport {
+    let apps = all_apps();
+    let cmp = aces_comparison_apps();
+    let mut report = CheckReport::default();
+    thread::scope(|s| {
+        let opec: Vec<_> = apps.iter().map(|a| s.spawn(move || check_opec_app(a))).collect();
+        let aces: Vec<_> = cmp.iter().map(|a| s.spawn(move || check_aces_app(a))).collect();
+        for h in opec.into_iter().chain(aces) {
+            let (case, crosschecks) = join(h);
+            report.cases.push(case);
+            report.crosschecks.extend(crosschecks);
+        }
+    });
+    for seed in 0..opts.seeds {
+        let spec = generate(seed);
+        match run_opec(&spec, None) {
+            Ok(v) => {
+                let mut case = verdict_case(format!("gen[{seed}]"), "OPEC", &v);
+                if !v.clean() && opts.shrink {
+                    let small = shrink(
+                        &spec,
+                        |s| run_opec(s, None).is_ok_and(|v| v.total_divergences > 0),
+                        SHRINK_BUDGET,
+                    );
+                    case.shrunk = Some(describe(&small));
+                }
+                report.cases.push(case);
+            }
+            Err(e) => report.cases.push(CaseResult {
+                name: format!("gen[{seed}]"),
+                system: "OPEC",
+                divergences: Vec::new(),
+                total: 0,
+                checks: 0,
+                probes: 0,
+                switches: 0,
+                run_error: Some(e),
+                shrunk: None,
+                note: None,
+            }),
+        }
+        match run_aces(&spec) {
+            Ok(v) => {
+                let mut case = verdict_case(format!("gen[{seed}]"), "ACES", &v);
+                if !v.clean() && opts.shrink {
+                    let small = shrink(
+                        &spec,
+                        |s| run_aces(s).is_ok_and(|v| v.total_divergences > 0),
+                        SHRINK_BUDGET,
+                    );
+                    case.shrunk = Some(describe(&small));
+                }
+                report.cases.push(case);
+            }
+            // ACES can reject a plan outright (group-region overflow on
+            // MPU hardware limits) — a scalability property, not a
+            // divergence.
+            Err(e) => report.cases.push(CaseResult {
+                name: format!("gen[{seed}]"),
+                system: "ACES",
+                divergences: Vec::new(),
+                total: 0,
+                checks: 0,
+                probes: 0,
+                switches: 0,
+                run_error: None,
+                shrunk: None,
+                note: Some(format!("build skipped: {e}")),
+            }),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinlock_is_divergence_free_with_agreeing_metrics() {
+        let app = opec_apps::programs::pinlock::app();
+        let (case, crosschecks) = check_opec_app(&app);
+        assert!(!case.failed(), "{:?}", case);
+        assert!(case.checks > 0 && case.probes > 0 && case.switches > 0);
+        assert!(crosschecks.iter().all(|x| x.ok), "{crosschecks:?}");
+
+        let (case, crosschecks) = check_aces_app(&app);
+        assert!(!case.failed(), "{:?}", case);
+        assert!(crosschecks.iter().all(|x| x.ok), "{crosschecks:?}");
+    }
+
+    #[test]
+    fn report_json_is_wellformed_enough() {
+        let report = CheckReport {
+            cases: vec![CaseResult {
+                name: "gen[0]".into(),
+                system: "OPEC",
+                divergences: vec!["op 1: escape \"quoted\"".into()],
+                total: 1,
+                checks: 10,
+                probes: 4,
+                switches: 2,
+                run_error: None,
+                shrunk: Some("seed 0\nmain: call op1".into()),
+                note: None,
+            }],
+            crosschecks: vec![CrossCheck { name: "x".into(), ok: false, detail: "a\\b".into() }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"total_divergences\": 1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("a\\\\b"));
+        assert!(json.contains("\"failures\": 2"));
+        assert_eq!(report.failures().len(), 2);
+    }
+}

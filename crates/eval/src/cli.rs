@@ -10,8 +10,11 @@
 //! The vocabulary:
 //!
 //! ```text
-//! --seeds N        seeds per attack cell        (attack-matrix)
-//! --json FILE      machine-readable artifact    (attack-matrix, bench-json)
+//! --seeds N        seeds per attack cell / generated firmwares
+//!                                               (attack-matrix, check)
+//! --json FILE      machine-readable artifact    (attack-matrix, bench-json,
+//!                                               check)
+//! --shrink         shrink divergent firmwares   (check)
 //! --out DIR        output directory             (csv)
 //! --obs-json FILE  observability metrics JSON   (report)
 //! --trace FILE     Chrome trace_event JSON      (report)
@@ -42,6 +45,9 @@ pub struct CliArgs {
     pub ring: Option<usize>,
     /// `--funcs`: record function enter/exit events in the ring.
     pub funcs: bool,
+    /// `--shrink`: shrink divergent generated firmwares to a minimal
+    /// counterexample.
+    pub shrink: bool,
     /// Positional operands (legacy `csv DIR` / `bench-json FILE`).
     pub positional: Vec<String>,
 }
@@ -69,6 +75,7 @@ impl CliArgs {
                     out.ring = Some(v.parse().map_err(|e| format!("bad --ring value {v:?}: {e}"))?);
                 }
                 "--funcs" => out.funcs = true,
+                "--shrink" => out.shrink = true,
                 f if f.starts_with('-') => return Err(format!("unknown flag {f}")),
                 other => out.positional.push(other.to_string()),
             }
@@ -89,6 +96,7 @@ impl CliArgs {
                 "--apps" => self.apps.is_some(),
                 "--ring" => self.ring.is_some(),
                 "--funcs" => self.funcs,
+                "--shrink" => self.shrink,
                 "positional" => !self.positional.is_empty(),
                 _ => false,
             }
@@ -102,6 +110,7 @@ impl CliArgs {
             "--apps",
             "--ring",
             "--funcs",
+            "--shrink",
             "positional",
         ] {
             if set(name) && !allowed.contains(&name) {
@@ -157,10 +166,40 @@ mod tests {
     }
 
     #[test]
+    fn unknown_flag_error_names_the_flag() {
+        assert!(parse(&["--bogus"]).unwrap_err().contains("--bogus"));
+        assert!(parse(&["--shrinkk"]).unwrap_err().contains("--shrinkk"));
+    }
+
+    #[test]
     fn forbid_unused_rejects_foreign_flags() {
         let a = parse(&["--seeds", "3"]).unwrap();
         assert!(a.forbid_unused("csv", &["--out", "positional"]).is_err());
         assert!(a.forbid_unused("attack-matrix", &["--seeds", "--json"]).is_ok());
+    }
+
+    #[test]
+    fn foreign_flag_error_names_flag_and_command() {
+        let a = parse(&["--shrink"]).unwrap();
+        assert!(a.shrink);
+        let err = a.forbid_unused("table1", &[]).unwrap_err();
+        assert!(err.contains("--shrink"), "{err}");
+        assert!(err.contains("table1"), "{err}");
+        assert!(a.forbid_unused("check", &["--seeds", "--json", "--shrink"]).is_ok());
+    }
+
+    #[test]
+    fn legacy_positionals_still_parse() {
+        // `csv DIR`: the original positional operand form.
+        let a = parse(&["results-dir"]).unwrap();
+        assert_eq!(a.positional, vec!["results-dir".to_string()]);
+        assert!(a.forbid_unused("csv", &["--out", "positional"]).is_ok());
+        // `bench-json FILE`: likewise.
+        let b = parse(&["timings.json"]).unwrap();
+        assert!(b.forbid_unused("bench-json", &["--json", "positional"]).is_ok());
+        // But a positional where none is accepted names the operand.
+        let err = b.forbid_unused("check", &["--seeds", "--json", "--shrink"]).unwrap_err();
+        assert!(err.contains("timings.json"), "{err}");
     }
 
     #[test]

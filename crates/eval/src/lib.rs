@@ -20,7 +20,11 @@
 //! * [`attack`] — the seeded attack-campaign matrix (`attack-matrix`):
 //!   every app under every `opec-inject` attack class in three
 //!   configurations (OPEC / ACES / baseline), scored with containment
-//!   verdicts.
+//!   verdicts;
+//! * [`check`] — the differential security oracle (`check`): every app
+//!   and a batch of generated firmwares run in lockstep against the
+//!   ground-truth access matrix, with PT/ET recomputed independently
+//!   and cross-checked against the report's numbers.
 //!
 //! The `opec-eval` binary drives everything:
 //!
@@ -36,6 +40,7 @@
 pub mod attack;
 pub mod benchjson;
 pub mod cache;
+pub mod check;
 pub mod cli;
 pub mod metrics;
 pub mod obsreport;

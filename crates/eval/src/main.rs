@@ -12,7 +12,7 @@
 
 use std::io::Write as _;
 
-use opec_eval::{attack, benchjson, obsreport, report, CliArgs};
+use opec_eval::{attack, benchjson, check, obsreport, report, CliArgs};
 
 /// The usage text (`opec-eval help`).
 const USAGE: &str = "\
@@ -31,6 +31,15 @@ opec-eval — regenerate the paper's tables and figures
                                 machine-readable timings (default: stdout)
   opec-eval attack-matrix [--seeds N] [--json FILE]
                                 §7 containment matrix (default: 4 seeds)
+  opec-eval check [--seeds N] [--shrink] [--json FILE]
+                                differential security oracle: every app under
+                                OPEC (comparison apps also under ACES) plus N
+                                generated firmwares (default: 16), run in
+                                lockstep against the ground-truth access
+                                matrix; PT/ET recomputed independently and
+                                cross-checked. --shrink reduces a divergent
+                                generated firmware to a minimal program.
+                                Exits 1 on any divergence.
   opec-eval report [--obs-json FILE] [--trace FILE] [--apps FILTER]
                    [--ring N] [--funcs]
                                 per-operation overhead breakdown from the
@@ -166,6 +175,33 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("[opec-eval] containment matrix clean: no OPEC escapes, no crashes");
+        }
+        "check" => {
+            no_flags(&["--seeds", "--json", "--shrink"]);
+            let seeds = args.seeds.unwrap_or(16);
+            let out = args.json.clone().map(|p| (create(&p), p));
+            eprintln!(
+                "[opec-eval] differential oracle: 7 apps + {seeds} generated firmwares \
+                 (OPEC and ACES)..."
+            );
+            let rep = check::run_check(&check::CheckOptions { seeds, shrink: args.shrink });
+            print!("{}", rep.render());
+            if let Some((mut file, path)) = out {
+                file.write_all(rep.to_json().as_bytes()).expect("write oracle JSON");
+                eprintln!("[opec-eval] wrote {path}");
+            }
+            let failures = rep.failures();
+            if !failures.is_empty() {
+                eprintln!("[opec-eval] oracle FAILURES:");
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[opec-eval] oracle clean: every enforcement layer agrees with the \
+                 ground-truth matrix"
+            );
         }
         "report" => {
             no_flags(&["--obs-json", "--trace", "--apps", "--ring", "--funcs"]);

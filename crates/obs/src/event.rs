@@ -80,6 +80,34 @@ pub enum TrapKind {
     Unrecoverable,
 }
 
+/// The class of a differential-oracle divergence (mirrors the oracle
+/// crate's typed report without its payloads, so the event stays
+/// `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// The runtime allowed an access the ground-truth matrix denies —
+    /// an over-privilege / enforcement bug.
+    Escape,
+    /// The runtime trapped an access the matrix allows — an
+    /// under-privilege bug.
+    SpuriousDenial,
+    /// Unprivileged code executed a function outside the active
+    /// operation's member set.
+    ExecOutsideOperation,
+}
+
+/// Which enforcement layer the oracle blames for a divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleLayer {
+    /// The programmed MPU region file disagrees with the matrix.
+    Mpu,
+    /// The monitor's switch/emulation decision disagrees.
+    Monitor,
+    /// The partition/resource analysis disagrees (e.g. a missed
+    /// indirect-call target executed inside an operation).
+    Analysis,
+}
+
 /// One structured observability event.
 ///
 /// Timestamps are *not* part of the event: sinks receive a [`Stamped`]
@@ -222,6 +250,18 @@ pub enum Event {
     Quarantine {
         /// The quarantined operation.
         op: OpId,
+    },
+    /// The differential oracle observed runtime behaviour that
+    /// contradicts its ground-truth access matrix.
+    OracleDivergence {
+        /// The operation the divergence occurred in.
+        op: OpId,
+        /// Escape, spurious denial, or exec outside the operation.
+        kind: OracleKind,
+        /// The layer the oracle blames.
+        layer: OracleLayer,
+        /// The address involved (0 when not an access divergence).
+        address: u32,
     },
     /// The run ended (halt, return of `main`, or a fatal error).
     /// Aggregators flush pending attribution; exporters close open

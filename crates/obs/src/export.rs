@@ -188,6 +188,20 @@ pub fn chrome_trace(events: &[Stamped], label: &str) -> String {
                 let args = format!("\"op\":{op}");
                 push_trace_record(&mut out, &mut first, 'i', "quarantine", "trap", ts, &args);
             }
+            Event::OracleDivergence { op, kind, layer, address } => {
+                let args = format!(
+                    "\"op\":{op},\"kind\":\"{kind:?}\",\"layer\":\"{layer:?}\",\"address\":\"{address:#010x}\""
+                );
+                push_trace_record(
+                    &mut out,
+                    &mut first,
+                    'i',
+                    "oracle divergence",
+                    "oracle",
+                    ts,
+                    &args,
+                );
+            }
             Event::RunEnd { insts } => {
                 while let Some(top) = open.pop() {
                     push_trace_record(&mut out, &mut first, 'E', &top, "", ts, "");

@@ -35,7 +35,9 @@ pub mod metrics;
 pub mod ring;
 pub mod sink;
 
-pub use event::{Access, Dir, Event, InjectKind, InjectVerdict, OpId, Stamped, TrapKind};
+pub use event::{
+    Access, Dir, Event, InjectKind, InjectVerdict, OpId, OracleKind, OracleLayer, Stamped, TrapKind,
+};
 pub use export::{chrome_trace, event_log, histogram_json, metrics_json};
 pub use metrics::{Histogram, Metrics, OpMetrics, Recorder};
 pub use ring::{RingBuffer, DEFAULT_RING_CAPACITY};

@@ -213,6 +213,8 @@ pub struct Metrics {
     pub mpu_region_writes: u64,
     /// Injector actions observed.
     pub injections: u64,
+    /// Differential-oracle divergences observed (any kind).
+    pub oracle_divergences: u64,
     /// Final retired-instruction count (set by [`Event::RunEnd`]).
     pub total_insts: u64,
     /// Timestamp of [`Event::RunEnd`] (the run's cycle count).
@@ -320,6 +322,7 @@ impl Metrics {
                 }
             }
             Event::Inject { .. } => self.injections += 1,
+            Event::OracleDivergence { .. } => self.oracle_divergences += 1,
             Event::Trap { op, .. } => self.entry(op).traps += 1,
             Event::Quarantine { op } => {
                 self.entry(op).quarantines += 1;

@@ -1,0 +1,50 @@
+//! Property tests for the bounded event ring.
+//!
+//! The drop-accounting contract the CI gate relies on: nothing is ever
+//! silently lost (`len + dropped == total`) and what survives is
+//! exactly the newest suffix of the push sequence, in push order.
+
+use proptest::prelude::*;
+
+use opec_obs::{Event, RingBuffer, Stamped};
+
+fn ev(t: u64) -> Stamped {
+    Stamped { t, ev: Event::RunEnd { insts: t } }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn accounting_balances_and_survivors_are_newest_suffix(
+        capacity in 0usize..64,
+        stamps in proptest::collection::vec(0u64..1_000_000, 0..256),
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        for &t in &stamps {
+            ring.push(ev(t));
+        }
+        // Nothing vanishes unaccounted: held + shed == pushed.
+        prop_assert_eq!(ring.len() as u64 + ring.dropped(), ring.total());
+        prop_assert_eq!(ring.total(), stamps.len() as u64);
+        // The ring never exceeds its (min-1-clamped) capacity.
+        prop_assert!(ring.len() <= ring.capacity());
+        // The survivors are the newest suffix, in push order.
+        let kept: Vec<u64> = ring.events().map(|e| e.t).collect();
+        let suffix_start = stamps.len() - ring.len();
+        prop_assert_eq!(&kept[..], &stamps[suffix_start..]);
+    }
+
+    #[test]
+    fn under_capacity_nothing_drops(
+        stamps in proptest::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let mut ring = RingBuffer::new(64);
+        for &t in &stamps {
+            ring.push(ev(t));
+        }
+        prop_assert_eq!(ring.dropped(), 0);
+        prop_assert_eq!(ring.len(), stamps.len());
+        prop_assert_eq!(ring.to_vec().iter().map(|e| e.t).collect::<Vec<_>>(), stamps);
+    }
+}

@@ -1,0 +1,75 @@
+//! Typed divergence reports.
+//!
+//! A divergence is a disagreement between the runtime stack (MPU model,
+//! OPEC-Monitor or ACES runtime) and the ground-truth access matrix
+//! derived directly from the partition and resource-dependency results.
+//! Each report names the operation, the issuing instruction, the
+//! address, and the enforcement layer the oracle blames — enough to
+//! reproduce and bisect without rerunning the firmware.
+
+use opec_obs::{OpId, OracleKind, OracleLayer};
+
+/// How the divergent access was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observed {
+    /// A load the firmware actually executed.
+    Load,
+    /// A store the firmware actually executed.
+    Store,
+    /// A non-destructive MPU probe at a sentinel address (the firmware
+    /// never issued it; the oracle asked the MPU model directly).
+    Probe,
+    /// A function entry (execution-membership divergences).
+    Exec,
+}
+
+impl core::fmt::Display for Observed {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Observed::Load => "load",
+            Observed::Store => "store",
+            Observed::Probe => "probe",
+            Observed::Exec => "exec",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One disagreement between the runtime and the ground-truth matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The operation (OPEC) or compartment (ACES) the divergence
+    /// occurred in.
+    pub op: OpId,
+    /// Escape, spurious denial, or exec outside the operation.
+    pub kind: OracleKind,
+    /// The layer the oracle blames.
+    pub layer: OracleLayer,
+    /// How the access was observed.
+    pub observed: Observed,
+    /// The address involved (0 for exec divergences).
+    pub addr: u32,
+    /// Access width in bytes (0 when not applicable).
+    pub size: u8,
+    /// PC of the issuing instruction (0 for probes).
+    pub pc: u32,
+    /// Human-readable context: what the matrix expected and why.
+    pub detail: String,
+}
+
+impl core::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "op {}: {:?} ({:?} layer) {} at {:#010x} size {} pc {:#010x} — {}",
+            self.op,
+            self.kind,
+            self.layer,
+            self.observed,
+            self.addr,
+            self.size,
+            self.pc,
+            self.detail
+        )
+    }
+}

@@ -1,0 +1,319 @@
+//! Seeded random firmware generation.
+//!
+//! A [`FirmwareSpec`] is a *plan* — clusters of functions (one cluster
+//! per operation plus one for `main`), shared and private globals,
+//! MMIO peripherals, direct and indirect calls — that deterministically
+//! lowers to an IR [`Module`] plus operation specs, then rides the
+//! full production pipeline: partition → resource analysis → layout →
+//! image → VM. Plans, not modules, are what the shrinker mutates: a
+//! plan stays well-formed under statement deletion, a module does not.
+//!
+//! Generated programs are *policy-clean by construction*: every global
+//! access stays inside the issuing cluster's assigned set and every
+//! MMIO access targets a peripheral owned by the cluster, so a correct
+//! enforcement stack runs them without a single trap. Anything the
+//! oracle flags is therefore a real divergence, not generator noise.
+//! Call graphs are recursion-free (calls go strictly up the function
+//! index order) so stacks stay bounded and nested operation switches
+//! keep a valid sub-region index.
+
+use opec_armv7m::{Board, Machine};
+use opec_core::OperationSpec;
+use opec_devices::RegFile;
+use opec_inject::SplitMix64;
+use opec_ir::types::SigKey;
+use opec_ir::{BinOp, Module, ModuleBuilder, Operand, Ty};
+
+/// One word-array global and the clusters allowed to touch it.
+#[derive(Debug, Clone)]
+pub struct GlobalSpec {
+    /// Array length in 32-bit words.
+    pub words: u32,
+    /// Cluster ids (0 = `main`) that may access it; two or more make
+    /// it an external (shadowed) variable under OPEC.
+    pub clusters: Vec<usize>,
+}
+
+/// One straight-line statement in a generated body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stmt {
+    /// Load a word from global `g` at word offset `off`.
+    LoadG {
+        /// Global index.
+        g: usize,
+        /// Word offset.
+        off: u32,
+    },
+    /// Store `val` to global `g` at word offset `off`.
+    StoreG {
+        /// Global index.
+        g: usize,
+        /// Word offset.
+        off: u32,
+        /// Value stored.
+        val: u32,
+    },
+    /// MMIO access to register `reg` of peripheral `p`.
+    Mmio {
+        /// Peripheral index.
+        p: usize,
+        /// Word-register index inside the 1 KiB window.
+        reg: u32,
+        /// Write (`true`) or read.
+        write: bool,
+    },
+    /// Direct call to function `f` (an entry function = an operation
+    /// switch).
+    Call {
+        /// Callee index.
+        f: usize,
+    },
+    /// Indirect call to function `f` through a function pointer
+    /// (exercises points-to and call-graph resolution).
+    ICall {
+        /// Callee index.
+        f: usize,
+    },
+    /// Pure ALU work.
+    Work,
+}
+
+/// One generated function.
+#[derive(Debug, Clone)]
+pub struct FuncSpec {
+    /// Cluster id (0 = `main`'s cluster).
+    pub cluster: usize,
+    /// `Some(i)` marks this function as the entry of operation `i`.
+    pub entry_of: Option<usize>,
+    /// Straight-line body.
+    pub body: Vec<Stmt>,
+}
+
+/// A deterministic firmware plan.
+#[derive(Debug, Clone)]
+pub struct FirmwareSpec {
+    /// The seed that produced it (diagnostics / reproduction).
+    pub seed: u64,
+    /// Peripheral window base addresses (1 KiB each, MMIO-backed).
+    pub periph_bases: Vec<u32>,
+    /// Globals.
+    pub globals: Vec<GlobalSpec>,
+    /// Functions; index 0 is `main`, indices `1..=n_ops` are the
+    /// operation entries.
+    pub funcs: Vec<FuncSpec>,
+}
+
+impl FirmwareSpec {
+    /// Number of operations (excluding the default `main` operation).
+    pub fn n_ops(&self) -> usize {
+        self.funcs.iter().filter(|f| f.entry_of.is_some()).count()
+    }
+
+    /// Total statement count — the shrinker's size metric.
+    pub fn size(&self) -> usize {
+        self.funcs.iter().map(|f| f.body.len()).sum()
+    }
+
+    /// The board every generated firmware targets.
+    pub fn board(&self) -> Board {
+        Board::stm32f4_discovery()
+    }
+
+    /// One `OperationSpec` per entry, in operation order.
+    pub fn op_specs(&self) -> Vec<OperationSpec> {
+        (1..=self.n_ops()).map(|i| OperationSpec::plain(format!("op{i}"))).collect()
+    }
+
+    /// Installs plain-storage MMIO devices backing every generated
+    /// peripheral window; without them the bus, not the MPU, would
+    /// fault the access and the run would never reach enforcement.
+    pub fn install_devices(&self, machine: &mut Machine) {
+        for (k, &base) in self.periph_bases.iter().enumerate() {
+            machine
+                .add_device(Box::new(RegFile::new(format!("P{k}"), base)))
+                .expect("generated peripheral windows never collide");
+        }
+    }
+
+    /// Lowers the plan to an IR module.
+    pub fn build_module(&self) -> Module {
+        let mut mb = ModuleBuilder::new("gen");
+        for (k, &base) in self.periph_bases.iter().enumerate() {
+            mb.peripheral(format!("P{k}"), base, 0x400, false);
+        }
+        let gids: Vec<_> = self
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let file = format!("gen{}.c", g.clusters.first().copied().unwrap_or(0));
+                mb.global(format!("g{i}"), Ty::Array(Box::new(Ty::I32), g.words.max(1)), &file)
+            })
+            .collect();
+        let fids: Vec<_> = self
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let name = match f.entry_of {
+                    Some(op) => format!("op{op}"),
+                    None if i == 0 => "main".to_string(),
+                    None => format!("helper{i}"),
+                };
+                let file = format!("gen{}.c", f.cluster);
+                mb.declare(name, Vec::new(), None, &file)
+            })
+            .collect();
+        let void_sig = mb.sig(SigKey { params: Vec::new(), ret: None });
+        for (i, f) in self.funcs.iter().enumerate() {
+            let body = f.body.clone();
+            let is_main = i == 0;
+            let fids = fids.clone();
+            let gids = gids.clone();
+            let bases = self.periph_bases.clone();
+            mb.define(fids[i], |b| {
+                for stmt in &body {
+                    match *stmt {
+                        Stmt::LoadG { g, off } => {
+                            b.load_global(gids[g], off * 4, 4);
+                        }
+                        Stmt::StoreG { g, off, val } => {
+                            b.store_global(gids[g], off * 4, Operand::Imm(val), 4);
+                        }
+                        Stmt::Mmio { p, reg, write } => {
+                            let addr = bases[p] + (reg % 256) * 4;
+                            if write {
+                                b.mmio_write(addr, Operand::Imm(reg), 4);
+                            } else {
+                                b.mmio_read(addr, 4);
+                            }
+                        }
+                        Stmt::Call { f } => b.call_void(fids[f], Vec::new()),
+                        Stmt::ICall { f } => {
+                            let fp = b.addr_of_func(fids[f]);
+                            b.icall_void(Operand::Reg(fp), void_sig, Vec::new());
+                        }
+                        Stmt::Work => {
+                            b.bin(BinOp::Add, Operand::Imm(7), Operand::Imm(35));
+                        }
+                    }
+                }
+                if is_main {
+                    b.halt();
+                } else {
+                    b.ret_void();
+                }
+            });
+        }
+        mb.finish()
+    }
+}
+
+/// Generates a policy-clean firmware plan from `seed`.
+pub fn generate(seed: u64) -> FirmwareSpec {
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let n_ops = rng.gen_range(1, 4) as usize; // 1..=3 operations
+    let n_helpers = rng.gen_range(0, 5) as usize;
+    let n_globals = rng.gen_range(1, 6) as usize;
+    let n_periphs = rng.gen_range(1, 4) as usize;
+
+    // Peripheral windows: 1 KiB each, spread with random gaps so the
+    // merged MPU covers sometimes over-cover (exercising Tolerate) and
+    // sometimes sit adjacent (exercising merging).
+    let mut periph_bases = Vec::new();
+    let mut base = 0x4000_0000u32;
+    for _ in 0..n_periphs {
+        periph_bases.push(base);
+        base += 0x400 * rng.gen_range(1, 5) as u32;
+    }
+    // Each peripheral belongs to one cluster; MMIO stays inside it.
+    let periph_owner: Vec<usize> =
+        (0..n_periphs).map(|_| rng.gen_range(0, n_ops as u64 + 1) as usize).collect();
+
+    let globals: Vec<GlobalSpec> = (0..n_globals)
+        .map(|_| {
+            let words = rng.gen_range(1, 9);
+            let first = rng.gen_range(0, n_ops as u64 + 1) as usize;
+            let mut clusters = vec![first];
+            if rng.gen_range(0, 3) == 0 {
+                let second = rng.gen_range(0, n_ops as u64 + 1) as usize;
+                if second != first {
+                    clusters.push(second); // external → shadowed under OPEC
+                }
+            }
+            GlobalSpec { words: words as u32, clusters }
+        })
+        .collect();
+
+    // Function table: main, then entries, then helpers in random
+    // clusters. Call edges go strictly upward in index.
+    let mut funcs = vec![FuncSpec { cluster: 0, entry_of: None, body: Vec::new() }];
+    for i in 1..=n_ops {
+        funcs.push(FuncSpec { cluster: i, entry_of: Some(i), body: Vec::new() });
+    }
+    for _ in 0..n_helpers {
+        let cluster = rng.gen_range(0, n_ops as u64 + 1) as usize;
+        funcs.push(FuncSpec { cluster, entry_of: None, body: Vec::new() });
+    }
+
+    let n_funcs = funcs.len();
+    for i in 0..n_funcs {
+        let cluster = funcs[i].cluster;
+        let n_stmts = rng.gen_range(2, 7);
+        let mut body = Vec::new();
+        for _ in 0..n_stmts {
+            let accessible: Vec<usize> =
+                (0..n_globals).filter(|&g| globals[g].clusters.contains(&cluster)).collect();
+            let owned: Vec<usize> =
+                (0..n_periphs).filter(|&p| periph_owner[p] == cluster).collect();
+            // Callees: strictly higher index, same cluster (helper) or
+            // an entry (operation switch from anywhere).
+            let callees: Vec<usize> = (i + 1..n_funcs)
+                .filter(|&f| funcs[f].cluster == cluster || funcs[f].entry_of.is_some())
+                .collect();
+            let stmt = match rng.gen_range(0, 10) {
+                0..=2 if !accessible.is_empty() => {
+                    let g = accessible[rng.gen_range(0, accessible.len() as u64) as usize];
+                    let off = rng.gen_range(0, u64::from(globals[g].words)) as u32;
+                    Stmt::StoreG { g, off, val: rng.gen_range(0, 1 << 16) as u32 }
+                }
+                3..=4 if !accessible.is_empty() => {
+                    let g = accessible[rng.gen_range(0, accessible.len() as u64) as usize];
+                    let off = rng.gen_range(0, u64::from(globals[g].words)) as u32;
+                    Stmt::LoadG { g, off }
+                }
+                5..=6 if !owned.is_empty() => {
+                    let p = owned[rng.gen_range(0, owned.len() as u64) as usize];
+                    Stmt::Mmio {
+                        p,
+                        reg: rng.gen_range(0, 16) as u32,
+                        write: rng.gen_range(0, 2) == 0,
+                    }
+                }
+                7..=8 if !callees.is_empty() => {
+                    let f = callees[rng.gen_range(0, callees.len() as u64) as usize];
+                    if rng.gen_range(0, 3) == 0 {
+                        Stmt::ICall { f }
+                    } else {
+                        Stmt::Call { f }
+                    }
+                }
+                _ => Stmt::Work,
+            };
+            body.push(stmt);
+        }
+        funcs[i].body = body;
+    }
+    // main must exercise every operation at least once.
+    for i in 1..=n_ops {
+        if !funcs[0]
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::Call { f } | Stmt::ICall { f } if *f == i))
+        {
+            funcs[0].body.push(Stmt::Call { f: i });
+        }
+    }
+
+    FirmwareSpec { seed, periph_bases, globals, funcs }
+}

@@ -1,0 +1,128 @@
+//! One-call pipelines: plan → compile → image → VM with the shadow
+//! oracle attached, for both enforcement stacks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use opec_aces::{build_aces_image, AcesRuntime, AcesStrategy};
+use opec_armv7m::Machine;
+use opec_core::{compile, OpecMonitor, SystemPolicy};
+use opec_ir::FuncId;
+use opec_obs::{Obs, OpId};
+use opec_vm::Vm;
+
+use crate::divergence::Divergence;
+use crate::gen::FirmwareSpec;
+use crate::matrix::AccessMatrix;
+use crate::shadow::shadow;
+
+/// Fuel for generated firmwares — they are tiny; this is generous.
+pub const GEN_FUEL: u64 = 5_000_000;
+
+/// The oracle's verdict over one run.
+#[derive(Debug, Default)]
+pub struct Verdict {
+    /// Divergences (capped), in observation order.
+    pub divergences: Vec<Divergence>,
+    /// Total divergences (uncapped count).
+    pub total_divergences: u64,
+    /// Lockstep access checks performed.
+    pub checks: u64,
+    /// MPU probes performed.
+    pub probes: u64,
+    /// Accepted switches observed.
+    pub switches: u64,
+    /// Functions entered per operation (trace-mirroring attribution).
+    pub exec: BTreeMap<OpId, BTreeSet<FuncId>>,
+    /// The VM's terminal error, if the run did not end cleanly.
+    pub run_error: Option<String>,
+}
+
+impl Verdict {
+    /// True when the run produced no divergence.
+    pub fn clean(&self) -> bool {
+        self.total_divergences == 0
+    }
+}
+
+/// Runs a generated firmware under the full OPEC stack with the shadow
+/// oracle attached. `mutate` tampers with the *enforced* policy after
+/// the ground-truth matrix is derived — the hook the broken-MPU
+/// self-tests use to prove the oracle catches enforcement bugs.
+pub fn run_opec(
+    spec: &FirmwareSpec,
+    mutate: Option<&dyn Fn(&mut SystemPolicy)>,
+) -> Result<Verdict, String> {
+    let board = spec.board();
+    let module = spec.build_module();
+    let specs = spec.op_specs();
+    let out = compile(module, board, &specs).map_err(|e| format!("compile: {e:?}"))?;
+    let matrix = AccessMatrix::opec(&out.image.module, &out.partition, &out.policy);
+    let mut policy = out.policy.clone();
+    if let Some(m) = mutate {
+        m(&mut policy);
+    }
+    let mut machine = Machine::new(board);
+    spec.install_devices(&mut machine);
+    let (watcher, handle) = shadow(matrix, Obs::disabled());
+    let mut vm = Vm::builder(machine, out.image.clone())
+        .supervisor(OpecMonitor::new(policy))
+        .watcher(watcher)
+        .build()
+        .map_err(|e| format!("image: {e:?}"))?;
+    let run_error = vm.run(GEN_FUEL).err().map(|e| format!("{e:?}"));
+    let st = handle.take();
+    Ok(Verdict {
+        divergences: st.divergences,
+        total_divergences: st.total_divergences,
+        checks: st.checks,
+        probes: st.probes,
+        switches: st.switches,
+        exec: st.exec,
+        run_error,
+    })
+}
+
+/// Runs a generated firmware under the ACES stack (Filename strategy)
+/// with the shadow oracle attached.
+pub fn run_aces(spec: &FirmwareSpec) -> Result<Verdict, String> {
+    let board = spec.board();
+    let module = spec.build_module();
+    let out = build_aces_image(module, board, AcesStrategy::Filename)
+        .map_err(|e| format!("aces image: {e:?}"))?;
+    let main_comp = out.comps.of(out.image.entry);
+    let matrix = AccessMatrix::aces(
+        &out.image.module,
+        &out.comps,
+        &out.regions,
+        out.stack,
+        board.flash.base,
+        main_comp,
+    );
+    let runtime = AcesRuntime::new(
+        &out.image.module,
+        out.comps.clone(),
+        out.regions.clone(),
+        board,
+        out.stack,
+        main_comp,
+    );
+    let mut machine = Machine::new(board);
+    spec.install_devices(&mut machine);
+    let (watcher, handle) = shadow(matrix, Obs::disabled());
+    let mut vm = Vm::builder(machine, out.image.clone())
+        .supervisor(runtime)
+        .watcher(watcher)
+        .build()
+        .map_err(|e| format!("image: {e:?}"))?;
+    let run_error = vm.run(GEN_FUEL).err().map(|e| format!("{e:?}"));
+    let st = handle.take();
+    Ok(Verdict {
+        divergences: st.divergences,
+        total_divergences: st.total_divergences,
+        checks: st.checks,
+        probes: st.probes,
+        switches: st.switches,
+        exec: st.exec,
+        run_error,
+    })
+}

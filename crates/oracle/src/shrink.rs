@@ -1,0 +1,88 @@
+//! Greedy counterexample shrinking.
+//!
+//! Given a firmware plan that makes the oracle diverge, repeatedly try
+//! smaller plans — whole bodies emptied first, then single statements
+//! deleted — keeping a candidate whenever the divergence persists, and
+//! iterating to a fixpoint. Plans stay well-formed under every
+//! reduction (statements are self-contained and function indices never
+//! shift), so each candidate reruns the full compile → image → VM
+//! pipeline unchanged.
+
+use crate::gen::FirmwareSpec;
+
+/// Shrinks `spec` while `diverges` keeps returning `true`, spending at
+/// most `budget` pipeline reruns. Returns the smallest divergent plan
+/// found (possibly the input).
+pub fn shrink(
+    spec: &FirmwareSpec,
+    mut diverges: impl FnMut(&FirmwareSpec) -> bool,
+    mut budget: usize,
+) -> FirmwareSpec {
+    let mut best = spec.clone();
+    loop {
+        let mut reduced = false;
+        // Pass 1: empty whole bodies, most recently added functions
+        // first (helpers before entries before main).
+        for f in (0..best.funcs.len()).rev() {
+            if best.funcs[f].body.is_empty() || budget == 0 {
+                continue;
+            }
+            let mut cand = best.clone();
+            cand.funcs[f].body.clear();
+            budget -= 1;
+            if diverges(&cand) {
+                best = cand;
+                reduced = true;
+            }
+        }
+        // Pass 2: delete single statements, last first so earlier
+        // indices stay valid across the sweep.
+        for f in 0..best.funcs.len() {
+            let mut s = best.funcs[f].body.len();
+            while s > 0 {
+                s -= 1;
+                if budget == 0 {
+                    break;
+                }
+                let mut cand = best.clone();
+                cand.funcs[f].body.remove(s);
+                budget -= 1;
+                if diverges(&cand) {
+                    best = cand;
+                    reduced = true;
+                }
+            }
+        }
+        if !reduced || budget == 0 {
+            return best;
+        }
+    }
+}
+
+/// Renders a plan as a compact reproducible description: seed, sizes,
+/// and the surviving statements per function.
+pub fn describe(spec: &FirmwareSpec) -> String {
+    use core::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "seed {:#x}: {} ops, {} periphs, {} globals, {} stmts",
+        spec.seed,
+        spec.n_ops(),
+        spec.periph_bases.len(),
+        spec.globals.len(),
+        spec.size()
+    );
+    for (i, f) in spec.funcs.iter().enumerate() {
+        if f.body.is_empty() {
+            continue;
+        }
+        let name = match f.entry_of {
+            Some(op) => format!("op{op}"),
+            None if i == 0 => "main".to_string(),
+            None => format!("helper{i}"),
+        };
+        let _ = writeln!(out, "  {name} (cluster {}): {:?}", f.cluster, f.body);
+    }
+    out
+}

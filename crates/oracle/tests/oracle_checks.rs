@@ -1,0 +1,101 @@
+//! End-to-end oracle checks: generated firmwares run divergence-free
+//! under the real enforcement stacks, and a deliberately broken MPU
+//! configuration is caught and shrunk to a minimal counterexample.
+
+use opec_armv7m::mpu::{region_size_for, MpuRegion, RegionAttr};
+use opec_obs::{OracleKind, OracleLayer};
+use opec_oracle::divergence::Observed;
+use opec_oracle::{generate, run_aces, run_opec, shrink, FirmwareSpec};
+
+#[test]
+fn generated_firmwares_are_divergence_free_under_opec() {
+    for seed in 0..12 {
+        let spec = generate(seed);
+        let v = run_opec(&spec, None).expect("pipeline");
+        assert!(
+            v.divergences.is_empty(),
+            "seed {seed}: {} divergences, first: {}",
+            v.total_divergences,
+            v.divergences[0]
+        );
+        assert!(v.switches > 0, "seed {seed}: no operation switch was exercised");
+        assert!(v.checks > 0, "seed {seed}: no access was checked");
+    }
+}
+
+#[test]
+fn generated_firmwares_are_divergence_free_under_aces() {
+    let mut ran = 0;
+    for seed in 0..12 {
+        let spec = generate(seed);
+        let v = match run_aces(&spec) {
+            Ok(v) => v,
+            // Some plans exceed ACES group limits; that is an ACES
+            // scalability property, not an oracle divergence.
+            Err(e) => {
+                eprintln!("seed {seed}: aces build skipped: {e}");
+                continue;
+            }
+        };
+        ran += 1;
+        assert!(
+            v.divergences.is_empty(),
+            "seed {seed}: {} divergences, first: {}",
+            v.total_divergences,
+            v.divergences[0]
+        );
+    }
+    assert!(ran >= 6, "too few seeds built under ACES ({ran}/12)");
+}
+
+/// The tampering the oracle must catch: a bogus full-access region over
+/// flash prepended to an operation's peripheral-region plan, as a
+/// mis-generated MPU config would do.
+fn break_mpu(policy: &mut opec_core::SystemPolicy) {
+    let flash = policy.board.flash;
+    let bogus = MpuRegion::new(flash.base, region_size_for(0x1000), RegionAttr::full_access());
+    for op in policy.ops.iter_mut().skip(1) {
+        op.periph_regions.insert(0, bogus);
+    }
+}
+
+#[test]
+fn broken_mpu_config_is_caught_and_shrinks_to_minimal_program() {
+    let seed = 3;
+    let spec = generate(seed);
+    let flash_base = spec.board().flash.base;
+    let diverges = |s: &FirmwareSpec| {
+        run_opec(s, Some(&break_mpu)).is_ok_and(|v| {
+            v.divergences.iter().any(|d| {
+                d.kind == OracleKind::Escape
+                    && d.layer == OracleLayer::Mpu
+                    && d.observed == Observed::Probe
+                    && d.addr == flash_base
+            })
+        })
+    };
+    assert!(diverges(&spec), "the oracle missed a writable-flash MPU region");
+    // Sanity: the untampered policy is clean.
+    let clean = run_opec(&spec, None).expect("pipeline");
+    assert!(clean.divergences.is_empty(), "clean run diverged: {}", clean.divergences[0]);
+
+    let small = shrink(&spec, diverges, 300);
+    assert!(diverges(&small), "shrinking lost the divergence");
+    // Pinned minimal shape: one switch is necessary and sufficient —
+    // a single call from main into an operation entry, everything else
+    // stripped.
+    assert_eq!(
+        small.size(),
+        1,
+        "expected a 1-statement counterexample:\n{}",
+        opec_oracle::describe(&small)
+    );
+    assert!(
+        small.funcs[0].body.iter().all(|s| matches!(
+            s,
+            opec_oracle::gen::Stmt::Call { .. } | opec_oracle::gen::Stmt::ICall { .. }
+        )),
+        "the surviving statement must be the operation switch:\n{}",
+        opec_oracle::describe(&small)
+    );
+}

@@ -17,6 +17,7 @@ use crate::supervisor::{
     CpuContext, FaultFixup, NullSupervisor, Supervisor, SwitchKind, SwitchRequest, TrapCause,
     TrapError,
 };
+use crate::watch::{AccessKind, WatchedAccess, WatchedSwitch, Watcher};
 
 /// Maps an instruction's value/address virtual registers onto the
 /// architectural registers used in its emitted Thumb-2 encoding.
@@ -221,6 +222,7 @@ pub struct Vm<S: Supervisor> {
     /// What to do when the supervisor aborts an operation.
     pub containment: ContainmentMode,
     injector: Option<Box<dyn Injector>>,
+    watcher: Option<Box<dyn Watcher>>,
     pending_op_corrupt: Option<OpId>,
     pending_arg_corrupt: Vec<(usize, u32)>,
     sp: u32,
@@ -251,6 +253,7 @@ pub struct VmBuilder<S: Supervisor = NullSupervisor> {
     image: LoadedImage,
     supervisor: S,
     injector: Option<Box<dyn Injector>>,
+    watcher: Option<Box<dyn Watcher>>,
     obs: Obs,
     containment: ContainmentMode,
 }
@@ -263,6 +266,7 @@ impl Vm<NullSupervisor> {
             image,
             supervisor: NullSupervisor,
             injector: None,
+            watcher: None,
             obs: Obs::disabled(),
             containment: ContainmentMode::Terminate,
         }
@@ -277,6 +281,7 @@ impl<S: Supervisor> VmBuilder<S> {
             image: self.image,
             supervisor,
             injector: self.injector,
+            watcher: self.watcher,
             obs: self.obs,
             containment: self.containment,
         }
@@ -285,6 +290,13 @@ impl<S: Supervisor> VmBuilder<S> {
     /// Attaches a fault injector, polled between instructions.
     pub fn injector(mut self, injector: Box<dyn Injector>) -> VmBuilder<S> {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Attaches a passive lockstep watcher (see [`Watcher`]); it
+    /// observes resolved accesses and switches but never alters them.
+    pub fn watcher(mut self, watcher: Box<dyn Watcher>) -> VmBuilder<S> {
+        self.watcher = Some(watcher);
         self
     }
 
@@ -306,7 +318,8 @@ impl<S: Supervisor> VmBuilder<S> {
     /// handle through every layer, and yields a VM ready to
     /// [`run`](Vm::run).
     pub fn build(self) -> Result<Vm<S>, ImageError> {
-        let VmBuilder { mut machine, image, mut supervisor, injector, obs, containment } = self;
+        let VmBuilder { mut machine, image, mut supervisor, injector, watcher, obs, containment } =
+            self;
         image.load_into(&mut machine)?;
         machine.mpu.attach_obs(obs.clone());
         supervisor.attach_obs(&obs);
@@ -322,6 +335,7 @@ impl<S: Supervisor> VmBuilder<S> {
             contained: Vec::new(),
             containment,
             injector,
+            watcher,
             pending_op_corrupt: None,
             pending_arg_corrupt: Vec::new(),
             sp,
@@ -340,6 +354,29 @@ impl<S: Supervisor> Vm<S> {
     /// The innermost operation currently executing (0 = `main`).
     pub fn current_op(&self) -> OpId {
         self.frames.iter().rev().find_map(|f| f.op_call.as_ref().map(|oc| oc.op)).unwrap_or(0)
+    }
+
+    /// Notifies the watcher of one resolved checked access.
+    fn watch_access(&mut self, kind: AccessKind, addr: u32, size: u8, allowed: bool) {
+        let Some(mut w) = self.watcher.take() else { return };
+        let acc = WatchedAccess {
+            kind,
+            addr,
+            size,
+            allowed,
+            mode: self.machine.mode,
+            op: self.current_op(),
+            pc: self.machine.current_pc,
+        };
+        w.on_access(&self.machine, &acc);
+        self.watcher = Some(w);
+    }
+
+    /// Notifies the watcher of one resolved operation switch.
+    fn watch_switch(&mut self, sw: WatchedSwitch) {
+        let Some(mut w) = self.watcher.take() else { return };
+        w.on_switch(&self.machine, &sw);
+        self.watcher = Some(w);
     }
 
     /// Runs the program from reset until halt, return of `main`, an
@@ -462,6 +499,10 @@ impl<S: Supervisor> Vm<S> {
         let result = self.supervisor.on_quarantine(&mut self.machine, op, &mut resume_mode);
         self.machine.mode = resume_mode;
         self.charge(costs::EXC_RETURN);
+        if let Some(mut w) = self.watcher.take() {
+            w.on_quarantine(&self.machine, op);
+            self.watcher = Some(w);
+        }
         result.map_err(|trap| VmError::Aborted { trap, pc: self.machine.current_pc })
     }
 
@@ -625,11 +666,15 @@ impl<S: Supervisor> Vm<S> {
         let mut attempts = 0;
         loop {
             match self.machine.load(addr, u32::from(size), self.machine.mode) {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    self.watch_access(AccessKind::Load, addr, size, true);
+                    return Ok(v);
+                }
                 Err(exc) => {
                     attempts += 1;
                     if attempts > 2 {
                         let op = self.current_op();
+                        self.watch_access(AccessKind::Load, addr, size, false);
                         return Err(VmError::Aborted {
                             trap: TrapError::new(
                                 op,
@@ -642,9 +687,13 @@ impl<S: Supervisor> Vm<S> {
                     }
                     match self.dispatch_fault(exc)? {
                         FaultFixup::Retry => continue,
-                        FaultFixup::Emulated => return Ok(self.cpu.regs[rt as usize]),
+                        FaultFixup::Emulated => {
+                            self.watch_access(AccessKind::Load, addr, size, true);
+                            return Ok(self.cpu.regs[rt as usize]);
+                        }
                         FaultFixup::Abort(trap) => {
-                            return Err(VmError::Aborted { trap, pc: self.machine.current_pc })
+                            self.watch_access(AccessKind::Load, addr, size, false);
+                            return Err(VmError::Aborted { trap, pc: self.machine.current_pc });
                         }
                     }
                 }
@@ -667,11 +716,15 @@ impl<S: Supervisor> Vm<S> {
         let mut attempts = 0;
         loop {
             match self.machine.store(addr, u32::from(size), value, self.machine.mode) {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    self.watch_access(AccessKind::Store, addr, size, true);
+                    return Ok(());
+                }
                 Err(exc) => {
                     attempts += 1;
                     if attempts > 2 {
                         let op = self.current_op();
+                        self.watch_access(AccessKind::Store, addr, size, false);
                         return Err(VmError::Aborted {
                             trap: TrapError::new(
                                 op,
@@ -684,9 +737,13 @@ impl<S: Supervisor> Vm<S> {
                     }
                     match self.dispatch_fault(exc)? {
                         FaultFixup::Retry => continue,
-                        FaultFixup::Emulated => return Ok(()),
+                        FaultFixup::Emulated => {
+                            self.watch_access(AccessKind::Store, addr, size, true);
+                            return Ok(());
+                        }
                         FaultFixup::Abort(trap) => {
-                            return Err(VmError::Aborted { trap, pc: self.machine.current_pc })
+                            self.watch_access(AccessKind::Store, addr, size, false);
+                            return Err(VmError::Aborted { trap, pc: self.machine.current_pc });
                         }
                     }
                 }
@@ -779,6 +836,7 @@ impl<S: Supervisor> Vm<S> {
                     entry: callee.0,
                     insts,
                 });
+                let sp_before = self.sp;
                 self.charge(costs::EXC_ENTRY);
                 let saved_mode = self.machine.mode;
                 self.machine.mode = Mode::Privileged;
@@ -803,6 +861,15 @@ impl<S: Supervisor> Vm<S> {
                     to: op,
                     entry: callee.0,
                     ok,
+                });
+                self.watch_switch(WatchedSwitch {
+                    kind: SwitchKind::Enter,
+                    from,
+                    to: op,
+                    entry: callee,
+                    ok,
+                    sp_before,
+                    sp_after: self.sp,
                 });
                 result.map_err(|trap| VmError::Aborted { trap, pc: self.machine.current_pc })?;
                 op_call = Some(OpCall {
@@ -834,6 +901,13 @@ impl<S: Supervisor> Vm<S> {
         let mut regs = vec![0u32; num_regs];
         for (i, v) in args.iter().enumerate().take(num_regs) {
             regs[i] = *v;
+        }
+        if self.watcher.is_some() {
+            let wop = op_call.as_ref().map(|oc| oc.op).unwrap_or_else(|| self.current_op());
+            let mode = self.machine.mode;
+            let mut w = self.watcher.take().expect("watcher present");
+            w.on_func_enter(&self.machine, wop, callee, mode);
+            self.watcher = Some(w);
         }
         self.obs.emit_at(self.machine.clock.now(), || Event::FuncEnter { func: callee.0 });
         self.frames.push(Frame {
@@ -895,6 +969,7 @@ impl<S: Supervisor> Vm<S> {
                 entry: oc.entry.0,
                 insts,
             });
+            let sp_before = self.sp;
             self.charge(costs::EXC_ENTRY);
             let saved_mode = self.machine.mode;
             self.machine.mode = Mode::Privileged;
@@ -919,6 +994,15 @@ impl<S: Supervisor> Vm<S> {
                 to,
                 entry: oc.entry.0,
                 ok,
+            });
+            self.watch_switch(WatchedSwitch {
+                kind: SwitchKind::Exit,
+                from: oc.op,
+                to,
+                entry: oc.entry,
+                ok,
+                sp_before,
+                sp_after: self.sp,
             });
             if let Err(trap) = result {
                 // An exit-time violation (sanitization failure, context

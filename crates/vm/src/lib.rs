@@ -40,6 +40,7 @@ pub mod image;
 pub mod inject;
 pub mod supervisor;
 pub mod trace;
+pub mod watch;
 
 pub use opec_obs as obs;
 
@@ -52,3 +53,4 @@ pub use supervisor::{
     TrapError,
 };
 pub use trace::Trace;
+pub use watch::{AccessKind, WatchedAccess, WatchedSwitch, Watcher};

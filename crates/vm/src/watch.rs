@@ -1,0 +1,104 @@
+//! Lockstep observation hooks for differential checking.
+//!
+//! A [`Watcher`] rides along with the interpreter and sees the *final
+//! outcome* of every checked data access, every function entry, every
+//! operation switch, and every quarantine unwind — after the
+//! supervisor's fault handling (retry, emulation, abort) has resolved.
+//! Unlike [`crate::inject::Injector`], a watcher never changes
+//! execution; unlike [`crate::Obs`] sinks, it receives the machine by
+//! reference, so an oracle can interrogate the MPU model
+//! non-destructively at well-defined points.
+//!
+//! The hooks deliberately mirror the enforcement boundary, not the
+//! instruction set: privileged work the supervisor performs internally
+//! (shadow synchronisation, MPU reprogramming) does not flow through
+//! [`Vm::checked_load`]/`checked_store` and is therefore invisible
+//! here, exactly as it is invisible to the MPU's unprivileged checks.
+//!
+//! [`Vm::checked_load`]: crate::Vm
+
+use opec_armv7m::{Machine, Mode};
+use opec_ir::FuncId;
+
+use crate::image::OpId;
+use crate::supervisor::SwitchKind;
+
+/// Load or store, as seen at the checked-access boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A data load.
+    Load,
+    /// A data store.
+    Store,
+}
+
+/// The resolved outcome of one checked data access.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchedAccess {
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Byte address accessed.
+    pub addr: u32,
+    /// Access width in bytes.
+    pub size: u8,
+    /// `true` when the access ultimately went through (directly, after
+    /// a retry, or by emulation); `false` when it was aborted.
+    pub allowed: bool,
+    /// Privilege level the access was issued at.
+    pub mode: Mode,
+    /// The operation that issued it (0 = `main`).
+    pub op: OpId,
+    /// PC of the issuing instruction.
+    pub pc: u32,
+}
+
+/// The resolved outcome of one operation switch.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchedSwitch {
+    /// Enter or exit.
+    pub kind: SwitchKind,
+    /// The operation the CPU was in before the switch.
+    pub from: OpId,
+    /// The switched operation (on exit: the operation left).
+    pub to: OpId,
+    /// Entry function of the switched operation.
+    pub entry: FuncId,
+    /// Whether the supervisor accepted the switch.
+    pub ok: bool,
+    /// Stack pointer before the supervisor ran (stack arguments, if
+    /// any, already pushed).
+    pub sp_before: u32,
+    /// Stack pointer after the supervisor ran (on enter: after any
+    /// stack-argument relocation).
+    pub sp_after: u32,
+}
+
+/// A passive lockstep observer over VM execution.
+///
+/// All methods have empty default bodies so a watcher implements only
+/// what it checks. Watchers must not assume balanced enter/exit pairs:
+/// a quarantined operation's frames unwind without exit switches, and
+/// [`Watcher::on_quarantine`] is the only notification.
+pub trait Watcher {
+    /// A checked data access resolved (allowed or aborted).
+    fn on_access(&mut self, machine: &Machine, acc: &WatchedAccess) {
+        let _ = (machine, acc);
+    }
+
+    /// A function body is about to execute. `op` is the innermost
+    /// operation *after* any switch for this call.
+    fn on_func_enter(&mut self, machine: &Machine, op: OpId, func: FuncId, mode: Mode) {
+        let _ = (machine, op, func, mode);
+    }
+
+    /// An operation switch resolved (accepted or refused).
+    fn on_switch(&mut self, machine: &Machine, sw: &WatchedSwitch) {
+        let _ = (machine, sw);
+    }
+
+    /// An operation was killed and its frames unwound without the
+    /// usual exit switches.
+    fn on_quarantine(&mut self, machine: &Machine, op: OpId) {
+        let _ = (machine, op);
+    }
+}
