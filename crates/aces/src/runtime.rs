@@ -38,6 +38,7 @@ pub struct AcesStats {
 }
 
 /// The ACES runtime.
+#[derive(Clone)]
 pub struct AcesRuntime {
     comps: Compartments,
     regions: DataRegions,

@@ -53,11 +53,13 @@ impl Clock {
     }
 
     /// Current cycle count.
+    #[inline]
     pub fn now(&self) -> u64 {
         self.cycles
     }
 
     /// Advances the clock by `cycles`.
+    #[inline]
     pub fn tick(&mut self, cycles: u64) {
         self.cycles = self.cycles.saturating_add(cycles);
     }

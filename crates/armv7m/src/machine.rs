@@ -46,6 +46,13 @@ pub trait MmioDevice {
     /// Downcasting hook so hosts (test harnesses, workload drivers) can
     /// reach a device's typed interface, e.g. to feed a UART.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+    /// Clones the device's full state for snapshotting. The default
+    /// returns `None`, which makes [`Machine::snapshot`] fail with the
+    /// device's name: a device that cannot reproduce its state must
+    /// opt out of snapshot/restore loudly, not silently desync.
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        None
+    }
 }
 
 /// Counters the evaluation reads out of the machine.
@@ -61,6 +68,31 @@ pub struct MachineStats {
     pub mem_faults: u64,
     /// Bus faults raised.
     pub bus_faults: u64,
+}
+
+/// Dirty-page granularity for snapshot tracking, in bytes. Small enough
+/// that a typical campaign run touching a few KiB of SRAM restores in a
+/// handful of `memcpy`s, large enough that the bitmap stays tiny.
+const SNAP_PAGE: usize = 256;
+
+/// A full machine checkpoint taken by [`Machine::snapshot`].
+///
+/// Holds golden copies of Flash, SRAM, devices, MPU, clock and counters.
+/// [`Machine::restore`] copies back only the pages dirtied since the
+/// snapshot was taken (tracked by a write barrier in the store path), so
+/// a restore after a short run costs microseconds, not a full memcpy of
+/// the address space.
+pub struct MachineSnapshot {
+    id: u64,
+    mode: Mode,
+    clock: Clock,
+    current_pc: u32,
+    stats: MachineStats,
+    mpu: Mpu,
+    ppb_regs: HashMap<u32, u32>,
+    flash: Vec<u8>,
+    sram: Vec<u8>,
+    devices: Vec<Box<dyn MmioDevice>>,
 }
 
 /// The simulated microcontroller.
@@ -83,6 +115,13 @@ pub struct Machine {
     devices: Vec<Box<dyn MmioDevice>>,
     /// Backing store for PPB registers without dedicated models.
     ppb_regs: HashMap<u32, u32>,
+    /// Dirty-page bitmaps relative to snapshot `snap_id`. Empty until a
+    /// snapshot is taken (tracking costs nothing before that).
+    flash_dirty: Vec<u64>,
+    sram_dirty: Vec<u64>,
+    /// Id of the snapshot the dirty bits are relative to (0 = none).
+    snap_id: u64,
+    next_snap_id: u64,
 }
 
 impl Machine {
@@ -100,6 +139,98 @@ impl Machine {
             stats: MachineStats::default(),
             devices: Vec::new(),
             ppb_regs: HashMap::new(),
+            flash_dirty: Vec::new(),
+            sram_dirty: Vec::new(),
+            snap_id: 0,
+            next_snap_id: 1,
+        }
+    }
+
+    /// Marks the pages covering `off..off + len` dirty. No-op until a
+    /// snapshot has armed the bitmap.
+    fn mark_dirty(bits: &mut [u64], off: usize, len: usize) {
+        if bits.is_empty() || len == 0 {
+            return;
+        }
+        let first = off / SNAP_PAGE;
+        let last = (off + len - 1) / SNAP_PAGE;
+        for page in first..=last {
+            bits[page / 64] |= 1u64 << (page % 64);
+        }
+    }
+
+    /// Captures a full checkpoint of the machine and arms dirty-page
+    /// tracking so a later [`Machine::restore`] of this snapshot copies
+    /// back only what the run touched. Fails if any registered device
+    /// does not implement [`MmioDevice::clone_box`].
+    pub fn snapshot(&mut self) -> Result<MachineSnapshot, String> {
+        let mut devices = Vec::with_capacity(self.devices.len());
+        for d in &self.devices {
+            devices.push(
+                d.clone_box()
+                    .ok_or_else(|| format!("device {} does not support snapshotting", d.name()))?,
+            );
+        }
+        let id = self.next_snap_id;
+        self.next_snap_id += 1;
+        self.snap_id = id;
+        self.flash_dirty = vec![0; self.flash.len().div_ceil(SNAP_PAGE).div_ceil(64)];
+        self.sram_dirty = vec![0; self.sram.len().div_ceil(SNAP_PAGE).div_ceil(64)];
+        Ok(MachineSnapshot {
+            id,
+            mode: self.mode,
+            clock: self.clock.clone(),
+            current_pc: self.current_pc,
+            stats: self.stats,
+            mpu: self.mpu.clone(),
+            ppb_regs: self.ppb_regs.clone(),
+            flash: self.flash.clone(),
+            sram: self.sram.clone(),
+            devices,
+        })
+    }
+
+    /// Rolls the machine back to `snap`. When `snap` is the snapshot the
+    /// dirty bitmap is armed against (the fork-server pattern: snapshot
+    /// once, restore per seed), only dirtied pages are copied; restoring
+    /// any other snapshot falls back to a full memory copy and re-arms
+    /// tracking against it.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        if self.snap_id == snap.id && !self.flash_dirty.is_empty() {
+            Self::copy_dirty(&mut self.flash, &snap.flash, &mut self.flash_dirty);
+            Self::copy_dirty(&mut self.sram, &snap.sram, &mut self.sram_dirty);
+        } else {
+            self.flash.copy_from_slice(&snap.flash);
+            self.sram.copy_from_slice(&snap.sram);
+            self.flash_dirty = vec![0; self.flash.len().div_ceil(SNAP_PAGE).div_ceil(64)];
+            self.sram_dirty = vec![0; self.sram.len().div_ceil(SNAP_PAGE).div_ceil(64)];
+            self.snap_id = snap.id;
+        }
+        self.mode = snap.mode;
+        self.clock = snap.clock.clone();
+        self.current_pc = snap.current_pc;
+        self.stats = snap.stats;
+        self.mpu = snap.mpu.clone();
+        self.ppb_regs.clone_from(&snap.ppb_regs);
+        self.devices.clear();
+        for d in &snap.devices {
+            self.devices.push(d.clone_box().expect("snapshotted device must stay cloneable"));
+        }
+    }
+
+    fn copy_dirty(dst: &mut [u8], golden: &[u8], bits: &mut [u64]) {
+        for (w, word) in bits.iter_mut().enumerate() {
+            let mut v = *word;
+            while v != 0 {
+                let b = v.trailing_zeros() as usize;
+                v &= v - 1;
+                let start = (w * 64 + b) * SNAP_PAGE;
+                let end = (start + SNAP_PAGE).min(dst.len());
+                if start < dst.len() {
+                    dst[start..end].copy_from_slice(&golden[start..end]);
+                }
+            }
+            *word = 0;
         }
     }
 
@@ -134,7 +265,10 @@ impl Machine {
             .and_then(|d| d.as_any_mut().downcast_mut::<T>())
     }
 
-    /// Advances all devices by `cycles`.
+    /// Advances all devices by `cycles`. On the interpreter's per-ALU-op
+    /// hot path — inline so the no-device case folds to a loop over an
+    /// empty slice.
+    #[inline]
     pub fn tick_devices(&mut self, cycles: u64) {
         for d in &mut self.devices {
             d.tick(cycles);
@@ -263,6 +397,7 @@ impl Machine {
         // flash controller, which the firmware never does mid-run).
         if self.board.sram.contains_range(addr, len) {
             let off = (addr - self.board.sram.base) as usize;
+            Self::mark_dirty(&mut self.sram_dirty, off, len as usize);
             write_le(&mut self.sram, off, len, value);
             return true;
         }
@@ -315,11 +450,15 @@ impl Machine {
     /// Unchecked write used by loaders and tests.
     pub fn poke(&mut self, addr: u32, len: u32, value: u32) -> bool {
         if self.board.flash.contains_range(addr, len) {
-            write_le(&mut self.flash, (addr - self.board.flash.base) as usize, len, value);
+            let off = (addr - self.board.flash.base) as usize;
+            Self::mark_dirty(&mut self.flash_dirty, off, len as usize);
+            write_le(&mut self.flash, off, len, value);
             return true;
         }
         if self.board.sram.contains_range(addr, len) {
-            write_le(&mut self.sram, (addr - self.board.sram.base) as usize, len, value);
+            let off = (addr - self.board.sram.base) as usize;
+            Self::mark_dirty(&mut self.sram_dirty, off, len as usize);
+            write_le(&mut self.sram, off, len, value);
             return true;
         }
         false
@@ -346,6 +485,7 @@ impl Machine {
             return Err(format!("flash write out of range: {addr:#010x}+{len:#x}"));
         }
         let off = (addr - self.board.flash.base) as usize;
+        Self::mark_dirty(&mut self.flash_dirty, off, bytes.len());
         self.flash[off..off + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
@@ -357,6 +497,7 @@ impl Machine {
             return Err(format!("sram write out of range: {addr:#010x}+{len:#x}"));
         }
         let off = (addr - self.board.sram.base) as usize;
+        Self::mark_dirty(&mut self.sram_dirty, off, bytes.len());
         self.sram[off..off + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }

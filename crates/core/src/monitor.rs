@@ -73,8 +73,12 @@ struct OpContext {
 }
 
 /// The OPEC-Monitor runtime.
+#[derive(Clone)]
 pub struct OpecMonitor {
-    policy: SystemPolicy,
+    /// Shared, immutable after construction: cloning a monitor (the
+    /// snapshot/restore path does it per campaign) must not copy the
+    /// whole policy.
+    policy: std::sync::Arc<SystemPolicy>,
     ctx: Vec<OpContext>,
     rr: usize,
     /// Which peripheral window (index into the current operation's
@@ -90,7 +94,7 @@ impl OpecMonitor {
     /// Creates a monitor enforcing `policy`.
     pub fn new(policy: SystemPolicy) -> OpecMonitor {
         OpecMonitor {
-            policy,
+            policy: std::sync::Arc::new(policy),
             ctx: Vec::new(),
             rr: 0,
             virt_slots: [None; 4],

@@ -14,6 +14,7 @@ use opec_armv7m::mem::MemRegion;
 use opec_armv7m::MmioDevice;
 
 /// The DCMI camera interface.
+#[derive(Clone)]
 pub struct Dcmi {
     base: u32,
     frame_bytes: u32,
@@ -62,6 +63,9 @@ impl Dcmi {
 impl MmioDevice for Dcmi {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
     }
     fn name(&self) -> &str {
         "DCMI"

@@ -16,6 +16,7 @@ use opec_armv7m::mem::MemRegion;
 use opec_armv7m::MmioDevice;
 
 /// A small LCD panel.
+#[derive(Clone)]
 pub struct Lcd {
     base: u32,
     /// Panel width in pixels.
@@ -70,6 +71,9 @@ impl Lcd {
 impl MmioDevice for Lcd {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
     }
     fn name(&self) -> &str {
         "LCD"

@@ -14,6 +14,7 @@ use opec_armv7m::mem::MemRegion;
 use opec_armv7m::MmioDevice;
 
 /// One GPIO port (16 pins).
+#[derive(Clone)]
 pub struct Gpio {
     name: String,
     base: u32,
@@ -47,6 +48,9 @@ impl MmioDevice for Gpio {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
+    }
     fn name(&self) -> &str {
         &self.name
     }
@@ -77,6 +81,7 @@ impl MmioDevice for Gpio {
 ///
 /// The Camera workload waits for a press; tests schedule one with
 /// [`Button::press_after`].
+#[derive(Clone)]
 pub struct Button {
     gpio_base: u32,
     pin: u8,
@@ -107,6 +112,9 @@ impl Button {
 impl MmioDevice for Button {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
     }
     fn name(&self) -> &str {
         "BUTTON"

@@ -11,6 +11,7 @@ use opec_armv7m::MmioDevice;
 
 /// Reset and clock control. Writes stick; the PLL-ready flag (offset
 /// 0x00, bit 25) reads as set once the PLL-on bit (bit 24) was written.
+#[derive(Clone)]
 pub struct Rcc {
     base: u32,
     cr: u32,
@@ -27,6 +28,9 @@ impl Rcc {
 impl MmioDevice for Rcc {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
     }
     fn name(&self) -> &str {
         "RCC"
@@ -56,6 +60,7 @@ impl MmioDevice for Rcc {
 
 /// A DMA controller modelled as a register file; channel-enable bits
 /// complete instantly (transfer-complete flag at offset 0x00).
+#[derive(Clone)]
 pub struct Dma {
     name: String,
     base: u32,
@@ -73,6 +78,9 @@ impl Dma {
 impl MmioDevice for Dma {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
     }
     fn name(&self) -> &str {
         &self.name
@@ -103,6 +111,7 @@ impl MmioDevice for Dma {
 /// A plain register file: every word offset is storage. Used for
 /// configuration-only peripherals (PWR, EXTI-style blocks) whose only
 /// observable behaviour is retaining what firmware wrote.
+#[derive(Clone)]
 pub struct RegFile {
     name: String,
     base: u32,
@@ -119,6 +128,9 @@ impl RegFile {
 impl MmioDevice for RegFile {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
     }
     fn name(&self) -> &str {
         &self.name
@@ -138,6 +150,7 @@ impl MmioDevice for RegFile {
 
 /// A free-running timer; `CNT` (offset 0x24) advances with machine time
 /// divided by the prescaler (offset 0x28, default 1).
+#[derive(Clone)]
 pub struct Timer {
     name: String,
     base: u32,
@@ -156,6 +169,9 @@ impl Timer {
 impl MmioDevice for Timer {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
     }
     fn name(&self) -> &str {
         &self.name

@@ -17,6 +17,7 @@ use opec_armv7m::mem::MemRegion;
 use opec_armv7m::MmioDevice;
 
 /// A polled Ethernet MAC with host-visible frame queues.
+#[derive(Clone)]
 pub struct EthMac {
     base: u32,
     rx: VecDeque<Vec<u8>>,
@@ -73,6 +74,9 @@ impl EthMac {
 impl MmioDevice for EthMac {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
     }
     fn name(&self) -> &str {
         "ETH"

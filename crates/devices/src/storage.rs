@@ -68,6 +68,7 @@ impl BlockDevice {
 }
 
 /// Shared register-level implementation.
+#[derive(Clone)]
 struct BlockPort {
     store: BlockDevice,
     buffer: [u8; BLOCK_SIZE],
@@ -155,6 +156,7 @@ impl BlockPort {
 }
 
 /// The SD card behind the SDIO controller window.
+#[derive(Clone)]
 pub struct SdCard {
     port: BlockPort,
     base: u32,
@@ -191,6 +193,9 @@ impl MmioDevice for SdCard {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
+    }
     fn name(&self) -> &str {
         "SDIO"
     }
@@ -209,6 +214,7 @@ impl MmioDevice for SdCard {
 }
 
 /// The USB mass-storage disk (Camera saves captured photos to it).
+#[derive(Clone)]
 pub struct UsbMsc {
     port: BlockPort,
     base: u32,
@@ -240,6 +246,9 @@ impl UsbMsc {
 impl MmioDevice for UsbMsc {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
     }
     fn name(&self) -> &str {
         "USB_MSC"

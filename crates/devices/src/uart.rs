@@ -23,6 +23,7 @@ pub const SR_RXNE: u32 = 1 << 0;
 pub const SR_TXE: u32 = 1 << 1;
 
 /// A polled UART with host-visible FIFOs.
+#[derive(Clone)]
 pub struct Uart {
     name: String,
     base: u32,
@@ -84,6 +85,9 @@ impl Uart {
 impl MmioDevice for Uart {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+    fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
+        Some(Box::new(self.clone()))
     }
     fn name(&self) -> &str {
         &self.name

@@ -26,7 +26,10 @@ use opec_apps::App;
 use opec_armv7m::{Machine, MemRegion};
 use opec_core::{compile, CompileOutput, OpecMonitor};
 use opec_inject::{score, Attack, AttackKind, CampaignInjector, CampaignResult, Verdict};
-use opec_vm::{link_baseline, InjectAction, LoadedImage, OpId, Supervisor, Vm, VmError};
+use opec_vm::{
+    link_baseline, InjectAction, LoadedImage, NullSupervisor, OpId, Supervisor, Vm, VmError,
+    VmSnapshot,
+};
 
 use crate::runs::FUEL;
 use crate::table::TextTable;
@@ -198,9 +201,14 @@ fn build_artifacts(app: &App, with_aces: bool) -> Artifacts {
 }
 
 /// All cells of one application: every attack class under every
-/// configuration.
+/// configuration. One VM per configuration is built, loaded and booted
+/// exactly once, then reset per campaign from its post-boot snapshot —
+/// the fork-server pattern that makes the matrix cheap.
 fn app_cells(app: &App, seeds: u64, with_aces: bool) -> Vec<Cell> {
     let art = build_artifacts(app, with_aces);
+    let mut opec = caught_runner("OPEC init", || prepare_opec(app, &art));
+    let mut aces = with_aces.then(|| caught_runner("ACES init", || prepare_aces(app, &art)));
+    let mut baseline = caught_runner("baseline init", || prepare_baseline(app, &art));
     let mut cells = Vec::new();
     for kind in AttackKind::ALL {
         for config in Config::ALL {
@@ -208,29 +216,149 @@ fn app_cells(app: &App, seeds: u64, with_aces: bool) -> Vec<Cell> {
                 cells.push(Cell { app: app.name, config, kind, verdicts: Vec::new() });
                 continue;
             }
-            let verdicts =
-                (0..seeds).map(|seed| (seed, run_cell(app, &art, config, kind, seed))).collect();
+            // Never panic out of a cell: host panics score as
+            // [`Verdict::Crashed`], which the matrix (and CI) treat as
+            // a robustness bug. A panic mid-campaign cannot poison the
+            // next one — every campaign starts from the snapshot.
+            let verdicts = (0..seeds)
+                .map(|seed| {
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| match config {
+                        Config::Opec => run_opec_cell(app, &art, &mut opec, kind, seed),
+                        Config::Aces => {
+                            let runner = aces.as_mut().expect("ACES requested");
+                            run_aces_cell(app, &art, runner, kind, seed)
+                        }
+                        Config::Baseline => run_baseline_cell(app, &art, &mut baseline, kind, seed),
+                    }));
+                    let verdict = match outcome {
+                        Ok(Ok(verdict)) => verdict,
+                        Ok(Err(e)) => Verdict::Crashed { detail: e },
+                        Err(payload) => Verdict::Crashed { detail: panic_message(&payload) },
+                    };
+                    (seed, verdict)
+                })
+                .collect();
             cells.push(Cell { app: app.name, config, kind, verdicts });
         }
     }
     cells
 }
 
-/// Attacks and scores one `(app, config, attack, seed)` run against the
-/// prebuilt artifacts. Never panics: build failures and host panics
-/// score as [`Verdict::Crashed`], which the matrix (and CI) treat as a
-/// robustness bug.
-fn run_cell(app: &App, art: &Artifacts, config: Config, kind: AttackKind, seed: u64) -> Verdict {
-    let outcome = panic::catch_unwind(AssertUnwindSafe(|| match config {
-        Config::Opec => run_opec_cell(app, art, kind, seed),
-        Config::Aces => run_aces_cell(app, art, kind, seed),
-        Config::Baseline => run_baseline_cell(app, art, kind, seed),
-    }));
-    match outcome {
-        Ok(Ok(verdict)) => verdict,
-        Ok(Err(e)) => Verdict::Crashed { detail: e },
-        Err(payload) => Verdict::Crashed { detail: panic_message(&payload) },
+/// One reusable VM for an `(app, config)` column: built and booted
+/// once, then reset per campaign from a copy-on-write snapshot instead
+/// of being reconstructed from scratch for each `attack × seed` run.
+enum Runner<S: Supervisor + Clone> {
+    /// Boot succeeded; each campaign restores `snap` and resumes.
+    /// Boxed: a VM plus its snapshot dwarf the other variant.
+    Ready {
+        /// The booted VM.
+        vm: Box<Vm<S>>,
+        /// Its post-boot state (machine, supervisor, frames).
+        snap: Box<VmSnapshot<S>>,
+    },
+    /// The VM aborted during boot. Boot is deterministic, so every
+    /// campaign of the column would have ended the same way before the
+    /// injector could fire; the stored result is replayed per cell.
+    BootFailed(CampaignResult),
+}
+
+impl<S: Supervisor + Clone> Runner<S> {
+    /// Boots `vm` once and snapshots the post-boot state.
+    fn new(mut vm: Vm<S>) -> Result<Self, String> {
+        match vm.boot() {
+            Ok(()) => {}
+            Err(VmError::Aborted { trap, .. }) => {
+                return Ok(Runner::BootFailed(CampaignResult::Aborted(trap)));
+            }
+            Err(other) => {
+                return Ok(Runner::BootFailed(CampaignResult::OtherError(other.to_string())));
+            }
+        }
+        let snap = vm.snapshot().map_err(|e| format!("snapshot: {e}"))?;
+        Ok(Runner::Ready { vm: Box::new(vm), snap: Box::new(snap) })
     }
+
+    /// Restores the post-boot snapshot, installs the campaign's
+    /// injector, and drives one run to a verdict.
+    fn campaign(
+        &mut self,
+        attack: Attack,
+        seed: u64,
+        app: &'static str,
+        kind: AttackKind,
+        fuel: u64,
+    ) -> Verdict {
+        match self {
+            Runner::BootFailed(result) => score(kind, &[], result),
+            Runner::Ready { vm, snap } => {
+                vm.restore(snap);
+                vm.set_injector(Some(Box::new(CampaignInjector::new(attack, seed, app))));
+                debug_assert_eq!(vm.boots(), 1, "per-app init must run exactly once");
+                let result = match vm.resume(fuel) {
+                    Ok(_) => CampaignResult::Completed,
+                    Err(VmError::Aborted { trap, .. }) => CampaignResult::Aborted(trap),
+                    Err(other) => CampaignResult::OtherError(other.to_string()),
+                };
+                score(kind, &vm.inject_log, &result)
+            }
+        }
+    }
+
+    /// Reads memory of the just-driven VM (`None` after a boot failure).
+    fn peek(&mut self, addr: u32, size: u32) -> Option<u32> {
+        match self {
+            Runner::Ready { vm, .. } => vm.machine.peek(addr, size),
+            Runner::BootFailed(_) => None,
+        }
+    }
+}
+
+/// Converts a possibly-panicking VM construction into a `Result`.
+fn caught_runner<S: Supervisor + Clone>(
+    what: &str,
+    f: impl FnOnce() -> Result<Runner<S>, String>,
+) -> Result<Runner<S>, String> {
+    caught(what, panic::catch_unwind(AssertUnwindSafe(f)))
+}
+
+fn prepare_opec(app: &App, art: &Artifacts) -> Result<Runner<OpecMonitor>, String> {
+    let out = art.opec.as_ref().map_err(Clone::clone)?;
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let vm = Vm::builder(machine, out.image.clone())
+        .supervisor(OpecMonitor::new(out.policy.clone()))
+        .build()
+        .map_err(|e| format!("OPEC image: {e}"))?;
+    Runner::new(vm)
+}
+
+fn prepare_aces(app: &App, art: &Artifacts) -> Result<Runner<AcesRuntime>, String> {
+    let out = art.aces.as_ref().expect("ACES requested").as_ref().map_err(Clone::clone)?;
+    let main_comp = out.comps.of(out.image.entry);
+    let rt = AcesRuntime::new(
+        &out.image.module,
+        out.comps.clone(),
+        out.regions.clone(),
+        app.board,
+        out.stack,
+        main_comp,
+    );
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let vm = Vm::builder(machine, out.image.clone())
+        .supervisor(rt)
+        .build()
+        .map_err(|e| format!("ACES image: {e}"))?;
+    Runner::new(vm)
+}
+
+fn prepare_baseline(app: &App, art: &Artifacts) -> Result<Runner<NullSupervisor>, String> {
+    let image = art.baseline.as_ref().map_err(Clone::clone)?;
+    let mut machine = Machine::new(app.board);
+    (app.setup)(&mut machine);
+    let vm =
+        Vm::builder(machine, image.clone()).build().map_err(|e| format!("baseline image: {e}"))?;
+    Runner::new(vm)
 }
 
 type Device = (String, MemRegion);
@@ -245,19 +373,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Drives a prepared VM through one campaign and folds the result.
-fn drive<S: Supervisor>(vm: &mut Vm<S>, kind: AttackKind, fuel: u64) -> Verdict {
-    let result = match vm.run(fuel) {
-        Ok(_) => CampaignResult::Completed,
-        Err(VmError::Aborted { trap, .. }) => CampaignResult::Aborted(trap),
-        Err(other) => CampaignResult::OtherError(other.to_string()),
-    };
-    score(kind, &vm.inject_log, &result)
-}
-
 fn run_opec_cell(
     app: &App,
     art: &Artifacts,
+    runner: &mut Result<Runner<OpecMonitor>, String>,
     kind: AttackKind,
     seed: u64,
 ) -> Result<Verdict, String> {
@@ -265,13 +384,7 @@ fn run_opec_cell(
     let Some(attack) = opec_attack(kind, out, &art.devices) else {
         return Ok(Verdict::NotApplicable);
     };
-    let mut machine = Machine::new(app.board);
-    (app.setup)(&mut machine);
-    let mut vm = Vm::builder(machine, out.image.clone())
-        .supervisor(OpecMonitor::new(out.policy.clone()))
-        .injector(Box::new(CampaignInjector::new(attack.clone(), seed, app.name)))
-        .build()
-        .map_err(|e| format!("OPEC image: {e}"))?;
+    let runner = runner.as_mut().map_err(|e| e.clone())?;
     // A bit flip's verdict shows up at the faulted operation's next
     // sync-out, and an armed switch corruption at the next operation
     // entry — either may be anywhere in the workload, so those get the
@@ -280,13 +393,13 @@ fn run_opec_cell(
         AttackKind::ShadowBitFlip | AttackKind::SvcCorrupt => FUEL,
         _ => SHORT_FUEL,
     };
-    let mut verdict = drive(&mut vm, kind, fuel);
+    let mut verdict = runner.campaign(attack.clone(), seed, app.name, kind, fuel);
     // A flipped shadow bit the operation legitimately overwrote before
     // its next sync-out was masked, not contained and not escaped — the
     // standard fault-injection "benign fault" outcome.
     if kind == AttackKind::ShadowBitFlip && matches!(verdict, Verdict::Escaped { .. }) {
         if let InjectAction::FlipBit { addr, bit } = attack.action {
-            let still_set = vm.machine.peek(addr, 4).is_some_and(|v| (v >> bit) & 1 == 1);
+            let still_set = runner.peek(addr, 4).is_some_and(|v| (v >> bit) & 1 == 1);
             if !still_set {
                 verdict = Verdict::NotApplicable;
             }
@@ -298,6 +411,7 @@ fn run_opec_cell(
 fn run_aces_cell(
     app: &App,
     art: &Artifacts,
+    runner: &mut Result<Runner<AcesRuntime>, String>,
     kind: AttackKind,
     seed: u64,
 ) -> Result<Verdict, String> {
@@ -305,29 +419,15 @@ fn run_aces_cell(
     let Some(attack) = aces_attack(kind, &out.image, out.stack, &art.devices) else {
         return Ok(Verdict::NotApplicable);
     };
-    let main_comp = out.comps.of(out.image.entry);
-    let rt = AcesRuntime::new(
-        &out.image.module,
-        out.comps.clone(),
-        out.regions.clone(),
-        app.board,
-        out.stack,
-        main_comp,
-    );
-    let mut machine = Machine::new(app.board);
-    (app.setup)(&mut machine);
-    let mut vm = Vm::builder(machine, out.image.clone())
-        .supervisor(rt)
-        .injector(Box::new(CampaignInjector::new(attack, seed, app.name)))
-        .build()
-        .map_err(|e| format!("ACES image: {e}"))?;
+    let runner = runner.as_mut().map_err(|e| e.clone())?;
     let fuel = if kind == AttackKind::SvcCorrupt { FUEL } else { SHORT_FUEL };
-    Ok(drive(&mut vm, kind, fuel))
+    Ok(runner.campaign(attack, seed, app.name, kind, fuel))
 }
 
 fn run_baseline_cell(
     app: &App,
     art: &Artifacts,
+    runner: &mut Result<Runner<NullSupervisor>, String>,
     kind: AttackKind,
     seed: u64,
 ) -> Result<Verdict, String> {
@@ -335,13 +435,8 @@ fn run_baseline_cell(
     let Some(attack) = baseline_attack(kind, image, &art.devices) else {
         return Ok(Verdict::NotApplicable);
     };
-    let mut machine = Machine::new(app.board);
-    (app.setup)(&mut machine);
-    let mut vm = Vm::builder(machine, image.clone())
-        .injector(Box::new(CampaignInjector::new(attack, seed, app.name)))
-        .build()
-        .map_err(|e| format!("baseline image: {e}"))?;
-    Ok(drive(&mut vm, kind, SHORT_FUEL))
+    let runner = runner.as_mut().map_err(|e| e.clone())?;
+    Ok(runner.campaign(attack, seed, app.name, kind, SHORT_FUEL))
 }
 
 // ---------------------------------------------------------------------

@@ -29,11 +29,12 @@ use opec_apps::App;
 use opec_armv7m::Machine;
 use opec_core::{compile, OpecMonitor};
 use opec_ir::{GlobalId, Module};
-use opec_obs::{Obs, OpId};
+use opec_obs::export::{event_log, metrics_json};
+use opec_obs::{Obs, OpId, Recorder};
 use opec_oracle::{
     describe, generate, run_aces, run_opec, shadow, shrink, AccessMatrix, OracleState, Verdict,
 };
-use opec_vm::{RunOutcome, Trace, Vm};
+use opec_vm::{ExecMode, LoadedImage, RunOutcome, Supervisor, Trace, Vm, VmStats};
 
 use crate::metrics::{et_by_task, pt_of_compartments};
 use crate::runs::{AppEval, OpecRun, FUEL};
@@ -520,6 +521,220 @@ pub fn run_check(opts: &CheckOptions) -> CheckReport {
     report
 }
 
+// ---------------------------------------------------------------------
+// Cached-vs-plain lockstep (`check --lockstep`).
+// ---------------------------------------------------------------------
+
+/// Ring capacity for lockstep recorders: big enough that every app's
+/// full event stream (functions included) fits without shedding, so the
+/// streams are compared event for event, not just in aggregate.
+const LOCKSTEP_RING: usize = 1 << 18;
+
+/// Everything one lockstep side produced.
+struct LockRun {
+    /// Rendered event stream (the same format as the golden file).
+    log: String,
+    /// Aggregate metrics JSON.
+    metrics: String,
+    /// Total events emitted (including any the ring shed).
+    total_events: u64,
+    /// Accepted switches (the [`CaseResult::switches`] column).
+    switches: u64,
+    /// VM execution counters.
+    stats: VmStats,
+    /// How the run ended, rendered (outcome or error).
+    outcome: String,
+}
+
+/// Runs one subject once under `mode` with a recorder attached.
+fn lock_run<S: Supervisor>(
+    image: Arc<LoadedImage>,
+    supervisor: S,
+    machine: Machine,
+    mode: ExecMode,
+) -> LockRun {
+    let rec = Rc::new(RefCell::new(Recorder::with_capacity(LOCKSTEP_RING).with_funcs()));
+    let mut vm = Vm::builder(machine, image)
+        .supervisor(supervisor)
+        .exec_mode(mode)
+        .obs(Obs::single(rec.clone()))
+        .build()
+        .expect("lockstep image");
+    let outcome = match vm.run(FUEL) {
+        Ok(o) => format!("{o:?}"),
+        Err(e) => format!("error: {e}"),
+    };
+    let stats = vm.stats;
+    drop(vm);
+    let rec = Rc::try_unwrap(rec).expect("sole recorder handle").into_inner();
+    LockRun {
+        log: event_log(&rec.ring.to_vec()),
+        metrics: metrics_json(&rec.metrics),
+        total_events: rec.ring.total(),
+        switches: rec.metrics.total_switches(),
+        stats,
+        outcome,
+    }
+}
+
+/// Folds the two sides into a [`CaseResult`]; every difference is a
+/// divergence. A trap is fine — as long as both modes trap identically.
+fn compare_lock(name: String, system: &'static str, plain: &LockRun, dec: &LockRun) -> CaseResult {
+    let mut divergences = Vec::new();
+    if plain.outcome != dec.outcome {
+        divergences.push(format!("outcome: plain {} vs decoded {}", plain.outcome, dec.outcome));
+    }
+    if plain.stats != dec.stats {
+        divergences.push(format!("vm stats: plain {:?} vs decoded {:?}", plain.stats, dec.stats));
+    }
+    if plain.total_events != dec.total_events {
+        divergences.push(format!(
+            "event count: plain {} vs decoded {}",
+            plain.total_events, dec.total_events
+        ));
+    }
+    if plain.log != dec.log {
+        divergences.push(first_log_diff(&plain.log, &dec.log));
+    }
+    if plain.metrics != dec.metrics {
+        divergences.push("metrics aggregates differ".to_string());
+    }
+    CaseResult {
+        name,
+        system,
+        total: divergences.len() as u64,
+        divergences,
+        checks: plain.total_events,
+        probes: 0,
+        switches: plain.switches,
+        run_error: None,
+        shrunk: None,
+        note: Some("plain vs decoded lockstep".into()),
+    }
+}
+
+/// The first differing event of two rendered streams.
+fn first_log_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("event stream diverges at event {i}: plain `{la}` vs decoded `{lb}`");
+        }
+    }
+    format!(
+        "event stream lengths differ: plain {} vs decoded {} events",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+/// A subject that could not be built at all (neither side ran).
+fn lock_error(name: String, system: &'static str, error: String) -> CaseResult {
+    CaseResult {
+        name,
+        system,
+        divergences: Vec::new(),
+        total: 0,
+        checks: 0,
+        probes: 0,
+        switches: 0,
+        run_error: Some(error),
+        shrunk: None,
+        note: Some("plain vs decoded lockstep".into()),
+    }
+}
+
+fn lockstep_opec_app(app: &App) -> CaseResult {
+    let (module, specs) = (app.build)();
+    match compile(module, app.board, &specs) {
+        Ok(out) => {
+            let policy = out.policy.clone();
+            let image = Arc::new(out.image);
+            let run = |mode| {
+                let mut machine = Machine::new(app.board);
+                (app.setup)(&mut machine);
+                lock_run(image.clone(), OpecMonitor::new(policy.clone()), machine, mode)
+            };
+            let plain = run(ExecMode::Plain);
+            let decoded = run(ExecMode::Decoded);
+            compare_lock(app.name.to_string(), "OPEC", &plain, &decoded)
+        }
+        Err(e) => lock_error(app.name.to_string(), "OPEC", format!("compile: {e}")),
+    }
+}
+
+fn lockstep_aces_app(app: &App) -> CaseResult {
+    let (module, _) = (app.build)();
+    match build_aces_image(module, app.board, AcesStrategy::Filename) {
+        Ok(out) => {
+            let main_comp = out.comps.of(out.image.entry);
+            let image = Arc::new(out.image);
+            let run = |mode| {
+                let rt = AcesRuntime::new(
+                    &image.module,
+                    out.comps.clone(),
+                    out.regions.clone(),
+                    app.board,
+                    out.stack,
+                    main_comp,
+                );
+                let mut machine = Machine::new(app.board);
+                (app.setup)(&mut machine);
+                lock_run(image.clone(), rt, machine, mode)
+            };
+            let plain = run(ExecMode::Plain);
+            let decoded = run(ExecMode::Decoded);
+            compare_lock(app.name.to_string(), "ACES", &plain, &decoded)
+        }
+        Err(e) => lock_error(app.name.to_string(), "ACES", format!("ACES build: {e}")),
+    }
+}
+
+fn lockstep_generated(seed: u64) -> CaseResult {
+    let spec = generate(seed);
+    let specs = spec.op_specs();
+    match compile(spec.build_module(), spec.board(), &specs) {
+        Ok(out) => {
+            let policy = out.policy.clone();
+            let image = Arc::new(out.image);
+            let run = |mode| {
+                let mut machine = Machine::new(spec.board());
+                spec.install_devices(&mut machine);
+                lock_run(image.clone(), OpecMonitor::new(policy.clone()), machine, mode)
+            };
+            let plain = run(ExecMode::Plain);
+            let decoded = run(ExecMode::Decoded);
+            compare_lock(format!("gen[{seed}]"), "OPEC", &plain, &decoded)
+        }
+        Err(e) => lock_error(format!("gen[{seed}]"), "OPEC", format!("compile: {e}")),
+    }
+}
+
+/// Runs every subject twice — plain interpreter vs the pre-decoded
+/// block cache — and reports any difference in the event stream, the
+/// aggregate metrics, the execution counters, or the run outcome as a
+/// divergence. This is the fast path's correctness contract: the cache
+/// is an optimisation, never a semantic change.
+///
+/// Subjects: the seven paper applications under OPEC, the five
+/// comparison applications under ACES, and `seeds` generated firmwares
+/// under OPEC.
+pub fn run_lockstep(seeds: u64) -> CheckReport {
+    let apps = all_apps();
+    let cmp = aces_comparison_apps();
+    let mut report = CheckReport::default();
+    thread::scope(|s| {
+        let opec: Vec<_> = apps.iter().map(|a| s.spawn(move || lockstep_opec_app(a))).collect();
+        let aces: Vec<_> = cmp.iter().map(|a| s.spawn(move || lockstep_aces_app(a))).collect();
+        for h in opec.into_iter().chain(aces) {
+            report.cases.push(join(h));
+        }
+    });
+    for seed in 0..seeds {
+        report.cases.push(lockstep_generated(seed));
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,6 +750,19 @@ mod tests {
         let (case, crosschecks) = check_aces_app(&app);
         assert!(!case.failed(), "{:?}", case);
         assert!(crosschecks.iter().all(|x| x.ok), "{crosschecks:?}");
+    }
+
+    #[test]
+    fn pinlock_lockstep_has_zero_divergences() {
+        let app = opec_apps::programs::pinlock::app();
+        let case = lockstep_opec_app(&app);
+        assert_eq!(case.total, 0, "OPEC: {:?}", case.divergences);
+        assert!(case.run_error.is_none(), "{:?}", case.run_error);
+        assert!(case.checks > 0 && case.switches > 0);
+        let case = lockstep_aces_app(&app);
+        assert_eq!(case.total, 0, "ACES: {:?}", case.divergences);
+        let case = lockstep_generated(0);
+        assert_eq!(case.total, 0, "gen[0]: {:?}", case.divergences);
     }
 
     #[test]

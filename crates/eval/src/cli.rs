@@ -15,6 +15,7 @@
 //! --json FILE      machine-readable artifact    (attack-matrix, bench-json,
 //!                                               check)
 //! --shrink         shrink divergent firmwares   (check)
+//! --lockstep       cached-vs-plain equivalence  (check)
 //! --out DIR        output directory             (csv)
 //! --obs-json FILE  observability metrics JSON   (report)
 //! --trace FILE     Chrome trace_event JSON      (report)
@@ -48,6 +49,9 @@ pub struct CliArgs {
     /// `--shrink`: shrink divergent generated firmwares to a minimal
     /// counterexample.
     pub shrink: bool,
+    /// `--lockstep`: run the cached-vs-plain execution equivalence
+    /// check instead of the differential oracle.
+    pub lockstep: bool,
     /// Positional operands (legacy `csv DIR` / `bench-json FILE`).
     pub positional: Vec<String>,
 }
@@ -76,6 +80,7 @@ impl CliArgs {
                 }
                 "--funcs" => out.funcs = true,
                 "--shrink" => out.shrink = true,
+                "--lockstep" => out.lockstep = true,
                 f if f.starts_with('-') => return Err(format!("unknown flag {f}")),
                 other => out.positional.push(other.to_string()),
             }
@@ -97,6 +102,7 @@ impl CliArgs {
                 "--ring" => self.ring.is_some(),
                 "--funcs" => self.funcs,
                 "--shrink" => self.shrink,
+                "--lockstep" => self.lockstep,
                 "positional" => !self.positional.is_empty(),
                 _ => false,
             }
@@ -111,6 +117,7 @@ impl CliArgs {
             "--ring",
             "--funcs",
             "--shrink",
+            "--lockstep",
             "positional",
         ] {
             if set(name) && !allowed.contains(&name) {
@@ -186,6 +193,15 @@ mod tests {
         assert!(err.contains("--shrink"), "{err}");
         assert!(err.contains("table1"), "{err}");
         assert!(a.forbid_unused("check", &["--seeds", "--json", "--shrink"]).is_ok());
+    }
+
+    #[test]
+    fn lockstep_flag_parses_and_is_guarded() {
+        let a = parse(&["--lockstep"]).unwrap();
+        assert!(a.lockstep);
+        let err = a.forbid_unused("attack-matrix", &["--seeds", "--json"]).unwrap_err();
+        assert!(err.contains("--lockstep"), "{err}");
+        assert!(a.forbid_unused("check", &["--seeds", "--json", "--shrink", "--lockstep"]).is_ok());
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //! * [`check`] — the differential security oracle (`check`): every app
 //!   and a batch of generated firmwares run in lockstep against the
 //!   ground-truth access matrix, with PT/ET recomputed independently
-//!   and cross-checked against the report's numbers.
+//!   and cross-checked against the report's numbers; `--lockstep`
+//!   instead holds the VM's pre-decoded fast path to observational
+//!   equivalence with the plain interpreter;
+//! * [`benchvm`] — the VM throughput benchmark (`bench-vm`): plain vs
+//!   decoded instructions/sec, campaign resets/sec, snapshot restore
+//!   latency, and the lockstep divergence count (`BENCH_vm.json`).
 //!
 //! The `opec-eval` binary drives everything:
 //!
@@ -39,6 +44,7 @@
 
 pub mod attack;
 pub mod benchjson;
+pub mod benchvm;
 pub mod cache;
 pub mod check;
 pub mod cli;

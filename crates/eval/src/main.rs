@@ -12,7 +12,7 @@
 
 use std::io::Write as _;
 
-use opec_eval::{attack, benchjson, check, obsreport, report, CliArgs};
+use opec_eval::{attack, benchjson, benchvm, check, obsreport, report, CliArgs};
 
 /// The usage text (`opec-eval help`).
 const USAGE: &str = "\
@@ -29,9 +29,17 @@ opec-eval — regenerate the paper's tables and figures
   opec-eval csv [--out DIR]     every table/figure as CSV (default: results/)
   opec-eval bench-json [--json FILE]
                                 machine-readable timings (default: stdout)
+  opec-eval bench-vm [--seeds N] [--json FILE]
+                                VM fast-path benchmark (BENCH_vm.json):
+                                plain vs pre-decoded instructions/sec per app,
+                                campaign resets/sec (rebuild vs snapshot
+                                restore), restore latency, and the cached-vs-
+                                plain lockstep sweep over 12 apps + N
+                                generated firmwares (default: 16).
+                                Exits 1 on any lockstep divergence.
   opec-eval attack-matrix [--seeds N] [--json FILE]
                                 §7 containment matrix (default: 4 seeds)
-  opec-eval check [--seeds N] [--shrink] [--json FILE]
+  opec-eval check [--seeds N] [--shrink] [--lockstep] [--json FILE]
                                 differential security oracle: every app under
                                 OPEC (comparison apps also under ACES) plus N
                                 generated firmwares (default: 16), run in
@@ -39,6 +47,10 @@ opec-eval — regenerate the paper's tables and figures
                                 matrix; PT/ET recomputed independently and
                                 cross-checked. --shrink reduces a divergent
                                 generated firmware to a minimal program.
+                                --lockstep instead runs every subject twice —
+                                plain interpreter vs pre-decoded block cache —
+                                and reports any event-stream, counter, or
+                                outcome difference.
                                 Exits 1 on any divergence.
   opec-eval report [--obs-json FILE] [--trace FILE] [--apps FILTER]
                    [--ring N] [--funcs]
@@ -155,6 +167,24 @@ fn main() {
                 None => print!("{json}"),
             }
         }
+        "bench-vm" => {
+            no_flags(&["--seeds", "--json"]);
+            let seeds = args.seeds.unwrap_or(16);
+            let out = args.json.clone().map(|p| (create(&p), p));
+            let (json, divergences) = benchvm::bench_vm(seeds);
+            match out {
+                Some((mut file, path)) => {
+                    file.write_all(json.as_bytes()).expect("write BENCH_vm.json");
+                    eprintln!("[opec-eval] wrote {path}");
+                }
+                None => print!("{json}"),
+            }
+            if divergences > 0 {
+                eprintln!("[opec-eval] bench-vm FAILED: {divergences} lockstep divergences");
+                std::process::exit(1);
+            }
+            eprintln!("[opec-eval] bench-vm clean: decoded path lockstep-identical");
+        }
         "attack-matrix" => {
             no_flags(&["--seeds", "--json"]);
             let seeds = args.seeds.unwrap_or(4);
@@ -177,14 +207,25 @@ fn main() {
             eprintln!("[opec-eval] containment matrix clean: no OPEC escapes, no crashes");
         }
         "check" => {
-            no_flags(&["--seeds", "--json", "--shrink"]);
+            no_flags(&["--seeds", "--json", "--shrink", "--lockstep"]);
             let seeds = args.seeds.unwrap_or(16);
             let out = args.json.clone().map(|p| (create(&p), p));
-            eprintln!(
-                "[opec-eval] differential oracle: 7 apps + {seeds} generated firmwares \
-                 (OPEC and ACES)..."
-            );
-            let rep = check::run_check(&check::CheckOptions { seeds, shrink: args.shrink });
+            let rep = if args.lockstep {
+                if args.shrink {
+                    fail("--shrink does not apply to --lockstep");
+                }
+                eprintln!(
+                    "[opec-eval] cached-vs-plain lockstep: 12 apps + {seeds} generated \
+                     firmwares, each run under both execution modes..."
+                );
+                check::run_lockstep(seeds)
+            } else {
+                eprintln!(
+                    "[opec-eval] differential oracle: 7 apps + {seeds} generated firmwares \
+                     (OPEC and ACES)..."
+                );
+                check::run_check(&check::CheckOptions { seeds, shrink: args.shrink })
+            };
             print!("{}", rep.render());
             if let Some((mut file, path)) = out {
                 file.write_all(rep.to_json().as_bytes()).expect("write oracle JSON");
@@ -192,16 +233,26 @@ fn main() {
             }
             let failures = rep.failures();
             if !failures.is_empty() {
-                eprintln!("[opec-eval] oracle FAILURES:");
+                eprintln!(
+                    "[opec-eval] {} FAILURES:",
+                    if args.lockstep { "lockstep" } else { "oracle" }
+                );
                 for f in &failures {
                     eprintln!("  {f}");
                 }
                 std::process::exit(1);
             }
-            eprintln!(
-                "[opec-eval] oracle clean: every enforcement layer agrees with the \
-                 ground-truth matrix"
-            );
+            if args.lockstep {
+                eprintln!(
+                    "[opec-eval] lockstep clean: the decoded fast path is \
+                     observationally identical to the plain interpreter"
+                );
+            } else {
+                eprintln!(
+                    "[opec-eval] oracle clean: every enforcement layer agrees with the \
+                     ground-truth matrix"
+                );
+            }
         }
         "report" => {
             no_flags(&["--obs-json", "--trace", "--apps", "--ring", "--funcs"]);

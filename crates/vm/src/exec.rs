@@ -4,13 +4,16 @@
 //! events for operation switches and faults. See the crate docs for the
 //! behavioural commitments.
 
+use std::rc::Rc;
+use std::sync::Arc;
+
 use opec_armv7m::clock::costs;
-use opec_armv7m::mem::AddressClass;
-use opec_armv7m::{Exception, Machine, Mode};
+use opec_armv7m::{Exception, Machine, MachineSnapshot, Mode};
 use opec_ir::module::{BinOp, UnOp};
 use opec_ir::{FuncId, GlobalId, Inst, LocalId, Operand, RegId, Terminator};
 use opec_obs::{Event, Obs};
 
+use crate::decode::{decode_func, frame_layout, mem_cost, DecodedFunc, DecodedTerm, MicroOp};
 use crate::image::{GlobalSlot, ImageError, LoadedImage, OpId};
 use crate::inject::{InjectAction, InjectOutcome, Injector};
 use crate::supervisor::{
@@ -173,6 +176,7 @@ pub enum ContainmentMode {
     Quarantine,
 }
 
+#[derive(Clone)]
 struct Frame {
     func: FuncId,
     regs: Vec<u32>,
@@ -187,12 +191,25 @@ struct Frame {
     irq_restore_mode: Option<Mode>,
 }
 
+#[derive(Clone)]
 struct OpCall {
     op: u8,
     entry: FuncId,
     args: Vec<u32>,
     stack_args_addr: Option<u32>,
     n_stack_args: u32,
+}
+
+/// Which dispatch path [`Vm`] executes on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Pre-decoded micro-op dispatch (see [`crate::decode`]); blocks
+    /// are lowered lazily on first execution. The default.
+    #[default]
+    Decoded,
+    /// Interpret [`Inst`]s straight from the module. The reference
+    /// semantics the decoded path is held to in lockstep checks.
+    Plain,
 }
 
 /// Default instruction budget for [`Vm::run`].
@@ -203,8 +220,11 @@ const MAX_FRAMES: usize = 256;
 pub struct Vm<S: Supervisor> {
     /// The simulated microcontroller.
     pub machine: Machine,
-    /// The program image.
-    pub image: LoadedImage,
+    /// The program image. Shared (`Arc`) so campaign drivers can build
+    /// many VMs — or lockstep pairs — over one image without cloning
+    /// the module; mutate it only through [`Vm::patch_image`], which
+    /// invalidates the decoded-block cache.
+    pub image: Arc<LoadedImage>,
     /// The privileged runtime.
     pub supervisor: S,
     /// Architectural register mirror used by fault handlers.
@@ -223,6 +243,37 @@ pub struct Vm<S: Supervisor> {
     pub containment: ContainmentMode,
     injector: Option<Box<dyn Injector>>,
     watcher: Option<Box<dyn Watcher>>,
+    pending_op_corrupt: Option<OpId>,
+    pending_arg_corrupt: Vec<(usize, u32)>,
+    sp: u32,
+    frames: Vec<Frame>,
+    irq_depth: u32,
+    exec_mode: ExecMode,
+    /// Lazily filled decoded-block cache, one entry per function.
+    decoded: Vec<Option<Rc<DecodedFunc>>>,
+    /// How many times this VM booted (reset + supervisor init + entry
+    /// call). Campaign drivers assert this stays 1 per device when
+    /// resetting via snapshots.
+    boots: u64,
+}
+
+/// A cheap checkpoint of a [`Vm`], taken with [`Vm::snapshot`].
+///
+/// Captures the interpreter (frames, registers, stack pointer, pending
+/// injections, logs, counters), the supervisor by clone, and the
+/// machine via [`MachineSnapshot`] (dirty-page tracked memory). Not
+/// captured: the image (restore never changes it — re-apply
+/// [`Vm::patch_image`] yourself if you patched after snapshotting), the
+/// injector and watcher (swap injectors with [`Vm::set_injector`]), and
+/// the obs sinks (event streams are append-only; the restored clock
+/// makes re-runs emit identical events).
+pub struct VmSnapshot<S: Supervisor> {
+    machine: MachineSnapshot,
+    supervisor: S,
+    cpu: CpuContext,
+    stats: VmStats,
+    inject_log: Vec<(InjectAction, InjectOutcome)>,
+    contained: Vec<TrapError>,
     pending_op_corrupt: Option<OpId>,
     pending_arg_corrupt: Vec<(usize, u32)>,
     sp: u32,
@@ -250,25 +301,32 @@ pub struct Vm<S: Supervisor> {
 /// (`Vm<NullSupervisor>`).
 pub struct VmBuilder<S: Supervisor = NullSupervisor> {
     machine: Machine,
-    image: LoadedImage,
+    image: Arc<LoadedImage>,
     supervisor: S,
     injector: Option<Box<dyn Injector>>,
     watcher: Option<Box<dyn Watcher>>,
     obs: Obs,
     containment: ContainmentMode,
+    exec_mode: ExecMode,
 }
 
 impl Vm<NullSupervisor> {
-    /// Starts building a VM over `machine` and `image`.
-    pub fn builder(machine: Machine, image: LoadedImage) -> VmBuilder<NullSupervisor> {
+    /// Starts building a VM over `machine` and `image`. The image may
+    /// be owned or pre-shared (`Arc<LoadedImage>`): campaign drivers
+    /// share one image across many VMs.
+    pub fn builder(
+        machine: Machine,
+        image: impl Into<Arc<LoadedImage>>,
+    ) -> VmBuilder<NullSupervisor> {
         VmBuilder {
             machine,
-            image,
+            image: image.into(),
             supervisor: NullSupervisor,
             injector: None,
             watcher: None,
             obs: Obs::disabled(),
             containment: ContainmentMode::Terminate,
+            exec_mode: ExecMode::Decoded,
         }
     }
 }
@@ -284,7 +342,14 @@ impl<S: Supervisor> VmBuilder<S> {
             watcher: self.watcher,
             obs: self.obs,
             containment: self.containment,
+            exec_mode: self.exec_mode,
         }
+    }
+
+    /// Selects the dispatch path (defaults to [`ExecMode::Decoded`]).
+    pub fn exec_mode(mut self, mode: ExecMode) -> VmBuilder<S> {
+        self.exec_mode = mode;
+        self
     }
 
     /// Attaches a fault injector, polled between instructions.
@@ -318,12 +383,21 @@ impl<S: Supervisor> VmBuilder<S> {
     /// handle through every layer, and yields a VM ready to
     /// [`run`](Vm::run).
     pub fn build(self) -> Result<Vm<S>, ImageError> {
-        let VmBuilder { mut machine, image, mut supervisor, injector, watcher, obs, containment } =
-            self;
+        let VmBuilder {
+            mut machine,
+            image,
+            mut supervisor,
+            injector,
+            watcher,
+            obs,
+            containment,
+            exec_mode,
+        } = self;
         image.load_into(&mut machine)?;
         machine.mpu.attach_obs(obs.clone());
         supervisor.attach_obs(&obs);
         let sp = image.stack.end();
+        let num_funcs = image.module.funcs.len();
         Ok(Vm {
             machine,
             image,
@@ -341,6 +415,9 @@ impl<S: Supervisor> VmBuilder<S> {
             sp,
             frames: Vec::new(),
             irq_depth: 0,
+            exec_mode,
+            decoded: vec![None; num_funcs],
+            boots: 0,
         })
     }
 }
@@ -380,16 +457,23 @@ impl<S: Supervisor> Vm<S> {
     }
 
     /// Runs the program from reset until halt, return of `main`, an
-    /// error, or fuel exhaustion.
+    /// error, or fuel exhaustion. Equivalent to [`Vm::boot`] followed by
+    /// [`Vm::resume`].
     pub fn run(&mut self, fuel: u64) -> Result<RunOutcome, VmError> {
-        let result = self.run_inner(fuel);
+        let result = self.boot().and_then(|()| self.resume_inner(fuel));
         // Aggregators flush pending attribution and exporters close
         // open spans on this event, for clean and aborted runs alike.
         self.obs.emit_at(self.machine.clock.now(), || Event::RunEnd { insts: self.stats.insts });
         result
     }
 
-    fn run_inner(&mut self, fuel: u64) -> Result<RunOutcome, VmError> {
+    /// Performs the reset sequence — application privilege level,
+    /// supervisor initialisation, call of the entry function — without
+    /// executing any instructions. Campaign drivers boot once, take a
+    /// [`Vm::snapshot`], and then restore + [`Vm::resume`] per seed.
+    pub fn boot(&mut self) -> Result<(), VmError> {
+        debug_assert!(self.frames.is_empty(), "boot on a VM with live frames");
+        self.boots += 1;
         // Reset: start at the image's application privilege level; the
         // supervisor's initialisation (which performs its own work at
         // the privileged level explicitly) has the final word — OPEC
@@ -400,7 +484,18 @@ impl<S: Supervisor> Vm<S> {
             .on_reset(&mut self.machine)
             .map_err(|trap| VmError::Aborted { trap, pc: self.machine.current_pc })?;
         let entry = self.image.entry;
-        self.push_call(entry, Vec::new(), None)?;
+        self.push_call(entry, Vec::new(), None)
+    }
+
+    /// Continues execution of an already booted (or snapshot-restored)
+    /// VM until halt, return of `main`, an error, or fuel exhaustion.
+    pub fn resume(&mut self, fuel: u64) -> Result<RunOutcome, VmError> {
+        let result = self.resume_inner(fuel);
+        self.obs.emit_at(self.machine.clock.now(), || Event::RunEnd { insts: self.stats.insts });
+        result
+    }
+
+    fn resume_inner(&mut self, fuel: u64) -> Result<RunOutcome, VmError> {
         let mut remaining = fuel;
         loop {
             if remaining == 0 {
@@ -422,7 +517,27 @@ impl<S: Supervisor> Vm<S> {
                     continue;
                 }
             }
-            match self.step() {
+            let step_result = if self.exec_mode == ExecMode::Decoded {
+                // With no injector to poll, the decoded path may run a
+                // whole straight-line span in one go — but only up to
+                // the next IRQ poll point, so interrupt dispatch (and
+                // therefore device timing and the event stream) lands
+                // at exactly the same instruction boundaries as
+                // single-stepping would.
+                let span = if self.injector.is_some() {
+                    1
+                } else {
+                    let until_irq_check = remaining % 32;
+                    let span = if until_irq_check == 0 { 32 } else { until_irq_check as usize };
+                    span.min(remaining as usize + 1)
+                };
+                let (executed, r) = self.step_decoded(span);
+                remaining -= executed as u64 - 1;
+                r
+            } else {
+                self.step_plain()
+            };
+            match step_result {
                 Ok(StepResult::Continue) => {}
                 Ok(StepResult::Halted) => {
                     return Ok(RunOutcome::Halted { cycles: self.machine.clock.now() })
@@ -432,6 +547,33 @@ impl<S: Supervisor> Vm<S> {
                 }
                 Err(e) => self.contain(e)?,
             }
+        }
+    }
+
+    /// How many times this VM has booted (see [`Vm::boot`]).
+    pub fn boots(&self) -> u64 {
+        self.boots
+    }
+
+    /// Replaces (or removes) the fault injector. Campaign drivers call
+    /// this between a snapshot restore and a [`Vm::resume`] so one
+    /// booted device serves every seed.
+    pub fn set_injector(&mut self, injector: Option<Box<dyn Injector>>) {
+        self.injector = injector;
+    }
+
+    /// Mutates the loaded image and drops every decoded block, so the
+    /// next step re-decodes against the patched module. This is the
+    /// only sanctioned way to change the image mid-run.
+    pub fn patch_image(&mut self, patch: impl FnOnce(&mut LoadedImage)) {
+        patch(Arc::make_mut(&mut self.image));
+        self.invalidate_decoded();
+    }
+
+    /// Drops the decoded-block cache (re-filled lazily on execution).
+    pub fn invalidate_decoded(&mut self) {
+        for slot in &mut self.decoded {
+            *slot = None;
         }
     }
 
@@ -622,14 +764,6 @@ impl<S: Supervisor> Vm<S> {
         // Device-internal time (baud pacing, block busy periods, frame
         // gaps, capture delays) advances with CPU time.
         self.machine.tick_devices(cycles);
-    }
-
-    fn mem_cost(addr: u32) -> u64 {
-        if AddressClass::of(addr).is_peripheral() {
-            costs::MMIO
-        } else {
-            costs::MEM
-        }
     }
 
     /// Resolves the runtime address of a global, going through the
@@ -882,19 +1016,7 @@ impl<S: Supervisor> Vm<S> {
             }
         }
         // Allocate stack locals.
-        let (local_offsets, locals_size) = {
-            let module = &self.image.module;
-            let f = module.func(callee);
-            let mut offsets = Vec::with_capacity(f.locals.len());
-            let mut cursor = 0u32;
-            for l in &f.locals {
-                let align = module.types.align_of(&l.ty).max(4);
-                cursor = (cursor + align - 1) & !(align - 1);
-                offsets.push(cursor);
-                cursor += module.types.size_of(&l.ty);
-            }
-            (offsets, (cursor + 7) & !7)
-        };
+        let (local_offsets, locals_size) = frame_layout(&self.image.module, callee);
         self.sp -= locals_size;
         let locals_base = self.sp;
         let num_regs = self.image.module.func(callee).num_regs as usize;
@@ -1036,21 +1158,22 @@ impl<S: Supervisor> Vm<S> {
         Ok(None)
     }
 
-    fn step(&mut self) -> Result<StepResult, VmError> {
+    /// The reference interpreter step: fetches the current [`Inst`]
+    /// from the module by reference (no clones) and executes it.
+    fn step_plain(&mut self) -> Result<StepResult, VmError> {
         self.stats.insts += 1;
         let (func, block, inst_idx) = {
             let f = self.frames.last().expect("no active frame");
             (f.func, f.block, f.inst)
         };
-        let blocks = &self.image.module.func(func).blocks;
-        let b = &blocks[block];
+        let image = Arc::clone(&self.image);
+        let b = &image.module.func(func).blocks[block];
         if inst_idx >= b.insts.len() {
             // Terminator.
-            let term = b.term.clone();
-            return self.exec_term(func, term);
+            return self.exec_term(&b.term);
         }
-        let inst = b.insts[inst_idx].clone();
-        self.machine.current_pc = self.image.inst_addr(func, block, inst_idx);
+        let inst = &b.insts[inst_idx];
+        self.machine.current_pc = image.inst_addr(func, block, inst_idx);
         self.frame().inst += 1;
         if matches!(inst, Inst::Halt) {
             return Ok(StepResult::Halted);
@@ -1059,8 +1182,333 @@ impl<S: Supervisor> Vm<S> {
         Ok(StepResult::Continue)
     }
 
-    fn exec_term(&mut self, _func: FuncId, term: Terminator) -> Result<StepResult, VmError> {
+    /// Executes up to `max` steps (instructions and terminators) on the
+    /// decoded fast path and returns how many actually ran (always at
+    /// least one) along with the final step result. Control transfers
+    /// re-enter the outer loop so the straight-line run below always
+    /// executes a single block's micro-ops.
+    fn step_decoded(&mut self, max: usize) -> (usize, Result<StepResult, VmError>) {
+        debug_assert!(max >= 1);
+        let mut done = 0usize;
+        'blocks: while done < max {
+            let (func, block, mut idx) = {
+                let f = self.frames.last().expect("no active frame");
+                (f.func, f.block, f.inst)
+            };
+            let fi = func.0 as usize;
+            if self.decoded[fi].is_none() {
+                self.decoded[fi] = Some(Rc::new(decode_func(&self.image, func)));
+            }
+            // A cheap non-atomic clone pins the block for this span, so
+            // micro-op execution below can borrow `self` freely.
+            let df = Rc::clone(self.decoded[fi].as_ref().expect("decoded above"));
+            let blk = &df.blocks[block];
+            if idx >= blk.ops.len() {
+                done += 1;
+                self.stats.insts += 1;
+                match self.exec_decoded_term(blk.term) {
+                    Ok(StepResult::Continue) => continue,
+                    other => return (done, other),
+                }
+            }
+            // Straight-line span: stay inside this block until it ends,
+            // the span budget runs out, or a call transfers control.
+            // The frame's instruction pointer is written back only at
+            // span exits (and before calls, which push a new frame on
+            // top): nothing inside a straight-line run reads it.
+            while done < max && idx < blk.ops.len() {
+                // Pure register runs execute against a pinned top frame:
+                // these ops touch only the frame's registers and the
+                // clock, so the per-op frame lookup (and the shared
+                // dispatch below) is skipped for the whole run. Charge
+                // order matches `exec_micro_op` exactly.
+                {
+                    let machine = &mut self.machine;
+                    let stats = &mut self.stats;
+                    let frame = self.frames.last_mut().expect("no active frame");
+                    let locals_base = frame.locals_base;
+                    let regs = &mut frame.regs;
+                    fn val(regs: &[u32], o: Operand) -> u32 {
+                        match o {
+                            Operand::Reg(r) => regs[r.0 as usize],
+                            Operand::Imm(v) => v,
+                        }
+                    }
+                    while done < max && idx < blk.ops.len() {
+                        match blk.ops[idx] {
+                            MicroOp::Mov { dst, src } => {
+                                machine.current_pc = blk.pcs[idx];
+                                machine.clock.tick(costs::ALU);
+                                machine.tick_devices(costs::ALU);
+                                regs[dst.0 as usize] = val(regs, src);
+                            }
+                            MicroOp::Un { dst, op, src } => {
+                                machine.current_pc = blk.pcs[idx];
+                                machine.clock.tick(costs::ALU);
+                                machine.tick_devices(costs::ALU);
+                                let v = val(regs, src);
+                                regs[dst.0 as usize] = match op {
+                                    UnOp::Neg => v.wrapping_neg(),
+                                    UnOp::Not => !v,
+                                };
+                            }
+                            MicroOp::Bin { dst, op, lhs, rhs } => {
+                                machine.current_pc = blk.pcs[idx];
+                                machine.clock.tick(costs::ALU);
+                                machine.tick_devices(costs::ALU);
+                                let a = val(regs, lhs);
+                                let b = val(regs, rhs);
+                                regs[dst.0 as usize] = eval_bin(op, a, b);
+                            }
+                            MicroOp::AddrImm { dst, addr } => {
+                                machine.current_pc = blk.pcs[idx];
+                                machine.clock.tick(costs::ALU);
+                                machine.tick_devices(costs::ALU);
+                                regs[dst.0 as usize] = addr;
+                            }
+                            MicroOp::AddrLocal { dst, off } => {
+                                machine.current_pc = blk.pcs[idx];
+                                machine.clock.tick(costs::ALU);
+                                machine.tick_devices(costs::ALU);
+                                regs[dst.0 as usize] = locals_base + off;
+                            }
+                            MicroOp::Nop => {
+                                machine.current_pc = blk.pcs[idx];
+                                machine.clock.tick(costs::ALU);
+                                machine.tick_devices(costs::ALU);
+                            }
+                            _ => break,
+                        }
+                        stats.insts += 1;
+                        done += 1;
+                        idx += 1;
+                    }
+                }
+                if done >= max || idx >= blk.ops.len() {
+                    break;
+                }
+                // One op through the shared implementation (memory,
+                // calls, SVCs — anything that needs more than the
+                // frame's registers).
+                let op = blk.ops[idx];
+                self.machine.current_pc = blk.pcs[idx];
+                self.stats.insts += 1;
+                done += 1;
+                idx += 1;
+                if matches!(op, MicroOp::Call { .. } | MicroOp::CallInd { .. }) {
+                    // The return must land on the instruction after the
+                    // call, so the caller's pointer is synced before the
+                    // callee's frame goes on top.
+                    self.frames.last_mut().expect("no active frame").inst = idx;
+                }
+                match self.exec_micro_op(op, &df) {
+                    Ok(MicroStep::Next) => {}
+                    // A transfer pushed a new frame; its pointer must
+                    // not be clobbered by this span's write-back.
+                    Ok(MicroStep::Transfer) => continue 'blocks,
+                    Ok(MicroStep::Halted) => {
+                        self.frames.last_mut().expect("no active frame").inst = idx;
+                        return (done, Ok(StepResult::Halted));
+                    }
+                    Err(e) => {
+                        self.frames.last_mut().expect("no active frame").inst = idx;
+                        return (done, Err(e));
+                    }
+                }
+            }
+            self.frames.last_mut().expect("no active frame").inst = idx;
+        }
+        (done, Ok(StepResult::Continue))
+    }
+
+    /// Executes one micro-op. Charge order, fault order and event
+    /// emission mirror [`Vm::exec_inst`] exactly — the lockstep checks
+    /// depend on it.
+    fn exec_micro_op(&mut self, op: MicroOp, df: &DecodedFunc) -> Result<MicroStep, VmError> {
+        match op {
+            MicroOp::Mov { dst, src } => {
+                self.charge(costs::ALU);
+                let v = self.op_value(&src);
+                self.set_reg(dst, v);
+            }
+            MicroOp::Un { dst, op, src } => {
+                self.charge(costs::ALU);
+                let v = self.op_value(&src);
+                let r = match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => !v,
+                };
+                self.set_reg(dst, r);
+            }
+            MicroOp::Bin { dst, op, lhs, rhs } => {
+                self.charge(costs::ALU);
+                let a = self.op_value(&lhs);
+                let b = self.op_value(&rhs);
+                self.set_reg(dst, eval_bin(op, a, b));
+            }
+            MicroOp::AddrImm { dst, addr } => {
+                self.charge(costs::ALU);
+                self.set_reg(dst, addr);
+            }
+            MicroOp::AddrLocal { dst, off } => {
+                self.charge(costs::ALU);
+                let base = self.frames.last().expect("no active frame").locals_base;
+                self.set_reg(dst, base + off);
+            }
+            MicroOp::AddrReloc { dst, entry_addr, offset } => {
+                self.charge(costs::ALU);
+                self.charge(costs::MEM);
+                let base = self.checked_load(entry_addr, 4, None, None)?;
+                self.set_reg(dst, base + offset);
+            }
+            MicroOp::LoadFixed { dst, addr, size, cost } => {
+                self.charge(u64::from(cost));
+                let v = self.checked_load(addr, size, Some(dst), None)?;
+                self.set_reg(dst, v);
+            }
+            MicroOp::StoreFixed { addr, value, size, cost } => {
+                self.charge(u64::from(cost));
+                let v = self.op_value(&value);
+                let vreg = match value {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                self.checked_store(addr, size, v, vreg, None)?;
+            }
+            MicroOp::LoadReloc { dst, entry_addr, offset, size } => {
+                self.charge(costs::MEM);
+                let base = self.checked_load(entry_addr, 4, None, None)?;
+                let addr = base + offset;
+                self.charge(mem_cost(addr));
+                let v = self.checked_load(addr, size, Some(dst), None)?;
+                self.set_reg(dst, v);
+            }
+            MicroOp::StoreReloc { entry_addr, offset, value, size } => {
+                self.charge(costs::MEM);
+                let base = self.checked_load(entry_addr, 4, None, None)?;
+                let addr = base + offset;
+                self.charge(mem_cost(addr));
+                let v = self.op_value(&value);
+                let vreg = match value {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                self.checked_store(addr, size, v, vreg, None)?;
+            }
+            MicroOp::LoadInd { dst, addr, size } => {
+                let a = self.op_value(&addr);
+                self.charge(mem_cost(a));
+                let areg = match addr {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                let v = self.checked_load(a, size, Some(dst), areg)?;
+                self.set_reg(dst, v);
+            }
+            MicroOp::StoreInd { addr, value, size } => {
+                let a = self.op_value(&addr);
+                self.charge(mem_cost(a));
+                let v = self.op_value(&value);
+                let areg = match addr {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                let vreg = match value {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                self.checked_store(a, size, v, vreg, areg)?;
+            }
+            MicroOp::Call { dst, callee, args_start, args_len } => {
+                let range = args_start as usize..(args_start + args_len) as usize;
+                let vals: Vec<u32> = df.call_args[range].iter().map(|a| self.op_value(a)).collect();
+                self.push_call(callee, vals, dst)?;
+                return Ok(MicroStep::Transfer);
+            }
+            MicroOp::CallInd { dst, fptr, args_start, args_len } => {
+                let target_addr = self.op_value(&fptr);
+                let callee = self
+                    .image
+                    .func_at(target_addr)
+                    .ok_or(VmError::BadIndirectCall { target: target_addr })?;
+                let range = args_start as usize..(args_start + args_len) as usize;
+                let vals: Vec<u32> = df.call_args[range].iter().map(|a| self.op_value(a)).collect();
+                self.charge(costs::ALU); // blx register setup
+                self.push_call(callee, vals, dst)?;
+                return Ok(MicroStep::Transfer);
+            }
+            MicroOp::Memcpy { dst, src, len } => {
+                let d = self.op_value(&dst);
+                let s = self.op_value(&src);
+                let n = self.op_value(&len);
+                self.charge(u64::from(n));
+                for i in 0..n {
+                    let b = self.checked_load(s + i, 1, None, None)?;
+                    self.checked_store(d + i, 1, b, None, None)?;
+                }
+            }
+            MicroOp::Memset { dst, val, len } => {
+                let d = self.op_value(&dst);
+                let v = self.op_value(&val);
+                let n = self.op_value(&len);
+                self.charge(u64::from(n) / 2 + 1);
+                for i in 0..n {
+                    self.checked_store(d + i, 1, v & 0xFF, None, None)?;
+                }
+            }
+            MicroOp::Svc { imm } => {
+                self.stats.svcs += 1;
+                self.charge(costs::EXC_ENTRY);
+                let saved_mode = self.machine.mode;
+                self.machine.mode = Mode::Privileged;
+                let result = self.supervisor.on_svc(&mut self.machine, imm);
+                self.machine.mode = saved_mode;
+                self.charge(costs::EXC_RETURN);
+                result.map_err(|trap| VmError::Aborted { trap, pc: self.machine.current_pc })?;
+            }
+            MicroOp::Halt => return Ok(MicroStep::Halted),
+            MicroOp::Nop => {
+                self.charge(costs::ALU);
+            }
+        }
+        Ok(MicroStep::Next)
+    }
+
+    /// Executes a decoded terminator; mirrors [`Vm::exec_term`].
+    fn exec_decoded_term(&mut self, term: DecodedTerm) -> Result<StepResult, VmError> {
         match term {
+            DecodedTerm::Br { target } => {
+                self.charge(costs::BRANCH_TAKEN);
+                let f = self.frame();
+                f.block = target;
+                f.inst = 0;
+                Ok(StepResult::Continue)
+            }
+            DecodedTerm::CondBr { cond, then_to, else_to } => {
+                let c = self.op_value(&cond);
+                let target = if c != 0 { then_to } else { else_to };
+                self.charge(if c != 0 { costs::BRANCH_TAKEN } else { costs::BRANCH_NOT_TAKEN });
+                let f = self.frame();
+                f.block = target;
+                f.inst = 0;
+                Ok(StepResult::Continue)
+            }
+            DecodedTerm::Ret { value } => {
+                let value = value.map(|op| self.op_value(&op));
+                match self.pop_return(value)? {
+                    Some(main_value) => Ok(StepResult::MainReturned(main_value)),
+                    None => Ok(StepResult::Continue),
+                }
+            }
+            DecodedTerm::Unreachable => Err(VmError::Internal(format!(
+                "unreachable executed at {:#010x}",
+                self.machine.current_pc
+            ))),
+        }
+    }
+
+    fn exec_term(&mut self, term: &Terminator) -> Result<StepResult, VmError> {
+        match *term {
             Terminator::Br(t) => {
                 self.charge(costs::BRANCH_TAKEN);
                 let f = self.frame();
@@ -1091,8 +1539,8 @@ impl<S: Supervisor> Vm<S> {
         }
     }
 
-    fn exec_inst(&mut self, inst: Inst) -> Result<(), VmError> {
-        match inst {
+    fn exec_inst(&mut self, inst: &Inst) -> Result<(), VmError> {
+        match *inst {
             Inst::Mov { dst, src } => {
                 self.charge(costs::ALU);
                 let v = self.op_value(&src);
@@ -1131,14 +1579,14 @@ impl<S: Supervisor> Vm<S> {
             Inst::LoadGlobal { dst, global, offset, size } => {
                 let base = self.global_addr(global)?;
                 let addr = base + offset;
-                self.charge(Self::mem_cost(addr));
+                self.charge(mem_cost(addr));
                 let v = self.checked_load(addr, size, Some(dst), None)?;
                 self.set_reg(dst, v);
             }
             Inst::StoreGlobal { global, offset, value, size } => {
                 let base = self.global_addr(global)?;
                 let addr = base + offset;
-                self.charge(Self::mem_cost(addr));
+                self.charge(mem_cost(addr));
                 let v = self.op_value(&value);
                 let vreg = match value {
                     Operand::Reg(r) => Some(r),
@@ -1148,7 +1596,7 @@ impl<S: Supervisor> Vm<S> {
             }
             Inst::Load { dst, addr, size } => {
                 let a = self.op_value(&addr);
-                self.charge(Self::mem_cost(a));
+                self.charge(mem_cost(a));
                 let areg = match addr {
                     Operand::Reg(r) => Some(r),
                     Operand::Imm(_) => None,
@@ -1158,7 +1606,7 @@ impl<S: Supervisor> Vm<S> {
             }
             Inst::Store { addr, value, size } => {
                 let a = self.op_value(&addr);
-                self.charge(Self::mem_cost(a));
+                self.charge(mem_cost(a));
                 let v = self.op_value(&value);
                 let areg = match addr {
                     Operand::Reg(r) => Some(r),
@@ -1170,11 +1618,11 @@ impl<S: Supervisor> Vm<S> {
                 };
                 self.checked_store(a, size, v, vreg, areg)?;
             }
-            Inst::Call { dst, callee, args } => {
+            Inst::Call { dst, callee, ref args } => {
                 let vals: Vec<u32> = args.iter().map(|a| self.op_value(a)).collect();
                 self.push_call(callee, vals, dst)?;
             }
-            Inst::CallIndirect { dst, fptr, args, .. } => {
+            Inst::CallIndirect { dst, fptr, ref args, .. } => {
                 let target_addr = self.op_value(&fptr);
                 let callee = self
                     .image
@@ -1231,10 +1679,60 @@ enum StepResult {
     MainReturned(Option<u32>),
 }
 
+/// What one micro-op did with control flow.
+enum MicroStep {
+    /// Fall through to the next micro-op in the block.
+    Next,
+    /// Control transferred to another frame (call); re-resolve.
+    Transfer,
+    /// The profiling stop point executed.
+    Halted,
+}
+
 impl<S: Supervisor> Vm<S> {
     /// Exposes total cycles (the DWT view).
     pub fn cycles(&self) -> u64 {
         self.machine.clock.now()
+    }
+}
+
+impl<S: Supervisor + Clone> Vm<S> {
+    /// Captures a [`VmSnapshot`] of the whole execution state and arms
+    /// the machine's dirty-page tracking, so restores of this snapshot
+    /// copy back only touched memory. Fails if a registered device does
+    /// not support [`opec_armv7m::MmioDevice::clone_box`].
+    pub fn snapshot(&mut self) -> Result<VmSnapshot<S>, String> {
+        Ok(VmSnapshot {
+            machine: self.machine.snapshot()?,
+            supervisor: self.supervisor.clone(),
+            cpu: self.cpu,
+            stats: self.stats,
+            inject_log: self.inject_log.clone(),
+            contained: self.contained.clone(),
+            pending_op_corrupt: self.pending_op_corrupt,
+            pending_arg_corrupt: self.pending_arg_corrupt.clone(),
+            sp: self.sp,
+            frames: self.frames.clone(),
+            irq_depth: self.irq_depth,
+        })
+    }
+
+    /// Rolls the VM back to `snap`. Configuration (exec mode,
+    /// containment, obs, watcher, injector) and the decoded-block cache
+    /// are left as they are; the boot counter keeps counting, which is
+    /// how campaign drivers assert device init ran exactly once.
+    pub fn restore(&mut self, snap: &VmSnapshot<S>) {
+        self.machine.restore(&snap.machine);
+        self.supervisor = snap.supervisor.clone();
+        self.cpu = snap.cpu;
+        self.stats = snap.stats;
+        self.inject_log.clone_from(&snap.inject_log);
+        self.contained.clone_from(&snap.contained);
+        self.pending_op_corrupt = snap.pending_op_corrupt;
+        self.pending_arg_corrupt.clone_from(&snap.pending_arg_corrupt);
+        self.sp = snap.sp;
+        self.frames.clone_from(&snap.frames);
+        self.irq_depth = snap.irq_depth;
     }
 }
 

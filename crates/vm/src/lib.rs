@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod decode;
 pub mod exec;
 pub mod image;
 pub mod inject;
@@ -44,7 +45,10 @@ pub mod watch;
 
 pub use opec_obs as obs;
 
-pub use exec::{ContainmentMode, RunOutcome, Vm, VmBuilder, VmError, VmStats};
+pub use decode::{decode_func, DecodedBlock, DecodedFunc, DecodedTerm, MicroOp};
+pub use exec::{
+    ContainmentMode, ExecMode, RunOutcome, Vm, VmBuilder, VmError, VmSnapshot, VmStats,
+};
 pub use image::{link_baseline, GlobalSlot, ImageError, LoadedImage, OpId};
 pub use inject::{InjectAction, InjectOutcome, Injector, ScheduledInjector};
 pub use obs::{Obs, Recorder, Sink};

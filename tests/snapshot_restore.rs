@@ -1,0 +1,101 @@
+//! The VM's copy-on-write snapshot/restore and pre-decoded block cache
+//! are pure mechanisms: restoring a snapshot and re-running must replay
+//! the exact same execution (events, counters, outcome), and patching
+//! the image mid-run must never execute stale decoded blocks.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use opec::prelude::*;
+use opec_obs::export::event_log;
+use opec_obs::{Obs, Recorder};
+use opec_oracle::generate;
+
+/// Steps executed before the snapshot is taken. Generated firmwares
+/// run tens of instructions end to end, so snapshotting after a
+/// handful of steps lands mid-run for every seed: the snapshot
+/// captures live frames, device state, and dirty memory.
+const K0: u64 = 4;
+
+/// Fuel for each replay from the snapshot — enough to run every
+/// generated firmware to completion, so the comparison covers the
+/// final outcome, not just a mid-run slice.
+const K: u64 = 10_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// snapshot → run K → restore → run K again replays the identical
+    /// observation stream, execution counters, and outcome, over
+    /// generated firmwares from the oracle's generator.
+    #[test]
+    fn snapshot_replay_is_deterministic(seed in 0u64..500) {
+        let spec = generate(seed);
+        let specs = spec.op_specs();
+        let out = compile(spec.build_module(), spec.board(), &specs)
+            .expect("generated firmware compiles");
+        let mut machine = Machine::new(spec.board());
+        spec.install_devices(&mut machine);
+        let rec = Rc::new(RefCell::new(Recorder::with_capacity(1 << 16).with_funcs()));
+        let mut vm = Vm::builder(machine, out.image)
+            .supervisor(OpecMonitor::new(out.policy))
+            .obs(Obs::single(rec.clone()))
+            .build()
+            .expect("generated image loads");
+        if vm.boot().is_err() {
+            return Ok(()); // aborted before any steps: nothing to replay
+        }
+        if !matches!(vm.resume(K0), Err(VmError::OutOfFuel)) {
+            return Ok(()); // firmware finished inside K0: nothing to replay
+        }
+
+        let snap = vm.snapshot().expect("snapshot");
+        let mark = rec.borrow().ring.to_vec().len();
+        let outcome1 = format!("{:?}", vm.resume(K));
+        let stats1 = vm.stats;
+        let log1 = event_log(&rec.borrow().ring.to_vec()[mark..]);
+
+        vm.restore(&snap);
+        let mark = rec.borrow().ring.to_vec().len();
+        let outcome2 = format!("{:?}", vm.resume(K));
+        prop_assert_eq!(outcome1, outcome2, "outcome must replay identically");
+        prop_assert_eq!(stats1, vm.stats, "execution counters must replay identically");
+        let log2 = event_log(&rec.borrow().ring.to_vec()[mark..]);
+        prop_assert_eq!(log1, log2, "event stream must replay identically");
+    }
+}
+
+/// A deliberately patched image mid-run: the decoded block cache must
+/// be dropped by `patch_image`, so the patched instruction executes —
+/// not the stale pre-decoded one.
+#[test]
+fn patched_image_never_executes_stale_decoded_blocks() {
+    let mut mb = ModuleBuilder::new("patch");
+    let g = mb.global("g", Ty::I32, "p.c");
+    mb.func("main", vec![], Some(Ty::I32), "p.c", |fb| {
+        fb.store_global(g, 0, Operand::Imm(1), 4);
+        fb.store_global(g, 0, Operand::Imm(2), 4);
+        let r = fb.load_global(g, 0, 4);
+        fb.ret(Operand::Reg(r));
+    });
+    let board = Board::stm32f4_discovery();
+    let image = link_baseline(mb.finish(), board).expect("link");
+    let entry = image.entry;
+    let mut vm = Vm::builder(Machine::new(board), image).build().expect("image");
+    vm.boot().expect("boot");
+    // Execute exactly the first store: `main` is now decoded and cached.
+    assert!(matches!(vm.resume(1), Err(VmError::OutOfFuel)));
+    // Patch the second store to write 42 instead of 2.
+    vm.patch_image(|img| {
+        img.module.funcs[entry.0 as usize].blocks[0].insts[1] =
+            opec_ir::Inst::StoreGlobal { global: g, offset: 0, value: Operand::Imm(42), size: 4 };
+    });
+    match vm.resume(1_000) {
+        Ok(RunOutcome::Returned { value, .. }) => {
+            assert_eq!(value, Some(42), "stale decoded block executed the pre-patch store")
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+}
