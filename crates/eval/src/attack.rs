@@ -18,12 +18,14 @@
 
 use std::fmt::Write as _;
 use std::panic::{self, AssertUnwindSafe};
-use std::thread;
+use std::time::Instant;
 
 use opec_aces::{build_aces_image, AcesCompileOutput, AcesRuntime, AcesStrategy};
 use opec_apps::programs::{aces_comparison_apps, all_apps};
 use opec_apps::App;
 use opec_armv7m::{Machine, MemRegion};
+use opec_campaign::json::{self, Value};
+use opec_campaign::{run_campaign, CampaignOpts, CampaignReport, Job, JobOutcome, JobResult};
 use opec_core::{compile, CompileOutput, OpecMonitor};
 use opec_inject::{score, Attack, AttackKind, CampaignInjector, CampaignResult, Verdict};
 use opec_vm::{
@@ -31,6 +33,7 @@ use opec_vm::{
     VmSnapshot,
 };
 
+use crate::engine::{EngineOpts, RunLimits};
 use crate::runs::FUEL;
 use crate::table::TextTable;
 
@@ -104,7 +107,7 @@ impl Cell {
             return first.to_string();
         }
         let mut parts = Vec::new();
-        for label in ["CONTAINED", "ESCAPED", "CRASHED", "n/a"] {
+        for label in ["CONTAINED", "ESCAPED", "CRASHED", "UNDECIDED", "n/a"] {
             let n = self.verdicts.iter().filter(|(_, v)| v.label() == label).count();
             if n > 0 {
                 parts.push(format!("{}:{n}", &label[..1]));
@@ -123,30 +126,105 @@ pub struct AttackMatrix {
     pub cells: Vec<Cell>,
 }
 
-/// Runs the attack matrix over all seven applications.
+/// Runs the attack matrix over all seven applications with default
+/// supervision (no journal).
 pub fn attack_matrix(seeds: u64) -> AttackMatrix {
     attack_matrix_for(&all_apps(), seeds)
 }
 
-/// Runs the attack matrix over `apps` with seeds `0..seeds`. One scoped
-/// thread per application; results join in input order, so the matrix
-/// is deterministic regardless of scheduling.
+/// Runs the attack matrix over `apps` with seeds `0..seeds` under
+/// default supervision. Kept for the legacy call sites; the engine
+/// cannot fail without a journal configured.
 pub fn attack_matrix_for(apps: &[App], seeds: u64) -> AttackMatrix {
+    attack_matrix_campaign(apps, seeds, &EngineOpts::default()).expect("attack campaign").0
+}
+
+/// Runs the attack matrix as a supervised campaign: one job per
+/// application (each job's verdicts for every `attack × config × seed`
+/// cell are one journal payload), scheduled by the shared engine with
+/// fuel budgets, a wall-clock watchdog, panic containment, and
+/// checkpoint/resume via `opts.journal`.
+pub fn attack_matrix_campaign(
+    apps: &[App],
+    seeds: u64,
+    opts: &EngineOpts,
+) -> Result<(AttackMatrix, CampaignReport), String> {
+    attack_matrix_with(apps, seeds, &opts.campaign_opts("attack-matrix"))
+}
+
+/// [`attack_matrix_campaign`] under explicit campaign options (the
+/// test entry point: fault-injection hooks set directly, no env).
+pub fn attack_matrix_with(
+    apps: &[App],
+    seeds: u64,
+    opts: &CampaignOpts,
+) -> Result<(AttackMatrix, CampaignReport), String> {
     let aces_apps: Vec<&'static str> = aces_comparison_apps().iter().map(|a| a.name).collect();
-    let cells = thread::scope(|s| {
-        let handles: Vec<_> = apps
-            .iter()
-            .map(|app| {
-                let with_aces = aces_apps.contains(&app.name);
-                s.spawn(move || app_cells(app, seeds, with_aces))
+    let meta: Vec<(&App, bool)> =
+        apps.iter().map(|app| (app, aces_apps.contains(&app.name))).collect();
+    let jobs: Vec<Job<'_>> = meta
+        .iter()
+        .map(|&(app, with_aces)| {
+            // The id carries the seed count: a resume under different
+            // `--seeds` must not splice cells from a different-shaped
+            // run into this one.
+            let id = format!("attack/app/{}/seeds/{seeds}", job_slug(app.name));
+            let repro = format!(
+                "{{\"app\":\"{}\",\"seeds\":{seeds},\"aces\":{with_aces}}}",
+                json::escape(app.name)
+            );
+            Job::new(id, repro, move |ctx| {
+                let limits = RunLimits::from_ctx(ctx);
+                JobResult::Done(cells_json(&app_cells(app, seeds, with_aces, &limits)))
             })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap_or_else(|e| panic::resume_unwind(e)))
-            .collect()
-    });
-    AttackMatrix { seeds, cells }
+        })
+        .collect();
+    let report = run_campaign(opts, &jobs)?;
+
+    // Aggregate from the records alone — fresh, resumed, or panicked,
+    // the same payload bytes produce the same cells, which is what
+    // makes a kill-and-resume matrix byte-identical to an
+    // uninterrupted one.
+    let mut cells = Vec::new();
+    for (rec, &(app, with_aces)) in report.records.iter().zip(&meta) {
+        match rec.outcome {
+            JobOutcome::Panicked => {
+                cells.extend(crashed_cells(app.name, seeds, with_aces, &rec.payload));
+            }
+            _ => cells.extend(cells_from(app.name, &rec.payload)?),
+        }
+    }
+    Ok((AttackMatrix { seeds, cells }, report))
+}
+
+/// Job-id fragment for an application name (journal id charset only).
+fn job_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || "._-".contains(c) { c } else { '-' })
+        .collect()
+}
+
+/// The full `attack × config × seed` grid scored [`Verdict::Crashed`]:
+/// the cells of an application whose job panicked on both attempts.
+/// The grid has the same shape [`app_cells`] would have produced, so
+/// rendering stays aligned.
+fn crashed_cells(app: &'static str, seeds: u64, with_aces: bool, payload: &str) -> Vec<Cell> {
+    let detail = json::parse(payload)
+        .ok()
+        .and_then(|v| v.get("panic").and_then(Value::as_str).map(str::to_string))
+        .map_or_else(|| "host panic (lost payload)".to_string(), |m| format!("host panic: {m}"));
+    let mut cells = Vec::new();
+    for kind in AttackKind::ALL {
+        for config in Config::ALL {
+            let verdicts = if config == Config::Aces && !with_aces {
+                Vec::new()
+            } else {
+                (0..seeds).map(|s| (s, Verdict::Crashed { detail: detail.clone() })).collect()
+            };
+            cells.push(Cell { app, config, kind, verdicts });
+        }
+    }
+    cells
 }
 
 /// Per-application build artifacts, produced once and cloned into each
@@ -204,7 +282,7 @@ fn build_artifacts(app: &App, with_aces: bool) -> Artifacts {
 /// configuration. One VM per configuration is built, loaded and booted
 /// exactly once, then reset per campaign from its post-boot snapshot —
 /// the fork-server pattern that makes the matrix cheap.
-fn app_cells(app: &App, seeds: u64, with_aces: bool) -> Vec<Cell> {
+fn app_cells(app: &App, seeds: u64, with_aces: bool, limits: &RunLimits) -> Vec<Cell> {
     let art = build_artifacts(app, with_aces);
     let mut opec = caught_runner("OPEC init", || prepare_opec(app, &art));
     let mut aces = with_aces.then(|| caught_runner("ACES init", || prepare_aces(app, &art)));
@@ -223,12 +301,14 @@ fn app_cells(app: &App, seeds: u64, with_aces: bool) -> Vec<Cell> {
             let verdicts = (0..seeds)
                 .map(|seed| {
                     let outcome = panic::catch_unwind(AssertUnwindSafe(|| match config {
-                        Config::Opec => run_opec_cell(app, &art, &mut opec, kind, seed),
+                        Config::Opec => run_opec_cell(app, &art, &mut opec, kind, seed, limits),
                         Config::Aces => {
                             let runner = aces.as_mut().expect("ACES requested");
-                            run_aces_cell(app, &art, runner, kind, seed)
+                            run_aces_cell(app, &art, runner, kind, seed, limits)
                         }
-                        Config::Baseline => run_baseline_cell(app, &art, &mut baseline, kind, seed),
+                        Config::Baseline => {
+                            run_baseline_cell(app, &art, &mut baseline, kind, seed, limits)
+                        }
                     }));
                     let verdict = match outcome {
                         Ok(Ok(verdict)) => verdict,
@@ -279,7 +359,7 @@ impl<S: Supervisor + Clone> Runner<S> {
     }
 
     /// Restores the post-boot snapshot, installs the campaign's
-    /// injector, and drives one run to a verdict.
+    /// injector, arms the watchdog, and drives one run to a verdict.
     fn campaign(
         &mut self,
         attack: Attack,
@@ -287,18 +367,26 @@ impl<S: Supervisor + Clone> Runner<S> {
         app: &'static str,
         kind: AttackKind,
         fuel: u64,
+        deadline: Option<Instant>,
     ) -> Verdict {
         match self {
             Runner::BootFailed(result) => score(kind, &[], result),
             Runner::Ready { vm, snap } => {
                 vm.restore(snap);
+                vm.set_deadline(deadline);
                 vm.set_injector(Some(Box::new(CampaignInjector::new(attack, seed, app))));
                 debug_assert_eq!(vm.boots(), 1, "per-app init must run exactly once");
                 let result = match vm.resume(fuel) {
                     Ok(_) => CampaignResult::Completed,
                     Err(VmError::Aborted { trap, .. }) => CampaignResult::Aborted(trap),
+                    // Budget stops are supervision outcomes, not host
+                    // errors: the scorer turns them into n/a or
+                    // UNDECIDED, never CRASHED.
+                    Err(VmError::OutOfFuel) => CampaignResult::FuelExhausted,
+                    Err(VmError::TimedOut) => CampaignResult::TimedOut,
                     Err(other) => CampaignResult::OtherError(other.to_string()),
                 };
+                vm.set_deadline(None);
                 score(kind, &vm.inject_log, &result)
             }
         }
@@ -379,6 +467,7 @@ fn run_opec_cell(
     runner: &mut Result<Runner<OpecMonitor>, String>,
     kind: AttackKind,
     seed: u64,
+    limits: &RunLimits,
 ) -> Result<Verdict, String> {
     let out = art.opec.as_ref().map_err(Clone::clone)?;
     let Some(attack) = opec_attack(kind, out, &art.devices) else {
@@ -389,11 +478,11 @@ fn run_opec_cell(
     // sync-out, and an armed switch corruption at the next operation
     // entry — either may be anywhere in the workload, so those get the
     // full budget. Everything else resolves at the fire moment.
-    let fuel = match kind {
+    let fuel = limits.capped(match kind {
         AttackKind::ShadowBitFlip | AttackKind::SvcCorrupt => FUEL,
         _ => SHORT_FUEL,
-    };
-    let mut verdict = runner.campaign(attack.clone(), seed, app.name, kind, fuel);
+    });
+    let mut verdict = runner.campaign(attack.clone(), seed, app.name, kind, fuel, limits.deadline);
     // A flipped shadow bit the operation legitimately overwrote before
     // its next sync-out was masked, not contained and not escaped — the
     // standard fault-injection "benign fault" outcome.
@@ -414,14 +503,15 @@ fn run_aces_cell(
     runner: &mut Result<Runner<AcesRuntime>, String>,
     kind: AttackKind,
     seed: u64,
+    limits: &RunLimits,
 ) -> Result<Verdict, String> {
     let out = art.aces.as_ref().expect("ACES requested").as_ref().map_err(Clone::clone)?;
     let Some(attack) = aces_attack(kind, &out.image, out.stack, &art.devices) else {
         return Ok(Verdict::NotApplicable);
     };
     let runner = runner.as_mut().map_err(|e| e.clone())?;
-    let fuel = if kind == AttackKind::SvcCorrupt { FUEL } else { SHORT_FUEL };
-    Ok(runner.campaign(attack, seed, app.name, kind, fuel))
+    let fuel = limits.capped(if kind == AttackKind::SvcCorrupt { FUEL } else { SHORT_FUEL });
+    Ok(runner.campaign(attack, seed, app.name, kind, fuel, limits.deadline))
 }
 
 fn run_baseline_cell(
@@ -430,13 +520,14 @@ fn run_baseline_cell(
     runner: &mut Result<Runner<NullSupervisor>, String>,
     kind: AttackKind,
     seed: u64,
+    limits: &RunLimits,
 ) -> Result<Verdict, String> {
     let image = art.baseline.as_ref().map_err(Clone::clone)?;
     let Some(attack) = baseline_attack(kind, image, &art.devices) else {
         return Ok(Verdict::NotApplicable);
     };
     let runner = runner.as_mut().map_err(|e| e.clone())?;
-    Ok(runner.campaign(attack, seed, app.name, kind, SHORT_FUEL))
+    Ok(runner.campaign(attack, seed, app.name, kind, limits.capped(SHORT_FUEL), limits.deadline))
 }
 
 // ---------------------------------------------------------------------
@@ -655,6 +746,111 @@ fn aces_attack(
 }
 
 // ---------------------------------------------------------------------
+// Journal payloads.
+// ---------------------------------------------------------------------
+
+/// Serialises one application's cells as the job's single-line journal
+/// payload. [`cells_from`] inverts it exactly: every verdict variant
+/// round-trips field-for-field, so an aggregate rendered from a
+/// resumed journal is byte-identical to the uninterrupted run's.
+fn cells_json(cells: &[Cell]) -> String {
+    let mut out = String::from("{\"cells\":[");
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "{{\"config\":\"{}\",\"attack\":\"{}\",\"verdicts\":[",
+            cell.config.label(),
+            cell.kind.name()
+        )
+        .expect("write to String");
+        for (j, (seed, verdict)) in cell.verdicts.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write!(out, "{{\"seed\":{seed},").expect("write to String");
+            let field = |out: &mut String, key: &str, value: &str| {
+                write!(out, ",\"{key}\":\"{}\"", json::escape(value)).expect("write to String");
+            };
+            match verdict {
+                Verdict::Contained { op, cause } => {
+                    write!(out, "\"v\":\"contained\",\"op\":{op}").expect("write to String");
+                    field(&mut out, "cause", cause);
+                }
+                Verdict::Escaped { evidence } => {
+                    out.push_str("\"v\":\"escaped\"");
+                    field(&mut out, "evidence", evidence);
+                }
+                Verdict::Crashed { detail } => {
+                    out.push_str("\"v\":\"crashed\"");
+                    field(&mut out, "detail", detail);
+                }
+                Verdict::NotApplicable => out.push_str("\"v\":\"na\""),
+                Verdict::Undecided { reason } => {
+                    out.push_str("\"v\":\"undecided\"");
+                    field(&mut out, "reason", reason);
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a job payload back into cells. `app` comes from the job
+/// list, not the payload — the aggregate is defined by this run's
+/// applications.
+fn cells_from(app: &'static str, payload: &str) -> Result<Vec<Cell>, String> {
+    let bad = |what: &str| format!("{app} payload: {what}");
+    let doc = json::parse(payload).map_err(|e| bad(&e))?;
+    let cells = doc.get("cells").and_then(Value::as_arr).ok_or_else(|| bad("no cells"))?;
+    cells
+        .iter()
+        .map(|cell| {
+            let config = match cell.get("config").and_then(Value::as_str) {
+                Some("opec") => Config::Opec,
+                Some("aces") => Config::Aces,
+                Some("baseline") => Config::Baseline,
+                other => return Err(bad(&format!("bad config {other:?}"))),
+            };
+            let name = cell.get("attack").and_then(Value::as_str).unwrap_or("");
+            let kind = *AttackKind::ALL
+                .iter()
+                .find(|k| k.name() == name)
+                .ok_or_else(|| bad(&format!("bad attack {name:?}")))?;
+            let verdicts = cell
+                .get("verdicts")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| bad("no verdicts"))?
+                .iter()
+                .map(|v| verdict_from(v).ok_or_else(|| bad("bad verdict")))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Cell { app, config, kind, verdicts })
+        })
+        .collect()
+}
+
+fn verdict_from(v: &Value) -> Option<(u64, Verdict)> {
+    let seed = v.get("seed")?.as_u64()?;
+    let text = |key: &str| v.get(key).and_then(Value::as_str).map(str::to_string);
+    let verdict = match v.get("v")?.as_str()? {
+        "contained" => {
+            Verdict::Contained { op: v.get("op")?.as_u64()? as OpId, cause: text("cause")? }
+        }
+        "escaped" => Verdict::Escaped { evidence: text("evidence")? },
+        "crashed" => Verdict::Crashed { detail: text("detail")? },
+        "na" => Verdict::NotApplicable,
+        "undecided" => Verdict::Undecided { reason: text("reason")? },
+        _ => return None,
+    };
+    Some((seed, verdict))
+}
+
+// ---------------------------------------------------------------------
 // Rendering.
 // ---------------------------------------------------------------------
 
@@ -678,7 +874,7 @@ impl AttackMatrix {
     pub fn render(&self) -> String {
         let mut out = String::new();
         writeln!(out, "Attack containment matrix ({} seeds per cell)", self.seeds).unwrap();
-        writeln!(out, "C = contained, E = escaped, X = crashed\n").unwrap();
+        writeln!(out, "C = contained, E = escaped, X = crashed, U = undecided\n").unwrap();
         for app in self.app_names() {
             let block = self.app_block(app);
             let mut table = TextTable::new(&["attack", "OPEC", "ACES", "baseline"]);
@@ -734,6 +930,17 @@ impl AttackMatrix {
         out
     }
 
+    /// Verdicts the campaign could not decide (fuel-starved or
+    /// timed-out runs): not hard failures, but not clean either —
+    /// they drive the distinct "unknown outcome" exit code.
+    pub fn undecided(&self) -> usize {
+        self.cells
+            .iter()
+            .flat_map(|c| &c.verdicts)
+            .filter(|(_, v)| matches!(v, Verdict::Undecided { .. }))
+            .count()
+    }
+
     /// Everything that must fail CI: an OPEC cell that escaped or
     /// crashed, or a host crash in any configuration.
     pub fn failures(&self) -> Vec<String> {
@@ -769,6 +976,7 @@ fn verdict_detail(v: &Verdict) -> String {
         Verdict::Escaped { evidence } => evidence.clone(),
         Verdict::Crashed { detail } => detail.clone(),
         Verdict::NotApplicable => String::new(),
+        Verdict::Undecided { reason } => reason.clone(),
     }
 }
 
@@ -865,6 +1073,66 @@ mod tests {
                 cell.verdicts
             );
         }
+    }
+
+    fn test_opts(name: &str) -> CampaignOpts {
+        let mut o = CampaignOpts::new(name, FUEL);
+        // Debug-build runs are slow; fuel still bounds every cell, so
+        // the watchdog would only add flakiness here. The hooks are
+        // cleared so a stray environment cannot leak into the test.
+        o.timeout_secs = None;
+        o.kill_after = None;
+        o.panic_inject = None;
+        o.workers = 2;
+        o.repro_dir =
+            std::env::temp_dir().join("opec-eval-tests/repros").to_string_lossy().into_owned();
+        o
+    }
+
+    #[test]
+    fn panicking_job_is_retried_contained_and_scored_crashed() {
+        let mut o = test_opts("attack-panic");
+        o.panic_inject = Some("attack/app/PinLock".to_string());
+        let (m, rep) = attack_matrix_with(&[opec_apps::programs::pinlock::app()], 1, &o).unwrap();
+        // The injected fault panicked both attempts: one retry, then
+        // classified deterministic — and the campaign itself survived.
+        assert_eq!(rep.records.len(), 1);
+        assert_eq!(rep.records[0].outcome, JobOutcome::Panicked);
+        assert_eq!(rep.records[0].attempts, 2);
+        assert_eq!(rep.retried, 1);
+        assert_eq!(rep.unknown(), 1);
+        // The matrix still renders a full grid, every run cell CRASHED.
+        assert_eq!(m.cells.len(), AttackKind::ALL.len() * Config::ALL.len());
+        for cell in m.cells.iter().filter(|c| c.config != Config::Aces) {
+            assert!(
+                cell.verdicts.iter().all(|(_, v)| matches!(v, Verdict::Crashed { .. })),
+                "{}: {:?}",
+                cell.kind.name(),
+                cell.verdicts
+            );
+        }
+        assert!(!m.failures().is_empty(), "host crashes must fail the matrix");
+    }
+
+    #[test]
+    fn journalled_matrix_resumes_byte_identically() {
+        let dir = std::env::temp_dir().join("opec-eval-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir
+            .join(format!("attack-resume-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&path);
+        let mut o = test_opts("attack-resume");
+        o.journal = Some(path.clone());
+        let apps = [opec_apps::programs::pinlock::app()];
+        let (fresh, first) = attack_matrix_with(&apps, 2, &o).unwrap();
+        assert_eq!(first.resumed, 0);
+        let (resumed, second) = attack_matrix_with(&apps, 2, &o).unwrap();
+        assert_eq!(second.resumed, 1, "the journaled job must not re-run");
+        assert_eq!(fresh.to_json(), resumed.to_json());
+        assert_eq!(fresh.render(), resumed.render());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -29,7 +29,10 @@ use opec_core::{compile, OpecMonitor};
 use opec_ir::{BinOp, Module, ModuleBuilder, Operand, Ty};
 use opec_vm::{link_baseline, ExecMode, LoadedImage, Supervisor, Vm};
 
-use crate::check::run_lockstep;
+use opec_campaign::CampaignReport;
+
+use crate::check::run_lockstep_campaign;
+use crate::engine::EngineOpts;
 use crate::runs::FUEL;
 
 /// Loop iterations of the ALU microbenchmark (~40 instructions each).
@@ -253,10 +256,24 @@ fn campaign_bench() -> CampaignBench {
     }
 }
 
-/// Runs every measurement and renders `BENCH_vm.json`. Returns the
-/// document and the lockstep divergence count (non-zero must fail the
-/// caller).
+/// Runs every measurement and renders `BENCH_vm.json` with default
+/// supervision. Returns the document and the lockstep divergence count
+/// (non-zero must fail the caller).
 pub fn bench_vm(gen_seeds: u64) -> (String, u64) {
+    let (doc, bad, _) = bench_vm_campaign(gen_seeds, &EngineOpts::default()).expect("bench-vm");
+    (doc, bad)
+}
+
+/// [`bench_vm`] with the lockstep sweep routed through the supervised
+/// campaign engine: `--fuel` bounds every lockstep subject, a panicking
+/// subject is contained and reported instead of tearing the benchmark
+/// down, and `--journal` lets a killed sweep resume. The timing
+/// sections stay inline — they are wall-clock measurements, and
+/// journaling a timing would just replay a stale number.
+pub fn bench_vm_campaign(
+    gen_seeds: u64,
+    engine: &EngineOpts,
+) -> Result<(String, u64, CampaignReport), String> {
     let mut out = String::from("{\n");
 
     eprintln!("[bench-vm] ALU microbenchmark (plain vs decoded)...");
@@ -298,7 +315,7 @@ pub fn bench_vm(gen_seeds: u64) -> (String, u64) {
     .expect("write to String");
 
     eprintln!("[bench-vm] cached-vs-plain lockstep (12 apps + {gen_seeds} firmwares)...");
-    let rep = run_lockstep(gen_seeds);
+    let (rep, campaign) = run_lockstep_campaign(gen_seeds, engine)?;
     let divergences: u64 = rep.cases.iter().map(|c| c.total).sum();
     let build_errors = rep.cases.iter().filter(|c| c.run_error.is_some()).count();
     writeln!(
@@ -309,7 +326,7 @@ pub fn bench_vm(gen_seeds: u64) -> (String, u64) {
     )
     .expect("write to String");
     out.push_str("}\n");
-    (out, divergences + build_errors as u64)
+    Ok((out, divergences + build_errors as u64, campaign))
 }
 
 #[cfg(test)]

@@ -21,23 +21,26 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 use std::sync::Arc;
-use std::thread;
 
 use opec_aces::{build_aces_image, AcesRuntime, AcesStrategy};
 use opec_apps::programs::{aces_comparison_apps, all_apps};
 use opec_apps::App;
 use opec_armv7m::Machine;
+use opec_campaign::json::{self, Value};
+use opec_campaign::{run_campaign, CampaignOpts, CampaignReport, Job, JobOutcome, JobResult};
 use opec_core::{compile, OpecMonitor};
 use opec_ir::{GlobalId, Module};
 use opec_obs::export::{event_log, metrics_json};
 use opec_obs::{Obs, OpId, Recorder};
 use opec_oracle::{
-    describe, generate, run_aces, run_opec, shadow, shrink, AccessMatrix, OracleState, Verdict,
+    describe, generate, run_aces_with, run_opec_with, shadow, shrink, AccessMatrix, FirmwareSpec,
+    OracleState, RunBudget, RunHalt, Verdict, GEN_FUEL,
 };
-use opec_vm::{ExecMode, LoadedImage, RunOutcome, Supervisor, Trace, Vm, VmStats};
+use opec_vm::{ExecMode, LoadedImage, RunOutcome, Supervisor, Trace, Vm, VmError, VmStats};
 
+use crate::engine::{EngineOpts, RunLimits};
 use crate::metrics::{et_by_task, pt_of_compartments};
-use crate::runs::{AppEval, OpecRun, FUEL};
+use crate::runs::{AppEval, OpecRun};
 
 /// Tolerance for the PT/ET cross-checks: both sides are exact integer
 /// byte ratios, so any disagreement beyond rounding is a real bug.
@@ -57,7 +60,7 @@ pub struct CheckOptions {
 
 /// The oracle's verdict over one subject (one app or one generated
 /// firmware under one enforcement stack).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CaseResult {
     /// Subject name (`PinLock`, `gen[7]`, ...).
     pub name: String,
@@ -220,6 +223,146 @@ impl CheckReport {
     }
 }
 
+/// Whether (and how) a job's VM work was cut short by its budget.
+/// Folded over every run the job performs, then mapped onto the
+/// engine's [`JobResult`]: a watchdog stop may be transient host load
+/// (retried once), fuel exhaustion is guest-deterministic (never
+/// retried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum BudgetHalt {
+    /// Every run finished within budget.
+    Ran,
+    /// A run exhausted its guest fuel budget.
+    Fuel,
+    /// The wall-clock watchdog stopped a run.
+    Timeout,
+}
+
+impl BudgetHalt {
+    fn from_oracle(halt: Option<RunHalt>) -> BudgetHalt {
+        match halt {
+            None => BudgetHalt::Ran,
+            Some(RunHalt::FuelExhausted) => BudgetHalt::Fuel,
+            Some(RunHalt::TimedOut) => BudgetHalt::Timeout,
+        }
+    }
+
+    /// The more severe of two halts (`Timeout > Fuel > Ran`).
+    fn worst(self, other: BudgetHalt) -> BudgetHalt {
+        self.max(other)
+    }
+
+    fn result(self, payload: String) -> JobResult {
+        match self {
+            BudgetHalt::Ran => JobResult::Done(payload),
+            BudgetHalt::Fuel => JobResult::FuelExhausted(payload),
+            BudgetHalt::Timeout => JobResult::TimedOut(payload),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal payloads.
+// ---------------------------------------------------------------------
+
+/// Serialises a case as single-line JSON. [`case_from`] inverts it
+/// field-for-field, so aggregates rendered from a resumed journal are
+/// byte-identical to the uninterrupted run's.
+fn case_json(c: &CaseResult) -> String {
+    use std::fmt::Write as _;
+    let opt = |v: &Option<String>| match v {
+        Some(s) => format!("\"{}\"", json::escape(s)),
+        None => "null".to_string(),
+    };
+    let mut s = format!(
+        "{{\"name\":\"{}\",\"system\":\"{}\",\"total\":{},\"checks\":{},\"probes\":{},\
+         \"switches\":{},\"run_error\":{},\"shrunk\":{},\"note\":{},\"divergences\":[",
+        json::escape(&c.name),
+        c.system,
+        c.total,
+        c.checks,
+        c.probes,
+        c.switches,
+        opt(&c.run_error),
+        opt(&c.shrunk),
+        opt(&c.note),
+    );
+    for (i, d) in c.divergences.iter().enumerate() {
+        write!(s, "{}\"{}\"", if i == 0 { "" } else { "," }, json::escape(d))
+            .expect("write to String");
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Parses a [`case_json`] document back.
+fn case_from(v: &Value) -> Result<CaseResult, String> {
+    let text = |key: &str| v.get(key).and_then(Value::as_str).map(str::to_string);
+    let num = |key: &str| v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("no {key}"));
+    let system = match v.get("system").and_then(Value::as_str) {
+        Some("OPEC") => "OPEC",
+        Some("ACES") => "ACES",
+        other => return Err(format!("bad system {other:?}")),
+    };
+    Ok(CaseResult {
+        name: text("name").ok_or("no name")?,
+        system,
+        divergences: v
+            .get("divergences")
+            .and_then(Value::as_arr)
+            .ok_or("no divergences")?
+            .iter()
+            .map(|d| d.as_str().map(str::to_string).ok_or("bad divergence".to_string()))
+            .collect::<Result<Vec<_>, _>>()?,
+        total: num("total")?,
+        checks: num("checks")?,
+        probes: num("probes")?,
+        switches: num("switches")?,
+        run_error: text("run_error"),
+        shrunk: text("shrunk"),
+        note: text("note"),
+    })
+}
+
+fn crosscheck_json(x: &CrossCheck) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ok\":{},\"detail\":\"{}\"}}",
+        json::escape(&x.name),
+        x.ok,
+        json::escape(&x.detail)
+    )
+}
+
+fn crosscheck_from(v: &Value) -> Result<CrossCheck, String> {
+    Ok(CrossCheck {
+        name: v.get("name").and_then(Value::as_str).ok_or("no name")?.to_string(),
+        ok: v.get("ok").and_then(Value::as_bool).ok_or("no ok")?,
+        detail: v.get("detail").and_then(Value::as_str).ok_or("no detail")?.to_string(),
+    })
+}
+
+/// The case synthesised for a job that panicked on both attempts: the
+/// subject is preserved in the report with the panic as its run error,
+/// so a host bug is a visible failure, never a missing row.
+fn panicked_case(name: String, system: &'static str, payload: &str) -> CaseResult {
+    let msg = json::parse(payload)
+        .ok()
+        .and_then(|v| v.get("panic").and_then(Value::as_str).map(str::to_string))
+        .unwrap_or_else(|| "lost payload".to_string());
+    CaseResult {
+        name,
+        system,
+        divergences: Vec::new(),
+        total: 0,
+        checks: 0,
+        probes: 0,
+        switches: 0,
+        run_error: Some(format!("host panic: {msg}")),
+        shrunk: None,
+        note: None,
+    }
+}
+
 fn bytes_of(module: &Module, globals: &BTreeSet<GlobalId>) -> u64 {
     globals.iter().map(|&g| u64::from(module.global_size(g).max(1))).sum()
 }
@@ -271,7 +414,7 @@ fn verdict_case(name: String, system: &'static str, v: &Verdict) -> CaseResult {
 /// cross-checks ET: the trace-derived execution sets against the
 /// oracle's, and Equation 2 recomputed from the matrix against
 /// [`et_by_task`].
-fn check_opec_app(app: &App) -> (CaseResult, Vec<CrossCheck>) {
+fn check_opec_app(app: &App, limits: &RunLimits) -> (CaseResult, Vec<CrossCheck>, BudgetHalt) {
     let (module, specs) = (app.build)();
     let out =
         compile(module, app.board, &specs).unwrap_or_else(|e| panic!("{} compile: {e}", app.name));
@@ -287,10 +430,17 @@ fn check_opec_app(app: &App) -> (CaseResult, Vec<CrossCheck>) {
         .watcher(watcher)
         .build()
         .expect("opec vm");
-    let (cycles, mut run_error) = match vm.run(FUEL) {
-        Ok(run @ RunOutcome::Halted { .. }) => (run.cycles(), None),
-        Ok(run) => (run.cycles(), Some(format!("did not halt: {run:?}"))),
-        Err(e) => (0, Some(format!("{e}"))),
+    vm.set_deadline(limits.deadline);
+    // A budget stop is still a run error here — a paper app that fails
+    // to halt within its budget is a check failure — but it is also
+    // surfaced as the job's outcome, so the campaign summary and exit
+    // code distinguish "bounded" from "diverged".
+    let (cycles, mut run_error, halt) = match vm.run(limits.fuel) {
+        Ok(run @ RunOutcome::Halted { .. }) => (run.cycles(), None, BudgetHalt::Ran),
+        Ok(run) => (run.cycles(), Some(format!("did not halt: {run:?}")), BudgetHalt::Ran),
+        Err(e @ VmError::OutOfFuel) => (0, Some(format!("{e}")), BudgetHalt::Fuel),
+        Err(e @ VmError::TimedOut) => (0, Some(format!("{e}")), BudgetHalt::Timeout),
+        Err(e) => (0, Some(format!("{e}")), BudgetHalt::Ran),
     };
     if run_error.is_none() {
         if let Err(e) = (app.check)(&mut vm.machine) {
@@ -368,14 +518,14 @@ fn check_opec_app(app: &App) -> (CaseResult, Vec<CrossCheck>) {
             format!("oracle {oracle_et:?} vs report {:?}", series.opec)
         },
     });
-    (case, crosschecks)
+    (case, crosschecks, halt)
 }
 
 /// Runs one comparison application under ACES (Filename strategy) with
 /// the oracle attached and cross-checks PT: Equation 1 recomputed from
 /// the matrix's granted/needed byte counts against
 /// [`pt_of_compartments`].
-fn check_aces_app(app: &App) -> (CaseResult, Vec<CrossCheck>) {
+fn check_aces_app(app: &App, limits: &RunLimits) -> (CaseResult, Vec<CrossCheck>, BudgetHalt) {
     let (module, _) = (app.build)();
     let out = build_aces_image(module, app.board, AcesStrategy::Filename)
         .unwrap_or_else(|e| panic!("{} ACES build: {e}", app.name));
@@ -426,10 +576,13 @@ fn check_aces_app(app: &App) -> (CaseResult, Vec<CrossCheck>) {
     (app.setup)(&mut machine);
     let mut vm =
         Vm::builder(machine, out.image).supervisor(rt).watcher(watcher).build().expect("aces vm");
-    let mut run_error = match vm.run(FUEL) {
-        Ok(RunOutcome::Halted { .. }) => None,
-        Ok(run) => Some(format!("did not halt: {run:?}")),
-        Err(e) => Some(format!("{e}")),
+    vm.set_deadline(limits.deadline);
+    let (mut run_error, halt) = match vm.run(limits.fuel) {
+        Ok(RunOutcome::Halted { .. }) => (None, BudgetHalt::Ran),
+        Ok(run) => (Some(format!("did not halt: {run:?}")), BudgetHalt::Ran),
+        Err(e @ VmError::OutOfFuel) => (Some(format!("{e}")), BudgetHalt::Fuel),
+        Err(e @ VmError::TimedOut) => (Some(format!("{e}")), BudgetHalt::Timeout),
+        Err(e) => (Some(format!("{e}")), BudgetHalt::Ran),
     };
     if run_error.is_none() {
         if let Err(e) = (app.check)(&mut vm.machine) {
@@ -437,45 +590,35 @@ fn check_aces_app(app: &App) -> (CaseResult, Vec<CrossCheck>) {
         }
     }
     let st = handle.take();
-    (state_case(app.name.to_string(), "ACES", &st, run_error), crosschecks)
+    (state_case(app.name.to_string(), "ACES", &st, run_error), crosschecks, halt)
 }
 
-fn join<T>(handle: thread::ScopedJoinHandle<'_, T>) -> T {
-    handle.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
-}
-
-/// Runs the whole differential check: all seven applications under
-/// OPEC, the five comparison applications under ACES, and
-/// `opts.seeds` generated firmwares under both stacks.
-pub fn run_check(opts: &CheckOptions) -> CheckReport {
-    let apps = all_apps();
-    let cmp = aces_comparison_apps();
-    let mut report = CheckReport::default();
-    thread::scope(|s| {
-        let opec: Vec<_> = apps.iter().map(|a| s.spawn(move || check_opec_app(a))).collect();
-        let aces: Vec<_> = cmp.iter().map(|a| s.spawn(move || check_aces_app(a))).collect();
-        for h in opec.into_iter().chain(aces) {
-            let (case, crosschecks) = join(h);
-            report.cases.push(case);
-            report.crosschecks.extend(crosschecks);
-        }
-    });
-    for seed in 0..opts.seeds {
-        let spec = generate(seed);
-        match run_opec(&spec, None) {
-            Ok(v) => {
-                let mut case = verdict_case(format!("gen[{seed}]"), "OPEC", &v);
-                if !v.clean() && opts.shrink {
-                    let small = shrink(
-                        &spec,
-                        |s| run_opec(s, None).is_ok_and(|v| v.total_divergences > 0),
-                        SHRINK_BUDGET,
-                    );
-                    case.shrunk = Some(describe(&small));
-                }
-                report.cases.push(case);
+/// One generated firmware under the OPEC stack, within `budget`.
+fn gen_opec_case(
+    spec: &FirmwareSpec,
+    seed: u64,
+    do_shrink: bool,
+    budget: &RunBudget,
+) -> (CaseResult, BudgetHalt) {
+    match run_opec_with(spec, None, budget) {
+        Ok(v) => {
+            let mut case = verdict_case(format!("gen[{seed}]"), "OPEC", &v);
+            let halt = BudgetHalt::from_oracle(v.halt);
+            if halt != BudgetHalt::Ran {
+                case.note = Some("stopped by budget".to_string());
             }
-            Err(e) => report.cases.push(CaseResult {
+            if !v.clean() && do_shrink {
+                let small = shrink(
+                    spec,
+                    |s| run_opec_with(s, None, budget).is_ok_and(|v| v.total_divergences > 0),
+                    SHRINK_BUDGET,
+                );
+                case.shrunk = Some(describe(&small));
+            }
+            (case, halt)
+        }
+        Err(e) => (
+            CaseResult {
                 name: format!("gen[{seed}]"),
                 system: "OPEC",
                 divergences: Vec::new(),
@@ -486,25 +629,41 @@ pub fn run_check(opts: &CheckOptions) -> CheckReport {
                 run_error: Some(e),
                 shrunk: None,
                 note: None,
-            }),
-        }
-        match run_aces(&spec) {
-            Ok(v) => {
-                let mut case = verdict_case(format!("gen[{seed}]"), "ACES", &v);
-                if !v.clean() && opts.shrink {
-                    let small = shrink(
-                        &spec,
-                        |s| run_aces(s).is_ok_and(|v| v.total_divergences > 0),
-                        SHRINK_BUDGET,
-                    );
-                    case.shrunk = Some(describe(&small));
-                }
-                report.cases.push(case);
+            },
+            BudgetHalt::Ran,
+        ),
+    }
+}
+
+/// One generated firmware under the ACES stack, within `budget`.
+fn gen_aces_case(
+    spec: &FirmwareSpec,
+    seed: u64,
+    do_shrink: bool,
+    budget: &RunBudget,
+) -> (CaseResult, BudgetHalt) {
+    match run_aces_with(spec, budget) {
+        Ok(v) => {
+            let mut case = verdict_case(format!("gen[{seed}]"), "ACES", &v);
+            let halt = BudgetHalt::from_oracle(v.halt);
+            if halt != BudgetHalt::Ran {
+                case.note = Some("stopped by budget".to_string());
             }
-            // ACES can reject a plan outright (group-region overflow on
-            // MPU hardware limits) — a scalability property, not a
-            // divergence.
-            Err(e) => report.cases.push(CaseResult {
+            if !v.clean() && do_shrink {
+                let small = shrink(
+                    spec,
+                    |s| run_aces_with(s, budget).is_ok_and(|v| v.total_divergences > 0),
+                    SHRINK_BUDGET,
+                );
+                case.shrunk = Some(describe(&small));
+            }
+            (case, halt)
+        }
+        // ACES can reject a plan outright (group-region overflow on
+        // MPU hardware limits) — a scalability property, not a
+        // divergence.
+        Err(e) => (
+            CaseResult {
                 name: format!("gen[{seed}]"),
                 system: "ACES",
                 divergences: Vec::new(),
@@ -515,10 +674,165 @@ pub fn run_check(opts: &CheckOptions) -> CheckReport {
                 run_error: None,
                 shrunk: None,
                 note: Some(format!("build skipped: {e}")),
-            }),
+            },
+            BudgetHalt::Ran,
+        ),
+    }
+}
+
+/// Job-id fragment for an application name (journal id charset only).
+fn job_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || "._-".contains(c) { c } else { '-' })
+        .collect()
+}
+
+/// The oracle's generated-firmware budget for one job attempt: the
+/// site default [`GEN_FUEL`] capped by the campaign budget, plus the
+/// attempt's watchdog deadline.
+fn gen_budget(limits: &RunLimits) -> RunBudget {
+    RunBudget { fuel: limits.capped(GEN_FUEL), deadline: limits.deadline }
+}
+
+/// What kind of subject a check job runs — kept alongside the job list
+/// so aggregation can synthesise the right case shape for a job that
+/// panicked on both attempts.
+#[derive(Clone, Copy)]
+enum CheckJob<'a> {
+    OpecApp(&'a App),
+    AcesApp(&'a App),
+    Gen(u64),
+}
+
+/// Runs the whole differential check: all seven applications under
+/// OPEC, the five comparison applications under ACES, and
+/// `opts.seeds` generated firmwares under both stacks — with default
+/// supervision (no journal).
+pub fn run_check(opts: &CheckOptions) -> CheckReport {
+    run_check_campaign(opts, &EngineOpts::default()).expect("check campaign").0
+}
+
+/// [`run_check`] as a supervised campaign: one job per application and
+/// one per generated seed (its OPEC and ACES runs share a payload),
+/// with fuel budgets, a watchdog, panic containment, and
+/// checkpoint/resume via the engine options.
+pub fn run_check_campaign(
+    opts: &CheckOptions,
+    engine: &EngineOpts,
+) -> Result<(CheckReport, CampaignReport), String> {
+    run_check_with(opts, &engine.campaign_opts("check"))
+}
+
+/// [`run_check_campaign`] under explicit campaign options (the test
+/// entry point: fault-injection hooks set directly, no env).
+pub fn run_check_with(
+    opts: &CheckOptions,
+    copts: &CampaignOpts,
+) -> Result<(CheckReport, CampaignReport), String> {
+    let apps = all_apps();
+    let cmp = aces_comparison_apps();
+    let mut kinds: Vec<CheckJob<'_>> = Vec::new();
+    kinds.extend(apps.iter().map(CheckJob::OpecApp));
+    kinds.extend(cmp.iter().map(CheckJob::AcesApp));
+    kinds.extend((0..opts.seeds).map(CheckJob::Gen));
+    let do_shrink = opts.shrink;
+
+    let jobs: Vec<Job<'_>> = kinds
+        .iter()
+        .map(|&kind| match kind {
+            CheckJob::OpecApp(app) => Job::new(
+                format!("check/app/{}/opec", job_slug(app.name)),
+                format!("{{\"app\":\"{}\",\"system\":\"OPEC\"}}", json::escape(app.name)),
+                move |ctx| {
+                    let limits = RunLimits::from_ctx(ctx);
+                    let (case, xcs, halt) = check_opec_app(app, &limits);
+                    halt.result(app_payload(&case, &xcs))
+                },
+            ),
+            CheckJob::AcesApp(app) => Job::new(
+                format!("check/app/{}/aces", job_slug(app.name)),
+                format!("{{\"app\":\"{}\",\"system\":\"ACES\"}}", json::escape(app.name)),
+                move |ctx| {
+                    let limits = RunLimits::from_ctx(ctx);
+                    let (case, xcs, halt) = check_aces_app(app, &limits);
+                    halt.result(app_payload(&case, &xcs))
+                },
+            ),
+            CheckJob::Gen(seed) => Job::new(
+                format!("check/gen/{seed}"),
+                format!("{{\"seed\":{seed},\"shrink\":{do_shrink}}}"),
+                move |ctx| {
+                    let budget = gen_budget(&RunLimits::from_ctx(ctx));
+                    let spec = generate(seed);
+                    let (opec_case, h1) = gen_opec_case(&spec, seed, do_shrink, &budget);
+                    let (aces_case, h2) = gen_aces_case(&spec, seed, do_shrink, &budget);
+                    h1.worst(h2).result(format!(
+                        "{{\"opec\":{},\"aces\":{}}}",
+                        case_json(&opec_case),
+                        case_json(&aces_case)
+                    ))
+                },
+            ),
+        })
+        .collect();
+    let report = run_campaign(copts, &jobs)?;
+
+    // Aggregate from the records alone, in job-definition order: the
+    // same payload bytes produce the same report whether the job ran
+    // now, was resumed from the journal, or panicked.
+    let mut out = CheckReport::default();
+    for (rec, &kind) in report.records.iter().zip(&kinds) {
+        match (kind, rec.outcome) {
+            (CheckJob::OpecApp(app), JobOutcome::Panicked) => {
+                out.cases.push(panicked_case(app.name.to_string(), "OPEC", &rec.payload));
+            }
+            (CheckJob::AcesApp(app), JobOutcome::Panicked) => {
+                out.cases.push(panicked_case(app.name.to_string(), "ACES", &rec.payload));
+            }
+            (CheckJob::Gen(seed), JobOutcome::Panicked) => {
+                out.cases.push(panicked_case(format!("gen[{seed}]"), "OPEC", &rec.payload));
+                out.cases.push(panicked_case(format!("gen[{seed}]"), "ACES", &rec.payload));
+            }
+            (CheckJob::OpecApp(_) | CheckJob::AcesApp(_), _) => {
+                let (case, xcs) = app_payload_from(&rec.payload)?;
+                out.cases.push(case);
+                out.crosschecks.extend(xcs);
+            }
+            (CheckJob::Gen(_), _) => {
+                let doc = json::parse(&rec.payload).map_err(|e| format!("gen payload: {e}"))?;
+                for key in ["opec", "aces"] {
+                    let v = doc.get(key).ok_or_else(|| format!("gen payload: no {key}"))?;
+                    out.cases.push(case_from(v)?);
+                }
+            }
         }
     }
-    report
+    Ok((out, report))
+}
+
+/// The payload of one app job: its case plus its cross-checks.
+fn app_payload(case: &CaseResult, xcs: &[CrossCheck]) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{{\"case\":{},\"crosschecks\":[", case_json(case));
+    for (i, x) in xcs.iter().enumerate() {
+        write!(s, "{}{}", if i == 0 { "" } else { "," }, crosscheck_json(x))
+            .expect("write to String");
+    }
+    s.push_str("]}");
+    s
+}
+
+fn app_payload_from(payload: &str) -> Result<(CaseResult, Vec<CrossCheck>), String> {
+    let doc = json::parse(payload).map_err(|e| format!("app payload: {e}"))?;
+    let case = case_from(doc.get("case").ok_or("app payload: no case")?)?;
+    let xcs = doc
+        .get("crosschecks")
+        .and_then(Value::as_arr)
+        .ok_or("app payload: no crosschecks")?
+        .iter()
+        .map(crosscheck_from)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((case, xcs))
 }
 
 // ---------------------------------------------------------------------
@@ -546,13 +860,17 @@ struct LockRun {
     outcome: String,
 }
 
-/// Runs one subject once under `mode` with a recorder attached.
+/// Runs one subject once under `mode` with a recorder attached. The
+/// second component reports whether the run was stopped by the fuel
+/// budget (both modes burn identical fuel, so under a tight `--fuel`
+/// the two sides halt at the same instruction and still compare equal).
 fn lock_run<S: Supervisor>(
     image: Arc<LoadedImage>,
     supervisor: S,
     machine: Machine,
     mode: ExecMode,
-) -> LockRun {
+    fuel: u64,
+) -> (LockRun, bool) {
     let rec = Rc::new(RefCell::new(Recorder::with_capacity(LOCKSTEP_RING).with_funcs()));
     let mut vm = Vm::builder(machine, image)
         .supervisor(supervisor)
@@ -560,21 +878,23 @@ fn lock_run<S: Supervisor>(
         .obs(Obs::single(rec.clone()))
         .build()
         .expect("lockstep image");
-    let outcome = match vm.run(FUEL) {
-        Ok(o) => format!("{o:?}"),
-        Err(e) => format!("error: {e}"),
+    let (outcome, halted) = match vm.run(fuel) {
+        Ok(o) => (format!("{o:?}"), false),
+        Err(e @ VmError::OutOfFuel) => (format!("error: {e}"), true),
+        Err(e) => (format!("error: {e}"), false),
     };
     let stats = vm.stats;
     drop(vm);
     let rec = Rc::try_unwrap(rec).expect("sole recorder handle").into_inner();
-    LockRun {
+    let run = LockRun {
         log: event_log(&rec.ring.to_vec()),
         metrics: metrics_json(&rec.metrics),
         total_events: rec.ring.total(),
         switches: rec.metrics.total_switches(),
         stats,
         outcome,
-    }
+    };
+    (run, halted)
 }
 
 /// Folds the two sides into a [`CaseResult`]; every difference is a
@@ -643,7 +963,7 @@ fn lock_error(name: String, system: &'static str, error: String) -> CaseResult {
     }
 }
 
-fn lockstep_opec_app(app: &App) -> CaseResult {
+fn lockstep_opec_app(app: &App, fuel: u64) -> (CaseResult, BudgetHalt) {
     let (module, specs) = (app.build)();
     match compile(module, app.board, &specs) {
         Ok(out) => {
@@ -652,17 +972,20 @@ fn lockstep_opec_app(app: &App) -> CaseResult {
             let run = |mode| {
                 let mut machine = Machine::new(app.board);
                 (app.setup)(&mut machine);
-                lock_run(image.clone(), OpecMonitor::new(policy.clone()), machine, mode)
+                lock_run(image.clone(), OpecMonitor::new(policy.clone()), machine, mode, fuel)
             };
-            let plain = run(ExecMode::Plain);
-            let decoded = run(ExecMode::Decoded);
-            compare_lock(app.name.to_string(), "OPEC", &plain, &decoded)
+            let (plain, h1) = run(ExecMode::Plain);
+            let (decoded, h2) = run(ExecMode::Decoded);
+            let halt = if h1 || h2 { BudgetHalt::Fuel } else { BudgetHalt::Ran };
+            (compare_lock(app.name.to_string(), "OPEC", &plain, &decoded), halt)
         }
-        Err(e) => lock_error(app.name.to_string(), "OPEC", format!("compile: {e}")),
+        Err(e) => {
+            (lock_error(app.name.to_string(), "OPEC", format!("compile: {e}")), BudgetHalt::Ran)
+        }
     }
 }
 
-fn lockstep_aces_app(app: &App) -> CaseResult {
+fn lockstep_aces_app(app: &App, fuel: u64) -> (CaseResult, BudgetHalt) {
     let (module, _) = (app.build)();
     match build_aces_image(module, app.board, AcesStrategy::Filename) {
         Ok(out) => {
@@ -679,17 +1002,20 @@ fn lockstep_aces_app(app: &App) -> CaseResult {
                 );
                 let mut machine = Machine::new(app.board);
                 (app.setup)(&mut machine);
-                lock_run(image.clone(), rt, machine, mode)
+                lock_run(image.clone(), rt, machine, mode, fuel)
             };
-            let plain = run(ExecMode::Plain);
-            let decoded = run(ExecMode::Decoded);
-            compare_lock(app.name.to_string(), "ACES", &plain, &decoded)
+            let (plain, h1) = run(ExecMode::Plain);
+            let (decoded, h2) = run(ExecMode::Decoded);
+            let halt = if h1 || h2 { BudgetHalt::Fuel } else { BudgetHalt::Ran };
+            (compare_lock(app.name.to_string(), "ACES", &plain, &decoded), halt)
         }
-        Err(e) => lock_error(app.name.to_string(), "ACES", format!("ACES build: {e}")),
+        Err(e) => {
+            (lock_error(app.name.to_string(), "ACES", format!("ACES build: {e}")), BudgetHalt::Ran)
+        }
     }
 }
 
-fn lockstep_generated(seed: u64) -> CaseResult {
+fn lockstep_generated(seed: u64, fuel: u64) -> (CaseResult, BudgetHalt) {
     let spec = generate(seed);
     let specs = spec.op_specs();
     match compile(spec.build_module(), spec.board(), &specs) {
@@ -699,13 +1025,16 @@ fn lockstep_generated(seed: u64) -> CaseResult {
             let run = |mode| {
                 let mut machine = Machine::new(spec.board());
                 spec.install_devices(&mut machine);
-                lock_run(image.clone(), OpecMonitor::new(policy.clone()), machine, mode)
+                lock_run(image.clone(), OpecMonitor::new(policy.clone()), machine, mode, fuel)
             };
-            let plain = run(ExecMode::Plain);
-            let decoded = run(ExecMode::Decoded);
-            compare_lock(format!("gen[{seed}]"), "OPEC", &plain, &decoded)
+            let (plain, h1) = run(ExecMode::Plain);
+            let (decoded, h2) = run(ExecMode::Decoded);
+            let halt = if h1 || h2 { BudgetHalt::Fuel } else { BudgetHalt::Ran };
+            (compare_lock(format!("gen[{seed}]"), "OPEC", &plain, &decoded), halt)
         }
-        Err(e) => lock_error(format!("gen[{seed}]"), "OPEC", format!("compile: {e}")),
+        Err(e) => {
+            (lock_error(format!("gen[{seed}]"), "OPEC", format!("compile: {e}")), BudgetHalt::Ran)
+        }
     }
 }
 
@@ -719,50 +1048,149 @@ fn lockstep_generated(seed: u64) -> CaseResult {
 /// comparison applications under ACES, and `seeds` generated firmwares
 /// under OPEC.
 pub fn run_lockstep(seeds: u64) -> CheckReport {
+    run_lockstep_campaign(seeds, &EngineOpts::default()).expect("lockstep campaign").0
+}
+
+/// [`run_lockstep`] as a supervised campaign: one job per subject and
+/// mode pair. The watchdog stays disarmed (see
+/// [`EngineOpts::lockstep_opts`]) — wall-clock differs between exec
+/// modes, and a deadline would manufacture divergence — but the fuel
+/// budget applies identically to both sides, so the equivalence
+/// contract holds even on truncated runs.
+pub fn run_lockstep_campaign(
+    seeds: u64,
+    engine: &EngineOpts,
+) -> Result<(CheckReport, CampaignReport), String> {
+    run_lockstep_with(seeds, &engine.lockstep_opts("lockstep"))
+}
+
+/// [`run_lockstep_campaign`] under explicit campaign options.
+pub fn run_lockstep_with(
+    seeds: u64,
+    copts: &CampaignOpts,
+) -> Result<(CheckReport, CampaignReport), String> {
     let apps = all_apps();
     let cmp = aces_comparison_apps();
-    let mut report = CheckReport::default();
-    thread::scope(|s| {
-        let opec: Vec<_> = apps.iter().map(|a| s.spawn(move || lockstep_opec_app(a))).collect();
-        let aces: Vec<_> = cmp.iter().map(|a| s.spawn(move || lockstep_aces_app(a))).collect();
-        for h in opec.into_iter().chain(aces) {
-            report.cases.push(join(h));
+    let mut kinds: Vec<CheckJob<'_>> = Vec::new();
+    kinds.extend(apps.iter().map(CheckJob::OpecApp));
+    kinds.extend(cmp.iter().map(CheckJob::AcesApp));
+    kinds.extend((0..seeds).map(CheckJob::Gen));
+
+    let jobs: Vec<Job<'_>> = kinds
+        .iter()
+        .map(|&kind| match kind {
+            CheckJob::OpecApp(app) => Job::new(
+                format!("lockstep/app/{}/opec", job_slug(app.name)),
+                format!("{{\"app\":\"{}\",\"system\":\"OPEC\"}}", json::escape(app.name)),
+                move |ctx| {
+                    let (case, halt) = lockstep_opec_app(app, ctx.fuel);
+                    halt.result(case_json(&case))
+                },
+            ),
+            CheckJob::AcesApp(app) => Job::new(
+                format!("lockstep/app/{}/aces", job_slug(app.name)),
+                format!("{{\"app\":\"{}\",\"system\":\"ACES\"}}", json::escape(app.name)),
+                move |ctx| {
+                    let (case, halt) = lockstep_aces_app(app, ctx.fuel);
+                    halt.result(case_json(&case))
+                },
+            ),
+            CheckJob::Gen(seed) => Job::new(
+                format!("lockstep/gen/{seed}"),
+                format!("{{\"seed\":{seed}}}"),
+                move |ctx| {
+                    let (case, halt) = lockstep_generated(seed, ctx.fuel);
+                    halt.result(case_json(&case))
+                },
+            ),
+        })
+        .collect();
+    let report = run_campaign(copts, &jobs)?;
+
+    let mut out = CheckReport::default();
+    for (rec, &kind) in report.records.iter().zip(&kinds) {
+        let (name, system) = match kind {
+            CheckJob::OpecApp(app) => (app.name.to_string(), "OPEC"),
+            CheckJob::AcesApp(app) => (app.name.to_string(), "ACES"),
+            CheckJob::Gen(seed) => (format!("gen[{seed}]"), "OPEC"),
+        };
+        if rec.outcome == JobOutcome::Panicked {
+            out.cases.push(panicked_case(name, system, &rec.payload));
+        } else {
+            let doc = json::parse(&rec.payload).map_err(|e| format!("lockstep payload: {e}"))?;
+            out.cases.push(case_from(&doc)?);
         }
-    });
-    for seed in 0..seeds {
-        report.cases.push(lockstep_generated(seed));
     }
-    report
+    Ok((out, report))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runs::FUEL;
 
     #[test]
     fn pinlock_is_divergence_free_with_agreeing_metrics() {
         let app = opec_apps::programs::pinlock::app();
-        let (case, crosschecks) = check_opec_app(&app);
+        let limits = RunLimits::unsupervised();
+        let (case, crosschecks, halt) = check_opec_app(&app, &limits);
         assert!(!case.failed(), "{:?}", case);
         assert!(case.checks > 0 && case.probes > 0 && case.switches > 0);
         assert!(crosschecks.iter().all(|x| x.ok), "{crosschecks:?}");
+        assert_eq!(halt, BudgetHalt::Ran);
 
-        let (case, crosschecks) = check_aces_app(&app);
+        let (case, crosschecks, halt) = check_aces_app(&app, &limits);
         assert!(!case.failed(), "{:?}", case);
         assert!(crosschecks.iter().all(|x| x.ok), "{crosschecks:?}");
+        assert_eq!(halt, BudgetHalt::Ran);
     }
 
     #[test]
     fn pinlock_lockstep_has_zero_divergences() {
         let app = opec_apps::programs::pinlock::app();
-        let case = lockstep_opec_app(&app);
+        let (case, halt) = lockstep_opec_app(&app, FUEL);
         assert_eq!(case.total, 0, "OPEC: {:?}", case.divergences);
         assert!(case.run_error.is_none(), "{:?}", case.run_error);
         assert!(case.checks > 0 && case.switches > 0);
-        let case = lockstep_aces_app(&app);
+        assert_eq!(halt, BudgetHalt::Ran);
+        let (case, _) = lockstep_aces_app(&app, FUEL);
         assert_eq!(case.total, 0, "ACES: {:?}", case.divergences);
-        let case = lockstep_generated(0);
+        let (case, _) = lockstep_generated(0, FUEL);
         assert_eq!(case.total, 0, "gen[0]: {:?}", case.divergences);
+    }
+
+    #[test]
+    fn lockstep_under_tight_fuel_halts_both_sides_identically() {
+        // Fuel bounds the lockstep pair identically: both sides stop at
+        // the same instruction, compare equal, and the job surfaces the
+        // truncation as FuelExhausted instead of diverging or hanging.
+        let app = opec_apps::programs::pinlock::app();
+        let (case, halt) = lockstep_opec_app(&app, 10_000);
+        assert_eq!(case.total, 0, "tight fuel: {:?}", case.divergences);
+        assert_eq!(halt, BudgetHalt::Fuel);
+    }
+
+    #[test]
+    fn case_payload_roundtrips_byte_identically() {
+        let case = CaseResult {
+            name: "gen[3]".into(),
+            system: "OPEC",
+            divergences: vec!["op 1: escape \"quoted\"".into(), "op 2".into()],
+            total: 2,
+            checks: 10,
+            probes: 4,
+            switches: 2,
+            run_error: Some("late \\ fail".into()),
+            shrunk: Some("seed 3\nmain: call op1".into()),
+            note: Some("n".into()),
+        };
+        let payload = case_json(&case);
+        let doc = json::parse(&payload).unwrap();
+        let back = case_from(&doc).unwrap();
+        assert_eq!(case, back);
+        // And re-rendering yields the same bytes — the property the
+        // journal's byte-identical resume relies on.
+        assert_eq!(payload, case_json(&back));
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //!                                               check)
 //! --shrink         shrink divergent firmwares   (check)
 //! --lockstep       cached-vs-plain equivalence  (check)
+//! --fuel N         guest instruction budget     (attack-matrix, check,
+//!                  per campaign job              bench-vm)
+//! --timeout SECS   wall-clock watchdog per job  (attack-matrix, check,
+//!                  attempt; 0 disarms it         bench-vm)
+//! --journal FILE   crash-safe job journal;      (attack-matrix, check,
+//!                  rerun to resume               bench-vm)
+//! --workers N      campaign worker threads      (attack-matrix, check,
+//!                                               bench-vm)
 //! --out DIR        output directory             (csv)
 //! --obs-json FILE  observability metrics JSON   (report)
 //! --trace FILE     Chrome trace_event JSON      (report)
@@ -52,6 +60,16 @@ pub struct CliArgs {
     /// `--lockstep`: run the cached-vs-plain execution equivalence
     /// check instead of the differential oracle.
     pub lockstep: bool,
+    /// `--fuel N`: guest instruction budget per campaign job.
+    pub fuel: Option<u64>,
+    /// `--timeout SECS`: wall-clock watchdog per job attempt (0
+    /// disarms it).
+    pub timeout: Option<u64>,
+    /// `--journal FILE`: crash-safe campaign journal; rerunning with
+    /// the same path resumes, skipping recorded jobs.
+    pub journal: Option<String>,
+    /// `--workers N`: campaign worker threads.
+    pub workers: Option<usize>,
     /// Positional operands (legacy `csv DIR` / `bench-json FILE`).
     pub positional: Vec<String>,
 }
@@ -81,6 +99,21 @@ impl CliArgs {
                 "--funcs" => out.funcs = true,
                 "--shrink" => out.shrink = true,
                 "--lockstep" => out.lockstep = true,
+                "--fuel" => {
+                    let v = need(&mut args, "--fuel")?;
+                    out.fuel = Some(v.parse().map_err(|e| format!("bad --fuel value {v:?}: {e}"))?);
+                }
+                "--timeout" => {
+                    let v = need(&mut args, "--timeout")?;
+                    out.timeout =
+                        Some(v.parse().map_err(|e| format!("bad --timeout value {v:?}: {e}"))?);
+                }
+                "--journal" => out.journal = Some(need(&mut args, "--journal")?),
+                "--workers" => {
+                    let v = need(&mut args, "--workers")?;
+                    out.workers =
+                        Some(v.parse().map_err(|e| format!("bad --workers value {v:?}: {e}"))?);
+                }
                 f if f.starts_with('-') => return Err(format!("unknown flag {f}")),
                 other => out.positional.push(other.to_string()),
             }
@@ -103,6 +136,10 @@ impl CliArgs {
                 "--funcs" => self.funcs,
                 "--shrink" => self.shrink,
                 "--lockstep" => self.lockstep,
+                "--fuel" => self.fuel.is_some(),
+                "--timeout" => self.timeout.is_some(),
+                "--journal" => self.journal.is_some(),
+                "--workers" => self.workers.is_some(),
                 "positional" => !self.positional.is_empty(),
                 _ => false,
             }
@@ -118,6 +155,10 @@ impl CliArgs {
             "--funcs",
             "--shrink",
             "--lockstep",
+            "--fuel",
+            "--timeout",
+            "--journal",
+            "--workers",
             "positional",
         ] {
             if set(name) && !allowed.contains(&name) {
@@ -216,6 +257,25 @@ mod tests {
         // But a positional where none is accepted names the operand.
         let err = b.forbid_unused("check", &["--seeds", "--json", "--shrink"]).unwrap_err();
         assert!(err.contains("timings.json"), "{err}");
+    }
+
+    #[test]
+    fn campaign_flags_parse_and_are_guarded() {
+        let a =
+            parse(&["--fuel", "5000", "--timeout", "30", "--journal", "j.jsonl", "--workers", "4"])
+                .unwrap();
+        assert_eq!(a.fuel, Some(5000));
+        assert_eq!(a.timeout, Some(30));
+        assert_eq!(a.journal.as_deref(), Some("j.jsonl"));
+        assert_eq!(a.workers, Some(4));
+        assert!(parse(&["--fuel", "x"]).unwrap_err().contains("bad --fuel"));
+        assert!(parse(&["--workers"]).unwrap_err().contains("needs a value"));
+        // Campaign flags are rejected by non-campaign subcommands.
+        let err = a.forbid_unused("table1", &[]).unwrap_err();
+        assert!(err.contains("--fuel"), "{err}");
+        assert!(a
+            .forbid_unused("check", &["--fuel", "--timeout", "--journal", "--workers"])
+            .is_ok());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   Figure 11, and Table 3, as aligned text tables and CSV series;
 //! * [`table`] — a small text-table formatter;
 //! * [`cli`] — one shared flag vocabulary for every subcommand;
+//! * [`engine`] — the eval-side face of the shared campaign engine
+//!   (`opec-campaign`): CLI flags resolved to fuel budgets, watchdog
+//!   deadlines, worker counts, and the checkpoint journal that
+//!   `attack-matrix`, `check`, and `bench-vm` all run under;
 //! * [`obsreport`] — the `report` subcommand: per-operation overhead
 //!   breakdowns, metrics JSON, and Chrome `trace_event` exports cut
 //!   from the [`opec_obs`] stream, OPEC and ACES measured identically;
@@ -48,6 +52,7 @@ pub mod benchvm;
 pub mod cache;
 pub mod check;
 pub mod cli;
+pub mod engine;
 pub mod metrics;
 pub mod obsreport;
 pub mod report;

@@ -12,6 +12,8 @@
 
 use std::io::Write as _;
 
+use opec_apps::programs::all_apps;
+use opec_eval::engine::EngineOpts;
 use opec_eval::{attack, benchjson, benchvm, check, obsreport, report, CliArgs};
 
 /// The usage text (`opec-eval help`).
@@ -29,7 +31,7 @@ opec-eval — regenerate the paper's tables and figures
   opec-eval csv [--out DIR]     every table/figure as CSV (default: results/)
   opec-eval bench-json [--json FILE]
                                 machine-readable timings (default: stdout)
-  opec-eval bench-vm [--seeds N] [--json FILE]
+  opec-eval bench-vm [--seeds N] [--json FILE] [CAMPAIGN FLAGS]
                                 VM fast-path benchmark (BENCH_vm.json):
                                 plain vs pre-decoded instructions/sec per app,
                                 campaign resets/sec (rebuild vs snapshot
@@ -37,9 +39,10 @@ opec-eval — regenerate the paper's tables and figures
                                 plain lockstep sweep over 12 apps + N
                                 generated firmwares (default: 16).
                                 Exits 1 on any lockstep divergence.
-  opec-eval attack-matrix [--seeds N] [--json FILE]
+  opec-eval attack-matrix [--seeds N] [--json FILE] [CAMPAIGN FLAGS]
                                 §7 containment matrix (default: 4 seeds)
   opec-eval check [--seeds N] [--shrink] [--lockstep] [--json FILE]
+                  [CAMPAIGN FLAGS]
                                 differential security oracle: every app under
                                 OPEC (comparison apps also under ACES) plus N
                                 generated firmwares (default: 16), run in
@@ -67,8 +70,34 @@ opec-eval — regenerate the paper's tables and figures
                                               in the ring (bigger traces)
                                 Exits 1 if any ring shed events.
 
+CAMPAIGN FLAGS (bench-vm, attack-matrix, check): these subcommands run
+their VM work as supervised campaign jobs — fuel-budgeted, watchdogged,
+panic-contained, and resumable.
+
+  --fuel N        guest instruction budget per job (default: 200e6)
+  --timeout SECS  wall-clock watchdog per job attempt; 0 disarms it
+                  (default: 120; always disarmed for lockstep runs,
+                  where wall-clock would manufacture divergence)
+  --journal FILE  crash-safe job journal (JSONL, fsynced); rerunning
+                  with the same path resumes, skipping recorded jobs —
+                  the aggregate output is byte-identical to an
+                  uninterrupted run
+  --workers N     campaign worker threads (default: one per core)
+
+Exit codes: 0 clean; 1 hard failures (escapes, divergences, crashes);
+2 usage errors; 3 no hard failures but unknown outcomes — jobs that
+exhausted fuel, timed out, or panicked, or verdicts left undecided.
+
 Legacy positional forms `csv DIR` and `bench-json FILE` still work.
 ";
+
+/// The subcommand's own flags plus the shared campaign supervision
+/// flags (`bench-vm`, `attack-matrix`, and `check` all accept them).
+fn campaign_flags(base: &[&'static str]) -> Vec<&'static str> {
+    let mut v = base.to_vec();
+    v.extend(["--fuel", "--timeout", "--journal", "--workers"]);
+    v
+}
 
 fn fail(msg: &str) -> ! {
     eprintln!("opec-eval: {msg}");
@@ -168,10 +197,12 @@ fn main() {
             }
         }
         "bench-vm" => {
-            no_flags(&["--seeds", "--json"]);
+            no_flags(&campaign_flags(&["--seeds", "--json"]));
             let seeds = args.seeds.unwrap_or(16);
+            let engine = EngineOpts::from_args(&args);
             let out = args.json.clone().map(|p| (create(&p), p));
-            let (json, divergences) = benchvm::bench_vm(seeds);
+            let (json, divergences, campaign) =
+                benchvm::bench_vm_campaign(seeds, &engine).unwrap_or_else(|e| fail(&e));
             match out {
                 Some((mut file, path)) => {
                     file.write_all(json.as_bytes()).expect("write BENCH_vm.json");
@@ -179,23 +210,34 @@ fn main() {
                 }
                 None => print!("{json}"),
             }
+            eprintln!("[opec-eval] {}", campaign.summary());
             if divergences > 0 {
                 eprintln!("[opec-eval] bench-vm FAILED: {divergences} lockstep divergences");
                 std::process::exit(1);
             }
+            if campaign.unknown() > 0 {
+                eprintln!(
+                    "[opec-eval] bench-vm UNKNOWN: {} lockstep jobs without a verdict",
+                    campaign.unknown()
+                );
+                std::process::exit(3);
+            }
             eprintln!("[opec-eval] bench-vm clean: decoded path lockstep-identical");
         }
         "attack-matrix" => {
-            no_flags(&["--seeds", "--json"]);
+            no_flags(&campaign_flags(&["--seeds", "--json"]));
             let seeds = args.seeds.unwrap_or(4);
+            let engine = EngineOpts::from_args(&args);
             let out = args.json.clone().map(|p| (create(&p), p));
             eprintln!("[opec-eval] running attack campaigns ({seeds} seeds per cell)...");
-            let matrix = attack::attack_matrix(seeds);
+            let (matrix, campaign) = attack::attack_matrix_campaign(&all_apps(), seeds, &engine)
+                .unwrap_or_else(|e| fail(&e));
             print!("{}", matrix.render());
             if let Some((mut file, path)) = out {
                 file.write_all(matrix.to_json().as_bytes()).expect("write matrix JSON");
                 eprintln!("[opec-eval] wrote {path}");
             }
+            eprintln!("[opec-eval] {}", campaign.summary());
             let failures = matrix.failures();
             if !failures.is_empty() {
                 eprintln!("[opec-eval] containment FAILURES:");
@@ -204,13 +246,24 @@ fn main() {
                 }
                 std::process::exit(1);
             }
+            let unknown = campaign.unknown() + matrix.undecided();
+            if unknown > 0 {
+                eprintln!(
+                    "[opec-eval] attack-matrix UNKNOWN: {} jobs without a final outcome, \
+                     {} undecided verdicts (raise --fuel / --timeout)",
+                    campaign.unknown(),
+                    matrix.undecided()
+                );
+                std::process::exit(3);
+            }
             eprintln!("[opec-eval] containment matrix clean: no OPEC escapes, no crashes");
         }
         "check" => {
-            no_flags(&["--seeds", "--json", "--shrink", "--lockstep"]);
+            no_flags(&campaign_flags(&["--seeds", "--json", "--shrink", "--lockstep"]));
             let seeds = args.seeds.unwrap_or(16);
+            let engine = EngineOpts::from_args(&args);
             let out = args.json.clone().map(|p| (create(&p), p));
-            let rep = if args.lockstep {
+            let (rep, campaign) = if args.lockstep {
                 if args.shrink {
                     fail("--shrink does not apply to --lockstep");
                 }
@@ -218,19 +271,24 @@ fn main() {
                     "[opec-eval] cached-vs-plain lockstep: 12 apps + {seeds} generated \
                      firmwares, each run under both execution modes..."
                 );
-                check::run_lockstep(seeds)
+                check::run_lockstep_campaign(seeds, &engine).unwrap_or_else(|e| fail(&e))
             } else {
                 eprintln!(
                     "[opec-eval] differential oracle: 7 apps + {seeds} generated firmwares \
                      (OPEC and ACES)..."
                 );
-                check::run_check(&check::CheckOptions { seeds, shrink: args.shrink })
+                check::run_check_campaign(
+                    &check::CheckOptions { seeds, shrink: args.shrink },
+                    &engine,
+                )
+                .unwrap_or_else(|e| fail(&e))
             };
             print!("{}", rep.render());
             if let Some((mut file, path)) = out {
                 file.write_all(rep.to_json().as_bytes()).expect("write oracle JSON");
                 eprintln!("[opec-eval] wrote {path}");
             }
+            eprintln!("[opec-eval] {}", campaign.summary());
             let failures = rep.failures();
             if !failures.is_empty() {
                 eprintln!(
@@ -241,6 +299,14 @@ fn main() {
                     eprintln!("  {f}");
                 }
                 std::process::exit(1);
+            }
+            if campaign.unknown() > 0 {
+                eprintln!(
+                    "[opec-eval] check UNKNOWN: {} jobs without a final outcome \
+                     (raise --fuel / --timeout)",
+                    campaign.unknown()
+                );
+                std::process::exit(3);
             }
             if args.lockstep {
                 eprintln!(

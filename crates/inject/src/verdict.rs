@@ -11,8 +11,12 @@ pub enum CampaignResult {
     Completed,
     /// The VM terminated the run with a typed trap.
     Aborted(TrapError),
-    /// The VM failed for a non-trap reason (fuel, frame limit, …).
+    /// The VM failed for a non-trap reason (frame limit, …).
     OtherError(String),
+    /// The guest exhausted its deterministic instruction budget.
+    FuelExhausted,
+    /// The host wall-clock watchdog stopped the run.
+    TimedOut,
     /// The *host* panicked — a robustness bug, never a valid outcome.
     Panicked(String),
 }
@@ -40,6 +44,13 @@ pub enum Verdict {
     },
     /// The attack never fired in this configuration.
     NotApplicable,
+    /// The run was bounded (fuel or wall clock) before the attack's
+    /// effect could be judged — an unknown outcome, distinct from both
+    /// a crash (host bug) and n/a (attack provably never fired).
+    Undecided {
+        /// Why the judgement could not be made.
+        reason: String,
+    },
 }
 
 impl Verdict {
@@ -50,6 +61,7 @@ impl Verdict {
             Verdict::Escaped { .. } => "ESCAPED",
             Verdict::Crashed { .. } => "CRASHED",
             Verdict::NotApplicable => "n/a",
+            Verdict::Undecided { .. } => "UNDECIDED",
         }
     }
 }
@@ -92,6 +104,17 @@ pub fn score(
             InjectOutcome::Armed | InjectOutcome::Skipped => {}
         }
     }
+    // Nothing decisive in the log. Fuel exhaustion keeps its
+    // long-standing meaning here: attacks gated on operations the
+    // workload never enters spin their fuel down without firing, and
+    // that is a provable n/a. A watchdog stop, by contrast, says
+    // nothing about the guest — the attack might have fired a cycle
+    // later — so it stays unknown.
+    if matches!(result, CampaignResult::TimedOut) {
+        return Verdict::Undecided {
+            reason: "watchdog stopped the run before the attack was judged".to_string(),
+        };
+    }
     Verdict::NotApplicable
 }
 
@@ -114,6 +137,15 @@ fn score_applied(kind: AttackKind, result: &CampaignResult) -> Verdict {
         },
         CampaignResult::OtherError(e) => Verdict::Crashed { detail: clip(e) },
         CampaignResult::Panicked(e) => Verdict::Crashed { detail: clip(e) },
+        // The perturbation was applied, but the run was bounded before
+        // its effect resolved into a trap or a completion: neither
+        // containment nor escape is proven.
+        CampaignResult::FuelExhausted => Verdict::Undecided {
+            reason: format!("fuel exhausted after {} was applied", kind.name()),
+        },
+        CampaignResult::TimedOut => Verdict::Undecided {
+            reason: format!("watchdog fired after {} was applied", kind.name()),
+        },
     }
 }
 
@@ -201,5 +233,28 @@ mod tests {
         );
         let v = score(AttackKind::DataWrite, &[], &CampaignResult::Panicked("boom".into()));
         assert!(matches!(v, Verdict::Crashed { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn bounded_runs_are_undecided_not_crashed() {
+        // An applied perturbation whose run was cut short by fuel or
+        // the watchdog proves neither containment nor escape.
+        let applied =
+            vec![(InjectAction::FlipBit { addr: 0x2000_0000, bit: 7 }, InjectOutcome::Applied)];
+        for result in [CampaignResult::FuelExhausted, CampaignResult::TimedOut] {
+            let v = score(AttackKind::ShadowBitFlip, &applied, &result);
+            assert_eq!(v.label(), "UNDECIDED", "{result:?} -> {v:?}");
+        }
+        // An undecisive log + fuel exhaustion keeps its historical
+        // meaning: the attack provably never fired.
+        assert_eq!(
+            score(AttackKind::DataWrite, &[], &CampaignResult::FuelExhausted).label(),
+            "n/a"
+        );
+        // …but a watchdog stop with an undecisive log is unknown.
+        assert_eq!(
+            score(AttackKind::DataWrite, &[], &CampaignResult::TimedOut).label(),
+            "UNDECIDED"
+        );
     }
 }

@@ -270,6 +270,37 @@ pub enum Event {
         /// Final retired-instruction count.
         insts: u64,
     },
+    /// A campaign job reached a supervision milestone (final outcome,
+    /// retry, or resume-skip). Emitted by the campaign engine after the
+    /// worker pool joins, in job-definition order, so the event stream
+    /// is deterministic regardless of worker interleaving.
+    Job {
+        /// What happened to the job.
+        kind: JobEventKind,
+        /// Which attempt the milestone belongs to (1-based).
+        attempt: u8,
+    },
+}
+
+/// The supervision milestone of a campaign job (mirrors the campaign
+/// engine's `JobOutcome` without its payloads, so the event stays
+/// `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEventKind {
+    /// The job's VM work ran to completion and its payload was
+    /// journaled.
+    Completed,
+    /// The guest exhausted its deterministic instruction budget.
+    FuelExhausted,
+    /// The host wall-clock watchdog fired before the guest finished.
+    TimedOut,
+    /// The job's closure panicked and was contained by `catch_unwind`.
+    Panicked,
+    /// A failed attempt was retried with fresh state.
+    Retried,
+    /// The job was skipped because a journal from a previous run
+    /// already records its outcome.
+    Resumed,
 }
 
 /// An event with its simulated-cycle timestamp (the DWT view).

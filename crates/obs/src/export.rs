@@ -209,6 +209,10 @@ pub fn chrome_trace(events: &[Stamped], label: &str) -> String {
                 let args = format!("\"insts\":{insts}");
                 push_trace_record(&mut out, &mut first, 'i', "run end", "run", ts, &args);
             }
+            Event::Job { kind, attempt } => {
+                let args = format!("\"kind\":\"{kind:?}\",\"attempt\":{attempt}");
+                push_trace_record(&mut out, &mut first, 'i', "job", "campaign", ts, &args);
+            }
         }
     }
     // Streams cut short by a full ring may still have open spans.
@@ -262,7 +266,7 @@ pub fn metrics_json(m: &Metrics) -> String {
         ));
     }
     format!(
-        "{{\"ops\":[{}],\"totals\":{{\"switches\":{},\"switch_cycles\":{},\"insts\":{},\"cycles\":{},\"events\":{},\"mpu_loads\":{},\"mpu_region_writes\":{},\"injections\":{}}}}}",
+        "{{\"ops\":[{}],\"totals\":{{\"switches\":{},\"switch_cycles\":{},\"insts\":{},\"cycles\":{},\"events\":{},\"mpu_loads\":{},\"mpu_region_writes\":{},\"injections\":{},\"jobs_completed\":{},\"jobs_fuel_exhausted\":{},\"jobs_timed_out\":{},\"jobs_panicked\":{},\"jobs_retried\":{},\"jobs_resumed\":{}}}}}",
         ops.join(","),
         m.total_switches(),
         m.total_switch_cycles(),
@@ -272,6 +276,12 @@ pub fn metrics_json(m: &Metrics) -> String {
         m.mpu_loads,
         m.mpu_region_writes,
         m.injections,
+        m.jobs_completed,
+        m.jobs_fuel_exhausted,
+        m.jobs_timed_out,
+        m.jobs_panicked,
+        m.jobs_retried,
+        m.jobs_resumed,
     )
 }
 

@@ -36,7 +36,8 @@ pub mod ring;
 pub mod sink;
 
 pub use event::{
-    Access, Dir, Event, InjectKind, InjectVerdict, OpId, OracleKind, OracleLayer, Stamped, TrapKind,
+    Access, Dir, Event, InjectKind, InjectVerdict, JobEventKind, OpId, OracleKind, OracleLayer,
+    Stamped, TrapKind,
 };
 pub use export::{chrome_trace, event_log, histogram_json, metrics_json};
 pub use metrics::{Histogram, Metrics, OpMetrics, Recorder};

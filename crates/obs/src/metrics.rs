@@ -6,7 +6,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::event::{Access, Dir, Event, OpId, Stamped};
+use crate::event::{Access, Dir, Event, JobEventKind, OpId, Stamped};
 use crate::ring::RingBuffer;
 use crate::sink::Sink;
 
@@ -219,6 +219,18 @@ pub struct Metrics {
     pub total_insts: u64,
     /// Timestamp of [`Event::RunEnd`] (the run's cycle count).
     pub run_cycles: u64,
+    /// Campaign jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Campaign jobs that exhausted their instruction budget.
+    pub jobs_fuel_exhausted: u64,
+    /// Campaign jobs stopped by the wall-clock watchdog.
+    pub jobs_timed_out: u64,
+    /// Campaign jobs whose closure panicked (contained, not fatal).
+    pub jobs_panicked: u64,
+    /// Retry attempts issued for failed campaign jobs.
+    pub jobs_retried: u64,
+    /// Campaign jobs skipped on resume (outcome already journaled).
+    pub jobs_resumed: u64,
     // Attribution state.
     op_stack: Vec<OpId>,
     open_switch: Vec<u64>,
@@ -335,6 +347,14 @@ impl Metrics {
                 self.total_insts = insts;
                 self.run_cycles = ev.t;
             }
+            Event::Job { kind, .. } => match kind {
+                JobEventKind::Completed => self.jobs_completed += 1,
+                JobEventKind::FuelExhausted => self.jobs_fuel_exhausted += 1,
+                JobEventKind::TimedOut => self.jobs_timed_out += 1,
+                JobEventKind::Panicked => self.jobs_panicked += 1,
+                JobEventKind::Retried => self.jobs_retried += 1,
+                JobEventKind::Resumed => self.jobs_resumed += 1,
+            },
         }
     }
 }

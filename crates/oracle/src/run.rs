@@ -2,13 +2,14 @@
 //! oracle attached, for both enforcement stacks.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 use opec_aces::{build_aces_image, AcesRuntime, AcesStrategy};
 use opec_armv7m::Machine;
 use opec_core::{compile, OpecMonitor, SystemPolicy};
 use opec_ir::FuncId;
 use opec_obs::{Obs, OpId};
-use opec_vm::Vm;
+use opec_vm::{Vm, VmError};
 
 use crate::divergence::Divergence;
 use crate::gen::FirmwareSpec;
@@ -17,6 +18,35 @@ use crate::shadow::shadow;
 
 /// Fuel for generated firmwares — they are tiny; this is generous.
 pub const GEN_FUEL: u64 = 5_000_000;
+
+/// Resource bounds for one oracle run: the deterministic guest fuel
+/// budget plus an optional host wall-clock deadline. The default is
+/// [`GEN_FUEL`] with no deadline — the historical behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct RunBudget {
+    /// Guest instruction budget.
+    pub fuel: u64,
+    /// Host wall-clock deadline, armed via `Vm::set_deadline`.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for RunBudget {
+    fn default() -> RunBudget {
+        RunBudget { fuel: GEN_FUEL, deadline: None }
+    }
+}
+
+/// Why a bounded run stopped early. Distinct from
+/// [`Verdict::run_error`]: hitting a budget is expected supervision,
+/// not a guest failure, and the divergence counts collected up to the
+/// stop are still meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunHalt {
+    /// The guest exhausted [`RunBudget::fuel`].
+    FuelExhausted,
+    /// The wall-clock deadline passed.
+    TimedOut,
+}
 
 /// The oracle's verdict over one run.
 #[derive(Debug, Default)]
@@ -35,6 +65,9 @@ pub struct Verdict {
     pub exec: BTreeMap<OpId, BTreeSet<FuncId>>,
     /// The VM's terminal error, if the run did not end cleanly.
     pub run_error: Option<String>,
+    /// Set when the run was stopped by its budget rather than by the
+    /// guest; `run_error` stays `None` in that case.
+    pub halt: Option<RunHalt>,
 }
 
 impl Verdict {
@@ -44,13 +77,33 @@ impl Verdict {
     }
 }
 
+/// Splits a run's terminal error into (budget halt, guest error).
+fn classify(err: Option<VmError>) -> (Option<RunHalt>, Option<String>) {
+    match err {
+        None => (None, None),
+        Some(VmError::OutOfFuel) => (Some(RunHalt::FuelExhausted), None),
+        Some(VmError::TimedOut) => (Some(RunHalt::TimedOut), None),
+        Some(e) => (None, Some(format!("{e:?}"))),
+    }
+}
+
 /// Runs a generated firmware under the full OPEC stack with the shadow
-/// oracle attached. `mutate` tampers with the *enforced* policy after
-/// the ground-truth matrix is derived — the hook the broken-MPU
-/// self-tests use to prove the oracle catches enforcement bugs.
+/// oracle attached, under the default [`RunBudget`]. `mutate` tampers
+/// with the *enforced* policy after the ground-truth matrix is derived
+/// — the hook the broken-MPU self-tests use to prove the oracle
+/// catches enforcement bugs.
 pub fn run_opec(
     spec: &FirmwareSpec,
     mutate: Option<&dyn Fn(&mut SystemPolicy)>,
+) -> Result<Verdict, String> {
+    run_opec_with(spec, mutate, &RunBudget::default())
+}
+
+/// [`run_opec`] under an explicit budget.
+pub fn run_opec_with(
+    spec: &FirmwareSpec,
+    mutate: Option<&dyn Fn(&mut SystemPolicy)>,
+    budget: &RunBudget,
 ) -> Result<Verdict, String> {
     let board = spec.board();
     let module = spec.build_module();
@@ -69,7 +122,8 @@ pub fn run_opec(
         .watcher(watcher)
         .build()
         .map_err(|e| format!("image: {e:?}"))?;
-    let run_error = vm.run(GEN_FUEL).err().map(|e| format!("{e:?}"));
+    vm.set_deadline(budget.deadline);
+    let (halt, run_error) = classify(vm.run(budget.fuel).err());
     let st = handle.take();
     Ok(Verdict {
         divergences: st.divergences,
@@ -79,12 +133,18 @@ pub fn run_opec(
         switches: st.switches,
         exec: st.exec,
         run_error,
+        halt,
     })
 }
 
 /// Runs a generated firmware under the ACES stack (Filename strategy)
-/// with the shadow oracle attached.
+/// with the shadow oracle attached, under the default [`RunBudget`].
 pub fn run_aces(spec: &FirmwareSpec) -> Result<Verdict, String> {
+    run_aces_with(spec, &RunBudget::default())
+}
+
+/// [`run_aces`] under an explicit budget.
+pub fn run_aces_with(spec: &FirmwareSpec, budget: &RunBudget) -> Result<Verdict, String> {
     let board = spec.board();
     let module = spec.build_module();
     let out = build_aces_image(module, board, AcesStrategy::Filename)
@@ -114,7 +174,8 @@ pub fn run_aces(spec: &FirmwareSpec) -> Result<Verdict, String> {
         .watcher(watcher)
         .build()
         .map_err(|e| format!("image: {e:?}"))?;
-    let run_error = vm.run(GEN_FUEL).err().map(|e| format!("{e:?}"));
+    vm.set_deadline(budget.deadline);
+    let (halt, run_error) = classify(vm.run(budget.fuel).err());
     let st = handle.take();
     Ok(Verdict {
         divergences: st.divergences,
@@ -124,5 +185,6 @@ pub fn run_aces(spec: &FirmwareSpec) -> Result<Verdict, String> {
         switches: st.switches,
         exec: st.exec,
         run_error,
+        halt,
     })
 }

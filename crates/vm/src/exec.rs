@@ -118,6 +118,11 @@ pub enum VmError {
     },
     /// The fuel budget was exhausted.
     OutOfFuel,
+    /// The wall-clock deadline (see [`Vm::set_deadline`]) passed. Fuel
+    /// is the deterministic guest budget; the deadline is the host
+    /// watchdog that bounds runs whose *host* cost per instruction is
+    /// pathological.
+    TimedOut,
     /// Call depth exceeded the frame limit.
     StackExhausted,
     /// Internal inconsistency (a bug in the image or VM).
@@ -132,6 +137,7 @@ impl core::fmt::Display for VmError {
                 write!(f, "indirect call to non-function address {target:#010x}")
             }
             VmError::OutOfFuel => write!(f, "fuel exhausted"),
+            VmError::TimedOut => write!(f, "wall-clock deadline exceeded"),
             VmError::StackExhausted => write!(f, "frame limit exceeded"),
             VmError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -249,6 +255,11 @@ pub struct Vm<S: Supervisor> {
     frames: Vec<Frame>,
     irq_depth: u32,
     exec_mode: ExecMode,
+    /// Host wall-clock watchdog: when set, the run loop returns
+    /// [`VmError::TimedOut`] once `Instant::now()` passes it. Config,
+    /// not state: snapshots do not capture it and restore does not
+    /// touch it, exactly like the injector and the watcher.
+    deadline: Option<std::time::Instant>,
     /// Lazily filled decoded-block cache, one entry per function.
     decoded: Vec<Option<Rc<DecodedFunc>>>,
     /// How many times this VM booted (reset + supervisor init + entry
@@ -308,6 +319,7 @@ pub struct VmBuilder<S: Supervisor = NullSupervisor> {
     obs: Obs,
     containment: ContainmentMode,
     exec_mode: ExecMode,
+    deadline: Option<std::time::Instant>,
 }
 
 impl Vm<NullSupervisor> {
@@ -327,6 +339,7 @@ impl Vm<NullSupervisor> {
             obs: Obs::disabled(),
             containment: ContainmentMode::Terminate,
             exec_mode: ExecMode::Decoded,
+            deadline: None,
         }
     }
 }
@@ -343,6 +356,7 @@ impl<S: Supervisor> VmBuilder<S> {
             obs: self.obs,
             containment: self.containment,
             exec_mode: self.exec_mode,
+            deadline: self.deadline,
         }
     }
 
@@ -379,6 +393,12 @@ impl<S: Supervisor> VmBuilder<S> {
         self
     }
 
+    /// Arms the host wall-clock watchdog (see [`Vm::set_deadline`]).
+    pub fn deadline(mut self, deadline: std::time::Instant) -> VmBuilder<S> {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Programs the image into the machine, wires the observability
     /// handle through every layer, and yields a VM ready to
     /// [`run`](Vm::run).
@@ -392,6 +412,7 @@ impl<S: Supervisor> VmBuilder<S> {
             obs,
             containment,
             exec_mode,
+            deadline,
         } = self;
         image.load_into(&mut machine)?;
         machine.mpu.attach_obs(obs.clone());
@@ -416,6 +437,7 @@ impl<S: Supervisor> VmBuilder<S> {
             frames: Vec::new(),
             irq_depth: 0,
             exec_mode,
+            deadline,
             decoded: vec![None; num_funcs],
             boots: 0,
         })
@@ -509,6 +531,17 @@ impl<S: Supervisor> Vm<S> {
                     self.contain(e)?;
                     continue;
                 }
+                // Host wall-clock watchdog. Decoded spans stop at these
+                // same boundaries, so both exec modes poll at identical
+                // instruction counts; the extra 8k-instruction throttle
+                // keeps the clock syscall off the fast path.
+                if remaining & 8191 == 0 {
+                    if let Some(deadline) = self.deadline {
+                        if std::time::Instant::now() >= deadline {
+                            return Err(VmError::TimedOut);
+                        }
+                    }
+                }
             }
             // Fault injection between instructions.
             if self.injector.is_some() {
@@ -560,6 +593,17 @@ impl<S: Supervisor> Vm<S> {
     /// booted device serves every seed.
     pub fn set_injector(&mut self, injector: Option<Box<dyn Injector>>) {
         self.injector = injector;
+    }
+
+    /// Arms (or disarms) the host wall-clock watchdog: once
+    /// `Instant::now()` passes `deadline`, the run loop returns
+    /// [`VmError::TimedOut`] at the next poll boundary (every 8192
+    /// instructions, identically placed in both exec modes). Like the
+    /// injector, the deadline is configuration: snapshots do not
+    /// capture it and [`Vm::restore`] leaves it alone, so campaign
+    /// drivers re-arm it per attempt.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
     }
 
     /// Mutates the loaded image and drops every decoded block, so the

@@ -167,6 +167,56 @@ fn infinite_loop_runs_out_of_fuel() {
     assert_eq!(vm.run(10_000).unwrap_err(), VmError::OutOfFuel);
 }
 
+fn spin_module() -> opec_ir::Module {
+    let mut mb = ModuleBuilder::new("t");
+    mb.func("main", vec![], None, "a.c", |fb| {
+        let spin = fb.block();
+        fb.br(spin);
+        fb.switch_to(spin);
+        fb.br(spin);
+    });
+    mb.finish()
+}
+
+#[test]
+fn expired_deadline_times_out_in_both_exec_modes() {
+    for mode in [ExecMode::Plain, ExecMode::Decoded] {
+        let board = Board::stm32f4_discovery();
+        let image = link_baseline(spin_module(), board).unwrap();
+        let mut vm = Vm::builder(Machine::new(board), image)
+            .supervisor(NullSupervisor)
+            .exec_mode(mode)
+            .deadline(std::time::Instant::now())
+            .build()
+            .unwrap();
+        assert_eq!(vm.run(DEFAULT_FUEL).unwrap_err(), VmError::TimedOut, "{mode:?}");
+    }
+}
+
+#[test]
+fn fuel_exhaustion_wins_under_a_live_deadline() {
+    let board = Board::stm32f4_discovery();
+    let image = link_baseline(spin_module(), board).unwrap();
+    let mut vm = Vm::builder(Machine::new(board), image)
+        .supervisor(NullSupervisor)
+        .deadline(std::time::Instant::now() + std::time::Duration::from_secs(3600))
+        .build()
+        .unwrap();
+    assert_eq!(vm.run(10_000).unwrap_err(), VmError::OutOfFuel);
+}
+
+#[test]
+fn generous_deadline_does_not_perturb_a_terminating_run() {
+    let mut mb = ModuleBuilder::new("t");
+    mb.func("main", vec![], Some(Ty::I32), "a.c", |fb| {
+        fb.ret(Operand::Imm(42));
+    });
+    let mut vm = boot(mb.finish(), NullSupervisor);
+    vm.set_deadline(Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)));
+    let out = vm.run(DEFAULT_FUEL).unwrap();
+    assert_eq!(out, RunOutcome::Returned { value: Some(42), cycles: out.cycles() });
+}
+
 #[test]
 fn mpu_violation_aborts_under_null_supervisor() {
     let mut mb = ModuleBuilder::new("t");
