@@ -134,7 +134,10 @@ impl AcesRuntime {
         }
         machine.clock.tick(opec_armv7m::clock::costs::MPU_REGION_WRITE * regions.len() as u64);
         self.obs.set_now(machine.clock.now());
-        machine.mpu.load_regions(&regions).map_err(|e| format!("ACES MPU programming: {e}"))?;
+        machine
+            .mpu_mut()
+            .load_regions(&regions)
+            .map_err(|e| format!("ACES MPU programming: {e}"))?;
         self.obs.emit(|| Event::CompartmentMode {
             comp,
             privileged: self.privileged[usize::from(comp)],
@@ -183,8 +186,8 @@ impl Supervisor for AcesRuntime {
     fn on_reset(&mut self, machine: &mut Machine) -> Result<(), TrapError> {
         self.current = vec![self.main_comp];
         self.load_mpu_for(machine, self.main_comp)?;
-        machine.mpu.enabled = true;
-        machine.mpu.priv_default_enabled = true;
+        machine.mpu_mut().enabled = true;
+        machine.mpu_mut().priv_default_enabled = true;
         machine.mode = self.mode_for(self.main_comp);
         Ok(())
     }

@@ -32,6 +32,7 @@ pub mod exception;
 pub mod machine;
 pub mod mem;
 pub mod mpu;
+pub mod prot;
 pub mod thumb;
 
 pub use board::Board;
@@ -40,6 +41,7 @@ pub use exception::{AccessKind, Exception, FaultCause, FaultInfo};
 pub use machine::{Machine, MachineSnapshot, MmioDevice};
 pub use mem::{AddressClass, MemRegion};
 pub use mpu::{AccessPerm, Mpu, MpuRegion, RegionAttr, MPU_MIN_REGION_SIZE, MPU_NUM_REGIONS};
+pub use prot::ProtectionUnit;
 
 /// Processor privilege level.
 ///

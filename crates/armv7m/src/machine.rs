@@ -21,6 +21,7 @@ use crate::clock::Clock;
 use crate::exception::{AccessKind, Exception, FaultCause, FaultInfo};
 use crate::mem::{ppb, AddressClass, MemRegion};
 use crate::mpu::{Mpu, MpuDecision};
+use crate::prot::ProtectionUnit;
 use crate::Mode;
 
 /// A memory-mapped peripheral model.
@@ -88,7 +89,7 @@ pub struct MachineSnapshot {
     clock: Clock,
     current_pc: u32,
     stats: MachineStats,
-    mpu: Mpu,
+    prot: Box<dyn ProtectionUnit>,
     ppb_regs: HashMap<u32, u32>,
     flash: Vec<u8>,
     sram: Vec<u8>,
@@ -101,8 +102,9 @@ pub struct Machine {
     pub board: Board,
     flash: Vec<u8>,
     sram: Vec<u8>,
-    /// The memory protection unit.
-    pub mpu: Mpu,
+    /// The pluggable memory-protection unit consulted on every checked
+    /// access (ARMv7-M MPU by default; swapped by backends).
+    prot: Box<dyn ProtectionUnit>,
     /// Current execution privilege.
     pub mode: Mode,
     /// Cycle clock.
@@ -128,11 +130,17 @@ impl Machine {
     /// Creates a machine for `board` with zeroed Flash and SRAM, MPU
     /// disabled, running privileged (the reset state).
     pub fn new(board: Board) -> Machine {
+        Machine::with_protection(board, Box::new(Mpu::new()))
+    }
+
+    /// Creates a machine for `board` with a caller-chosen protection
+    /// unit (backends install their own model here).
+    pub fn with_protection(board: Board, prot: Box<dyn ProtectionUnit>) -> Machine {
         Machine {
             board,
             flash: vec![0; board.flash.size as usize],
             sram: vec![0; board.sram.size as usize],
-            mpu: Mpu::new(),
+            prot,
             mode: Mode::Privileged,
             clock: Clock::new(),
             current_pc: board.flash.base,
@@ -144,6 +152,43 @@ impl Machine {
             snap_id: 0,
             next_snap_id: 1,
         }
+    }
+
+    /// The installed protection unit.
+    pub fn protection(&self) -> &dyn ProtectionUnit {
+        self.prot.as_ref()
+    }
+
+    /// The installed protection unit, mutably.
+    pub fn protection_mut(&mut self) -> &mut dyn ProtectionUnit {
+        self.prot.as_mut()
+    }
+
+    /// Replaces the installed protection unit.
+    pub fn set_protection(&mut self, prot: Box<dyn ProtectionUnit>) {
+        self.prot = prot;
+    }
+
+    /// The installed unit downcast to the ARMv7-M [`Mpu`], if it is one.
+    pub fn try_mpu(&self) -> Option<&Mpu> {
+        self.prot.as_any().downcast_ref::<Mpu>()
+    }
+
+    /// The installed unit downcast to the ARMv7-M [`Mpu`].
+    ///
+    /// Panics if another protection model is installed — for ARM-only
+    /// call sites (ACES runtime, ARMv7-M tests) where a different unit
+    /// is a logic error, not a recoverable condition.
+    pub fn mpu(&self) -> &Mpu {
+        self.try_mpu().expect("machine protection unit is not the ARMv7-M MPU")
+    }
+
+    /// Mutable ARMv7-M [`Mpu`] downcast; panics like [`Machine::mpu`].
+    pub fn mpu_mut(&mut self) -> &mut Mpu {
+        self.prot
+            .as_any_mut()
+            .downcast_mut::<Mpu>()
+            .expect("machine protection unit is not the ARMv7-M MPU")
     }
 
     /// Marks the pages covering `off..off + len` dirty. No-op until a
@@ -182,7 +227,7 @@ impl Machine {
             clock: self.clock.clone(),
             current_pc: self.current_pc,
             stats: self.stats,
-            mpu: self.mpu.clone(),
+            prot: self.prot.clone_unit(),
             ppb_regs: self.ppb_regs.clone(),
             flash: self.flash.clone(),
             sram: self.sram.clone(),
@@ -210,7 +255,7 @@ impl Machine {
         self.clock = snap.clock.clone();
         self.current_pc = snap.current_pc;
         self.stats = snap.stats;
-        self.mpu = snap.mpu.clone();
+        self.prot = snap.prot.clone_unit();
         self.ppb_regs.clone_from(&snap.ppb_regs);
         self.devices.clear();
         for d in &snap.devices {
@@ -311,7 +356,7 @@ impl Machine {
             self.stats.mmio_accesses += 1;
             return Ok(self.ppb_read(addr));
         }
-        if self.mpu.check_data(addr, len, false, mode) == MpuDecision::Denied {
+        if self.prot.check_data(addr, len, false, mode) == MpuDecision::Denied {
             self.stats.mem_faults += 1;
             return Err(Exception::MemManage(self.fault(
                 addr,
@@ -348,7 +393,7 @@ impl Machine {
             self.ppb_write(addr, value);
             return Ok(());
         }
-        if self.mpu.check_data(addr, len, true, mode) == MpuDecision::Denied {
+        if self.prot.check_data(addr, len, true, mode) == MpuDecision::Denied {
             self.stats.mem_faults += 1;
             return Err(Exception::MemManage(self.fault(
                 addr,
@@ -420,13 +465,11 @@ impl Machine {
     }
 
     fn ppb_write(&mut self, addr: u32, value: u32) {
-        // MPU_CTRL is live state: ENABLE (bit 0) and PRIVDEFENA (bit 2)
-        // drive the modelled MPU, so privileged code that reaches this
-        // register really does turn protection off.
-        if addr == ppb::MPU_CTRL {
-            self.mpu.enabled = value & 1 != 0;
-            self.mpu.priv_default_enabled = value & 4 != 0;
-        }
+        // Protection-unit control registers are live state (MPU_CTRL
+        // ENABLE/PRIVDEFENA drive the modelled MPU), so privileged code
+        // that reaches them really does turn protection off. The unit
+        // decides which addresses it owns.
+        self.prot.ppb_ctrl_write(addr, value);
         // DWT_CYCCNT writes reset the counter on real silicon; our clock
         // is the ground truth for the whole run, so we record the offset.
         self.ppb_regs.insert(addr, value);
@@ -570,7 +613,7 @@ mod tests {
     #[test]
     fn mpu_denial_raises_memmanage_with_pc() {
         let mut m = machine();
-        m.mpu.enabled = true;
+        m.mpu_mut().enabled = true;
         m.current_pc = 0x0800_1234;
         let err = m.store(0x2000_0000, 4, 7, Mode::Unprivileged).unwrap_err();
         match err {
@@ -587,8 +630,8 @@ mod tests {
     #[test]
     fn mpu_region_grants_unprivileged_access() {
         let mut m = machine();
-        m.mpu.enabled = true;
-        m.mpu
+        m.mpu_mut().enabled = true;
+        m.mpu_mut()
             .set_region(2, MpuRegion::new(0x2000_0000, 0x100, RegionAttr::read_write_xn()))
             .unwrap();
         m.store(0x2000_0010, 4, 42, Mode::Unprivileged).unwrap();
@@ -644,7 +687,7 @@ mod tests {
     #[test]
     fn flip_bit_is_physical_and_bounds_checked() {
         let mut m = machine();
-        m.mpu.enabled = true; // flips bypass the MPU entirely
+        m.mpu_mut().enabled = true; // flips bypass the MPU entirely
         m.poke(0x2000_0000, 1, 0b0000_0100);
         assert!(m.flip_bit(0x2000_0000, 2));
         assert_eq!(m.peek(0x2000_0000, 1), Some(0));
@@ -656,13 +699,13 @@ mod tests {
     #[test]
     fn mpu_ctrl_write_drives_the_mpu() {
         let mut m = machine();
-        m.mpu.enabled = true;
-        m.mpu.priv_default_enabled = true;
+        m.mpu_mut().enabled = true;
+        m.mpu_mut().priv_default_enabled = true;
         m.store(ppb::MPU_CTRL, 4, 0, Mode::Privileged).unwrap();
-        assert!(!m.mpu.enabled);
+        assert!(!m.mpu().enabled);
         m.store(ppb::MPU_CTRL, 4, 0b101, Mode::Privileged).unwrap();
-        assert!(m.mpu.enabled);
-        assert!(m.mpu.priv_default_enabled);
+        assert!(m.mpu().enabled);
+        assert!(m.mpu().priv_default_enabled);
         assert_eq!(m.load(ppb::MPU_CTRL, 4, Mode::Privileged).unwrap(), 0b101);
     }
 

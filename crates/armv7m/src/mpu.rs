@@ -379,6 +379,50 @@ impl Mpu {
     }
 }
 
+impl crate::prot::ProtectionUnit for Mpu {
+    fn name(&self) -> &'static str {
+        "armv7m-mpu"
+    }
+
+    fn check_data(&self, addr: u32, len: u32, write: bool, mode: Mode) -> MpuDecision {
+        Mpu::check_data(self, addr, len, write, mode)
+    }
+
+    fn check_exec(&self, addr: u32, mode: Mode) -> MpuDecision {
+        Mpu::check_exec(self, addr, mode)
+    }
+
+    fn enforcing(&self) -> bool {
+        self.enabled
+    }
+
+    fn attach_obs(&mut self, obs: opec_obs::Obs) {
+        Mpu::attach_obs(self, obs);
+    }
+
+    fn ppb_ctrl_write(&mut self, addr: u32, value: u32) {
+        // MPU_CTRL is live state: ENABLE (bit 0) and PRIVDEFENA (bit 2)
+        // drive the modelled MPU, so privileged code that reaches this
+        // register really does turn protection off.
+        if addr == crate::mem::ppb::MPU_CTRL {
+            self.enabled = value & 1 != 0;
+            self.priv_default_enabled = value & 4 != 0;
+        }
+    }
+
+    fn clone_unit(&self) -> Box<dyn crate::prot::ProtectionUnit> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
 /// Rounds `size` up to the smallest legal MPU region size that can cover
 /// it (a power of two, at least 32 bytes).
 pub fn region_size_for(size: u32) -> u32 {

@@ -1,0 +1,68 @@
+//! The protection-unit abstraction.
+//!
+//! [`Machine`](crate::Machine) checks every data access and every
+//! instruction fetch through one pluggable [`ProtectionUnit`] instead of
+//! a hard-wired ARMv7-M MPU. The unit decides *allow or deny* for a
+//! `(address, length, direction, privilege)` query; everything above it
+//! — fault delivery, routing, emulation — is shared machine substrate.
+//!
+//! Two units ship with the reproduction: the ARMv7-M MPU
+//! ([`crate::mpu::Mpu`], eight prioritised power-of-two regions with
+//! sub-region disables, highest region number wins) and the RISC-V PMP
+//! (`opec-pmp`, sixteen TOR/NAPOT entries, lowest entry number wins).
+//! Backend-specific *programming* — region files, entry files, switch
+//! costs — lives behind the `opec-core` backend trait; this trait is
+//! only the machine-facing *checking* surface, which is why it is
+//! object-safe and deliberately small.
+
+use std::any::Any;
+
+use crate::mpu::MpuDecision;
+use crate::Mode;
+
+/// A pluggable memory-protection model the [`crate::Machine`] consults
+/// on every checked access.
+///
+/// Implementations are behavioural models (the ARMv7-M MPU, the RISC-V
+/// PMP): they answer permission queries and expose enough hooks for the
+/// machine to snapshot them and for privileged code to reach their
+/// memory-mapped/CSR control state. They never route memory themselves.
+pub trait ProtectionUnit {
+    /// Stable unit name (`"armv7m-mpu"`, `"rv32-pmp"`), used in
+    /// diagnostics and reports.
+    fn name(&self) -> &'static str;
+
+    /// Permission decision for a data access of `len` bytes at `addr`.
+    fn check_data(&self, addr: u32, len: u32, write: bool, mode: Mode) -> MpuDecision;
+
+    /// Permission decision for an instruction fetch at `addr`.
+    fn check_exec(&self, addr: u32, mode: Mode) -> MpuDecision;
+
+    /// Whether the unit currently enforces anything (reset state is
+    /// disabled / allow-all for both shipped models).
+    fn enforcing(&self) -> bool;
+
+    /// Attaches the observability handle so the unit can emit
+    /// reprogramming events.
+    fn attach_obs(&mut self, _obs: opec_obs::Obs) {}
+
+    /// Hook for writes to the unit's memory-mapped control registers
+    /// (the ARMv7-M MPU_CTRL lives on the PPB; the PMP has no such
+    /// window and ignores this). Called for every PPB register write.
+    fn ppb_ctrl_write(&mut self, _addr: u32, _value: u32) {}
+
+    /// Clones the unit's full state for machine snapshots.
+    fn clone_unit(&self) -> Box<dyn ProtectionUnit>;
+
+    /// Downcasting hook so backend code can reach the concrete model.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcasting hook (backends program the concrete model).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl std::fmt::Debug for dyn ProtectionUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProtectionUnit({})", self.name())
+    }
+}

@@ -1,0 +1,527 @@
+//! The protection backend trait (multi-ISA isolation, ROADMAP item 3).
+//!
+//! OPEC's isolation argument is architecture-agnostic: operations,
+//! shadowing and the access matrix are defined over abstract
+//! compartments, and only the last mile — *programming a protection
+//! unit so the hardware enforces the per-operation view* — is
+//! ISA-specific. [`Backend`] captures exactly that last mile:
+//!
+//! * **Region-plan generation** is a per-backend strategy. The ARMv7-M
+//!   MPU wants eight prioritised power-of-two regions and expresses the
+//!   live-stack boundary by disabling sub-regions (rounding the
+//!   boundary down to `stack.size / 8`); the RISC-V PMP wants sixteen
+//!   lowest-wins TOR/NAPOT entries and expresses the stack boundary
+//!   *exactly* with a TOR pair (granularity 4 bytes). The associated
+//!   [`Backend::RegionPlan`] holds whatever the backend precomputes
+//!   from a [`SystemPolicy`].
+//! * **The switch path** ([`Backend::apply_op`]) reprograms the unit at
+//!   every operation switch; [`Backend::virtualize`] serves the
+//!   region-file-too-small case (MPU virtualization, §5.2) by swapping
+//!   one peripheral window into a reserved slot.
+//! * **Fault classification** maps machine faults onto the backend's
+//!   vocabulary ([`Backend::Fault`]), folding to the backend-neutral
+//!   [`FaultClass`] the monitor dispatches on.
+//!
+//! The monitor, oracle and evaluation program against the dyn-safe
+//! erasure [`DynBackend`] (blanket-implemented for every [`Backend`]),
+//! so adding a backend never touches them: the access-matrix oracle is
+//! backend-independent by construction, which is what lets it check
+//! that the isolation guarantees survive a port.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use opec_armv7m::clock::costs;
+use opec_armv7m::mpu::{region_size_for, MpuRegion, RegionAttr};
+use opec_armv7m::{Board, FaultCause, FaultInfo, Machine, MemRegion};
+use opec_vm::OpId;
+
+use crate::layout::SystemPolicy;
+
+/// Backend-neutral fault classification the monitor dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The protection unit denied the access (MPU MemManage / PMP
+    /// access fault): a candidate for virtualization, otherwise a
+    /// policy violation.
+    Protection,
+    /// Unprivileged access to privileged control space (ARM PPB bus
+    /// fault / RISC-V CSR privilege trap): a candidate for core-
+    /// peripheral load/store emulation.
+    ControlPriv,
+    /// Anything else (unmapped address, ...): never recoverable.
+    Other,
+}
+
+impl From<FaultCause> for FaultClass {
+    fn from(c: FaultCause) -> FaultClass {
+        match c {
+            FaultCause::MpuViolation => FaultClass::Protection,
+            FaultCause::PpbUnprivileged => FaultClass::ControlPriv,
+            FaultCause::Unmapped => FaultClass::Other,
+        }
+    }
+}
+
+/// Backend-erased cost of one full protection-unit reprogramming, for
+/// the per-backend switch-cost accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchCostSummary {
+    /// Protection registers written (MPU RBAR/RASR pairs, PMP
+    /// cfg+addr pairs).
+    pub writes: u32,
+    /// Cycles those writes cost on the modelled machine.
+    pub cycles: u64,
+}
+
+/// A protection backend: one ISA's machine construction + protection
+/// unit programming strategy.
+///
+/// The associated types keep each backend's vocabulary first-class
+/// (an ARM region plan is not a PMP entry plan; an ARM fault cause is
+/// not a PMP fault cause) while the conversions to the neutral
+/// [`FaultClass`] / [`SwitchCostSummary`] give the monitor one
+/// dispatch surface via [`DynBackend`].
+pub trait Backend: Send + Sync + 'static {
+    /// Stable backend name (`"armv7m"`, `"rv32-pmp"`): the CLI
+    /// vocabulary and report labels.
+    const NAME: &'static str;
+
+    /// Everything the backend precomputes from a [`SystemPolicy`]:
+    /// region files, entry files, cover geometry.
+    type RegionPlan: Send + Sync + 'static;
+
+    /// The backend's own fault vocabulary.
+    type Fault: Into<FaultClass> + 'static;
+
+    /// The backend's own switch-cost record.
+    type SwitchCost: Into<SwitchCostSummary> + 'static;
+
+    /// Builds a machine with this backend's protection unit installed
+    /// (disabled — reset state — until [`Backend::enable`]).
+    fn make_machine(&self, board: Board) -> Machine;
+
+    /// Generates the region plan for `policy`. Pure: same policy, same
+    /// plan.
+    fn plan(&self, policy: &SystemPolicy) -> Self::RegionPlan;
+
+    /// Turns enforcement on (MPU ENABLE+PRIVDEFENA / PMP armed).
+    fn enable(&self, machine: &mut Machine) -> Result<(), String>;
+
+    /// Number of reserved slots for peripheral-window virtualization
+    /// (ARM: 4 MPU regions; PMP: 6 entries).
+    fn virt_slots(&self) -> usize;
+
+    /// The hardware label of virtualization slot `slot` (ARM: MPU
+    /// region `4 + slot`; PMP: entry `3 + slot`) — used in obs events
+    /// so traces name real registers.
+    fn virt_slot_label(&self, slot: usize) -> u8;
+
+    /// Cycles one protection-register write costs.
+    fn write_cost(&self) -> u64;
+
+    /// How many protection registers [`Backend::apply_op`] will write
+    /// for `op` (the caller charges the clock *before* the writes so
+    /// the emitted events carry post-charge timestamps, matching the
+    /// hardware where the reprogramming has happened by the time
+    /// anything observes it).
+    fn op_write_count(&self, plan: &Self::RegionPlan, op: OpId) -> u32;
+
+    /// Programs the unit for `op` with the live stack extending from
+    /// the stack base up to `boundary` (exclusive). Contract: the
+    /// first `min(periph_covers.len(), virt_slots())` peripheral
+    /// covers are preloaded *index-aligned* into the reserved slots —
+    /// the caller's virtualization bookkeeping relies on it. Does not
+    /// charge the clock.
+    fn apply_op(
+        &self,
+        machine: &mut Machine,
+        plan: &Self::RegionPlan,
+        op: OpId,
+        boundary: u32,
+    ) -> Result<Self::SwitchCost, String>;
+
+    /// Swaps peripheral cover `widx` of `op` into reserved slot
+    /// `slot` (one register write; the caller charges the clock).
+    fn virtualize(
+        &self,
+        machine: &mut Machine,
+        plan: &Self::RegionPlan,
+        op: OpId,
+        widx: usize,
+        slot: usize,
+    ) -> Result<(), String>;
+
+    /// The stack-protection boundary for an operation entered with
+    /// stack pointer `sp`: the live stack becomes `[stack.base,
+    /// boundary)`. `None` when no usable live stack remains. ARM
+    /// rounds `sp` down to a sub-region multiple; PMP rounds to a
+    /// word.
+    fn stack_boundary(&self, stack: MemRegion, sp: u32) -> Option<u32>;
+
+    /// The granularity [`Backend::stack_boundary`] rounds to — the
+    /// oracle uses it to predict the boundary independently.
+    fn boundary_granularity(&self, stack: MemRegion) -> u32;
+
+    /// Maps a machine fault into the backend's fault vocabulary.
+    fn classify_fault(&self, fault: &FaultInfo) -> Self::Fault;
+}
+
+/// Dyn-safe erasure of [`Backend`], blanket-implemented for every
+/// backend. The monitor holds an `Arc<dyn DynBackend>` (it must stay
+/// `Clone` for VM snapshots) and a type-erased plan.
+pub trait DynBackend: Send + Sync {
+    /// [`Backend::NAME`].
+    fn name(&self) -> &'static str;
+    /// [`Backend::make_machine`].
+    fn make_machine(&self, board: Board) -> Machine;
+    /// [`Backend::plan`], type-erased (`Arc` so monitor clones share).
+    fn plan_dyn(&self, policy: &SystemPolicy) -> Arc<dyn Any + Send + Sync>;
+    /// [`Backend::enable`].
+    fn enable(&self, machine: &mut Machine) -> Result<(), String>;
+    /// [`Backend::virt_slots`].
+    fn virt_slots(&self) -> usize;
+    /// [`Backend::virt_slot_label`].
+    fn virt_slot_label(&self, slot: usize) -> u8;
+    /// [`Backend::write_cost`].
+    fn write_cost(&self) -> u64;
+    /// [`Backend::op_write_count`], on an erased plan.
+    fn op_write_count_dyn(&self, plan: &(dyn Any + Send + Sync), op: OpId) -> u32;
+    /// [`Backend::apply_op`], on an erased plan.
+    fn apply_op_dyn(
+        &self,
+        machine: &mut Machine,
+        plan: &(dyn Any + Send + Sync),
+        op: OpId,
+        boundary: u32,
+    ) -> Result<SwitchCostSummary, String>;
+    /// [`Backend::virtualize`], on an erased plan.
+    fn virtualize_dyn(
+        &self,
+        machine: &mut Machine,
+        plan: &(dyn Any + Send + Sync),
+        op: OpId,
+        widx: usize,
+        slot: usize,
+    ) -> Result<(), String>;
+    /// [`Backend::stack_boundary`].
+    fn stack_boundary(&self, stack: MemRegion, sp: u32) -> Option<u32>;
+    /// [`Backend::boundary_granularity`].
+    fn boundary_granularity(&self, stack: MemRegion) -> u32;
+    /// [`Backend::classify_fault`] folded to the neutral class.
+    fn fault_class(&self, fault: &FaultInfo) -> FaultClass;
+}
+
+fn downcast_plan<B: Backend>(plan: &(dyn Any + Send + Sync)) -> &B::RegionPlan {
+    plan.downcast_ref::<B::RegionPlan>()
+        .unwrap_or_else(|| panic!("region plan is not a {} plan", B::NAME))
+}
+
+impl<B: Backend> DynBackend for B {
+    fn name(&self) -> &'static str {
+        B::NAME
+    }
+    fn make_machine(&self, board: Board) -> Machine {
+        Backend::make_machine(self, board)
+    }
+    fn plan_dyn(&self, policy: &SystemPolicy) -> Arc<dyn Any + Send + Sync> {
+        Arc::new(self.plan(policy))
+    }
+    fn enable(&self, machine: &mut Machine) -> Result<(), String> {
+        Backend::enable(self, machine)
+    }
+    fn virt_slots(&self) -> usize {
+        Backend::virt_slots(self)
+    }
+    fn virt_slot_label(&self, slot: usize) -> u8 {
+        Backend::virt_slot_label(self, slot)
+    }
+    fn write_cost(&self) -> u64 {
+        Backend::write_cost(self)
+    }
+    fn op_write_count_dyn(&self, plan: &(dyn Any + Send + Sync), op: OpId) -> u32 {
+        self.op_write_count(downcast_plan::<B>(plan), op)
+    }
+    fn apply_op_dyn(
+        &self,
+        machine: &mut Machine,
+        plan: &(dyn Any + Send + Sync),
+        op: OpId,
+        boundary: u32,
+    ) -> Result<SwitchCostSummary, String> {
+        self.apply_op(machine, downcast_plan::<B>(plan), op, boundary).map(Into::into)
+    }
+    fn virtualize_dyn(
+        &self,
+        machine: &mut Machine,
+        plan: &(dyn Any + Send + Sync),
+        op: OpId,
+        widx: usize,
+        slot: usize,
+    ) -> Result<(), String> {
+        self.virtualize(machine, downcast_plan::<B>(plan), op, widx, slot)
+    }
+    fn stack_boundary(&self, stack: MemRegion, sp: u32) -> Option<u32> {
+        Backend::stack_boundary(self, stack, sp)
+    }
+    fn boundary_granularity(&self, stack: MemRegion) -> u32 {
+        Backend::boundary_granularity(self, stack)
+    }
+    fn fault_class(&self, fault: &FaultInfo) -> FaultClass {
+        self.classify_fault(fault).into()
+    }
+}
+
+/// The cost record of one ARM MPU reprogramming.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArmSwitchCost {
+    /// MPU regions written.
+    pub regions: u32,
+}
+
+impl From<ArmSwitchCost> for SwitchCostSummary {
+    fn from(c: ArmSwitchCost) -> SwitchCostSummary {
+        SwitchCostSummary {
+            writes: c.regions,
+            cycles: u64::from(c.regions) * costs::MPU_REGION_WRITE,
+        }
+    }
+}
+
+/// The ARMv7-M region plan: the paper's original MPU layout.
+///
+/// Regions 0–2 are shared by all operations (background, Flash
+/// execute, stack with sub-regions managed at switch time), region 3
+/// is the per-operation data section, regions 4–7 the first four
+/// peripheral covers; further covers are virtualized round-robin.
+#[derive(Debug, Clone)]
+pub struct ArmRegionPlan {
+    base: [(usize, MpuRegion); 3],
+    sections: Vec<MpuRegion>,
+    periph: Vec<Vec<MpuRegion>>,
+    stack: MemRegion,
+}
+
+impl ArmRegionPlan {
+    /// The static regions 0–2 shared by every operation.
+    pub fn base_regions(&self) -> [(usize, MpuRegion); 3] {
+        self.base
+    }
+
+    /// The region-3 (operation data section) region for `op`.
+    pub fn section_region(&self, op: OpId) -> MpuRegion {
+        self.sections[usize::from(op)]
+    }
+
+    /// The prepared peripheral-cover regions for `op`.
+    pub fn periph_regions(&self, op: OpId) -> &[MpuRegion] {
+        &self.periph[usize::from(op)]
+    }
+}
+
+/// The ARMv7-M MPU backend: the paper's platform.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Armv7mBackend;
+
+impl opec_vm::MachineBackend for Armv7mBackend {
+    const NAME: &'static str = "armv7m";
+
+    fn install(&self, machine: &mut Machine) {
+        machine.set_protection(Box::new(opec_armv7m::Mpu::new()));
+    }
+}
+
+/// Reserved virtualization slots on ARM (MPU regions 4–7).
+const ARM_VIRT_SLOTS: usize = 4;
+
+impl Backend for Armv7mBackend {
+    const NAME: &'static str = "armv7m";
+    type RegionPlan = ArmRegionPlan;
+    type Fault = FaultCause;
+    type SwitchCost = ArmSwitchCost;
+
+    fn make_machine(&self, board: Board) -> Machine {
+        // `Machine::new` installs the ARMv7-M MPU: the back-compat
+        // default *is* this backend.
+        Machine::new(board)
+    }
+
+    fn plan(&self, policy: &SystemPolicy) -> ArmRegionPlan {
+        // Region 0: code + SRAM read-only (privileged RW) — the
+        // background that lets unprivileged code read Flash, rodata,
+        // the public section and the relocation table, while every
+        // write needs a higher region. Unlike the paper's 4 GiB region
+        // 0, ours stops at the peripheral space so unauthorised
+        // peripheral *reads* are also denied.
+        // Region 1: Flash executable. Region 2: the stack, read-write,
+        // sub-regions managed per switch.
+        let base = [
+            (0, MpuRegion::new(0, 0x4000_0000, RegionAttr::priv_rw_unpriv_ro(true))),
+            (
+                1,
+                MpuRegion::new(
+                    policy.board.flash.base,
+                    region_size_for(policy.board.flash.size),
+                    RegionAttr::read_only(false),
+                ),
+            ),
+            (2, MpuRegion::new(policy.stack.base, policy.stack.size, RegionAttr::read_write_xn())),
+        ];
+        let sections = policy
+            .ops
+            .iter()
+            .map(|o| MpuRegion::new(o.section.base, o.section.size, RegionAttr::read_write_xn()))
+            .collect();
+        let periph = policy
+            .ops
+            .iter()
+            .map(|o| {
+                o.periph_covers
+                    .iter()
+                    .map(|c| MpuRegion::new(c.base, c.size, RegionAttr::read_write_xn()))
+                    .collect()
+            })
+            .collect();
+        ArmRegionPlan { base, sections, periph, stack: policy.stack }
+    }
+
+    fn enable(&self, machine: &mut Machine) -> Result<(), String> {
+        let mpu = machine
+            .protection_mut()
+            .as_any_mut()
+            .downcast_mut::<opec_armv7m::Mpu>()
+            .ok_or("armv7m backend: machine protection unit is not the ARMv7-M MPU")?;
+        mpu.enabled = true;
+        mpu.priv_default_enabled = true;
+        Ok(())
+    }
+
+    fn virt_slots(&self) -> usize {
+        ARM_VIRT_SLOTS
+    }
+
+    fn virt_slot_label(&self, slot: usize) -> u8 {
+        (ARM_VIRT_SLOTS + slot) as u8
+    }
+
+    fn write_cost(&self) -> u64 {
+        costs::MPU_REGION_WRITE
+    }
+
+    fn op_write_count(&self, plan: &ArmRegionPlan, op: OpId) -> u32 {
+        let preload = plan.periph[usize::from(op)].len().min(ARM_VIRT_SLOTS);
+        (plan.base.len() + 1 + preload) as u32
+    }
+
+    fn apply_op(
+        &self,
+        machine: &mut Machine,
+        plan: &ArmRegionPlan,
+        op: OpId,
+        boundary: u32,
+    ) -> Result<ArmSwitchCost, String> {
+        // Translate the exact boundary back into the sub-region
+        // disable mask: sub-regions `idx..8` (previous operations'
+        // frames) are disabled. `boundary == stack.end()` is the whole
+        // stack (reset state), mask 0.
+        let sub = plan.stack.size / 8;
+        let idx = ((boundary.saturating_sub(plan.stack.base)) / sub).min(8);
+        let srd = if idx >= 8 { 0 } else { (0xFFu32 << idx) as u8 };
+        let mut regions: Vec<(usize, MpuRegion)> = Vec::with_capacity(8);
+        for (n, mut r) in plan.base {
+            if n == 2 {
+                r.srd = srd;
+            }
+            regions.push((n, r));
+        }
+        regions.push((3, plan.section_region(op)));
+        for (i, r) in plan.periph[usize::from(op)].iter().take(ARM_VIRT_SLOTS).enumerate() {
+            regions.push((ARM_VIRT_SLOTS + i, *r));
+        }
+        machine.mpu_mut().load_regions(&regions).map_err(|e| format!("MPU programming: {e}"))?;
+        Ok(ArmSwitchCost { regions: regions.len() as u32 })
+    }
+
+    fn virtualize(
+        &self,
+        machine: &mut Machine,
+        plan: &ArmRegionPlan,
+        op: OpId,
+        widx: usize,
+        slot: usize,
+    ) -> Result<(), String> {
+        let region = plan.periph[usize::from(op)]
+            .get(widx)
+            .copied()
+            .ok_or_else(|| format!("no prepared MPU region for peripheral window {widx}"))?;
+        machine
+            .mpu_mut()
+            .set_region(ARM_VIRT_SLOTS + slot, region)
+            .map_err(|e| format!("MPU virtualization failed: {e}"))
+    }
+
+    fn stack_boundary(&self, stack: MemRegion, sp: u32) -> Option<u32> {
+        let sub = stack.size / 8;
+        let idx = ((sp.checked_sub(stack.base)?) / sub).min(8);
+        if idx == 0 {
+            return None;
+        }
+        Some(stack.base + idx * sub)
+    }
+
+    fn boundary_granularity(&self, stack: MemRegion) -> u32 {
+        (stack.size / 8).max(1)
+    }
+
+    fn classify_fault(&self, fault: &FaultInfo) -> FaultCause {
+        fault.cause
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> MemRegion {
+        MemRegion::new(0x2002_F000, 0x1000)
+    }
+
+    #[test]
+    fn arm_boundary_rounds_down_to_subregions() {
+        let b = Armv7mBackend;
+        let s = stack();
+        // SP in the middle of sub-region 5 rounds down to its base.
+        assert_eq!(
+            Backend::stack_boundary(&b, s, s.base + 5 * 0x200 + 0x57),
+            Some(s.base + 5 * 0x200)
+        );
+        // SP at the very top keeps the whole stack.
+        assert_eq!(Backend::stack_boundary(&b, s, s.end()), Some(s.end()));
+        // SP inside the lowest sub-region leaves nothing usable.
+        assert_eq!(Backend::stack_boundary(&b, s, s.base + 0x1FF), None);
+        assert_eq!(Backend::boundary_granularity(&b, s), 0x200);
+    }
+
+    #[test]
+    fn arm_fault_classes() {
+        let b = Armv7mBackend;
+        let fi = |cause| FaultInfo {
+            address: 0,
+            len: 4,
+            kind: opec_armv7m::AccessKind::Read,
+            cause,
+            pc: 0,
+            write_value: None,
+        };
+        assert_eq!(b.fault_class(&fi(FaultCause::MpuViolation)), FaultClass::Protection);
+        assert_eq!(b.fault_class(&fi(FaultCause::PpbUnprivileged)), FaultClass::ControlPriv);
+        assert_eq!(b.fault_class(&fi(FaultCause::Unmapped)), FaultClass::Other);
+    }
+
+    #[test]
+    fn switch_cost_folds_to_summary() {
+        let s: SwitchCostSummary = ArmSwitchCost { regions: 6 }.into();
+        assert_eq!(s.writes, 6);
+        assert_eq!(s.cycles, 6 * costs::MPU_REGION_WRITE);
+    }
+}

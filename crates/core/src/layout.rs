@@ -23,7 +23,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use opec_armv7m::mem::MemRegion;
-use opec_armv7m::mpu::{align_up, region_size_for, MpuRegion, RegionAttr};
+use opec_armv7m::mpu::{align_up, region_size_for};
 use opec_armv7m::Board;
 use opec_ir::{GlobalId, Module};
 use opec_vm::OpId;
@@ -69,12 +69,15 @@ pub struct OpPolicy {
     pub section_used: u32,
     /// Shared variables this operation accesses.
     pub shared: Vec<SharedVar>,
-    /// Merged + aligned MPU regions for this operation's general
-    /// peripherals (and the heap window if used). The first four load
-    /// into MPU regions 4–7; the rest are virtualized.
-    pub periph_regions: Vec<MpuRegion>,
+    /// Merged + power-of-two-aligned cover ranges for this operation's
+    /// general peripherals (and the heap window if used) — the
+    /// enforcement-side geometry every backend programs from (the ARM
+    /// backend turns each cover into an MPU region, the PMP backend
+    /// into a NAPOT entry). The first `virt_slots()` preload into the
+    /// backend's reserved slots; the rest are virtualized.
+    pub periph_covers: Vec<MemRegion>,
     /// Exact allow-list windows for general peripherals (virtualization
-    /// checks against these, not the over-covering MPU regions).
+    /// checks against these, not the over-covering ranges).
     pub periph_windows: Vec<MemRegion>,
     /// Allow-list windows for core (PPB) peripherals, served by
     /// load/store emulation.
@@ -294,15 +297,14 @@ pub fn build_layout(
         windows.sort_by_key(|w| w.base);
         let merged = merge_adjacent(&windows);
         let mut merged = merged;
-        let mut periph_regions: Vec<MpuRegion> =
-            merged.iter().map(|w| covering_region(w, RegionAttr::read_write_xn())).collect();
+        let mut periph_covers: Vec<MemRegion> = merged.iter().map(covering_region).collect();
         // The heap window rides in the same reserved-region pool and
         // allow list (the monitor's virtualization check consults the
         // allow list).
         let uses_heap = heap_global.is_some_and(|hg| op.resources.globals().contains(&hg));
         if uses_heap {
             if let Some(h) = heap {
-                periph_regions.insert(0, covering_region(&h, RegionAttr::read_write_xn()));
+                periph_covers.insert(0, covering_region(&h));
                 merged.insert(0, h);
             }
         }
@@ -327,14 +329,14 @@ pub fn build_layout(
                 })
                 .sum::<u32>()
             + shared.iter().map(|s| 4 + if s.range.is_some() { 8 } else { 0 }).sum::<u32>()
-            + 8 * (periph_regions.len() + core_windows.len()) as u32;
+            + 8 * (periph_covers.len() + core_windows.len()) as u32;
         ops_policies.push(OpPolicy {
             id: op.id,
             name: op.name.clone(),
             section,
             section_used,
             shared,
-            periph_regions,
+            periph_covers,
             periph_windows: merged,
             core_windows,
             args: op.args.clone(),
@@ -376,37 +378,6 @@ impl SystemPolicy {
         }
     }
 
-    /// The static MPU plan shared by all operations: regions 0–2.
-    ///
-    /// Region 0: code + SRAM read-only (privileged RW) — the background
-    /// that lets unprivileged code read Flash, rodata, the public
-    /// section, and the relocation table, while every write needs a
-    /// higher region. Unlike the paper's 4 GiB region 0, ours stops at
-    /// the peripheral space so unauthorised peripheral *reads* are also
-    /// denied.
-    /// Region 1: Flash executable.
-    /// Region 2: the stack, read-write, sub-regions managed per switch.
-    pub fn base_regions(&self) -> [(usize, MpuRegion); 3] {
-        [
-            (0, MpuRegion::new(0, 0x4000_0000, RegionAttr::priv_rw_unpriv_ro(true))),
-            (
-                1,
-                MpuRegion::new(
-                    self.board.flash.base,
-                    region_size_for(self.board.flash.size),
-                    RegionAttr::read_only(false),
-                ),
-            ),
-            (2, MpuRegion::new(self.stack.base, self.stack.size, RegionAttr::read_write_xn())),
-        ]
-    }
-
-    /// The region-3 (operation data section) MPU region for `id`.
-    pub fn section_region(&self, id: OpId) -> MpuRegion {
-        let s = self.op(id).section;
-        MpuRegion::new(s.base, s.size, RegionAttr::read_write_xn())
-    }
-
     /// All operations sharing global `g` (used by sync tests).
     pub fn sharers(&self, g: GlobalId) -> BTreeSet<OpId> {
         self.ops.iter().filter(|o| o.shared.iter().any(|s| s.global == g)).map(|o| o.id).collect()
@@ -429,15 +400,17 @@ fn merge_adjacent(windows: &[MemRegion]) -> Vec<MemRegion> {
     out
 }
 
-/// The smallest MPU-legal region covering `window`: power-of-two size,
+/// The smallest MPU-legal range covering `window`: power-of-two size,
 /// base aligned to size. May over-cover (the hardware-imposed
-/// over-privilege the paper accepts for peripherals).
-fn covering_region(window: &MemRegion, attr: RegionAttr) -> MpuRegion {
+/// over-privilege the paper accepts for peripherals). Power-of-two
+/// alignment makes the cover directly programmable by both backends
+/// (an ARM region, a PMP NAPOT entry).
+fn covering_region(window: &MemRegion) -> MemRegion {
     let mut size = region_size_for(window.size);
     loop {
         let base = window.base & !(size - 1);
         if window.end() <= base.saturating_add(size) {
-            return MpuRegion::new(base, size, attr);
+            return MemRegion::new(base, size);
         }
         size *= 2;
     }
@@ -542,8 +515,8 @@ mod tests {
         let b = sp.op(2);
         assert_eq!(b.periph_windows.len(), 1);
         assert_eq!(b.periph_windows[0], MemRegion::new(0x4000_0000, 0x800));
-        assert_eq!(b.periph_regions.len(), 1);
-        assert_eq!(b.periph_regions[0].size, 0x800);
+        assert_eq!(b.periph_covers.len(), 1);
+        assert_eq!(b.periph_covers[0].size, 0x800);
         // task_a touches only USART2.
         let a = sp.op(1);
         assert_eq!(a.periph_windows.len(), 1);
@@ -553,14 +526,14 @@ mod tests {
     #[test]
     fn covering_region_handles_misaligned_windows() {
         // A 0x400 window at 0x4000_4400 is 0x400-aligned: exact cover.
-        let r = covering_region(&MemRegion::new(0x4000_4400, 0x400), RegionAttr::read_write_xn());
+        let r = covering_region(&MemRegion::new(0x4000_4400, 0x400));
         assert_eq!((r.base, r.size), (0x4000_4400, 0x400));
         // A 0x800 window at 0x4000_0400 is not 0x800-aligned: the
         // covering region must grow.
-        let r = covering_region(&MemRegion::new(0x4000_0400, 0x800), RegionAttr::read_write_xn());
+        let r = covering_region(&MemRegion::new(0x4000_0400, 0x800));
         assert!(r.base.is_multiple_of(r.size));
         assert!(r.base <= 0x4000_0400 && r.base + r.size >= 0x4000_0C00);
-        r.validate().unwrap();
+        assert!(r.size.is_power_of_two());
     }
 
     #[test]
@@ -575,12 +548,14 @@ mod tests {
 
     #[test]
     fn base_regions_are_valid_and_cover_the_right_things() {
+        use crate::backend::{Armv7mBackend, Backend};
         let m = two_task_module();
         let (_, sp) = build(&m, &[OperationSpec::plain("task_a")]);
-        for (n, r) in sp.base_regions() {
+        let plan = Armv7mBackend.plan(&sp);
+        for (n, r) in plan.base_regions() {
             r.validate().unwrap_or_else(|e| panic!("region {n}: {e}"));
         }
-        let [r0, r1, r2] = sp.base_regions();
+        let [r0, r1, r2] = plan.base_regions();
         assert!(r0.1.range().contains(0x0800_0000)); // flash readable
         assert!(r0.1.range().contains(0x2000_0000)); // sram readable
         assert!(!r0.1.range().contains(0x4000_4400)); // peripherals NOT covered
@@ -616,9 +591,9 @@ mod tests {
         assert_eq!(h.size, 256);
         // The heap is not shadowed.
         assert!(!sp.reloc_entries.contains_key(&heap));
-        // The using operation gets the heap window in its region pool.
-        assert!(!sp.op(1).periph_regions.is_empty());
-        assert!(sp.op(1).periph_regions[0].range().contains(h.base));
+        // The using operation gets the heap window in its cover pool.
+        assert!(!sp.op(1).periph_covers.is_empty());
+        assert!(sp.op(1).periph_covers[0].contains(h.base));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod image;
 pub mod layout;
 pub mod monitor;
@@ -39,6 +40,7 @@ pub mod partition;
 pub mod pipeline;
 pub mod spec;
 
+pub use backend::{Armv7mBackend, Backend, DynBackend, FaultClass, SwitchCostSummary};
 pub use image::build_image;
 pub use layout::{OpPolicy, SharedVar, SystemPolicy};
 pub use monitor::{MonitorStats, OpecMonitor};

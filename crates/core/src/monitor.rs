@@ -13,9 +13,9 @@
 //!   sections, relocate stack-passed data into the incoming operation's
 //!   stack sub-regions, and reload the MPU. On exit: the mirror image,
 //!   plus copying relocated buffers back (Figure 8(e)).
-//! * **MPU virtualization** (§5.2) — a MemManage fault on an address
+//! * **MPU virtualization** (§5.2) — a protection fault on an address
 //!   inside the operation's peripheral allow list swaps the window into
-//!   one of the four reserved regions (round-robin) and retries;
+//!   one of the backend's reserved slots (round-robin) and retries;
 //!   anything else is a genuine violation and aborts.
 //! * **Core-peripheral emulation** (§5.2) — a bus fault from an
 //!   unprivileged PPB access is served by fetching the faulting Thumb-2
@@ -25,14 +25,23 @@
 //!
 //! All monitor work charges the machine clock so the runtime overhead
 //! it induces is visible to the DWT-based measurement.
+//!
+//! The monitor is backend-generic: all protection-unit programming goes
+//! through [`DynBackend`] (region plans, switch-path reprogramming,
+//! virtualization, fault classification), so the same monitor code
+//! enforces OPEC on the ARMv7-M MPU and on the RISC-V PMP.
+
+use std::any::Any;
+use std::sync::Arc;
 
 use opec_armv7m::clock::costs;
 use opec_armv7m::thumb::{LdStInst, LdStOp};
-use opec_armv7m::{FaultCause, FaultInfo, Machine, Mode};
+use opec_armv7m::{FaultInfo, Machine, Mode};
 use opec_ir::GlobalId;
 use opec_obs::{Access, Event, Obs};
 use opec_vm::{CpuContext, FaultFixup, OpId, Supervisor, SwitchRequest, TrapCause, TrapError};
 
+use crate::backend::{Armv7mBackend, DynBackend, FaultClass};
 use crate::layout::SystemPolicy;
 
 /// Monitor-side counters.
@@ -44,8 +53,12 @@ pub struct MonitorStats {
     pub sync_bytes: u64,
     /// Sanitization range checks performed.
     pub sanitize_checks: u64,
-    /// MPU-region virtualization faults served.
+    /// Protection-region virtualization faults served.
     pub virt_faults: u64,
+    /// Protection registers written (MPU regions / PMP entries) across
+    /// all reprogrammings — the raw material of the per-backend
+    /// switch-cost comparison.
+    pub prot_writes: u64,
     /// Core-peripheral load/store emulations performed.
     pub emulations: u64,
     /// Bytes relocated for stack protection.
@@ -68,7 +81,10 @@ struct Relocation {
 #[derive(Debug, Clone)]
 struct OpContext {
     op: OpId,
-    srd: u8,
+    /// Exclusive upper bound of the live stack `[stack.base, boundary)`
+    /// granted to this operation (the backend turns it into sub-region
+    /// masks or a TOR bound).
+    boundary: u32,
     relocations: Vec<Relocation>,
 }
 
@@ -78,26 +94,41 @@ pub struct OpecMonitor {
     /// Shared, immutable after construction: cloning a monitor (the
     /// snapshot/restore path does it per campaign) must not copy the
     /// whole policy.
-    policy: std::sync::Arc<SystemPolicy>,
+    policy: Arc<SystemPolicy>,
+    /// The protection backend all unit programming dispatches through.
+    backend: Arc<dyn DynBackend>,
+    /// The backend's precomputed region plan for `policy`.
+    plan: Arc<dyn Any + Send + Sync>,
     ctx: Vec<OpContext>,
     rr: usize,
     /// Which peripheral window (index into the current operation's
-    /// `periph_windows`) each of the four reserved MPU slots holds.
+    /// `periph_windows`) each of the backend's reserved slots holds.
     /// Reset whenever the full region file is reprogrammed.
-    virt_slots: [Option<u8>; 4],
+    virt_slots: Vec<Option<u8>>,
     obs: Obs,
     /// Counters for the evaluation.
     pub stats: MonitorStats,
 }
 
 impl OpecMonitor {
-    /// Creates a monitor enforcing `policy`.
+    /// Creates a monitor enforcing `policy` on the paper's platform
+    /// (the ARMv7-M MPU backend).
     pub fn new(policy: SystemPolicy) -> OpecMonitor {
+        OpecMonitor::with_backend(policy, Arc::new(Armv7mBackend))
+    }
+
+    /// Creates a monitor enforcing `policy` through `backend`.
+    pub fn with_backend(policy: SystemPolicy, backend: Arc<dyn DynBackend>) -> OpecMonitor {
+        let policy = Arc::new(policy);
+        let plan = backend.plan_dyn(&policy);
+        let slots = backend.virt_slots();
         OpecMonitor {
-            policy: std::sync::Arc::new(policy),
+            policy,
+            backend,
+            plan,
             ctx: Vec::new(),
             rr: 0,
-            virt_slots: [None; 4],
+            virt_slots: vec![None; slots],
             obs: Obs::disabled(),
             stats: MonitorStats::default(),
         }
@@ -111,6 +142,11 @@ impl OpecMonitor {
     /// Read access to the enforced policy.
     pub fn policy(&self) -> &SystemPolicy {
         &self.policy
+    }
+
+    /// The protection backend this monitor programs.
+    pub fn backend(&self) -> &Arc<dyn DynBackend> {
+        &self.backend
     }
 
     fn priv_copy(
@@ -251,57 +287,57 @@ impl OpecMonitor {
         Ok(())
     }
 
-    /// Program the MPU for `op` with stack sub-region disable mask
-    /// `srd`.
-    fn load_mpu(&mut self, machine: &mut Machine, op: OpId, srd: u8) -> Result<(), String> {
-        let mut regions: Vec<(usize, opec_armv7m::MpuRegion)> = Vec::with_capacity(8);
-        for (n, mut r) in self.policy.base_regions() {
-            if n == 2 {
-                r.srd = srd;
-            }
-            regions.push((n, r));
-        }
-        regions.push((3, self.policy.section_region(op)));
-        // The first four peripheral windows are preloaded index-aligned
-        // into the reserved slots; the virtualization bookkeeping must
-        // match what the region file now holds.
-        self.virt_slots = [None; 4];
-        for (i, r) in self.policy.op(op).periph_regions.iter().take(4).enumerate() {
-            regions.push((4 + i, *r));
+    /// Program the protection unit for `op` with the live stack
+    /// `[stack.base, boundary)`.
+    fn apply_protection(
+        &mut self,
+        machine: &mut Machine,
+        op: OpId,
+        boundary: u32,
+    ) -> Result<(), String> {
+        // The first `virt_slots()` peripheral covers are preloaded
+        // index-aligned into the reserved slots (the backend contract);
+        // the virtualization bookkeeping must match what the region
+        // file now holds.
+        let slots = self.backend.virt_slots();
+        self.virt_slots = vec![None; slots];
+        for i in 0..self.policy.op(op).periph_covers.len().min(slots) {
             self.virt_slots[i] = Some(i as u8);
         }
-        machine.clock.tick(costs::MPU_REGION_WRITE * regions.len() as u64);
+        let writes = self.backend.op_write_count_dyn(self.plan.as_ref(), op);
+        machine.clock.tick(self.backend.write_cost() * u64::from(writes));
         self.obs.set_now(machine.clock.now());
-        machine.mpu.load_regions(&regions).map_err(|e| format!("MPU programming: {e}"))
+        let plan = Arc::clone(&self.plan);
+        let cost = self.backend.apply_op_dyn(machine, plan.as_ref(), op, boundary)?;
+        self.stats.prot_writes += u64::from(cost.writes);
+        Ok(())
     }
 
     /// Stack relocation on entry (paper Figure 8): copy stack-passed
-    /// arguments and pointed-to buffers below the sub-region boundary,
-    /// rewrite the pointer arguments, move SP, and compute the
-    /// sub-region disable mask protecting previous frames.
+    /// arguments and pointed-to buffers below the backend's stack
+    /// boundary, rewrite the pointer arguments, move SP, and return the
+    /// boundary protecting previous frames.
     fn relocate_stack(
         &mut self,
         machine: &mut Machine,
         req: &mut SwitchRequest<'_>,
-    ) -> Result<(u8, Vec<Relocation>), TrapError> {
+    ) -> Result<(u32, Vec<Relocation>), TrapError> {
         let op = req.op;
         let bad = move |detail: String| TrapError::new(op, TrapCause::BadSwitch { detail });
         let stack = self.policy.stack;
-        let sub = stack.size / 8;
         let sp = *req.sp;
         if sp < stack.base || sp > stack.end() {
             return Err(bad(format!("stack pointer {sp:#010x} outside the stack window")));
         }
-        let idx = ((sp - stack.base) / sub).min(8);
-        if idx == 0 {
+        // The backend rounds SP down to its protection granularity
+        // (ARM: a sub-region multiple; PMP: a word). `None` means the
+        // incoming operation would have no usable live stack.
+        let Some(boundary) = self.backend.stack_boundary(stack, sp) else {
             return Err(bad(format!(
-                "no stack sub-region available for operation {}",
+                "no live stack available for operation {}",
                 self.policy.op(req.op).name
             )));
-        }
-        let boundary = stack.base + idx * sub;
-        // Disable sub-regions idx..8 (the previous operations' frames).
-        let srd = if idx >= 8 { 0 } else { (0xFFu32 << idx) as u8 };
+        };
         let mut cursor = boundary;
         let mut relocations = Vec::new();
         // Copy the stack-passed argument block.
@@ -395,7 +431,7 @@ impl OpecMonitor {
             }
         }
         *req.sp = cursor & !7;
-        Ok((srd, relocations))
+        Ok((boundary, relocations))
     }
 }
 
@@ -419,14 +455,15 @@ impl Supervisor for OpecMonitor {
         for op in ops {
             self.sync_in(machine, op)?;
         }
-        // Relocation table and MPU for the default (main) operation.
+        // Relocation table and protection plan for the default (main)
+        // operation; the whole stack is live at reset.
+        let full = self.policy.stack.end();
         self.update_reloc_table(machine, 0)?;
-        self.load_mpu(machine, 0, 0)?;
-        machine.mpu.enabled = true;
-        machine.mpu.priv_default_enabled = true;
+        self.apply_protection(machine, 0, full)?;
+        self.backend.enable(machine).map_err(TrapError::internal)?;
         // Drop privilege: application code runs unprivileged from here.
         machine.mode = Mode::Unprivileged;
-        self.ctx = vec![OpContext { op: 0, srd: 0, relocations: Vec::new() }];
+        self.ctx = vec![OpContext { op: 0, boundary: full, relocations: Vec::new() }];
         Ok(())
     }
 
@@ -475,10 +512,11 @@ impl Supervisor for OpecMonitor {
             }
         }
         // Stack protection (Figure 8).
-        let (srd, relocations) = self.relocate_stack(machine, req)?;
-        // Resource isolation: reload the MPU for the new operation.
-        self.load_mpu(machine, to, srd)?;
-        self.ctx.push(OpContext { op: to, srd, relocations });
+        let (boundary, relocations) = self.relocate_stack(machine, req)?;
+        // Resource isolation: reload the protection unit for the new
+        // operation.
+        self.apply_protection(machine, to, boundary)?;
+        self.ctx.push(OpContext { op: to, boundary, relocations });
         Ok(())
     }
 
@@ -531,9 +569,10 @@ impl Supervisor for OpecMonitor {
         }
         // Everything fallible succeeded — retire the context.
         self.ctx.pop();
-        // Restore the previous operation's MPU view (saved context).
-        let srd = self.ctx.last().map(|c| c.srd).unwrap_or(0);
-        self.load_mpu(machine, back_to, srd)?;
+        // Restore the previous operation's protection view (saved
+        // context).
+        let boundary = self.ctx.last().map(|c| c.boundary).unwrap_or(self.policy.stack.end());
+        self.apply_protection(machine, back_to, boundary)?;
         // Register clearing (the paper zeroes GP registers on exit; our
         // frames are private per call, so only the cost is modelled).
         machine.clock.tick(13 * costs::ALU);
@@ -547,56 +586,55 @@ impl Supervisor for OpecMonitor {
         _cpu: &mut CpuContext,
     ) -> FaultFixup {
         let op = self.current_op();
-        if fault.cause != FaultCause::MpuViolation {
+        if self.backend.fault_class(&fault) != FaultClass::Protection {
             return FaultFixup::Abort(TrapError::new(
                 op,
                 TrapCause::MemFault { address: fault.address },
             ));
         }
-        // MPU virtualization: is the address inside the operation's
-        // peripheral allow list? Windows and their prepared regions are
-        // index-aligned by construction (see `layout::OpPolicy`), so the
-        // window's position selects the region directly — finding the
-        // region by base address breaks when several windows share one
-        // covering region.
+        // Protection-unit virtualization: is the address inside the
+        // operation's peripheral allow list? Windows and their prepared
+        // covers are index-aligned by construction (see
+        // `layout::OpPolicy`), so the window's position selects the
+        // cover directly — finding the cover by base address breaks
+        // when several windows share one covering range.
         let widx = {
             let policy = self.policy.op(op);
             policy.periph_windows.iter().position(|w| w.contains(fault.address))
         };
         if let Some(widx) = widx {
-            let Some(region) = self.policy.op(op).periph_regions.get(widx).copied() else {
-                return FaultFixup::Abort(TrapError::new(
-                    op,
-                    TrapCause::Unrecoverable(format!(
-                        "no prepared MPU region for peripheral window {widx}"
-                    )),
-                ));
-            };
-            let victim = 4 + (self.rr % 4);
+            let slots = self.backend.virt_slots();
+            let slot = self.rr % slots;
             self.rr += 1;
-            machine.clock.tick(costs::MPU_REGION_WRITE);
+            // The hardware-facing slot label (absolute region/entry
+            // number) the backend programs; events carry it so traces
+            // stay comparable with real register dumps.
+            let label = self.backend.virt_slot_label(slot);
+            machine.clock.tick(self.backend.write_cost());
             self.obs.set_now(machine.clock.now());
             self.obs.emit(|| Event::VirtHit {
                 op,
                 address: fault.address,
                 window: widx as u8,
-                slot: victim as u8,
+                slot: label,
             });
-            if let Some(old_window) = self.virt_slots[victim - 4] {
+            if let Some(old_window) = self.virt_slots[slot] {
                 self.obs.emit(|| Event::VirtEvict {
                     op,
-                    slot: victim as u8,
+                    slot: label,
                     old_window,
                     new_window: widx as u8,
                 });
             }
-            self.virt_slots[victim - 4] = Some(widx as u8);
-            if let Err(e) = machine.mpu.set_region(victim, region) {
+            self.virt_slots[slot] = Some(widx as u8);
+            let plan = Arc::clone(&self.plan);
+            if let Err(e) = self.backend.virtualize_dyn(machine, plan.as_ref(), op, widx, slot) {
                 return FaultFixup::Abort(TrapError::new(
                     op,
-                    TrapCause::Unrecoverable(format!("MPU virtualization failed: {e}")),
+                    TrapCause::Unrecoverable(format!("virtualization failed: {e}")),
                 ));
             }
+            self.stats.prot_writes += 1;
             self.stats.virt_faults += 1;
             return FaultFixup::Retry;
         }
@@ -621,7 +659,7 @@ impl Supervisor for OpecMonitor {
         let oops = |detail: String| {
             FaultFixup::Abort(TrapError::new(op, TrapCause::Unrecoverable(detail)))
         };
-        if fault.cause != FaultCause::PpbUnprivileged {
+        if self.backend.fault_class(&fault) != FaultClass::ControlPriv {
             return FaultFixup::Abort(TrapError::new(
                 op,
                 TrapCause::BusFault { address: fault.address },
@@ -694,9 +732,9 @@ impl Supervisor for OpecMonitor {
             self.ctx.pop();
         }
         let survivor = self.current_op();
-        let srd = self.ctx.last().map(|c| c.srd).unwrap_or(0);
+        let boundary = self.ctx.last().map(|c| c.boundary).unwrap_or(self.policy.stack.end());
         self.update_reloc_table(machine, survivor)?;
-        self.load_mpu(machine, survivor, srd)?;
+        self.apply_protection(machine, survivor, boundary)?;
         // Application code resumes at the unprivileged level no matter
         // what mode the fault interrupted.
         *resume_mode = Mode::Unprivileged;

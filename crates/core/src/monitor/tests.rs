@@ -653,5 +653,5 @@ fn monitor_runs_unprivileged_application() {
     let mut vm = boot(mb.finish(), &[]);
     vm.run(FUEL).unwrap();
     assert_eq!(vm.machine.mode, Mode::Unprivileged);
-    assert!(vm.machine.mpu.enabled);
+    assert!(vm.machine.mpu().enabled);
 }

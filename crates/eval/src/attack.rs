@@ -33,6 +33,7 @@ use opec_vm::{
     VmSnapshot,
 };
 
+use crate::backend::BackendSel;
 use crate::engine::{EngineOpts, RunLimits};
 use crate::runs::FUEL;
 use crate::table::TextTable;
@@ -120,6 +121,8 @@ impl Cell {
 /// The full campaign outcome.
 #[derive(Debug, Clone)]
 pub struct AttackMatrix {
+    /// The protection backend the matrix ran against.
+    pub backend: &'static str,
     /// Seeds each cell was run under (`0..seeds`).
     pub seeds: u64,
     /// All cells, in app → attack → config order.
@@ -136,7 +139,9 @@ pub fn attack_matrix(seeds: u64) -> AttackMatrix {
 /// default supervision. Kept for the legacy call sites; the engine
 /// cannot fail without a journal configured.
 pub fn attack_matrix_for(apps: &[App], seeds: u64) -> AttackMatrix {
-    attack_matrix_campaign(apps, seeds, &EngineOpts::default()).expect("attack campaign").0
+    attack_matrix_campaign(apps, seeds, &EngineOpts::default(), BackendSel::Armv7m)
+        .expect("attack campaign")
+        .0
 }
 
 /// Runs the attack matrix as a supervised campaign: one job per
@@ -148,8 +153,9 @@ pub fn attack_matrix_campaign(
     apps: &[App],
     seeds: u64,
     opts: &EngineOpts,
+    sel: BackendSel,
 ) -> Result<(AttackMatrix, CampaignReport), String> {
-    attack_matrix_with(apps, seeds, &opts.campaign_opts("attack-matrix"))
+    attack_matrix_with(apps, seeds, &opts.campaign_opts("attack-matrix"), sel)
 }
 
 /// [`attack_matrix_campaign`] under explicit campaign options (the
@@ -158,24 +164,31 @@ pub fn attack_matrix_with(
     apps: &[App],
     seeds: u64,
     opts: &CampaignOpts,
+    sel: BackendSel,
 ) -> Result<(AttackMatrix, CampaignReport), String> {
+    let seg = match sel {
+        BackendSel::Armv7m => "",
+        BackendSel::Rv32Pmp => "rv32-pmp/",
+    };
     let aces_apps: Vec<&'static str> = aces_comparison_apps().iter().map(|a| a.name).collect();
     let meta: Vec<(&App, bool)> =
-        apps.iter().map(|app| (app, aces_apps.contains(&app.name))).collect();
+        apps.iter().map(|app| (app, aces_apps.contains(&app.name) && sel.has_aces())).collect();
     let jobs: Vec<Job<'_>> = meta
         .iter()
         .map(|&(app, with_aces)| {
             // The id carries the seed count: a resume under different
             // `--seeds` must not splice cells from a different-shaped
-            // run into this one.
-            let id = format!("attack/app/{}/seeds/{seeds}", job_slug(app.name));
+            // run into this one. The backend segment likewise keeps the
+            // two backends' journals disjoint.
+            let id = format!("attack/{seg}app/{}/seeds/{seeds}", job_slug(app.name));
             let repro = format!(
-                "{{\"app\":\"{}\",\"seeds\":{seeds},\"aces\":{with_aces}}}",
-                json::escape(app.name)
+                "{{\"app\":\"{}\",\"seeds\":{seeds},\"aces\":{with_aces},\"backend\":\"{}\"}}",
+                json::escape(app.name),
+                sel.name()
             );
             Job::new(id, repro, move |ctx| {
                 let limits = RunLimits::from_ctx(ctx);
-                JobResult::Done(cells_json(&app_cells(app, seeds, with_aces, &limits)))
+                JobResult::Done(cells_json(&app_cells(app, seeds, with_aces, &limits, sel)))
             })
         })
         .collect();
@@ -194,7 +207,7 @@ pub fn attack_matrix_with(
             _ => cells.extend(cells_from(app.name, &rec.payload)?),
         }
     }
-    Ok((AttackMatrix { seeds, cells }, report))
+    Ok((AttackMatrix { backend: sel.name(), seeds, cells }, report))
 }
 
 /// Job-id fragment for an application name (journal id charset only).
@@ -282,11 +295,17 @@ fn build_artifacts(app: &App, with_aces: bool) -> Artifacts {
 /// configuration. One VM per configuration is built, loaded and booted
 /// exactly once, then reset per campaign from its post-boot snapshot —
 /// the fork-server pattern that makes the matrix cheap.
-fn app_cells(app: &App, seeds: u64, with_aces: bool, limits: &RunLimits) -> Vec<Cell> {
+fn app_cells(
+    app: &App,
+    seeds: u64,
+    with_aces: bool,
+    limits: &RunLimits,
+    sel: BackendSel,
+) -> Vec<Cell> {
     let art = build_artifacts(app, with_aces);
-    let mut opec = caught_runner("OPEC init", || prepare_opec(app, &art));
+    let mut opec = caught_runner("OPEC init", || prepare_opec(app, &art, sel));
     let mut aces = with_aces.then(|| caught_runner("ACES init", || prepare_aces(app, &art)));
-    let mut baseline = caught_runner("baseline init", || prepare_baseline(app, &art));
+    let mut baseline = caught_runner("baseline init", || prepare_baseline(app, &art, sel));
     let mut cells = Vec::new();
     for kind in AttackKind::ALL {
         for config in Config::ALL {
@@ -409,12 +428,17 @@ fn caught_runner<S: Supervisor + Clone>(
     caught(what, panic::catch_unwind(AssertUnwindSafe(f)))
 }
 
-fn prepare_opec(app: &App, art: &Artifacts) -> Result<Runner<OpecMonitor>, String> {
+fn prepare_opec(
+    app: &App,
+    art: &Artifacts,
+    sel: BackendSel,
+) -> Result<Runner<OpecMonitor>, String> {
     let out = art.opec.as_ref().map_err(Clone::clone)?;
-    let mut machine = Machine::new(app.board);
+    let backend = sel.dyn_backend();
+    let mut machine = backend.make_machine(app.board);
     (app.setup)(&mut machine);
     let vm = Vm::builder(machine, out.image.clone())
-        .supervisor(OpecMonitor::new(out.policy.clone()))
+        .supervisor(OpecMonitor::with_backend(out.policy.clone(), backend))
         .build()
         .map_err(|e| format!("OPEC image: {e}"))?;
     Runner::new(vm)
@@ -440,9 +464,13 @@ fn prepare_aces(app: &App, art: &Artifacts) -> Result<Runner<AcesRuntime>, Strin
     Runner::new(vm)
 }
 
-fn prepare_baseline(app: &App, art: &Artifacts) -> Result<Runner<NullSupervisor>, String> {
+fn prepare_baseline(
+    app: &App,
+    art: &Artifacts,
+    sel: BackendSel,
+) -> Result<Runner<NullSupervisor>, String> {
     let image = art.baseline.as_ref().map_err(Clone::clone)?;
-    let mut machine = Machine::new(app.board);
+    let mut machine = sel.dyn_backend().make_machine(app.board);
     (app.setup)(&mut machine);
     let vm =
         Vm::builder(machine, image.clone()).build().map_err(|e| format!("baseline image: {e}"))?;
@@ -873,7 +901,12 @@ impl AttackMatrix {
     /// Human-readable matrix, one table per application.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "Attack containment matrix ({} seeds per cell)", self.seeds).unwrap();
+        writeln!(
+            out,
+            "Attack containment matrix ({} seeds per cell, backend: {})",
+            self.seeds, self.backend
+        )
+        .unwrap();
         writeln!(out, "C = contained, E = escaped, X = crashed, U = undecided\n").unwrap();
         for app in self.app_names() {
             let block = self.app_block(app);
@@ -903,6 +936,7 @@ impl AttackMatrix {
     /// artifact).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
+        writeln!(out, "  \"backend\": {},", jstr(self.backend)).unwrap();
         writeln!(out, "  \"seeds\": {},", self.seeds).unwrap();
         out.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
@@ -1093,7 +1127,9 @@ mod tests {
     fn panicking_job_is_retried_contained_and_scored_crashed() {
         let mut o = test_opts("attack-panic");
         o.panic_inject = Some("attack/app/PinLock".to_string());
-        let (m, rep) = attack_matrix_with(&[opec_apps::programs::pinlock::app()], 1, &o).unwrap();
+        let (m, rep) =
+            attack_matrix_with(&[opec_apps::programs::pinlock::app()], 1, &o, BackendSel::Armv7m)
+                .unwrap();
         // The injected fault panicked both attempts: one retry, then
         // classified deterministic — and the campaign itself survived.
         assert_eq!(rep.records.len(), 1);
@@ -1126,9 +1162,9 @@ mod tests {
         let mut o = test_opts("attack-resume");
         o.journal = Some(path.clone());
         let apps = [opec_apps::programs::pinlock::app()];
-        let (fresh, first) = attack_matrix_with(&apps, 2, &o).unwrap();
+        let (fresh, first) = attack_matrix_with(&apps, 2, &o, BackendSel::Armv7m).unwrap();
         assert_eq!(first.resumed, 0);
-        let (resumed, second) = attack_matrix_with(&apps, 2, &o).unwrap();
+        let (resumed, second) = attack_matrix_with(&apps, 2, &o, BackendSel::Armv7m).unwrap();
         assert_eq!(second.resumed, 1, "the journaled job must not re-run");
         assert_eq!(fresh.to_json(), resumed.to_json());
         assert_eq!(fresh.render(), resumed.render());

@@ -1,0 +1,105 @@
+//! Backend selection for `opec-eval --backend {armv7m,rv32-pmp}`.
+//!
+//! Every backend-aware subcommand (`attack-matrix`, `check`,
+//! `bench-vm`, `report`) resolves the `--backend` flag through
+//! [`BackendSel::from_args`] and then builds machines/monitors through
+//! [`BackendSel::dyn_backend`]. The ACES comparison stack and the
+//! unprotected baseline are ARMv7-M artifacts (ACES is an MPU
+//! compartmentalisation scheme); subcommands consult
+//! [`BackendSel::has_aces`] and record a skip note instead of
+//! pretending ACES ports exist.
+
+use std::sync::Arc;
+
+use opec_core::{Armv7mBackend, DynBackend};
+use opec_pmp::Rv32PmpBackend;
+
+use crate::cli::CliArgs;
+
+/// One of the two protection backends the evaluation can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendSel {
+    /// The paper's platform: ARMv7-M MPU (the default).
+    #[default]
+    Armv7m,
+    /// The §7 port: RISC-V PMP.
+    Rv32Pmp,
+}
+
+impl BackendSel {
+    /// Every backend, in CLI-vocabulary order.
+    pub const ALL: [BackendSel; 2] = [BackendSel::Armv7m, BackendSel::Rv32Pmp];
+
+    /// Resolves `--backend`; absence means ARMv7-M (back-compat with
+    /// every pre-backend invocation). An unknown name is a usage error
+    /// (the caller exits 2).
+    pub fn from_args(args: &CliArgs) -> Result<BackendSel, String> {
+        match args.backend.as_deref() {
+            None | Some("armv7m") => Ok(BackendSel::Armv7m),
+            Some("rv32-pmp") => Ok(BackendSel::Rv32Pmp),
+            Some(other) => Err(format!("unknown backend {other:?} (expected armv7m or rv32-pmp)")),
+        }
+    }
+
+    /// The stable CLI/report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendSel::Armv7m => "armv7m",
+            BackendSel::Rv32Pmp => "rv32-pmp",
+        }
+    }
+
+    /// The erased backend the monitor/oracle stack programs against.
+    pub fn dyn_backend(self) -> Arc<dyn DynBackend> {
+        match self {
+            BackendSel::Armv7m => Arc::new(Armv7mBackend),
+            BackendSel::Rv32Pmp => Arc::new(Rv32PmpBackend),
+        }
+    }
+
+    /// Whether the ACES comparison stack exists on this backend. ACES
+    /// compartmentalisation targets the ARMv7-M MPU; on other backends
+    /// its cells are recorded as skips, never silently dropped.
+    pub fn has_aces(self) -> bool {
+        self == BackendSel::Armv7m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_backend(name: Option<&str>) -> CliArgs {
+        CliArgs { backend: name.map(str::to_string), ..CliArgs::default() }
+    }
+
+    #[test]
+    fn resolves_known_backends_and_defaults_to_arm() {
+        assert_eq!(BackendSel::from_args(&with_backend(None)).unwrap(), BackendSel::Armv7m);
+        assert_eq!(
+            BackendSel::from_args(&with_backend(Some("armv7m"))).unwrap(),
+            BackendSel::Armv7m
+        );
+        assert_eq!(
+            BackendSel::from_args(&with_backend(Some("rv32-pmp"))).unwrap(),
+            BackendSel::Rv32Pmp
+        );
+    }
+
+    #[test]
+    fn unknown_backend_is_a_usage_error_naming_the_operand() {
+        let err = BackendSel::from_args(&with_backend(Some("avr"))).unwrap_err();
+        assert!(err.contains("avr"), "{err}");
+        assert!(err.contains("armv7m"), "{err}");
+    }
+
+    #[test]
+    fn names_and_aces_availability() {
+        assert_eq!(BackendSel::Armv7m.name(), "armv7m");
+        assert_eq!(BackendSel::Rv32Pmp.name(), "rv32-pmp");
+        assert!(BackendSel::Armv7m.has_aces());
+        assert!(!BackendSel::Rv32Pmp.has_aces());
+        assert_eq!(BackendSel::Armv7m.dyn_backend().name(), "armv7m");
+        assert_eq!(BackendSel::Rv32Pmp.dyn_backend().name(), "rv32-pmp");
+    }
+}

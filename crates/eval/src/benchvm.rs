@@ -31,6 +31,7 @@ use opec_vm::{link_baseline, ExecMode, LoadedImage, Supervisor, Vm};
 
 use opec_campaign::CampaignReport;
 
+use crate::backend::BackendSel;
 use crate::check::run_lockstep_campaign;
 use crate::engine::EngineOpts;
 use crate::runs::FUEL;
@@ -167,17 +168,67 @@ fn micro_throughput() -> Throughput {
     })
 }
 
-fn opec_throughput(app: &App) -> Throughput {
+fn opec_throughput(app: &App, sel: BackendSel) -> Throughput {
     let (module, specs) = (app.build)();
     let out =
         compile(module, app.board, &specs).unwrap_or_else(|e| panic!("{} compile: {e}", app.name));
     let policy = out.policy.clone();
     let image = std::sync::Arc::new(out.image);
+    let backend = sel.dyn_backend();
     throughput(app.name.to_string(), "OPEC", APP_REPS, |mode| {
-        let mut m = Machine::new(app.board);
+        let mut m = backend.make_machine(app.board);
         (app.setup)(&mut m);
-        timed_run(image.clone(), OpecMonitor::new(policy.clone()), m, mode)
+        timed_run(
+            image.clone(),
+            OpecMonitor::with_backend(policy.clone(), std::sync::Arc::clone(&backend)),
+            m,
+            mode,
+        )
     })
+}
+
+/// Protection-switch cost of one application on one backend: a single
+/// full OPEC run, read back from the monitor's own counters. The same
+/// firmware image runs on both backends, so the per-switch write counts
+/// are directly comparable (ARMv7-M MPU region writes vs RISC-V PMP
+/// entry writes).
+struct SwitchCost {
+    app: &'static str,
+    switches: u64,
+    prot_writes: u64,
+}
+
+impl SwitchCost {
+    fn json(&self) -> String {
+        let per_switch =
+            if self.switches > 0 { self.prot_writes as f64 / self.switches as f64 } else { 0.0 };
+        format!(
+            "{{\"app\": \"{}\", \"switches\": {}, \"prot_writes\": {}, \
+             \"writes_per_switch\": {per_switch:.2}}}",
+            self.app, self.switches, self.prot_writes,
+        )
+    }
+}
+
+fn switch_costs(sel: BackendSel) -> Vec<SwitchCost> {
+    all_apps()
+        .iter()
+        .map(|app| {
+            let (module, specs) = (app.build)();
+            let out = compile(module, app.board, &specs)
+                .unwrap_or_else(|e| panic!("{} compile: {e}", app.name));
+            let backend = sel.dyn_backend();
+            let mut m = backend.make_machine(app.board);
+            (app.setup)(&mut m);
+            let mut vm = Vm::builder(m, out.image)
+                .supervisor(OpecMonitor::with_backend(out.policy.clone(), backend))
+                .build()
+                .unwrap_or_else(|e| panic!("{} image: {e}", app.name));
+            let _ = vm.run(FUEL);
+            let stats = &vm.supervisor.stats;
+            SwitchCost { app: app.name, switches: stats.switches, prot_writes: stats.prot_writes }
+        })
+        .collect()
 }
 
 fn aces_throughput(app: &App) -> Throughput {
@@ -260,7 +311,8 @@ fn campaign_bench() -> CampaignBench {
 /// supervision. Returns the document and the lockstep divergence count
 /// (non-zero must fail the caller).
 pub fn bench_vm(gen_seeds: u64) -> (String, u64) {
-    let (doc, bad, _) = bench_vm_campaign(gen_seeds, &EngineOpts::default()).expect("bench-vm");
+    let (doc, bad, _) =
+        bench_vm_campaign(gen_seeds, &EngineOpts::default(), BackendSel::Armv7m).expect("bench-vm");
     (doc, bad)
 }
 
@@ -273,8 +325,10 @@ pub fn bench_vm(gen_seeds: u64) -> (String, u64) {
 pub fn bench_vm_campaign(
     gen_seeds: u64,
     engine: &EngineOpts,
+    sel: BackendSel,
 ) -> Result<(String, u64, CampaignReport), String> {
     let mut out = String::from("{\n");
+    writeln!(out, "  \"backend\": \"{}\",", sel.name()).expect("write to String");
 
     eprintln!("[bench-vm] ALU microbenchmark (plain vs decoded)...");
     let micro = micro_throughput();
@@ -290,15 +344,35 @@ pub fn bench_vm_campaign(
     )
     .expect("write to String");
 
-    eprintln!("[bench-vm] per-app throughput (7 OPEC + 5 ACES, {APP_REPS} reps per mode)...");
-    let mut apps: Vec<Throughput> = all_apps().iter().map(opec_throughput).collect();
-    apps.extend(aces_comparison_apps().iter().map(aces_throughput));
+    eprintln!(
+        "[bench-vm] per-app throughput ({APP_REPS} reps per mode, backend {})...",
+        sel.name()
+    );
+    let mut apps: Vec<Throughput> =
+        all_apps().iter().map(|app| opec_throughput(app, sel)).collect();
+    if sel.has_aces() {
+        apps.extend(aces_comparison_apps().iter().map(aces_throughput));
+    }
     out.push_str("  \"apps\": [\n");
     for (i, t) in apps.iter().enumerate() {
         writeln!(out, "    {}{}", t.json(), if i + 1 < apps.len() { "," } else { "" })
             .expect("write to String");
     }
     out.push_str("  ],\n");
+
+    eprintln!("[bench-vm] per-backend protection-switch costs (both backends)...");
+    out.push_str("  \"switch_costs\": {\n");
+    for (bi, backend) in BackendSel::ALL.iter().enumerate() {
+        let costs = switch_costs(*backend);
+        writeln!(out, "    \"{}\": [", backend.name()).expect("write to String");
+        for (i, c) in costs.iter().enumerate() {
+            writeln!(out, "      {}{}", c.json(), if i + 1 < costs.len() { "," } else { "" })
+                .expect("write to String");
+        }
+        writeln!(out, "    ]{}", if bi + 1 < BackendSel::ALL.len() { "," } else { "" })
+            .expect("write to String");
+    }
+    out.push_str("  },\n");
 
     eprintln!("[bench-vm] campaign resets ({NAIVE_RESETS} rebuilds vs {SNAP_RESETS} restores)...");
     let camp = campaign_bench();
@@ -314,8 +388,11 @@ pub fn bench_vm_campaign(
     )
     .expect("write to String");
 
-    eprintln!("[bench-vm] cached-vs-plain lockstep (12 apps + {gen_seeds} firmwares)...");
-    let (rep, campaign) = run_lockstep_campaign(gen_seeds, engine)?;
+    eprintln!(
+        "[bench-vm] cached-vs-plain lockstep ({gen_seeds} firmwares, backend {})...",
+        sel.name()
+    );
+    let (rep, campaign) = run_lockstep_campaign(gen_seeds, engine, sel)?;
     let divergences: u64 = rep.cases.iter().map(|c| c.total).sum();
     let build_errors = rep.cases.iter().filter(|c| c.run_error.is_some()).count();
     writeln!(

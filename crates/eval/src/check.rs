@@ -33,11 +33,12 @@ use opec_ir::{GlobalId, Module};
 use opec_obs::export::{event_log, metrics_json};
 use opec_obs::{Obs, OpId, Recorder};
 use opec_oracle::{
-    describe, generate, run_aces_with, run_opec_with, shadow, shrink, AccessMatrix, FirmwareSpec,
+    describe, generate, run_aces_with, run_opec_on, shadow, shrink, AccessMatrix, FirmwareSpec,
     OracleState, RunBudget, RunHalt, Verdict, GEN_FUEL,
 };
 use opec_vm::{ExecMode, LoadedImage, RunOutcome, Supervisor, Trace, Vm, VmError, VmStats};
 
+use crate::backend::BackendSel;
 use crate::engine::{EngineOpts, RunLimits};
 use crate::metrics::{et_by_task, pt_of_compartments};
 use crate::runs::{AppEval, OpecRun};
@@ -56,6 +57,16 @@ pub struct CheckOptions {
     pub seeds: u64,
     /// Shrink divergent generated firmwares to a minimal program.
     pub shrink: bool,
+    /// Protection backend the OPEC stack runs on. The ACES comparison
+    /// exists only on ARMv7-M; on other backends its cases are
+    /// recorded as skip notes.
+    pub backend: BackendSel,
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions { seeds: 16, shrink: false, backend: BackendSel::Armv7m }
+    }
 }
 
 /// The oracle's verdict over one subject (one app or one generated
@@ -102,12 +113,24 @@ pub struct CrossCheck {
 }
 
 /// Everything `check` produced.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CheckReport {
+    /// The protection backend the OPEC cases ran on.
+    pub backend: &'static str,
     /// Per-subject oracle verdicts.
     pub cases: Vec<CaseResult>,
     /// Metric cross-checks.
     pub crosschecks: Vec<CrossCheck>,
+}
+
+impl Default for CheckReport {
+    fn default() -> CheckReport {
+        CheckReport {
+            backend: BackendSel::Armv7m.name(),
+            cases: Vec::new(),
+            crosschecks: Vec::new(),
+        }
+    }
 }
 
 impl CheckReport {
@@ -134,7 +157,10 @@ impl CheckReport {
     /// Human-readable report.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        s.push_str("Differential oracle\n===================\n");
+        s.push_str(&format!(
+            "Differential oracle (backend: {})\n===================\n",
+            self.backend
+        ));
         for c in &self.cases {
             let status = if c.failed() { "FAIL" } else { "  ok" };
             s.push_str(&format!(
@@ -184,7 +210,7 @@ impl CheckReport {
                 None => "null".to_string(),
             }
         }
-        let mut s = String::from("{\n  \"cases\": [\n");
+        let mut s = format!("{{\n  \"backend\": \"{}\",\n  \"cases\": [\n", self.backend);
         for (i, c) in self.cases.iter().enumerate() {
             let divs = c
                 .divergences
@@ -229,7 +255,7 @@ impl CheckReport {
 /// (retried once), fuel exhaustion is guest-deterministic (never
 /// retried).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum BudgetHalt {
+pub enum BudgetHalt {
     /// Every run finished within budget.
     Ran,
     /// A run exhausted its guest fuel budget.
@@ -414,18 +440,24 @@ fn verdict_case(name: String, system: &'static str, v: &Verdict) -> CaseResult {
 /// cross-checks ET: the trace-derived execution sets against the
 /// oracle's, and Equation 2 recomputed from the matrix against
 /// [`et_by_task`].
-fn check_opec_app(app: &App, limits: &RunLimits) -> (CaseResult, Vec<CrossCheck>, BudgetHalt) {
+pub fn check_opec_app(
+    app: &App,
+    limits: &RunLimits,
+    sel: BackendSel,
+) -> (CaseResult, Vec<CrossCheck>, BudgetHalt) {
+    let backend = sel.dyn_backend();
     let (module, specs) = (app.build)();
     let out =
         compile(module, app.board, &specs).unwrap_or_else(|e| panic!("{} compile: {e}", app.name));
-    let matrix = AccessMatrix::opec(&out.image.module, &out.partition, &out.policy);
+    let matrix = AccessMatrix::opec(&out.image.module, &out.partition, &out.policy)
+        .with_boundary_granularity(backend.boundary_granularity(out.policy.stack));
     let trace = Rc::new(RefCell::new(Trace::new()));
     let obs = Obs::single(trace.clone());
     let (watcher, handle) = shadow(matrix.clone(), obs.clone());
-    let mut machine = Machine::new(app.board);
+    let mut machine = backend.make_machine(app.board);
     (app.setup)(&mut machine);
     let mut vm = Vm::builder(machine, out.image.clone())
-        .supervisor(OpecMonitor::new(out.policy.clone()))
+        .supervisor(OpecMonitor::with_backend(out.policy.clone(), backend))
         .obs(obs)
         .watcher(watcher)
         .build()
@@ -593,14 +625,16 @@ fn check_aces_app(app: &App, limits: &RunLimits) -> (CaseResult, Vec<CrossCheck>
     (state_case(app.name.to_string(), "ACES", &st, run_error), crosschecks, halt)
 }
 
-/// One generated firmware under the OPEC stack, within `budget`.
+/// One generated firmware under the OPEC stack on `sel`, within
+/// `budget`.
 fn gen_opec_case(
     spec: &FirmwareSpec,
     seed: u64,
     do_shrink: bool,
     budget: &RunBudget,
+    sel: BackendSel,
 ) -> (CaseResult, BudgetHalt) {
-    match run_opec_with(spec, None, budget) {
+    match run_opec_on(spec, None, budget, sel.dyn_backend()) {
         Ok(v) => {
             let mut case = verdict_case(format!("gen[{seed}]"), "OPEC", &v);
             let halt = BudgetHalt::from_oracle(v.halt);
@@ -610,7 +644,10 @@ fn gen_opec_case(
             if !v.clean() && do_shrink {
                 let small = shrink(
                     spec,
-                    |s| run_opec_with(s, None, budget).is_ok_and(|v| v.total_divergences > 0),
+                    |s| {
+                        run_opec_on(s, None, budget, sel.dyn_backend())
+                            .is_ok_and(|v| v.total_divergences > 0)
+                    },
                     SHRINK_BUDGET,
                 );
                 case.shrunk = Some(describe(&small));
@@ -687,6 +724,34 @@ fn job_slug(name: &str) -> String {
         .collect()
 }
 
+/// Job-id segment for the backend: empty on ARMv7-M (the historical id
+/// shape, so existing journals still resume) and `rv32-pmp/` on the
+/// port — a journal written under one backend must never satisfy a
+/// resume under the other.
+fn backend_segment(sel: BackendSel) -> &'static str {
+    match sel {
+        BackendSel::Armv7m => "",
+        BackendSel::Rv32Pmp => "rv32-pmp/",
+    }
+}
+
+/// The ACES-side skip case recorded for every comparison subject when
+/// the selected backend has no ACES port.
+fn aces_skip_case(name: String, sel: BackendSel) -> CaseResult {
+    CaseResult {
+        name,
+        system: "ACES",
+        divergences: Vec::new(),
+        total: 0,
+        checks: 0,
+        probes: 0,
+        switches: 0,
+        run_error: None,
+        shrunk: None,
+        note: Some(format!("skipped: ACES targets the ARMv7-M MPU, not {}", sel.name())),
+    }
+}
+
 /// The oracle's generated-firmware budget for one job attempt: the
 /// site default [`GEN_FUEL`] capped by the campaign budget, plus the
 /// attempt's watchdog deadline.
@@ -729,11 +794,15 @@ pub fn run_check_with(
     opts: &CheckOptions,
     copts: &CampaignOpts,
 ) -> Result<(CheckReport, CampaignReport), String> {
+    let sel = opts.backend;
+    let seg = backend_segment(sel);
     let apps = all_apps();
     let cmp = aces_comparison_apps();
     let mut kinds: Vec<CheckJob<'_>> = Vec::new();
     kinds.extend(apps.iter().map(CheckJob::OpecApp));
-    kinds.extend(cmp.iter().map(CheckJob::AcesApp));
+    if sel.has_aces() {
+        kinds.extend(cmp.iter().map(CheckJob::AcesApp));
+    }
     kinds.extend((0..opts.seeds).map(CheckJob::Gen));
     let do_shrink = opts.shrink;
 
@@ -741,16 +810,20 @@ pub fn run_check_with(
         .iter()
         .map(|&kind| match kind {
             CheckJob::OpecApp(app) => Job::new(
-                format!("check/app/{}/opec", job_slug(app.name)),
-                format!("{{\"app\":\"{}\",\"system\":\"OPEC\"}}", json::escape(app.name)),
+                format!("check/{seg}app/{}/opec", job_slug(app.name)),
+                format!(
+                    "{{\"app\":\"{}\",\"system\":\"OPEC\",\"backend\":\"{}\"}}",
+                    json::escape(app.name),
+                    sel.name()
+                ),
                 move |ctx| {
                     let limits = RunLimits::from_ctx(ctx);
-                    let (case, xcs, halt) = check_opec_app(app, &limits);
+                    let (case, xcs, halt) = check_opec_app(app, &limits, sel);
                     halt.result(app_payload(&case, &xcs))
                 },
             ),
             CheckJob::AcesApp(app) => Job::new(
-                format!("check/app/{}/aces", job_slug(app.name)),
+                format!("check/{seg}app/{}/aces", job_slug(app.name)),
                 format!("{{\"app\":\"{}\",\"system\":\"ACES\"}}", json::escape(app.name)),
                 move |ctx| {
                     let limits = RunLimits::from_ctx(ctx);
@@ -759,12 +832,18 @@ pub fn run_check_with(
                 },
             ),
             CheckJob::Gen(seed) => Job::new(
-                format!("check/gen/{seed}"),
-                format!("{{\"seed\":{seed},\"shrink\":{do_shrink}}}"),
+                format!("check/{seg}gen/{seed}"),
+                format!(
+                    "{{\"seed\":{seed},\"shrink\":{do_shrink},\"backend\":\"{}\"}}",
+                    sel.name()
+                ),
                 move |ctx| {
                     let budget = gen_budget(&RunLimits::from_ctx(ctx));
                     let spec = generate(seed);
-                    let (opec_case, h1) = gen_opec_case(&spec, seed, do_shrink, &budget);
+                    let (opec_case, h1) = gen_opec_case(&spec, seed, do_shrink, &budget, sel);
+                    if !sel.has_aces() {
+                        return h1.result(format!("{{\"opec\":{}}}", case_json(&opec_case)));
+                    }
                     let (aces_case, h2) = gen_aces_case(&spec, seed, do_shrink, &budget);
                     h1.worst(h2).result(format!(
                         "{{\"opec\":{},\"aces\":{}}}",
@@ -780,7 +859,7 @@ pub fn run_check_with(
     // Aggregate from the records alone, in job-definition order: the
     // same payload bytes produce the same report whether the job ran
     // now, was resumed from the journal, or panicked.
-    let mut out = CheckReport::default();
+    let mut out = CheckReport { backend: sel.name(), ..CheckReport::default() };
     for (rec, &kind) in report.records.iter().zip(&kinds) {
         match (kind, rec.outcome) {
             (CheckJob::OpecApp(app), JobOutcome::Panicked) => {
@@ -791,7 +870,9 @@ pub fn run_check_with(
             }
             (CheckJob::Gen(seed), JobOutcome::Panicked) => {
                 out.cases.push(panicked_case(format!("gen[{seed}]"), "OPEC", &rec.payload));
-                out.cases.push(panicked_case(format!("gen[{seed}]"), "ACES", &rec.payload));
+                if sel.has_aces() {
+                    out.cases.push(panicked_case(format!("gen[{seed}]"), "ACES", &rec.payload));
+                }
             }
             (CheckJob::OpecApp(_) | CheckJob::AcesApp(_), _) => {
                 let (case, xcs) = app_payload_from(&rec.payload)?;
@@ -800,11 +881,21 @@ pub fn run_check_with(
             }
             (CheckJob::Gen(_), _) => {
                 let doc = json::parse(&rec.payload).map_err(|e| format!("gen payload: {e}"))?;
-                for key in ["opec", "aces"] {
-                    let v = doc.get(key).ok_or_else(|| format!("gen payload: no {key}"))?;
-                    out.cases.push(case_from(v)?);
+                let v = doc.get("opec").ok_or("gen payload: no opec")?;
+                out.cases.push(case_from(v)?);
+                match doc.get("aces") {
+                    Some(v) => out.cases.push(case_from(v)?),
+                    None if !sel.has_aces() => {}
+                    None => return Err("gen payload: no aces".to_string()),
                 }
             }
+        }
+    }
+    // The ACES side is recorded as explicit skips on a backend without
+    // an ACES port — visible in the report, never silently dropped.
+    if !sel.has_aces() {
+        for app in &cmp {
+            out.cases.push(aces_skip_case(app.name.to_string(), sel));
         }
     }
     Ok((out, report))
@@ -963,16 +1054,23 @@ fn lock_error(name: String, system: &'static str, error: String) -> CaseResult {
     }
 }
 
-fn lockstep_opec_app(app: &App, fuel: u64) -> (CaseResult, BudgetHalt) {
+fn lockstep_opec_app(app: &App, fuel: u64, sel: BackendSel) -> (CaseResult, BudgetHalt) {
+    let backend = sel.dyn_backend();
     let (module, specs) = (app.build)();
     match compile(module, app.board, &specs) {
         Ok(out) => {
             let policy = out.policy.clone();
             let image = Arc::new(out.image);
             let run = |mode| {
-                let mut machine = Machine::new(app.board);
+                let mut machine = backend.make_machine(app.board);
                 (app.setup)(&mut machine);
-                lock_run(image.clone(), OpecMonitor::new(policy.clone()), machine, mode, fuel)
+                lock_run(
+                    image.clone(),
+                    OpecMonitor::with_backend(policy.clone(), Arc::clone(&backend)),
+                    machine,
+                    mode,
+                    fuel,
+                )
             };
             let (plain, h1) = run(ExecMode::Plain);
             let (decoded, h2) = run(ExecMode::Decoded);
@@ -1015,7 +1113,8 @@ fn lockstep_aces_app(app: &App, fuel: u64) -> (CaseResult, BudgetHalt) {
     }
 }
 
-fn lockstep_generated(seed: u64, fuel: u64) -> (CaseResult, BudgetHalt) {
+fn lockstep_generated(seed: u64, fuel: u64, sel: BackendSel) -> (CaseResult, BudgetHalt) {
+    let backend = sel.dyn_backend();
     let spec = generate(seed);
     let specs = spec.op_specs();
     match compile(spec.build_module(), spec.board(), &specs) {
@@ -1023,9 +1122,15 @@ fn lockstep_generated(seed: u64, fuel: u64) -> (CaseResult, BudgetHalt) {
             let policy = out.policy.clone();
             let image = Arc::new(out.image);
             let run = |mode| {
-                let mut machine = Machine::new(spec.board());
+                let mut machine = backend.make_machine(spec.board());
                 spec.install_devices(&mut machine);
-                lock_run(image.clone(), OpecMonitor::new(policy.clone()), machine, mode, fuel)
+                lock_run(
+                    image.clone(),
+                    OpecMonitor::with_backend(policy.clone(), Arc::clone(&backend)),
+                    machine,
+                    mode,
+                    fuel,
+                )
             };
             let (plain, h1) = run(ExecMode::Plain);
             let (decoded, h2) = run(ExecMode::Decoded);
@@ -1047,8 +1152,8 @@ fn lockstep_generated(seed: u64, fuel: u64) -> (CaseResult, BudgetHalt) {
 /// Subjects: the seven paper applications under OPEC, the five
 /// comparison applications under ACES, and `seeds` generated firmwares
 /// under OPEC.
-pub fn run_lockstep(seeds: u64) -> CheckReport {
-    run_lockstep_campaign(seeds, &EngineOpts::default()).expect("lockstep campaign").0
+pub fn run_lockstep(seeds: u64, sel: BackendSel) -> CheckReport {
+    run_lockstep_campaign(seeds, &EngineOpts::default(), sel).expect("lockstep campaign").0
 }
 
 /// [`run_lockstep`] as a supervised campaign: one job per subject and
@@ -1060,35 +1165,44 @@ pub fn run_lockstep(seeds: u64) -> CheckReport {
 pub fn run_lockstep_campaign(
     seeds: u64,
     engine: &EngineOpts,
+    sel: BackendSel,
 ) -> Result<(CheckReport, CampaignReport), String> {
-    run_lockstep_with(seeds, &engine.lockstep_opts("lockstep"))
+    run_lockstep_with(seeds, &engine.lockstep_opts("lockstep"), sel)
 }
 
 /// [`run_lockstep_campaign`] under explicit campaign options.
 pub fn run_lockstep_with(
     seeds: u64,
     copts: &CampaignOpts,
+    sel: BackendSel,
 ) -> Result<(CheckReport, CampaignReport), String> {
+    let seg = backend_segment(sel);
     let apps = all_apps();
     let cmp = aces_comparison_apps();
     let mut kinds: Vec<CheckJob<'_>> = Vec::new();
     kinds.extend(apps.iter().map(CheckJob::OpecApp));
-    kinds.extend(cmp.iter().map(CheckJob::AcesApp));
+    if sel.has_aces() {
+        kinds.extend(cmp.iter().map(CheckJob::AcesApp));
+    }
     kinds.extend((0..seeds).map(CheckJob::Gen));
 
     let jobs: Vec<Job<'_>> = kinds
         .iter()
         .map(|&kind| match kind {
             CheckJob::OpecApp(app) => Job::new(
-                format!("lockstep/app/{}/opec", job_slug(app.name)),
-                format!("{{\"app\":\"{}\",\"system\":\"OPEC\"}}", json::escape(app.name)),
+                format!("lockstep/{seg}app/{}/opec", job_slug(app.name)),
+                format!(
+                    "{{\"app\":\"{}\",\"system\":\"OPEC\",\"backend\":\"{}\"}}",
+                    json::escape(app.name),
+                    sel.name()
+                ),
                 move |ctx| {
-                    let (case, halt) = lockstep_opec_app(app, ctx.fuel);
+                    let (case, halt) = lockstep_opec_app(app, ctx.fuel, sel);
                     halt.result(case_json(&case))
                 },
             ),
             CheckJob::AcesApp(app) => Job::new(
-                format!("lockstep/app/{}/aces", job_slug(app.name)),
+                format!("lockstep/{seg}app/{}/aces", job_slug(app.name)),
                 format!("{{\"app\":\"{}\",\"system\":\"ACES\"}}", json::escape(app.name)),
                 move |ctx| {
                     let (case, halt) = lockstep_aces_app(app, ctx.fuel);
@@ -1096,10 +1210,10 @@ pub fn run_lockstep_with(
                 },
             ),
             CheckJob::Gen(seed) => Job::new(
-                format!("lockstep/gen/{seed}"),
-                format!("{{\"seed\":{seed}}}"),
+                format!("lockstep/{seg}gen/{seed}"),
+                format!("{{\"seed\":{seed},\"backend\":\"{}\"}}", sel.name()),
                 move |ctx| {
-                    let (case, halt) = lockstep_generated(seed, ctx.fuel);
+                    let (case, halt) = lockstep_generated(seed, ctx.fuel, sel);
                     halt.result(case_json(&case))
                 },
             ),
@@ -1107,7 +1221,7 @@ pub fn run_lockstep_with(
         .collect();
     let report = run_campaign(copts, &jobs)?;
 
-    let mut out = CheckReport::default();
+    let mut out = CheckReport { backend: sel.name(), ..CheckReport::default() };
     for (rec, &kind) in report.records.iter().zip(&kinds) {
         let (name, system) = match kind {
             CheckJob::OpecApp(app) => (app.name.to_string(), "OPEC"),
@@ -1133,7 +1247,7 @@ mod tests {
     fn pinlock_is_divergence_free_with_agreeing_metrics() {
         let app = opec_apps::programs::pinlock::app();
         let limits = RunLimits::unsupervised();
-        let (case, crosschecks, halt) = check_opec_app(&app, &limits);
+        let (case, crosschecks, halt) = check_opec_app(&app, &limits, BackendSel::Armv7m);
         assert!(!case.failed(), "{:?}", case);
         assert!(case.checks > 0 && case.probes > 0 && case.switches > 0);
         assert!(crosschecks.iter().all(|x| x.ok), "{crosschecks:?}");
@@ -1148,14 +1262,14 @@ mod tests {
     #[test]
     fn pinlock_lockstep_has_zero_divergences() {
         let app = opec_apps::programs::pinlock::app();
-        let (case, halt) = lockstep_opec_app(&app, FUEL);
+        let (case, halt) = lockstep_opec_app(&app, FUEL, BackendSel::Armv7m);
         assert_eq!(case.total, 0, "OPEC: {:?}", case.divergences);
         assert!(case.run_error.is_none(), "{:?}", case.run_error);
         assert!(case.checks > 0 && case.switches > 0);
         assert_eq!(halt, BudgetHalt::Ran);
         let (case, _) = lockstep_aces_app(&app, FUEL);
         assert_eq!(case.total, 0, "ACES: {:?}", case.divergences);
-        let (case, _) = lockstep_generated(0, FUEL);
+        let (case, _) = lockstep_generated(0, FUEL, BackendSel::Armv7m);
         assert_eq!(case.total, 0, "gen[0]: {:?}", case.divergences);
     }
 
@@ -1165,7 +1279,7 @@ mod tests {
         // the same instruction, compare equal, and the job surfaces the
         // truncation as FuelExhausted instead of diverging or hanging.
         let app = opec_apps::programs::pinlock::app();
-        let (case, halt) = lockstep_opec_app(&app, 10_000);
+        let (case, halt) = lockstep_opec_app(&app, 10_000, BackendSel::Armv7m);
         assert_eq!(case.total, 0, "tight fuel: {:?}", case.divergences);
         assert_eq!(halt, BudgetHalt::Fuel);
     }
@@ -1196,6 +1310,7 @@ mod tests {
     #[test]
     fn report_json_is_wellformed_enough() {
         let report = CheckReport {
+            backend: "armv7m",
             cases: vec![CaseResult {
                 name: "gen[0]".into(),
                 system: "OPEC",

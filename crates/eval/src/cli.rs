@@ -10,6 +10,8 @@
 //! The vocabulary:
 //!
 //! ```text
+//! --backend NAME   protection backend           (attack-matrix, check,
+//!                  armv7m | rv32-pmp             bench-vm, report)
 //! --seeds N        seeds per attack cell / generated firmwares
 //!                                               (attack-matrix, check)
 //! --json FILE      machine-readable artifact    (attack-matrix, bench-json,
@@ -38,6 +40,8 @@
 /// Parsed command-line arguments, shared by every subcommand.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CliArgs {
+    /// `--backend NAME`: protection backend (`armv7m` | `rv32-pmp`).
+    pub backend: Option<String>,
     /// `--seeds N`: seeds per attack-matrix cell.
     pub seeds: Option<u64>,
     /// `--json FILE`: machine-readable artifact path.
@@ -82,6 +86,7 @@ impl CliArgs {
             |args: &mut I, flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
         while let Some(arg) = args.next() {
             match arg.as_str() {
+                "--backend" => out.backend = Some(need(&mut args, "--backend")?),
                 "--seeds" => {
                     let v = need(&mut args, "--seeds")?;
                     out.seeds =
@@ -126,6 +131,7 @@ impl CliArgs {
     pub fn forbid_unused(&self, cmd: &str, allowed: &[&str]) -> Result<(), String> {
         let set = |name: &str| -> bool {
             match name {
+                "--backend" => self.backend.is_some(),
                 "--seeds" => self.seeds.is_some(),
                 "--json" => self.json.is_some(),
                 "--out" => self.out.is_some(),
@@ -145,6 +151,7 @@ impl CliArgs {
             }
         };
         for name in [
+            "--backend",
             "--seeds",
             "--json",
             "--out",

@@ -14,7 +14,7 @@ use std::io::Write as _;
 
 use opec_apps::programs::all_apps;
 use opec_eval::engine::EngineOpts;
-use opec_eval::{attack, benchjson, benchvm, check, obsreport, report, CliArgs};
+use opec_eval::{attack, benchjson, benchvm, check, obsreport, report, BackendSel, CliArgs};
 
 /// The usage text (`opec-eval help`).
 const USAGE: &str = "\
@@ -31,18 +31,20 @@ opec-eval — regenerate the paper's tables and figures
   opec-eval csv [--out DIR]     every table/figure as CSV (default: results/)
   opec-eval bench-json [--json FILE]
                                 machine-readable timings (default: stdout)
-  opec-eval bench-vm [--seeds N] [--json FILE] [CAMPAIGN FLAGS]
+  opec-eval bench-vm [--backend B] [--seeds N] [--json FILE] [CAMPAIGN FLAGS]
                                 VM fast-path benchmark (BENCH_vm.json):
                                 plain vs pre-decoded instructions/sec per app,
-                                campaign resets/sec (rebuild vs snapshot
-                                restore), restore latency, and the cached-vs-
-                                plain lockstep sweep over 12 apps + N
-                                generated firmwares (default: 16).
+                                per-backend protection-switch costs (always
+                                both backends), campaign resets/sec (rebuild
+                                vs snapshot restore), restore latency, and the
+                                cached-vs-plain lockstep sweep over the apps +
+                                N generated firmwares (default: 16).
                                 Exits 1 on any lockstep divergence.
-  opec-eval attack-matrix [--seeds N] [--json FILE] [CAMPAIGN FLAGS]
+  opec-eval attack-matrix [--backend B] [--seeds N] [--json FILE]
+                          [CAMPAIGN FLAGS]
                                 §7 containment matrix (default: 4 seeds)
-  opec-eval check [--seeds N] [--shrink] [--lockstep] [--json FILE]
-                  [CAMPAIGN FLAGS]
+  opec-eval check [--backend B] [--seeds N] [--shrink] [--lockstep]
+                  [--json FILE] [CAMPAIGN FLAGS]
                                 differential security oracle: every app under
                                 OPEC (comparison apps also under ACES) plus N
                                 generated firmwares (default: 16), run in
@@ -55,11 +57,13 @@ opec-eval — regenerate the paper's tables and figures
                                 and reports any event-stream, counter, or
                                 outcome difference.
                                 Exits 1 on any divergence.
-  opec-eval report [--obs-json FILE] [--trace FILE] [--apps FILTER]
-                   [--ring N] [--funcs]
+  opec-eval report [--backend B] [--obs-json FILE] [--trace FILE]
+                   [--apps FILTER] [--ring N] [--funcs]
                                 per-operation overhead breakdown from the
                                 observability stream, OPEC and ACES measured
-                                from the same event format.
+                                from the same event format. Without --backend,
+                                OPEC runs on both backends and the report ends
+                                with a per-backend switch-cost comparison.
                                   --obs-json  write metrics JSON
                                   --trace     write a Chrome trace_event JSON
                                               of the first run (pick the app
@@ -69,6 +73,11 @@ opec-eval — regenerate the paper's tables and figures
                                   --funcs     keep function enter/exit events
                                               in the ring (bigger traces)
                                 Exits 1 if any ring shed events.
+
+--backend B (bench-vm, attack-matrix, check, report) selects the
+protection backend: armv7m (the paper's ARMv7-M MPU, the default) or
+rv32-pmp (the §7 RISC-V PMP port). The ACES comparison stack is an
+ARMv7-M artifact; under rv32-pmp its cells are recorded as skips.
 
 CAMPAIGN FLAGS (bench-vm, attack-matrix, check): these subcommands run
 their VM work as supervised campaign jobs — fuel-budgeted, watchdogged,
@@ -197,12 +206,13 @@ fn main() {
             }
         }
         "bench-vm" => {
-            no_flags(&campaign_flags(&["--seeds", "--json"]));
+            no_flags(&campaign_flags(&["--backend", "--seeds", "--json"]));
+            let sel = BackendSel::from_args(&args).unwrap_or_else(|e| fail(&e));
             let seeds = args.seeds.unwrap_or(16);
             let engine = EngineOpts::from_args(&args);
             let out = args.json.clone().map(|p| (create(&p), p));
             let (json, divergences, campaign) =
-                benchvm::bench_vm_campaign(seeds, &engine).unwrap_or_else(|e| fail(&e));
+                benchvm::bench_vm_campaign(seeds, &engine, sel).unwrap_or_else(|e| fail(&e));
             match out {
                 Some((mut file, path)) => {
                     file.write_all(json.as_bytes()).expect("write BENCH_vm.json");
@@ -225,13 +235,18 @@ fn main() {
             eprintln!("[opec-eval] bench-vm clean: decoded path lockstep-identical");
         }
         "attack-matrix" => {
-            no_flags(&campaign_flags(&["--seeds", "--json"]));
+            no_flags(&campaign_flags(&["--backend", "--seeds", "--json"]));
+            let sel = BackendSel::from_args(&args).unwrap_or_else(|e| fail(&e));
             let seeds = args.seeds.unwrap_or(4);
             let engine = EngineOpts::from_args(&args);
             let out = args.json.clone().map(|p| (create(&p), p));
-            eprintln!("[opec-eval] running attack campaigns ({seeds} seeds per cell)...");
-            let (matrix, campaign) = attack::attack_matrix_campaign(&all_apps(), seeds, &engine)
-                .unwrap_or_else(|e| fail(&e));
+            eprintln!(
+                "[opec-eval] running attack campaigns ({seeds} seeds per cell, backend {})...",
+                sel.name()
+            );
+            let (matrix, campaign) =
+                attack::attack_matrix_campaign(&all_apps(), seeds, &engine, sel)
+                    .unwrap_or_else(|e| fail(&e));
             print!("{}", matrix.render());
             if let Some((mut file, path)) = out {
                 file.write_all(matrix.to_json().as_bytes()).expect("write matrix JSON");
@@ -259,7 +274,14 @@ fn main() {
             eprintln!("[opec-eval] containment matrix clean: no OPEC escapes, no crashes");
         }
         "check" => {
-            no_flags(&campaign_flags(&["--seeds", "--json", "--shrink", "--lockstep"]));
+            no_flags(&campaign_flags(&[
+                "--backend",
+                "--seeds",
+                "--json",
+                "--shrink",
+                "--lockstep",
+            ]));
+            let sel = BackendSel::from_args(&args).unwrap_or_else(|e| fail(&e));
             let seeds = args.seeds.unwrap_or(16);
             let engine = EngineOpts::from_args(&args);
             let out = args.json.clone().map(|p| (create(&p), p));
@@ -268,17 +290,19 @@ fn main() {
                     fail("--shrink does not apply to --lockstep");
                 }
                 eprintln!(
-                    "[opec-eval] cached-vs-plain lockstep: 12 apps + {seeds} generated \
-                     firmwares, each run under both execution modes..."
+                    "[opec-eval] cached-vs-plain lockstep: apps + {seeds} generated \
+                     firmwares on backend {}, each run under both execution modes...",
+                    sel.name()
                 );
-                check::run_lockstep_campaign(seeds, &engine).unwrap_or_else(|e| fail(&e))
+                check::run_lockstep_campaign(seeds, &engine, sel).unwrap_or_else(|e| fail(&e))
             } else {
                 eprintln!(
                     "[opec-eval] differential oracle: 7 apps + {seeds} generated firmwares \
-                     (OPEC and ACES)..."
+                     on backend {}...",
+                    sel.name()
                 );
                 check::run_check_campaign(
-                    &check::CheckOptions { seeds, shrink: args.shrink },
+                    &check::CheckOptions { seeds, shrink: args.shrink, backend: sel },
                     &engine,
                 )
                 .unwrap_or_else(|e| fail(&e))
@@ -321,11 +345,18 @@ fn main() {
             }
         }
         "report" => {
-            no_flags(&["--obs-json", "--trace", "--apps", "--ring", "--funcs"]);
+            no_flags(&["--backend", "--obs-json", "--trace", "--apps", "--ring", "--funcs"]);
+            let _ = BackendSel::from_args(&args).unwrap_or_else(|e| fail(&e));
             // Fail on unwritable artifact paths before the runs.
             let obs_out = args.obs_json.clone().map(|p| (create(&p), p));
             let trace_out = args.trace.clone().map(|p| (create(&p), p));
-            eprintln!("[opec-eval] instrumented runs (OPEC all apps, ACES comparison apps)...");
+            eprintln!(
+                "[opec-eval] instrumented runs (OPEC all apps on {}, ACES comparison apps)...",
+                match args.backend.as_deref() {
+                    None => "both backends",
+                    Some(b) => b,
+                }
+            );
             let rep = obsreport::collect(&args);
             print!("{}", obsreport::render(&rep));
             if let Some((mut file, path)) = obs_out {

@@ -1,14 +1,17 @@
 //! The `report` subcommand: per-operation overhead breakdown from the
 //! observability stream.
 //!
-//! Every application runs under OPEC — and the five comparison
-//! applications additionally under ACES — with an [`opec_obs::Recorder`]
-//! attached, so switch counts, switch-latency histograms, MPU
-//! virtualization traffic, core-peripheral emulations, and instruction
-//! attribution all come out of the *same* event stream for both
-//! systems. That is the overhead-breakdown complement to Figure 9 /
-//! Table 2: those report end-to-end cycle ratios, this reports where
-//! the cycles went, operation by operation.
+//! Every application runs under OPEC on *both* protection backends
+//! (ARMv7-M MPU and RISC-V PMP; `--backend` narrows to one) — and the
+//! five comparison applications additionally under ACES — with an
+//! [`opec_obs::Recorder`] attached, so switch counts, switch-latency
+//! histograms, protection-unit virtualization traffic, core-peripheral
+//! emulations, and instruction attribution all come out of the *same*
+//! event stream for every system and backend. That is the
+//! overhead-breakdown complement to Figure 9 / Table 2: those report
+//! end-to-end cycle ratios, this reports where the cycles went,
+//! operation by operation — and, per backend, what one operation
+//! switch costs.
 //!
 //! Collection fans cells across scoped threads exactly like
 //! [`crate::runs`]; the `Rc`-based [`Obs`] handle never crosses a
@@ -27,6 +30,7 @@ use opec_core::{compile, OpecMonitor};
 use opec_obs::{chrome_trace, metrics_json, Metrics, Obs, Recorder, Stamped};
 use opec_vm::{RunOutcome, Vm};
 
+use crate::backend::BackendSel;
 use crate::cli::CliArgs;
 use crate::runs::FUEL;
 use crate::table::TextTable;
@@ -41,6 +45,9 @@ pub struct ObsRun {
     pub app: &'static str,
     /// `"opec"` or `"aces"`.
     pub system: &'static str,
+    /// Protection backend the run executed on (`"armv7m"` or
+    /// `"rv32-pmp"`; ACES only exists on `"armv7m"`).
+    pub backend: &'static str,
     /// Cycles to the workload stop point.
     pub cycles: u64,
     /// The raw event stream (ring contents, oldest first).
@@ -78,11 +85,18 @@ fn recorder(args: &CliArgs) -> Rc<RefCell<Recorder>> {
     Rc::new(RefCell::new(if args.funcs { rec.with_funcs() } else { rec }))
 }
 
-fn drain(app: &App, system: &'static str, cycles: u64, rec: &Rc<RefCell<Recorder>>) -> ObsRun {
+fn drain(
+    app: &App,
+    system: &'static str,
+    backend: &'static str,
+    cycles: u64,
+    rec: &Rc<RefCell<Recorder>>,
+) -> ObsRun {
     let rec = rec.borrow();
     ObsRun {
         app: app.name,
         system,
+        backend,
         cycles,
         events: rec.ring.to_vec(),
         metrics: rec.metrics.clone(),
@@ -91,14 +105,15 @@ fn drain(app: &App, system: &'static str, cycles: u64, rec: &Rc<RefCell<Recorder
     }
 }
 
-fn run_opec_obs(app: &App, args: &CliArgs) -> Result<ObsRun, String> {
+fn run_opec_obs(app: &App, args: &CliArgs, sel: BackendSel) -> Result<ObsRun, String> {
     let (module, specs) = (app.build)();
     let out = compile(module, app.board, &specs).map_err(|e| format!("compile: {e}"))?;
-    let mut machine = Machine::new(app.board);
+    let backend = sel.dyn_backend();
+    let mut machine = backend.make_machine(app.board);
     (app.setup)(&mut machine);
     let rec = recorder(args);
     let mut vm = Vm::builder(machine, out.image)
-        .supervisor(OpecMonitor::new(out.policy))
+        .supervisor(OpecMonitor::with_backend(out.policy, backend))
         .obs(Obs::single(rec.clone()))
         .build()
         .map_err(|e| format!("image: {e}"))?;
@@ -107,7 +122,7 @@ fn run_opec_obs(app: &App, args: &CliArgs) -> Result<ObsRun, String> {
         return Err(format!("unexpected outcome {run:?}"));
     }
     (app.check)(&mut vm.machine).map_err(|e| format!("check: {e}"))?;
-    Ok(drain(app, "opec", run.cycles(), &rec))
+    Ok(drain(app, "opec", sel.name(), run.cycles(), &rec))
 }
 
 fn run_aces_obs(app: &App, args: &CliArgs) -> Result<ObsRun, String> {
@@ -136,30 +151,47 @@ fn run_aces_obs(app: &App, args: &CliArgs) -> Result<ObsRun, String> {
         return Err(format!("unexpected outcome {run:?}"));
     }
     (app.check)(&mut vm.machine).map_err(|e| format!("check: {e}"))?;
-    Ok(drain(app, "aces", run.cycles(), &rec))
+    Ok(drain(app, "aces", "armv7m", run.cycles(), &rec))
 }
 
-/// Runs every selected cell (apps × {OPEC, ACES}) on scoped threads and
-/// collects the drained recorders, joining in table order.
+/// The backends the report instruments: both when `--backend` is
+/// absent (the per-backend switch-cost comparison is the point of the
+/// report), just the named one otherwise.
+fn selected_backends(args: &CliArgs) -> Vec<BackendSel> {
+    match args.backend {
+        None => BackendSel::ALL.to_vec(),
+        Some(_) => vec![BackendSel::from_args(args).unwrap_or_default()],
+    }
+}
+
+/// Runs every selected cell (apps × backends × {OPEC, ACES}) on scoped
+/// threads and collects the drained recorders, joining in table order.
 pub fn collect(args: &CliArgs) -> ObsReport {
     let apps: Vec<App> = all_apps().into_iter().filter(|a| args.app_matches(a.name)).collect();
     let aces_names: Vec<&'static str> = aces_comparison_apps().iter().map(|a| a.name).collect();
+    let backends = selected_backends(args);
+    let aces_available = backends.contains(&BackendSel::Armv7m);
     let mut runs = Vec::new();
     let mut skipped = Vec::new();
     thread::scope(|s| {
         let handles: Vec<_> = apps
             .iter()
             .map(|app| {
-                let with_aces = aces_names.contains(&app.name);
-                let opec = s.spawn(move || run_opec_obs(app, args));
+                let with_aces = aces_names.contains(&app.name) && aces_available;
+                let opec: Vec<_> = backends
+                    .iter()
+                    .map(|&sel| (sel, s.spawn(move || run_opec_obs(app, args, sel))))
+                    .collect();
                 let aces = with_aces.then(|| s.spawn(move || run_aces_obs(app, args)));
-                (app.name, opec, aces)
+                (app.name, aces_names.contains(&app.name), opec, aces)
             })
             .collect();
-        for (name, opec, aces) in handles {
-            match opec.join().unwrap_or_else(|e| std::panic::resume_unwind(e)) {
-                Ok(r) => runs.push(r),
-                Err(e) => skipped.push((format!("{name}/opec"), e)),
+        for (name, is_aces_app, opec, aces) in handles {
+            for (sel, h) in opec {
+                match h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)) {
+                    Ok(r) => runs.push(r),
+                    Err(e) => skipped.push((format!("{name}/opec/{}", sel.name()), e)),
+                }
             }
             match aces {
                 Some(h) => match h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)) {
@@ -168,7 +200,11 @@ pub fn collect(args: &CliArgs) -> ObsReport {
                 },
                 None => skipped.push((
                     format!("{name}/aces"),
-                    "not an ACES comparison app (Table 2 runs five of the seven)".to_string(),
+                    if is_aces_app {
+                        "ACES targets the ARMv7-M MPU (not instrumented on rv32-pmp)".to_string()
+                    } else {
+                        "not an ACES comparison app (Table 2 runs five of the seven)".to_string()
+                    },
                 )),
             }
         }
@@ -181,6 +217,7 @@ pub fn render(report: &ObsReport) -> String {
     let mut t = TextTable::new(&[
         "App",
         "System",
+        "Backend",
         "Op",
         "Enters",
         "Switch cy",
@@ -200,6 +237,7 @@ pub fn render(report: &ObsReport) -> String {
             t.row(vec![
                 r.app.to_string(),
                 r.system.to_string(),
+                r.backend.to_string(),
                 format!("op{op}"),
                 m.enters.to_string(),
                 m.switch_cycles().to_string(),
@@ -213,6 +251,7 @@ pub fn render(report: &ObsReport) -> String {
         t.row(vec![
             r.app.to_string(),
             r.system.to_string(),
+            r.backend.to_string(),
             "total".to_string(),
             r.metrics.total_switches().to_string(),
             r.metrics.total_switch_cycles().to_string(),
@@ -225,6 +264,8 @@ pub fn render(report: &ObsReport) -> String {
     }
     let mut out = String::from("Per-operation overhead breakdown (observability stream)\n");
     out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&render_switch_costs(report));
     for r in &report.runs {
         if r.dropped > 0 {
             out.push_str(&format!(
@@ -239,14 +280,70 @@ pub fn render(report: &ObsReport) -> String {
     out
 }
 
+/// The per-backend switch-cost summary: OPEC runs only, aggregated
+/// over every collected app — the same obs event stream the breakdown
+/// table is cut from, folded to what one operation switch costs on
+/// each protection unit (cycles, and region/entry write traffic).
+fn render_switch_costs(report: &ObsReport) -> String {
+    let mut t = TextTable::new(&[
+        "Backend",
+        "OPEC runs",
+        "Switches",
+        "Switch cy",
+        "Avg cy/switch",
+        "Unit reloads+writes",
+        "Per switch",
+    ]);
+    for sel in BackendSel::ALL {
+        let runs: Vec<_> =
+            report.runs.iter().filter(|r| r.system == "opec" && r.backend == sel.name()).collect();
+        if runs.is_empty() {
+            continue;
+        }
+        let switches: u64 = runs.iter().map(|r| r.metrics.total_switches()).sum();
+        let cycles: u64 = runs.iter().map(|r| r.metrics.total_switch_cycles()).sum();
+        // A switch reloads the whole unit (one MpuLoad/PmpLoad event);
+        // virtualization faults additionally rewrite single slots.
+        let writes: u64 = runs
+            .iter()
+            .map(|r| {
+                r.metrics.mpu_loads
+                    + r.metrics.mpu_region_writes
+                    + r.metrics.pmp_loads
+                    + r.metrics.pmp_entry_writes
+            })
+            .sum();
+        let per = |n: u64| {
+            if switches > 0 {
+                format!("{:.1}", n as f64 / switches as f64)
+            } else {
+                "-".to_string()
+            }
+        };
+        t.row(vec![
+            sel.name().to_string(),
+            runs.len().to_string(),
+            switches.to_string(),
+            cycles.to_string(),
+            per(cycles),
+            writes.to_string(),
+            per(writes),
+        ]);
+    }
+    let mut out = String::from("Per-backend operation-switch cost (OPEC, same obs stream)\n");
+    out.push_str(&t.render());
+    out
+}
+
 /// Renders the whole report as one JSON document (`--obs-json`).
 pub fn to_json(report: &ObsReport) -> String {
     let mut runs = Vec::new();
     for r in &report.runs {
         runs.push(format!(
-            "{{\"app\":\"{}\",\"system\":\"{}\",\"cycles\":{},\"events_total\":{},\"events_dropped\":{},\"metrics\":{}}}",
+            "{{\"app\":\"{}\",\"system\":\"{}\",\"backend\":\"{}\",\"cycles\":{},\"events_total\":{},\"events_dropped\":{},\"metrics\":{}}}",
             r.app,
             r.system,
+            r.backend,
             r.cycles,
             r.events_total,
             r.dropped,
@@ -271,7 +368,7 @@ pub fn to_json(report: &ObsReport) -> String {
 /// with `--apps` to pick the app. `None` when nothing ran.
 pub fn first_chrome_trace(report: &ObsReport) -> Option<(String, String)> {
     let r = report.runs.first()?;
-    let label = format!("{}/{}", r.app, r.system);
+    let label = format!("{}/{}/{}", r.app, r.system, r.backend);
     Some((label.clone(), chrome_trace(&r.events, &label)))
 }
 
@@ -286,27 +383,52 @@ mod tests {
     #[test]
     fn pinlock_breakdown_under_both_systems() {
         let report = collect(&pinlock_args());
-        assert_eq!(report.runs.len(), 2, "OPEC + ACES cells");
+        assert_eq!(report.runs.len(), 3, "OPEC on both backends + ACES");
         assert_eq!(report.total_dropped(), 0, "default ring must not shed");
         let opec = &report.runs[0];
-        assert_eq!(opec.system, "opec");
+        assert_eq!((opec.system, opec.backend), ("opec", "armv7m"));
         assert!(opec.metrics.total_switches() > 0);
         assert!(opec.metrics.total_switch_cycles() > 0);
+        assert!(opec.metrics.mpu_loads > 0, "every op switch reloads the MPU");
         assert!(!opec.events.is_empty());
-        let aces = &report.runs[1];
+        let pmp = &report.runs[1];
+        assert_eq!((pmp.system, pmp.backend), ("opec", "rv32-pmp"));
+        assert!(pmp.metrics.total_switches() > 0);
+        assert!(pmp.metrics.pmp_loads > 0, "every op switch reloads the PMP");
+        assert_eq!(
+            pmp.metrics.mpu_loads + pmp.metrics.mpu_region_writes,
+            0,
+            "no MPU traffic on the PMP backend"
+        );
+        let aces = &report.runs[2];
         assert_eq!(aces.system, "aces");
         assert!(aces.metrics.total_switches() > 0);
-        // Both systems' switch costs come from the same event stream,
-        // so they are directly comparable.
+        // All systems' switch costs come from the same event stream,
+        // so they are directly comparable — including across backends.
         let text = render(&report);
         assert!(text.contains("PinLock"));
         assert!(text.contains("opec"));
         assert!(text.contains("aces"));
+        assert!(text.contains("Per-backend operation-switch cost"), "{text}");
+        assert!(text.contains("rv32-pmp"), "{text}");
         let json = to_json(&report);
         assert!(json.contains("\"system\":\"opec\""));
         assert!(json.contains("\"system\":\"aces\""));
+        assert!(json.contains("\"backend\":\"rv32-pmp\""));
         let (label, trace) = first_chrome_trace(&report).unwrap();
-        assert_eq!(label, "PinLock/opec");
+        assert_eq!(label, "PinLock/opec/armv7m");
         assert!(trace.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn backend_flag_narrows_the_report_to_one_backend() {
+        let args = CliArgs { backend: Some("rv32-pmp".to_string()), ..pinlock_args() };
+        let report = collect(&args);
+        assert_eq!(report.runs.len(), 1, "one OPEC run, ACES skipped");
+        assert_eq!(report.runs[0].backend, "rv32-pmp");
+        assert!(report
+            .skipped
+            .iter()
+            .any(|(cell, reason)| cell == "PinLock/aces" && reason.contains("ARMv7-M")));
     }
 }

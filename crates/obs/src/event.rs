@@ -222,6 +222,21 @@ pub enum Event {
         /// Number of regions written.
         regions: u8,
     },
+    /// A single RISC-V PMP entry (cfg + addr pair) was written.
+    PmpEntryWrite {
+        /// Entry number.
+        entry: u8,
+        /// The `pmpaddr` register value (address >> 2, NAPOT size in
+        /// trailing ones).
+        addr: u32,
+        /// The configuration byte (R/W/X + mode bits, `pmpcfg` layout).
+        cfg: u8,
+    },
+    /// A full PMP reprogramming (the per-switch entry-file reload).
+    PmpLoad {
+        /// Number of entries written.
+        entries: u8,
+    },
     /// The ACES runtime switched compartments (OPEC has no analogue:
     /// this is the privilege-lifting design the paper compares against).
     CompartmentMode {

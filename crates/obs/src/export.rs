@@ -168,6 +168,14 @@ pub fn chrome_trace(events: &[Stamped], label: &str) -> String {
                 let args = format!("\"regions\":{regions}");
                 push_trace_record(&mut out, &mut first, 'i', "mpu load", "mpu", ts, &args);
             }
+            Event::PmpEntryWrite { entry, addr, cfg } => {
+                let args = format!("\"entry\":{entry},\"addr\":\"{addr:#010x}\",\"cfg\":{cfg}");
+                push_trace_record(&mut out, &mut first, 'i', "pmp entry", "pmp", ts, &args);
+            }
+            Event::PmpLoad { entries } => {
+                let args = format!("\"entries\":{entries}");
+                push_trace_record(&mut out, &mut first, 'i', "pmp load", "pmp", ts, &args);
+            }
             Event::CompartmentMode { comp, privileged } => {
                 let args = format!("\"comp\":{comp},\"privileged\":{privileged}");
                 push_trace_record(&mut out, &mut first, 'i', "compartment", "aces", ts, &args);
@@ -266,7 +274,7 @@ pub fn metrics_json(m: &Metrics) -> String {
         ));
     }
     format!(
-        "{{\"ops\":[{}],\"totals\":{{\"switches\":{},\"switch_cycles\":{},\"insts\":{},\"cycles\":{},\"events\":{},\"mpu_loads\":{},\"mpu_region_writes\":{},\"injections\":{},\"jobs_completed\":{},\"jobs_fuel_exhausted\":{},\"jobs_timed_out\":{},\"jobs_panicked\":{},\"jobs_retried\":{},\"jobs_resumed\":{}}}}}",
+        "{{\"ops\":[{}],\"totals\":{{\"switches\":{},\"switch_cycles\":{},\"insts\":{},\"cycles\":{},\"events\":{},\"mpu_loads\":{},\"mpu_region_writes\":{},\"pmp_loads\":{},\"pmp_entry_writes\":{},\"injections\":{},\"jobs_completed\":{},\"jobs_fuel_exhausted\":{},\"jobs_timed_out\":{},\"jobs_panicked\":{},\"jobs_retried\":{},\"jobs_resumed\":{}}}}}",
         ops.join(","),
         m.total_switches(),
         m.total_switch_cycles(),
@@ -275,6 +283,8 @@ pub fn metrics_json(m: &Metrics) -> String {
         m.events_seen,
         m.mpu_loads,
         m.mpu_region_writes,
+        m.pmp_loads,
+        m.pmp_entry_writes,
         m.injections,
         m.jobs_completed,
         m.jobs_fuel_exhausted,

@@ -211,6 +211,10 @@ pub struct Metrics {
     pub mpu_loads: u64,
     /// Individual MPU region register writes.
     pub mpu_region_writes: u64,
+    /// Full PMP reprogrammings (per-switch entry-file reloads).
+    pub pmp_loads: u64,
+    /// Individual PMP entry (cfg + addr pair) writes.
+    pub pmp_entry_writes: u64,
     /// Injector actions observed.
     pub injections: u64,
     /// Differential-oracle divergences observed (any kind).
@@ -328,6 +332,8 @@ impl Metrics {
             },
             Event::MpuRegionWrite { .. } => self.mpu_region_writes += 1,
             Event::MpuLoad { .. } => self.mpu_loads += 1,
+            Event::PmpEntryWrite { .. } => self.pmp_entry_writes += 1,
+            Event::PmpLoad { .. } => self.pmp_loads += 1,
             Event::CompartmentMode { comp, privileged } => {
                 if privileged {
                     self.entry(comp).priv_lifts += 1;

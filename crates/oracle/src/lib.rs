@@ -39,7 +39,8 @@ pub use divergence::{Divergence, Observed};
 pub use gen::{generate, FirmwareSpec};
 pub use matrix::{AccessMatrix, Expect};
 pub use run::{
-    run_aces, run_aces_with, run_opec, run_opec_with, RunBudget, RunHalt, Verdict, GEN_FUEL,
+    run_aces, run_aces_with, run_opec, run_opec_on, run_opec_with, RunBudget, RunHalt, Verdict,
+    GEN_FUEL,
 };
 pub use shadow::{shadow, OracleHandle, OracleState, ShadowOracle};
 pub use shrink::{describe, shrink};

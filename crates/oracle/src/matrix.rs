@@ -104,6 +104,11 @@ pub struct AccessMatrix {
     /// entry frame (OPEC sub-region protection; ACES grants the whole
     /// stack).
     pub track_stack_boundary: bool,
+    /// The granularity the enforcing backend rounds the stack boundary
+    /// to (ARM MPU: an eighth of the stack region; RISC-V PMP: a
+    /// word). The oracle predicts the boundary independently from the
+    /// observed entry SP, so it must round the same way.
+    pub boundary_granularity: u32,
     /// Placement gaps found while building the matrix (an operation
     /// needs a variable no layout slot maps): each is itself a
     /// divergence between analysis and layout.
@@ -283,7 +288,23 @@ impl AccessMatrix {
             probes.truncate(24);
             ops[i].probes = probes;
         }
-        AccessMatrix { ops, root: 0, stack: policy.stack, track_stack_boundary: true, anomalies }
+        AccessMatrix {
+            ops,
+            root: 0,
+            stack: policy.stack,
+            track_stack_boundary: true,
+            boundary_granularity: (policy.stack.size / 8).max(1),
+            anomalies,
+        }
+    }
+
+    /// Overrides the stack-boundary rounding granularity (the ARM
+    /// eighth-of-stack default) with the enforcing backend's — the
+    /// backend-parameterized runners feed
+    /// `DynBackend::boundary_granularity` through here.
+    pub fn with_boundary_granularity(mut self, granularity: u32) -> AccessMatrix {
+        self.boundary_granularity = granularity.max(1);
+        self
     }
 
     /// Ground truth for an ACES compilation: one subject per
@@ -392,6 +413,7 @@ impl AccessMatrix {
             root: main_comp,
             stack,
             track_stack_boundary: false,
+            boundary_granularity: (stack.size / 8).max(1),
             anomalies: Vec::new(),
         }
     }

@@ -2,10 +2,12 @@
 //! oracle attached, for both enforcement stacks.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use opec_aces::{build_aces_image, AcesRuntime, AcesStrategy};
 use opec_armv7m::Machine;
+use opec_core::backend::{Armv7mBackend, DynBackend};
 use opec_core::{compile, OpecMonitor, SystemPolicy};
 use opec_ir::FuncId;
 use opec_obs::{Obs, OpId};
@@ -99,26 +101,42 @@ pub fn run_opec(
     run_opec_with(spec, mutate, &RunBudget::default())
 }
 
-/// [`run_opec`] under an explicit budget.
+/// [`run_opec`] under an explicit budget, on the paper's ARMv7-M MPU
+/// backend.
 pub fn run_opec_with(
     spec: &FirmwareSpec,
     mutate: Option<&dyn Fn(&mut SystemPolicy)>,
     budget: &RunBudget,
 ) -> Result<Verdict, String> {
+    run_opec_on(spec, mutate, budget, Arc::new(Armv7mBackend))
+}
+
+/// [`run_opec`] on an explicit protection backend: the machine, its
+/// protection unit, the monitor's region plan and the oracle's
+/// boundary prediction all come from `backend`, while the access
+/// matrix itself stays backend-independent — which is what makes a
+/// cross-backend lockstep comparison meaningful.
+pub fn run_opec_on(
+    spec: &FirmwareSpec,
+    mutate: Option<&dyn Fn(&mut SystemPolicy)>,
+    budget: &RunBudget,
+    backend: Arc<dyn DynBackend>,
+) -> Result<Verdict, String> {
     let board = spec.board();
     let module = spec.build_module();
     let specs = spec.op_specs();
     let out = compile(module, board, &specs).map_err(|e| format!("compile: {e:?}"))?;
-    let matrix = AccessMatrix::opec(&out.image.module, &out.partition, &out.policy);
+    let matrix = AccessMatrix::opec(&out.image.module, &out.partition, &out.policy)
+        .with_boundary_granularity(backend.boundary_granularity(out.policy.stack));
     let mut policy = out.policy.clone();
     if let Some(m) = mutate {
         m(&mut policy);
     }
-    let mut machine = Machine::new(board);
+    let mut machine = backend.make_machine(board);
     spec.install_devices(&mut machine);
     let (watcher, handle) = shadow(matrix, Obs::disabled());
     let mut vm = Vm::builder(machine, out.image.clone())
-        .supervisor(OpecMonitor::new(policy))
+        .supervisor(OpecMonitor::with_backend(policy, backend))
         .watcher(watcher)
         .build()
         .map_err(|e| format!("image: {e:?}"))?;

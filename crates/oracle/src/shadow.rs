@@ -185,7 +185,7 @@ impl ShadowOracle {
         for (addr, write, expect, what) in probes {
             st.probes += 1;
             let allowed = matches!(
-                machine.mpu.check_data(addr, 1, write, Mode::Unprivileged),
+                machine.protection().check_data(addr, 1, write, Mode::Unprivileged),
                 MpuDecision::Allowed
             );
             let kind = match (allowed, expect) {
@@ -297,10 +297,10 @@ impl Watcher for ShadowOracle {
                 st.subjects.push(sw.to);
                 if self.matrix.track_stack_boundary {
                     let stack = self.matrix.stack;
-                    let sub = (stack.size / 8).max(1);
+                    let g = self.matrix.boundary_granularity.max(1);
                     let boundary = if stack.contains(sw.sp_before) || sw.sp_before == stack.end() {
-                        let idx = ((sw.sp_before - stack.base) / sub).min(8);
-                        stack.base + idx * sub
+                        let idx = ((sw.sp_before - stack.base) / g).min(stack.size / g);
+                        stack.base + idx * g
                     } else {
                         stack.end()
                     };

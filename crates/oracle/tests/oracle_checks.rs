@@ -2,7 +2,8 @@
 //! under the real enforcement stacks, and a deliberately broken MPU
 //! configuration is caught and shrunk to a minimal counterexample.
 
-use opec_armv7m::mpu::{region_size_for, MpuRegion, RegionAttr};
+use opec_armv7m::mpu::region_size_for;
+use opec_armv7m::MemRegion;
 use opec_obs::{OracleKind, OracleLayer};
 use opec_oracle::divergence::Observed;
 use opec_oracle::{generate, run_aces, run_opec, shrink, FirmwareSpec};
@@ -48,14 +49,15 @@ fn generated_firmwares_are_divergence_free_under_aces() {
     assert!(ran >= 6, "too few seeds built under ACES ({ran}/12)");
 }
 
-/// The tampering the oracle must catch: a bogus full-access region over
-/// flash prepended to an operation's peripheral-region plan, as a
-/// mis-generated MPU config would do.
+/// The tampering the oracle must catch: a bogus read-write cover over
+/// flash prepended to an operation's peripheral-cover plan, as a
+/// mis-generated protection config would do (every backend turns
+/// covers into writable regions/entries).
 fn break_mpu(policy: &mut opec_core::SystemPolicy) {
     let flash = policy.board.flash;
-    let bogus = MpuRegion::new(flash.base, region_size_for(0x1000), RegionAttr::full_access());
+    let bogus = MemRegion::new(flash.base, region_size_for(0x1000));
     for op in policy.ops.iter_mut().skip(1) {
-        op.periph_regions.insert(0, bogus);
+        op.periph_covers.insert(0, bogus);
     }
 }
 

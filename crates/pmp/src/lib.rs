@@ -1,36 +1,58 @@
-//! RISC-V Physical Memory Protection (PMP) and the OPEC policy encoder.
+//! RISC-V Physical Memory Protection (PMP): OPEC's second backend.
 //!
 //! The paper's §7 names three requirements for porting OPEC to another
 //! platform, the first being "a memory protection unit, which has
 //! enough regions enforcing the physical memory permissions similar to
-//! the ARM MPU, e.g., RISC-V PMP". This crate substantiates that claim:
+//! the ARM MPU, e.g., RISC-V PMP". This crate substantiates that claim
+//! as a first-class backend rather than a one-shot encoder:
 //!
 //! * [`Pmp`] models the RV32 PMP as specified in the privileged ISA —
 //!   sixteen entries with `R`/`W`/`X` permissions, `OFF`/`TOR`/`NA4`/
 //!   `NAPOT` address matching, **lowest-numbered-entry-wins** priority
 //!   (the opposite of the ARM MPU), and the M-mode default-allow /
 //!   S/U-mode default-deny rule;
-//! * [`encode`] translates one operation's OPEC policy (the MPU plan of
-//!   `opec-core`) into a PMP entry file: a `TOR` pair for the live part
-//!   of the stack (PMP has no sub-regions, but `TOR`'s arbitrary top
-//!   bound expresses the same protection *exactly*), `NAPOT` entries
-//!   for the operation data section and peripheral windows, and
-//!   background entries for Flash (read/execute) and SRAM (read-only);
-//! * the tests check the encoder against the ARM MPU decision for the
-//!   same policy, address by address.
+//! * [`PmpUnit`] plugs the model into the machine's
+//!   [`ProtectionUnit`] checking surface (operations run in U-mode,
+//!   the monitor in M-mode — modelled entries are unlocked, so M-mode
+//!   accesses are never constrained, exactly the real-PMP rule for
+//!   entries without the `L` bit);
+//! * [`Rv32PmpBackend`] implements the `opec-core`
+//!   [`Backend`] trait: per-operation entry files with a `TOR` pair
+//!   for the live part of the stack (PMP has no sub-regions, but
+//!   `TOR`'s arbitrary top bound expresses the boundary *exactly*, to
+//!   the word), `NAPOT` entries for the operation data section and
+//!   peripheral windows, and background entries for Flash
+//!   (read/execute) and SRAM (read-only).
 //!
 //! Core peripherals have no PMP analogue — on RISC-V they are CSRs,
 //! reachable only from M-mode, which is precisely the situation OPEC's
-//! load/store emulation handles on ARM (the monitor would emulate CSR
-//! accesses from the trap handler instead).
+//! load/store emulation handles on ARM (the monitor emulates the
+//! access from the trap handler); [`PmpFault::CsrPriv`] is that trap.
 
 #![warn(missing_docs)]
 
-use opec_armv7m::mem::MemRegion;
+use std::any::Any;
+
+use opec_armv7m::mpu::MpuDecision;
+use opec_armv7m::{Board, FaultCause, FaultInfo, Machine, MemRegion, Mode, ProtectionUnit};
+use opec_core::backend::{Backend, FaultClass, SwitchCostSummary};
+use opec_core::SystemPolicy;
+use opec_vm::OpId;
 
 /// Number of PMP entries modelled (RV32: up to 64; 16 is the common
 /// implementation size and plenty for OPEC's plan).
 pub const PMP_ENTRIES: usize = 16;
+
+/// The minimum NAPOT region size: `pmpaddr` encodes the size in
+/// trailing ones below the address bits, so the smallest expressible
+/// naturally-aligned power-of-two region is 8 bytes (4-byte regions
+/// use `NA4`).
+pub const NAPOT_MIN_SIZE: u32 = 8;
+
+/// Cycles one PMP entry write costs (a `pmpcfg` byte plus a `pmpaddr`
+/// CSR write — CSR writes are cheaper than the ARM MPU's two MMIO
+/// stores, which cost [`opec_armv7m::costs::MPU_REGION_WRITE`]).
+pub const PMP_ENTRY_WRITE: u64 = 4;
 
 /// Address-matching mode of one entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,22 +88,73 @@ impl PmpEntry {
     /// A disabled entry.
     pub const OFF: PmpEntry =
         PmpEntry { r: false, w: false, x: false, mode: PmpMode::Off, addr: 0 };
+
+    /// The `pmpcfg` byte for this entry (R bit 0, W bit 1, X bit 2,
+    /// A bits 3–4; the `L` bit is never set — OPEC reprograms entries
+    /// at every switch).
+    pub fn cfg_byte(&self) -> u8 {
+        let a = match self.mode {
+            PmpMode::Off => 0,
+            PmpMode::Tor => 1,
+            PmpMode::Na4 => 2,
+            PmpMode::Napot => 3,
+        };
+        u8::from(self.r) | (u8::from(self.w) << 1) | (u8::from(self.x) << 2) | (a << 3)
+    }
 }
 
 /// Encodes a naturally aligned power-of-two region into a `pmpaddr`
-/// value (`size` ≥ 8, a power of two; `base` aligned to `size`).
+/// value. `size` must be a power of two with `base` aligned to it;
+/// sizes below [`NAPOT_MIN_SIZE`] are rounded up to the minimum
+/// granule (real PMP cannot express a NAPOT region smaller than
+/// 8 bytes — the old encoder underflowed `(size >> 3) - 1` to an
+/// all-ones address for them).
 pub fn napot_addr(base: u32, size: u32) -> u32 {
-    debug_assert!(size >= 8 && size.is_power_of_two());
+    let size = size.max(NAPOT_MIN_SIZE);
+    debug_assert!(size.is_power_of_two());
     debug_assert_eq!(base % size, 0);
     (base >> 2) | ((size >> 3) - 1)
 }
 
 /// Decodes a NAPOT `pmpaddr` back into `(base, size)`.
+///
+/// 29 or more trailing ones encode a size of at least 2³² — past the
+/// 32-bit address space, so the region is the whole space (the
+/// all-ones "NAPOT everything" idiom). [`napot_addr`] and
+/// [`napot_cover`] never emit such a region; the model folds it to
+/// `(0, u32::MAX)` rather than overflow the shift on hand-written
+/// `pmpaddr` bits.
 pub fn napot_decode(addr: u32) -> (u32, u32) {
     let trailing = addr.trailing_ones();
+    if trailing >= 29 {
+        return (0, u32::MAX);
+    }
     let size = 8u32 << trailing;
     let base = (addr & !((1 << trailing) - 1)) << 2;
     (base, size)
+}
+
+/// The smallest NAPOT region `(base, size)` containing `window`:
+/// `size` is a power of two ≥ [`NAPOT_MIN_SIZE`] and `base` is aligned
+/// to it. Misaligned windows grow until alignment and coverage meet
+/// (the same rounding the ARM plan applies with
+/// `region_size_for`, so both backends over-approximate peripheral
+/// windows the same way the hardware forces them to).
+pub fn napot_cover(window: MemRegion) -> (u32, u32) {
+    let mut size = window.size.next_power_of_two().max(NAPOT_MIN_SIZE);
+    loop {
+        let base = window.base & !(size - 1);
+        // A cover whose end overflows reaches the top of the address
+        // space, so it contains the window by construction.
+        let covered = base.checked_add(size).is_none_or(|end| window.end() <= end);
+        if covered {
+            return (base, size);
+        }
+        match size.checked_mul(2) {
+            Some(next) => size = next,
+            None => return (0, size),
+        }
+    }
 }
 
 /// The access being checked.
@@ -135,7 +208,15 @@ impl Pmp {
         }
     }
 
-    /// The byte range matched by entry `i`, if enabled.
+    /// Returns entry `i`.
+    pub fn entry(&self, i: usize) -> PmpEntry {
+        self.entries[i]
+    }
+
+    /// The byte range matched by entry `i`, if enabled. A `TOR` entry
+    /// whose bound does not exceed its predecessor's address (a
+    /// zero-length or inverted range) matches nothing — it neither
+    /// grants nor denies, per the privileged ISA.
     fn range(&self, i: usize) -> Option<(u32, u32)> {
         let e = self.entries[i];
         match e.mode {
@@ -191,112 +272,345 @@ impl Pmp {
     }
 }
 
-/// Translation of one operation's OPEC policy into PMP entries.
-pub mod encode {
-    use super::*;
-    use opec_core::SystemPolicy;
-    use opec_vm::OpId;
+/// The PMP as a machine-pluggable [`ProtectionUnit`].
+///
+/// OPEC's privilege split maps directly: operations run in U-mode
+/// (unmatched accesses denied), the monitor in M-mode. The modelled
+/// entries never set the lock bit, so — like real PMP — they do not
+/// constrain M-mode at all.
+#[derive(Debug, Clone)]
+pub struct PmpUnit {
+    /// The entry file.
+    pub pmp: Pmp,
+    /// Whether an entry file has been armed ([`Rv32PmpBackend::enable`]
+    /// sets this at monitor initialisation; before that the machine
+    /// boots unconstrained, like reset-state PMP with all entries off).
+    pub enabled: bool,
+    obs: opec_obs::Obs,
+}
 
-    /// Builds the PMP entry file for operation `op`, with the live
-    /// stack extending from the stack base up to `stack_boundary`
-    /// (exclusive) — the same quantity the ARM monitor expresses with
-    /// sub-region disables.
-    ///
-    /// Entry order (lowest wins, so the most specific comes first):
-    ///
-    /// | # | what | mode | perms |
-    /// |---|------|------|-------|
-    /// | 0–1 | live stack `[base, boundary)` | TOR pair | RW |
-    /// | 2 | operation data section | NAPOT | RW |
-    /// | 3.. | peripheral windows (first four) | NAPOT | RW |
-    /// | n | Flash | NAPOT | R+X |
-    /// | n+1 | SRAM background | NAPOT | R |
-    pub fn op_policy_to_pmp(
-        policy: &SystemPolicy,
+impl Default for PmpUnit {
+    fn default() -> PmpUnit {
+        PmpUnit::new()
+    }
+}
+
+impl PmpUnit {
+    /// A disabled unit with all entries off.
+    pub fn new() -> PmpUnit {
+        PmpUnit { pmp: Pmp::new(), enabled: false, obs: opec_obs::Obs::disabled() }
+    }
+
+    /// Programs entry `i`, emitting [`opec_obs::Event::PmpEntryWrite`].
+    pub fn set_entry(&mut self, i: usize, e: PmpEntry) {
+        self.pmp.set(i, e);
+        self.obs.emit(|| opec_obs::Event::PmpEntryWrite {
+            entry: i as u8,
+            addr: e.addr,
+            cfg: e.cfg_byte(),
+        });
+    }
+
+    /// Replaces the entire entry file (the per-switch reload),
+    /// emitting [`opec_obs::Event::PmpLoad`].
+    pub fn load_entries(&mut self, entries: &[(usize, PmpEntry)]) {
+        self.pmp.load(entries);
+        self.obs.emit(|| opec_obs::Event::PmpLoad { entries: entries.len() as u8 });
+    }
+}
+
+impl ProtectionUnit for PmpUnit {
+    fn name(&self) -> &'static str {
+        "rv32-pmp"
+    }
+
+    fn check_data(&self, addr: u32, len: u32, write: bool, mode: Mode) -> MpuDecision {
+        if !self.enabled || mode.is_privileged() {
+            return MpuDecision::Allowed;
+        }
+        let access = if write { PmpAccess::Write } else { PmpAccess::Read };
+        if self.pmp.check(addr, len, access, PrivMode::User) {
+            MpuDecision::Allowed
+        } else {
+            MpuDecision::Denied
+        }
+    }
+
+    fn check_exec(&self, addr: u32, mode: Mode) -> MpuDecision {
+        if !self.enabled || mode.is_privileged() {
+            return MpuDecision::Allowed;
+        }
+        if self.pmp.check(addr, 4, PmpAccess::Exec, PrivMode::User) {
+            MpuDecision::Allowed
+        } else {
+            MpuDecision::Denied
+        }
+    }
+
+    fn enforcing(&self) -> bool {
+        self.enabled
+    }
+
+    fn attach_obs(&mut self, obs: opec_obs::Obs) {
+        self.obs = obs;
+    }
+
+    fn clone_unit(&self) -> Box<dyn ProtectionUnit> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The PMP fault vocabulary ([`Backend::Fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmpFault {
+    /// A PMP access fault (load/store/instruction): the U-mode access
+    /// matched no granting entry.
+    AccessFault,
+    /// An illegal-instruction trap from a U-mode CSR access — the
+    /// RISC-V shape of OPEC's core-peripheral emulation case.
+    CsrPriv,
+    /// Anything else (access to an unimplemented physical address).
+    Other,
+}
+
+impl From<PmpFault> for FaultClass {
+    fn from(f: PmpFault) -> FaultClass {
+        match f {
+            PmpFault::AccessFault => FaultClass::Protection,
+            PmpFault::CsrPriv => FaultClass::ControlPriv,
+            PmpFault::Other => FaultClass::Other,
+        }
+    }
+}
+
+/// The cost record of one PMP reprogramming.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmpSwitchCost {
+    /// PMP entries (cfg + addr pairs) written.
+    pub entries: u32,
+}
+
+impl From<PmpSwitchCost> for SwitchCostSummary {
+    fn from(c: PmpSwitchCost) -> SwitchCostSummary {
+        SwitchCostSummary { writes: c.entries, cycles: u64::from(c.entries) * PMP_ENTRY_WRITE }
+    }
+}
+
+/// Reserved virtualization slots on PMP (entries 3–8: six, against the
+/// ARM MPU's four — sixteen entries leave room even with the stack
+/// pair and three background entries).
+const PMP_VIRT_SLOTS: usize = 6;
+/// First virtualization entry.
+const PMP_VIRT_BASE: usize = 3;
+/// Flash background entry (R+X).
+const PMP_FLASH_ENTRY: usize = PMP_VIRT_BASE + PMP_VIRT_SLOTS;
+/// SRAM read-only background entry.
+const PMP_SRAM_ENTRY: usize = PMP_FLASH_ENTRY + 1;
+
+/// The PMP entry plan: per-operation entry files precomputed from a
+/// [`SystemPolicy`].
+///
+/// Entry order (lowest wins, so the most specific comes first):
+///
+/// | # | what | mode | perms |
+/// |---|------|------|-------|
+/// | 0–1 | live stack `[base, boundary)` | TOR pair | RW |
+/// | 2 | operation data section | NAPOT | RW |
+/// | 3–8 | peripheral covers (first six) | NAPOT | RW |
+/// | 9 | Flash | NAPOT | R+X |
+/// | 10 | SRAM background | NAPOT | R |
+#[derive(Debug, Clone)]
+pub struct PmpPlan {
+    stack: MemRegion,
+    sections: Vec<PmpEntry>,
+    periph: Vec<Vec<PmpEntry>>,
+    flash: PmpEntry,
+    sram: PmpEntry,
+}
+
+impl PmpPlan {
+    /// The entry protecting `op`'s data section.
+    pub fn section_entry(&self, op: OpId) -> PmpEntry {
+        self.sections[usize::from(op)]
+    }
+
+    /// The prepared peripheral-cover entries for `op`.
+    pub fn periph_entries(&self, op: OpId) -> &[PmpEntry] {
+        &self.periph[usize::from(op)]
+    }
+
+    /// The Flash (R+X) and SRAM (read-only) background entries.
+    pub fn background(&self) -> (PmpEntry, PmpEntry) {
+        (self.flash, self.sram)
+    }
+}
+
+fn napot_rw(window: MemRegion) -> PmpEntry {
+    let (base, size) = napot_cover(window);
+    PmpEntry { r: true, w: true, x: false, mode: PmpMode::Napot, addr: napot_addr(base, size) }
+}
+
+/// The RISC-V PMP backend: the paper's §7 port, first-class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rv32PmpBackend;
+
+impl opec_vm::MachineBackend for Rv32PmpBackend {
+    const NAME: &'static str = "rv32-pmp";
+
+    fn install(&self, machine: &mut Machine) {
+        machine.set_protection(Box::new(PmpUnit::new()));
+    }
+}
+
+impl Backend for Rv32PmpBackend {
+    const NAME: &'static str = "rv32-pmp";
+    type RegionPlan = PmpPlan;
+    type Fault = PmpFault;
+    type SwitchCost = PmpSwitchCost;
+
+    fn make_machine(&self, board: Board) -> Machine {
+        Machine::with_protection(board, Box::new(PmpUnit::new()))
+    }
+
+    fn plan(&self, policy: &SystemPolicy) -> PmpPlan {
+        let sections = policy.ops.iter().map(|o| napot_rw(o.section)).collect();
+        let periph = policy
+            .ops
+            .iter()
+            .map(|o| o.periph_covers.iter().map(|c| napot_rw(*c)).collect())
+            .collect();
+        let (fb, fs) = napot_cover(policy.board.flash);
+        let flash =
+            PmpEntry { r: true, w: false, x: true, mode: PmpMode::Napot, addr: napot_addr(fb, fs) };
+        let (sb, ss) = napot_cover(policy.board.sram);
+        let sram = PmpEntry {
+            r: true,
+            w: false,
+            x: false,
+            mode: PmpMode::Napot,
+            addr: napot_addr(sb, ss),
+        };
+        PmpPlan { stack: policy.stack, sections, periph, flash, sram }
+    }
+
+    fn enable(&self, machine: &mut Machine) -> Result<(), String> {
+        let unit = machine
+            .protection_mut()
+            .as_any_mut()
+            .downcast_mut::<PmpUnit>()
+            .ok_or("rv32-pmp backend: machine protection unit is not the PMP")?;
+        unit.enabled = true;
+        Ok(())
+    }
+
+    fn virt_slots(&self) -> usize {
+        PMP_VIRT_SLOTS
+    }
+
+    fn virt_slot_label(&self, slot: usize) -> u8 {
+        (PMP_VIRT_BASE + slot) as u8
+    }
+
+    fn write_cost(&self) -> u64 {
+        PMP_ENTRY_WRITE
+    }
+
+    fn op_write_count(&self, plan: &PmpPlan, op: OpId) -> u32 {
+        let preload = plan.periph[usize::from(op)].len().min(PMP_VIRT_SLOTS);
+        // Stack pair (2) + section + Flash + SRAM background.
+        (5 + preload) as u32
+    }
+
+    fn apply_op(
+        &self,
+        machine: &mut Machine,
+        plan: &PmpPlan,
         op: OpId,
-        stack_boundary: u32,
-    ) -> Vec<(usize, PmpEntry)> {
-        let mut out = Vec::new();
-        let mut idx = 0;
-        // Stack TOR pair.
-        out.push((
-            idx,
+        boundary: u32,
+    ) -> Result<PmpSwitchCost, String> {
+        let mut entries: Vec<(usize, PmpEntry)> = Vec::with_capacity(11);
+        // The live-stack TOR pair: entry 0 (any mode; only its addr
+        // matters) anchors the bottom, entry 1 bounds the top exactly
+        // at the boundary — no sub-region rounding.
+        entries.push((
+            0,
             PmpEntry {
                 r: false,
                 w: false,
                 x: false,
                 mode: PmpMode::Off,
-                addr: policy.stack.base >> 2,
+                addr: plan.stack.base >> 2,
             },
         ));
-        idx += 1;
-        out.push((
-            idx,
-            PmpEntry { r: true, w: true, x: false, mode: PmpMode::Tor, addr: stack_boundary >> 2 },
+        entries.push((
+            1,
+            PmpEntry { r: true, w: true, x: false, mode: PmpMode::Tor, addr: boundary >> 2 },
         ));
-        idx += 1;
-        // Operation data section.
-        let s = policy.op(op).section;
-        out.push((
-            idx,
-            PmpEntry {
-                r: true,
-                w: true,
-                x: false,
-                mode: PmpMode::Napot,
-                addr: napot_addr(s.base, s.size.max(8)),
-            },
-        ));
-        idx += 1;
-        // Peripheral windows (covering regions, like MPU regions 4–7).
-        for region in policy.op(op).periph_regions.iter().take(4) {
-            out.push((
-                idx,
-                PmpEntry {
-                    r: true,
-                    w: true,
-                    x: false,
-                    mode: PmpMode::Napot,
-                    addr: napot_addr(region.base, region.size.max(8)),
-                },
-            ));
-            idx += 1;
+        entries.push((2, plan.section_entry(op)));
+        for (i, e) in plan.periph[usize::from(op)].iter().take(PMP_VIRT_SLOTS).enumerate() {
+            entries.push((PMP_VIRT_BASE + i, *e));
         }
-        // Flash: read + execute.
-        let flash = policy.board.flash;
-        out.push((
-            idx,
-            PmpEntry {
-                r: true,
-                w: false,
-                x: true,
-                mode: PmpMode::Napot,
-                addr: napot_addr(flash.base, flash.size.next_power_of_two()),
-            },
-        ));
-        idx += 1;
-        // SRAM background: read-only (public section, relocation table,
-        // other sections are readable but never writable).
-        let sram_span = policy.board.sram.size.next_power_of_two();
-        out.push((
-            idx,
-            PmpEntry {
-                r: true,
-                w: false,
-                x: false,
-                mode: PmpMode::Napot,
-                addr: napot_addr(policy.board.sram.base, sram_span),
-            },
-        ));
-        out
+        entries.push((PMP_FLASH_ENTRY, plan.flash));
+        entries.push((PMP_SRAM_ENTRY, plan.sram));
+        let unit = machine
+            .protection_mut()
+            .as_any_mut()
+            .downcast_mut::<PmpUnit>()
+            .ok_or("rv32-pmp backend: machine protection unit is not the PMP")?;
+        unit.load_entries(&entries);
+        Ok(PmpSwitchCost { entries: entries.len() as u32 })
     }
 
-    /// Convenience: the byte range of the live stack given a sub-region
-    /// disable mask as the ARM monitor computes it.
-    pub fn stack_boundary_from_srd(stack: MemRegion, srd: u8) -> u32 {
-        let sub = stack.size / 8;
-        let enabled = (0..8).take_while(|i| srd & (1 << i) == 0).count() as u32;
-        stack.base + enabled * sub
+    fn virtualize(
+        &self,
+        machine: &mut Machine,
+        plan: &PmpPlan,
+        op: OpId,
+        widx: usize,
+        slot: usize,
+    ) -> Result<(), String> {
+        let entry = plan.periph[usize::from(op)]
+            .get(widx)
+            .copied()
+            .ok_or_else(|| format!("no prepared PMP entry for peripheral window {widx}"))?;
+        let unit = machine
+            .protection_mut()
+            .as_any_mut()
+            .downcast_mut::<PmpUnit>()
+            .ok_or("rv32-pmp backend: machine protection unit is not the PMP")?;
+        unit.set_entry(PMP_VIRT_BASE + slot, entry);
+        Ok(())
+    }
+
+    fn stack_boundary(&self, stack: MemRegion, sp: u32) -> Option<u32> {
+        // PMP's TOR bound is word-granular: round SP down to the word.
+        let boundary = sp & !3;
+        if boundary <= stack.base {
+            return None;
+        }
+        Some(boundary.min(stack.end()))
+    }
+
+    fn boundary_granularity(&self, _stack: MemRegion) -> u32 {
+        4
+    }
+
+    fn classify_fault(&self, fault: &FaultInfo) -> PmpFault {
+        // The shared machine substrate raises its ARM-flavoured causes;
+        // the backend translates them into the RISC-V trap vocabulary.
+        match fault.cause {
+            FaultCause::MpuViolation => PmpFault::AccessFault,
+            FaultCause::PpbUnprivileged => PmpFault::CsrPriv,
+            FaultCause::Unmapped => PmpFault::Other,
+        }
     }
 }
 
@@ -311,6 +625,34 @@ mod tests {
             let a = napot_addr(base, size);
             assert_eq!(napot_decode(a), (base, size));
         }
+    }
+
+    #[test]
+    fn napot_minimum_granularity() {
+        // Sizes below the 8-byte granule round up to it instead of
+        // underflowing the trailing-ones encoding (the old encoder
+        // produced an all-ones pmpaddr — a 32 GiB region — for them).
+        assert_eq!(napot_addr(0x2000_0000, 4), napot_addr(0x2000_0000, 8));
+        assert_eq!(napot_decode(napot_addr(0x2000_0000, 1)), (0x2000_0000, 8));
+        // The all-ones pmpaddr (the "whole address space" idiom) must
+        // decode to the whole space, not overflow the trailing-ones
+        // shift.
+        assert_eq!(napot_decode(u32::MAX), (0, u32::MAX));
+        // And the cover helper never yields an undersized region.
+        let (base, size) = napot_cover(MemRegion::new(0x2000_0001, 2));
+        assert!(size >= NAPOT_MIN_SIZE);
+        assert!(base <= 0x2000_0001 && base + size >= 0x2000_0003);
+    }
+
+    #[test]
+    fn napot_cover_grows_past_misalignment() {
+        // A window straddling a power-of-two boundary needs a larger
+        // cover than its size alone suggests.
+        let (base, size) = napot_cover(MemRegion::new(0x2000_00F8, 0x10));
+        assert!(size.is_power_of_two());
+        assert_eq!(base % size, 0);
+        assert!(base <= 0x2000_00F8);
+        assert!(base + size >= 0x2000_0108);
     }
 
     #[test]
@@ -370,6 +712,46 @@ mod tests {
     }
 
     #[test]
+    fn tor_zero_length_matches_nothing() {
+        // A TOR bound equal to (or below) its predecessor's address is
+        // a zero-length range: it must neither grant nor deny — lower
+        // entries and the default rule still apply.
+        let mut pmp = Pmp::new();
+        pmp.set(
+            0,
+            PmpEntry { r: false, w: false, x: false, mode: PmpMode::Off, addr: 0x2000_0000 >> 2 },
+        );
+        pmp.set(
+            1,
+            PmpEntry { r: true, w: true, x: false, mode: PmpMode::Tor, addr: 0x2000_0000 >> 2 },
+        );
+        // The would-be stack bytes fall through to default-deny (U)
+        // and default-allow (M).
+        assert!(!pmp.check(0x2000_0000, 4, PmpAccess::Write, PrivMode::User));
+        assert!(pmp.check(0x2000_0000, 4, PmpAccess::Write, PrivMode::Machine));
+        // An inverted pair (bound below the anchor) is equally inert.
+        pmp.set(
+            1,
+            PmpEntry { r: true, w: true, x: false, mode: PmpMode::Tor, addr: 0x1FFF_F000 >> 2 },
+        );
+        assert!(!pmp.check(0x1FFF_F800, 4, PmpAccess::Read, PrivMode::User));
+        // A lower-priority granting entry behind the dead pair still
+        // decides.
+        pmp.set(
+            2,
+            PmpEntry {
+                r: true,
+                w: false,
+                x: false,
+                mode: PmpMode::Napot,
+                addr: napot_addr(0x2000_0000, 0x1000),
+            },
+        );
+        assert!(pmp.check(0x2000_0000, 4, PmpAccess::Read, PrivMode::User));
+        assert!(!pmp.check(0x2000_0000, 4, PmpAccess::Write, PrivMode::User));
+    }
+
+    #[test]
     fn straddling_access_is_denied() {
         let mut pmp = Pmp::new();
         pmp.set(
@@ -383,5 +765,52 @@ mod tests {
             },
         );
         assert!(!pmp.check(0x2000_00FE, 4, PmpAccess::Write, PrivMode::User));
+    }
+
+    #[test]
+    fn unit_is_transparent_until_enabled_and_to_machine_mode() {
+        let mut unit = PmpUnit::new();
+        assert_eq!(unit.check_data(0x2000_0000, 4, true, Mode::Unprivileged), MpuDecision::Allowed);
+        unit.enabled = true;
+        assert_eq!(unit.check_data(0x2000_0000, 4, true, Mode::Unprivileged), MpuDecision::Denied);
+        // Unlocked entries never constrain M-mode.
+        assert_eq!(unit.check_data(0x2000_0000, 4, true, Mode::Privileged), MpuDecision::Allowed);
+        assert!(unit.enforcing());
+    }
+
+    #[test]
+    fn cfg_byte_layout() {
+        let e = PmpEntry { r: true, w: false, x: true, mode: PmpMode::Napot, addr: 0 };
+        assert_eq!(e.cfg_byte(), 0b11_101);
+        assert_eq!(PmpEntry::OFF.cfg_byte(), 0);
+    }
+
+    #[test]
+    fn backend_boundary_is_word_granular() {
+        let b = Rv32PmpBackend;
+        let s = MemRegion::new(0x2002_F000, 0x1000);
+        assert_eq!(Backend::stack_boundary(&b, s, s.base + 0x57), Some(s.base + 0x54));
+        assert_eq!(Backend::stack_boundary(&b, s, s.end()), Some(s.end()));
+        // SP at (or rounding to) the base leaves no live stack.
+        assert_eq!(Backend::stack_boundary(&b, s, s.base + 3), None);
+        assert_eq!(Backend::stack_boundary(&b, s, s.base), None);
+        assert_eq!(Backend::boundary_granularity(&b, s), 4);
+    }
+
+    #[test]
+    fn backend_fault_vocabulary() {
+        let b = Rv32PmpBackend;
+        let fi = |cause| FaultInfo {
+            address: 0,
+            len: 4,
+            kind: opec_armv7m::AccessKind::Read,
+            cause,
+            pc: 0,
+            write_value: None,
+        };
+        assert_eq!(b.classify_fault(&fi(FaultCause::MpuViolation)), PmpFault::AccessFault);
+        assert_eq!(FaultClass::from(PmpFault::AccessFault), FaultClass::Protection);
+        assert_eq!(FaultClass::from(PmpFault::CsrPriv), FaultClass::ControlPriv);
+        assert_eq!(FaultClass::from(PmpFault::Other), FaultClass::Other);
     }
 }

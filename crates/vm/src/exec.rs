@@ -344,6 +344,25 @@ impl Vm<NullSupervisor> {
     }
 }
 
+/// A machine-construction backend: names the ISA variant and installs
+/// its protection unit into a machine.
+///
+/// This is the VM-facing sliver of the protection-backend abstraction
+/// (the full trait — region plans, switch costs, fault vocabularies —
+/// lives above this crate in `opec-core`): enough for
+/// [`VmBuilder::backend`] to swap the protection unit without the VM
+/// depending on any concrete ISA type, and statically typed so the
+/// choice is visible at the call site rather than smuggled through a
+/// string.
+pub trait MachineBackend {
+    /// Stable backend name (`"armv7m"`, `"rv32-pmp"`).
+    const NAME: &'static str;
+
+    /// Installs the backend's protection unit into `machine`
+    /// (reset-state: not yet enforcing).
+    fn install(&self, machine: &mut Machine);
+}
+
 impl<S: Supervisor> VmBuilder<S> {
     /// Selects the privileged runtime (changes the VM's type).
     pub fn supervisor<T: Supervisor>(self, supervisor: T) -> VmBuilder<T> {
@@ -387,6 +406,14 @@ impl<S: Supervisor> VmBuilder<S> {
         self
     }
 
+    /// Installs `backend`'s protection unit into the machine (replacing
+    /// the ARMv7-M MPU the machine boots with). The machine keeps its
+    /// memory image; only the protection model changes.
+    pub fn backend<B: MachineBackend>(mut self, backend: B) -> VmBuilder<S> {
+        backend.install(&mut self.machine);
+        self
+    }
+
     /// Sets what an abort verdict does (terminate vs. quarantine).
     pub fn containment(mut self, mode: ContainmentMode) -> VmBuilder<S> {
         self.containment = mode;
@@ -415,7 +442,7 @@ impl<S: Supervisor> VmBuilder<S> {
             deadline,
         } = self;
         image.load_into(&mut machine)?;
-        machine.mpu.attach_obs(obs.clone());
+        machine.protection_mut().attach_obs(obs.clone());
         supervisor.attach_obs(&obs);
         let sp = image.stack.end();
         let num_funcs = image.module.funcs.len();
@@ -453,6 +480,12 @@ impl<S: Supervisor> Vm<S> {
     /// The innermost operation currently executing (0 = `main`).
     pub fn current_op(&self) -> OpId {
         self.frames.iter().rev().find_map(|f| f.op_call.as_ref().map(|oc| oc.op)).unwrap_or(0)
+    }
+
+    /// The name of the protection unit guarding this VM's machine
+    /// (`"armv7m-mpu"` unless [`VmBuilder::backend`] installed another).
+    pub fn backend_name(&self) -> &'static str {
+        self.machine.protection().name()
     }
 
     /// Notifies the watcher of one resolved checked access.

@@ -229,14 +229,14 @@ fn mpu_violation_aborts_under_null_supervisor() {
     let mut image = link_baseline(mb.finish(), board).unwrap();
     image.app_mode = Mode::Unprivileged;
     let mut machine = Machine::new(board);
-    machine.mpu.enabled = true;
+    machine.mpu_mut().enabled = true;
     // Stack + code accessible, but not 0x20010000.
     machine
-        .mpu
+        .mpu_mut()
         .set_region(1, MpuRegion::new(0x0800_0000, 0x10_0000, RegionAttr::read_only(false)))
         .unwrap();
     machine
-        .mpu
+        .mpu_mut()
         .set_region(2, MpuRegion::new(0x2002_0000, 0x1_0000, RegionAttr::read_write_xn()))
         .unwrap();
     let mut vm = Vm::builder(machine, image).build().unwrap();
@@ -355,15 +355,15 @@ fn retry_fixup_reexecutes_the_access() {
     struct Granter;
     impl Supervisor for Granter {
         fn on_reset(&mut self, machine: &mut Machine) -> Result<(), TrapError> {
-            machine.mpu.enabled = true;
+            machine.mpu_mut().enabled = true;
             machine.mode = Mode::Unprivileged;
             // Code + stack accessible; peripheral not yet mapped.
             machine
-                .mpu
+                .mpu_mut()
                 .set_region(1, MpuRegion::new(0x0800_0000, 0x10_0000, RegionAttr::read_only(false)))
                 .map_err(|e| TrapError::internal(e.to_string()))?;
             machine
-                .mpu
+                .mpu_mut()
                 .set_region(2, MpuRegion::new(0x2000_0000, 0x4_0000, RegionAttr::read_write_xn()))
                 .map_err(|e| TrapError::internal(e.to_string()))?;
             Ok(())
@@ -392,7 +392,7 @@ fn retry_fixup_reexecutes_the_access() {
             // virtualization pattern.
             let base = fault.address & !0x3FF;
             machine
-                .mpu
+                .mpu_mut()
                 .set_region(4, MpuRegion::new(base, 0x400, RegionAttr::read_write_xn()))
                 .unwrap();
             FaultFixup::Retry
@@ -475,17 +475,17 @@ fn rogue_op_setup() -> VmBuilder<Recorder> {
     let task_id = image.module.func_by_name("task").unwrap();
     image.op_entries.insert(task_id, 3);
     let mut machine = Machine::new(board);
-    machine.mpu.enabled = true;
+    machine.mpu_mut().enabled = true;
     machine
-        .mpu
+        .mpu_mut()
         .set_region(1, MpuRegion::new(0x0800_0000, 0x10_0000, RegionAttr::read_only(false)))
         .unwrap();
     machine
-        .mpu
+        .mpu_mut()
         .set_region(2, MpuRegion::new(0x2000_0000, 0x1_0000, RegionAttr::read_write_xn()))
         .unwrap();
     machine
-        .mpu
+        .mpu_mut()
         .set_region(3, MpuRegion::new(0x2002_F000, 0x1000, RegionAttr::read_write_xn()))
         .unwrap();
     Vm::builder(machine, image).supervisor(Recorder::default())

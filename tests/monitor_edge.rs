@@ -107,7 +107,7 @@ fn nesting_depth_is_bounded_by_stack_subregions() {
         Err(VmError::Aborted { trap, .. }) => {
             let reason = trap.to_string();
             assert!(
-                reason.contains("no stack sub-region"),
+                reason.contains("no live stack"),
                 "expected clean stack-exhaustion refusal, got: {reason}"
             );
         }

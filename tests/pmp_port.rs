@@ -1,46 +1,44 @@
-//! Portability check (paper §7): the PMP encoding of an OPEC policy
-//! enforces the same decisions as the ARM MPU plan the monitor loads —
-//! address by address, over a compiled application's real policy.
+//! Portability check (paper §7): the PMP backend enforces the same
+//! decisions as the ARM MPU backend — address by address, over a
+//! compiled application's real policy, with both protection units
+//! programmed through the same [`Backend`] switch path the monitor
+//! uses.
 
 use opec::prelude::*;
-use opec_armv7m::mpu::{Mpu, MpuDecision};
-use opec_pmp::encode::{op_policy_to_pmp, stack_boundary_from_srd};
-use opec_pmp::{Pmp, PmpAccess, PrivMode};
+use opec_armv7m::mpu::MpuDecision;
+use opec_armv7m::Machine;
+use opec_core::backend::{Armv7mBackend, Backend};
+use opec_pmp::Rv32PmpBackend;
 
-/// Loads the ARM-side MPU exactly as `OpecMonitor::load_mpu` does.
-fn arm_mpu_for(policy: &opec::core::SystemPolicy, op: u8, srd: u8) -> Mpu {
-    let mut regions: Vec<(usize, opec_armv7m::MpuRegion)> = Vec::new();
-    for (n, mut r) in policy.base_regions() {
-        if n == 2 {
-            r.srd = srd;
-        }
-        regions.push((n, r));
-    }
-    regions.push((3, policy.section_region(op)));
-    for (i, r) in policy.op(op).periph_regions.iter().take(4).enumerate() {
-        regions.push((4 + i, *r));
-    }
-    let mut mpu = Mpu::new();
-    mpu.enabled = true;
-    mpu.load_regions(&regions).unwrap();
-    mpu
+/// Programs a fresh machine for `op` through `backend`'s switch path,
+/// exactly as `OpecMonitor::apply_protection` does.
+fn machine_for<B: Backend>(
+    backend: &B,
+    policy: &opec::core::SystemPolicy,
+    op: u8,
+    boundary: u32,
+) -> Machine {
+    let mut machine = backend.make_machine(policy.board);
+    let plan = backend.plan(policy);
+    backend.apply_op(&mut machine, &plan, op, boundary).unwrap();
+    backend.enable(&mut machine).unwrap();
+    machine
 }
 
 #[test]
-fn pmp_encoding_matches_the_arm_mpu_for_pinlock() {
+fn pmp_backend_matches_the_arm_mpu_for_pinlock() {
     let (module, specs) = opec_apps::programs::pinlock::build();
     let out = opec::core::compile(module, Board::stm32f4_discovery(), &specs).unwrap();
     let policy = &out.policy;
 
     for op in 0..policy.ops.len() as u8 {
-        // A representative sub-region mask: top sub-region disabled
-        // (one nested frame protected), as the monitor computes on the
-        // first switch.
-        let srd: u8 = 0b1000_0000;
-        let boundary = stack_boundary_from_srd(policy.stack, srd);
-        let mpu = arm_mpu_for(policy, op, srd);
-        let mut pmp = Pmp::new();
-        pmp.load(&op_policy_to_pmp(policy, op, boundary));
+        // A boundary both backends can express exactly: a sub-region
+        // multiple (the top eighth protected, as the monitor computes
+        // on the first switch). PMP can do better — see the byte-exact
+        // test below — but lockstep comparison needs common ground.
+        let boundary = policy.stack.base + 7 * (policy.stack.size / 8);
+        let arm = machine_for(&Armv7mBackend, policy, op, boundary);
+        let pmp = machine_for(&Rv32PmpBackend, policy, op, boundary);
 
         // Probe addresses across every interesting window.
         let mut probes: Vec<u32> = vec![
@@ -57,19 +55,22 @@ fn pmp_encoding_matches_the_arm_mpu_for_pinlock() {
             probes.push(p.section.base);
             probes.push(p.section.base + p.section.size - 4);
         }
-        for w in &policy.op(op).periph_windows {
+        // Only the windows both backends preload statically (ARM has
+        // four reserved MPU regions; covers past them are granted
+        // on-demand by virtualization on either backend).
+        for w in policy.op(op).periph_windows.iter().take(4) {
             probes.push(w.base);
             probes.push(w.end() - 4);
         }
         for addr in probes {
             for write in [false, true] {
-                let arm =
-                    mpu.check_data(addr, 4, write, Mode::Unprivileged) == MpuDecision::Allowed;
-                let access = if write { PmpAccess::Write } else { PmpAccess::Read };
-                let riscv = pmp.check(addr, 4, access, PrivMode::User);
+                let a = arm.protection().check_data(addr, 4, write, Mode::Unprivileged)
+                    == MpuDecision::Allowed;
+                let r = pmp.protection().check_data(addr, 4, write, Mode::Unprivileged)
+                    == MpuDecision::Allowed;
                 assert_eq!(
-                    arm, riscv,
-                    "op {op} divergence at {addr:#010x} (write={write}): ARM {arm}, PMP {riscv}"
+                    a, r,
+                    "op {op} divergence at {addr:#010x} (write={write}): ARM {a}, PMP {r}"
                 );
             }
         }
@@ -85,10 +86,45 @@ fn pmp_stack_protection_is_byte_exact() {
     let out = opec::core::compile(module, Board::stm32f4_discovery(), &specs).unwrap();
     let policy = &out.policy;
     let boundary = policy.stack.base + 0x123 * 4; // arbitrary, word-aligned
-    let mut pmp = Pmp::new();
-    pmp.load(&op_policy_to_pmp(policy, 1, boundary));
-    assert!(pmp.check(boundary - 4, 4, PmpAccess::Write, PrivMode::User));
-    assert!(!pmp.check(boundary, 4, PmpAccess::Write, PrivMode::User));
+    let machine = machine_for(&Rv32PmpBackend, policy, 1, boundary);
+    let unit = machine.protection();
+    assert_eq!(unit.check_data(boundary - 4, 4, true, Mode::Unprivileged), MpuDecision::Allowed);
+    assert_eq!(unit.check_data(boundary, 4, true, Mode::Unprivileged), MpuDecision::Denied);
     // The protected area is still readable (the SRAM background).
-    assert!(pmp.check(boundary, 4, PmpAccess::Read, PrivMode::User));
+    assert_eq!(unit.check_data(boundary, 4, false, Mode::Unprivileged), MpuDecision::Allowed);
+}
+
+#[test]
+fn pmp_virtualization_grants_on_demand() {
+    // The PMP backend's reserved entries swap peripheral covers in
+    // just like ARM MPU virtualization (paper §5.2), through the same
+    // Backend::virtualize surface.
+    let (module, specs) = opec_apps::programs::pinlock::build();
+    let out = opec::core::compile(module, Board::stm32f4_discovery(), &specs).unwrap();
+    let policy = &out.policy;
+    let backend = Rv32PmpBackend;
+    let plan = backend.plan(policy);
+    // Find an operation with at least one peripheral cover.
+    let Some(op) = (0..policy.ops.len() as u8).find(|&o| !policy.op(o).periph_covers.is_empty())
+    else {
+        return;
+    };
+    let mut machine = backend.make_machine(policy.board);
+    // Program with no peripheral preload by using a plan-driven apply
+    // then clobbering the virt entries: simplest is to virtualize into
+    // a different slot and check the window opens there.
+    backend.apply_op(&mut machine, &plan, op, policy.stack.end()).unwrap();
+    backend.enable(&mut machine).unwrap();
+    let window = policy.op(op).periph_windows[0];
+    assert_eq!(
+        machine.protection().check_data(window.base, 4, true, Mode::Unprivileged),
+        MpuDecision::Allowed
+    );
+    // Re-virtualizing the same window into the last slot keeps it
+    // reachable (lowest-entry-wins means the preloaded entry already
+    // grants; the call must still succeed and program the slot).
+    backend.virtualize(&mut machine, &plan, op, 0, backend.virt_slots() - 1).unwrap();
+    let unit = machine.protection().as_any().downcast_ref::<opec_pmp::PmpUnit>().unwrap();
+    let slot_entry = unit.pmp.entry(usize::from(backend.virt_slot_label(backend.virt_slots() - 1)));
+    assert_eq!(slot_entry, plan.periph_entries(op)[0]);
 }
