@@ -33,8 +33,8 @@ use opec_ir::{GlobalId, Module};
 use opec_obs::export::{event_log, metrics_json};
 use opec_obs::{Obs, OpId, Recorder};
 use opec_oracle::{
-    describe, generate, run_aces_with, run_opec_on, shadow, shrink, AccessMatrix, FirmwareSpec,
-    OracleState, RunBudget, RunHalt, Verdict, GEN_FUEL,
+    describe, divergence_key, generate, run_aces_with, run_opec_on, shadow, shrink, AccessMatrix,
+    Corpus, FirmwareSpec, OracleState, RunBudget, RunHalt, Verdict, GEN_FUEL,
 };
 use opec_vm::{ExecMode, LoadedImage, RunOutcome, Supervisor, Trace, Vm, VmError, VmStats};
 
@@ -51,7 +51,7 @@ const EPS: f64 = 1e-9;
 const SHRINK_BUDGET: usize = 200;
 
 /// Options for [`run_check`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CheckOptions {
     /// How many generated firmware seeds to run.
     pub seeds: u64,
@@ -61,11 +61,15 @@ pub struct CheckOptions {
     /// exists only on ARMv7-M; on other backends its cases are
     /// recorded as skip notes.
     pub backend: BackendSel,
+    /// Fuzzing corpus directory: when set, `--shrink` consults the
+    /// corpus for a smaller already-known plan covering the same
+    /// divergence key and shrinks from the smaller of the two.
+    pub corpus: Option<String>,
 }
 
 impl Default for CheckOptions {
     fn default() -> CheckOptions {
-        CheckOptions { seeds: 16, shrink: false, backend: BackendSel::Armv7m }
+        CheckOptions { seeds: 16, shrink: false, backend: BackendSel::Armv7m, corpus: None }
     }
 }
 
@@ -265,7 +269,7 @@ pub enum BudgetHalt {
 }
 
 impl BudgetHalt {
-    fn from_oracle(halt: Option<RunHalt>) -> BudgetHalt {
+    pub(crate) fn from_oracle(halt: Option<RunHalt>) -> BudgetHalt {
         match halt {
             None => BudgetHalt::Ran,
             Some(RunHalt::FuelExhausted) => BudgetHalt::Fuel,
@@ -278,7 +282,7 @@ impl BudgetHalt {
         self.max(other)
     }
 
-    fn result(self, payload: String) -> JobResult {
+    pub(crate) fn result(self, payload: String) -> JobResult {
         match self {
             BudgetHalt::Ran => JobResult::Done(payload),
             BudgetHalt::Fuel => JobResult::FuelExhausted(payload),
@@ -625,6 +629,31 @@ fn check_aces_app(app: &App, limits: &RunLimits) -> (CaseResult, Vec<CrossCheck>
     (state_case(app.name.to_string(), "ACES", &st, run_error), crosschecks, halt)
 }
 
+/// The plan shrinking should start from: the divergent input itself,
+/// or a strictly smaller corpus entry recorded under the same
+/// divergence coverage key. A corpus entry's recorded coverage may
+/// date from another backend or an older build, so the candidate is
+/// re-verified to still diverge before it displaces the original —
+/// otherwise shrinking would chase a stale reproducer and report a
+/// "minimal" program that no longer exhibits the bug.
+fn shrink_start<'a>(
+    spec: &'a FirmwareSpec,
+    v: &Verdict,
+    corpus: Option<&'a Corpus>,
+    diverges: &mut dyn FnMut(&FirmwareSpec) -> bool,
+) -> &'a FirmwareSpec {
+    let Some(corpus) = corpus else { return spec };
+    for d in &v.divergences {
+        let key = divergence_key(d.op, d.kind, d.layer);
+        if let Some(entry) = corpus.smallest_with(key) {
+            if entry.size() < spec.size() && diverges(&entry.spec) {
+                return &entry.spec;
+            }
+        }
+    }
+    spec
+}
+
 /// One generated firmware under the OPEC stack on `sel`, within
 /// `budget`.
 fn gen_opec_case(
@@ -633,6 +662,7 @@ fn gen_opec_case(
     do_shrink: bool,
     budget: &RunBudget,
     sel: BackendSel,
+    corpus: Option<&Corpus>,
 ) -> (CaseResult, BudgetHalt) {
     match run_opec_on(spec, None, budget, sel.dyn_backend()) {
         Ok(v) => {
@@ -642,14 +672,12 @@ fn gen_opec_case(
                 case.note = Some("stopped by budget".to_string());
             }
             if !v.clean() && do_shrink {
-                let small = shrink(
-                    spec,
-                    |s| {
-                        run_opec_on(s, None, budget, sel.dyn_backend())
-                            .is_ok_and(|v| v.total_divergences > 0)
-                    },
-                    SHRINK_BUDGET,
-                );
+                let mut diverges = |s: &FirmwareSpec| {
+                    run_opec_on(s, None, budget, sel.dyn_backend())
+                        .is_ok_and(|v| v.total_divergences > 0)
+                };
+                let start = shrink_start(spec, &v, corpus, &mut diverges);
+                let small = shrink(start, &mut diverges, SHRINK_BUDGET);
                 case.shrunk = Some(describe(&small));
             }
             (case, halt)
@@ -728,7 +756,7 @@ fn job_slug(name: &str) -> String {
 /// shape, so existing journals still resume) and `rv32-pmp/` on the
 /// port — a journal written under one backend must never satisfy a
 /// resume under the other.
-fn backend_segment(sel: BackendSel) -> &'static str {
+pub(crate) fn backend_segment(sel: BackendSel) -> &'static str {
     match sel {
         BackendSel::Armv7m => "",
         BackendSel::Rv32Pmp => "rv32-pmp/",
@@ -755,7 +783,7 @@ fn aces_skip_case(name: String, sel: BackendSel) -> CaseResult {
 /// The oracle's generated-firmware budget for one job attempt: the
 /// site default [`GEN_FUEL`] capped by the campaign budget, plus the
 /// attempt's watchdog deadline.
-fn gen_budget(limits: &RunLimits) -> RunBudget {
+pub(crate) fn gen_budget(limits: &RunLimits) -> RunBudget {
     RunBudget { fuel: limits.capped(GEN_FUEL), deadline: limits.deadline }
 }
 
@@ -796,6 +824,13 @@ pub fn run_check_with(
 ) -> Result<(CheckReport, CampaignReport), String> {
     let sel = opts.backend;
     let seg = backend_segment(sel);
+    // Loaded once up front (re-minimized); shared read-only by every
+    // generated-firmware job. Shrinking never mutates the corpus.
+    let corpus = match &opts.corpus {
+        Some(dir) => Some(Corpus::load(std::path::Path::new(dir))?),
+        None => None,
+    };
+    let corpus = corpus.as_ref();
     let apps = all_apps();
     let cmp = aces_comparison_apps();
     let mut kinds: Vec<CheckJob<'_>> = Vec::new();
@@ -840,7 +875,8 @@ pub fn run_check_with(
                 move |ctx| {
                     let budget = gen_budget(&RunLimits::from_ctx(ctx));
                     let spec = generate(seed);
-                    let (opec_case, h1) = gen_opec_case(&spec, seed, do_shrink, &budget, sel);
+                    let (opec_case, h1) =
+                        gen_opec_case(&spec, seed, do_shrink, &budget, sel, corpus);
                     if !sel.has_aces() {
                         return h1.result(format!("{{\"opec\":{}}}", case_json(&opec_case)));
                     }
@@ -1332,5 +1368,44 @@ mod tests {
         assert!(json.contains("a\\\\b"));
         assert!(json.contains("\"failures\": 2"));
         assert_eq!(report.failures().len(), 2);
+    }
+
+    #[test]
+    fn shrink_starts_from_the_smaller_of_spec_and_corpus_entry() {
+        use opec_obs::{OracleKind, OracleLayer};
+        use opec_oracle::{CoverageMap, Divergence, Observed};
+
+        let (a, b) = (generate(1), generate(2));
+        let (small, big) = if a.size() <= b.size() { (a, b) } else { (b, a) };
+        assert!(small.size() < big.size(), "seeds 1 and 2 must differ in size");
+
+        let key = divergence_key(1, OracleKind::Escape, OracleLayer::Mpu);
+        let mut v = Verdict::default();
+        v.divergences.push(Divergence {
+            op: 1,
+            kind: OracleKind::Escape,
+            layer: OracleLayer::Mpu,
+            observed: Observed::Probe,
+            addr: 0x0800_0000,
+            size: 4,
+            pc: 0,
+            detail: "test".into(),
+        });
+        let mut corpus = Corpus::in_memory();
+        corpus.admit(small.clone(), CoverageMap::from_features([key]));
+
+        // Corpus holds a smaller entry for the same coverage key that
+        // still diverges: shrink from it, not the original.
+        let mut always = |_: &FirmwareSpec| true;
+        assert_eq!(shrink_start(&big, &v, Some(&corpus), &mut always), &small);
+        // No corpus bound: shrink from the original.
+        assert_eq!(shrink_start(&big, &v, None, &mut always), &big);
+        // The corpus entry went stale (no longer diverges): fall back
+        // to the original instead of shrinking a clean plan.
+        let mut never = |_: &FirmwareSpec| false;
+        assert_eq!(shrink_start(&big, &v, Some(&corpus), &mut never), &big);
+        // The corpus entry is not smaller than the failing spec: keep
+        // the original (re-shrinking it can only do better).
+        assert_eq!(shrink_start(&small, &v, Some(&corpus), &mut always), &small);
     }
 }

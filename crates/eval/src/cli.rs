@@ -25,7 +25,13 @@
 //! --journal FILE   crash-safe job journal;      (attack-matrix, check,
 //!                  rerun to resume               bench-vm)
 //! --workers N      campaign worker threads      (attack-matrix, check,
-//!                                               bench-vm)
+//!                                               bench-vm, fuzz)
+//! --corpus DIR     persistent fuzzing corpus    (check, fuzz)
+//! --mode NAME      fuzz scheduling mode         (fuzz)
+//!                  guided | random
+//! --time-to-find   run the broken-MPU-plan      (fuzz)
+//!                  time-to-find benchmark
+//! --trials N       benchmark trials per mode    (fuzz)
 //! --out DIR        output directory             (csv)
 //! --obs-json FILE  observability metrics JSON   (report)
 //! --trace FILE     Chrome trace_event JSON      (report)
@@ -74,6 +80,15 @@ pub struct CliArgs {
     pub journal: Option<String>,
     /// `--workers N`: campaign worker threads.
     pub workers: Option<usize>,
+    /// `--corpus DIR`: persistent fuzzing corpus directory.
+    pub corpus: Option<String>,
+    /// `--mode NAME`: fuzz scheduling mode (`guided` | `random`).
+    pub mode: Option<String>,
+    /// `--time-to-find`: run the broken-MPU-plan time-to-find
+    /// benchmark instead of a divergence hunt.
+    pub time_to_find: bool,
+    /// `--trials N`: benchmark trials per mode.
+    pub trials: Option<u64>,
     /// Positional operands (legacy `csv DIR` / `bench-json FILE`).
     pub positional: Vec<String>,
 }
@@ -114,6 +129,14 @@ impl CliArgs {
                         Some(v.parse().map_err(|e| format!("bad --timeout value {v:?}: {e}"))?);
                 }
                 "--journal" => out.journal = Some(need(&mut args, "--journal")?),
+                "--corpus" => out.corpus = Some(need(&mut args, "--corpus")?),
+                "--mode" => out.mode = Some(need(&mut args, "--mode")?),
+                "--time-to-find" => out.time_to_find = true,
+                "--trials" => {
+                    let v = need(&mut args, "--trials")?;
+                    out.trials =
+                        Some(v.parse().map_err(|e| format!("bad --trials value {v:?}: {e}"))?);
+                }
                 "--workers" => {
                     let v = need(&mut args, "--workers")?;
                     out.workers =
@@ -146,6 +169,10 @@ impl CliArgs {
                 "--timeout" => self.timeout.is_some(),
                 "--journal" => self.journal.is_some(),
                 "--workers" => self.workers.is_some(),
+                "--corpus" => self.corpus.is_some(),
+                "--mode" => self.mode.is_some(),
+                "--time-to-find" => self.time_to_find,
+                "--trials" => self.trials.is_some(),
                 "positional" => !self.positional.is_empty(),
                 _ => false,
             }
@@ -166,6 +193,10 @@ impl CliArgs {
             "--timeout",
             "--journal",
             "--workers",
+            "--corpus",
+            "--mode",
+            "--time-to-find",
+            "--trials",
             "positional",
         ] {
             if set(name) && !allowed.contains(&name) {
@@ -282,6 +313,23 @@ mod tests {
         assert!(err.contains("--fuel"), "{err}");
         assert!(a
             .forbid_unused("check", &["--fuel", "--timeout", "--journal", "--workers"])
+            .is_ok());
+    }
+
+    #[test]
+    fn fuzz_flags_parse_and_are_guarded() {
+        let a = parse(&["--corpus", "corp", "--mode", "guided", "--time-to-find", "--trials", "5"])
+            .unwrap();
+        assert_eq!(a.corpus.as_deref(), Some("corp"));
+        assert_eq!(a.mode.as_deref(), Some("guided"));
+        assert!(a.time_to_find);
+        assert_eq!(a.trials, Some(5));
+        assert!(parse(&["--trials", "x"]).unwrap_err().contains("bad --trials"));
+        assert!(parse(&["--corpus"]).unwrap_err().contains("needs a value"));
+        let err = a.forbid_unused("table1", &[]).unwrap_err();
+        assert!(err.contains("--corpus"), "{err}");
+        assert!(a
+            .forbid_unused("fuzz", &["--corpus", "--mode", "--time-to-find", "--trials"])
             .is_ok());
     }
 

@@ -33,7 +33,11 @@
 //!   equivalence with the plain interpreter;
 //! * [`benchvm`] — the VM throughput benchmark (`bench-vm`): plain vs
 //!   decoded instructions/sec, campaign resets/sec, snapshot restore
-//!   latency, and the lockstep divergence count (`BENCH_vm.json`).
+//!   latency, and the lockstep divergence count (`BENCH_vm.json`);
+//! * [`fuzz`] — coverage-guided fuzzing (`fuzz`): structure-aware
+//!   mutation of generated firmware plans, scheduled from a persistent
+//!   minimized corpus, run as supervised campaign rounds, plus the
+//!   guided-vs-random time-to-find benchmark (`BENCH_fuzz.json`).
 //!
 //! The `opec-eval` binary drives everything:
 //!
@@ -54,6 +58,7 @@ pub mod cache;
 pub mod check;
 pub mod cli;
 pub mod engine;
+pub mod fuzz;
 pub mod metrics;
 pub mod obsreport;
 pub mod report;

@@ -14,7 +14,7 @@ use std::io::Write as _;
 
 use opec_apps::programs::all_apps;
 use opec_eval::engine::EngineOpts;
-use opec_eval::{attack, benchjson, benchvm, check, obsreport, report, BackendSel, CliArgs};
+use opec_eval::{attack, benchjson, benchvm, check, fuzz, obsreport, report, BackendSel, CliArgs};
 
 /// The usage text (`opec-eval help`).
 const USAGE: &str = "\
@@ -57,6 +57,27 @@ opec-eval — regenerate the paper's tables and figures
                                 and reports any event-stream, counter, or
                                 outcome difference.
                                 Exits 1 on any divergence.
+  opec-eval fuzz [--backend B] [--seeds N] [--corpus DIR] [--mode M]
+                 [--json FILE] [CAMPAIGN FLAGS]
+                                coverage-guided fuzzing of the whole pipeline:
+                                N structure-aware inputs (fresh plans plus
+                                stacked mutants of earlier ones), each compiled
+                                and run under the shadow oracle, with coverage
+                                folded from the obs event stream. Plans that
+                                contribute new coverage join the minimized
+                                corpus at DIR (re-minimized on load; stale
+                                entries pruned on save). --mode guided (default)
+                                schedules mutation bases from the corpus;
+                                --mode random mutates uniformly over all prior
+                                inputs, with no coverage feedback.
+                                Exits 1 on any divergence or run error.
+  opec-eval fuzz --time-to-find [--trials T] [--seeds N] [--json FILE]
+                                the fuzzing benchmark (BENCH_fuzz.json): median
+                                jobs and wall-clock until the planted latent
+                                broken-MPU bug is detected, guided vs random,
+                                on both backends (T trials each, budget N jobs
+                                per trial), plus a corpus-replay determinism
+                                check. Exits 1 if the replay digests differ.
   opec-eval report [--backend B] [--obs-json FILE] [--trace FILE]
                    [--apps FILTER] [--ring N] [--funcs]
                                 per-operation overhead breakdown from the
@@ -74,12 +95,12 @@ opec-eval — regenerate the paper's tables and figures
                                               in the ring (bigger traces)
                                 Exits 1 if any ring shed events.
 
---backend B (bench-vm, attack-matrix, check, report) selects the
+--backend B (bench-vm, attack-matrix, check, fuzz, report) selects the
 protection backend: armv7m (the paper's ARMv7-M MPU, the default) or
 rv32-pmp (the §7 RISC-V PMP port). The ACES comparison stack is an
 ARMv7-M artifact; under rv32-pmp its cells are recorded as skips.
 
-CAMPAIGN FLAGS (bench-vm, attack-matrix, check): these subcommands run
+CAMPAIGN FLAGS (bench-vm, attack-matrix, check, fuzz): these subcommands run
 their VM work as supervised campaign jobs — fuel-budgeted, watchdogged,
 panic-contained, and resumable.
 
@@ -101,7 +122,8 @@ Legacy positional forms `csv DIR` and `bench-json FILE` still work.
 ";
 
 /// The subcommand's own flags plus the shared campaign supervision
-/// flags (`bench-vm`, `attack-matrix`, and `check` all accept them).
+/// flags (`bench-vm`, `attack-matrix`, `check`, and `fuzz` all accept
+/// them).
 fn campaign_flags(base: &[&'static str]) -> Vec<&'static str> {
     let mut v = base.to_vec();
     v.extend(["--fuel", "--timeout", "--journal", "--workers"]);
@@ -280,6 +302,7 @@ fn main() {
                 "--json",
                 "--shrink",
                 "--lockstep",
+                "--corpus",
             ]));
             let sel = BackendSel::from_args(&args).unwrap_or_else(|e| fail(&e));
             let seeds = args.seeds.unwrap_or(16);
@@ -288,6 +311,9 @@ fn main() {
             let (rep, campaign) = if args.lockstep {
                 if args.shrink {
                     fail("--shrink does not apply to --lockstep");
+                }
+                if args.corpus.is_some() {
+                    fail("--corpus does not apply to --lockstep");
                 }
                 eprintln!(
                     "[opec-eval] cached-vs-plain lockstep: apps + {seeds} generated \
@@ -302,7 +328,12 @@ fn main() {
                     sel.name()
                 );
                 check::run_check_campaign(
-                    &check::CheckOptions { seeds, shrink: args.shrink, backend: sel },
+                    &check::CheckOptions {
+                        seeds,
+                        shrink: args.shrink,
+                        backend: sel,
+                        corpus: args.corpus.clone(),
+                    },
                     &engine,
                 )
                 .unwrap_or_else(|e| fail(&e))
@@ -343,6 +374,96 @@ fn main() {
                      ground-truth matrix"
                 );
             }
+        }
+        "fuzz" => {
+            no_flags(&campaign_flags(&[
+                "--backend",
+                "--seeds",
+                "--json",
+                "--corpus",
+                "--mode",
+                "--time-to-find",
+                "--trials",
+            ]));
+            let sel = BackendSel::from_args(&args).unwrap_or_else(|e| fail(&e));
+            let out = args.json.clone().map(|p| (create(&p), p));
+            if args.time_to_find {
+                if args.corpus.is_some() || args.mode.is_some() || args.journal.is_some() {
+                    fail("--time-to-find runs both modes in-process; --corpus, --mode and --journal do not apply");
+                }
+                let defaults = fuzz::BenchOptions::default();
+                let bopts = fuzz::BenchOptions {
+                    trials: args.trials.unwrap_or(defaults.trials),
+                    budget: args.seeds.unwrap_or(defaults.budget),
+                };
+                eprintln!(
+                    "[opec-eval] time-to-find: guided vs random, both backends, {} trials \
+                     x {} jobs budget...",
+                    bopts.trials, bopts.budget
+                );
+                let json = fuzz::bench_time_to_find(&bopts).unwrap_or_else(|e| {
+                    eprintln!("opec-eval: fuzz benchmark FAILED: {e}");
+                    std::process::exit(1);
+                });
+                match out {
+                    Some((mut file, path)) => {
+                        file.write_all(json.as_bytes()).expect("write BENCH_fuzz.json");
+                        eprintln!("[opec-eval] wrote {path}");
+                    }
+                    None => print!("{json}"),
+                }
+                return;
+            }
+            if args.trials.is_some() {
+                fail("--trials only applies to --time-to-find");
+            }
+            let mode = fuzz::FuzzMode::from_flag(args.mode.as_deref()).unwrap_or_else(|e| fail(&e));
+            let opts = fuzz::FuzzOptions {
+                seeds: args.seeds.unwrap_or(256),
+                backend: sel,
+                corpus: args.corpus.clone(),
+                mode,
+                round: fuzz::DEFAULT_ROUND,
+            };
+            let engine = EngineOpts::from_args(&args);
+            eprintln!(
+                "[opec-eval] coverage-guided fuzz: {} jobs on backend {}, mode {}{}...",
+                opts.seeds,
+                sel.name(),
+                mode.name(),
+                match &opts.corpus {
+                    Some(d) => format!(", corpus {d}"),
+                    None => ", in-memory corpus".to_string(),
+                }
+            );
+            let (rep, campaign) =
+                fuzz::run_fuzz_campaign(&opts, &engine).unwrap_or_else(|e| fail(&e));
+            print!("{}", rep.render());
+            if let Some((mut file, path)) = out {
+                file.write_all(rep.to_json().as_bytes()).expect("write fuzz JSON");
+                eprintln!("[opec-eval] wrote {path}");
+            }
+            eprintln!("[opec-eval] {}", campaign.summary());
+            let failures = rep.failures();
+            if !failures.is_empty() {
+                eprintln!("[opec-eval] fuzz FAILURES:");
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                std::process::exit(1);
+            }
+            if campaign.unknown() > 0 {
+                eprintln!(
+                    "[opec-eval] fuzz UNKNOWN: {} jobs without a final outcome \
+                     (raise --fuel / --timeout)",
+                    campaign.unknown()
+                );
+                std::process::exit(3);
+            }
+            eprintln!(
+                "[opec-eval] fuzz clean: {} jobs, {} corpus entries, {} features, no divergences",
+                rep.jobs, rep.entries, rep.features
+            );
         }
         "report" => {
             no_flags(&["--backend", "--obs-json", "--trace", "--apps", "--ring", "--funcs"]);

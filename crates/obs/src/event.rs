@@ -278,6 +278,19 @@ pub enum Event {
         /// The address involved (0 when not an access divergence).
         address: u32,
     },
+    /// The differential oracle exercised one probe cell during a
+    /// switch-time sweep. Emitted whether or not the probe diverged:
+    /// the pair `(cell, allowed)` is the coverage signal the fuzzer
+    /// feeds on, so an accepted probe is as interesting as a denial.
+    OracleProbe {
+        /// The operation whose policy was probed.
+        op: OpId,
+        /// Stable index of the probe cell within the sweep (the
+        /// matrix row order, stack boundaries appended last).
+        cell: u16,
+        /// What the ground-truth matrix expects for the cell.
+        allowed: bool,
+    },
     /// The run ended (halt, return of `main`, or a fatal error).
     /// Aggregators flush pending attribution; exporters close open
     /// spans.

@@ -210,6 +210,10 @@ pub fn chrome_trace(events: &[Stamped], label: &str) -> String {
                     &args,
                 );
             }
+            Event::OracleProbe { op, cell, allowed } => {
+                let args = format!("\"op\":{op},\"cell\":{cell},\"allowed\":{allowed}");
+                push_trace_record(&mut out, &mut first, 'i', "oracle probe", "oracle", ts, &args);
+            }
             Event::RunEnd { insts } => {
                 while let Some(top) = open.pop() {
                     push_trace_record(&mut out, &mut first, 'E', &top, "", ts, "");

@@ -341,6 +341,10 @@ impl Metrics {
             }
             Event::Inject { .. } => self.injections += 1,
             Event::OracleDivergence { .. } => self.oracle_divergences += 1,
+            // Probe-cell coverage is a fuzzer signal, not a metric:
+            // the sweep runs the same cells every switch, so counting
+            // them would only restate `switches * matrix_size`.
+            Event::OracleProbe { .. } => {}
             Event::Trap { op, .. } => self.entry(op).traps += 1,
             Event::Quarantine { op } => {
                 self.entry(op).quarantines += 1;

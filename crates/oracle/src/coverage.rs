@@ -1,0 +1,260 @@
+//! Deterministic coverage extraction from the obs event stream.
+//!
+//! The fuzzer's feedback signal is a *set* of `u64` features folded out
+//! of [`Event`]s — never a count. Sets make the merge a plain union,
+//! which is associative, commutative and idempotent, so aggregate
+//! coverage is independent of worker interleaving, journal resume
+//! order, and how many times an input is replayed. That is the same
+//! discipline the campaign journal uses for crash-safe resume.
+//!
+//! Feature classes (the tag byte, bits 56..64):
+//!
+//! * `SWITCH_EDGE` — an accepted operation switch `from → to × dir`.
+//! * `VIRT_HIT` — window `w` of op loaded into reserved slot `s`.
+//! * `VIRT_EVICT` — slot `s` round-robin displacement `old → new`.
+//! * `VIRT_MISS` — policy-denied peripheral fault (read/write).
+//! * `TRAP` — a supervisor trap verdict class against an op.
+//! * `PROBE` — an oracle probe cell exercised `(op, cell, allowed)`.
+//! * `DIVERGENCE` — an oracle divergence class `(op, kind, layer)`.
+//!   The encoded feature doubles as the corpus *coverage key* for a
+//!   divergence: two inputs tripping the same class on the same op
+//!   collide here, which is what lets `check --shrink` find a smaller
+//!   corpus entry for "the same bug".
+//! * `EMULATED` — a core-peripheral access emulated for an op.
+//! * `QUARANTINE` — an op was killed and unwound.
+//!
+//! Addresses are deliberately excluded from every feature: they vary
+//! with layout noise (peripheral base gaps, stack depth) and would blow
+//! the feature space up without adding schedulable signal.
+
+use std::collections::BTreeSet;
+
+use opec_obs::{Dir, Event, Sink, Stamped, TrapKind};
+
+const TAG_SWITCH_EDGE: u64 = 1;
+const TAG_VIRT_HIT: u64 = 2;
+const TAG_VIRT_EVICT: u64 = 3;
+const TAG_VIRT_MISS: u64 = 4;
+const TAG_TRAP: u64 = 5;
+const TAG_PROBE: u64 = 6;
+const TAG_DIVERGENCE: u64 = 7;
+const TAG_EMULATED: u64 = 8;
+const TAG_QUARANTINE: u64 = 9;
+
+fn tagged(tag: u64, payload: u64) -> u64 {
+    debug_assert!(payload < (1u64 << 56));
+    (tag << 56) | payload
+}
+
+fn trap_class(kind: TrapKind) -> u64 {
+    match kind {
+        TrapKind::PolicyDeniedMem => 0,
+        TrapKind::PolicyDeniedCore => 1,
+        TrapKind::Sanitization => 2,
+        TrapKind::BadSwitch => 3,
+        TrapKind::MemFault => 4,
+        TrapKind::BusFault => 5,
+        TrapKind::Unrecoverable => 6,
+    }
+}
+
+/// The stable coverage key of an oracle divergence: `(op, kind,
+/// layer)`, address-free. Shared by the fuzzer's corpus and the
+/// `check --shrink` corpus lookup so they agree on "the same bug".
+pub fn divergence_key(op: u8, kind: opec_obs::OracleKind, layer: opec_obs::OracleLayer) -> u64 {
+    let k = match kind {
+        opec_obs::OracleKind::Escape => 0u64,
+        opec_obs::OracleKind::SpuriousDenial => 1,
+        opec_obs::OracleKind::ExecOutsideOperation => 2,
+    };
+    let l = match layer {
+        opec_obs::OracleLayer::Mpu => 0u64,
+        opec_obs::OracleLayer::Monitor => 1,
+        opec_obs::OracleLayer::Analysis => 2,
+    };
+    tagged(TAG_DIVERGENCE, (u64::from(op) << 16) | (k << 8) | l)
+}
+
+/// A deterministic coverage feature set.
+///
+/// Fold events in with [`CoverageMap::observe`] (or attach it as a
+/// [`Sink`]), combine maps with [`CoverageMap::merge`], persist with
+/// [`CoverageMap::features`] / [`CoverageMap::from_features`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    feats: BTreeSet<u64>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// A map holding exactly `feats` (corpus deserialization).
+    pub fn from_features(feats: impl IntoIterator<Item = u64>) -> CoverageMap {
+        CoverageMap { feats: feats.into_iter().collect() }
+    }
+
+    /// Folds one event into the map. Events that carry no schedulable
+    /// signal (function enters, MPU register writes, campaign
+    /// milestones, …) are ignored.
+    pub fn observe(&mut self, ev: &Event) {
+        let feat = match *ev {
+            Event::SwitchEnd { dir, from, to, ok: true, .. } => {
+                let d = match dir {
+                    Dir::Enter => 0u64,
+                    Dir::Exit => 1,
+                };
+                tagged(TAG_SWITCH_EDGE, (u64::from(from) << 16) | (u64::from(to) << 8) | d)
+            }
+            Event::VirtHit { op, window, slot, .. } => tagged(
+                TAG_VIRT_HIT,
+                (u64::from(op) << 16) | (u64::from(window) << 8) | u64::from(slot),
+            ),
+            Event::VirtEvict { op, slot, old_window, new_window } => tagged(
+                TAG_VIRT_EVICT,
+                (u64::from(op) << 24)
+                    | (u64::from(slot) << 16)
+                    | (u64::from(old_window) << 8)
+                    | u64::from(new_window),
+            ),
+            Event::VirtMiss { op, write, .. } => {
+                tagged(TAG_VIRT_MISS, (u64::from(op) << 8) | u64::from(write))
+            }
+            Event::Trap { op, kind, .. } => {
+                tagged(TAG_TRAP, (u64::from(op) << 8) | trap_class(kind))
+            }
+            Event::OracleProbe { op, cell, allowed } => tagged(
+                TAG_PROBE,
+                (u64::from(op) << 24) | (u64::from(cell) << 8) | u64::from(allowed),
+            ),
+            Event::OracleDivergence { op, kind, layer, .. } => divergence_key(op, kind, layer),
+            Event::Emulated { op, access, .. } => {
+                let a = match access {
+                    opec_obs::Access::Load => 0u64,
+                    opec_obs::Access::Store => 1,
+                };
+                tagged(TAG_EMULATED, (u64::from(op) << 8) | a)
+            }
+            Event::Quarantine { op } => tagged(TAG_QUARANTINE, u64::from(op)),
+            _ => return,
+        };
+        self.feats.insert(feat);
+    }
+
+    /// Union-folds `other` into `self`.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        self.feats.extend(other.feats.iter().copied());
+    }
+
+    /// Features in `self` that `agg` lacks — the unique contribution an
+    /// input would make to an aggregate.
+    pub fn minus(&self, agg: &CoverageMap) -> CoverageMap {
+        CoverageMap { feats: self.feats.difference(&agg.feats).copied().collect() }
+    }
+
+    /// Whether every feature of `self` is already in `agg`.
+    pub fn subset_of(&self, agg: &CoverageMap) -> bool {
+        self.feats.is_subset(&agg.feats)
+    }
+
+    /// Whether the map holds `feat`.
+    pub fn contains(&self, feat: u64) -> bool {
+        self.feats.contains(&feat)
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.feats.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.feats.is_empty()
+    }
+
+    /// The features, ascending (the canonical serialization order).
+    pub fn features(&self) -> impl Iterator<Item = u64> + '_ {
+        self.feats.iter().copied()
+    }
+
+    /// FNV-1a over the canonical feature order — the stable identity of
+    /// a coverage set, used as the corpus entry key and the replay
+    /// determinism check.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for f in &self.feats {
+            for b in f.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+impl Sink for CoverageMap {
+    fn record(&mut self, ev: Stamped) {
+        self.observe(&ev.ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opec_obs::{OracleKind, OracleLayer};
+
+    #[test]
+    fn switch_edges_are_direction_sensitive_and_failures_ignored() {
+        let mut m = CoverageMap::new();
+        m.observe(&Event::SwitchEnd { dir: Dir::Enter, from: 0, to: 1, entry: 7, ok: true });
+        m.observe(&Event::SwitchEnd { dir: Dir::Exit, from: 0, to: 1, entry: 7, ok: true });
+        m.observe(&Event::SwitchEnd { dir: Dir::Enter, from: 0, to: 1, entry: 7, ok: false });
+        assert_eq!(m.len(), 2);
+        // Replay is idempotent.
+        m.observe(&Event::SwitchEnd { dir: Dir::Enter, from: 0, to: 1, entry: 7, ok: true });
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn addresses_do_not_split_features() {
+        let mut a = CoverageMap::new();
+        let mut b = CoverageMap::new();
+        a.observe(&Event::VirtMiss { op: 2, address: 0x4000_0000, write: true });
+        b.observe(&Event::VirtMiss { op: 2, address: 0x4000_0800, write: true });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn divergence_key_matches_observe() {
+        let mut m = CoverageMap::new();
+        m.observe(&Event::OracleDivergence {
+            op: 3,
+            kind: OracleKind::Escape,
+            layer: OracleLayer::Mpu,
+            address: 0x800_0000,
+        });
+        assert!(m.contains(divergence_key(3, OracleKind::Escape, OracleLayer::Mpu)));
+        assert!(!m.contains(divergence_key(3, OracleKind::Escape, OracleLayer::Monitor)));
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_and_content_sensitive() {
+        let a = CoverageMap::from_features([3u64, 1, 2]);
+        let b = CoverageMap::from_features([1u64, 2, 3]);
+        let c = CoverageMap::from_features([1u64, 2, 4]);
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn minus_and_subset() {
+        let a = CoverageMap::from_features([1u64, 2, 3]);
+        let b = CoverageMap::from_features([2u64, 3]);
+        assert!(b.subset_of(&a));
+        assert!(!a.subset_of(&b));
+        let d = a.minus(&b);
+        assert_eq!(d.features().collect::<Vec<_>>(), vec![1]);
+    }
+}

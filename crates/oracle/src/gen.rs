@@ -25,7 +25,7 @@ use opec_ir::types::SigKey;
 use opec_ir::{BinOp, Module, ModuleBuilder, Operand, Ty};
 
 /// One word-array global and the clusters allowed to touch it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GlobalSpec {
     /// Array length in 32-bit words.
     pub words: u32,
@@ -79,7 +79,7 @@ pub enum Stmt {
 }
 
 /// One generated function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuncSpec {
     /// Cluster id (0 = `main`'s cluster).
     pub cluster: usize,
@@ -90,7 +90,7 @@ pub struct FuncSpec {
 }
 
 /// A deterministic firmware plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FirmwareSpec {
     /// The seed that produced it (diagnostics / reproduction).
     pub seed: u64,

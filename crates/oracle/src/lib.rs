@@ -28,19 +28,27 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
+pub mod coverage;
 pub mod divergence;
 pub mod gen;
 pub mod matrix;
+pub mod mutate;
 pub mod run;
 pub mod shadow;
 pub mod shrink;
+pub mod tamper;
 
+pub use corpus::{Corpus, CorpusEntry};
+pub use coverage::{divergence_key, CoverageMap};
 pub use divergence::{Divergence, Observed};
 pub use gen::{generate, FirmwareSpec};
 pub use matrix::{AccessMatrix, Expect};
+pub use mutate::{mutate, mutate_stacked, periph_owners, well_formed, Mutator, ALL_MUTATORS};
 pub use run::{
-    run_aces, run_aces_with, run_opec, run_opec_on, run_opec_with, RunBudget, RunHalt, Verdict,
-    GEN_FUEL,
+    run_aces, run_aces_with, run_opec, run_opec_cov, run_opec_on, run_opec_with, RunBudget,
+    RunHalt, Verdict, GEN_FUEL,
 };
 pub use shadow::{shadow, OracleHandle, OracleState, ShadowOracle};
 pub use shrink::{describe, shrink};
+pub use tamper::{break_mpu, break_mpu_latent, LATENT_MIN_WINDOWS};

@@ -1,7 +1,9 @@
 //! One-call pipelines: plan → compile → image → VM with the shadow
 //! oracle attached, for both enforcement stacks.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -13,6 +15,7 @@ use opec_ir::FuncId;
 use opec_obs::{Obs, OpId};
 use opec_vm::{Vm, VmError};
 
+use crate::coverage::CoverageMap;
 use crate::divergence::Divergence;
 use crate::gen::FirmwareSpec;
 use crate::matrix::AccessMatrix;
@@ -122,6 +125,22 @@ pub fn run_opec_on(
     budget: &RunBudget,
     backend: Arc<dyn DynBackend>,
 ) -> Result<Verdict, String> {
+    run_opec_cov(spec, mutate, budget, backend).map(|(v, _)| v)
+}
+
+/// [`run_opec_on`] with coverage extraction: a [`CoverageMap`] sink
+/// rides both the VM's event stream (switch edges, virtualization
+/// hits/evictions/misses, traps) and the shadow oracle's (probe cells,
+/// divergence classes), and the folded map is returned alongside the
+/// verdict. The map is a pure feature set, so it is deterministic for
+/// a given `(spec, mutate, backend)` regardless of budgets generous
+/// enough to finish the run.
+pub fn run_opec_cov(
+    spec: &FirmwareSpec,
+    mutate: Option<&dyn Fn(&mut SystemPolicy)>,
+    budget: &RunBudget,
+    backend: Arc<dyn DynBackend>,
+) -> Result<(Verdict, CoverageMap), String> {
     let board = spec.board();
     let module = spec.build_module();
     let specs = spec.op_specs();
@@ -134,16 +153,19 @@ pub fn run_opec_on(
     }
     let mut machine = backend.make_machine(board);
     spec.install_devices(&mut machine);
-    let (watcher, handle) = shadow(matrix, Obs::disabled());
+    let cov = Rc::new(RefCell::new(CoverageMap::new()));
+    let obs = Obs::single(cov.clone());
+    let (watcher, handle) = shadow(matrix, obs.clone());
     let mut vm = Vm::builder(machine, out.image.clone())
         .supervisor(OpecMonitor::with_backend(policy, backend))
         .watcher(watcher)
+        .obs(obs)
         .build()
         .map_err(|e| format!("image: {e:?}"))?;
     vm.set_deadline(budget.deadline);
     let (halt, run_error) = classify(vm.run(budget.fuel).err());
     let st = handle.take();
-    Ok(Verdict {
+    let verdict = Verdict {
         divergences: st.divergences,
         total_divergences: st.total_divergences,
         checks: st.checks,
@@ -152,7 +174,9 @@ pub fn run_opec_on(
         exec: st.exec,
         run_error,
         halt,
-    })
+    };
+    let coverage = cov.borrow().clone();
+    Ok((verdict, coverage))
 }
 
 /// Runs a generated firmware under the ACES stack (Filename strategy)

@@ -182,12 +182,21 @@ impl ShadowOracle {
             .map(|p| (p.addr, p.write, p.expect, p.what))
             .chain(extra)
             .collect::<Vec<_>>();
-        for (addr, write, expect, what) in probes {
+        for (cell, (addr, write, expect, what)) in probes.into_iter().enumerate() {
             st.probes += 1;
             let allowed = matches!(
                 machine.protection().check_data(addr, 1, write, Mode::Unprivileged),
                 MpuDecision::Allowed
             );
+            // Coverage channel: every cell exercised, hit or miss. The
+            // cell index is stable (matrix row order, stack-boundary
+            // extras appended), so the same policy shape maps to the
+            // same coverage features across runs.
+            self.obs.emit(|| Event::OracleProbe {
+                op,
+                cell: cell.min(u16::MAX as usize) as u16,
+                allowed,
+            });
             let kind = match (allowed, expect) {
                 (true, Expect::Deny) => OracleKind::Escape,
                 (false, Expect::Allow) => OracleKind::SpuriousDenial,

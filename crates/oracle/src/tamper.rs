@@ -1,0 +1,45 @@
+//! Deliberate enforcement-stack tampers for self-tests and benchmarks.
+//!
+//! Each tamper edits the *enforced* [`SystemPolicy`] after the
+//! ground-truth matrix has been derived, planting a bug the shadow
+//! oracle must catch. They are shared between the oracle's own
+//! self-tests, `opec-eval check --self-test`, and the fuzzing
+//! time-to-find benchmark, so all three agree on what "the broken MPU
+//! plan" means.
+
+use opec_armv7m::mpu::region_size_for;
+use opec_armv7m::MemRegion;
+use opec_core::SystemPolicy;
+
+/// The classic broken MPU plan: a bogus writable flash-base cover is
+/// inserted into every non-root operation's peripheral-cover list.
+/// Detected as a probe-sweep Escape at `flash.base` on the first
+/// accepted switch into any tampered operation.
+pub fn break_mpu(policy: &mut SystemPolicy) {
+    let flash = policy.board.flash;
+    let bogus = MemRegion::new(flash.base, region_size_for(0x1000));
+    for op in policy.ops.iter_mut().skip(1) {
+        op.periph_covers.insert(0, bogus);
+    }
+}
+
+/// The *latent* variant the fuzzer hunts: [`break_mpu`], but applied
+/// only when some non-root operation's policy carries at least
+/// `min_windows` peripheral windows. With `min_windows` beyond the
+/// random generator's envelope (it never assigns more than 3
+/// peripherals total), a fresh seed can never exhibit the bug — only
+/// mutation chains that repeatedly grow *one* operation's window set
+/// reach it. That reachability gap is exactly what the time-to-find
+/// benchmark measures.
+pub fn break_mpu_latent(policy: &mut SystemPolicy, min_windows: usize) {
+    let triggered = policy.ops.iter().skip(1).any(|op| op.periph_windows.len() >= min_windows);
+    if triggered {
+        break_mpu(policy);
+    }
+}
+
+/// The window threshold the benchmark's latent tamper uses: two past
+/// the generator's 3-peripheral cap, so a single short mutation chain
+/// essentially never lands it and the corpus has to accumulate window
+/// growth over several admitted generations.
+pub const LATENT_MIN_WINDOWS: usize = 5;

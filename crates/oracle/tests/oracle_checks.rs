@@ -2,11 +2,9 @@
 //! under the real enforcement stacks, and a deliberately broken MPU
 //! configuration is caught and shrunk to a minimal counterexample.
 
-use opec_armv7m::mpu::region_size_for;
-use opec_armv7m::MemRegion;
 use opec_obs::{OracleKind, OracleLayer};
 use opec_oracle::divergence::Observed;
-use opec_oracle::{generate, run_aces, run_opec, shrink, FirmwareSpec};
+use opec_oracle::{break_mpu, generate, run_aces, run_opec, shrink, FirmwareSpec};
 
 #[test]
 fn generated_firmwares_are_divergence_free_under_opec() {
@@ -49,17 +47,12 @@ fn generated_firmwares_are_divergence_free_under_aces() {
     assert!(ran >= 6, "too few seeds built under ACES ({ran}/12)");
 }
 
-/// The tampering the oracle must catch: a bogus read-write cover over
-/// flash prepended to an operation's peripheral-cover plan, as a
-/// mis-generated protection config would do (every backend turns
-/// covers into writable regions/entries).
-fn break_mpu(policy: &mut opec_core::SystemPolicy) {
-    let flash = policy.board.flash;
-    let bogus = MemRegion::new(flash.base, region_size_for(0x1000));
-    for op in policy.ops.iter_mut().skip(1) {
-        op.periph_covers.insert(0, bogus);
-    }
-}
+// The tampering the oracle must catch — `opec_oracle::tamper::break_mpu`,
+// shared with `opec-eval check --self-test` and the fuzzing benchmark:
+// a bogus read-write cover over flash prepended to every non-root
+// operation's peripheral-cover plan, as a mis-generated protection
+// config would do (every backend turns covers into writable
+// regions/entries).
 
 #[test]
 fn broken_mpu_config_is_caught_and_shrinks_to_minimal_program() {
