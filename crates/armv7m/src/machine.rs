@@ -54,6 +54,37 @@ pub trait MmioDevice {
     fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
         None
     }
+    /// Borrowing downcast hook for the restore fast path. Devices that
+    /// support in-place state copy return `Some(self)`; the default
+    /// opts out, which routes restores through [`Self::clone_box`].
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+    /// Copies `src`'s state into `self` without allocating, returning
+    /// `false` when the concrete types differ (or the device opts
+    /// out). [`Machine::restore`] and [`Machine::apply_delta`] run
+    /// every spawn/quantum of a snapshot-pooled fleet, so reusing the
+    /// existing boxes instead of re-cloning each device is what keeps
+    /// restore in the microsecond range for small firmwares.
+    fn copy_state_from(&mut self, _src: &dyn MmioDevice) -> bool {
+        false
+    }
+}
+
+/// The standard [`MmioDevice::copy_state_from`] body for a `Clone`
+/// device: borrow-downcast `src` to `T` and `clone_from` it in place
+/// (reusing `T`'s buffers where its `Clone` impl allows).
+pub fn copy_device_state<T: MmioDevice + Clone + 'static>(
+    dst: &mut T,
+    src: &dyn MmioDevice,
+) -> bool {
+    match src.as_any().and_then(|a| a.downcast_ref::<T>()) {
+        Some(s) => {
+            dst.clone_from(s);
+            true
+        }
+        None => false,
+    }
 }
 
 /// Counters the evaluation reads out of the machine.
@@ -94,6 +125,39 @@ pub struct MachineSnapshot {
     flash: Vec<u8>,
     sram: Vec<u8>,
     devices: Vec<Box<dyn MmioDevice>>,
+}
+
+/// The divergence of a machine from the golden snapshot its dirty
+/// bitmap is armed against, captured by [`Machine::delta`].
+///
+/// Where [`MachineSnapshot`] holds full golden copies of Flash and
+/// SRAM, a delta holds only the dirtied pages plus register-level
+/// state, so thousands of parked logical devices forked from one
+/// golden image cost a few pages each instead of a full address space.
+pub struct MachineDelta {
+    /// Snapshot id the pages are relative to; [`Machine::apply_delta`]
+    /// refuses a machine armed against any other snapshot.
+    snap_id: u64,
+    mode: Mode,
+    clock: Clock,
+    current_pc: u32,
+    stats: MachineStats,
+    prot: Box<dyn ProtectionUnit>,
+    ppb_regs: HashMap<u32, u32>,
+    /// `(byte offset, page contents)` for each dirty Flash page.
+    flash_pages: Vec<(usize, Vec<u8>)>,
+    /// `(byte offset, page contents)` for each dirty SRAM page.
+    sram_pages: Vec<(usize, Vec<u8>)>,
+    devices: Vec<Box<dyn MmioDevice>>,
+}
+
+impl MachineDelta {
+    /// Total bytes of page payload the delta carries — the per-device
+    /// memory cost a fleet pays to keep this device parked.
+    pub fn page_bytes(&self) -> usize {
+        self.flash_pages.iter().map(|(_, p)| p.len()).sum::<usize>()
+            + self.sram_pages.iter().map(|(_, p)| p.len()).sum::<usize>()
+    }
 }
 
 /// The simulated microcontroller.
@@ -255,11 +319,35 @@ impl Machine {
         self.clock = snap.clock.clone();
         self.current_pc = snap.current_pc;
         self.stats = snap.stats;
-        self.prot = snap.prot.clone_unit();
+        if !self.prot.copy_unit_from(snap.prot.as_ref()) {
+            self.prot = snap.prot.clone_unit();
+        }
         self.ppb_regs.clone_from(&snap.ppb_regs);
-        self.devices.clear();
-        for d in &snap.devices {
-            self.devices.push(d.clone_box().expect("snapshotted device must stay cloneable"));
+        self.restore_devices(&snap.devices, "snapshotted");
+    }
+
+    /// Restores device state from `src` — in place when every device
+    /// supports [`MmioDevice::copy_state_from`] (no allocation, the
+    /// hot fleet path), falling back to a full re-clone otherwise.
+    /// The fallback re-clones every device, so a partial in-place pass
+    /// cannot leave mixed state behind.
+    fn restore_devices(&mut self, src: &[Box<dyn MmioDevice>], what: &str) {
+        let mut in_place = self.devices.len() == src.len();
+        if in_place {
+            for (dst, s) in self.devices.iter_mut().zip(src) {
+                if !dst.copy_state_from(s.as_ref()) {
+                    in_place = false;
+                    break;
+                }
+            }
+        }
+        if !in_place {
+            self.devices.clear();
+            for d in src {
+                self.devices.push(
+                    d.clone_box().unwrap_or_else(|| panic!("{what} device must stay cloneable")),
+                );
+            }
         }
     }
 
@@ -277,6 +365,87 @@ impl Machine {
             }
             *word = 0;
         }
+    }
+
+    fn dirty_pages(mem: &[u8], bits: &[u64]) -> Vec<(usize, Vec<u8>)> {
+        let mut pages = Vec::new();
+        for (w, word) in bits.iter().enumerate() {
+            let mut v = *word;
+            while v != 0 {
+                let b = v.trailing_zeros() as usize;
+                v &= v - 1;
+                let start = (w * 64 + b) * SNAP_PAGE;
+                if start < mem.len() {
+                    let end = (start + SNAP_PAGE).min(mem.len());
+                    pages.push((start, mem[start..end].to_vec()));
+                }
+            }
+        }
+        pages
+    }
+
+    /// Captures the machine's divergence from the armed snapshot: the
+    /// dirtied pages plus the (small) register-level state. The dirty
+    /// bitmap is read without being cleared, so a subsequent
+    /// [`Machine::restore`] of the golden snapshot undoes exactly these
+    /// pages — the park half of the fleet scheduler's park/unpark
+    /// cycle. Fails when no snapshot is armed or a device cannot clone
+    /// its state.
+    pub fn delta(&self) -> Result<MachineDelta, String> {
+        if self.snap_id == 0 {
+            return Err("delta requires an armed snapshot (call snapshot first)".into());
+        }
+        let mut devices = Vec::with_capacity(self.devices.len());
+        for d in &self.devices {
+            devices.push(
+                d.clone_box()
+                    .ok_or_else(|| format!("device {} does not support snapshotting", d.name()))?,
+            );
+        }
+        Ok(MachineDelta {
+            snap_id: self.snap_id,
+            mode: self.mode,
+            clock: self.clock.clone(),
+            current_pc: self.current_pc,
+            stats: self.stats,
+            prot: self.prot.clone_unit(),
+            ppb_regs: self.ppb_regs.clone(),
+            flash_pages: Self::dirty_pages(&self.flash, &self.flash_dirty),
+            sram_pages: Self::dirty_pages(&self.sram, &self.sram_dirty),
+            devices,
+        })
+    }
+
+    /// Re-applies a delta captured by [`Machine::delta`] onto a machine
+    /// freshly restored to the same golden snapshot (the unpark half).
+    /// Pages are re-marked dirty so the next restore-to-golden undoes
+    /// them again. Fails on a snapshot-id mismatch — applying a delta
+    /// over the wrong golden image would silently corrupt device state.
+    pub fn apply_delta(&mut self, d: &MachineDelta) -> Result<(), String> {
+        if self.snap_id != d.snap_id {
+            return Err(format!(
+                "delta is relative to snapshot {} but the machine is armed against {}",
+                d.snap_id, self.snap_id
+            ));
+        }
+        for (start, page) in &d.flash_pages {
+            self.flash[*start..start + page.len()].copy_from_slice(page);
+            Self::mark_dirty(&mut self.flash_dirty, *start, page.len());
+        }
+        for (start, page) in &d.sram_pages {
+            self.sram[*start..start + page.len()].copy_from_slice(page);
+            Self::mark_dirty(&mut self.sram_dirty, *start, page.len());
+        }
+        self.mode = d.mode;
+        self.clock = d.clock.clone();
+        self.current_pc = d.current_pc;
+        self.stats = d.stats;
+        if !self.prot.copy_unit_from(d.prot.as_ref()) {
+            self.prot = d.prot.clone_unit();
+        }
+        self.ppb_regs.clone_from(&d.ppb_regs);
+        self.restore_devices(&d.devices, "parked");
+        Ok(())
     }
 
     /// Registers a memory-mapped device. Returns an error if its window

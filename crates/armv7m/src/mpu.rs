@@ -414,6 +414,20 @@ impl crate::prot::ProtectionUnit for Mpu {
         Box::new(self.clone())
     }
 
+    fn copy_unit_from(&mut self, src: &dyn crate::prot::ProtectionUnit) -> bool {
+        match src.as_any().downcast_ref::<Mpu>() {
+            Some(s) => {
+                self.regions = s.regions;
+                self.enabled = s.enabled;
+                self.priv_default_enabled = s.priv_default_enabled;
+                // `obs` is configuration, not state: the live unit and
+                // the snapshotted one were attached to the same stream.
+                true
+            }
+            None => false,
+        }
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

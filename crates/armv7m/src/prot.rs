@@ -54,6 +54,14 @@ pub trait ProtectionUnit {
     /// Clones the unit's full state for machine snapshots.
     fn clone_unit(&self) -> Box<dyn ProtectionUnit>;
 
+    /// Copies `src`'s enforcement state into `self` without
+    /// allocating, returning `false` when the concrete types differ.
+    /// Snapshot restores run this every device spawn of a pooled
+    /// fleet; the default falls back to [`Self::clone_unit`].
+    fn copy_unit_from(&mut self, _src: &dyn ProtectionUnit) -> bool {
+        false
+    }
+
     /// Downcasting hook so backend code can reach the concrete model.
     fn as_any(&self) -> &dyn Any;
 

@@ -12,6 +12,9 @@
 //!   watchdogs, `catch_unwind` containment, one-shot retry with
 //!   transient/deterministic classification, and repro artifacts for
 //!   deterministic failures.
+//! * [`quantum`] — cooperative fuel-quantum scheduling for *resident*
+//!   tasks: fleet device VMs that run a bounded quantum, park, and
+//!   re-queue, thousands of them pinned across a few worker shards.
 //! * [`journal`] — the crash-safe JSONL checkpoint: fsync-batched
 //!   appends keyed by deterministic job id, torn-tail recovery, and
 //!   resume-by-skipping so a killed campaign finishes with aggregates
@@ -28,6 +31,7 @@
 pub mod engine;
 pub mod journal;
 pub mod json;
+pub mod quantum;
 
 pub use engine::{
     run_campaign, CampaignOpts, CampaignReport, Job, JobCtx, JobOutcome, JobRecord, JobResult,
@@ -35,3 +39,4 @@ pub use engine::{
 };
 pub use journal::{Journal, Record, SYNC_BATCH};
 pub use json::Value;
+pub use quantum::{run_quanta, Poll, Quantum, QuantumCtx, QuantumOpts, ShardReport};

@@ -51,6 +51,12 @@ impl MmioDevice for Gpio {
     fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
         Some(Box::new(self.clone()))
     }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+    fn copy_state_from(&mut self, src: &dyn MmioDevice) -> bool {
+        opec_armv7m::copy_device_state(self, src)
+    }
     fn name(&self) -> &str {
         &self.name
     }
@@ -115,6 +121,12 @@ impl MmioDevice for Button {
     }
     fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
         Some(Box::new(self.clone()))
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+    fn copy_state_from(&mut self, src: &dyn MmioDevice) -> bool {
+        opec_armv7m::copy_device_state(self, src)
     }
     fn name(&self) -> &str {
         "BUTTON"

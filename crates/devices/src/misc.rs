@@ -32,6 +32,12 @@ impl MmioDevice for Rcc {
     fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
         Some(Box::new(self.clone()))
     }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+    fn copy_state_from(&mut self, src: &dyn MmioDevice) -> bool {
+        opec_armv7m::copy_device_state(self, src)
+    }
     fn name(&self) -> &str {
         "RCC"
     }
@@ -81,6 +87,12 @@ impl MmioDevice for Dma {
     }
     fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
         Some(Box::new(self.clone()))
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+    fn copy_state_from(&mut self, src: &dyn MmioDevice) -> bool {
+        opec_armv7m::copy_device_state(self, src)
     }
     fn name(&self) -> &str {
         &self.name
@@ -132,6 +144,12 @@ impl MmioDevice for RegFile {
     fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
         Some(Box::new(self.clone()))
     }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+    fn copy_state_from(&mut self, src: &dyn MmioDevice) -> bool {
+        opec_armv7m::copy_device_state(self, src)
+    }
     fn name(&self) -> &str {
         &self.name
     }
@@ -172,6 +190,12 @@ impl MmioDevice for Timer {
     }
     fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
         Some(Box::new(self.clone()))
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+    fn copy_state_from(&mut self, src: &dyn MmioDevice) -> bool {
+        opec_armv7m::copy_device_state(self, src)
     }
     fn name(&self) -> &str {
         &self.name

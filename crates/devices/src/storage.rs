@@ -196,6 +196,12 @@ impl MmioDevice for SdCard {
     fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
         Some(Box::new(self.clone()))
     }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+    fn copy_state_from(&mut self, src: &dyn MmioDevice) -> bool {
+        opec_armv7m::copy_device_state(self, src)
+    }
     fn name(&self) -> &str {
         "SDIO"
     }
@@ -249,6 +255,12 @@ impl MmioDevice for UsbMsc {
     }
     fn clone_box(&self) -> Option<Box<dyn MmioDevice>> {
         Some(Box::new(self.clone()))
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+    fn copy_state_from(&mut self, src: &dyn MmioDevice) -> bool {
+        opec_armv7m::copy_device_state(self, src)
     }
     fn name(&self) -> &str {
         "USB_MSC"

@@ -328,6 +328,8 @@ pub fn bench_vm_campaign(
     sel: BackendSel,
 ) -> Result<(String, u64, CampaignReport), String> {
     let mut out = String::from("{\n");
+    writeln!(out, "  \"schema\": \"opec-bench-vm-v1\",").expect("write to String");
+    writeln!(out, "  \"host\": {},", opec_fleet::bench::host_json()).expect("write to String");
     writeln!(out, "  \"backend\": \"{}\",", sel.name()).expect("write to String");
 
     eprintln!("[bench-vm] ALU microbenchmark (plain vs decoded)...");

@@ -32,6 +32,14 @@
 //! --time-to-find   run the broken-MPU-plan      (fuzz)
 //!                  time-to-find benchmark
 //! --trials N       benchmark trials per mode    (fuzz)
+//! --devices N      logical fleet device count   (fleet, serve)
+//! --duration SECS  wall-clock budget / run time (fleet, serve)
+//! --mix SPEC       firmware mix                 (fleet, serve)
+//!                  kind[=weight],... over
+//!                  tcp_echo|pinlock|camera|fuzz
+//! --quantum N      guest fuel per device        (fleet, serve)
+//!                  scheduling quantum
+//! --port N         HTTP listen port             (serve)
 //! --out DIR        output directory             (csv)
 //! --obs-json FILE  observability metrics JSON   (report)
 //! --trace FILE     Chrome trace_event JSON      (report)
@@ -44,7 +52,7 @@
 //! accept their original positional operand.
 
 /// Parsed command-line arguments, shared by every subcommand.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CliArgs {
     /// `--backend NAME`: protection backend (`armv7m` | `rv32-pmp`).
     pub backend: Option<String>,
@@ -89,6 +97,17 @@ pub struct CliArgs {
     pub time_to_find: bool,
     /// `--trials N`: benchmark trials per mode.
     pub trials: Option<u64>,
+    /// `--devices N`: logical fleet device count.
+    pub devices: Option<usize>,
+    /// `--duration SECS`: fleet wall-clock budget (fractional seconds
+    /// accepted).
+    pub duration: Option<f64>,
+    /// `--mix SPEC`: fleet firmware mix, `kind[=weight],...`.
+    pub mix: Option<String>,
+    /// `--quantum N`: guest fuel per device scheduling quantum.
+    pub quantum: Option<u64>,
+    /// `--port N`: HTTP listen port for `serve`.
+    pub port: Option<u16>,
     /// Positional operands (legacy `csv DIR` / `bench-json FILE`).
     pub positional: Vec<String>,
 }
@@ -139,8 +158,53 @@ impl CliArgs {
                 }
                 "--workers" => {
                     let v = need(&mut args, "--workers")?;
-                    out.workers =
-                        Some(v.parse().map_err(|e| format!("bad --workers value {v:?}: {e}"))?);
+                    let n: usize =
+                        v.parse().map_err(|e| format!("bad --workers value {v:?}: {e}"))?;
+                    if n == 0 {
+                        return Err(format!(
+                            "bad --workers value {v:?}: a campaign needs at least one \
+                             worker thread (omit --workers for one per core)"
+                        ));
+                    }
+                    out.workers = Some(n);
+                }
+                "--devices" => {
+                    let v = need(&mut args, "--devices")?;
+                    let n: usize =
+                        v.parse().map_err(|e| format!("bad --devices value {v:?}: {e}"))?;
+                    if n == 0 {
+                        return Err(format!(
+                            "bad --devices value {v:?}: a fleet needs at least one device"
+                        ));
+                    }
+                    out.devices = Some(n);
+                }
+                "--duration" => {
+                    let v = need(&mut args, "--duration")?;
+                    let secs: f64 =
+                        v.parse().map_err(|e| format!("bad --duration value {v:?}: {e}"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(format!(
+                            "bad --duration value {v:?}: must be a positive number of seconds"
+                        ));
+                    }
+                    out.duration = Some(secs);
+                }
+                "--mix" => out.mix = Some(need(&mut args, "--mix")?),
+                "--quantum" => {
+                    let v = need(&mut args, "--quantum")?;
+                    let n: u64 =
+                        v.parse().map_err(|e| format!("bad --quantum value {v:?}: {e}"))?;
+                    if n == 0 {
+                        return Err(format!(
+                            "bad --quantum value {v:?}: a device quantum needs fuel"
+                        ));
+                    }
+                    out.quantum = Some(n);
+                }
+                "--port" => {
+                    let v = need(&mut args, "--port")?;
+                    out.port = Some(v.parse().map_err(|e| format!("bad --port value {v:?}: {e}"))?);
                 }
                 f if f.starts_with('-') => return Err(format!("unknown flag {f}")),
                 other => out.positional.push(other.to_string()),
@@ -173,6 +237,11 @@ impl CliArgs {
                 "--mode" => self.mode.is_some(),
                 "--time-to-find" => self.time_to_find,
                 "--trials" => self.trials.is_some(),
+                "--devices" => self.devices.is_some(),
+                "--duration" => self.duration.is_some(),
+                "--mix" => self.mix.is_some(),
+                "--quantum" => self.quantum.is_some(),
+                "--port" => self.port.is_some(),
                 "positional" => !self.positional.is_empty(),
                 _ => false,
             }
@@ -197,6 +266,11 @@ impl CliArgs {
             "--mode",
             "--time-to-find",
             "--trials",
+            "--devices",
+            "--duration",
+            "--mix",
+            "--quantum",
+            "--port",
             "positional",
         ] {
             if set(name) && !allowed.contains(&name) {
@@ -331,6 +405,60 @@ mod tests {
         assert!(a
             .forbid_unused("fuzz", &["--corpus", "--mode", "--time-to-find", "--trials"])
             .is_ok());
+    }
+
+    #[test]
+    fn fleet_flags_parse_and_are_guarded() {
+        let a = parse(&[
+            "--devices",
+            "512",
+            "--duration",
+            "7.5",
+            "--mix",
+            "tcp_echo=2,fuzz",
+            "--quantum",
+            "10000",
+            "--port",
+            "9100",
+        ])
+        .unwrap();
+        assert_eq!(a.devices, Some(512));
+        assert_eq!(a.duration, Some(7.5));
+        assert_eq!(a.mix.as_deref(), Some("tcp_echo=2,fuzz"));
+        assert_eq!(a.quantum, Some(10_000));
+        assert_eq!(a.port, Some(9100));
+        assert!(parse(&["--devices", "x"]).unwrap_err().contains("bad --devices"));
+        assert!(parse(&["--duration", "soon"]).unwrap_err().contains("bad --duration"));
+        assert!(parse(&["--port", "99999"]).unwrap_err().contains("bad --port"));
+        let err = a.forbid_unused("table1", &[]).unwrap_err();
+        assert!(err.contains("--devices"), "{err}");
+        assert!(a
+            .forbid_unused(
+                "serve",
+                &["--devices", "--duration", "--mix", "--quantum", "--port", "--workers"],
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_and_negative_resource_values_fail_naming_the_flag() {
+        // `--workers 0` historically parsed fine and then hung the
+        // campaign pool; now every nonsensical resource count fails at
+        // the parse with the flag named.
+        for (words, flag) in [
+            (&["--workers", "0"][..], "--workers"),
+            (&["--devices", "0"][..], "--devices"),
+            (&["--quantum", "0"][..], "--quantum"),
+            (&["--duration", "0"][..], "--duration"),
+            (&["--duration", "-3"][..], "--duration"),
+        ] {
+            let err = parse(words).unwrap_err();
+            assert!(err.contains(flag), "{words:?}: {err}");
+            assert!(err.contains("bad"), "{words:?}: {err}");
+        }
+        // The boundary values stay accepted.
+        assert_eq!(parse(&["--workers", "1"]).unwrap().workers, Some(1));
+        assert_eq!(parse(&["--duration", "0.2"]).unwrap().duration, Some(0.2));
     }
 
     #[test]

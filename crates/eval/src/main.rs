@@ -11,10 +11,16 @@
 //! share the results.
 
 use std::io::Write as _;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use opec_apps::programs::all_apps;
 use opec_eval::engine::EngineOpts;
 use opec_eval::{attack, benchjson, benchvm, check, fuzz, obsreport, report, BackendSel, CliArgs};
+use opec_fleet::{
+    fleet_bench, resolve_workers, run_fleet, BenchConfig, FleetBackend, FleetConfig, FleetShared,
+    Mix, ServeState,
+};
 
 /// The usage text (`opec-eval help`).
 const USAGE: &str = "\
@@ -78,6 +84,39 @@ opec-eval — regenerate the paper's tables and figures
                                 on both backends (T trials each, budget N jobs
                                 per trial), plus a corpus-replay determinism
                                 check. Exits 1 if the replay digests differ.
+  opec-eval fleet [--devices N] [--duration SECS] [--mix SPEC] [--backend B]
+                  [--quantum N] [--workers N] [--json FILE]
+                                fleet-scale sustained-traffic benchmark
+                                (BENCH_fleet.json): N logical device VMs
+                                (default 2048) multiplexed over the worker
+                                pool, every device forked from a pooled
+                                golden snapshot. Reports device-steps/sec
+                                across a three-point fleet ladder, the
+                                worker-scaling curve, pooled-vs-scratch
+                                spawn latency, and p50/p99 protection-switch
+                                latency under load. --mix picks firmware
+                                proportions (kind[=weight],... over
+                                tcp_echo|pinlock|camera|fuzz; default all
+                                equally). Exits 1 if any events were shed
+                                or the pooled spawn speedup falls below 10x.
+  opec-eval serve [--port P] [--devices N] [--duration SECS] [--mix SPEC]
+                  [--backend B] [--quantum N] [--workers N] [--ring N]
+                                resident fleet daemon on 127.0.0.1:P
+                                (default 9100): runs the fleet continuously
+                                (forever unless --duration is given) while
+                                serving
+                                  GET  /metrics   Prometheus text format
+                                  GET  /devices   per-device status JSON
+                                  POST /firmware  submit a generated-firmware
+                                                  plan (JSON body: a plan, a
+                                                  {\"spec\": ...} wrapper, or
+                                                  {\"seed\": N}); the reply is
+                                                  its differential-oracle
+                                                  verdict, also readable back
+                                                  at GET /firmware/<id>
+                                --ring N arms a bounded diagnostic event
+                                ring per worker; shed counts surface in
+                                /metrics as opec_ring_shed_events_total.
   opec-eval report [--backend B] [--obs-json FILE] [--trace FILE]
                    [--apps FILTER] [--ring N] [--funcs]
                                 per-operation overhead breakdown from the
@@ -95,10 +134,12 @@ opec-eval — regenerate the paper's tables and figures
                                               in the ring (bigger traces)
                                 Exits 1 if any ring shed events.
 
---backend B (bench-vm, attack-matrix, check, fuzz, report) selects the
-protection backend: armv7m (the paper's ARMv7-M MPU, the default) or
-rv32-pmp (the §7 RISC-V PMP port). The ACES comparison stack is an
-ARMv7-M artifact; under rv32-pmp its cells are recorded as skips.
+--backend B (bench-vm, attack-matrix, check, fuzz, report, fleet, serve)
+selects the protection backend: armv7m (the paper's ARMv7-M MPU, the
+default) or rv32-pmp (the §7 RISC-V PMP port). The ACES comparison stack
+is an ARMv7-M artifact; under rv32-pmp its cells are recorded as skips.
+For fleet and serve, omitting --backend runs devices on BOTH backends,
+alternating.
 
 CAMPAIGN FLAGS (bench-vm, attack-matrix, check, fuzz): these subcommands run
 their VM work as supervised campaign jobs — fuel-budgeted, watchdogged,
@@ -464,6 +505,139 @@ fn main() {
                 "[opec-eval] fuzz clean: {} jobs, {} corpus entries, {} features, no divergences",
                 rep.jobs, rep.entries, rep.features
             );
+        }
+        "fleet" => {
+            no_flags(&[
+                "--backend",
+                "--devices",
+                "--duration",
+                "--mix",
+                "--quantum",
+                "--workers",
+                "--json",
+            ]);
+            let backends =
+                FleetBackend::list_from_flag(args.backend.as_deref()).unwrap_or_else(|e| fail(&e));
+            let mix = match args.mix.as_deref() {
+                Some(spec) => Mix::parse(spec).unwrap_or_else(|e| fail(&e)),
+                None => Mix::default(),
+            };
+            let defaults = BenchConfig::default();
+            let cfg = BenchConfig {
+                devices: args.devices.unwrap_or(defaults.devices),
+                duration: args.duration.unwrap_or(defaults.duration),
+                workers: args.workers,
+                quantum_fuel: args.quantum.unwrap_or(defaults.quantum_fuel),
+                mix,
+                backends,
+            };
+            let out = args.json.clone().map(|p| (create(&p), p));
+            eprintln!(
+                "[opec-eval] fleet benchmark: up to {} devices, ~{:.0}s budget, mix {}, \
+                 backends {}...",
+                cfg.devices,
+                cfg.duration,
+                cfg.mix.spec(),
+                cfg.backends.iter().map(|b| b.name()).collect::<Vec<_>>().join("+"),
+            );
+            let rep = fleet_bench(&cfg).unwrap_or_else(|e| fail(&e));
+            match out {
+                Some((mut file, path)) => {
+                    file.write_all(rep.json.as_bytes()).expect("write BENCH_fleet.json");
+                    eprintln!("[opec-eval] wrote {path}");
+                }
+                None => print!("{}", rep.json),
+            }
+            if rep.sheds > 0 {
+                eprintln!(
+                    "[opec-eval] fleet FAILED: {} events shed during benchmark runs — \
+                     the numbers are not trustworthy",
+                    rep.sheds
+                );
+                std::process::exit(1);
+            }
+            if rep.min_spawn_speedup < 10.0 {
+                eprintln!(
+                    "[opec-eval] fleet FAILED: pooled spawn only {:.1}x faster than \
+                     init-from-scratch (floor is 10x)",
+                    rep.min_spawn_speedup
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[opec-eval] fleet clean: no sheds, pooled spawn {:.0}x faster than scratch",
+                rep.min_spawn_speedup
+            );
+        }
+        "serve" => {
+            no_flags(&[
+                "--backend",
+                "--devices",
+                "--duration",
+                "--mix",
+                "--quantum",
+                "--workers",
+                "--port",
+                "--ring",
+            ]);
+            let backends =
+                FleetBackend::list_from_flag(args.backend.as_deref()).unwrap_or_else(|e| fail(&e));
+            let mix = match args.mix.as_deref() {
+                Some(spec) => Mix::parse(spec).unwrap_or_else(|e| fail(&e)),
+                None => Mix::default(),
+            };
+            let workers = resolve_workers(args.workers);
+            let cfg = FleetConfig {
+                devices: args.devices.unwrap_or(64),
+                workers: Some(workers),
+                quantum_fuel: args.quantum.unwrap_or(opec_fleet::DEFAULT_QUANTUM_FUEL),
+                rounds: None,
+                duration: args.duration.map(std::time::Duration::from_secs_f64),
+                mix,
+                backends,
+                ring: args.ring,
+            };
+            let port = args.port.unwrap_or(9100);
+            let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+                .unwrap_or_else(|e| fail(&format!("cannot bind 127.0.0.1:{port}: {e}")));
+            let shared = Arc::new(FleetShared::new(workers));
+            let state = Arc::new(ServeState::new(shared.clone()));
+            eprintln!(
+                "[opec-eval] serving http://127.0.0.1:{port} — GET /metrics, GET /devices, \
+                 POST /firmware ({} devices, {} workers{})",
+                cfg.devices,
+                workers,
+                match cfg.duration {
+                    Some(d) => format!(", stopping after {:.0}s", d.as_secs_f64()),
+                    None => ", until killed".to_string(),
+                },
+            );
+            let server = {
+                let state = state.clone();
+                std::thread::spawn(move || opec_fleet::serve(listener, state))
+            };
+            // The fleet runs on the main thread; without --duration it
+            // only returns on an error. Either way the HTTP thread is
+            // told to stop before we report.
+            let outcome = run_fleet(&cfg, Some(shared.clone()));
+            shared.stop.store(true, Ordering::Relaxed);
+            server
+                .join()
+                .expect("HTTP server thread")
+                .unwrap_or_else(|e| fail(&format!("HTTP server: {e}")));
+            let fleet = outcome.unwrap_or_else(|e| fail(&e));
+            eprintln!(
+                "[opec-eval] fleet drained: {} devices, {} steps ({:.0} steps/sec), \
+                 {} sheds, {} panics",
+                fleet.devices.len(),
+                fleet.steps(),
+                fleet.steps_per_sec(),
+                fleet.sheds,
+                fleet.panics.len(),
+            );
+            if !fleet.panics.is_empty() || fleet.sheds > 0 {
+                std::process::exit(1);
+            }
         }
         "report" => {
             no_flags(&["--backend", "--obs-json", "--trace", "--apps", "--ring", "--funcs"]);

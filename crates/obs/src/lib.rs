@@ -32,6 +32,7 @@
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod prom;
 pub mod ring;
 pub mod sink;
 
@@ -41,5 +42,6 @@ pub use event::{
 };
 pub use export::{chrome_trace, event_log, histogram_json, metrics_json};
 pub use metrics::{Histogram, Metrics, OpMetrics, Recorder};
+pub use prom::PromWriter;
 pub use ring::{RingBuffer, DEFAULT_RING_CAPACITY};
 pub use sink::{Obs, Sink, SinkHandle};

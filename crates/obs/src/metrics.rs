@@ -193,6 +193,24 @@ impl OpMetrics {
     pub fn switch_cycles(&self) -> u64 {
         self.enter_cycles.sum() + self.exit_cycles.sum()
     }
+
+    /// Folds `other` into `self`: counters add, histograms merge.
+    pub fn merge(&mut self, other: &OpMetrics) {
+        self.enters += other.enters;
+        self.exits += other.exits;
+        self.enter_cycles.merge(&other.enter_cycles);
+        self.exit_cycles.merge(&other.exit_cycles);
+        self.virt_hits += other.virt_hits;
+        self.virt_evictions += other.virt_evictions;
+        self.virt_misses += other.virt_misses;
+        self.emulated_loads += other.emulated_loads;
+        self.emulated_stores += other.emulated_stores;
+        self.insts_retired += other.insts_retired;
+        self.func_enters += other.func_enters;
+        self.traps += other.traps;
+        self.quarantines += other.quarantines;
+        self.priv_lifts += other.priv_lifts;
+    }
 }
 
 /// Online per-operation aggregator.
@@ -273,6 +291,37 @@ impl Metrics {
 
     fn entry(&mut self, op: OpId) -> &mut OpMetrics {
         self.per_op.entry(op).or_default()
+    }
+
+    /// Folds the settled aggregates of `other` into `self`: per-op
+    /// entries and global counters add, histograms merge,
+    /// `total_insts` accumulates (fleet devices each contribute their
+    /// own run), and `run_cycles` takes the max.
+    ///
+    /// Merge is for shard aggregation — counters-only, order
+    /// independent. The attribution state (op stack, open switches) of
+    /// `self` is left alone and `other`'s is ignored; merge shards
+    /// whose event streams are settled (after `RunEnd` or between
+    /// quanta), not mid-switch.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (op, m) in &other.per_op {
+            self.per_op.entry(*op).or_default().merge(m);
+        }
+        self.events_seen += other.events_seen;
+        self.mpu_loads += other.mpu_loads;
+        self.mpu_region_writes += other.mpu_region_writes;
+        self.pmp_loads += other.pmp_loads;
+        self.pmp_entry_writes += other.pmp_entry_writes;
+        self.injections += other.injections;
+        self.oracle_divergences += other.oracle_divergences;
+        self.total_insts += other.total_insts;
+        self.run_cycles = self.run_cycles.max(other.run_cycles);
+        self.jobs_completed += other.jobs_completed;
+        self.jobs_fuel_exhausted += other.jobs_fuel_exhausted;
+        self.jobs_timed_out += other.jobs_timed_out;
+        self.jobs_panicked += other.jobs_panicked;
+        self.jobs_retried += other.jobs_retried;
+        self.jobs_resumed += other.jobs_resumed;
     }
 
     fn credit_insts(&mut self, insts: u64) {

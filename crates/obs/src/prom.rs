@@ -1,0 +1,269 @@
+//! Prometheus text exposition (format version 0.0.4) for the obs
+//! aggregates.
+//!
+//! The fleet daemon scrapes continuously, so unlike the one-shot JSON
+//! exporters this renderer is built for stability: metric names and
+//! label sets are part of the interface (golden-file tested), label
+//! values are escaped per the exposition spec, and the power-of-two
+//! [`Histogram`] buckets map onto cumulative `le` buckets with
+//! `2^i - 1` upper bounds.
+//!
+//! Cardinality is deliberately bounded: per-op series carry only the
+//! cheap counters (switches, instructions); latency histograms are
+//! exported merged across operations, one series set per direction.
+
+use crate::metrics::{Histogram, Metrics};
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental writer for one exposition payload.
+///
+/// Callers outside this crate (the fleet daemon) append their own
+/// gauge/counter families after [`render`] so the whole scrape is one
+/// consistently escaped document.
+#[derive(Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty payload.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Emits the `# HELP` / `# TYPE` header for a family.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(&escape_help(help));
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emits one sample line. `labels` render in the given order.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_str(name, labels, &value.to_string());
+    }
+
+    /// Emits one sample line with a pre-rendered value (for floats).
+    pub fn sample_str(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Emits the sample set of one histogram series (`_bucket` lines
+    /// cumulative up to the highest non-empty bucket, then `+Inf`,
+    /// `_sum` and `_count`). The family header is the caller's job —
+    /// several label sets may share one family.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        let mut cum = 0u64;
+        for (lo, count) in h.buckets() {
+            cum += count;
+            // Bucket [2^(i-1), 2^i) has inclusive upper bound 2^i - 1;
+            // the 0 bucket holds only 0.
+            let le = if lo == 0 { 0 } else { lo.saturating_mul(2) - 1 };
+            let le = le.to_string();
+            let mut ls: Vec<(&str, &str)> = labels.to_vec();
+            ls.push(("le", &le));
+            self.sample(&format!("{name}_bucket"), &ls, cum);
+        }
+        let mut ls: Vec<(&str, &str)> = labels.to_vec();
+        ls.push(("le", "+Inf"));
+        self.sample(&format!("{name}_bucket"), &ls, h.count());
+        self.sample(&format!("{name}_sum"), labels, h.sum());
+        self.sample(&format!("{name}_count"), labels, h.count());
+    }
+
+    /// The payload rendered so far.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders the standard OPEC metric families from settled aggregates.
+///
+/// `shed_events` is the total number of events shed by bounded ring
+/// buffers feeding these aggregates — nonzero means the exported
+/// timeline (not the aggregates, which fold online) is incomplete, and
+/// scrapers alert on it.
+pub fn render(m: &Metrics, shed_events: u64) -> String {
+    let mut w = PromWriter::new();
+
+    w.family("opec_events_seen_total", "counter", "Events folded into the aggregates.");
+    w.sample("opec_events_seen_total", &[], m.events_seen);
+    w.family(
+        "opec_ring_shed_events_total",
+        "counter",
+        "Events shed by bounded ring buffers; nonzero means the raw timeline is incomplete.",
+    );
+    w.sample("opec_ring_shed_events_total", &[], shed_events);
+
+    w.family("opec_switches_total", "counter", "Successful operation switches by direction.");
+    let (mut enters, mut exits) = (0u64, 0u64);
+    let (mut traps, mut quarantines) = (0u64, 0u64);
+    let (mut virt_hits, mut virt_evictions, mut virt_misses) = (0u64, 0u64, 0u64);
+    let (mut emu_loads, mut emu_stores) = (0u64, 0u64);
+    let mut enter_hist = Histogram::new();
+    let mut exit_hist = Histogram::new();
+    for (_, op) in m.ops() {
+        enters += op.enters;
+        exits += op.exits;
+        traps += op.traps;
+        quarantines += op.quarantines;
+        virt_hits += op.virt_hits;
+        virt_evictions += op.virt_evictions;
+        virt_misses += op.virt_misses;
+        emu_loads += op.emulated_loads;
+        emu_stores += op.emulated_stores;
+        enter_hist.merge(&op.enter_cycles);
+        exit_hist.merge(&op.exit_cycles);
+    }
+    w.sample("opec_switches_total", &[("dir", "enter")], enters);
+    w.sample("opec_switches_total", &[("dir", "exit")], exits);
+
+    w.family(
+        "opec_switch_latency_cycles",
+        "histogram",
+        "Operation-switch latency in guest cycles, merged across operations.",
+    );
+    w.histogram("opec_switch_latency_cycles", &[("dir", "enter")], &enter_hist);
+    w.histogram("opec_switch_latency_cycles", &[("dir", "exit")], &exit_hist);
+
+    w.family("opec_op_switches_total", "counter", "Successful enter switches per operation.");
+    for (id, op) in m.ops() {
+        let id = id.to_string();
+        w.sample("opec_op_switches_total", &[("op", &id)], op.enters);
+    }
+    w.family(
+        "opec_op_insts_retired_total",
+        "counter",
+        "Instructions retired while the operation was innermost.",
+    );
+    for (id, op) in m.ops() {
+        let id = id.to_string();
+        w.sample("opec_op_insts_retired_total", &[("op", &id)], op.insts_retired);
+    }
+
+    w.family("opec_insts_retired_total", "counter", "Total instructions retired.");
+    w.sample("opec_insts_retired_total", &[], m.total_insts);
+    w.family("opec_traps_total", "counter", "Trap verdicts issued.");
+    w.sample("opec_traps_total", &[], traps);
+    w.family("opec_quarantines_total", "counter", "Operations quarantined.");
+    w.sample("opec_quarantines_total", &[], quarantines);
+
+    w.family(
+        "opec_virt_faults_total",
+        "counter",
+        "Peripheral-window virtualization faults by outcome.",
+    );
+    w.sample("opec_virt_faults_total", &[("outcome", "hit")], virt_hits);
+    w.sample("opec_virt_faults_total", &[("outcome", "evict")], virt_evictions);
+    w.sample("opec_virt_faults_total", &[("outcome", "miss")], virt_misses);
+
+    w.family("opec_emulated_accesses_total", "counter", "Emulated core-peripheral accesses.");
+    w.sample("opec_emulated_accesses_total", &[("access", "load")], emu_loads);
+    w.sample("opec_emulated_accesses_total", &[("access", "store")], emu_stores);
+
+    w.family("opec_prot_loads_total", "counter", "Full protection-unit reprogrammings.");
+    w.sample("opec_prot_loads_total", &[("unit", "mpu")], m.mpu_loads);
+    w.sample("opec_prot_loads_total", &[("unit", "pmp")], m.pmp_loads);
+    w.family("opec_prot_register_writes_total", "counter", "Protection registers written.");
+    w.sample("opec_prot_register_writes_total", &[("unit", "mpu")], m.mpu_region_writes);
+    w.sample("opec_prot_register_writes_total", &[("unit", "pmp")], m.pmp_entry_writes);
+
+    w.family("opec_injections_total", "counter", "Fault-injector actions observed.");
+    w.sample("opec_injections_total", &[], m.injections);
+    w.family("opec_oracle_divergences_total", "counter", "Differential-oracle divergences.");
+    w.sample("opec_oracle_divergences_total", &[], m.oracle_divergences);
+
+    w.family("opec_jobs_total", "counter", "Campaign jobs by supervision outcome.");
+    w.sample("opec_jobs_total", &[("outcome", "completed")], m.jobs_completed);
+    w.sample("opec_jobs_total", &[("outcome", "fuel_exhausted")], m.jobs_fuel_exhausted);
+    w.sample("opec_jobs_total", &[("outcome", "timed_out")], m.jobs_timed_out);
+    w.sample("opec_jobs_total", &[("outcome", "panicked")], m.jobs_panicked);
+    w.sample("opec_jobs_total", &[("outcome", "retried")], m.jobs_retried);
+    w.sample("opec_jobs_total", &[("outcome", "resumed")], m.jobs_resumed);
+
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_pow2_bounds() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 9] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        w.histogram("x", &[], &h);
+        let text = w.finish();
+        // 0 → le="0"; 1 → le="1"; 2,3 → le="3"; 9 → le="15".
+        assert!(text.contains("x_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("x_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("x_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("x_bucket{le=\"15\"} 5\n"));
+        assert!(text.contains("x_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("x_sum 15\n"));
+        assert!(text.contains("x_count 5\n"));
+    }
+
+    #[test]
+    fn render_is_nonempty_for_empty_metrics() {
+        let text = render(&Metrics::new(), 0);
+        assert!(text.contains("# TYPE opec_events_seen_total counter"));
+        assert!(text.contains("opec_ring_shed_events_total 0"));
+    }
+}

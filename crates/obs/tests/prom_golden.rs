@@ -1,0 +1,173 @@
+//! Golden-file test for the Prometheus text exporter.
+//!
+//! The `/metrics` output is a wire format scraped by external tooling:
+//! family names, HELP/TYPE lines, label sets, and the histogram bucket
+//! vocabulary are all part of the interface. This test folds a fixed
+//! synthetic event stream into [`Metrics`] and compares
+//! [`opec_obs::prom::render`] byte-for-byte against a committed golden
+//! file, so any drift in the exported text is a deliberate, reviewed
+//! change.
+//!
+//! To bless a new golden after an intentional format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p opec-obs --test prom_golden
+//! ```
+
+use opec_obs::event::{Access, Dir, Event, JobEventKind, Stamped, TrapKind};
+use opec_obs::{prom, Metrics};
+
+/// A fixed event stream touching every counter family the exporter
+/// renders: two operations with distinct switch-latency buckets, MPU
+/// and PMP reprogramming, virtualization traffic, emulated accesses, a
+/// trap + quarantine, and campaign job milestones.
+fn fixture() -> Metrics {
+    let mut m = Metrics::new();
+    let mut t = 0u64;
+    let mut push = |m: &mut Metrics, dt: u64, ev: Event| {
+        t += dt;
+        m.observe(Stamped { t, ev });
+    };
+
+    for (op, latency) in [(1u8, 7u64), (2u8, 40u64)] {
+        // Enter op, run, exit back to op 0; the chosen latencies land
+        // in different `2^i - 1` histogram buckets.
+        push(
+            &mut m,
+            10,
+            Event::SwitchBegin { dir: Dir::Enter, from: 0, to: op, entry: 0x100, insts: 50 },
+        );
+        push(
+            &mut m,
+            latency,
+            Event::SwitchEnd { dir: Dir::Enter, from: 0, to: op, entry: 0x100, ok: true },
+        );
+        push(&mut m, 5, Event::MpuLoad { regions: 4 });
+        push(&mut m, 1, Event::MpuRegionWrite { slot: 3, base: 0x4000_0000, size: 0x400, srd: 0 });
+        push(&mut m, 1, Event::PmpLoad { entries: 4 });
+        push(&mut m, 1, Event::PmpEntryWrite { entry: 2, addr: 0x1000_0000, cfg: 0x1b });
+        push(&mut m, 3, Event::FuncEnter { func: 9 });
+        push(&mut m, 3, Event::FuncExit { func: 9 });
+        push(&mut m, 2, Event::VirtHit { op, address: 0x4000_1000, window: 0, slot: 7 });
+        push(&mut m, 2, Event::VirtEvict { op, slot: 7, old_window: 0, new_window: 1 });
+        push(&mut m, 2, Event::VirtMiss { op, address: 0x4000_2000, write: true });
+        push(
+            &mut m,
+            2,
+            Event::Emulated {
+                op,
+                address: 0xe000_e018,
+                access: Access::Load,
+                size: 4,
+                rt: 0,
+                rn: 1,
+            },
+        );
+        push(
+            &mut m,
+            2,
+            Event::Emulated {
+                op,
+                address: 0xe000_e010,
+                access: Access::Store,
+                size: 4,
+                rt: 2,
+                rn: 1,
+            },
+        );
+        push(
+            &mut m,
+            10,
+            Event::SwitchBegin { dir: Dir::Exit, from: op, to: 0, entry: 0x100, insts: 200 },
+        );
+        push(
+            &mut m,
+            latency / 2,
+            Event::SwitchEnd { dir: Dir::Exit, from: op, to: 0, entry: 0x100, ok: true },
+        );
+    }
+
+    // Op 2 misbehaves on a later entry and is quarantined.
+    push(
+        &mut m,
+        10,
+        Event::SwitchBegin { dir: Dir::Enter, from: 0, to: 2, entry: 0x100, insts: 300 },
+    );
+    push(&mut m, 33, Event::SwitchEnd { dir: Dir::Enter, from: 0, to: 2, entry: 0x100, ok: true });
+    push(&mut m, 4, Event::Trap { op: 2, kind: TrapKind::PolicyDeniedMem, address: 0x2000_0040 });
+    push(&mut m, 1, Event::Quarantine { op: 2 });
+
+    push(&mut m, 20, Event::RunEnd { insts: 1234 });
+    push(&mut m, 0, Event::Job { kind: JobEventKind::Completed, attempt: 1 });
+    push(&mut m, 0, Event::Job { kind: JobEventKind::FuelExhausted, attempt: 1 });
+    push(&mut m, 0, Event::Job { kind: JobEventKind::Retried, attempt: 2 });
+    m
+}
+
+#[test]
+fn prometheus_text_matches_golden() {
+    let text = prom::render(&fixture(), 3);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &text).expect("write golden");
+        eprintln!("blessed {path}");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        text, golden,
+        "Prometheus text drifted from the golden file; if intentional, re-bless with \
+         UPDATE_GOLDEN=1 cargo test -p opec-obs --test prom_golden"
+    );
+}
+
+#[test]
+fn golden_text_is_valid_prometheus_exposition() {
+    // Structural lint over the same fixture, independent of the golden
+    // bytes: every sample belongs to a declared family, HELP precedes
+    // TYPE, histograms end with a +Inf bucket, and values parse.
+    let text = prom::render(&fixture(), 3);
+    let mut declared: Vec<String> = Vec::new();
+    let mut last_help: Option<String> = None;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP names a family");
+            last_help = Some(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut words = rest.split_whitespace();
+            let name = words.next().expect("TYPE names a family");
+            let kind = words.next().expect("TYPE states a kind");
+            assert_eq!(last_help.as_deref(), Some(name), "HELP must precede TYPE for {name}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unexpected family kind {kind}"
+            );
+            declared.push(name.to_string());
+        } else {
+            let metric = line.split([' ', '{']).next().expect("sample names a metric");
+            let base = metric
+                .strip_suffix("_bucket")
+                .or_else(|| metric.strip_suffix("_sum"))
+                .or_else(|| metric.strip_suffix("_count"))
+                .unwrap_or(metric);
+            assert!(
+                declared.iter().any(|d| d == base || d == metric),
+                "sample {metric} has no declared family"
+            );
+            let value = line.rsplit(' ').next().expect("sample carries a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "unparseable sample value {value:?} in {line:?}"
+            );
+        }
+    }
+    assert!(text.contains("le=\"+Inf\""), "histograms must close with a +Inf bucket");
+    assert!(
+        text.contains("opec_ring_shed_events_total 3"),
+        "shed count must surface in the export"
+    );
+}

@@ -359,6 +359,19 @@ impl ProtectionUnit for PmpUnit {
         Box::new(self.clone())
     }
 
+    fn copy_unit_from(&mut self, src: &dyn ProtectionUnit) -> bool {
+        match src.as_any().downcast_ref::<PmpUnit>() {
+            Some(s) => {
+                self.pmp = s.pmp.clone();
+                self.enabled = s.enabled;
+                // `obs` is configuration, not state: the live unit and
+                // the snapshotted one were attached to the same stream.
+                true
+            }
+            None => false,
+        }
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

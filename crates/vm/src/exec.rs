@@ -8,7 +8,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use opec_armv7m::clock::costs;
-use opec_armv7m::{Exception, Machine, MachineSnapshot, Mode};
+use opec_armv7m::{Exception, Machine, MachineDelta, MachineSnapshot, Mode};
 use opec_ir::module::{BinOp, UnOp};
 use opec_ir::{FuncId, GlobalId, Inst, LocalId, Operand, RegId, Terminator};
 use opec_obs::{Event, Obs};
@@ -290,6 +290,35 @@ pub struct VmSnapshot<S: Supervisor> {
     sp: u32,
     frames: Vec<Frame>,
     irq_depth: u32,
+}
+
+/// A parked logical device: the divergence of a running [`Vm`] from a
+/// golden [`VmSnapshot`], captured by [`Vm::park`] and re-applied by
+/// [`Vm::unpark`].
+///
+/// Where a [`VmSnapshot`] holds full golden memory copies, a delta
+/// holds only the dirty pages ([`opec_armv7m::MachineDelta`]) plus the
+/// interpreter registers and frames, so a fleet keeps thousands of
+/// parked devices forked from one golden image at a few pages each.
+pub struct VmDelta<S: Supervisor> {
+    machine: MachineDelta,
+    supervisor: S,
+    cpu: CpuContext,
+    stats: VmStats,
+    inject_log: Vec<(InjectAction, InjectOutcome)>,
+    contained: Vec<TrapError>,
+    pending_op_corrupt: Option<OpId>,
+    pending_arg_corrupt: Vec<(usize, u32)>,
+    sp: u32,
+    frames: Vec<Frame>,
+    irq_depth: u32,
+}
+
+impl<S: Supervisor> VmDelta<S> {
+    /// Bytes of dirty-page payload this parked device carries.
+    pub fn page_bytes(&self) -> usize {
+        self.machine.page_bytes()
+    }
 }
 
 /// Staged configuration for a [`Vm`].
@@ -1810,6 +1839,49 @@ impl<S: Supervisor + Clone> Vm<S> {
         self.sp = snap.sp;
         self.frames.clone_from(&snap.frames);
         self.irq_depth = snap.irq_depth;
+    }
+
+    /// Parks the VM: captures its divergence from the golden snapshot
+    /// the machine's dirty-page tracking is armed against. The VM is
+    /// left untouched (park is a read), and the dirty bitmap stays
+    /// armed, so a following [`Vm::restore`] of the golden snapshot
+    /// undoes exactly the parked pages. A fleet scheduler multiplexes
+    /// thousands of logical devices over one resident VM this way:
+    /// unpark, run a fuel quantum, park, restore to golden, next
+    /// device.
+    pub fn park(&mut self) -> Result<VmDelta<S>, String> {
+        Ok(VmDelta {
+            machine: self.machine.delta()?,
+            supervisor: self.supervisor.clone(),
+            cpu: self.cpu,
+            stats: self.stats,
+            inject_log: self.inject_log.clone(),
+            contained: self.contained.clone(),
+            pending_op_corrupt: self.pending_op_corrupt,
+            pending_arg_corrupt: self.pending_arg_corrupt.clone(),
+            sp: self.sp,
+            frames: self.frames.clone(),
+            irq_depth: self.irq_depth,
+        })
+    }
+
+    /// Unparks a device: re-applies a [`VmDelta`] onto a VM freshly
+    /// restored to the golden snapshot the delta was parked against.
+    /// Fails on a snapshot-id mismatch rather than silently mixing two
+    /// devices' memory.
+    pub fn unpark(&mut self, delta: &VmDelta<S>) -> Result<(), String> {
+        self.machine.apply_delta(&delta.machine)?;
+        self.supervisor = delta.supervisor.clone();
+        self.cpu = delta.cpu;
+        self.stats = delta.stats;
+        self.inject_log.clone_from(&delta.inject_log);
+        self.contained.clone_from(&delta.contained);
+        self.pending_op_corrupt = delta.pending_op_corrupt;
+        self.pending_arg_corrupt.clone_from(&delta.pending_arg_corrupt);
+        self.sp = delta.sp;
+        self.frames.clone_from(&delta.frames);
+        self.irq_depth = delta.irq_depth;
+        Ok(())
     }
 }
 
